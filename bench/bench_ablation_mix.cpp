@@ -1,0 +1,120 @@
+// Ablation of the model-shipping (MIX) interval — the design choice
+// DESIGN.md calls out: the Learning class publishes its model every
+// `publish_every` trained samples; the Judging class MIXes the latest
+// model per learner. A short interval keeps the Judging class fresh (and
+// accurate on drifting streams) at the price of model traffic; a long
+// interval starves it.
+//
+// Workload: the paper topology at 10 Hz with the labelled activity
+// stream; measured: online accuracy at the Judging class, model messages
+// shipped, bytes of model traffic.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/middleware.hpp"
+#include "mgmt/report.hpp"
+
+namespace {
+
+using namespace ifot;
+
+struct Outcome {
+  double accuracy = 0;
+  std::uint64_t judged = 0;
+  std::uint64_t models_shipped = 0;
+};
+
+Outcome run(int publish_every) {
+  core::MiddlewareConfig cfg;
+  cfg.seed = 5;
+  core::Middleware mw(cfg);
+  mw.add_module({.name = "module_a", .sensors = {"sensor_a"}});
+  mw.add_module({.name = "module_b", .sensors = {"sensor_b"}});
+  mw.add_module({.name = "module_c", .sensors = {"sensor_c"}});
+  mw.add_module({.name = "module_d", .broker = true, .accept_tasks = false});
+  mw.add_module({.name = "module_e"});
+  mw.add_module({.name = "module_f", .actuators = {"display"}});
+  if (auto s = mw.start(); !s) return {};
+
+  std::string recipe = "recipe mix_ablation\n";
+  for (const char* s : {"a", "b", "c"}) {
+    recipe += std::string("node sense_") + s +
+              " : sensor { sensor = \"sensor_" + s +
+              "\", model = \"activity\", rate_hz = 10 }\n";
+  }
+  recipe += "node train : train { algorithm = \"arow\", publish_every = " +
+            std::to_string(publish_every) + ", pin = \"module_e\" }\n";
+  recipe += "node predictor : predict { pin = \"module_f\" }\n";
+  recipe += "node display : actuator { actuator = \"display\" }\n";
+  for (const char* s : {"a", "b", "c"}) {
+    recipe += std::string("edge sense_") + s + " -> train\n";
+    recipe += std::string("edge sense_") + s + " -> predictor\n";
+  }
+  recipe += "edge train -> predictor\nedge predictor -> display\n";
+  if (auto d = mw.deploy(recipe); !d) {
+    std::fprintf(stderr, "deploy: %s\n", d.error().to_string().c_str());
+    return {};
+  }
+
+  Outcome o;
+  std::uint64_t correct = 0;
+  mw.set_completion_hook([&](const recipe::Task& t, const device::Sample& s,
+                             SimTime) {
+    if (t.name != "predictor") return;
+    const double c = s.field("correct", -1);
+    if (c < 0) return;  // no model yet
+    ++o.judged;
+    if (c > 0.5) ++correct;
+  });
+  mw.start_flows();
+  mw.run_for(60 * kSecond);
+  mw.stop_flows();
+  o.accuracy = o.judged > 0
+                   ? static_cast<double>(correct) / static_cast<double>(o.judged)
+                   : 0;
+  o.models_shipped =
+      mw.module_by_name("module_e")->counters().get("models_emitted");
+  return o;
+}
+
+void BM_MixInterval(benchmark::State& state) {
+  const int interval = static_cast<int>(state.range(0));
+  Outcome o;
+  for (auto _ : state) {
+    o = run(interval);
+  }
+  state.counters["publish_every"] = interval;
+  state.counters["accuracy"] = o.accuracy;
+  state.counters["models_shipped"] = static_cast<double>(o.models_shipped);
+}
+BENCHMARK(BM_MixInterval)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  mgmt::Table t({"publish_every", "accuracy", "judged", "models shipped"});
+  for (int interval : {4, 16, 64, 256, 1024}) {
+    const Outcome o = run(interval);
+    t.add_row({std::to_string(interval), mgmt::Table::num(o.accuracy, 3),
+               std::to_string(o.judged), std::to_string(o.models_shipped)});
+  }
+  std::printf(
+      "MIX-interval ablation (10 Hz activity stream, 60 s): fresher models "
+      "cost traffic\n%s\n"
+      "The activity stream is stationary, so accuracy is flat once a model\n"
+      "arrives; the cost of a long interval shows in the 'judged' column -\n"
+      "the cold-start window before the first model ships grows with the\n"
+      "interval (at 1024 the Judging class classifies less than half the\n"
+      "stream), and a drifting stream would pay in accuracy as well.\n\n",
+      t.to_string().c_str());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

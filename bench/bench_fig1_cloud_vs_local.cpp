@@ -1,0 +1,138 @@
+// Tests the qualitative claim of the paper's Fig. 1: the conventional
+// cloud-centric architecture suffers "large delays" for real-time IoT
+// feedback, while processing near the source (IFoT / PO3) does not.
+//
+// Two fabrics run the same sensing->predict->actuate application:
+//  * local  — the paper's topology: broker/train/predict on LAN modules;
+//  * cloud  — broker, train and predict run on a remote server behind a
+//             WAN link (25 ms one-way, uplink-constrained); the actuator
+//             stays at home, so the feedback command crosses the WAN
+//             back — the "real-time feedback" round trip of Fig. 1.
+// The cloud server CPU is 16x a Raspberry Pi (it is a datacenter box) —
+// the delay gap is a *network* effect, which is exactly Fig. 1's point.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/middleware.hpp"
+#include "mgmt/report.hpp"
+
+namespace {
+
+using namespace ifot;
+
+struct Outcome {
+  double avg_ms = 0;
+  double max_ms = 0;
+  std::size_t n = 0;
+};
+
+std::string recipe_text(double rate_hz, const std::string& pin_train,
+                        const std::string& pin_predict) {
+  std::string r = "recipe fig1\n";
+  for (const char* s : {"a", "b", "c"}) {
+    r += std::string("node sense_") + s + " : sensor { sensor = \"sensor_" +
+         s + "\", model = \"activity\", rate_hz = " + std::to_string(rate_hz) +
+         " }\n";
+  }
+  r += "node train : train { algorithm = \"arow\", publish_every = 16, pin = \"" +
+       pin_train + "\" }\n";
+  r += "node predictor : predict { pin = \"" + pin_predict + "\" }\n";
+  r += "node act : actuator { actuator = \"display\" }\n";
+  for (const char* s : {"a", "b", "c"}) {
+    r += std::string("edge sense_") + s + " -> train\n";
+    r += std::string("edge sense_") + s + " -> predictor\n";
+  }
+  r += "edge train -> predictor\nedge predictor -> act\n";
+  return r;
+}
+
+Outcome run(bool cloud, double rate_hz) {
+  core::MiddlewareConfig cfg;
+  cfg.seed = 11;
+  core::Middleware mw(cfg);
+  mw.add_module({.name = "module_a", .sensors = {"sensor_a"}});
+  mw.add_module({.name = "module_b", .sensors = {"sensor_b"}});
+  mw.add_module({.name = "module_c", .sensors = {"sensor_c"}});
+  std::string pin;
+  if (cloud) {
+    net::WanConfig wan;  // defaults: 25 ms propagation, 10 Mbit/s
+    mw.add_remote_module(
+        {.name = "cloud", .cpu_factor = 16.0, .broker = true}, wan);
+    // The display stays in the home: the actuation crosses the WAN back.
+    mw.add_module({.name = "module_f", .actuators = {"display"}});
+    pin = "cloud";
+  } else {
+    // The paper's placement: broker on D, Learning on E, Judging on F.
+    mw.add_module({.name = "module_d", .broker = true, .accept_tasks = false});
+    mw.add_module({.name = "module_e"});
+    mw.add_module({.name = "module_f", .actuators = {"display"}});
+    pin = "local";
+  }
+  if (auto s = mw.start(); !s) {
+    std::fprintf(stderr, "start: %s\n", s.error().to_string().c_str());
+    return {};
+  }
+  const std::string text =
+      pin == "cloud" ? recipe_text(rate_hz, "cloud", "cloud")
+                     : recipe_text(rate_hz, "module_e", "module_f");
+  auto id = mw.deploy(text, "load_aware");
+  if (!id) {
+    std::fprintf(stderr, "deploy: %s\n", id.error().to_string().c_str());
+    return {};
+  }
+  LatencyRecorder lat;
+  mw.set_completion_hook([&](const recipe::Task& t, const device::Sample& s,
+                             SimTime now) {
+    if (t.name == "act") lat.record(now - s.sensed_at);
+  });
+  mw.start_flows();
+  mw.run_for(20 * kSecond);
+  mw.stop_flows();
+  return {lat.avg_ms(), lat.max_ms(), lat.count()};
+}
+
+void BM_Fig1(benchmark::State& state) {
+  const bool cloud = state.range(0) == 1;
+  const double rate = static_cast<double>(state.range(1));
+  Outcome o;
+  for (auto _ : state) {
+    o = run(cloud, rate);
+  }
+  state.counters["rate_hz"] = rate;
+  state.counters["avg_ms"] = o.avg_ms;
+  state.counters["max_ms"] = o.max_ms;
+  state.SetLabel(cloud ? "cloud-centric" : "local (IFoT)");
+}
+BENCHMARK(BM_Fig1)
+    ->ArgsProduct({{0, 1}, {5, 10, 20}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  mgmt::Table t({"rate (Hz)", "local avg (ms)", "cloud avg (ms)",
+                 "cloud/local", "local max (ms)", "cloud max (ms)"});
+  for (double rate : {5.0, 10.0, 20.0}) {
+    const Outcome local = run(false, rate);
+    const Outcome cloud = run(true, rate);
+    t.add_row({mgmt::Table::num(rate, 0), mgmt::Table::num(local.avg_ms),
+               mgmt::Table::num(cloud.avg_ms),
+               mgmt::Table::num(local.avg_ms > 0
+                                    ? cloud.avg_ms / local.avg_ms
+                                    : 0, 2),
+               mgmt::Table::num(local.max_ms),
+               mgmt::Table::num(cloud.max_ms)});
+  }
+  mgmt::maybe_write_csv("fig1_cloud_vs_local", t);
+  std::printf(
+      "Fig. 1 reproduction: sensing->feedback (actuation) delay, local vs "
+      "cloud-centric\n%s\n",
+      t.to_string().c_str());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

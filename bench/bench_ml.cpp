@@ -1,0 +1,217 @@
+// Substrate micro-benchmarks: online-learning throughput (the flow-
+// analysis function, paper §IV-C.2). Bounds how many samples per second
+// one neuron module's Learning/Judging classes could sustain, and costs
+// the Jubatus-style MIX operation against the number of shard models —
+// the MIX-interval ablation from DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "mgmt/report.hpp"
+#include "ml/anomaly.hpp"
+#include "ml/evaluation.hpp"
+#include "ml/classifier.hpp"
+#include "ml/cluster.hpp"
+#include "ml/mix.hpp"
+#include "ml/model_io.hpp"
+#include "ml/regression.hpp"
+
+namespace {
+
+using namespace ifot;
+using namespace ifot::ml;
+
+std::vector<std::pair<FeatureVector, std::string>> labelled_stream(int n,
+                                                                   int dims) {
+  Rng rng(1234);
+  std::vector<std::pair<FeatureVector, std::string>> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    FeatureVector fv;
+    double sum = 0;
+    for (int d = 0; d < dims; ++d) {
+      const double v = rng.uniform(-1, 1);
+      fv.set(static_cast<FeatureId>(d), v);
+      sum += v;
+    }
+    out.emplace_back(std::move(fv), sum > 0 ? "pos" : "neg");
+  }
+  return out;
+}
+
+void BM_ClassifierTrain(benchmark::State& state, const char* algo) {
+  const auto stream = labelled_stream(4096, static_cast<int>(state.range(0)));
+  auto clf = make_classifier(algo);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [fv, label] = stream[i++ % stream.size()];
+    clf->train(fv, label);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["dims"] = static_cast<double>(state.range(0));
+}
+BENCHMARK_CAPTURE(BM_ClassifierTrain, perceptron, "perceptron")->Arg(3)->Arg(32);
+BENCHMARK_CAPTURE(BM_ClassifierTrain, pa1, "pa1")->Arg(3)->Arg(32);
+BENCHMARK_CAPTURE(BM_ClassifierTrain, cw, "cw")->Arg(3)->Arg(32);
+BENCHMARK_CAPTURE(BM_ClassifierTrain, arow, "arow")->Arg(3)->Arg(32);
+
+void BM_ClassifierPredict(benchmark::State& state, const char* algo) {
+  const auto stream = labelled_stream(4096, static_cast<int>(state.range(0)));
+  auto clf = make_classifier(algo);
+  for (const auto& [fv, label] : stream) clf->train(fv, label);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clf->classify(stream[i++ % stream.size()].first));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK_CAPTURE(BM_ClassifierPredict, pa1, "pa1")->Arg(3)->Arg(32);
+BENCHMARK_CAPTURE(BM_ClassifierPredict, arow, "arow")->Arg(3)->Arg(32);
+
+void BM_RegressionTrain(benchmark::State& state) {
+  Rng rng(5);
+  PaRegression reg;
+  FeatureVector fv;
+  for (auto _ : state) {
+    fv.clear();
+    const double x = rng.uniform(-1, 1);
+    const double y = rng.uniform(-1, 1);
+    fv.set(0, x);
+    fv.set(1, y);
+    reg.train(fv, 2 * x - y);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegressionTrain);
+
+void BM_ZScoreAdd(benchmark::State& state) {
+  Rng rng(6);
+  ZScoreDetector det(10);
+  FeatureVector fv;
+  for (auto _ : state) {
+    fv.clear();
+    for (int d = 0; d < 3; ++d) {
+      fv.set(static_cast<FeatureId>(d), rng.normal(0, 1));
+    }
+    benchmark::DoNotOptimize(det.add(fv));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ZScoreAdd);
+
+void BM_LofAdd(benchmark::State& state) {
+  Rng rng(7);
+  LofDetector det(10, static_cast<std::size_t>(state.range(0)));
+  FeatureVector fv;
+  for (auto _ : state) {
+    fv.clear();
+    fv.set(0, rng.normal(0, 1));
+    fv.set(1, rng.normal(0, 1));
+    benchmark::DoNotOptimize(det.add(fv));
+  }
+  state.counters["window"] = static_cast<double>(state.range(0));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LofAdd)->Arg(64)->Arg(256);
+
+void BM_KMeansAdd(benchmark::State& state) {
+  Rng rng(8);
+  SequentialKMeans km(static_cast<std::size_t>(state.range(0)));
+  FeatureVector fv;
+  for (auto _ : state) {
+    fv.clear();
+    fv.set(0, rng.normal(0, 5));
+    fv.set(1, rng.normal(0, 5));
+    benchmark::DoNotOptimize(km.add(fv));
+  }
+  state.counters["k"] = static_cast<double>(state.range(0));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KMeansAdd)->Arg(4)->Arg(16);
+
+/// MIX cost against the number of shard models (the paper's
+/// parallelization path multiplies models that must be fused).
+void BM_MixModels(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  std::vector<LinearModel> models;
+  const auto stream = labelled_stream(2000, 8);
+  for (int s = 0; s < shards; ++s) {
+    Arow clf;
+    for (std::size_t i = static_cast<std::size_t>(s); i < stream.size();
+         i += static_cast<std::size_t>(shards)) {
+      clf.train(stream[i].first, stream[i].second);
+    }
+    models.push_back(clf.model());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mix_models(models));
+  }
+  state.counters["shards"] = shards;
+}
+BENCHMARK(BM_MixModels)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ModelCodecRoundTrip(benchmark::State& state) {
+  Arow clf;
+  const auto stream = labelled_stream(2000, static_cast<int>(state.range(0)));
+  for (const auto& [fv, label] : stream) clf.train(fv, label);
+  for (auto _ : state) {
+    const Bytes wire = ModelCodec::encode(clf.model());
+    auto decoded = ModelCodec::decode_linear(BytesView(wire));
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.counters["dims"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ModelCodecRoundTrip)->Arg(8)->Arg(64);
+
+/// Accuracy comparison across the Jubatus algorithm families on a noisy
+/// 4-class problem (quadrant of a 2-D point, 5% label noise) - the
+/// flow-analysis quality context behind the throughput numbers below.
+void print_accuracy_comparison() {
+  Rng rng(2024);
+  std::vector<std::pair<FeatureVector, std::string>> train_set;
+  std::vector<std::pair<FeatureVector, std::string>> test_set;
+  auto quadrant = [](double x, double y) -> std::string {
+    if (x >= 0) return y >= 0 ? "q1" : "q4";
+    return y >= 0 ? "q2" : "q3";
+  };
+  for (int i = 0; i < 6000; ++i) {
+    const double x = rng.uniform(-1, 1);
+    const double y = rng.uniform(-1, 1);
+    if (std::abs(x) < 0.05 || std::abs(y) < 0.05) continue;
+    FeatureVector fv;
+    fv.set(0, x);
+    fv.set(1, y);
+    std::string label = quadrant(x, y);
+    auto& dst = train_set.size() < 4000 ? train_set : test_set;
+    if (&dst == &train_set && rng.chance(0.05)) {
+      label = quadrant(-x, -y);  // 5% label noise in training only
+    }
+    dst.emplace_back(std::move(fv), std::move(label));
+  }
+  ifot::mgmt::Table t({"algorithm", "accuracy", "macro recall"});
+  for (const char* algo : {"perceptron", "pa", "pa1", "pa2", "cw", "arow"}) {
+    auto clf = make_classifier(algo);
+    for (const auto& [fv, label] : train_set) clf->train(fv, label);
+    const auto result = evaluate(*clf, test_set);
+    t.add_row({algo, ifot::mgmt::Table::num(result.accuracy, 3),
+               ifot::mgmt::Table::num(result.matrix.macro_recall(), 3)});
+  }
+  ifot::mgmt::maybe_write_csv("ml_accuracy", t);
+  std::printf(
+      "Classifier accuracy, 4-class quadrant problem with 5%% training "
+      "label noise\n%s\n",
+      t.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  print_accuracy_comparison();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

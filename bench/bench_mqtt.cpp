@@ -1,0 +1,140 @@
+// Substrate micro-benchmarks: the MQTT codec, topic matching, the
+// subscription tree, and broker routing throughput. These bound how much
+// of the end-to-end latency budget the flow-distribution function can
+// consume (paper §IV-C.3).
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "mqtt/broker.hpp"
+#include "mqtt/packet.hpp"
+#include "mqtt/topic.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace ifot;
+using namespace ifot::mqtt;
+
+class NullSched final : public Scheduler {
+ public:
+  SimTime now() override { return 0; }
+  std::uint64_t call_after(SimDuration, std::function<void()>) override {
+    return ++next_;
+  }
+  void cancel(std::uint64_t) override {}
+
+ private:
+  std::uint64_t next_ = 0;
+};
+
+Publish sample_publish(std::size_t payload) {
+  Publish p;
+  p.topic = "ifot/paper_eval/sense_a";
+  p.payload.assign(payload, 0x42);
+  return p;
+}
+
+void BM_EncodePublish(benchmark::State& state) {
+  const Packet p{sample_publish(static_cast<std::size_t>(state.range(0)))};
+  for (auto _ : state) {
+    Bytes wire = encode(p);
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EncodePublish)->Arg(32)->Arg(256)->Arg(4096);
+
+void BM_DecodePublish(benchmark::State& state) {
+  const Bytes wire =
+      encode(Packet{sample_publish(static_cast<std::size_t>(state.range(0)))});
+  for (auto _ : state) {
+    auto p = decode(BytesView(wire));
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_DecodePublish)->Arg(32)->Arg(256)->Arg(4096);
+
+void BM_StreamDecoderChunked(benchmark::State& state) {
+  const Bytes wire = encode(Packet{sample_publish(256)});
+  for (auto _ : state) {
+    StreamDecoder dec;
+    for (std::size_t i = 0; i < wire.size(); i += 16) {
+      dec.feed(BytesView(wire).subspan(i, std::min<std::size_t>(16, wire.size() - i)));
+    }
+    auto p = dec.next();
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_StreamDecoderChunked);
+
+void BM_TopicMatch(benchmark::State& state) {
+  const std::string filter = "ifot/+/train/#";
+  const std::string topic = "ifot/paper_eval/train/model/3";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topic_matches(filter, topic));
+  }
+}
+BENCHMARK(BM_TopicMatch);
+
+void BM_TopicTreeMatch(benchmark::State& state) {
+  TopicTree<int, int> tree;
+  const int subs = static_cast<int>(state.range(0));
+  for (int i = 0; i < subs; ++i) {
+    tree.insert("ifot/app" + std::to_string(i % 16) + "/node" +
+                    std::to_string(i) + "/+",
+                i, 0);
+  }
+  tree.insert("ifot/app3/#", 1 << 20, 0);
+  std::vector<std::pair<int, int>> out;
+  for (auto _ : state) {
+    out.clear();
+    tree.match("ifot/app3/node3/7", out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["subscriptions"] = subs;
+}
+BENCHMARK(BM_TopicTreeMatch)->Arg(16)->Arg(256)->Arg(4096);
+
+/// Broker fan-out throughput: one publisher, N subscribers, QoS 0.
+void BM_BrokerFanOut(benchmark::State& state) {
+  NullSched sched;
+  Broker broker(sched);
+  const int subs = static_cast<int>(state.range(0));
+  std::uint64_t delivered = 0;
+  // Publisher link.
+  broker.on_link_open(1, [](const Bytes&) {}, [] {});
+  Connect c;
+  c.client_id = "pub";
+  broker.on_link_data(1, BytesView(encode(Packet{c})));
+  // Subscriber links.
+  for (int i = 0; i < subs; ++i) {
+    const LinkId link = static_cast<LinkId>(100 + i);
+    broker.on_link_open(
+        link, [&delivered](const Bytes&) { ++delivered; }, [] {});
+    Connect sc;
+    sc.client_id = "sub" + std::to_string(i);
+    broker.on_link_data(link, BytesView(encode(Packet{sc})));
+    Subscribe s;
+    s.packet_id = 1;
+    s.topics = {{"ifot/#", QoS::kAtMostOnce}};
+    broker.on_link_data(link, BytesView(encode(Packet{s})));
+  }
+  const Bytes pub = encode(Packet{sample_publish(64)});
+  for (auto _ : state) {
+    broker.on_link_data(1, BytesView(pub));
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.counters["fanout"] = subs;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          subs);
+}
+BENCHMARK(BM_BrokerFanOut)->Arg(1)->Arg(8)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

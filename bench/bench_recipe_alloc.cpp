@@ -1,0 +1,137 @@
+// Reproduces the application-build process of the paper's Fig. 6 as a
+// measurable pipeline: Step 1 (recipe submission/parsing), Step 2 (recipe
+// split + task assignment). Benchmarks each stage's cost against recipe
+// size, and compares the three allocation strategies' placement quality
+// on the paper topology (the ablation called out in DESIGN.md).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "alloc/allocator.hpp"
+#include "mgmt/report.hpp"
+#include "recipe/parser.hpp"
+#include "recipe/split.hpp"
+
+namespace {
+
+using namespace ifot;
+
+/// Generates a recipe with `sensors` sources feeding a diamond of
+/// operators into one actuator (size scales linearly with `sensors`).
+std::string synthetic_recipe(int sensors) {
+  std::string r = "recipe synth\n";
+  for (int i = 0; i < sensors; ++i) {
+    r += "node s" + std::to_string(i) +
+         " : sensor { sensor = \"dev" + std::to_string(i) +
+         "\", rate_hz = 10 }\n";
+    r += "node w" + std::to_string(i) + " : window { size = 4 }\n";
+    r += "node f" + std::to_string(i) +
+         " : filter { field = \"value\", op = \"gt\", value = 0 }\n";
+  }
+  r += "node m : merge\nnode t : train { algorithm = \"arow\" }\n";
+  r += "node a : actuator { actuator = \"out\" }\n";
+  for (int i = 0; i < sensors; ++i) {
+    const std::string si = std::to_string(i);
+    r += "edge s" + si + " -> w" + si + " -> f" + si + " -> m\n";
+    r += "edge s" + si + " -> t\n";
+  }
+  r += "edge m -> a\n";
+  return r;
+}
+
+std::vector<alloc::ModuleInfo> fabric(int modules, int sensors) {
+  std::vector<alloc::ModuleInfo> mods(static_cast<std::size_t>(modules));
+  for (int i = 0; i < modules; ++i) {
+    auto& m = mods[static_cast<std::size_t>(i)];
+    m.id = NodeId{static_cast<NodeId::value_type>(i)};
+    m.name = "m" + std::to_string(i);
+    m.cpu_factor = i % 3 == 0 ? 2.0 : 1.0;  // heterogeneous
+  }
+  for (int i = 0; i < sensors; ++i) {
+    mods[static_cast<std::size_t>(i % modules)].sensors.insert(
+        "dev" + std::to_string(i));
+  }
+  mods.back().actuators.insert("out");
+  return mods;
+}
+
+void BM_RecipeParse(benchmark::State& state) {
+  const std::string text = synthetic_recipe(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = recipe::parse(text);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["nodes"] =
+      static_cast<double>(recipe::parse(text).value().nodes.size());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RecipeParse)->RangeMultiplier(4)->Range(1, 64)->Complexity();
+
+void BM_RecipeSplit(benchmark::State& state) {
+  const auto parsed =
+      recipe::parse(synthetic_recipe(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto g = recipe::split_recipe(parsed.value());
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RecipeSplit)->RangeMultiplier(4)->Range(1, 64)->Complexity();
+
+void BM_Allocate(benchmark::State& state, const char* strategy) {
+  const int sensors = static_cast<int>(state.range(0));
+  const auto parsed = recipe::parse(synthetic_recipe(sensors));
+  const auto graph = recipe::split_recipe(parsed.value()).value();
+  const auto mods = fabric(6, sensors);
+  auto allocator = alloc::make_allocator(strategy);
+  for (auto _ : state) {
+    auto p = allocator->allocate(graph, mods);
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["tasks"] = static_cast<double>(graph.tasks.size());
+}
+BENCHMARK_CAPTURE(BM_Allocate, round_robin, "round_robin")
+    ->RangeMultiplier(4)
+    ->Range(1, 64);
+BENCHMARK_CAPTURE(BM_Allocate, load_aware, "load_aware")
+    ->RangeMultiplier(4)
+    ->Range(1, 64);
+BENCHMARK_CAPTURE(BM_Allocate, heft, "heft")->RangeMultiplier(4)->Range(1, 64);
+
+void print_quality_ablation() {
+  mgmt::Table t({"allocator", "max load", "imbalance", "cross edges",
+                 "est. makespan"});
+  const auto parsed = recipe::parse(synthetic_recipe(12));
+  const auto graph = recipe::split_recipe(parsed.value()).value();
+  const auto mods = fabric(6, 12);
+  for (const char* name : {"round_robin", "load_aware", "heft"}) {
+    auto allocator = alloc::make_allocator(name);
+    auto p = allocator->allocate(graph, mods);
+    if (!p) {
+      std::fprintf(stderr, "%s failed: %s\n", name,
+                   p.error().to_string().c_str());
+      continue;
+    }
+    const auto m = alloc::evaluate_placement(graph, mods, p.value());
+    t.add_row({name, mgmt::Table::num(m.max_load, 2),
+               mgmt::Table::num(m.imbalance, 2),
+               std::to_string(m.cross_edges),
+               mgmt::Table::num(m.est_makespan, 2)});
+  }
+  mgmt::maybe_write_csv("alloc_quality", t);
+  std::printf(
+      "Task-assignment ablation (12-sensor recipe, 6 heterogeneous "
+      "modules)\n%s\n",
+      t.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  print_quality_ablation();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Regenerates the paper's TABLE II (experimental result, sensing ->
+// training): end-to-end delay from the sensing instant to completion of
+// the training process, for sensor generation rates 5/10/20/40/80 Hz on
+// the six-module topology of Fig. 7/9.
+//
+// Prints the reproduced table next to the paper's numbers, and exposes
+// each rate's avg/max as benchmark counters. The claim being reproduced
+// is the *shape*: flat tens-of-ms region through 10 Hz, knee between 20
+// and 40 Hz, saturation blow-up at 80 Hz.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "mgmt/paper_experiment.hpp"
+#include "mgmt/report.hpp"
+
+namespace {
+
+const ifot::mgmt::PaperExperimentResult& sweep() {
+  static const ifot::mgmt::PaperExperimentResult kResult = [] {
+    ifot::mgmt::PaperExperimentConfig cfg;  // defaults: paper rates, 6 s window
+    return ifot::mgmt::run_paper_experiment(cfg);
+  }();
+  return kResult;
+}
+
+void BM_SensingToTraining(benchmark::State& state) {
+  const auto& rr = sweep().rates[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rr.train.count());
+  }
+  state.counters["rate_hz"] = rr.rate_hz;
+  state.counters["avg_ms"] = rr.train.avg_ms();
+  state.counters["max_ms"] = rr.train.max_ms();
+  state.counters["p99_ms"] = rr.train.percentile_ms(99);
+  state.counters["train_util"] = rr.train_module_util;
+  state.SetLabel("sensing->training @" + std::to_string(rr.rate_hz) + "Hz");
+}
+BENCHMARK(BM_SensingToTraining)
+    ->DenseRange(0, 4)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  std::printf("%s\n",
+              ifot::mgmt::format_paper_table(sweep(), /*training=*/true)
+                  .c_str());
+  std::printf("%s\n\n", ifot::mgmt::shape_verdict(sweep()).c_str());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

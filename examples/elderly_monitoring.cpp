@@ -1,0 +1,97 @@
+// Elderly-monitoring application (paper §III-A.1).
+//
+// Wearable + ambient sensors stream labelled activity data; the fabric
+// trains an online activity classifier (Learning class), classifies live
+// samples (Judging class), and raises a bedside alarm when a fall is
+// detected — all on local modules, no cloud.
+//
+// This exercises: multi-sensor fan-in, train/predict model shipping over
+// MQTT, anomaly detection on a second path, and actuator integration.
+#include <cstdio>
+
+#include "core/middleware.hpp"
+
+namespace {
+
+constexpr const char* kRecipe = R"(
+recipe elderly_monitoring
+# Wearable accelerometer on the wrist, ambient motion sensor in the room.
+node wrist   : sensor { sensor = "wrist_accel", rate_hz = 20, model = "activity" }
+node room    : sensor { sensor = "room_motion", rate_hz = 10, model = "activity" }
+
+# Learning class: online AROW classifier over the labelled stream.
+node learner : train  { algorithm = "arow", publish_every = 16 }
+
+# Judging class: classify live samples with the latest shipped model.
+node judge   : predict { }
+
+# Keep only detected falls, then raise the alarm.
+node falls   : filter  { field = "confidence", op = "gt", value = 0.0 }
+node alarm   : actuator { actuator = "bedside_alarm" }
+
+# Secondary path: statistical anomaly detection on raw motion.
+node detect  : anomaly { algorithm = "zscore", threshold = 4.5, emit = "anomalies" }
+node notify  : actuator { actuator = "caregiver_pager" }
+
+edge wrist -> learner
+edge room  -> learner
+edge wrist -> judge
+edge room  -> judge
+edge learner -> judge
+edge judge -> falls -> alarm
+edge wrist -> detect -> notify
+)";
+
+}  // namespace
+
+int main() {
+  using namespace ifot;
+
+  core::Middleware mw;
+  mw.add_module({.name = "wearable_hub", .sensors = {"wrist_accel"}});
+  mw.add_module({.name = "room_node", .sensors = {"room_motion"}});
+  mw.add_module({.name = "home_gateway", .broker = true, .accept_tasks = false});
+  mw.add_module({.name = "compute_node"});
+  mw.add_module({.name = "bedside_node",
+                 .actuators = {"bedside_alarm", "caregiver_pager"}});
+
+  if (auto s = mw.start(); !s) {
+    std::fprintf(stderr, "start failed: %s\n", s.error().to_string().c_str());
+    return 1;
+  }
+  auto id = mw.deploy(kRecipe, "load_aware");
+  if (!id) {
+    std::fprintf(stderr, "deploy failed: %s\n",
+                 id.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s", mw.describe(mw.deployments().back()).c_str());
+
+  // Track classification outcomes and fall alarms.
+  std::size_t falls_predicted = 0;
+  std::size_t judged = 0;
+  LatencyRecorder judge_latency;
+  mw.set_completion_hook([&](const recipe::Task& task,
+                             const device::Sample& sample, SimTime now) {
+    if (task.name == "judge") {
+      ++judged;
+      judge_latency.record(now - sample.sensed_at);
+      if (sample.label == "falling") ++falls_predicted;
+    }
+  });
+
+  mw.start_flows();
+  mw.run_for(60 * kSecond);
+  mw.stop_flows();
+
+  auto* alarm = mw.module_by_name("bedside_node")->actuator("bedside_alarm");
+  auto* pager = mw.module_by_name("bedside_node")->actuator("caregiver_pager");
+  std::printf("\n60 s of monitoring (virtual time):\n");
+  std::printf("  samples judged:            %zu\n", judged);
+  std::printf("  falls predicted:           %zu\n", falls_predicted);
+  std::printf("  alarm actuations:          %zu\n", alarm->count());
+  std::printf("  anomaly pages:             %zu\n", pager->count());
+  std::printf("  sensing->judgement delay:  avg %.2f ms, max %.2f ms\n",
+              judge_latency.avg_ms(), judge_latency.max_ms());
+  return 0;
+}

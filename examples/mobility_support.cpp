@@ -1,0 +1,103 @@
+// Context-aware mobility support (paper §III-A.3).
+//
+// City-scale scenario: car-mounted and environmental sensors estimate the
+// crowdedness of points of interest. Person-flow streams are clustered
+// (sequential k-means) to discover crowd regimes, and a parallelized
+// train stage shows the "further parallelization / decentralization" the
+// paper names as the scaling path — shard tasks spread over worker
+// modules, with consumer-side MIX fusing their models.
+#include <cstdio>
+
+#include "core/middleware.hpp"
+
+namespace {
+
+constexpr const char* kRecipe = R"(
+recipe mobility_support
+node cam_flow : sensor { sensor = "car_camera", rate_hz = 12, model = "activity" }
+node ped_flow : sensor { sensor = "ped_counter", rate_hz = 12, model = "activity" }
+
+# Discover crowd regimes without labels.
+node regimes : cluster { k = 4 }
+
+# Learn PoI state from labelled samples, sharded 3 ways across workers.
+node crowd_model : train { algorithm = "cw", parallelism = 3, publish_every = 8 }
+
+# Judge live state with the mixed model; navigate users accordingly.
+node poi_state : predict { }
+node nav : actuator { actuator = "nav_display" }
+
+edge cam_flow -> regimes
+edge ped_flow -> regimes
+edge cam_flow -> crowd_model
+edge ped_flow -> crowd_model
+edge cam_flow -> poi_state
+edge crowd_model -> poi_state
+edge poi_state -> nav
+)";
+
+}  // namespace
+
+int main() {
+  using namespace ifot;
+
+  core::Middleware mw;
+  mw.add_module({.name = "car_unit", .sensors = {"car_camera"}});
+  mw.add_module({.name = "street_unit", .sensors = {"ped_counter"}});
+  mw.add_module({.name = "kiosk", .broker = true, .accept_tasks = false});
+  mw.add_module({.name = "worker_1"});
+  mw.add_module({.name = "worker_2"});
+  mw.add_module({.name = "worker_3"});
+  mw.add_module({.name = "signage", .actuators = {"nav_display"}});
+
+  if (auto s = mw.start(); !s) {
+    std::fprintf(stderr, "start failed: %s\n", s.error().to_string().c_str());
+    return 1;
+  }
+  auto id = mw.deploy(kRecipe, "load_aware");
+  if (!id) {
+    std::fprintf(stderr, "deploy failed: %s\n",
+                 id.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s", mw.describe(mw.deployments().back()).c_str());
+
+  std::size_t judged = 0;
+  LatencyRecorder latency;
+  mw.set_completion_hook([&](const recipe::Task& task,
+                             const device::Sample& sample, SimTime now) {
+    if (task.name == "poi_state") {
+      ++judged;
+      latency.record(now - sample.sensed_at);
+    }
+  });
+
+  mw.start_flows();
+  mw.run_for(60 * kSecond);
+  mw.stop_flows();
+
+  // How many distinct modules did the train shards land on?
+  const auto& d = mw.deployments().back();
+  std::size_t shard_modules = 0;
+  {
+    std::vector<NodeId> seen;
+    for (std::size_t ti = 0; ti < d.graph.tasks.size(); ++ti) {
+      if (d.graph.tasks[ti].name.rfind("crowd_model#", 0) == 0) {
+        const NodeId m = d.placement.task_module[ti];
+        bool dup = false;
+        for (NodeId s : seen) dup = dup || s == m;
+        if (!dup) seen.push_back(m);
+      }
+    }
+    shard_modules = seen.size();
+  }
+
+  auto* nav = mw.module_by_name("signage")->actuator("nav_display");
+  std::printf("\n60 s of city sensing (virtual time):\n");
+  std::printf("  PoI judgements:            %zu\n", judged);
+  std::printf("  nav display updates:       %zu\n", nav->count());
+  std::printf("  train shards spread over:  %zu modules\n", shard_modules);
+  std::printf("  sensing->judgement delay:  avg %.2f ms, max %.2f ms\n",
+              latency.avg_ms(), latency.max_ms());
+  return 0;
+}

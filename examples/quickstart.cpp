@@ -1,0 +1,69 @@
+// Quickstart: the smallest complete IFoT application.
+//
+// Three neuron modules on one wireless LAN: a sensor module reading a
+// temperature sensor, a broker module, and a worker module driving a fan.
+// The recipe filters hot readings and actuates the fan; the completion
+// hook prints the end-to-end sensing->actuation latency.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/middleware.hpp"
+
+namespace {
+
+constexpr const char* kRecipe = R"(
+recipe fan_control
+node temp : sensor   { sensor = "temp", rate_hz = 10, model = "random_walk" }
+node hot  : filter   { field = "value", op = "gt", value = 20.0 }
+node fan  : actuator { actuator = "fan" }
+edge temp -> hot -> fan
+)";
+
+}  // namespace
+
+int main() {
+  using namespace ifot;
+
+  // 1. Describe the fabric: which small computers exist and what hardware
+  //    hangs off each of them.
+  core::Middleware mw;
+  mw.add_module({.name = "kitchen_pi", .sensors = {"temp"}});
+  mw.add_module({.name = "hallway_pi", .broker = true, .accept_tasks = false});
+  mw.add_module({.name = "livingroom_pi", .actuators = {"fan"}});
+
+  // 2. Bring the fabric up (broker starts, clients connect).
+  if (auto s = mw.start(); !s) {
+    std::fprintf(stderr, "start failed: %s\n", s.error().to_string().c_str());
+    return 1;
+  }
+
+  // 3. Submit the recipe: the middleware splits it into tasks, assigns
+  //    them to modules, and instantiates the classes (paper Fig. 6).
+  auto id = mw.deploy(kRecipe);
+  if (!id) {
+    std::fprintf(stderr, "deploy failed: %s\n",
+                 id.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s", mw.describe(mw.deployments().back()).c_str());
+
+  // 4. Observe completions (sensing -> actuation latency).
+  LatencyRecorder latency;
+  mw.set_completion_hook([&](const recipe::Task& task,
+                             const device::Sample& sample, SimTime now) {
+    if (task.name == "fan") latency.record(now - sample.sensed_at);
+  });
+
+  // 5. Run 30 seconds of virtual time.
+  mw.start_flows();
+  mw.run_for(30 * kSecond);
+  mw.stop_flows();
+
+  auto* fan = mw.module_by_name("livingroom_pi")->actuator("fan");
+  std::printf("\nfan actuated %zu times in 30 s\n", fan->count());
+  std::printf("sensing -> actuation latency: avg %.2f ms, p99 %.2f ms, max %.2f ms\n",
+              latency.avg_ms(), latency.percentile_ms(99), latency.max_ms());
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Smart-factory capstone: one fabric exercising every capability built on
+// top of the paper's prototype.
+//
+//  * two brokers with explicit flow assignment (decentralization);
+//  * a sharded, learner-side-MIXed Learning stage over worker modules;
+//  * event-time windows and anomaly detection on machine telemetry;
+//  * load shedding bounding latency on an undersized module;
+//  * flow discovery + a second application tapping the first one's
+//    output stream;
+//  * a crashed worker self-healing through the FailoverManager.
+#include <cstdio>
+
+#include "core/middleware.hpp"
+#include "mgmt/failover_manager.hpp"
+#include "mgmt/flow_directory.hpp"
+#include "mgmt/status_board.hpp"
+
+namespace {
+
+constexpr const char* kProductionLine = R"(
+recipe production_line
+# Machine telemetry: vibration (fast) and temperature (slow).
+node vibration : sensor { sensor = "vibration", rate_hz = 40, model = "activity", broker = 0 }
+node temp      : sensor { sensor = "temp", rate_hz = 5, model = "random_walk", broker = 1 }
+
+# Condition monitoring: event-time windows + statistical anomaly flags.
+node temp_1s   : window { span_ms = 1000, aggregate = "mean" }
+node overheat  : anomaly { algorithm = "zscore", threshold = 4.0, emit = "anomalies" }
+
+# Condition classification: sharded online learner with learner-side MIX.
+node condition : train { algorithm = "arow", parallelism = 2, mix = true, publish_every = 8 }
+node judge     : predict { }
+
+node siren     : actuator { actuator = "siren" }
+node display   : actuator { actuator = "panel" }
+
+edge temp -> temp_1s -> overheat -> siren
+edge vibration -> condition
+edge vibration -> judge
+edge condition -> judge
+edge judge -> display
+)";
+
+}  // namespace
+
+int main() {
+  using namespace ifot;
+
+  core::MiddlewareConfig cfg;
+  cfg.keep_alive_s = 2;                    // fast failure detection
+  cfg.max_backlog = from_millis(250);      // bounded latency under overload
+  core::Middleware mw(cfg);
+  mw.add_module({.name = "machine_1", .sensors = {"vibration"}});
+  mw.add_module({.name = "machine_2", .sensors = {"temp"}});
+  const NodeId broker_a = mw.add_module(
+      {.name = "cell_broker_a", .broker = true, .accept_tasks = false});
+  mw.add_module({.name = "cell_broker_b", .broker = true,
+                 .accept_tasks = false});
+  const NodeId worker_1 = mw.add_module({.name = "worker_1"});
+  mw.add_module({.name = "worker_2"});
+  mw.add_module({.name = "panel_node", .actuators = {"panel", "siren"}});
+
+  if (auto s = mw.start(); !s) {
+    std::fprintf(stderr, "start failed: %s\n", s.error().to_string().c_str());
+    return 1;
+  }
+
+  // Management plane: discovery + automatic failover.
+  mgmt::FlowDirectory directory;
+  (void)directory.attach(mw, broker_a);
+  mgmt::FailoverManager failover;
+  (void)failover.attach(mw, broker_a);
+
+  if (auto d = mw.deploy(kProductionLine, "heft"); !d) {
+    std::fprintf(stderr, "deploy failed: %s\n",
+                 d.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s\n", mgmt::placement_board(mw).c_str());
+
+  mw.start_flows();
+  mw.run_for(20 * kSecond);
+  std::printf("%s\n", directory.to_string().c_str());
+
+  // A second team discovers the judged condition stream and taps it for
+  // their own logging application - no coordination with the first team.
+  const std::string judged_topic = directory.topic_of("production_line/judge");
+  const std::string audit =
+      "recipe audit\n"
+      "node feed : tap { topic = \"" + judged_topic + "\" }\n"
+      "node anomalies_only : filter { field = \"confidence\", op = \"gt\", value = 0.0 }\n"
+      "node log : actuator { actuator = \"panel\" }\n"
+      "edge feed -> anomalies_only -> log\n";
+  if (auto d = mw.deploy(audit); !d) {
+    std::fprintf(stderr, "audit deploy failed: %s\n",
+                 d.error().to_string().c_str());
+    return 1;
+  }
+  mw.run_for(10 * kSecond);
+
+  // A worker dies mid-shift; the fabric heals itself.
+  std::printf("injecting crash into worker_1...\n");
+  mw.module(worker_1).fail();
+  mw.run_for(15 * kSecond);
+  std::printf("automatic failovers completed: %zu\n\n",
+              failover.failovers());
+
+  mw.run_for(15 * kSecond);
+  mw.stop_flows();
+
+  std::printf("%s\n", mgmt::fabric_status(mw).c_str());
+  auto* siren = mw.module_by_name("panel_node")->actuator("siren");
+  auto* panel = mw.module_by_name("panel_node")->actuator("panel");
+  std::printf("siren raised %zu times; panel updated %zu times\n",
+              siren->count(), panel->count());
+  std::printf("load shed on worker modules: %llu samples\n",
+              static_cast<unsigned long long>(
+                  mw.module_by_name("worker_1")->counters().get("load_shed") +
+                  mw.module_by_name("worker_2")->counters().get("load_shed")));
+  return 0;
+}

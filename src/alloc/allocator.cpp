@@ -1,0 +1,250 @@
+#include "alloc/allocator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ifot::alloc {
+namespace {
+
+/// Returns the modules allowed to run `task` (device constraints plus the
+/// optional explicit `pin = "<module>"` parameter, which mirrors the
+/// paper's management software placing classes on chosen modules), or all
+/// modules when unconstrained. Empty result = unsatisfiable.
+std::vector<std::size_t> candidates(const recipe::TaskGraph& graph,
+                                    const recipe::Task& task,
+                                    const std::vector<ModuleInfo>& modules) {
+  const auto& node = graph.recipe.nodes[task.recipe_node];
+  std::vector<std::size_t> out;
+  if (node.has("pin")) {
+    const std::string target = node.str("pin", "");
+    for (std::size_t i = 0; i < modules.size(); ++i) {
+      if (modules[i].name == target) out.push_back(i);
+    }
+    return out;
+  }
+  if (node.type == "sensor") {
+    const std::string device = node.str("sensor", node.name);
+    for (std::size_t i = 0; i < modules.size(); ++i) {
+      if (modules[i].sensors.count(device) != 0) out.push_back(i);
+    }
+  } else if (node.type == "actuator") {
+    const std::string device = node.str("actuator", node.name);
+    for (std::size_t i = 0; i < modules.size(); ++i) {
+      if (modules[i].actuators.count(device) != 0) out.push_back(i);
+    }
+  } else {
+    out.resize(modules.size());
+    for (std::size_t i = 0; i < modules.size(); ++i) out[i] = i;
+  }
+  return out;
+}
+
+Error unsatisfiable(const recipe::TaskGraph& graph,
+                    const recipe::Task& task) {
+  const auto& node = graph.recipe.nodes[task.recipe_node];
+  if (node.has("pin")) {
+    return Err(Errc::kNotFound, "task '" + task.name +
+                                    "' is pinned to unknown module '" +
+                                    node.str("pin", "") + "'");
+  }
+  return Err(Errc::kNotFound,
+             "no module can host " + node.type + " task '" + task.name +
+                 "' (device '" +
+                 node.str(node.type == "sensor" ? "sensor" : "actuator",
+                          node.name) +
+                 "' not attached anywhere)");
+}
+
+}  // namespace
+
+Result<Placement> RoundRobinAllocator::allocate(
+    const recipe::TaskGraph& graph, const std::vector<ModuleInfo>& modules) {
+  if (modules.empty()) return Err(Errc::kInvalidArgument, "no modules");
+  Placement p;
+  p.task_module.resize(graph.tasks.size());
+  std::size_t cursor = 0;
+  for (std::size_t ti = 0; ti < graph.tasks.size(); ++ti) {
+    const auto cand = candidates(graph, graph.tasks[ti], modules);
+    if (cand.empty()) return unsatisfiable(graph, graph.tasks[ti]);
+    // Pick the next candidate at or after the cursor (cyclic).
+    std::size_t chosen = cand[0];
+    for (std::size_t c : cand) {
+      if (c >= cursor % modules.size()) {
+        chosen = c;
+        break;
+      }
+    }
+    p.task_module[ti] = modules[chosen].id;
+    cursor = chosen + 1;
+  }
+  return p;
+}
+
+Result<Placement> LoadAwareAllocator::allocate(
+    const recipe::TaskGraph& graph, const std::vector<ModuleInfo>& modules) {
+  if (modules.empty()) return Err(Errc::kInvalidArgument, "no modules");
+  Placement p;
+  p.task_module.resize(graph.tasks.size());
+  std::vector<double> load(modules.size());
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    load[i] = modules[i].existing_load;
+  }
+  // Place heavy tasks first so the greedy fill balances well.
+  std::vector<std::size_t> order(graph.tasks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return graph.tasks[a].cost_weight > graph.tasks[b].cost_weight;
+  });
+  for (std::size_t ti : order) {
+    const auto cand = candidates(graph, graph.tasks[ti], modules);
+    if (cand.empty()) return unsatisfiable(graph, graph.tasks[ti]);
+    std::size_t best = cand[0];
+    double best_load = HUGE_VAL;
+    for (std::size_t c : cand) {
+      const double projected =
+          (load[c] + graph.tasks[ti].cost_weight) / modules[c].cpu_factor;
+      if (projected < best_load) {
+        best_load = projected;
+        best = c;
+      }
+    }
+    load[best] += graph.tasks[ti].cost_weight;
+    p.task_module[ti] = modules[best].id;
+  }
+  return p;
+}
+
+Result<Placement> HeftAllocator::allocate(
+    const recipe::TaskGraph& graph, const std::vector<ModuleInfo>& modules) {
+  if (modules.empty()) return Err(Errc::kInvalidArgument, "no modules");
+  const std::size_t n = graph.tasks.size();
+
+  // Upward rank: longest path (cost + comm) from task to any sink.
+  std::vector<std::vector<std::size_t>> downstream(n);
+  for (std::size_t ti = 0; ti < n; ++ti) {
+    for (TaskId up : graph.tasks[ti].upstream) {
+      downstream[up.value()].push_back(ti);
+    }
+  }
+  std::vector<double> rank(n, -1);
+  // Tasks are created in topological order by split_recipe, so a reverse
+  // sweep computes ranks in one pass.
+  for (std::size_t i = n; i-- > 0;) {
+    double best = 0;
+    for (std::size_t d : downstream[i]) {
+      assert(rank[d] >= 0);
+      best = std::max(best, comm_cost_ + rank[d]);
+    }
+    rank[i] = graph.tasks[i].cost_weight + best;
+  }
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (rank[a] != rank[b]) return rank[a] > rank[b];
+    return a < b;  // deterministic tiebreak
+  });
+
+  Placement p;
+  p.task_module.resize(n);
+  std::vector<double> module_ready(modules.size());
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    module_ready[i] = modules[i].existing_load / modules[i].cpu_factor;
+  }
+  std::vector<double> finish(n, 0);
+  std::vector<std::size_t> placed_on(n, SIZE_MAX);
+
+  for (std::size_t ti : order) {
+    const auto cand = candidates(graph, graph.tasks[ti], modules);
+    if (cand.empty()) return unsatisfiable(graph, graph.tasks[ti]);
+    std::size_t best = cand[0];
+    double best_finish = HUGE_VAL;
+    for (std::size_t c : cand) {
+      double ready = module_ready[c];
+      for (TaskId up : graph.tasks[ti].upstream) {
+        const std::size_t ui = up.value();
+        // HEFT processes tasks in rank order, which on stream DAGs is a
+        // valid topological order, so upstream tasks are already placed.
+        assert(placed_on[ui] != SIZE_MAX);
+        const double arrival =
+            finish[ui] + (placed_on[ui] == c ? 0.0 : comm_cost_);
+        ready = std::max(ready, arrival);
+      }
+      const double f =
+          ready + graph.tasks[ti].cost_weight / modules[c].cpu_factor;
+      if (f < best_finish) {
+        best_finish = f;
+        best = c;
+      }
+    }
+    placed_on[ti] = best;
+    finish[ti] = best_finish;
+    module_ready[best] = best_finish;
+    p.task_module[ti] = modules[best].id;
+  }
+  return p;
+}
+
+std::unique_ptr<Allocator> make_allocator(const std::string& name) {
+  if (name == "round_robin") return std::make_unique<RoundRobinAllocator>();
+  if (name == "load_aware") return std::make_unique<LoadAwareAllocator>();
+  if (name == "heft") return std::make_unique<HeftAllocator>();
+  return nullptr;
+}
+
+PlacementMetrics evaluate_placement(const recipe::TaskGraph& graph,
+                                    const std::vector<ModuleInfo>& modules,
+                                    const Placement& placement,
+                                    double comm_cost) {
+  PlacementMetrics m;
+  std::vector<double> load(modules.size());
+  auto module_index = [&](NodeId id) {
+    for (std::size_t i = 0; i < modules.size(); ++i) {
+      if (modules[i].id == id) return i;
+    }
+    return SIZE_MAX;
+  };
+  for (std::size_t ti = 0; ti < graph.tasks.size(); ++ti) {
+    const std::size_t mi = module_index(placement.task_module[ti]);
+    assert(mi != SIZE_MAX);
+    load[mi] += graph.tasks[ti].cost_weight / modules[mi].cpu_factor;
+  }
+  double total = 0;
+  for (double l : load) {
+    m.max_load = std::max(m.max_load, l);
+    total += l;
+  }
+  const double mean = total / static_cast<double>(modules.size());
+  m.imbalance = mean > 0 ? m.max_load / mean : 1.0;
+
+  for (std::size_t ti = 0; ti < graph.tasks.size(); ++ti) {
+    for (TaskId up : graph.tasks[ti].upstream) {
+      if (placement.task_module[ti] !=
+          placement.task_module[up.value()]) {
+        ++m.cross_edges;
+      }
+    }
+  }
+
+  // Critical-path estimate with per-task finish times (list order).
+  std::vector<double> finish(graph.tasks.size(), 0);
+  std::vector<double> module_ready(modules.size(), 0);
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    module_ready[i] = modules[i].existing_load / modules[i].cpu_factor;
+  }
+  for (std::size_t ti = 0; ti < graph.tasks.size(); ++ti) {
+    const std::size_t mi = module_index(placement.task_module[ti]);
+    double ready = module_ready[mi];
+    for (TaskId up : graph.tasks[ti].upstream) {
+      const std::size_t umi = module_index(placement.task_module[up.value()]);
+      ready = std::max(ready,
+                       finish[up.value()] + (umi == mi ? 0.0 : comm_cost));
+    }
+    finish[ti] = ready + graph.tasks[ti].cost_weight / modules[mi].cpu_factor;
+    module_ready[mi] = finish[ti];
+    m.est_makespan = std::max(m.est_makespan, finish[ti]);
+  }
+  return m;
+}
+
+}  // namespace ifot::alloc

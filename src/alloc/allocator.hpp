@@ -1,0 +1,108 @@
+// The Task assignment class (paper §IV-C.1): distributes the tasks
+// produced by recipe splitting across IFoT neuron modules "depending on
+// the processing capability" of each node.
+//
+// Hard constraints: a sensor task must run on a module that hosts that
+// sensor; an actuator task on a module hosting that actuator. Strategies
+// differ in how the remaining tasks are placed:
+//  * RoundRobin  — cyclic placement (the baseline the prototype used);
+//  * LoadAware   — least-loaded by accumulated cost / cpu factor;
+//  * Heft        — HEFT-style list scheduling minimizing estimated finish
+//                  time, accounting for inter-module flow hops.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "recipe/split.hpp"
+
+namespace ifot::alloc {
+
+/// Capabilities and capacity of one IFoT neuron module as seen by the
+/// allocator.
+struct ModuleInfo {
+  NodeId id;
+  std::string name;
+  /// Relative CPU speed; 1.0 = one Raspberry Pi 2 core.
+  double cpu_factor = 1.0;
+  /// Cost weight already running on the module (from earlier recipes).
+  double existing_load = 0.0;
+  /// Names of sensors physically attached to the module.
+  std::set<std::string> sensors;
+  /// Names of actuators physically attached to the module.
+  std::set<std::string> actuators;
+};
+
+/// A placement: task index -> module (parallel to TaskGraph::tasks).
+struct Placement {
+  std::vector<NodeId> task_module;
+
+  [[nodiscard]] NodeId module_of(TaskId task) const {
+    return task_module[task.value()];
+  }
+};
+
+/// Summary metrics of a placement (used by benches and tests).
+struct PlacementMetrics {
+  double max_load = 0;        ///< heaviest module load (cost/cpu_factor)
+  double imbalance = 0;       ///< max_load / mean_load (1.0 = perfect)
+  std::size_t cross_edges = 0;  ///< flow edges crossing modules
+  double est_makespan = 0;    ///< HEFT-style critical-path estimate
+};
+
+/// Strategy interface.
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Places every task. Fails when a sensor/actuator constraint cannot be
+  /// satisfied by any module.
+  virtual Result<Placement> allocate(const recipe::TaskGraph& graph,
+                                     const std::vector<ModuleInfo>& modules) = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+class RoundRobinAllocator final : public Allocator {
+ public:
+  Result<Placement> allocate(const recipe::TaskGraph& graph,
+                             const std::vector<ModuleInfo>& modules) override;
+  [[nodiscard]] const char* name() const override { return "round_robin"; }
+};
+
+class LoadAwareAllocator final : public Allocator {
+ public:
+  Result<Placement> allocate(const recipe::TaskGraph& graph,
+                             const std::vector<ModuleInfo>& modules) override;
+  [[nodiscard]] const char* name() const override { return "load_aware"; }
+};
+
+class HeftAllocator final : public Allocator {
+ public:
+  /// `comm_cost` is the estimated per-hop flow latency relative to one
+  /// unit of task cost on a 1.0-factor module.
+  explicit HeftAllocator(double comm_cost = 0.5) : comm_cost_(comm_cost) {}
+
+  Result<Placement> allocate(const recipe::TaskGraph& graph,
+                             const std::vector<ModuleInfo>& modules) override;
+  [[nodiscard]] const char* name() const override { return "heft"; }
+
+ private:
+  double comm_cost_;
+};
+
+/// Factory by name ("round_robin", "load_aware", "heft"); nullptr when
+/// unknown.
+std::unique_ptr<Allocator> make_allocator(const std::string& name);
+
+/// Computes placement quality metrics.
+PlacementMetrics evaluate_placement(const recipe::TaskGraph& graph,
+                                    const std::vector<ModuleInfo>& modules,
+                                    const Placement& placement,
+                                    double comm_cost = 0.5);
+
+}  // namespace ifot::alloc

@@ -1,0 +1,142 @@
+#include "common/bytes.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace ifot {
+
+void BinaryWriter::u8(std::uint8_t v) { out_.push_back(v); }
+
+void BinaryWriter::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  out_.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void BinaryWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v >> 16));
+  u16(static_cast<std::uint16_t>(v & 0xFFFF));
+}
+
+void BinaryWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v & 0xFFFFFFFF));
+}
+
+void BinaryWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void BinaryWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void BinaryWriter::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    out_.push_back(static_cast<std::uint8_t>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void BinaryWriter::str16(std::string_view s) {
+  u16(static_cast<std::uint16_t>(s.size()));
+  raw(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void BinaryWriter::str(std::string_view s) {
+  varint(s.size());
+  raw(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void BinaryWriter::raw(BytesView bytes) {
+  out_.insert(out_.end(), bytes.begin(), bytes.end());
+}
+
+Status BinaryReader::need(std::size_t n) {
+  if (remaining() < n) {
+    return Err(Errc::kParse, "unexpected end of buffer");
+  }
+  return {};
+}
+
+Result<std::uint8_t> BinaryReader::u8() {
+  if (auto s = need(1); !s) return s.error();
+  return data_[pos_++];
+}
+
+Result<std::uint16_t> BinaryReader::u16() {
+  if (auto s = need(2); !s) return s.error();
+  auto hi = data_[pos_];
+  auto lo = data_[pos_ + 1];
+  pos_ += 2;
+  return static_cast<std::uint16_t>((hi << 8) | lo);
+}
+
+Result<std::uint32_t> BinaryReader::u32() {
+  auto hi = u16();
+  if (!hi) return hi.error();
+  auto lo = u16();
+  if (!lo) return lo.error();
+  return (static_cast<std::uint32_t>(hi.value()) << 16) | lo.value();
+}
+
+Result<std::uint64_t> BinaryReader::u64() {
+  auto hi = u32();
+  if (!hi) return hi.error();
+  auto lo = u32();
+  if (!lo) return lo.error();
+  return (static_cast<std::uint64_t>(hi.value()) << 32) | lo.value();
+}
+
+Result<std::int64_t> BinaryReader::i64() {
+  auto v = u64();
+  if (!v) return v.error();
+  return static_cast<std::int64_t>(v.value());
+}
+
+Result<double> BinaryReader::f64() {
+  auto v = u64();
+  if (!v) return v.error();
+  return std::bit_cast<double>(v.value());
+}
+
+Result<std::uint64_t> BinaryReader::varint() {
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    auto b = u8();
+    if (!b) return b.error();
+    v |= static_cast<std::uint64_t>(b.value() & 0x7F) << shift;
+    if ((b.value() & 0x80) == 0) return v;
+  }
+  return Err(Errc::kParse, "varint too long");
+}
+
+Result<std::string> BinaryReader::str16() {
+  auto len = u16();
+  if (!len) return len.error();
+  auto bytes = raw(len.value());
+  if (!bytes) return bytes.error();
+  return std::string(bytes.value().begin(), bytes.value().end());
+}
+
+Result<std::string> BinaryReader::str() {
+  auto len = varint();
+  if (!len) return len.error();
+  auto bytes = raw(static_cast<std::size_t>(len.value()));
+  if (!bytes) return bytes.error();
+  return std::string(bytes.value().begin(), bytes.value().end());
+}
+
+Result<Bytes> BinaryReader::raw(std::size_t n) {
+  if (auto s = need(n); !s) return s.error();
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(BytesView b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace ifot

@@ -1,0 +1,81 @@
+// Byte-buffer and binary encode/decode primitives.
+//
+// BinaryWriter/BinaryReader provide network-byte-order (big-endian) fixed
+// integers, length-prefixed strings, varints and raw spans; the MQTT codec
+// and the middleware's sample serialization are built on top of these.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ifot {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Appends big-endian encoded primitives to a Bytes buffer.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(Bytes& out) : out_(out) {}
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  /// Unsigned LEB128-style varint (7 bits per byte, MSB = continuation).
+  void varint(std::uint64_t v);
+  /// u16 length prefix + UTF-8 bytes (MQTT string encoding).
+  void str16(std::string_view s);
+  /// varint length prefix + UTF-8 bytes.
+  void str(std::string_view s);
+  void raw(BytesView bytes);
+
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+
+ private:
+  Bytes& out_;  // NOLINT(cppcoreguidelines-avoid-const-or-ref-data-members)
+};
+
+/// Reads big-endian encoded primitives from a byte span. All methods
+/// return an Error instead of reading past the end.
+class BinaryReader {
+ public:
+  explicit BinaryReader(BytesView data) : data_(data) {}
+
+  [[nodiscard]] Result<std::uint8_t> u8();
+  [[nodiscard]] Result<std::uint16_t> u16();
+  [[nodiscard]] Result<std::uint32_t> u32();
+  [[nodiscard]] Result<std::uint64_t> u64();
+  [[nodiscard]] Result<std::int64_t> i64();
+  [[nodiscard]] Result<double> f64();
+  [[nodiscard]] Result<std::uint64_t> varint();
+  [[nodiscard]] Result<std::string> str16();
+  [[nodiscard]] Result<std::string> str();
+  /// Reads exactly n bytes.
+  [[nodiscard]] Result<Bytes> raw(std::size_t n);
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool at_end() const { return remaining() == 0; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  [[nodiscard]] Status need(std::size_t n);
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+/// Converts a string literal payload to Bytes (test/ergonomics helper).
+Bytes to_bytes(std::string_view s);
+/// Converts bytes to a std::string (for text payloads).
+std::string to_string(BytesView b);
+
+}  // namespace ifot

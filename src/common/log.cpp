@@ -1,0 +1,91 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace ifot {
+namespace {
+
+struct LogState {
+  std::mutex mu;
+  LogLevel level = LogLevel::kWarn;
+  std::function<void(LogLevel, const std::string&)> sink;
+  std::function<SimTime()> clock;
+};
+
+LogState& state() {
+  static LogState s;
+  return s;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+namespace log_config {
+
+void set_level(LogLevel level) {
+  std::lock_guard lock(state().mu);
+  state().level = level;
+}
+
+LogLevel level() {
+  std::lock_guard lock(state().mu);
+  return state().level;
+}
+
+void set_sink(std::function<void(LogLevel, const std::string&)> sink) {
+  std::lock_guard lock(state().mu);
+  state().sink = std::move(sink);
+}
+
+void set_clock(std::function<SimTime()> clock) {
+  std::lock_guard lock(state().mu);
+  state().clock = std::move(clock);
+}
+
+}  // namespace log_config
+
+bool log_enabled(LogLevel level) {
+  return level >= log_config::level() && level != LogLevel::kOff;
+}
+
+void log_emit(LogLevel level, const std::string& component,
+              const std::string& message) {
+  std::function<void(LogLevel, const std::string&)> sink;
+  std::function<SimTime()> clock;
+  {
+    std::lock_guard lock(state().mu);
+    sink = state().sink;
+    clock = state().clock;
+  }
+  std::string line;
+  if (clock) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "[%10.3fms] ", to_millis(clock()));
+    line += buf;
+  }
+  line += "[";
+  line += level_name(level);
+  line += "] [";
+  line += component;
+  line += "] ";
+  line += message;
+  if (sink) {
+    sink(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace ifot

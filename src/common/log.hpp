@@ -1,0 +1,62 @@
+// Minimal leveled logger. The simulator injects the virtual timestamp via
+// a thread-local clock hook so log lines carry simulated time, not wall
+// time.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace ifot {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global logging configuration (process-wide; tests set kOff or capture).
+namespace log_config {
+/// Minimum level that is emitted. Defaults to kWarn to keep test and
+/// benchmark output clean.
+void set_level(LogLevel level);
+LogLevel level();
+/// Sink override; default writes to stderr. Passing nullptr restores it.
+void set_sink(std::function<void(LogLevel, const std::string&)> sink);
+/// Clock hook: returns current virtual time for log prefixes; nullptr
+/// means "no timestamp".
+void set_clock(std::function<SimTime()> clock);
+}  // namespace log_config
+
+/// Emits one formatted log line (used by the LOG macro below).
+void log_emit(LogLevel level, const std::string& component,
+              const std::string& message);
+
+/// Stream-style logging helper:
+///   IFOT_LOG(kInfo, "broker") << "client " << id << " connected";
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+/// True when `level` would be emitted under the current configuration.
+bool log_enabled(LogLevel level);
+
+}  // namespace ifot
+
+#define IFOT_LOG(level, component)                      \
+  if (!::ifot::log_enabled(::ifot::LogLevel::level)) {} \
+  else ::ifot::LogLine(::ifot::LogLevel::level, (component))

@@ -1,0 +1,118 @@
+// Expected-style error handling used across all IFoT module boundaries.
+//
+// Expected failures (malformed packet, unknown topic, unsatisfiable
+// placement, ...) are returned as Result<T>; exceptions are reserved for
+// programming errors.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ifot {
+
+/// Error categories for Result. Coarse on purpose: callers branch on
+/// category, humans read the message.
+enum class Errc {
+  kInvalidArgument,
+  kParse,
+  kNotFound,
+  kAlreadyExists,
+  kCapacity,
+  kProtocol,
+  kUnsupported,
+  kState,
+  kIo,
+};
+
+/// Returns a stable human-readable name for an error category.
+constexpr const char* errc_name(Errc c) {
+  switch (c) {
+    case Errc::kInvalidArgument: return "invalid_argument";
+    case Errc::kParse: return "parse_error";
+    case Errc::kNotFound: return "not_found";
+    case Errc::kAlreadyExists: return "already_exists";
+    case Errc::kCapacity: return "capacity";
+    case Errc::kProtocol: return "protocol_error";
+    case Errc::kUnsupported: return "unsupported";
+    case Errc::kState: return "bad_state";
+    case Errc::kIo: return "io_error";
+  }
+  return "unknown";
+}
+
+/// An error: category plus human-readable context.
+struct Error {
+  Errc code = Errc::kInvalidArgument;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(errc_name(code)) + ": " + message;
+  }
+};
+
+/// Minimal expected<T, Error>. Holds either a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result<void> specialization: success or Error.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    assert(failed_);
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+using Status = Result<void>;
+
+/// Convenience factory: Err(Errc::kParse, "bad remaining length").
+inline Error Err(Errc code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+}  // namespace ifot

@@ -1,0 +1,87 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Every simulation entity derives its own Rng from the run seed so results
+// are reproducible regardless of event interleaving.
+#pragma once
+
+#include <cstdint>
+
+namespace ifot {
+
+/// xoshiro256** 1.0 (public-domain algorithm by Blackman & Vigna),
+/// seeded via splitmix64 so any 64-bit seed yields a good state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 to expand the seed into 4 state words.
+    auto next_seed = [&seed]() {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& w : s_) w = next_seed();
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+  /// Standard normal via Box-Muller (one value per call; simple and
+  /// deterministic, throughput is not a concern here).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 1e-12) u1 = uniform();
+    const double u2 = uniform();
+    constexpr double kTwoPi = 6.283185307179586;
+    return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+           __builtin_cos(kTwoPi * u2);
+  }
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate) {
+    double u = uniform();
+    while (u <= 1e-12) u = uniform();
+    return -__builtin_log(u) / rate;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Derives an independent child generator (for per-entity streams).
+  Rng fork() { return Rng(next() ^ 0xD1B54A32D192ED03ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace ifot

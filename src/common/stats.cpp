@@ -1,0 +1,86 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ifot {
+
+void LatencyRecorder::record(SimDuration d) {
+  samples_.push_back(d);
+  sorted_valid_ = false;
+}
+
+double LatencyRecorder::avg_ms() const {
+  if (samples_.empty()) return 0.0;
+  long double sum = 0;
+  for (auto s : samples_) sum += static_cast<long double>(s);
+  return static_cast<double>(sum / static_cast<long double>(samples_.size())) /
+         static_cast<double>(kMillisecond);
+}
+
+double LatencyRecorder::max_ms() const {
+  if (samples_.empty()) return 0.0;
+  return to_millis(*std::max_element(samples_.begin(), samples_.end()));
+}
+
+double LatencyRecorder::min_ms() const {
+  if (samples_.empty()) return 0.0;
+  return to_millis(*std::min_element(samples_.begin(), samples_.end()));
+}
+
+double LatencyRecorder::percentile_ms(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      (clamped / 100.0) * static_cast<double>(sorted_.size() - 1) + 0.5);
+  return to_millis(sorted_[rank]);
+}
+
+double LatencyRecorder::stddev_ms() const {
+  if (samples_.size() < 2) return 0.0;
+  const double mean = avg_ms();
+  double acc = 0;
+  for (auto s : samples_) {
+    const double d = to_millis(s) - mean;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+void LatencyRecorder::clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+void Counters::add(const std::string& name, std::uint64_t delta) {
+  for (auto& [k, v] : entries_) {
+    if (k == name) {
+      v += delta;
+      return;
+    }
+  }
+  entries_.emplace_back(name, delta);
+}
+
+std::uint64_t Counters::get(const std::string& name) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == name) return v;
+  }
+  return 0;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Counters::sorted() const {
+  auto out = entries_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Counters::clear() { entries_.clear(); }
+
+}  // namespace ifot

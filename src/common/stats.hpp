@@ -1,0 +1,59 @@
+// Latency statistics: the quantities reported in the paper's Tables II/III
+// (average and maximum delay) plus percentiles for the extension benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ifot {
+
+/// Accumulates duration samples; computes avg/max/min/percentiles.
+/// Keeps all samples (experiments are bounded) so percentiles are exact.
+class LatencyRecorder {
+ public:
+  void record(SimDuration d);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Average in virtual milliseconds; 0 when empty.
+  [[nodiscard]] double avg_ms() const;
+  /// Maximum in virtual milliseconds; 0 when empty.
+  [[nodiscard]] double max_ms() const;
+  /// Minimum in virtual milliseconds; 0 when empty.
+  [[nodiscard]] double min_ms() const;
+  /// Exact percentile (q in [0,100]) in milliseconds; 0 when empty.
+  [[nodiscard]] double percentile_ms(double q) const;
+  /// Sample standard deviation in milliseconds; 0 when < 2 samples.
+  [[nodiscard]] double stddev_ms() const;
+
+  void clear();
+
+  /// Read-only access to raw samples (nanoseconds).
+  [[nodiscard]] const std::vector<SimDuration>& samples() const {
+    return samples_;
+  }
+
+ private:
+  std::vector<SimDuration> samples_;
+  mutable std::vector<SimDuration> sorted_;  // lazily maintained cache
+  mutable bool sorted_valid_ = false;
+};
+
+/// Simple named counter set for throughput/drop accounting.
+class Counters {
+ public:
+  void add(const std::string& name, std::uint64_t delta = 1);
+  [[nodiscard]] std::uint64_t get(const std::string& name) const;
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> sorted()
+      const;
+  void clear();
+
+ private:
+  std::vector<std::pair<std::string, std::uint64_t>> entries_;
+};
+
+}  // namespace ifot

@@ -1,0 +1,30 @@
+// Small string utilities used by the recipe parser and topic handling.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ifot {
+
+/// Splits `s` on `sep`, keeping empty segments ("a//b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Joins parts with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True when `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parses a double; rejects trailing garbage.
+Result<double> parse_double(std::string_view s);
+
+/// Parses a non-negative integer; rejects trailing garbage.
+Result<std::uint64_t> parse_uint(std::string_view s);
+
+}  // namespace ifot

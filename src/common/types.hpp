@@ -1,0 +1,95 @@
+// Core vocabulary types shared by every IFoT module.
+//
+// All simulated time is represented as integral nanoseconds (SimTime) so
+// that the discrete-event engine is exactly deterministic; helpers convert
+// to/from floating-point milliseconds only at reporting boundaries.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ifot {
+
+/// Virtual simulation time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Duration in virtual nanoseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+/// Converts a floating-point count of milliseconds to a SimDuration.
+constexpr SimDuration from_millis(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+
+/// Converts a floating-point count of seconds to a SimDuration.
+constexpr SimDuration from_seconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+/// Converts a SimDuration to floating-point milliseconds (reporting only).
+constexpr double to_millis(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Converts a SimDuration to floating-point seconds (reporting only).
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Strongly-typed integral identifier. Tag distinguishes id spaces at
+/// compile time so a NodeId cannot be passed where a TaskId is expected.
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+  static constexpr value_type kInvalid = 0xFFFFFFFFu;
+
+ private:
+  value_type value_ = kInvalid;
+};
+
+struct NodeTag {};
+struct TaskTag {};
+struct FlowTag {};
+struct RecipeTag {};
+struct SensorTag {};
+struct ActuatorTag {};
+
+/// Identifies one IFoT neuron module (or the management node).
+using NodeId = Id<NodeTag>;
+/// Identifies one task instance produced by recipe splitting.
+using TaskId = Id<TaskTag>;
+/// Identifies one logical data flow (stream) in the fabric.
+using FlowId = Id<FlowTag>;
+/// Identifies a submitted recipe (application).
+using RecipeId = Id<RecipeTag>;
+/// Identifies a physical/virtual sensor attached to a module.
+using SensorId = Id<SensorTag>;
+/// Identifies a physical/virtual actuator attached to a module.
+using ActuatorId = Id<ActuatorTag>;
+
+}  // namespace ifot
+
+template <typename Tag>
+struct std::hash<ifot::Id<Tag>> {
+  std::size_t operator()(ifot::Id<Tag> id) const noexcept {
+    return std::hash<typename ifot::Id<Tag>::value_type>{}(id.value());
+  }
+};

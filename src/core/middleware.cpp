@@ -1,0 +1,350 @@
+#include "core/middleware.hpp"
+
+#include <algorithm>
+
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace ifot::core {
+namespace {
+constexpr const char* kLog = "core.middleware";
+constexpr SimDuration kSettleTime = from_millis(300);
+}  // namespace
+
+Middleware::Middleware(MiddlewareConfig config) : config_(std::move(config)) {
+  net_ = std::make_unique<net::Network>(sim_, config_.lan, config_.seed);
+}
+
+Middleware::~Middleware() = default;
+
+NodeId Middleware::register_module(const ModuleSpec& spec, NodeId host) {
+  node::NeuronModule::Config mc;
+  mc.name = spec.name;
+  mc.cpu.factor = spec.cpu_factor;
+  mc.cpu.stall_mean_interval = config_.cpu_stall_mean_interval;
+  mc.cpu.stall_min = config_.cpu_stall_min;
+  mc.cpu.stall_max = config_.cpu_stall_max;
+  mc.costs = config_.costs;
+  mc.flow_qos = config_.flow_qos;
+  mc.broker = config_.broker;
+  mc.seed = config_.seed;
+  mc.keep_alive_s = config_.keep_alive_s;
+  mc.announce_status = config_.announce_status;
+  mc.max_backlog = config_.max_backlog;
+  auto module = std::make_unique<node::NeuronModule>(sim_, *net_, host, mc);
+  for (const auto& s : spec.sensors) module->attach_sensor(s);
+  for (const auto& a : spec.actuators) module->attach_actuator(a);
+  modules_.push_back(ModuleEntry{spec, std::move(module)});
+  module_load_.push_back(0);
+  if (spec.broker) broker_modules_.push_back(host);
+  return host;
+}
+
+NodeId Middleware::add_module(const ModuleSpec& spec) {
+  assert(!started_ && "add modules before start()");
+  return register_module(spec, net_->add_host(spec.name));
+}
+
+NodeId Middleware::add_remote_module(const ModuleSpec& spec,
+                                     const net::WanConfig& wan) {
+  assert(!started_ && "add modules before start()");
+  return register_module(spec, net_->add_remote_host(spec.name, wan));
+}
+
+Status Middleware::start() {
+  if (started_) return Err(Errc::kState, "middleware already started");
+  if (broker_modules_.empty()) {
+    return Err(Errc::kState, "no module is flagged as broker");
+  }
+  for (NodeId b : broker_modules_) module(b).start_broker();
+  // Every module gets a client per broker, including the broker modules
+  // themselves (loopback links, so they too can host tasks).
+  for (auto& entry : modules_) {
+    entry.module->connect(broker_modules_);
+  }
+  started_ = true;
+  // Let CONNECT/CONNACK handshakes settle before anything flows.
+  sim_.run_until(sim_.now() + kSettleTime);
+  return {};
+}
+
+node::NeuronModule& Middleware::module(NodeId id) {
+  for (auto& entry : modules_) {
+    if (entry.module->id() == id) return *entry.module;
+  }
+  assert(false && "unknown module id");
+  return *modules_.front().module;
+}
+
+std::vector<NodeId> Middleware::module_ids() const {
+  std::vector<NodeId> out;
+  out.reserve(modules_.size());
+  for (const auto& entry : modules_) out.push_back(entry.module->id());
+  return out;
+}
+
+node::NeuronModule* Middleware::module_by_name(const std::string& name) {
+  for (auto& entry : modules_) {
+    if (entry.spec.name == name) return entry.module.get();
+  }
+  return nullptr;
+}
+
+std::vector<alloc::ModuleInfo> Middleware::allocator_view() const {
+  std::vector<alloc::ModuleInfo> out;
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    const auto& entry = modules_[i];
+    if (!entry.spec.accept_tasks) continue;
+    alloc::ModuleInfo info;
+    info.id = entry.module->id();
+    info.name = entry.spec.name;
+    info.cpu_factor = entry.spec.cpu_factor;
+    info.existing_load = module_load_[i];
+    info.sensors = {entry.spec.sensors.begin(), entry.spec.sensors.end()};
+    info.actuators = {entry.spec.actuators.begin(),
+                      entry.spec.actuators.end()};
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Result<RecipeId> Middleware::deploy(std::string_view recipe_text,
+                                    const std::string& allocator) {
+  auto parsed = recipe::parse(recipe_text);
+  if (!parsed) return parsed.error();
+  return deploy(parsed.value(), allocator);
+}
+
+Result<RecipeId> Middleware::deploy(const recipe::Recipe& recipe,
+                                    const std::string& allocator) {
+  auto alloc_impl = alloc::make_allocator(allocator);
+  if (alloc_impl == nullptr) {
+    return Err(Errc::kNotFound, "unknown allocator: " + allocator);
+  }
+  return do_deploy(recipe, *alloc_impl);
+}
+
+Result<RecipeId> Middleware::deploy_with(const recipe::Recipe& recipe,
+                                         alloc::Allocator& allocator) {
+  return do_deploy(recipe, allocator);
+}
+
+Result<RecipeId> Middleware::do_deploy(const recipe::Recipe& recipe,
+                                       alloc::Allocator& allocator) {
+  if (!started_) return Err(Errc::kState, "start() must be called first");
+
+  // Step 2a: recipe split.
+  auto graph = recipe::split_recipe(recipe);
+  if (!graph) return graph.error();
+
+  // Step 2b: task assignment.
+  const auto view = allocator_view();
+  auto placement = allocator.allocate(graph.value(), view);
+  if (!placement) return placement.error();
+
+  // Step 3: instantiate classes on the assigned modules.
+  Deployment d;
+  d.id = RecipeId{next_recipe_++};
+  d.graph = std::move(graph).value();
+  d.placement = std::move(placement).value();
+
+  // A task whose downstream consumers all landed on its own module gets
+  // the local fast path (Fig. 9: Predict -> Actuator inside module F).
+  auto local_output = [&](std::size_t ti) {
+    const TaskId id = d.graph.tasks[ti].id;
+    bool any = false;
+    for (std::size_t ui = 0; ui < d.graph.tasks.size(); ++ui) {
+      const auto& up = d.graph.tasks[ui].upstream;
+      if (std::find(up.begin(), up.end(), id) == up.end()) continue;
+      any = true;
+      if (d.placement.task_module[ui] != d.placement.task_module[ti]) {
+        return false;
+      }
+    }
+    return any;
+  };
+
+  for (std::size_t ti = 0; ti < d.graph.tasks.size(); ++ti) {
+    const auto& task = d.graph.tasks[ti];
+    const NodeId target = d.placement.task_module[ti];
+    auto& mod = module(target);
+    if (auto s = mod.deploy_task(task, d.graph.recipe.nodes[task.recipe_node],
+                                 local_output(ti));
+        !s) {
+      return s.error();
+    }
+    for (std::size_t mi = 0; mi < modules_.size(); ++mi) {
+      if (modules_[mi].module->id() == target) {
+        module_load_[mi] += task.cost_weight;
+        break;
+      }
+    }
+    // Announce the flow for discovery by later applications (taps);
+    // sinks produce no flow.
+    if (!recipe::is_sink_type(
+            d.graph.recipe.nodes[task.recipe_node].type)) {
+      mod.announce_flow(task, d.graph.recipe.nodes[task.recipe_node]);
+    }
+  }
+  IFOT_LOG(kInfo, kLog) << "deployed recipe '" << recipe.name << "' ("
+                        << d.graph.tasks.size() << " tasks, allocator "
+                        << allocator.name() << ")";
+  deployments_.push_back(std::move(d));
+  // Let SUBSCRIBE/SUBACK handshakes settle before flows start.
+  sim_.run_until(sim_.now() + kSettleTime);
+  return deployments_.back().id;
+}
+
+Status Middleware::undeploy(RecipeId id) {
+  auto it = std::find_if(deployments_.begin(), deployments_.end(),
+                         [&](const Deployment& d) { return d.id == id; });
+  if (it == deployments_.end()) {
+    return Err(Errc::kNotFound, "unknown recipe id");
+  }
+  for (std::size_t ti = 0; ti < it->graph.tasks.size(); ++ti) {
+    const auto& task = it->graph.tasks[ti];
+    auto& mod = module(it->placement.task_module[ti]);
+    if (mod.failed()) continue;  // its state is already gone
+    if (auto s = mod.remove_task(task.output_topic); !s) {
+      IFOT_LOG(kWarn, kLog) << "undeploy: " << s.error().to_string();
+    }
+    if (!recipe::is_sink_type(it->graph.recipe.nodes[task.recipe_node].type)) {
+      mod.retract_flow(task);
+    }
+    for (std::size_t mi = 0; mi < modules_.size(); ++mi) {
+      if (modules_[mi].module->id() == it->placement.task_module[ti]) {
+        module_load_[mi] -= task.cost_weight;
+        break;
+      }
+    }
+  }
+  IFOT_LOG(kInfo, kLog) << "undeployed recipe '" << it->graph.recipe_name
+                        << "'";
+  deployments_.erase(it);
+  sim_.run_until(sim_.now() + kSettleTime);
+  return {};
+}
+
+void Middleware::start_flows() {
+  flows_running_ = true;
+  for (auto& entry : modules_) {
+    if (!entry.module->failed()) entry.module->start_sensors();
+  }
+}
+
+void Middleware::stop_flows() {
+  flows_running_ = false;
+  for (auto& entry : modules_) entry.module->stop_sensors();
+}
+
+void Middleware::run_for(SimDuration d) { sim_.run_until(sim_.now() + d); }
+
+Status Middleware::fail_module(NodeId id) {
+  for (auto& entry : modules_) {
+    if (entry.module->id() != id) continue;
+    for (NodeId b : broker_modules_) {
+      if (id == b) {
+        return Err(Errc::kUnsupported,
+                   "cannot fail a broker module (brokers have no failover)");
+      }
+    }
+    entry.module->fail();
+    entry.spec.accept_tasks = false;  // exclude from future placements
+    IFOT_LOG(kWarn, kLog) << "module '" << entry.spec.name << "' failed";
+    return {};
+  }
+  return Err(Errc::kNotFound, "unknown module id");
+}
+
+Status Middleware::redeploy_failed(NodeId failed) {
+  for (auto& d : deployments_) {
+    // Which tasks were on the failed module?
+    std::vector<std::size_t> orphans;
+    for (std::size_t ti = 0; ti < d.graph.tasks.size(); ++ti) {
+      if (d.placement.task_module[ti] == failed) orphans.push_back(ti);
+    }
+    if (orphans.empty()) continue;
+
+    // Re-run placement over the surviving modules; adopt the allocator's
+    // choice only for the orphaned tasks. Explicit pins that pointed at
+    // the failed module are unsatisfiable and are dropped for failover.
+    recipe::TaskGraph relaxed = d.graph;
+    const std::string failed_name = net_->host_name(failed);
+    for (std::size_t ti : orphans) {
+      auto& node = relaxed.recipe.nodes[relaxed.tasks[ti].recipe_node];
+      if (node.str("pin", "") == failed_name) node.params.erase("pin");
+    }
+    alloc::LoadAwareAllocator allocator;
+    auto placement = allocator.allocate(relaxed, allocator_view());
+    if (!placement) return placement.error();
+
+    for (std::size_t ti : orphans) {
+      d.placement.task_module[ti] = placement.value().task_module[ti];
+    }
+    // Instantiate the orphaned classes at their new homes, recomputing
+    // the local fast-path flag against the updated placement.
+    auto local_output = [&](std::size_t ti) {
+      const TaskId id = d.graph.tasks[ti].id;
+      bool any = false;
+      for (std::size_t ui = 0; ui < d.graph.tasks.size(); ++ui) {
+        const auto& up = d.graph.tasks[ui].upstream;
+        if (std::find(up.begin(), up.end(), id) == up.end()) continue;
+        any = true;
+        if (d.placement.task_module[ui] != d.placement.task_module[ti]) {
+          return false;
+        }
+      }
+      return any;
+    };
+    for (std::size_t ti : orphans) {
+      const auto& task = d.graph.tasks[ti];
+      const NodeId target = d.placement.task_module[ti];
+      auto& mod = module(target);
+      if (auto s = mod.deploy_task(task,
+                                   d.graph.recipe.nodes[task.recipe_node],
+                                   local_output(ti));
+          !s) {
+        return s.error();
+      }
+      for (std::size_t mi = 0; mi < modules_.size(); ++mi) {
+        if (modules_[mi].module->id() == target) {
+          module_load_[mi] += task.cost_weight;
+          break;
+        }
+      }
+      IFOT_LOG(kInfo, kLog) << "task '" << task.name << "' failed over to '"
+                            << net_->host_name(target) << "'";
+      // Arm the new sensor timer if the orphan is a source and flows run.
+      if (flows_running_ &&
+          d.graph.recipe.nodes[task.recipe_node].type == "sensor") {
+        mod.start_sensors();
+      }
+    }
+  }
+  sim_.run_until(sim_.now() + kSettleTime);
+  return {};
+}
+
+Status Middleware::watch(NodeId module_id, const std::string& filter,
+                         node::NeuronModule::WatchHandler handler) {
+  return module(module_id).watch(filter, std::move(handler));
+}
+
+void Middleware::set_completion_hook(node::CompletionHook hook) {
+  for (auto& entry : modules_) entry.module->set_completion_hook(hook);
+}
+
+std::string Middleware::describe(const Deployment& d) const {
+  std::string out = "recipe '" + d.graph.recipe_name + "':\n";
+  for (std::size_t ti = 0; ti < d.graph.tasks.size(); ++ti) {
+    const auto& task = d.graph.tasks[ti];
+    const NodeId target = d.placement.task_module[ti];
+    out += "  " + task.name + " (" +
+           d.graph.recipe.nodes[task.recipe_node].type + ") -> " +
+           net_->host_name(target) + "\n";
+  }
+  return out;
+}
+
+}  // namespace ifot::core

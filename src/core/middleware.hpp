@@ -1,0 +1,194 @@
+// The IFoT middleware facade — the paper's primary contribution.
+//
+// Owns the simulated fabric (event engine, network, neuron modules) and
+// implements the application build process of paper Fig. 6:
+//   Step 1  submit a Recipe (text or parsed form);
+//   Step 2  divide it into parallel tasks (recipe::split_recipe) and
+//           assign them to modules (alloc::Allocator);
+//   Step 3  instantiate the classes on each module and run the
+//           application in cooperation.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   core::Middleware mw;
+//   auto a = mw.add_module({.name = "module_a", .sensors = {"temp"}});
+//   auto b = mw.add_module({.name = "module_b", .broker = true});
+//   auto c = mw.add_module({.name = "module_c", .actuators = {"fan"}});
+//   mw.start();
+//   auto id = mw.deploy(recipe_text);
+//   mw.start_flows();
+//   mw.run_for(60 * kSecond);
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "net/network.hpp"
+#include "node/module.hpp"
+#include "recipe/parser.hpp"
+#include "recipe/split.hpp"
+#include "sim/simulator.hpp"
+
+namespace ifot::core {
+
+/// Description of one neuron module to create.
+struct ModuleSpec {
+  std::string name;
+  /// Relative CPU speed (1.0 = Raspberry Pi 2).
+  double cpu_factor = 1.0;
+  /// Sensor device names attached to the module.
+  std::vector<std::string> sensors;
+  /// Actuator device names attached to the module.
+  std::vector<std::string> actuators;
+  /// Run the Broker class on this module. At least one module of the
+  /// fabric must set this; with several, flows are spread across brokers
+  /// by the recipe's `broker = N` parameter or a stable topic hash
+  /// (broker decentralization, the paper's scaling path).
+  bool broker = false;
+  /// Whether the allocator may place recipe tasks here (the paper's
+  /// broker module D runs only the Broker class).
+  bool accept_tasks = true;
+};
+
+/// Fabric-wide configuration.
+struct MiddlewareConfig {
+  net::LanConfig lan;
+  node::CostModel costs;
+  mqtt::QoS flow_qos = mqtt::QoS::kAtMostOnce;
+  mqtt::BrokerConfig broker;
+  std::uint64_t seed = 42;
+  /// MQTT keep-alive of every module's client. Failure detection latency
+  /// is 1.5x this, so deployments wanting fast failover lower it.
+  std::uint16_t keep_alive_s = 60;
+  /// Publish retained online/offline status per module on
+  /// ifot/status/<module> (wills fire on crashes).
+  bool announce_status = true;
+  /// Per-module load shedding bound (0 = unbounded queues, the paper's
+  /// behaviour); see node::NeuronModule::Config::max_backlog.
+  SimDuration max_backlog = 0;
+  /// CPU stall model applied to every module (see node::CpuProfile);
+  /// off by default, enabled by the paper-experiment harness to
+  /// reproduce the testbed's rare wall-clock outliers.
+  SimDuration cpu_stall_mean_interval = 0;
+  SimDuration cpu_stall_min = 0;
+  SimDuration cpu_stall_max = 0;
+};
+
+/// One deployed application.
+struct Deployment {
+  RecipeId id;
+  recipe::TaskGraph graph;
+  alloc::Placement placement;
+};
+
+/// The middleware runtime.
+class Middleware {
+ public:
+  explicit Middleware(MiddlewareConfig config = {});
+  ~Middleware();
+  Middleware(const Middleware&) = delete;
+  Middleware& operator=(const Middleware&) = delete;
+
+  /// Creates a neuron module on the shared wireless LAN.
+  NodeId add_module(const ModuleSpec& spec);
+
+  /// Creates a module behind a WAN link (models a cloud server; used by
+  /// the Fig. 1 cloud-vs-local comparison).
+  NodeId add_remote_module(const ModuleSpec& spec, const net::WanConfig& wan);
+
+  /// Brings the fabric up: starts the broker and connects every module's
+  /// client. Must be called once, after all modules are added and before
+  /// deploy().
+  Status start();
+
+  /// Steps 1-3 of the application build process. Returns the recipe id.
+  /// Every deployed task's flow is announced in the retained directory
+  /// (ifot/directory/...) so other applications can `tap` it.
+  Result<RecipeId> deploy(std::string_view recipe_text,
+                          const std::string& allocator = "load_aware");
+  Result<RecipeId> deploy(const recipe::Recipe& recipe,
+                          const std::string& allocator = "load_aware");
+  /// Deploys with a caller-supplied placement strategy.
+  Result<RecipeId> deploy_with(const recipe::Recipe& recipe,
+                               alloc::Allocator& allocator);
+
+  /// Removes a deployed application: its tasks stop, subscriptions no
+  /// longer needed are dropped, and its directory entries are retracted.
+  Status undeploy(RecipeId id);
+
+  /// Starts all sensor flows (after deployments).
+  void start_flows();
+  void stop_flows();
+
+  /// Runs the simulation for `d` of virtual time.
+  void run_for(SimDuration d);
+
+  /// Installs an observer of task completions across all modules.
+  void set_completion_hook(node::CompletionHook hook);
+
+  // ---- failure handling (paper future work: dynamic join/leave) ----
+  /// Crashes a module: it goes silent (its will fires after the broker's
+  /// keep-alive grace) and is excluded from future placements.
+  Status fail_module(NodeId id);
+
+  /// Re-places every task that was running on the failed module onto the
+  /// surviving modules and instantiates it there. Learner state restarts
+  /// from scratch (models are re-shipped by the Learning tasks' periodic
+  /// publish). Fails when a device-constrained task has no surviving
+  /// host.
+  Status redeploy_failed(NodeId failed);
+
+  /// Subscribes a module's client to a management-plane filter (e.g.
+  /// "ifot/status/+" or "$SYS/broker/#").
+  Status watch(NodeId module_id, const std::string& filter,
+               node::NeuronModule::WatchHandler handler);
+
+  // ---- accessors ----
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] net::Network& network() { return *net_; }
+  [[nodiscard]] node::NeuronModule& module(NodeId id);
+  [[nodiscard]] node::NeuronModule* module_by_name(const std::string& name);
+  [[nodiscard]] std::size_t module_count() const { return modules_.size(); }
+  [[nodiscard]] std::vector<NodeId> module_ids() const;
+  [[nodiscard]] const std::vector<Deployment>& deployments() const {
+    return deployments_;
+  }
+  /// Primary broker module (management-plane traffic lives here).
+  [[nodiscard]] NodeId broker_module() const {
+    return broker_modules_.empty() ? NodeId{} : broker_modules_.front();
+  }
+  [[nodiscard]] const std::vector<NodeId>& broker_modules() const {
+    return broker_modules_;
+  }
+  [[nodiscard]] const MiddlewareConfig& config() const { return config_; }
+
+  /// Human-readable placement summary of a deployment (diagnostics).
+  [[nodiscard]] std::string describe(const Deployment& d) const;
+
+ private:
+  struct ModuleEntry {
+    ModuleSpec spec;
+    std::unique_ptr<node::NeuronModule> module;
+  };
+
+  Result<RecipeId> do_deploy(const recipe::Recipe& recipe,
+                             alloc::Allocator& allocator);
+  [[nodiscard]] std::vector<alloc::ModuleInfo> allocator_view() const;
+  NodeId register_module(const ModuleSpec& spec, NodeId host);
+
+  MiddlewareConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> net_;
+  std::vector<ModuleEntry> modules_;
+  std::vector<NodeId> broker_modules_;
+  bool started_ = false;
+  bool flows_running_ = false;
+  std::vector<Deployment> deployments_;
+  std::vector<double> module_load_;  // accumulated placed cost per module
+  RecipeId::value_type next_recipe_ = 1;
+};
+
+}  // namespace ifot::core

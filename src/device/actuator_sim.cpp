@@ -1,0 +1,15 @@
+#include "device/actuator_sim.hpp"
+
+namespace ifot::device {
+
+void ActuatorSink::apply(SimTime now, const Sample& s) {
+  ActuationRecord rec;
+  rec.at = now + latency_;
+  rec.sensed_at = s.sensed_at;
+  rec.source = s.source;
+  rec.value = s.fields.empty() ? 0.0 : s.fields.front().second;
+  rec.label = s.label;
+  records_.push_back(std::move(rec));
+}
+
+}  // namespace ifot::device

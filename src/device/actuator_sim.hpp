@@ -1,0 +1,49 @@
+// Simulated actuators — the sinks of the fabric (ceiling lights, air
+// conditioners, alarms in the paper's home-appliance scenario, §III-A.2).
+// An actuator records every command it receives with its virtual
+// timestamp so tests and benches can assert on end-to-end behaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "device/sample.hpp"
+
+namespace ifot::device {
+
+/// One command applied to an actuator.
+struct ActuationRecord {
+  SimTime at = 0;          ///< when the command was applied
+  SimTime sensed_at = 0;   ///< origin sensing time of the triggering sample
+  std::string source;      ///< producing task
+  double value = 0;        ///< primary command value
+  std::string label;       ///< classification result, if any
+};
+
+/// Records commands; models a fixed actuation latency (relay/servo).
+class ActuatorSink {
+ public:
+  explicit ActuatorSink(std::string name,
+                        SimDuration actuation_latency = from_millis(2))
+      : name_(std::move(name)), latency_(actuation_latency) {}
+
+  /// Applies the sample as a command at time `now`; the effective record
+  /// timestamp includes the actuation latency.
+  void apply(SimTime now, const Sample& s);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<ActuationRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t count() const { return records_.size(); }
+  [[nodiscard]] SimDuration latency() const { return latency_; }
+  void clear() { records_.clear(); }
+
+ private:
+  std::string name_;
+  SimDuration latency_;
+  std::vector<ActuationRecord> records_;
+};
+
+}  // namespace ifot::device

@@ -1,0 +1,67 @@
+#include "device/sample.hpp"
+
+namespace ifot::device {
+
+double Sample::field(const std::string& name, double fallback) const {
+  for (const auto& [k, v] : fields) {
+    if (k == name) return v;
+  }
+  return fallback;
+}
+
+void Sample::set_field(const std::string& name, double value) {
+  for (auto& [k, v] : fields) {
+    if (k == name) {
+      v = value;
+      return;
+    }
+  }
+  fields.emplace_back(name, value);
+}
+
+Bytes encode(const Sample& s) {
+  Bytes out;
+  BinaryWriter w(out);
+  w.str(s.source);
+  w.varint(s.seq);
+  w.i64(s.sensed_at);
+  w.varint(s.fields.size());
+  for (const auto& [k, v] : s.fields) {
+    w.str(k);
+    w.f64(v);
+  }
+  w.str(s.label);
+  return out;
+}
+
+Result<Sample> decode_sample(BytesView data) {
+  BinaryReader r(data);
+  Sample s;
+  auto source = r.str();
+  if (!source) return source.error();
+  s.source = std::move(source).value();
+  auto seq = r.varint();
+  if (!seq) return seq.error();
+  s.seq = seq.value();
+  auto at = r.i64();
+  if (!at) return at.error();
+  s.sensed_at = at.value();
+  auto n = r.varint();
+  if (!n) return n.error();
+  if (n.value() > 4096) return Err(Errc::kParse, "absurd field count");
+  s.fields.reserve(static_cast<std::size_t>(n.value()));
+  for (std::uint64_t i = 0; i < n.value(); ++i) {
+    auto k = r.str();
+    if (!k) return k.error();
+    auto v = r.f64();
+    if (!v) return v.error();
+    s.fields.emplace_back(std::move(k).value(), v.value());
+  }
+  auto label = r.str();
+  if (!label) return label.error();
+  s.label = std::move(label).value();
+  if (!r.at_end()) return Err(Errc::kParse, "trailing bytes in sample");
+  return s;
+}
+
+}  // namespace ifot::device

@@ -1,0 +1,44 @@
+// The unified sample format flowing through the middleware.
+//
+// The Sensor/Actuator integration function (paper §IV-C.4) "abstracts the
+// hardware and the communication interface of the sensor/actuator" and
+// converts readings into MQTT packets — Sample is that abstraction: every
+// flow in the fabric is a stream of encoded Samples, regardless of which
+// sensor produced it or which operator transformed it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace ifot::device {
+
+/// One sensor reading / processed record.
+struct Sample {
+  /// Name of the producing source (sensor name or operator task name).
+  std::string source;
+  /// Per-source sequence number (used for shard partitioning).
+  std::uint64_t seq = 0;
+  /// Virtual time the originating *sensing* happened. Preserved across
+  /// operators so end-to-end sensing->X delays can be measured (paper
+  /// Tables II/III measure from the Sensing step).
+  SimTime sensed_at = 0;
+  /// Named numeric fields (e.g. {"ax",0.1},{"ay",-0.4},{"az",9.8}).
+  std::vector<std::pair<std::string, double>> fields;
+  /// Optional ground-truth label for supervised training streams.
+  std::string label;
+
+  [[nodiscard]] double field(const std::string& name, double fallback) const;
+  void set_field(const std::string& name, double value);
+
+  friend bool operator==(const Sample&, const Sample&) = default;
+};
+
+/// Binary codec for samples (what actually rides in MQTT payloads).
+Bytes encode(const Sample& s);
+Result<Sample> decode_sample(BytesView data);
+
+}  // namespace ifot::device

@@ -1,0 +1,80 @@
+#include "device/sensor_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ifot::device {
+
+Sample WaveformSensor::sample(SimTime now) {
+  constexpr double kTwoPi = 6.283185307179586;
+  const double phase =
+      kTwoPi * static_cast<double>(now % cfg_.period) /
+      static_cast<double>(cfg_.period);
+  Sample s;
+  s.set_field(cfg_.field, cfg_.offset + cfg_.amplitude * std::sin(phase) +
+                              rng_.normal(0, cfg_.noise));
+  return s;
+}
+
+Sample RandomWalkSensor::sample(SimTime /*now*/) {
+  value_ += rng_.normal(0, cfg_.step);
+  value_ = std::clamp(value_, cfg_.min, cfg_.max);
+  Sample s;
+  s.set_field(cfg_.field, value_);
+  return s;
+}
+
+std::vector<ActivitySensor::State> ActivitySensor::default_states() {
+  return {
+      {"walking", {0.3, 0.2, 9.8}, {1.2, 1.1, 0.8}, 0.95},
+      {"sitting", {0.0, 0.0, 9.8}, {0.1, 0.1, 0.1}, 0.97},
+      {"lying", {0.0, 9.8, 0.5}, {0.1, 0.2, 0.1}, 0.97},
+      {"falling", {4.0, 5.0, 3.0}, {3.0, 3.0, 3.0}, 0.30},
+  };
+}
+
+Sample ActivitySensor::sample(SimTime /*now*/) {
+  const State& st = states_[state_];
+  Sample s;
+  static const char* kAxes[3] = {"ax", "ay", "az"};
+  for (int i = 0; i < 3; ++i) {
+    s.set_field(kAxes[i], rng_.normal(st.mean[i], st.stddev[i]));
+  }
+  s.label = st.label;
+  // Advance the chain after emitting.
+  if (!rng_.chance(st.stay_prob) && states_.size() > 1) {
+    std::size_t next = rng_.below(states_.size() - 1);
+    if (next >= state_) ++next;
+    state_ = next;
+  }
+  return s;
+}
+
+Sample ConstantSensor::sample(SimTime /*now*/) {
+  Sample s;
+  s.set_field(field_, value_ + rng_.normal(0, noise_));
+  return s;
+}
+
+Result<std::unique_ptr<SensorModel>> make_sensor_model(
+    const std::string& kind, Rng rng) {
+  if (kind == "waveform") {
+    return std::unique_ptr<SensorModel>(
+        std::make_unique<WaveformSensor>(WaveformSensor::Config{}, rng));
+  }
+  if (kind == "random_walk") {
+    return std::unique_ptr<SensorModel>(
+        std::make_unique<RandomWalkSensor>(RandomWalkSensor::Config{}, rng));
+  }
+  if (kind == "activity") {
+    return std::unique_ptr<SensorModel>(std::make_unique<ActivitySensor>(
+        ActivitySensor::default_states(), rng));
+  }
+  if (kind == "constant") {
+    return std::unique_ptr<SensorModel>(
+        std::make_unique<ConstantSensor>("value", 1.0, 0.05, rng));
+  }
+  return Err(Errc::kNotFound, "unknown sensor model: " + kind);
+}
+
+}  // namespace ifot::device

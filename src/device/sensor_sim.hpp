@@ -1,0 +1,134 @@
+// Synthetic sensor models — the substitute for physical sensors
+// (BLE/ZigBee/EnOcean devices in the paper's assumed environment, §IV-A).
+// Each model produces one Sample per sampling tick; the node runtime
+// drives it at the recipe-configured rate.
+//
+// Models:
+//  * waveform  — sine + Gaussian noise (illuminance/sound-style signals);
+//  * random_walk — bounded random walk (temperature-style signals);
+//  * activity  — Markov chain over labelled activity states with per-state
+//    Gaussian 3-axis emissions (the elderly-monitoring accelerometer:
+//    walking / sitting / lying / falling) — produces labelled samples for
+//    supervised training streams;
+//  * constant  — fixed value + noise (baseline/control).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "device/sample.hpp"
+
+namespace ifot::device {
+
+/// Interface of a simulated sensor.
+class SensorModel {
+ public:
+  virtual ~SensorModel() = default;
+
+  /// Produces the sample for virtual time `now`. Implementations fill
+  /// fields and (when applicable) label; seq/source/sensed_at are set by
+  /// the caller.
+  virtual Sample sample(SimTime now) = 0;
+
+  /// Model name (diagnostics).
+  [[nodiscard]] virtual const char* kind() const = 0;
+};
+
+/// sine wave + noise: value = offset + amplitude*sin(2*pi*t/period) + N(0,noise).
+class WaveformSensor final : public SensorModel {
+ public:
+  struct Config {
+    std::string field = "value";
+    double offset = 0;
+    double amplitude = 1.0;
+    SimDuration period = 10 * kSecond;
+    double noise = 0.05;
+  };
+  WaveformSensor(Config cfg, Rng rng) : cfg_(cfg), rng_(rng) {}
+
+  Sample sample(SimTime now) override;
+  [[nodiscard]] const char* kind() const override { return "waveform"; }
+
+ private:
+  Config cfg_;
+  Rng rng_;
+};
+
+/// Bounded random walk.
+class RandomWalkSensor final : public SensorModel {
+ public:
+  struct Config {
+    std::string field = "value";
+    double start = 20.0;
+    double step = 0.1;
+    double min = -1e9;
+    double max = 1e9;
+  };
+  RandomWalkSensor(Config cfg, Rng rng)
+      : cfg_(cfg), rng_(rng), value_(cfg.start) {}
+
+  Sample sample(SimTime now) override;
+  [[nodiscard]] const char* kind() const override { return "random_walk"; }
+
+ private:
+  Config cfg_;
+  Rng rng_;
+  double value_;
+};
+
+/// Markov activity model emitting labelled 3-axis accelerometer samples.
+class ActivitySensor final : public SensorModel {
+ public:
+  struct State {
+    std::string label;
+    double mean[3];    ///< per-axis acceleration mean
+    double stddev[3];  ///< per-axis noise
+    double stay_prob;  ///< self-transition probability per tick
+  };
+
+  /// `states` must be non-empty; transitions leave to a uniformly chosen
+  /// other state.
+  ActivitySensor(std::vector<State> states, Rng rng)
+      : states_(std::move(states)), rng_(rng) {}
+
+  /// The standard four-state elderly-monitoring chain.
+  static std::vector<State> default_states();
+
+  Sample sample(SimTime now) override;
+  [[nodiscard]] const char* kind() const override { return "activity"; }
+  [[nodiscard]] const std::string& current_label() const {
+    return states_[state_].label;
+  }
+
+ private:
+  std::vector<State> states_;
+  Rng rng_;
+  std::size_t state_ = 0;
+};
+
+/// Constant value + noise.
+class ConstantSensor final : public SensorModel {
+ public:
+  ConstantSensor(std::string field, double value, double noise, Rng rng)
+      : field_(std::move(field)), value_(value), noise_(noise), rng_(rng) {}
+
+  Sample sample(SimTime now) override;
+  [[nodiscard]] const char* kind() const override { return "constant"; }
+
+ private:
+  std::string field_;
+  double value_;
+  double noise_;
+  Rng rng_;
+};
+
+/// Builds a model by kind name with default configs ("waveform",
+/// "random_walk", "activity", "constant"); unknown names fail.
+Result<std::unique_ptr<SensorModel>> make_sensor_model(
+    const std::string& kind, Rng rng);
+
+}  // namespace ifot::device

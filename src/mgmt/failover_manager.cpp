@@ -1,0 +1,66 @@
+#include "mgmt/failover_manager.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace ifot::mgmt {
+namespace {
+constexpr const char* kLog = "mgmt.failover";
+}
+
+Status FailoverManager::attach(core::Middleware& mw, NodeId watcher) {
+  return mw.watch(watcher, "ifot/status/+",
+                  [this, &mw](const std::string& topic, const Bytes& payload) {
+                    on_status(mw, topic, payload);
+                  });
+}
+
+void FailoverManager::on_status(core::Middleware& mw,
+                                const std::string& topic,
+                                const Bytes& payload) {
+  constexpr std::string_view kPrefix = "ifot/status/";
+  if (topic.size() <= kPrefix.size()) return;
+  const std::string module_name = topic.substr(kPrefix.size());
+  const std::string state = to_string(BytesView(payload));
+
+  if (state == "online") {
+    offline_.erase(std::remove(offline_.begin(), offline_.end(), module_name),
+                   offline_.end());
+    return;
+  }
+  if (state != "offline") return;
+  if (std::find(offline_.begin(), offline_.end(), module_name) !=
+      offline_.end()) {
+    return;  // already handled
+  }
+  offline_.push_back(module_name);
+
+  auto* failed = mw.module_by_name(module_name);
+  if (failed == nullptr) return;
+  const NodeId id = failed->id();
+  IFOT_LOG(kWarn, kLog) << "module '" << module_name
+                        << "' reported offline; scheduling failover";
+
+  // Run the failover from a fresh simulator event rather than inside the
+  // MQTT delivery path (redeploy settles the fabric by running the
+  // simulator, which must not nest inside this handler's packet
+  // processing).
+  mw.simulator().schedule_after(0, [this, &mw, id, module_name] {
+    // Mark the module failed/excluded (idempotent when the crash was
+    // injected via fail_module already).
+    (void)mw.fail_module(id);
+    const Status outcome = mw.redeploy_failed(id);
+    if (outcome.ok()) {
+      ++failovers_;
+      IFOT_LOG(kWarn, kLog) << "failover for '" << module_name
+                            << "' complete";
+    } else {
+      IFOT_LOG(kError, kLog) << "failover for '" << module_name
+                             << "' failed: " << outcome.error().to_string();
+    }
+    if (hook_) hook_(module_name, outcome);
+  });
+}
+
+}  // namespace ifot::mgmt

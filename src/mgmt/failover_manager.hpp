@@ -1,0 +1,43 @@
+// Automatic failover: the management-node component that closes the loop
+// between failure *detection* (a module's MQTT will publishing "offline"
+// on its retained status topic) and failure *handling*
+// (Middleware::redeploy_failed re-placing the dead module's tasks on
+// survivors). With this attached, the fabric self-heals from module
+// crashes after one keep-alive grace period — the paper's dynamic-leave
+// future work, end to end.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/middleware.hpp"
+
+namespace ifot::mgmt {
+
+/// Watches ifot/status/+ from a management module and triggers failover.
+class FailoverManager {
+ public:
+  /// Begins watching from `watcher` (any connected module).
+  Status attach(core::Middleware& mw, NodeId watcher);
+
+  /// Number of completed automatic failovers.
+  [[nodiscard]] std::size_t failovers() const { return failovers_; }
+  /// Modules currently known offline.
+  [[nodiscard]] const std::vector<std::string>& offline() const {
+    return offline_;
+  }
+
+  /// Optional observer invoked after each failover attempt.
+  using Hook = std::function<void(const std::string& module, Status outcome)>;
+  void set_hook(Hook hook) { hook_ = std::move(hook); }
+
+ private:
+  void on_status(core::Middleware& mw, const std::string& topic,
+                 const Bytes& payload);
+
+  std::size_t failovers_ = 0;
+  std::vector<std::string> offline_;
+  Hook hook_;
+};
+
+}  // namespace ifot::mgmt

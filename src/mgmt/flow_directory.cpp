@@ -1,0 +1,74 @@
+#include "mgmt/flow_directory.hpp"
+
+#include "common/strings.hpp"
+#include "mgmt/report.hpp"
+
+namespace ifot::mgmt {
+
+Status FlowDirectory::attach(core::Middleware& mw, NodeId watcher) {
+  return mw.watch(watcher, "ifot/directory/#",
+                  [this](const std::string& topic, const Bytes& payload) {
+                    on_announcement(topic, payload);
+                  });
+}
+
+void FlowDirectory::on_announcement(const std::string& topic,
+                                    const Bytes& payload) {
+  constexpr std::string_view kPrefix = "ifot/directory/";
+  if (topic.size() <= kPrefix.size()) return;
+  const std::string key = topic.substr(kPrefix.size());
+  if (payload.empty()) {
+    entries_.erase(key);  // retraction (cleared retained message)
+    return;
+  }
+  Entry e;
+  e.key = key;
+  for (const auto& kv : split(ifot::to_string(BytesView(payload)), ';')) {
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string k = kv.substr(0, eq);
+    const std::string v = kv.substr(eq + 1);
+    if (k == "topic") {
+      e.topic = v;
+    } else if (k == "type") {
+      e.type = v;
+    } else if (k == "module") {
+      e.module = v;
+    } else if (k == "partitions") {
+      e.partitions = parse_uint(v).value_or(1);
+    }
+  }
+  entries_[key] = std::move(e);
+}
+
+std::vector<FlowDirectory::Entry> FlowDirectory::entries() const {
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [_, e] : entries_) out.push_back(e);
+  return out;
+}
+
+std::vector<FlowDirectory::Entry> FlowDirectory::by_type(
+    const std::string& type) const {
+  std::vector<Entry> out;
+  for (const auto& [_, e] : entries_) {
+    if (e.type == type) out.push_back(e);
+  }
+  return out;
+}
+
+std::string FlowDirectory::topic_of(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? std::string{} : it->second.topic;
+}
+
+std::string FlowDirectory::to_string() const {
+  Table t({"flow", "topic", "type", "module", "partitions"});
+  for (const auto& [_, e] : entries_) {
+    t.add_row({e.key, e.topic, e.type, e.module,
+               std::to_string(e.partitions)});
+  }
+  return "flow directory\n" + t.to_string();
+}
+
+}  // namespace ifot::mgmt

@@ -1,0 +1,51 @@
+// The flow directory: the "search function for data streams generated
+// from IoT devices" the paper lists as future work. Every deployed task
+// announces its output flow on a retained ifot/directory/... topic; this
+// class watches those announcements from a management module and offers
+// lookup by recipe, node type or module — the entry's topic can be fed
+// straight into a `tap` recipe node for secondary use.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/middleware.hpp"
+
+namespace ifot::mgmt {
+
+/// Live view of the fabric's announced flows.
+class FlowDirectory {
+ public:
+  struct Entry {
+    std::string key;     ///< directory topic suffix (<recipe>/<task>)
+    std::string topic;   ///< flow topic (subscribe or tap this)
+    std::string type;    ///< producing node type
+    std::string module;  ///< hosting module
+    std::size_t partitions = 1;
+
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  /// Starts watching from `watcher` (any connected module). Entries
+  /// appear/disappear as recipes deploy/undeploy (retained messages make
+  /// the view catch up even when the watcher starts late).
+  Status attach(core::Middleware& mw, NodeId watcher);
+
+  [[nodiscard]] std::vector<Entry> entries() const;
+  /// Flows of a given node type ("sensor", "predict", ...).
+  [[nodiscard]] std::vector<Entry> by_type(const std::string& type) const;
+  /// The flow topic for <recipe>/<task>, or empty when unknown.
+  [[nodiscard]] std::string topic_of(const std::string& key) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Renders the directory as a table.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void on_announcement(const std::string& topic, const Bytes& payload);
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace ifot::mgmt

@@ -1,0 +1,143 @@
+#include "mgmt/paper_experiment.hpp"
+
+#include <cassert>
+
+namespace ifot::mgmt {
+
+std::string paper_recipe_text(double rate_hz, const std::string& algorithm,
+                              int train_parallelism, int predict_parallelism,
+                              bool partitioned, int brokers) {
+  std::string r = "recipe paper_eval\n";
+  const char* sensors[3] = {"a", "b", "c"};
+  int next_broker = 0;
+  for (const char* s : sensors) {
+    r += std::string("node sense_") + s + " : sensor { sensor = \"sensor_" +
+         s + "\", model = \"activity\", rate_hz = " +
+         std::to_string(rate_hz);
+    if (brokers > 1) {
+      r += ", broker = " + std::to_string(next_broker++ % brokers);
+    }
+    r += " }\n";
+  }
+  r += "node train : train { algorithm = \"" + algorithm +
+       "\", publish_every = 16";
+  if (train_parallelism > 1) {
+    r += ", parallelism = " + std::to_string(train_parallelism);
+    if (!partitioned) r += ", partitioned = false";
+  } else {
+    r += ", pin = \"module_e\"";
+  }
+  if (brokers > 1) {
+    r += ", broker = " + std::to_string(next_broker++ % brokers);
+  }
+  r += " }\n";
+  r += "node predictor : predict {";
+  if (predict_parallelism > 1) {
+    r += " parallelism = " + std::to_string(predict_parallelism) + " }\n";
+  } else {
+    r += " pin = \"module_f\" }\n";
+  }
+  r += "node display : actuator { actuator = \"display\" }\n";
+  for (const char* s : sensors) {
+    r += std::string("edge sense_") + s + " -> train\n";
+    r += std::string("edge sense_") + s + " -> predictor\n";
+  }
+  r += "edge train -> predictor\n";
+  r += "edge predictor -> display\n";
+  return r;
+}
+
+PaperExperimentResult run_paper_experiment(const PaperExperimentConfig& cfg) {
+  PaperExperimentResult result;
+  for (double rate : cfg.rates_hz) {
+    core::MiddlewareConfig mw_cfg;
+    mw_cfg.lan = cfg.lan;
+    mw_cfg.costs = cfg.costs;
+    mw_cfg.flow_qos = cfg.flow_qos;
+    mw_cfg.seed = cfg.seed;
+    mw_cfg.cpu_stall_mean_interval = cfg.stall_mean_interval;
+    mw_cfg.cpu_stall_min = cfg.stall_min;
+    mw_cfg.cpu_stall_max = cfg.stall_max;
+
+    core::Middleware mw(mw_cfg);
+    mw.add_module({.name = "module_a", .sensors = {"sensor_a"}});
+    mw.add_module({.name = "module_b", .sensors = {"sensor_b"}});
+    mw.add_module({.name = "module_c", .sensors = {"sensor_c"}});
+    mw.add_module({.name = "module_d", .broker = true, .accept_tasks = false});
+    for (int b = 1; b < cfg.brokers; ++b) {
+      mw.add_module({.name = "module_d" + std::to_string(b + 1),
+                     .broker = true,
+                     .accept_tasks = false});
+    }
+    mw.add_module({.name = "module_e"});
+    mw.add_module(
+        {.name = "module_f", .actuators = {"display"}});
+    for (int i = 0; i < cfg.extra_workers; ++i) {
+      mw.add_module({.name = "worker_" + std::to_string(i)});
+    }
+
+    auto started = mw.start();
+    assert(started);
+    (void)started;
+
+    const std::string recipe =
+        paper_recipe_text(rate, cfg.algorithm, cfg.train_parallelism,
+                          cfg.predict_parallelism, cfg.partitioned,
+                          cfg.brokers);
+    auto deployed = mw.deploy(recipe, "load_aware");
+    assert(deployed);
+    (void)deployed;
+
+    RateResult rr;
+    rr.rate_hz = rate;
+    mw.set_completion_hook([&rr](const recipe::Task& task,
+                                 const device::Sample& s, SimTime now) {
+      const SimDuration delay = now - s.sensed_at;
+      const std::string& node =
+          task.name.substr(0, task.name.find('#'));
+      if (node == "train") {
+        rr.train.record(delay);
+      } else if (node == "predictor") {
+        rr.predict.record(delay);
+      } else if (node == "display") {
+        ++rr.actuations;
+      }
+    });
+
+    mw.start_flows();
+    mw.run_for(cfg.duration);
+    mw.stop_flows();
+
+    rr.samples_emitted = mw.module_by_name("module_a")->counters().get(
+                             "samples_emitted") +
+                         mw.module_by_name("module_b")->counters().get(
+                             "samples_emitted") +
+                         mw.module_by_name("module_c")->counters().get(
+                             "samples_emitted");
+    rr.train_module_util = mw.module_by_name("module_e")->utilization();
+    rr.predict_module_util = mw.module_by_name("module_f")->utilization();
+    rr.broker_module_util = mw.module_by_name("module_d")->utilization();
+    result.rates.push_back(std::move(rr));
+  }
+  return result;
+}
+
+const std::vector<PaperRow>& paper_table2_reference() {
+  static const std::vector<PaperRow> kRows = {
+      {5, 58.969, 357.619},    {10, 60.904, 360.761},
+      {20, 232.944, 419.513},  {40, 1123.317, 1482.500},
+      {80, 1636.907, 1913.752},
+  };
+  return kRows;
+}
+
+const std::vector<PaperRow>& paper_table3_reference() {
+  static const std::vector<PaperRow> kRows = {
+      {5, 58.969, 346.142},   {10, 59.020, 334.501},
+      {20, 74.747, 373.992},  {40, 744.535, 819.748},
+      {80, 1144.580, 1249.122},
+  };
+  return kRows;
+}
+
+}  // namespace ifot::mgmt

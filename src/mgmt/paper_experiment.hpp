@@ -1,0 +1,102 @@
+// The management node's experiment harness reproducing the paper's
+// evaluation (Section V, Fig. 7/9, Tables II and III).
+//
+// Topology (six neuron modules + management):
+//   module_a/b/c  sensor + Publish classes (32-byte samples at the swept
+//                 rate; activity model so samples are labelled)
+//   module_d      Broker class only
+//   module_e      Subscribe + Train classes (Learning)
+//   module_f      Subscribe + Predict classes (Judging) + Actuator class
+//
+// Measured quantities, exactly as in the paper:
+//   sensing -> completion of training   (Table II)
+//   sensing -> completion of predicting (Table III)
+// swept over sensor generation rates {5, 10, 20, 40, 80} Hz.
+//
+// Calibration: the CostModel defaults in src/node/cpu_model.hpp are tuned
+// so the *shape* matches the paper — flat tens-of-ms latency through
+// 10 Hz, a knee between 20 and 40 Hz on the training path (the Train
+// module's CPU saturates near 55 samples/s), heavy queueing growth at
+// 80 Hz, and a predicting path that saturates later than training because
+// classification is cheaper than model update. Absolute values depend on
+// the authors' Python/Jubatus stack and are not claimed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/middleware.hpp"
+
+namespace ifot::mgmt {
+
+/// Parameters of one paper-experiment run.
+struct PaperExperimentConfig {
+  std::vector<double> rates_hz = {5, 10, 20, 40, 80};
+  /// Measurement window per rate (virtual time). At over-saturating rates
+  /// the queue grows linearly for the whole window, so the reported
+  /// average scales with the window length; 6 s is the window implied by
+  /// the paper's own numbers (avg ~1.1 s at 40 Hz with utilization ~2
+  /// gives (rho-1)/rho * T/2 ~ 1.1 s => T ~ 6 s).
+  SimDuration duration = 6 * kSecond;
+  std::uint64_t seed = 7;
+  std::string algorithm = "arow";
+  /// Shards of the train/predict stages (1 = the paper's prototype; >1 is
+  /// the "further parallelization" the paper names as future work).
+  int train_parallelism = 1;
+  int predict_parallelism = 1;
+  /// Extra train/predict worker modules (module_e2, ...) for shards.
+  int extra_workers = 0;
+  /// Partitioned routing for sharded stages (false = consumer-side
+  /// filtering; the X1 ablation).
+  bool partitioned = true;
+  /// Broker modules (1 = the paper's module D; >1 adds module_d2, ... and
+  /// spreads the sensor flows across them - broker decentralization).
+  int brokers = 1;
+  node::CostModel costs;
+  net::LanConfig lan;
+  mqtt::QoS flow_qos = mqtt::QoS::kAtMostOnce;
+  /// Rare runtime stalls (GC pauses, Wi-Fi retransmission storms), one
+  /// per ~stall_mean_interval per module — what makes the paper's
+  /// low-rate max ~6x its average. 0 disables.
+  SimDuration stall_mean_interval = 15 * kSecond;
+  SimDuration stall_min = from_millis(150);
+  SimDuration stall_max = from_millis(320);
+};
+
+/// Results at one sensing rate.
+struct RateResult {
+  double rate_hz = 0;
+  LatencyRecorder train;    ///< sensing -> training completion
+  LatencyRecorder predict;  ///< sensing -> predicting completion
+  double train_module_util = 0;
+  double predict_module_util = 0;
+  double broker_module_util = 0;
+  std::uint64_t samples_emitted = 0;
+  std::uint64_t actuations = 0;
+};
+
+/// Results of the full sweep.
+struct PaperExperimentResult {
+  std::vector<RateResult> rates;
+};
+
+/// Builds the paper recipe text for a given sensing rate.
+std::string paper_recipe_text(double rate_hz, const std::string& algorithm,
+                              int train_parallelism = 1,
+                              int predict_parallelism = 1,
+                              bool partitioned = true, int brokers = 1);
+
+/// Runs the sweep (one fresh fabric per rate, deterministic per seed).
+PaperExperimentResult run_paper_experiment(const PaperExperimentConfig& cfg);
+
+/// The numbers printed in the paper, for paper-vs-measured reporting.
+struct PaperRow {
+  double rate_hz;
+  double avg_ms;
+  double max_ms;
+};
+const std::vector<PaperRow>& paper_table2_reference();  ///< sensing-training
+const std::vector<PaperRow>& paper_table3_reference();  ///< sensing-predicting
+
+}  // namespace ifot::mgmt

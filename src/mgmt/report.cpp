@@ -1,0 +1,126 @@
+#include "mgmt/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace ifot::mgmt {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += " ";
+      line += cells[c];
+      line.append(widths[c] - cells[c].size(), ' ');
+      line += " |";
+    }
+    return line + "\n";
+  };
+  std::string rule = "+";
+  for (std::size_t w : widths) {
+    rule.append(w + 2, '-');
+    rule += "+";
+  }
+  rule += "\n";
+  std::string out = rule + render_row(headers_) + rule;
+  for (const auto& row : rows_) out += render_row(row);
+  out += rule;
+  return out;
+}
+
+std::string Table::to_csv() const {
+  auto csv_row = [](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) line += ",";
+      line += cells[c];
+    }
+    return line + "\n";
+  };
+  std::string out = csv_row(headers_);
+  for (const auto& row : rows_) out += csv_row(row);
+  return out;
+}
+
+std::string maybe_write_csv(const std::string& name, const Table& table) {
+  const char* dir = std::getenv("IFOT_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return {};
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) return {};
+  out << table.to_csv();
+  return path;
+}
+
+std::string format_paper_table(const PaperExperimentResult& result,
+                               bool training) {
+  const auto& reference =
+      training ? paper_table2_reference() : paper_table3_reference();
+  Table t({"rate (Hz)", "avg (ms)", "max (ms)", "p99 (ms)", "n",
+           "paper avg (ms)", "paper max (ms)"});
+  for (const auto& rr : result.rates) {
+    const LatencyRecorder& rec = training ? rr.train : rr.predict;
+    std::string paper_avg = "-";
+    std::string paper_max = "-";
+    for (const auto& row : reference) {
+      if (row.rate_hz == rr.rate_hz) {
+        paper_avg = Table::num(row.avg_ms);
+        paper_max = Table::num(row.max_ms);
+        break;
+      }
+    }
+    t.add_row({Table::num(rr.rate_hz, 0), Table::num(rec.avg_ms()),
+               Table::num(rec.max_ms()), Table::num(rec.percentile_ms(99)),
+               std::to_string(rec.count()), paper_avg, paper_max});
+  }
+  maybe_write_csv(training ? "table2_training" : "table3_predicting", t);
+  std::string title = training
+                          ? "Table II reproduction: sensing -> training\n"
+                          : "Table III reproduction: sensing -> predicting\n";
+  return title + t.to_string();
+}
+
+std::string shape_verdict(const PaperExperimentResult& result) {
+  if (result.rates.size() < 3) return "insufficient rates for a verdict";
+  const auto& low = result.rates.front();
+  const auto& high = result.rates.back();
+  // The paper's qualitative claims:
+  //  (1) low rates are processed with low latency;
+  //  (2) latency blows up at high rates (saturation);
+  //  (3) predicting saturates later / lower than training.
+  const bool low_ok = low.train.avg_ms() < 150 && low.predict.avg_ms() < 150;
+  const bool blowup = high.train.avg_ms() > 5 * low.train.avg_ms();
+  const bool predict_cheaper = high.predict.avg_ms() < high.train.avg_ms();
+  std::string out = "shape check: ";
+  out += low_ok ? "[ok] real-time at low rate; " : "[FAIL] slow at low rate; ";
+  out += blowup ? "[ok] saturation at high rate; "
+                : "[FAIL] no saturation at high rate; ";
+  out += predict_cheaper ? "[ok] predicting cheaper than training"
+                         : "[FAIL] predicting not cheaper than training";
+  return out;
+}
+
+}  // namespace ifot::mgmt

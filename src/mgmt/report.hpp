@@ -1,0 +1,50 @@
+// Report formatting for the management node: fixed-width tables in the
+// style of the paper's Tables II/III, with paper-vs-measured columns, and
+// CSV output for downstream plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mgmt/paper_experiment.hpp"
+
+namespace ifot::mgmt {
+
+/// Generic fixed-width ASCII table builder.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; cells beyond the header count are dropped.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with aligned columns and a header rule.
+  [[nodiscard]] std::string to_string() const;
+  /// Renders as CSV.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Formats a double with fixed precision.
+  static std::string num(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders Table II (sensing->training) or Table III (sensing->predicting)
+/// from an experiment result, with the paper's reference numbers beside
+/// the measured ones.
+std::string format_paper_table(const PaperExperimentResult& result,
+                               bool training);
+
+/// One-line shape verdict comparing measured results to the paper's
+/// qualitative claims (flat -> knee -> saturation; predict cheaper than
+/// train). Used by benches and EXPERIMENTS.md.
+std::string shape_verdict(const PaperExperimentResult& result);
+
+/// Writes `table` as <name>.csv under the directory named by the
+/// IFOT_CSV_DIR environment variable (for downstream plotting); no-op
+/// when the variable is unset. Returns the path written, or empty.
+std::string maybe_write_csv(const std::string& name, const Table& table);
+
+}  // namespace ifot::mgmt

@@ -1,0 +1,53 @@
+#include "mgmt/status_board.hpp"
+
+#include "mgmt/report.hpp"
+
+namespace ifot::mgmt {
+
+std::string fabric_status(core::Middleware& mw) {
+  Table t({"module", "role", "tasks", "cpu util", "backlog (ms)",
+           "samples out", "flows in", "state"});
+  for (NodeId id : mw.module_ids()) {
+    auto& m = mw.module(id);
+    std::string role = m.is_broker() ? "broker" : "worker";
+    if (!m.sensors().empty()) role += "+sensors";
+    if (!m.actuators().empty()) role += "+actuators";
+    std::string tasks;
+    for (const auto& dt : m.tasks()) {
+      if (!tasks.empty()) tasks += " ";
+      tasks += dt.task->spec().name;
+    }
+    if (tasks.empty()) tasks = "-";
+    t.add_row({m.name(), role, tasks, Table::num(m.utilization(), 2),
+               Table::num(to_millis(m.cpu().backlog()), 1),
+               std::to_string(m.counters().get("samples_emitted")),
+               std::to_string(m.counters().get("flow_dispatched") +
+                              m.counters().get("flow_dispatched_local")),
+               m.failed() ? "FAILED" : "up"});
+  }
+  std::string out = "fabric status\n" + t.to_string();
+
+  for (NodeId broker_id : mw.broker_modules()) {
+    auto& broker_mod = mw.module(broker_id);
+    auto* broker = broker_mod.broker();
+    if (broker == nullptr) continue;
+    Table b({"broker counter (" + broker_mod.name() + ")", "value"});
+    for (const auto& [name, value] : broker->counters().sorted()) {
+      b.add_row({name, std::to_string(value)});
+    }
+    b.add_row({"sessions", std::to_string(broker->session_count())});
+    b.add_row({"retained", std::to_string(broker->retained_count())});
+    out += "\n" + b.to_string();
+  }
+  return out;
+}
+
+std::string placement_board(const core::Middleware& mw) {
+  std::string out;
+  for (const auto& d : mw.deployments()) {
+    out += mw.describe(d);
+  }
+  return out.empty() ? "no deployments\n" : out;
+}
+
+}  // namespace ifot::mgmt

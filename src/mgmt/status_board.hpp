@@ -1,0 +1,19 @@
+// The management software's status view (the headless equivalent of the
+// paper's Fig. 8 GUI): which classes run on which modules, per-module CPU
+// state, and broker statistics.
+#pragma once
+
+#include <string>
+
+#include "core/middleware.hpp"
+
+namespace ifot::mgmt {
+
+/// Renders the per-module status table: name, role, deployed tasks,
+/// CPU utilization, backlog, traffic counters, failure state.
+std::string fabric_status(core::Middleware& mw);
+
+/// Renders the placement of every deployment (recipe -> task -> module).
+std::string placement_board(const core::Middleware& mw);
+
+}  // namespace ifot::mgmt

@@ -1,0 +1,115 @@
+#include "ml/anomaly.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ifot::ml {
+
+double ZScoreDetector::add(const FeatureVector& x) {
+  const double s = score(x);
+  ++count_;
+  for (const auto& [id, v] : x.items()) {
+    Stat& st = stats_[id];
+    ++st.n;
+    const double delta = v - st.mean;
+    st.mean += delta / static_cast<double>(st.n);
+    st.m2 += delta * (v - st.mean);
+  }
+  return s;
+}
+
+double ZScoreDetector::score(const FeatureVector& x) const {
+  if (count_ < min_samples_) return 0.0;
+  double worst = 0;
+  for (const auto& [id, v] : x.items()) {
+    auto it = stats_.find(id);
+    if (it == stats_.end() || it->second.n < 2) continue;
+    const double var =
+        it->second.m2 / static_cast<double>(it->second.n - 1);
+    const double sd = std::sqrt(std::max(var, 1e-12));
+    worst = std::max(worst, std::abs(v - it->second.mean) / sd);
+  }
+  return worst;
+}
+
+double LofDetector::distance(const FeatureVector& a, const FeatureVector& b) {
+  // Euclidean distance over the union of sparse supports.
+  double acc = 0;
+  const auto& ia = a.items();
+  const auto& ib = b.items();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < ia.size() || j < ib.size()) {
+    if (j >= ib.size() || (i < ia.size() && ia[i].first < ib[j].first)) {
+      acc += ia[i].second * ia[i].second;
+      ++i;
+    } else if (i >= ia.size() || ib[j].first < ia[i].first) {
+      acc += ib[j].second * ib[j].second;
+      ++j;
+    } else {
+      const double d = ia[i].second - ib[j].second;
+      acc += d * d;
+      ++i;
+      ++j;
+    }
+  }
+  return std::sqrt(acc);
+}
+
+std::vector<std::pair<double, std::size_t>> LofDetector::neighbours(
+    const FeatureVector& x, std::size_t skip) const {
+  std::vector<std::pair<double, std::size_t>> out;
+  out.reserve(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (i == skip) continue;
+    out.emplace_back(distance(x, points_[i]), i);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double LofDetector::kdist_of(std::size_t i) const {
+  const auto nn = neighbours(points_[i], i);
+  if (nn.empty()) return 0;
+  const std::size_t kth = std::min(k_, nn.size()) - 1;
+  return nn[kth].first;
+}
+
+double LofDetector::lrd_of(std::size_t i) const {
+  const auto nn = neighbours(points_[i], i);
+  if (nn.empty()) return 0;
+  const std::size_t kk = std::min(k_, nn.size());
+  double reach_sum = 0;
+  for (std::size_t j = 0; j < kk; ++j) {
+    const double reach = std::max(nn[j].first, kdist_of(nn[j].second));
+    reach_sum += reach;
+  }
+  if (reach_sum <= 1e-12) return 1e12;  // coincident points: huge density
+  return static_cast<double>(kk) / reach_sum;
+}
+
+double LofDetector::score(const FeatureVector& x) const {
+  if (points_.size() <= k_) return 1.0;
+  const auto nn = neighbours(x, SIZE_MAX);
+  const std::size_t kk = std::min(k_, nn.size());
+  double reach_sum = 0;
+  double lrd_sum = 0;
+  for (std::size_t j = 0; j < kk; ++j) {
+    reach_sum += std::max(nn[j].first, kdist_of(nn[j].second));
+    lrd_sum += lrd_of(nn[j].second);
+  }
+  if (reach_sum <= 1e-12) return 1.0;  // sits on top of its neighbours
+  const double lrd_x = static_cast<double>(kk) / reach_sum;
+  const double avg_lrd = lrd_sum / static_cast<double>(kk);
+  if (lrd_x <= 1e-12) return 1e12;
+  return avg_lrd / lrd_x;
+}
+
+double LofDetector::add(const FeatureVector& x) {
+  const double s = score(x);
+  points_.push_back(x);
+  if (points_.size() > window_) points_.pop_front();
+  return s;
+}
+
+}  // namespace ifot::ml

@@ -1,0 +1,81 @@
+// Streaming anomaly detection for sensor flows: the middleware's elderly-
+// monitoring scenario (paper §III-A.1) detects anomalies such as falls in
+// live sensor streams.
+//
+// Two detectors:
+//  * ZScoreDetector — per-feature running mean/variance (Welford); the
+//    anomaly score is the maximum absolute z-score across features.
+//  * LofDetector — Local Outlier Factor over a bounded window of recent
+//    points (the algorithm behind Jubatus's `anomaly` service, reduced to
+//    an exact in-window computation).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/feature.hpp"
+
+namespace ifot::ml {
+
+/// Per-feature streaming z-score detector.
+class ZScoreDetector {
+ public:
+  /// `min_samples` observations are required before scores are reported
+  /// (score is 0 until then).
+  explicit ZScoreDetector(std::size_t min_samples = 10)
+      : min_samples_(min_samples) {}
+
+  /// Adds an observation and returns its anomaly score (max |z|).
+  double add(const FeatureVector& x);
+
+  /// Scores without updating the statistics.
+  [[nodiscard]] double score(const FeatureVector& x) const;
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+ private:
+  struct Stat {
+    std::uint64_t n = 0;
+    double mean = 0;
+    double m2 = 0;
+  };
+  std::unordered_map<FeatureId, Stat> stats_;
+  std::size_t min_samples_;
+  std::uint64_t count_ = 0;
+};
+
+/// Exact LOF over a sliding window of recent points.
+class LofDetector {
+ public:
+  /// `k`: neighbourhood size; `window`: number of retained points.
+  explicit LofDetector(std::size_t k = 10, std::size_t window = 256)
+      : k_(k), window_(window) {}
+
+  /// Adds a point to the window and returns its LOF score (1.0 ~ inlier,
+  /// >> 1 ~ outlier). Returns 1.0 until the window holds k+1 points.
+  double add(const FeatureVector& x);
+
+  /// Scores a query point against the current window without inserting.
+  [[nodiscard]] double score(const FeatureVector& x) const;
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+ private:
+  [[nodiscard]] static double distance(const FeatureVector& a,
+                                       const FeatureVector& b);
+  /// Distances from `x` to all points except index `skip` (SIZE_MAX =
+  /// none), sorted ascending.
+  [[nodiscard]] std::vector<std::pair<double, std::size_t>> neighbours(
+      const FeatureVector& x, std::size_t skip) const;
+  /// k-distance and local reachability density of window point `i`.
+  [[nodiscard]] double lrd_of(std::size_t i) const;
+  [[nodiscard]] double kdist_of(std::size_t i) const;
+
+  std::size_t k_;
+  std::size_t window_;
+  std::deque<FeatureVector> points_;
+};
+
+}  // namespace ifot::ml

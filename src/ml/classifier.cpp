@@ -1,0 +1,161 @@
+#include "ml/classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ifot::ml {
+namespace {
+
+/// Adds coeff * x to the label's weights.
+void axpy(LabelWeights& lw, double coeff, const FeatureVector& x) {
+  for (const auto& [id, v] : x.items()) lw.w[id] += coeff * v;
+}
+
+}  // namespace
+
+Classification Classifier::classify(const FeatureVector& x) const {
+  Classification out;
+  const std::size_t n = model_.label_count();
+  if (n == 0) return out;
+  const auto scores = model_.scores(x);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (scores[i] > scores[best]) best = i;
+  }
+  out.label = model_.label_name(best);
+  out.score = scores[best];
+  if (n >= 2) {
+    double runner_up = -HUGE_VAL;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != best) runner_up = std::max(runner_up, scores[i]);
+    }
+    out.margin = scores[best] - runner_up;
+  } else {
+    out.margin = scores[best];
+  }
+  return out;
+}
+
+Classifier::TrainContext Classifier::prepare(const FeatureVector& x,
+                                             const std::string& label) {
+  const std::size_t y = model_.label_index(label);
+  const std::size_t n = model_.label_count();
+  std::size_t rival = SIZE_MAX;
+  double rival_score = -HUGE_VAL;
+  const auto scores = model_.scores(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == y) continue;
+    if (scores[i] > rival_score) {
+      rival_score = scores[i];
+      rival = i;
+    }
+  }
+  const double margin =
+      rival == SIZE_MAX ? HUGE_VAL : scores[y] - rival_score;
+  return {y, rival, margin};
+}
+
+void Perceptron::train(const FeatureVector& x, const std::string& label) {
+  const auto ctx = prepare(x, label);
+  model_.count_update();
+  if (ctx.rival == SIZE_MAX || ctx.margin > 0) return;
+  axpy(model_.weights(ctx.y), 1.0, x);
+  axpy(model_.weights(ctx.rival), -1.0, x);
+}
+
+void PassiveAggressive::train(const FeatureVector& x,
+                              const std::string& label) {
+  const auto ctx = prepare(x, label);
+  model_.count_update();
+  if (ctx.rival == SIZE_MAX) return;
+  const double loss = std::max(0.0, 1.0 - ctx.margin);
+  if (loss <= 0) return;
+  const double norm2 = x.norm2();
+  if (norm2 <= 0) return;
+  // The update touches two weight vectors, hence the factor 2 in the
+  // denominator (||x||^2 per touched vector).
+  double tau = 0;
+  switch (variant_) {
+    case Variant::kPA:
+      tau = loss / (2.0 * norm2);
+      break;
+    case Variant::kPA1:
+      tau = std::min(c_, loss / (2.0 * norm2));
+      break;
+    case Variant::kPA2:
+      tau = loss / (2.0 * norm2 + 1.0 / (2.0 * c_));
+      break;
+  }
+  axpy(model_.weights(ctx.y), tau, x);
+  axpy(model_.weights(ctx.rival), -tau, x);
+}
+
+void ConfidenceWeighted::train(const FeatureVector& x,
+                               const std::string& label) {
+  const auto ctx = prepare(x, label);
+  model_.count_update();
+  if (ctx.rival == SIZE_MAX) return;
+  LabelWeights& wy = model_.weights(ctx.y);
+  LabelWeights& wr = model_.weights(ctx.rival);
+  const double m = ctx.margin;
+  const double v = wy.variance(x) + wr.variance(x);
+  if (v <= 0) return;
+  // Closed-form CW-diag step (Dredze et al. 2008, eq. 8):
+  // alpha = max(0, (-m*phi^2 + sqrt(m^2 phi^4/4 + v phi^2)) / (v phi^2))
+  // simplified via gamma below.
+  const double gamma =
+      (-(1.0 + 2.0 * phi_ * m) +
+       std::sqrt((1.0 + 2.0 * phi_ * m) * (1.0 + 2.0 * phi_ * m) -
+                 8.0 * phi_ * (m - phi_ * v))) /
+      (4.0 * phi_ * v);
+  const double alpha = std::max(0.0, gamma);
+  if (alpha <= 0) return;
+  for (const auto& [id, xv] : x.items()) {
+    const double sy = wy.sigma_of(id);
+    const double sr = wr.sigma_of(id);
+    wy.w[id] += alpha * sy * xv;
+    wr.w[id] -= alpha * sr * xv;
+    // Variance shrink: sigma^-1 += 2 alpha phi x^2.
+    wy.sigma[id] = 1.0 / (1.0 / sy + 2.0 * alpha * phi_ * xv * xv);
+    wr.sigma[id] = 1.0 / (1.0 / sr + 2.0 * alpha * phi_ * xv * xv);
+  }
+}
+
+void Arow::train(const FeatureVector& x, const std::string& label) {
+  const auto ctx = prepare(x, label);
+  model_.count_update();
+  if (ctx.rival == SIZE_MAX) return;
+  const double loss = std::max(0.0, 1.0 - ctx.margin);
+  if (loss <= 0) return;
+  LabelWeights& wy = model_.weights(ctx.y);
+  LabelWeights& wr = model_.weights(ctx.rival);
+  const double v = wy.variance(x) + wr.variance(x);
+  const double beta = 1.0 / (v + r_);
+  const double alpha = loss * beta;
+  for (const auto& [id, xv] : x.items()) {
+    const double sy = wy.sigma_of(id);
+    const double sr = wr.sigma_of(id);
+    wy.w[id] += alpha * sy * xv;
+    wr.w[id] -= alpha * sr * xv;
+    wy.sigma[id] = sy - beta * sy * sy * xv * xv;
+    wr.sigma[id] = sr - beta * sr * sr * xv * xv;
+  }
+}
+
+std::unique_ptr<Classifier> make_classifier(const std::string& algorithm) {
+  if (algorithm == "perceptron") return std::make_unique<Perceptron>();
+  if (algorithm == "pa") {
+    return std::make_unique<PassiveAggressive>(PassiveAggressive::Variant::kPA);
+  }
+  if (algorithm == "pa1") {
+    return std::make_unique<PassiveAggressive>(PassiveAggressive::Variant::kPA1);
+  }
+  if (algorithm == "pa2") {
+    return std::make_unique<PassiveAggressive>(PassiveAggressive::Variant::kPA2);
+  }
+  if (algorithm == "cw") return std::make_unique<ConfidenceWeighted>();
+  if (algorithm == "arow") return std::make_unique<Arow>();
+  return nullptr;
+}
+
+}  // namespace ifot::ml

@@ -1,0 +1,122 @@
+// Online multiclass linear classifiers — the algorithm families shipped by
+// Jubatus (the paper's flow-analysis engine): Perceptron, Passive-
+// Aggressive (PA, PA-I, PA-II), Confidence-Weighted (CW, diagonal) and
+// AROW (diagonal).
+//
+// All operate on a shared LinearModel so distributed replicas can be MIXed
+// (ml/mix.hpp). Updates follow the standard max-score-rival multiclass
+// reduction: for a labelled example (x, y), let r = argmax_{c != y} s_c(x);
+// the margin is m = s_y(x) - s_r(x) and each algorithm decides its step
+// from m (and, for CW/AROW, the per-coordinate confidences).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/linear_model.hpp"
+
+namespace ifot::ml {
+
+/// Result of classifying one example.
+struct Classification {
+  std::string label;      ///< best label ("" when the model is empty)
+  double score = 0;       ///< best score
+  double margin = 0;      ///< best minus runner-up score
+};
+
+/// Common interface of all online classifiers.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Consumes one labelled example.
+  virtual void train(const FeatureVector& x, const std::string& label) = 0;
+
+  /// Predicts the label of `x`.
+  [[nodiscard]] Classification classify(const FeatureVector& x) const;
+
+  [[nodiscard]] LinearModel& model() { return model_; }
+  [[nodiscard]] const LinearModel& model() const { return model_; }
+  /// Replaces the model (MIX pushes averaged weights back this way).
+  void set_model(LinearModel m) { model_ = std::move(m); }
+
+  /// Algorithm name (for logs and model files).
+  [[nodiscard]] virtual const char* name() const = 0;
+
+ protected:
+  /// Returns (y_index, rival_index, margin); registers the label. The
+  /// rival is the highest-scoring wrong label, or SIZE_MAX when y is the
+  /// only label so far.
+  struct TrainContext {
+    std::size_t y;
+    std::size_t rival;
+    double margin;
+  };
+  TrainContext prepare(const FeatureVector& x, const std::string& label);
+
+  LinearModel model_;
+};
+
+/// Multiclass perceptron: on margin <= 0, w_y += x, w_rival -= x.
+class Perceptron final : public Classifier {
+ public:
+  void train(const FeatureVector& x, const std::string& label) override;
+  [[nodiscard]] const char* name() const override { return "perceptron"; }
+};
+
+/// Passive-Aggressive family. Variant selects the step clipping:
+/// PA (unbounded), PA-I (min(C, .)), PA-II (soft regularized).
+class PassiveAggressive final : public Classifier {
+ public:
+  enum class Variant { kPA, kPA1, kPA2 };
+
+  explicit PassiveAggressive(Variant variant = Variant::kPA1, double c = 1.0)
+      : variant_(variant), c_(c) {}
+
+  void train(const FeatureVector& x, const std::string& label) override;
+  [[nodiscard]] const char* name() const override {
+    switch (variant_) {
+      case Variant::kPA: return "pa";
+      case Variant::kPA1: return "pa1";
+      case Variant::kPA2: return "pa2";
+    }
+    return "pa";
+  }
+
+ private:
+  Variant variant_;
+  double c_;
+};
+
+/// Diagonal Confidence-Weighted learning (Dredze et al.), multiclass
+/// max-score reduction; phi is the confidence parameter (Phi^-1(eta)).
+class ConfidenceWeighted final : public Classifier {
+ public:
+  explicit ConfidenceWeighted(double phi = 1.0) : phi_(phi) {}
+
+  void train(const FeatureVector& x, const std::string& label) override;
+  [[nodiscard]] const char* name() const override { return "cw"; }
+
+ private:
+  double phi_;
+};
+
+/// AROW (Crammer et al., diagonal): robust to label noise; r is the
+/// regularization parameter.
+class Arow final : public Classifier {
+ public:
+  explicit Arow(double r = 0.1) : r_(r) {}
+
+  void train(const FeatureVector& x, const std::string& label) override;
+  [[nodiscard]] const char* name() const override { return "arow"; }
+
+ private:
+  double r_;
+};
+
+/// Factory by algorithm name ("perceptron", "pa", "pa1", "pa2", "cw",
+/// "arow"); returns nullptr for unknown names.
+std::unique_ptr<Classifier> make_classifier(const std::string& algorithm);
+
+}  // namespace ifot::ml

@@ -1,0 +1,87 @@
+#include "ml/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ifot::ml {
+
+double SequentialKMeans::distance2(const FeatureVector& a,
+                                   const FeatureVector& b) {
+  double acc = 0;
+  const auto& ia = a.items();
+  const auto& ib = b.items();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < ia.size() || j < ib.size()) {
+    if (j >= ib.size() || (i < ia.size() && ia[i].first < ib[j].first)) {
+      acc += ia[i].second * ia[i].second;
+      ++i;
+    } else if (i >= ia.size() || ib[j].first < ia[i].first) {
+      acc += ib[j].second * ib[j].second;
+      ++j;
+    } else {
+      const double d = ia[i].second - ib[j].second;
+      acc += d * d;
+      ++i;
+      ++j;
+    }
+  }
+  return acc;
+}
+
+std::size_t SequentialKMeans::assign(const FeatureVector& x) const {
+  if (centroids_.empty()) return SIZE_MAX;
+  std::size_t best = 0;
+  double best_d = distance2(x, centroids_[0]);
+  for (std::size_t i = 1; i < centroids_.size(); ++i) {
+    const double d = distance2(x, centroids_[i]);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double SequentialKMeans::nearest_distance2(const FeatureVector& x) const {
+  const std::size_t i = assign(x);
+  if (i == SIZE_MAX) return std::numeric_limits<double>::infinity();
+  return distance2(x, centroids_[i]);
+}
+
+std::size_t SequentialKMeans::add(const FeatureVector& x) {
+  if (centroids_.size() < k_) {
+    // Seed with the first k distinct points.
+    for (std::size_t i = 0; i < centroids_.size(); ++i) {
+      if (centroids_[i] == x) {
+        ++counts_[i];
+        return i;
+      }
+    }
+    centroids_.push_back(x);
+    counts_.push_back(1);
+    return centroids_.size() - 1;
+  }
+  const std::size_t c = assign(x);
+  ++counts_[c];
+  const double eta = 1.0 / static_cast<double>(counts_[c]);
+  // centroid += eta * (x - centroid), over the union of supports.
+  FeatureVector& cent = centroids_[c];
+  // Collect unique ids present in either vector first (cent mutates
+  // below, and a duplicate id would apply the update twice).
+  std::vector<FeatureId> ids;
+  ids.reserve(cent.items().size() + x.items().size());
+  for (const auto& [id, _] : cent.items()) ids.push_back(id);
+  for (const auto& [id, _] : x.items()) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  for (FeatureId id : ids) {
+    const double cv = cent.get(id);
+    const double xv = x.get(id);
+    cent.set(id, cv + eta * (xv - cv));
+  }
+  return c;
+}
+
+}  // namespace ifot::ml

@@ -1,0 +1,52 @@
+// Online clustering: sequential k-means (MacQueen) — the lightweight
+// stream-clustering capability the paper lists among supported analyses
+// ("complicated tasks such as anomaly detection and clustering").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/feature.hpp"
+
+namespace ifot::ml {
+
+/// Sequential k-means over a stream of sparse points.
+///
+/// The first k distinct points seed the centroids; afterwards each point
+/// moves its nearest centroid by 1/n_c (per-cluster counts), the MacQueen
+/// update. Centroids are kept dense over the feature ids seen so far.
+class SequentialKMeans {
+ public:
+  explicit SequentialKMeans(std::size_t k) : k_(k) {}
+
+  /// Assigns `x` to a cluster, updates that centroid, and returns the
+  /// cluster index.
+  std::size_t add(const FeatureVector& x);
+
+  /// Nearest-centroid assignment without updating; SIZE_MAX when no
+  /// centroids exist yet.
+  [[nodiscard]] std::size_t assign(const FeatureVector& x) const;
+
+  /// Squared distance from x to its nearest centroid (inertia sample);
+  /// +inf when no centroids exist.
+  [[nodiscard]] double nearest_distance2(const FeatureVector& x) const;
+
+  [[nodiscard]] std::size_t cluster_count() const { return centroids_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t cluster) const {
+    return counts_[cluster];
+  }
+  [[nodiscard]] const FeatureVector& centroid(std::size_t cluster) const {
+    return centroids_[cluster];
+  }
+
+ private:
+  [[nodiscard]] static double distance2(const FeatureVector& a,
+                                        const FeatureVector& b);
+
+  std::size_t k_;
+  std::vector<FeatureVector> centroids_;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace ifot::ml

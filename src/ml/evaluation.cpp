@@ -1,0 +1,125 @@
+#include "ml/evaluation.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ifot::ml {
+
+std::size_t ConfusionMatrix::index_of(const std::string& label) const {
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) return i;
+  }
+  return SIZE_MAX;
+}
+
+std::size_t ConfusionMatrix::intern(const std::string& label) {
+  const std::size_t existing = index_of(label);
+  if (existing != SIZE_MAX) return existing;
+  const std::size_t n = labels_.size();
+  labels_.push_back(label);
+  // Grow the row-major matrix from n x n to (n+1) x (n+1) in place.
+  std::vector<std::uint64_t> grown((n + 1) * (n + 1), 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      grown[r * (n + 1) + c] = cells_[r * n + c];
+    }
+  }
+  cells_ = std::move(grown);
+  return n;
+}
+
+void ConfusionMatrix::record(const std::string& truth,
+                             const std::string& predicted) {
+  const std::size_t t = intern(truth);
+  const std::size_t p = intern(predicted);
+  cells_[t * labels_.size() + p] += 1;
+  ++total_;
+  if (t == p) ++correct_;
+}
+
+double ConfusionMatrix::accuracy() const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(correct_) /
+                           static_cast<double>(total_);
+}
+
+std::uint64_t ConfusionMatrix::count(const std::string& truth,
+                                     const std::string& predicted) const {
+  const std::size_t t = index_of(truth);
+  const std::size_t p = index_of(predicted);
+  if (t == SIZE_MAX || p == SIZE_MAX) return 0;
+  return cells_[t * labels_.size() + p];
+}
+
+double ConfusionMatrix::precision(const std::string& label) const {
+  const std::size_t p = index_of(label);
+  if (p == SIZE_MAX) return 0;
+  std::uint64_t predicted = 0;
+  for (std::size_t t = 0; t < labels_.size(); ++t) {
+    predicted += cells_[t * labels_.size() + p];
+  }
+  if (predicted == 0) return 0;
+  return static_cast<double>(cells_[p * labels_.size() + p]) /
+         static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(const std::string& label) const {
+  const std::size_t t = index_of(label);
+  if (t == SIZE_MAX) return 0;
+  std::uint64_t observed = 0;
+  for (std::size_t p = 0; p < labels_.size(); ++p) {
+    observed += cells_[t * labels_.size() + p];
+  }
+  if (observed == 0) return 0;
+  return static_cast<double>(cells_[t * labels_.size() + t]) /
+         static_cast<double>(observed);
+}
+
+double ConfusionMatrix::macro_recall() const {
+  if (labels_.empty()) return 0;
+  double acc = 0;
+  std::size_t counted = 0;
+  for (const auto& label : labels_) {
+    // Only labels that were actually observed as truth contribute.
+    const std::size_t t = index_of(label);
+    std::uint64_t observed = 0;
+    for (std::size_t p = 0; p < labels_.size(); ++p) {
+      observed += cells_[t * labels_.size() + p];
+    }
+    if (observed == 0) continue;
+    acc += recall(label);
+    ++counted;
+  }
+  return counted == 0 ? 0 : acc / static_cast<double>(counted);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::string out = "truth \\ predicted";
+  for (const auto& l : labels_) out += "\t" + l;
+  out += "\n";
+  for (std::size_t t = 0; t < labels_.size(); ++t) {
+    out += labels_[t];
+    for (std::size_t p = 0; p < labels_.size(); ++p) {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "\t%llu",
+                    static_cast<unsigned long long>(
+                        cells_[t * labels_.size() + p]));
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+EvaluationResult evaluate(
+    const Classifier& clf,
+    const std::vector<std::pair<FeatureVector, std::string>>& test_set) {
+  EvaluationResult result;
+  for (const auto& [fv, truth] : test_set) {
+    result.matrix.record(truth, clf.classify(fv).label);
+  }
+  result.accuracy = result.matrix.accuracy();
+  return result;
+}
+
+}  // namespace ifot::ml

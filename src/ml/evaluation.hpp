@@ -1,0 +1,61 @@
+// Online evaluation utilities for the flow-analysis function: a streaming
+// confusion matrix with accuracy / per-class precision / recall, used to
+// judge Learning-class output quality in benches and applications.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace ifot::ml {
+
+/// Streaming multiclass confusion matrix. Labels are registered on first
+/// sight; O(labels^2) storage, suitable for the small label sets of IoT
+/// context recognition.
+class ConfusionMatrix {
+ public:
+  /// Records one (truth, predicted) observation.
+  void record(const std::string& truth, const std::string& predicted);
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Fraction of observations where predicted == truth; 0 when empty.
+  [[nodiscard]] double accuracy() const;
+  /// Correct predictions for `label` / all predictions of `label`;
+  /// 0 when the label was never predicted.
+  [[nodiscard]] double precision(const std::string& label) const;
+  /// Correct predictions for `label` / all observations of `label`;
+  /// 0 when the label was never observed.
+  [[nodiscard]] double recall(const std::string& label) const;
+  /// Unweighted mean of per-class recall (balanced accuracy).
+  [[nodiscard]] double macro_recall() const;
+
+  [[nodiscard]] std::vector<std::string> labels() const { return labels_; }
+  /// Count of observations with the given truth and prediction.
+  [[nodiscard]] std::uint64_t count(const std::string& truth,
+                                    const std::string& predicted) const;
+
+  /// Renders the matrix (rows = truth, columns = predicted).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  [[nodiscard]] std::size_t index_of(const std::string& label) const;
+  std::size_t intern(const std::string& label);
+
+  std::vector<std::string> labels_;
+  std::vector<std::uint64_t> cells_;  // labels x labels, row-major (truth)
+  std::uint64_t total_ = 0;
+  std::uint64_t correct_ = 0;
+};
+
+/// Convenience: evaluates a classifier over a labelled test set.
+struct EvaluationResult {
+  ConfusionMatrix matrix;
+  double accuracy = 0;
+};
+EvaluationResult evaluate(
+    const Classifier& clf,
+    const std::vector<std::pair<FeatureVector, std::string>>& test_set);
+
+}  // namespace ifot::ml

@@ -1,0 +1,66 @@
+#include "ml/feature.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ifot::ml {
+
+void FeatureVector::set(FeatureId id, double value) {
+  auto it = std::lower_bound(
+      items_.begin(), items_.end(), id,
+      [](const auto& a, FeatureId b) { return a.first < b; });
+  if (it != items_.end() && it->first == id) {
+    it->second = value;
+  } else {
+    items_.insert(it, {id, value});
+  }
+}
+
+void FeatureVector::add(FeatureId id, double value) {
+  auto it = std::lower_bound(
+      items_.begin(), items_.end(), id,
+      [](const auto& a, FeatureId b) { return a.first < b; });
+  if (it != items_.end() && it->first == id) {
+    it->second += value;
+  } else {
+    items_.insert(it, {id, value});
+  }
+}
+
+double FeatureVector::get(FeatureId id) const {
+  auto it = std::lower_bound(
+      items_.begin(), items_.end(), id,
+      [](const auto& a, FeatureId b) { return a.first < b; });
+  return (it != items_.end() && it->first == id) ? it->second : 0.0;
+}
+
+double FeatureVector::norm2() const {
+  double acc = 0;
+  for (const auto& [_, v] : items_) acc += v * v;
+  return acc;
+}
+
+void FeatureVector::scale(double s) {
+  for (auto& [_, v] : items_) v *= s;
+}
+
+FeatureId FeatureNames::id_of(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<FeatureId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+FeatureId FeatureNames::find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kMissing : it->second;
+}
+
+const std::string& FeatureNames::name_of(FeatureId id) const {
+  assert(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace ifot::ml

@@ -1,0 +1,84 @@
+// Sparse feature vectors for online learning (Jubatus-style datum ->
+// feature-vector conversion, reduced to the numeric case the middleware
+// needs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ifot::ml {
+
+/// Feature index: interned id of a feature name.
+using FeatureId = std::uint32_t;
+
+/// A sparse feature vector: sorted unique (id, value) pairs.
+class FeatureVector {
+ public:
+  FeatureVector() = default;
+
+  /// Sets feature `id` to `value` (replaces existing).
+  void set(FeatureId id, double value);
+  /// Adds `value` to feature `id` (inserting if absent).
+  void add(FeatureId id, double value);
+  [[nodiscard]] double get(FeatureId id) const;
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  void clear() { items_.clear(); }
+
+  /// Squared L2 norm.
+  [[nodiscard]] double norm2() const;
+  /// Scales all values in place.
+  void scale(double s);
+
+  [[nodiscard]] const std::vector<std::pair<FeatureId, double>>& items()
+      const {
+    return items_;
+  }
+
+  friend bool operator==(const FeatureVector&, const FeatureVector&) = default;
+
+ private:
+  // Kept sorted by id; vectors here are tiny (sensor dimensions).
+  std::vector<std::pair<FeatureId, double>> items_;
+};
+
+/// Interns feature names to dense FeatureIds; shared by all models of one
+/// application so ids agree across distributed learners (required for MIX).
+class FeatureNames {
+ public:
+  /// Returns the id for `name`, interning it on first use.
+  FeatureId id_of(std::string_view name);
+  /// Returns the id if interned, or kMissing.
+  [[nodiscard]] FeatureId find(std::string_view name) const;
+  [[nodiscard]] const std::string& name_of(FeatureId id) const;
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+  static constexpr FeatureId kMissing = 0xFFFFFFFFu;
+
+ private:
+  std::unordered_map<std::string, FeatureId> index_;
+  std::vector<std::string> names_;
+};
+
+/// Convenience builder: fv.set("temp", 22.5) with a shared name table.
+class FeatureBuilder {
+ public:
+  explicit FeatureBuilder(FeatureNames& names) : names_(names) {}
+
+  FeatureBuilder& set(std::string_view name, double value) {
+    fv_.set(names_.id_of(name), value);
+    return *this;
+  }
+
+  [[nodiscard]] FeatureVector build() { return std::move(fv_); }
+
+ private:
+  FeatureNames& names_;  // NOLINT(cppcoreguidelines-avoid-const-or-ref-data-members)
+  FeatureVector fv_;
+};
+
+}  // namespace ifot::ml

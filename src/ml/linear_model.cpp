@@ -1,0 +1,61 @@
+#include "ml/linear_model.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ifot::ml {
+
+std::size_t LinearModel::label_index(const std::string& label) {
+  auto it = label_index_.find(label);
+  if (it != label_index_.end()) return it->second;
+  const std::size_t idx = labels_.size();
+  labels_.push_back(label);
+  label_index_.emplace(label, idx);
+  weights_.emplace_back();
+  return idx;
+}
+
+std::size_t LinearModel::find_label(const std::string& label) const {
+  auto it = label_index_.find(label);
+  return it == label_index_.end() ? SIZE_MAX : it->second;
+}
+
+const std::string& LinearModel::label_name(std::size_t index) const {
+  assert(index < labels_.size());
+  return labels_[index];
+}
+
+std::vector<double> LinearModel::scores(const FeatureVector& x) const {
+  std::vector<double> out(labels_.size());
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    out[i] = weights_[i].score(x);
+  }
+  return out;
+}
+
+std::size_t LinearModel::argmax(const FeatureVector& x) const {
+  if (labels_.empty()) return SIZE_MAX;
+  std::size_t best = 0;
+  double best_score = weights_[0].score(x);
+  for (std::size_t i = 1; i < weights_.size(); ++i) {
+    const double s = weights_[i].score(x);
+    if (s > best_score) {
+      best_score = s;
+      best = i;
+    }
+  }
+  return best;
+}
+
+bool operator==(const LinearModel& a, const LinearModel& b) {
+  if (a.labels_ != b.labels_) return false;
+  if (a.update_count_ != b.update_count_) return false;
+  if (a.weights_.size() != b.weights_.size()) return false;
+  for (std::size_t i = 0; i < a.weights_.size(); ++i) {
+    if (a.weights_[i].w != b.weights_[i].w) return false;
+    if (a.weights_[i].sigma != b.weights_[i].sigma) return false;
+  }
+  return true;
+}
+
+}  // namespace ifot::ml

@@ -1,0 +1,85 @@
+// Shared state of multiclass linear models: per-label weight vectors and
+// (for confidence-weighted algorithms) per-label diagonal covariances.
+// This is the unit that Jubatus-style MIX averages across distributed
+// learners.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/feature.hpp"
+
+namespace ifot::ml {
+
+/// Sparse weight (and covariance) storage for one label.
+struct LabelWeights {
+  std::unordered_map<FeatureId, double> w;
+  /// Diagonal covariance; entries default to 1.0 when absent. Only used
+  /// by confidence-weighted algorithms (CW, AROW).
+  std::unordered_map<FeatureId, double> sigma;
+
+  [[nodiscard]] double score(const FeatureVector& x) const {
+    double s = 0;
+    for (const auto& [id, v] : x.items()) {
+      if (auto it = w.find(id); it != w.end()) s += it->second * v;
+    }
+    return s;
+  }
+
+  [[nodiscard]] double variance(const FeatureVector& x) const {
+    double s = 0;
+    for (const auto& [id, v] : x.items()) {
+      auto it = sigma.find(id);
+      const double sig = it == sigma.end() ? 1.0 : it->second;
+      s += sig * v * v;
+    }
+    return s;
+  }
+
+  [[nodiscard]] double sigma_of(FeatureId id) const {
+    auto it = sigma.find(id);
+    return it == sigma.end() ? 1.0 : it->second;
+  }
+};
+
+/// Multiclass linear model: label registry + per-label weights.
+class LinearModel {
+ public:
+  /// Returns the index of `label`, registering it on first use.
+  std::size_t label_index(const std::string& label);
+  /// Returns the index if known, SIZE_MAX otherwise.
+  [[nodiscard]] std::size_t find_label(const std::string& label) const;
+  [[nodiscard]] const std::string& label_name(std::size_t index) const;
+  [[nodiscard]] std::size_t label_count() const { return labels_.size(); }
+
+  [[nodiscard]] LabelWeights& weights(std::size_t index) {
+    return weights_[index];
+  }
+  [[nodiscard]] const LabelWeights& weights(std::size_t index) const {
+    return weights_[index];
+  }
+
+  /// Scores every label; result parallel to label indices.
+  [[nodiscard]] std::vector<double> scores(const FeatureVector& x) const;
+
+  /// Index of the highest-scoring label, SIZE_MAX when no labels exist.
+  [[nodiscard]] std::size_t argmax(const FeatureVector& x) const;
+
+  /// Number of updates applied (used to weight MIX averaging).
+  [[nodiscard]] std::uint64_t update_count() const { return update_count_; }
+  void count_update() { ++update_count_; }
+  void set_update_count(std::uint64_t n) { update_count_ = n; }
+
+  friend bool operator==(const LinearModel& a, const LinearModel& b);
+
+ private:
+  friend class ModelCodec;
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, std::size_t> label_index_;
+  std::vector<LabelWeights> weights_;
+  std::uint64_t update_count_ = 0;
+};
+
+}  // namespace ifot::ml

@@ -1,0 +1,79 @@
+#include "ml/mix.hpp"
+
+#include <unordered_set>
+
+namespace ifot::ml {
+
+LinearModel mix_models(std::span<const LinearModel* const> models) {
+  LinearModel out;
+  if (models.empty()) return out;
+
+  // Union of labels, in first-seen order for determinism.
+  for (const LinearModel* m : models) {
+    for (std::size_t i = 0; i < m->label_count(); ++i) {
+      out.label_index(m->label_name(i));
+    }
+  }
+
+  // Per-model mixing weights: proportional to update counts (a learner
+  // that saw more data contributes more), uniform when no one trained.
+  double total = 0;
+  for (const LinearModel* m : models) {
+    total += static_cast<double>(m->update_count());
+  }
+  std::vector<double> mix_w(models.size());
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    mix_w[i] = total > 0
+                   ? static_cast<double>(models[i]->update_count()) / total
+                   : 1.0 / static_cast<double>(models.size());
+  }
+
+  std::uint64_t updates = 0;
+  for (std::size_t li = 0; li < out.label_count(); ++li) {
+    LabelWeights& dst = out.weights(li);
+    const std::string& label = out.label_name(li);
+    // Union of feature ids for this label across models.
+    std::unordered_set<FeatureId> w_ids;
+    std::unordered_set<FeatureId> sigma_ids;
+    for (const LinearModel* m : models) {
+      const std::size_t src_li = m->find_label(label);
+      if (src_li == SIZE_MAX) continue;
+      for (const auto& [id, _] : m->weights(src_li).w) w_ids.insert(id);
+      for (const auto& [id, _] : m->weights(src_li).sigma) sigma_ids.insert(id);
+    }
+    for (FeatureId id : w_ids) {
+      double acc = 0;
+      for (std::size_t mi = 0; mi < models.size(); ++mi) {
+        const std::size_t src_li = models[mi]->find_label(label);
+        if (src_li == SIZE_MAX) continue;  // missing label => weight 0
+        const auto& w = models[mi]->weights(src_li).w;
+        if (auto it = w.find(id); it != w.end()) acc += mix_w[mi] * it->second;
+      }
+      dst.w[id] = acc;
+    }
+    for (FeatureId id : sigma_ids) {
+      double acc = 0;
+      for (std::size_t mi = 0; mi < models.size(); ++mi) {
+        const std::size_t src_li = models[mi]->find_label(label);
+        // Missing label/entry contributes the prior sigma of 1.0.
+        const double sigma = src_li == SIZE_MAX
+                                 ? 1.0
+                                 : models[mi]->weights(src_li).sigma_of(id);
+        acc += mix_w[mi] * sigma;
+      }
+      dst.sigma[id] = acc;
+    }
+  }
+  for (const LinearModel* m : models) updates += m->update_count();
+  out.set_update_count(updates);
+  return out;
+}
+
+LinearModel mix_models(const std::vector<LinearModel>& models) {
+  std::vector<const LinearModel*> ptrs;
+  ptrs.reserve(models.size());
+  for (const auto& m : models) ptrs.push_back(&m);
+  return mix_models(std::span<const LinearModel* const>(ptrs));
+}
+
+}  // namespace ifot::ml

@@ -1,0 +1,26 @@
+// Jubatus-style MIX: periodic model averaging across distributed online
+// learners. Each learner trains on its local shard of the stream; MIX
+// gathers the models, computes an update-count-weighted average of the
+// weight vectors, and pushes the averaged model back to every learner.
+// This is the mechanism that makes the middleware's distributed Learning
+// class converge to a shared model (paper §IV-C.2, Managing class).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/linear_model.hpp"
+
+namespace ifot::ml {
+
+/// Computes the weighted average of `models` (weights = per-model update
+/// counts since the models were last reset; uniform when all are zero).
+/// Labels are unioned across models. sigma (confidence) entries are
+/// averaged the same way, missing entries counting as the prior 1.0.
+[[nodiscard]] LinearModel mix_models(
+    std::span<const LinearModel* const> models);
+
+/// Convenience overload for a vector of models.
+[[nodiscard]] LinearModel mix_models(const std::vector<LinearModel>& models);
+
+}  // namespace ifot::ml

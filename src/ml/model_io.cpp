@@ -1,0 +1,111 @@
+#include "ml/model_io.hpp"
+
+#include <algorithm>
+
+#include "common/bytes.hpp"
+
+namespace ifot::ml {
+namespace {
+
+constexpr std::uint8_t kLinearVersion = 1;
+constexpr std::uint8_t kRegressionVersion = 1;
+
+/// Writes a sparse map sorted by id so encoding is deterministic.
+void write_map(BinaryWriter& w,
+               const std::unordered_map<FeatureId, double>& m) {
+  std::vector<std::pair<FeatureId, double>> sorted(m.begin(), m.end());
+  std::sort(sorted.begin(), sorted.end());
+  w.varint(sorted.size());
+  for (const auto& [id, v] : sorted) {
+    w.u32(id);
+    w.f64(v);
+  }
+}
+
+Result<std::unordered_map<FeatureId, double>> read_map(BinaryReader& r) {
+  auto n = r.varint();
+  if (!n) return n.error();
+  std::unordered_map<FeatureId, double> out;
+  out.reserve(static_cast<std::size_t>(n.value()));
+  for (std::uint64_t i = 0; i < n.value(); ++i) {
+    auto id = r.u32();
+    if (!id) return id.error();
+    auto v = r.f64();
+    if (!v) return v.error();
+    out[id.value()] = v.value();
+  }
+  return out;
+}
+
+}  // namespace
+
+Bytes ModelCodec::encode(const LinearModel& model) {
+  Bytes out;
+  BinaryWriter w(out);
+  w.u8(kLinearVersion);
+  w.u64(model.update_count());
+  w.varint(model.label_count());
+  for (std::size_t i = 0; i < model.label_count(); ++i) {
+    w.str(model.label_name(i));
+    write_map(w, model.weights(i).w);
+    write_map(w, model.weights(i).sigma);
+  }
+  return out;
+}
+
+Result<LinearModel> ModelCodec::decode_linear(BytesView data) {
+  BinaryReader r(data);
+  auto version = r.u8();
+  if (!version) return version.error();
+  if (version.value() != kLinearVersion) {
+    return Err(Errc::kUnsupported, "unknown linear model version");
+  }
+  auto updates = r.u64();
+  if (!updates) return updates.error();
+  auto n_labels = r.varint();
+  if (!n_labels) return n_labels.error();
+  LinearModel model;
+  for (std::uint64_t i = 0; i < n_labels.value(); ++i) {
+    auto label = r.str();
+    if (!label) return label.error();
+    const std::size_t idx = model.label_index(label.value());
+    auto w_map = read_map(r);
+    if (!w_map) return w_map.error();
+    auto sigma_map = read_map(r);
+    if (!sigma_map) return sigma_map.error();
+    model.weights(idx).w = std::move(w_map).value();
+    model.weights(idx).sigma = std::move(sigma_map).value();
+  }
+  if (!r.at_end()) return Err(Errc::kParse, "trailing bytes in model");
+  model.set_update_count(updates.value());
+  return model;
+}
+
+Bytes ModelCodec::encode(const PaRegression& model) {
+  Bytes out;
+  BinaryWriter w(out);
+  w.u8(kRegressionVersion);
+  w.u64(model.update_count());
+  write_map(w, model.weights());
+  return out;
+}
+
+Result<PaRegression> ModelCodec::decode_regression(BytesView data) {
+  BinaryReader r(data);
+  auto version = r.u8();
+  if (!version) return version.error();
+  if (version.value() != kRegressionVersion) {
+    return Err(Errc::kUnsupported, "unknown regression model version");
+  }
+  auto updates = r.u64();
+  if (!updates) return updates.error();
+  auto w_map = read_map(r);
+  if (!w_map) return w_map.error();
+  if (!r.at_end()) return Err(Errc::kParse, "trailing bytes in model");
+  PaRegression model;
+  model.mutable_weights() = std::move(w_map).value();
+  model.set_update_count(updates.value());
+  return model;
+}
+
+}  // namespace ifot::ml

@@ -1,0 +1,27 @@
+// Binary serialization of models, used by the middleware to ship trained
+// models from the Learning class to the Judging class over the flow
+// distribution layer (paper Fig. 9: the Train module publishes its model
+// to the Predict module).
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "ml/linear_model.hpp"
+#include "ml/regression.hpp"
+
+namespace ifot::ml {
+
+/// Versioned codec for model state.
+class ModelCodec {
+ public:
+  /// Encodes a LinearModel (labels, weights, sigmas, update count).
+  static Bytes encode(const LinearModel& model);
+  /// Decodes; fails on version mismatch or truncation.
+  static Result<LinearModel> decode_linear(BytesView data);
+
+  /// Encodes a PA-regression weight vector.
+  static Bytes encode(const PaRegression& model);
+  static Result<PaRegression> decode_regression(BytesView data);
+};
+
+}  // namespace ifot::ml

@@ -1,0 +1,29 @@
+#include "ml/regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ifot::ml {
+
+void PaRegression::train(const FeatureVector& x, double target) {
+  ++updates_;
+  const double predicted = estimate(x);
+  const double err = target - predicted;
+  const double loss = std::abs(err) - epsilon_;
+  if (loss <= 0) return;
+  const double norm2 = x.norm2();
+  if (norm2 <= 0) return;
+  const double tau = std::min(c_, loss / norm2);
+  const double step = err > 0 ? tau : -tau;
+  for (const auto& [id, v] : x.items()) w_[id] += step * v;
+}
+
+double PaRegression::estimate(const FeatureVector& x) const {
+  double s = 0;
+  for (const auto& [id, v] : x.items()) {
+    if (auto it = w_.find(id); it != w_.end()) s += it->second * v;
+  }
+  return s;
+}
+
+}  // namespace ifot::ml

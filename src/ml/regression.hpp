@@ -1,0 +1,39 @@
+// Online regression: Passive-Aggressive regression with an
+// epsilon-insensitive loss (the algorithm Jubatus's `regression` service
+// ships as "PA").
+#pragma once
+
+#include <unordered_map>
+
+#include "ml/feature.hpp"
+
+namespace ifot::ml {
+
+/// PA-I regression: w <- w + sign(y - w.x) * tau * x with
+/// tau = min(C, loss / ||x||^2), loss = max(0, |y - w.x| - epsilon).
+class PaRegression {
+ public:
+  explicit PaRegression(double c = 1.0, double epsilon = 0.1)
+      : c_(c), epsilon_(epsilon) {}
+
+  /// Consumes one labelled example (x, target).
+  void train(const FeatureVector& x, double target);
+
+  /// Predicts the target for `x`.
+  [[nodiscard]] double estimate(const FeatureVector& x) const;
+
+  [[nodiscard]] std::uint64_t update_count() const { return updates_; }
+  [[nodiscard]] const std::unordered_map<FeatureId, double>& weights() const {
+    return w_;
+  }
+  std::unordered_map<FeatureId, double>& mutable_weights() { return w_; }
+  void set_update_count(std::uint64_t n) { updates_ = n; }
+
+ private:
+  std::unordered_map<FeatureId, double> w_;
+  double c_;
+  double epsilon_;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace ifot::ml

@@ -1,0 +1,522 @@
+#include "mqtt/broker.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace ifot::mqtt {
+namespace {
+constexpr const char* kLog = "mqtt.broker";
+}
+
+Broker::Broker(Scheduler& sched, BrokerConfig cfg)
+    : sched_(sched), cfg_(cfg) {
+  if (cfg_.sys_interval > 0) arm_sys_stats();
+}
+
+Broker::~Broker() {
+  if (sys_timer_ != 0) sched_.cancel(sys_timer_);
+  for (auto& [_, link] : links_) {
+    if (link->keepalive_timer != 0) sched_.cancel(link->keepalive_timer);
+  }
+  for (auto& [_, session] : sessions_) {
+    for (auto& [pid, inflight] : session->inflight) {
+      if (inflight.retry_timer != 0) sched_.cancel(inflight.retry_timer);
+    }
+  }
+}
+
+std::size_t Broker::connected_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, s] : sessions_) {
+    if (s->connected) ++n;
+  }
+  return n;
+}
+
+void Broker::on_link_open(LinkId link, SendFn send, CloseFn close) {
+  auto l = std::make_unique<Link>();
+  l->id = link;
+  l->send = std::move(send);
+  l->close = std::move(close);
+  l->last_rx = sched_.now();
+  links_[link] = std::move(l);
+  counters_.add("links_opened");
+}
+
+void Broker::on_link_data(LinkId link, BytesView data) {
+  auto it = links_.find(link);
+  if (it == links_.end()) return;
+  Link* l = it->second.get();
+  l->decoder.feed(data);
+  l->last_rx = sched_.now();
+  while (true) {
+    auto next = l->decoder.next();
+    if (!next) {
+      IFOT_LOG(kWarn, kLog) << "protocol error on link " << link << ": "
+                            << next.error().to_string();
+      counters_.add("protocol_errors");
+      drop_link(*l, /*publish_will=*/true);
+      return;
+    }
+    if (!next.value()) return;  // need more bytes
+    handle_packet(*l, std::move(*next.value()));
+    // handle_packet may have dropped the link.
+    it = links_.find(link);
+    if (it == links_.end()) return;
+    l = it->second.get();
+  }
+}
+
+void Broker::on_link_closed(LinkId link) {
+  auto it = links_.find(link);
+  if (it == links_.end()) return;
+  drop_link(*it->second, /*publish_will=*/true);
+}
+
+Broker::Session& Broker::session_of(Link& link) {
+  auto it = sessions_.find(link.session);
+  assert(it != sessions_.end());
+  return *it->second;
+}
+
+void Broker::handle_packet(Link& link, Packet packet) {
+  counters_.add("packets_in");
+  if (!link.got_connect) {
+    if (auto* c = std::get_if<Connect>(&packet)) {
+      handle_connect(link, std::move(*c));
+    } else {
+      // First packet must be CONNECT (§3.1).
+      drop_link(link, /*publish_will=*/false);
+    }
+    return;
+  }
+  Session& session = session_of(link);
+  std::visit(
+      [&](auto&& p) {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, Connect>) {
+          // A second CONNECT is a protocol violation per §3.1.0-2, but a
+          // client retrying over a lossy link (its CONNACK was dropped)
+          // sends exactly the same CONNECT again. Tolerate that case by
+          // re-acknowledging; punish a *different* identity per spec.
+          if (p.client_id == session.client_id) {
+            counters_.add("connect_reacks");
+            send_packet(link, Packet{Connack{false, ConnectCode::kAccepted}});
+          } else {
+            drop_link(link, /*publish_will=*/true);
+          }
+        } else if constexpr (std::is_same_v<T, Publish>) {
+          handle_publish(session, std::move(p));
+        } else if constexpr (std::is_same_v<T, Puback>) {
+          auto it = session.inflight.find(p.packet_id);
+          if (it != session.inflight.end() &&
+              it->second.msg.qos == QoS::kAtLeastOnce) {
+            if (it->second.retry_timer != 0) sched_.cancel(it->second.retry_timer);
+            session.inflight.erase(it);
+            pump_queue(session);
+          }
+        } else if constexpr (std::is_same_v<T, Pubrec>) {
+          auto it = session.inflight.find(p.packet_id);
+          if (it != session.inflight.end() &&
+              it->second.msg.qos == QoS::kExactlyOnce) {
+            it->second.awaiting_pubcomp = true;
+            it->second.attempts = 0;
+          }
+          send_packet(link, Packet{Pubrel{p.packet_id}});
+        } else if constexpr (std::is_same_v<T, Pubrel>) {
+          session.inbound_qos2.erase(p.packet_id);
+          send_packet(link, Packet{Pubcomp{p.packet_id}});
+        } else if constexpr (std::is_same_v<T, Pubcomp>) {
+          auto it = session.inflight.find(p.packet_id);
+          if (it != session.inflight.end() && it->second.awaiting_pubcomp) {
+            if (it->second.retry_timer != 0) sched_.cancel(it->second.retry_timer);
+            session.inflight.erase(it);
+            pump_queue(session);
+          }
+        } else if constexpr (std::is_same_v<T, Subscribe>) {
+          handle_subscribe(session, p);
+        } else if constexpr (std::is_same_v<T, Unsubscribe>) {
+          handle_unsubscribe(session, p);
+        } else if constexpr (std::is_same_v<T, Pingreq>) {
+          send_packet(link, Packet{Pingresp{}});
+        } else if constexpr (std::is_same_v<T, Disconnect>) {
+          session.will.reset();  // graceful: will discarded (§3.14)
+          drop_link(link, /*publish_will=*/false);
+        } else {
+          // CONNACK/SUBACK/UNSUBACK/PINGRESP from a client are invalid.
+          drop_link(link, /*publish_will=*/true);
+        }
+      },
+      std::move(packet));
+}
+
+void Broker::handle_connect(Link& link, Connect c) {
+  link.got_connect = true;
+  if (c.client_id.empty()) {
+    if (!c.clean_session) {
+      send_packet(link, Packet{Connack{false, ConnectCode::kIdentifierRejected}});
+      drop_link(link, /*publish_will=*/false);
+      return;
+    }
+    c.client_id = "auto-" + std::to_string(++generation_);
+  }
+
+  // Session takeover: an existing connection with the same id is dropped.
+  bool session_present = false;
+  auto it = sessions_.find(c.client_id);
+  if (it != sessions_.end()) {
+    Session& old = *it->second;
+    if (old.connected) {
+      auto link_it = links_.find(old.link);
+      if (link_it != links_.end()) {
+        counters_.add("session_takeovers");
+        drop_link(*link_it->second, /*publish_will=*/true);
+      }
+    }
+    it = sessions_.find(c.client_id);  // drop_link may erase clean sessions
+  }
+  if (c.clean_session) {
+    if (it != sessions_.end()) {
+      tree_.erase_key(c.client_id);
+      for (auto& [pid, inflight] : it->second->inflight) {
+        if (inflight.retry_timer != 0) sched_.cancel(inflight.retry_timer);
+      }
+      sessions_.erase(it);
+    }
+  } else if (it != sessions_.end()) {
+    session_present = true;
+  }
+
+  auto& session = sessions_[c.client_id];
+  if (!session) {
+    session = std::make_unique<Session>();
+    session->client_id = c.client_id;
+  }
+  session->clean = c.clean_session;
+  session->will = std::move(c.will);
+  session->link = link.id;
+  session->connected = true;
+  session->keep_alive_s = c.keep_alive_s;
+  link.session = c.client_id;
+
+  send_packet(link, Packet{Connack{session_present, ConnectCode::kAccepted}});
+  counters_.add("connects");
+  arm_keepalive(link);
+
+  // Redeliver inflight messages from the previous connection (§4.4).
+  for (auto& [pid, inflight] : session->inflight) {
+    if (inflight.awaiting_pubcomp) {
+      send_packet(link, Packet{Pubrel{pid}});
+    } else {
+      inflight.msg.dup = true;
+      send_packet(link, Packet{inflight.msg});
+    }
+    arm_retry(*session, pid);
+  }
+  pump_queue(*session);
+}
+
+void Broker::handle_publish(Session& session, Publish p) {
+  if (!valid_topic_name(p.topic)) {
+    auto it = links_.find(session.link);
+    if (it != links_.end()) drop_link(*it->second, /*publish_will=*/true);
+    return;
+  }
+  if (p.qos > cfg_.max_qos) p.qos = cfg_.max_qos;
+  switch (p.qos) {
+    case QoS::kAtMostOnce:
+      route(std::move(p), session.client_id);
+      break;
+    case QoS::kAtLeastOnce: {
+      const std::uint16_t pid = p.packet_id;
+      route(std::move(p), session.client_id);
+      send_packet(session, Packet{Puback{pid}});
+      break;
+    }
+    case QoS::kExactlyOnce: {
+      const std::uint16_t pid = p.packet_id;
+      if (session.inbound_qos2.insert(pid).second) {
+        route(std::move(p), session.client_id);  // first sight: route now
+      } else {
+        counters_.add("qos2_duplicates");
+      }
+      send_packet(session, Packet{Pubrec{pid}});
+      break;
+    }
+  }
+}
+
+void Broker::handle_subscribe(Session& session, const Subscribe& s) {
+  Suback ack;
+  ack.packet_id = s.packet_id;
+  for (const auto& req : s.topics) {
+    if (!valid_topic_filter(req.filter)) {
+      ack.return_codes.push_back(kSubackFailure);
+      continue;
+    }
+    const QoS granted = std::min(req.qos, cfg_.max_qos);
+    session.subscriptions[req.filter] = granted;
+    tree_.insert(req.filter, session.client_id, granted);
+    ack.return_codes.push_back(static_cast<std::uint8_t>(granted));
+    counters_.add("subscriptions");
+  }
+  send_packet(session, Packet{ack});
+
+  // Retained messages matching each newly granted filter (§3.3.1-6).
+  for (std::size_t i = 0; i < s.topics.size(); ++i) {
+    if (ack.return_codes[i] == kSubackFailure) continue;
+    for (const auto& [topic, msg] : retained_) {
+      if (!topic_matches(s.topics[i].filter, topic)) continue;
+      Publish out = msg;
+      out.retain = true;
+      out.qos = std::min(out.qos, static_cast<QoS>(ack.return_codes[i]));
+      deliver(session, std::move(out));
+    }
+  }
+}
+
+void Broker::handle_unsubscribe(Session& session, const Unsubscribe& u) {
+  for (const auto& filter : u.topics) {
+    session.subscriptions.erase(filter);
+    tree_.erase(filter, session.client_id);
+  }
+  send_packet(session, Packet{Unsuback{u.packet_id}});
+}
+
+void Broker::publish_local(const std::string& topic, Bytes payload, QoS qos,
+                           bool retain) {
+  Publish p;
+  p.topic = topic;
+  p.payload = std::move(payload);
+  p.qos = qos;
+  p.retain = retain;
+  route(std::move(p), "$broker");
+}
+
+void Broker::route(Publish p, const std::string& origin) {
+  counters_.add("routed");
+  (void)origin;
+  if (p.retain) {
+    if (p.payload.empty()) {
+      retained_.erase(p.topic);
+    } else {
+      Publish stored = p;
+      stored.dup = false;
+      retained_[p.topic] = std::move(stored);
+    }
+  }
+
+  std::vector<std::pair<std::string, QoS>> matches;
+  tree_.match(p.topic, matches);
+  // Dedup by subscriber, keeping the highest granted QoS among matching
+  // filters (overlapping-subscription rule, §3.3.5).
+  std::sort(matches.begin(), matches.end());
+  const Publish original = std::move(p);
+  for (std::size_t i = 0; i < matches.size(); ++i) {
+    if (i + 1 < matches.size() && matches[i + 1].first == matches[i].first) {
+      continue;  // keep last (sorted -> highest QoS is the later entry)
+    }
+    auto it = sessions_.find(matches[i].first);
+    if (it == sessions_.end()) continue;
+    Publish out = original;
+    out.retain = false;  // [MQTT-3.3.1-9]
+    out.dup = false;
+    out.qos = std::min(out.qos, matches[i].second);
+    deliver(*it->second, std::move(out));
+  }
+}
+
+void Broker::deliver(Session& session, Publish p) {
+  if (p.qos == QoS::kAtMostOnce) {
+    if (session.connected) {
+      send_packet(session, Packet{std::move(p)});
+      counters_.add("delivered_qos0");
+    } else {
+      counters_.add("dropped_qos0_offline");
+    }
+    return;
+  }
+  if (session.connected &&
+      session.inflight.size() < cfg_.max_inflight_per_session) {
+    const std::uint16_t pid = alloc_packet_id(session);
+    p.packet_id = pid;
+    auto [it, inserted] = session.inflight.emplace(pid, InflightOut{std::move(p)});
+    assert(inserted);
+    send_inflight(session, it->second);
+  } else if (session.queued.size() < cfg_.max_queued_per_session) {
+    session.queued.push_back(std::move(p));
+    counters_.add("queued");
+  } else {
+    counters_.add("dropped_queue_full");
+  }
+}
+
+void Broker::pump_queue(Session& session) {
+  while (session.connected && !session.queued.empty() &&
+         session.inflight.size() < cfg_.max_inflight_per_session) {
+    Publish p = std::move(session.queued.front());
+    session.queued.pop_front();
+    const std::uint16_t pid = alloc_packet_id(session);
+    p.packet_id = pid;
+    auto [it, inserted] = session.inflight.emplace(pid, InflightOut{std::move(p)});
+    assert(inserted);
+    send_inflight(session, it->second);
+  }
+}
+
+void Broker::send_inflight(Session& session, InflightOut& inflight) {
+  ++inflight.attempts;
+  send_packet(session, Packet{inflight.msg});
+  counters_.add("delivered_qos12");
+  arm_retry(session, inflight.msg.packet_id);
+}
+
+void Broker::arm_retry(Session& session, std::uint16_t packet_id) {
+  auto it = session.inflight.find(packet_id);
+  if (it == session.inflight.end()) return;
+  InflightOut& inflight = it->second;
+  if (inflight.retry_timer != 0) sched_.cancel(inflight.retry_timer);
+  const std::string client_id = session.client_id;
+  inflight.retry_timer = sched_.call_after(
+      cfg_.retry_interval, [this, client_id, packet_id] {
+        auto sit = sessions_.find(client_id);
+        if (sit == sessions_.end()) return;
+        Session& s = *sit->second;
+        auto iit = s.inflight.find(packet_id);
+        if (iit == s.inflight.end()) return;
+        InflightOut& f = iit->second;
+        f.retry_timer = 0;
+        if (!s.connected || f.attempts > cfg_.max_retries) return;
+        counters_.add("redeliveries");
+        if (f.awaiting_pubcomp) {
+          send_packet(s, Packet{Pubrel{packet_id}});
+        } else {
+          f.msg.dup = true;
+          send_packet(s, Packet{f.msg});
+        }
+        ++f.attempts;
+        arm_retry(s, packet_id);
+      });
+}
+
+std::uint16_t Broker::alloc_packet_id(Session& session) {
+  for (int i = 0; i < 65535; ++i) {
+    const std::uint16_t pid = session.next_packet_id;
+    session.next_packet_id =
+        session.next_packet_id == 65535
+            ? std::uint16_t{1}
+            : static_cast<std::uint16_t>(session.next_packet_id + 1);
+    if (session.inflight.find(pid) == session.inflight.end()) return pid;
+  }
+  return 0;  // window full; callers bound inflight first so unreachable
+}
+
+void Broker::send_packet(Session& session, const Packet& p) {
+  auto it = links_.find(session.link);
+  if (it == links_.end()) return;
+  send_packet(*it->second, p);
+}
+
+void Broker::send_packet(Link& link, const Packet& p) {
+  counters_.add("packets_out");
+  link.send(encode(p));
+}
+
+void Broker::arm_keepalive(Link& link) {
+  if (link.keepalive_timer != 0) sched_.cancel(link.keepalive_timer);
+  Session& session = session_of(link);
+  if (session.keep_alive_s == 0) return;  // keep-alive disabled
+  // Grace period is 1.5x the keep-alive interval (§3.1.2.10).
+  const SimDuration grace =
+      from_seconds(static_cast<double>(session.keep_alive_s) * 1.5);
+  const LinkId id = link.id;
+  link.keepalive_timer = sched_.call_after(grace, [this, id, grace] {
+    auto it = links_.find(id);
+    if (it == links_.end()) return;
+    Link& l = *it->second;
+    l.keepalive_timer = 0;
+    const SimTime deadline = l.last_rx + grace;
+    if (sched_.now() >= deadline) {
+      counters_.add("keepalive_timeouts");
+      drop_link(l, /*publish_will=*/true);
+    } else {
+      l.keepalive_timer = sched_.call_after(
+          deadline - sched_.now(), [this, id] {
+            auto it2 = links_.find(id);
+            if (it2 == links_.end()) return;
+            it2->second->keepalive_timer = 0;
+            arm_keepalive(*it2->second);
+          });
+    }
+  });
+}
+
+void Broker::arm_sys_stats() {
+  sys_timer_ = sched_.call_after(cfg_.sys_interval, [this] {
+    sys_timer_ = 0;
+    publish_sys_stats();
+    arm_sys_stats();
+  });
+}
+
+void Broker::publish_sys_stats() {
+  // Mosquitto-style $SYS topics; payloads are decimal strings. Retained
+  // so late subscribers (the management software) see the latest values.
+  auto pub = [this](const std::string& topic, std::uint64_t value) {
+    const std::string s = std::to_string(value);
+    publish_local("$SYS/broker/" + topic, Bytes(s.begin(), s.end()),
+                  QoS::kAtMostOnce, /*retain=*/true);
+  };
+  pub("clients/connected", connected_count());
+  pub("clients/total", session_count());
+  pub("messages/received", counters_.get("packets_in"));
+  pub("messages/sent", counters_.get("packets_out"));
+  pub("publish/messages/routed", counters_.get("routed"));
+  pub("publish/messages/dropped", counters_.get("dropped_queue_full"));
+  pub("retained/count", retained_.size());
+  pub("store/messages/queued", counters_.get("queued"));
+}
+
+void Broker::drop_link(Link& link, bool publish_will) {
+  if (link.keepalive_timer != 0) sched_.cancel(link.keepalive_timer);
+  std::optional<Will> will;
+  if (!link.session.empty()) {
+    auto sit = sessions_.find(link.session);
+    if (sit != sessions_.end()) {
+      Session& session = *sit->second;
+      session.connected = false;
+      session.link = 0;
+      if (publish_will && session.will) {
+        will = std::move(session.will);
+        session.will.reset();
+      }
+      for (auto& [pid, inflight] : session.inflight) {
+        if (inflight.retry_timer != 0) {
+          sched_.cancel(inflight.retry_timer);
+          inflight.retry_timer = 0;
+        }
+      }
+      if (session.clean) {
+        tree_.erase_key(session.client_id);
+        sessions_.erase(sit);
+      }
+    }
+  }
+  auto close = std::move(link.close);
+  links_.erase(link.id);
+  counters_.add("links_closed");
+  if (close) close();
+  if (will) {
+    counters_.add("wills_published");
+    Publish p;
+    p.topic = will->topic;
+    p.payload = std::move(will->payload);
+    p.qos = will->qos;
+    p.retain = will->retain;
+    route(std::move(p), "$will");
+  }
+}
+
+}  // namespace ifot::mqtt

@@ -1,0 +1,376 @@
+#include "mqtt/client.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+#include "mqtt/topic.hpp"
+
+namespace ifot::mqtt {
+namespace {
+constexpr const char* kLog = "mqtt.client";
+}
+
+Client::Client(Scheduler& sched, ClientConfig cfg, SendFn send)
+    : sched_(sched), cfg_(std::move(cfg)), send_(std::move(send)) {
+  assert(send_);
+}
+
+Client::~Client() {
+  if (ping_timer_ != 0) sched_.cancel(ping_timer_);
+  if (connect_timer_ != 0) sched_.cancel(connect_timer_);
+  for (auto& [_, inflight] : inflight_) {
+    if (inflight.retry_timer != 0) sched_.cancel(inflight.retry_timer);
+  }
+  for (auto& [_, pc] : pending_control_) {
+    if (pc.retry_timer != 0) sched_.cancel(pc.retry_timer);
+  }
+}
+
+void Client::on_transport_open() {
+  transport_up_ = true;
+  decoder_ = StreamDecoder{};
+  Connect c;
+  c.client_id = cfg_.client_id;
+  c.clean_session = cfg_.clean_session;
+  c.keep_alive_s = cfg_.keep_alive_s;
+  c.will = cfg_.will;
+  send_packet(Packet{c});
+  arm_connect_retry();  // lossy links can drop the CONNECT itself
+}
+
+void Client::arm_connect_retry() {
+  if (connect_timer_ != 0) sched_.cancel(connect_timer_);
+  connect_timer_ = sched_.call_after(cfg_.control_retry_interval, [this] {
+    connect_timer_ = 0;
+    if (!transport_up_ || connected_) return;
+    counters_.add("connect_retries");
+    Connect c;
+    c.client_id = cfg_.client_id;
+    c.clean_session = cfg_.clean_session;
+    c.keep_alive_s = cfg_.keep_alive_s;
+    c.will = cfg_.will;
+    send_packet(Packet{c});
+    arm_connect_retry();
+  });
+}
+
+void Client::arm_control_retry(std::uint16_t packet_id) {
+  auto it = pending_control_.find(packet_id);
+  if (it == pending_control_.end()) return;
+  if (it->second.retry_timer != 0) sched_.cancel(it->second.retry_timer);
+  it->second.retry_timer =
+      sched_.call_after(cfg_.control_retry_interval, [this, packet_id] {
+        auto pit = pending_control_.find(packet_id);
+        if (pit == pending_control_.end()) return;
+        pit->second.retry_timer = 0;
+        if (!connected_) return;  // resubscribed on next CONNACK path
+        counters_.add("control_retries");
+        send_packet(pit->second.request);
+        arm_control_retry(packet_id);
+      });
+}
+
+void Client::on_transport_closed() {
+  transport_up_ = false;
+  connected_ = false;
+  if (ping_timer_ != 0) {
+    sched_.cancel(ping_timer_);
+    ping_timer_ = 0;
+  }
+  if (connect_timer_ != 0) {
+    sched_.cancel(connect_timer_);
+    connect_timer_ = 0;
+  }
+  for (auto& [_, inflight] : inflight_) {
+    if (inflight.retry_timer != 0) {
+      sched_.cancel(inflight.retry_timer);
+      inflight.retry_timer = 0;
+    }
+  }
+  for (auto& [_, pc] : pending_control_) {
+    if (pc.retry_timer != 0) {
+      sched_.cancel(pc.retry_timer);
+      pc.retry_timer = 0;
+    }
+  }
+}
+
+void Client::on_data(BytesView data) {
+  decoder_.feed(data);
+  while (true) {
+    auto next = decoder_.next();
+    if (!next) {
+      fail_protocol(next.error());
+      return;
+    }
+    if (!next.value()) return;
+    handle_packet(std::move(*next.value()));
+  }
+}
+
+void Client::fail_protocol(Error e) {
+  IFOT_LOG(kWarn, kLog) << cfg_.client_id
+                        << " protocol error: " << e.to_string();
+  counters_.add("protocol_errors");
+  connected_ = false;
+  if (on_protocol_error_) on_protocol_error_(e);
+}
+
+void Client::handle_packet(Packet packet) {
+  counters_.add("packets_in");
+  std::visit(
+      [&](auto&& p) {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, Connack>) {
+          if (connect_timer_ != 0) {
+            sched_.cancel(connect_timer_);
+            connect_timer_ = 0;
+          }
+          if (p.code == ConnectCode::kAccepted) {
+            connected_ = true;
+            counters_.add("connects");
+            arm_ping();
+            // Re-issue unacknowledged control requests (lost SUBACKs or
+            // a fresh transport).
+            for (auto& [pid, pc] : pending_control_) {
+              send_packet(pc.request);
+              arm_control_retry(pid);
+            }
+            // Session resume: redeliver unacknowledged publishes (§4.4).
+            for (auto& [pid, inflight] : inflight_) {
+              if (inflight.awaiting_pubcomp) {
+                send_packet(Packet{Pubrel{pid}});
+              } else {
+                inflight.msg.dup = true;
+                send_packet(Packet{inflight.msg});
+              }
+              ++inflight.attempts;
+              arm_retry(pid);
+            }
+            flush_pending();
+          }
+          if (on_connack_) on_connack_(p);
+        } else if constexpr (std::is_same_v<T, Publish>) {
+          if (p.qos == QoS::kExactlyOnce) {
+            // Exactly-once: deliver on first sight of this packet id.
+            if (inbound_qos2_.insert(p.packet_id).second) {
+              if (on_message_) on_message_(p);
+            }
+            send_packet(Packet{Pubrec{p.packet_id}});
+          } else {
+            if (on_message_) on_message_(p);
+            if (p.qos == QoS::kAtLeastOnce) {
+              send_packet(Packet{Puback{p.packet_id}});
+            }
+          }
+        } else if constexpr (std::is_same_v<T, Puback>) {
+          auto it = inflight_.find(p.packet_id);
+          if (it != inflight_.end() &&
+              it->second.msg.qos == QoS::kAtLeastOnce) {
+            if (it->second.retry_timer != 0) sched_.cancel(it->second.retry_timer);
+            auto done = std::move(it->second.done);
+            inflight_.erase(it);
+            counters_.add("acked");
+            if (done) done();
+          }
+        } else if constexpr (std::is_same_v<T, Pubrec>) {
+          auto it = inflight_.find(p.packet_id);
+          if (it != inflight_.end() &&
+              it->second.msg.qos == QoS::kExactlyOnce) {
+            it->second.awaiting_pubcomp = true;
+            it->second.attempts = 0;
+          }
+          send_packet(Packet{Pubrel{p.packet_id}});
+        } else if constexpr (std::is_same_v<T, Pubrel>) {
+          inbound_qos2_.erase(p.packet_id);
+          send_packet(Packet{Pubcomp{p.packet_id}});
+        } else if constexpr (std::is_same_v<T, Pubcomp>) {
+          auto it = inflight_.find(p.packet_id);
+          if (it != inflight_.end() && it->second.awaiting_pubcomp) {
+            if (it->second.retry_timer != 0) sched_.cancel(it->second.retry_timer);
+            auto done = std::move(it->second.done);
+            inflight_.erase(it);
+            counters_.add("acked");
+            if (done) done();
+          }
+        } else if constexpr (std::is_same_v<T, Suback>) {
+          auto it = pending_control_.find(p.packet_id);
+          if (it != pending_control_.end()) {
+            if (it->second.retry_timer != 0) {
+              sched_.cancel(it->second.retry_timer);
+            }
+            auto done = std::move(it->second.on_suback);
+            pending_control_.erase(it);
+            if (done) done(p);
+          }
+        } else if constexpr (std::is_same_v<T, Unsuback>) {
+          auto it = pending_control_.find(p.packet_id);
+          if (it != pending_control_.end()) {
+            if (it->second.retry_timer != 0) {
+              sched_.cancel(it->second.retry_timer);
+            }
+            auto done = std::move(it->second.on_unsuback);
+            pending_control_.erase(it);
+            if (done) done();
+          }
+        } else if constexpr (std::is_same_v<T, Pingresp>) {
+          // Liveness confirmed; nothing to do.
+        } else {
+          fail_protocol(Err(Errc::kProtocol,
+                            std::string("unexpected packet from broker: ") +
+                                packet_type_name(packet_type(Packet{p}))));
+        }
+      },
+      std::move(packet));
+}
+
+Status Client::publish(std::string topic, Bytes payload, QoS qos, bool retain,
+                       Completion done) {
+  if (!valid_topic_name(topic)) {
+    return Err(Errc::kInvalidArgument, "invalid topic name: " + topic);
+  }
+  Publish p;
+  p.topic = std::move(topic);
+  p.payload = std::move(payload);
+  p.qos = qos;
+  p.retain = retain;
+  counters_.add("publishes");
+
+  if (qos == QoS::kAtMostOnce) {
+    if (connected_) {
+      send_packet(Packet{p});
+      if (done) done();
+    } else {
+      pending_qos0_.push_back(std::move(p));
+    }
+    return {};
+  }
+  if (inflight_.size() >= cfg_.max_inflight) {
+    return Err(Errc::kCapacity, "publish inflight window full");
+  }
+  const std::uint16_t pid = alloc_packet_id();
+  p.packet_id = pid;
+  auto [it, inserted] =
+      inflight_.emplace(pid, InflightPub{std::move(p), false, 0, 0, std::move(done)});
+  assert(inserted);
+  if (connected_) {
+    ++it->second.attempts;
+    send_packet(Packet{it->second.msg});
+    arm_retry(pid);
+  }
+  return {};
+}
+
+Status Client::subscribe(std::vector<TopicRequest> topics, SubackHandler done) {
+  if (topics.empty()) {
+    return Err(Errc::kInvalidArgument, "empty subscription list");
+  }
+  for (const auto& t : topics) {
+    if (!valid_topic_filter(t.filter)) {
+      return Err(Errc::kInvalidArgument, "invalid topic filter: " + t.filter);
+    }
+  }
+  if (!connected_) return Err(Errc::kState, "not connected");
+  Subscribe s;
+  s.packet_id = alloc_packet_id();
+  s.topics = std::move(topics);
+  PendingControl pc;
+  pc.request = Packet{s};
+  pc.on_suback = std::move(done);
+  pending_control_.emplace(s.packet_id, std::move(pc));
+  send_packet(Packet{s});
+  arm_control_retry(s.packet_id);
+  return {};
+}
+
+Status Client::unsubscribe(std::vector<std::string> topics, Completion done) {
+  if (topics.empty()) {
+    return Err(Errc::kInvalidArgument, "empty unsubscription list");
+  }
+  if (!connected_) return Err(Errc::kState, "not connected");
+  Unsubscribe u;
+  u.packet_id = alloc_packet_id();
+  u.topics = std::move(topics);
+  PendingControl pc;
+  pc.request = Packet{u};
+  pc.on_unsuback = std::move(done);
+  pending_control_.emplace(u.packet_id, std::move(pc));
+  send_packet(Packet{u});
+  arm_control_retry(u.packet_id);
+  return {};
+}
+
+void Client::disconnect() {
+  if (!connected_) return;
+  send_packet(Packet{Disconnect{}});
+  connected_ = false;
+  if (ping_timer_ != 0) {
+    sched_.cancel(ping_timer_);
+    ping_timer_ = 0;
+  }
+}
+
+void Client::flush_pending() {
+  while (connected_ && !pending_qos0_.empty()) {
+    send_packet(Packet{std::move(pending_qos0_.front())});
+    pending_qos0_.pop_front();
+  }
+}
+
+std::uint16_t Client::alloc_packet_id() {
+  for (int i = 0; i < 65535; ++i) {
+    const std::uint16_t pid = next_packet_id_;
+    next_packet_id_ = next_packet_id_ == 65535
+                          ? std::uint16_t{1}
+                          : static_cast<std::uint16_t>(next_packet_id_ + 1);
+    if (inflight_.find(pid) == inflight_.end() &&
+        pending_control_.find(pid) == pending_control_.end()) {
+      return pid;
+    }
+  }
+  return 0;
+}
+
+void Client::arm_retry(std::uint16_t packet_id) {
+  auto it = inflight_.find(packet_id);
+  if (it == inflight_.end()) return;
+  if (it->second.retry_timer != 0) sched_.cancel(it->second.retry_timer);
+  it->second.retry_timer =
+      sched_.call_after(cfg_.retry_interval, [this, packet_id] {
+        auto iit = inflight_.find(packet_id);
+        if (iit == inflight_.end()) return;
+        InflightPub& f = iit->second;
+        f.retry_timer = 0;
+        if (!connected_) return;
+        counters_.add("redeliveries");
+        if (f.awaiting_pubcomp) {
+          send_packet(Packet{Pubrel{packet_id}});
+        } else {
+          f.msg.dup = true;
+          send_packet(Packet{f.msg});
+        }
+        ++f.attempts;
+        arm_retry(packet_id);
+      });
+}
+
+void Client::arm_ping() {
+  if (ping_timer_ != 0) sched_.cancel(ping_timer_);
+  if (cfg_.keep_alive_s == 0) return;
+  const SimDuration interval =
+      from_seconds(static_cast<double>(cfg_.keep_alive_s));
+  ping_timer_ = sched_.call_after(interval, [this] {
+    ping_timer_ = 0;
+    if (!connected_) return;
+    send_packet(Packet{Pingreq{}});
+    arm_ping();
+  });
+}
+
+void Client::send_packet(const Packet& p) {
+  if (!transport_up_) return;
+  counters_.add("packets_out");
+  send_(encode(p));
+}
+
+}  // namespace ifot::mqtt

@@ -1,0 +1,136 @@
+// MQTT v3.1.1 client. The middleware's Publish and Subscribe classes
+// (paper §IV-C.3) are thin wrappers over this client.
+//
+// Features: connect/reconnect with session resume, QoS 0/1/2 publish with
+// completion callbacks and DUP redelivery, subscriptions with per-call
+// SUBACK callbacks, automatic PINGREQ keep-alive, inbound QoS 2 dedup.
+// Transport-agnostic (bytes in / bytes out) like the broker.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/stats.hpp"
+#include "mqtt/packet.hpp"
+#include "mqtt/scheduler.hpp"
+
+namespace ifot::mqtt {
+
+/// Client tuning knobs and identity.
+struct ClientConfig {
+  std::string client_id;
+  bool clean_session = true;
+  std::uint16_t keep_alive_s = 60;
+  std::optional<Will> will;
+  /// Redelivery interval for unacknowledged QoS 1/2 publishes.
+  SimDuration retry_interval = from_millis(1000);
+  /// Retry interval for unacknowledged control packets (CONNECT,
+  /// SUBSCRIBE, UNSUBSCRIBE) - lossy links drop those too.
+  SimDuration control_retry_interval = from_millis(2000);
+  std::size_t max_inflight = 32;
+};
+
+/// The client-side protocol engine.
+class Client {
+ public:
+  using SendFn = std::function<void(const Bytes&)>;
+  using MessageHandler = std::function<void(const Publish&)>;
+  using ConnackHandler = std::function<void(const Connack&)>;
+  using SubackHandler = std::function<void(const Suback&)>;
+  using Completion = std::function<void()>;
+
+  /// `send` transmits raw bytes to the broker.
+  Client(Scheduler& sched, ClientConfig cfg, SendFn send);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Transport is up: sends CONNECT (and, on session resume, redelivers
+  /// inflight QoS>0 messages after CONNACK).
+  void on_transport_open();
+  /// Raw bytes arrived from the broker.
+  void on_data(BytesView data);
+  /// Transport dropped; client goes offline, state kept for reconnect.
+  void on_transport_closed();
+
+  void set_on_connack(ConnackHandler h) { on_connack_ = std::move(h); }
+  void set_on_message(MessageHandler h) { on_message_ = std::move(h); }
+  /// Invoked when the broker violates the protocol; owner should close.
+  void set_on_protocol_error(std::function<void(const Error&)> h) {
+    on_protocol_error_ = std::move(h);
+  }
+
+  /// Publishes a message. QoS 0 sends immediately (offline -> buffered
+  /// until connect). QoS 1/2 completion fires on PUBACK/PUBCOMP.
+  Status publish(std::string topic, Bytes payload, QoS qos,
+                 bool retain = false, Completion done = nullptr);
+
+  /// Subscribes to the given filters; `done` fires on SUBACK.
+  Status subscribe(std::vector<TopicRequest> topics,
+                   SubackHandler done = nullptr);
+
+  /// Unsubscribes; `done` fires on UNSUBACK.
+  Status unsubscribe(std::vector<std::string> topics,
+                     Completion done = nullptr);
+
+  /// Graceful disconnect (DISCONNECT packet; will is discarded).
+  void disconnect();
+
+  [[nodiscard]] bool connected() const { return connected_; }
+  [[nodiscard]] const std::string& client_id() const { return cfg_.client_id; }
+  [[nodiscard]] std::size_t inflight_count() const { return inflight_.size(); }
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  struct InflightPub {
+    Publish msg;
+    bool awaiting_pubcomp = false;
+    int attempts = 0;
+    std::uint64_t retry_timer = 0;
+    Completion done;
+  };
+
+  void handle_packet(Packet packet);
+  void send_packet(const Packet& p);
+  std::uint16_t alloc_packet_id();
+  void arm_retry(std::uint16_t packet_id);
+  void arm_connect_retry();
+  void arm_control_retry(std::uint16_t packet_id);
+  void arm_ping();
+  void fail_protocol(Error e);
+  void flush_pending();
+
+  Scheduler& sched_;  // NOLINT(cppcoreguidelines-avoid-const-or-ref-data-members)
+  ClientConfig cfg_;
+  SendFn send_;
+  StreamDecoder decoder_;
+  bool transport_up_ = false;
+  bool connected_ = false;
+
+  ConnackHandler on_connack_;
+  MessageHandler on_message_;
+  std::function<void(const Error&)> on_protocol_error_;
+
+  std::uint16_t next_packet_id_ = 1;
+  std::map<std::uint16_t, InflightPub> inflight_;
+  struct PendingControl {
+    Packet request;                  // SUBSCRIBE / UNSUBSCRIBE to resend
+    SubackHandler on_suback;         // set for subscriptions
+    Completion on_unsuback;          // set for unsubscriptions
+    std::uint64_t retry_timer = 0;
+  };
+  std::map<std::uint16_t, PendingControl> pending_control_;
+  std::deque<Publish> pending_qos0_;   // buffered while offline
+  std::set<std::uint16_t> inbound_qos2_;
+  std::uint64_t ping_timer_ = 0;
+  std::uint64_t connect_timer_ = 0;
+  Counters counters_;
+};
+
+}  // namespace ifot::mqtt

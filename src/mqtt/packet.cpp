@@ -1,0 +1,419 @@
+#include "mqtt/packet.hpp"
+
+#include <cassert>
+
+namespace ifot::mqtt {
+namespace {
+
+constexpr std::uint8_t kProtocolLevel4 = 4;  // MQTT 3.1.1
+constexpr std::size_t kMaxRemainingLength = 268435455;  // 0xFFFFFF7F encoded
+
+// ---- fixed header ---------------------------------------------------------
+
+void write_remaining_length(Bytes& out, std::size_t len) {
+  assert(len <= kMaxRemainingLength);
+  do {
+    auto byte = static_cast<std::uint8_t>(len % 128);
+    len /= 128;
+    if (len > 0) byte |= 0x80;
+    out.push_back(byte);
+  } while (len > 0);
+}
+
+/// Result of parsing a fixed header from a buffer prefix.
+struct FixedHeader {
+  std::uint8_t type_and_flags = 0;
+  std::size_t remaining_length = 0;
+  std::size_t header_size = 0;  // bytes consumed by the fixed header
+};
+
+/// Parses the fixed header. Returns nullopt when more bytes are needed.
+Result<std::optional<FixedHeader>> parse_fixed_header(BytesView data) {
+  if (data.size() < 2) return std::optional<FixedHeader>{};
+  FixedHeader h;
+  h.type_and_flags = data[0];
+  std::size_t len = 0;
+  std::size_t multiplier = 1;
+  std::size_t i = 1;
+  for (;; ++i) {
+    if (i >= data.size()) return std::optional<FixedHeader>{};
+    if (i > 4) return Err(Errc::kProtocol, "remaining length exceeds 4 bytes");
+    const std::uint8_t b = data[i];
+    len += static_cast<std::size_t>(b & 0x7F) * multiplier;
+    multiplier *= 128;
+    if ((b & 0x80) == 0) break;
+  }
+  h.remaining_length = len;
+  h.header_size = i + 1;
+  return std::optional<FixedHeader>{h};
+}
+
+// ---- per-type body encoders ------------------------------------------------
+
+Bytes body_of(const Connect& p) {
+  Bytes body;
+  BinaryWriter w(body);
+  w.str16("MQTT");
+  w.u8(kProtocolLevel4);
+  std::uint8_t flags = 0;
+  if (p.clean_session) flags |= 0x02;
+  if (p.will) {
+    flags |= 0x04;
+    flags |= static_cast<std::uint8_t>(static_cast<std::uint8_t>(p.will->qos) << 3);
+    if (p.will->retain) flags |= 0x20;
+  }
+  if (p.password) flags |= 0x40;
+  if (p.username) flags |= 0x80;
+  w.u8(flags);
+  w.u16(p.keep_alive_s);
+  w.str16(p.client_id);
+  if (p.will) {
+    w.str16(p.will->topic);
+    w.u16(static_cast<std::uint16_t>(p.will->payload.size()));
+    w.raw(p.will->payload);
+  }
+  if (p.username) w.str16(*p.username);
+  if (p.password) w.str16(*p.password);
+  return body;
+}
+
+Bytes body_of(const Connack& p) {
+  Bytes body;
+  BinaryWriter w(body);
+  w.u8(p.session_present ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(p.code));
+  return body;
+}
+
+Bytes body_of(const Publish& p) {
+  Bytes body;
+  BinaryWriter w(body);
+  w.str16(p.topic);
+  if (p.qos != QoS::kAtMostOnce) w.u16(p.packet_id);
+  w.raw(p.payload);
+  return body;
+}
+
+Bytes body_of_packet_id(std::uint16_t packet_id) {
+  Bytes body;
+  BinaryWriter w(body);
+  w.u16(packet_id);
+  return body;
+}
+
+Bytes body_of(const Subscribe& p) {
+  Bytes body;
+  BinaryWriter w(body);
+  w.u16(p.packet_id);
+  for (const auto& t : p.topics) {
+    w.str16(t.filter);
+    w.u8(static_cast<std::uint8_t>(t.qos));
+  }
+  return body;
+}
+
+Bytes body_of(const Suback& p) {
+  Bytes body;
+  BinaryWriter w(body);
+  w.u16(p.packet_id);
+  for (auto rc : p.return_codes) w.u8(rc);
+  return body;
+}
+
+Bytes body_of(const Unsubscribe& p) {
+  Bytes body;
+  BinaryWriter w(body);
+  w.u16(p.packet_id);
+  for (const auto& t : p.topics) w.str16(t);
+  return body;
+}
+
+// ---- per-type body decoders ------------------------------------------------
+
+Result<QoS> decode_qos(std::uint8_t raw) {
+  if (raw > 2) return Err(Errc::kProtocol, "invalid QoS value");
+  return static_cast<QoS>(raw);
+}
+
+Result<Packet> decode_connect(BinaryReader& r) {
+  auto proto = r.str16();
+  if (!proto) return proto.error();
+  if (proto.value() != "MQTT" && proto.value() != "MQIsdp") {
+    return Err(Errc::kProtocol, "unknown protocol name: " + proto.value());
+  }
+  auto level = r.u8();
+  if (!level) return level.error();
+  auto flags_r = r.u8();
+  if (!flags_r) return flags_r.error();
+  const std::uint8_t flags = flags_r.value();
+  if ((flags & 0x01) != 0) {
+    return Err(Errc::kProtocol, "CONNECT reserved flag set");
+  }
+  Connect c;
+  c.clean_session = (flags & 0x02) != 0;
+  auto ka = r.u16();
+  if (!ka) return ka.error();
+  c.keep_alive_s = ka.value();
+  auto cid = r.str16();
+  if (!cid) return cid.error();
+  c.client_id = cid.value();
+  if ((flags & 0x04) != 0) {
+    Will will;
+    auto qos = decode_qos(static_cast<std::uint8_t>((flags >> 3) & 0x03));
+    if (!qos) return qos.error();
+    will.qos = qos.value();
+    will.retain = (flags & 0x20) != 0;
+    auto topic = r.str16();
+    if (!topic) return topic.error();
+    will.topic = topic.value();
+    auto len = r.u16();
+    if (!len) return len.error();
+    auto payload = r.raw(len.value());
+    if (!payload) return payload.error();
+    will.payload = std::move(payload).value();
+    c.will = std::move(will);
+  } else if ((flags & 0x38) != 0) {
+    return Err(Errc::kProtocol, "will flags set without will flag");
+  }
+  if ((flags & 0x80) != 0) {
+    auto u = r.str16();
+    if (!u) return u.error();
+    c.username = u.value();
+  }
+  if ((flags & 0x40) != 0) {
+    if (!c.username) {
+      return Err(Errc::kProtocol, "password without username");
+    }
+    auto pw = r.str16();
+    if (!pw) return pw.error();
+    c.password = pw.value();
+  }
+  return Packet{std::move(c)};
+}
+
+Result<Packet> decode_connack(BinaryReader& r) {
+  auto ack_flags = r.u8();
+  if (!ack_flags) return ack_flags.error();
+  auto code = r.u8();
+  if (!code) return code.error();
+  if (code.value() > 5) return Err(Errc::kProtocol, "bad CONNACK code");
+  return Packet{Connack{(ack_flags.value() & 1) != 0,
+                        static_cast<ConnectCode>(code.value())}};
+}
+
+Result<Packet> decode_publish(std::uint8_t flags, BinaryReader& r) {
+  Publish p;
+  p.dup = (flags & 0x08) != 0;
+  auto qos = decode_qos(static_cast<std::uint8_t>((flags >> 1) & 0x03));
+  if (!qos) return qos.error();
+  p.qos = qos.value();
+  p.retain = (flags & 0x01) != 0;
+  auto topic = r.str16();
+  if (!topic) return topic.error();
+  p.topic = topic.value();
+  if (p.qos != QoS::kAtMostOnce) {
+    auto pid = r.u16();
+    if (!pid) return pid.error();
+    if (pid.value() == 0) return Err(Errc::kProtocol, "packet id 0");
+    p.packet_id = pid.value();
+  }
+  auto payload = r.raw(r.remaining());
+  if (!payload) return payload.error();
+  p.payload = std::move(payload).value();
+  return Packet{std::move(p)};
+}
+
+template <typename T>
+Result<Packet> decode_packet_id_only(BinaryReader& r) {
+  auto pid = r.u16();
+  if (!pid) return pid.error();
+  return Packet{T{pid.value()}};
+}
+
+Result<Packet> decode_subscribe(BinaryReader& r) {
+  Subscribe s;
+  auto pid = r.u16();
+  if (!pid) return pid.error();
+  s.packet_id = pid.value();
+  while (!r.at_end()) {
+    auto filter = r.str16();
+    if (!filter) return filter.error();
+    auto q = r.u8();
+    if (!q) return q.error();
+    auto qos = decode_qos(q.value());
+    if (!qos) return qos.error();
+    s.topics.push_back({filter.value(), qos.value()});
+  }
+  if (s.topics.empty()) {
+    return Err(Errc::kProtocol, "SUBSCRIBE with no topics");
+  }
+  return Packet{std::move(s)};
+}
+
+Result<Packet> decode_suback(BinaryReader& r) {
+  Suback s;
+  auto pid = r.u16();
+  if (!pid) return pid.error();
+  s.packet_id = pid.value();
+  while (!r.at_end()) {
+    auto rc = r.u8();
+    if (!rc) return rc.error();
+    s.return_codes.push_back(rc.value());
+  }
+  return Packet{std::move(s)};
+}
+
+Result<Packet> decode_unsubscribe(BinaryReader& r) {
+  Unsubscribe u;
+  auto pid = r.u16();
+  if (!pid) return pid.error();
+  u.packet_id = pid.value();
+  while (!r.at_end()) {
+    auto t = r.str16();
+    if (!t) return t.error();
+    u.topics.push_back(t.value());
+  }
+  if (u.topics.empty()) {
+    return Err(Errc::kProtocol, "UNSUBSCRIBE with no topics");
+  }
+  return Packet{std::move(u)};
+}
+
+Result<Packet> decode_body(std::uint8_t type_and_flags, BytesView body) {
+  const auto type = static_cast<PacketType>(type_and_flags >> 4);
+  const std::uint8_t flags = type_and_flags & 0x0F;
+  BinaryReader r(body);
+
+  // Flag validation per §2.2.2: PUBLISH carries flags; PUBREL, SUBSCRIBE
+  // and UNSUBSCRIBE must use 0b0010; everything else 0b0000.
+  const std::uint8_t expected_flags =
+      (type == PacketType::kPubrel || type == PacketType::kSubscribe ||
+       type == PacketType::kUnsubscribe)
+          ? 0x02
+          : 0x00;
+  if (type != PacketType::kPublish && flags != expected_flags) {
+    return Err(Errc::kProtocol, "invalid fixed-header flags");
+  }
+
+  Result<Packet> out = Err(Errc::kProtocol, "unknown packet type");
+  switch (type) {
+    case PacketType::kConnect: out = decode_connect(r); break;
+    case PacketType::kConnack: out = decode_connack(r); break;
+    case PacketType::kPublish: out = decode_publish(flags, r); break;
+    case PacketType::kPuback: out = decode_packet_id_only<Puback>(r); break;
+    case PacketType::kPubrec: out = decode_packet_id_only<Pubrec>(r); break;
+    case PacketType::kPubrel: out = decode_packet_id_only<Pubrel>(r); break;
+    case PacketType::kPubcomp: out = decode_packet_id_only<Pubcomp>(r); break;
+    case PacketType::kSubscribe: out = decode_subscribe(r); break;
+    case PacketType::kSuback: out = decode_suback(r); break;
+    case PacketType::kUnsubscribe: out = decode_unsubscribe(r); break;
+    case PacketType::kUnsuback: out = decode_packet_id_only<Unsuback>(r); break;
+    case PacketType::kPingreq: out = Packet{Pingreq{}}; break;
+    case PacketType::kPingresp: out = Packet{Pingresp{}}; break;
+    case PacketType::kDisconnect: out = Packet{Disconnect{}}; break;
+  }
+  if (!out) return out;
+  if (!r.at_end()) {
+    return Err(Errc::kProtocol, "trailing bytes in packet body");
+  }
+  return out;
+}
+
+std::uint8_t header_flags(const Packet& p) {
+  if (const auto* pub = std::get_if<Publish>(&p)) {
+    std::uint8_t f = 0;
+    if (pub->dup) f |= 0x08;
+    f |= static_cast<std::uint8_t>(static_cast<std::uint8_t>(pub->qos) << 1);
+    if (pub->retain) f |= 0x01;
+    return f;
+  }
+  const auto t = packet_type(p);
+  if (t == PacketType::kPubrel || t == PacketType::kSubscribe ||
+      t == PacketType::kUnsubscribe) {
+    return 0x02;
+  }
+  return 0x00;
+}
+
+}  // namespace
+
+PacketType packet_type(const Packet& p) {
+  return static_cast<PacketType>(p.index() + 1);
+}
+
+const char* packet_type_name(PacketType t) {
+  switch (t) {
+    case PacketType::kConnect: return "CONNECT";
+    case PacketType::kConnack: return "CONNACK";
+    case PacketType::kPublish: return "PUBLISH";
+    case PacketType::kPuback: return "PUBACK";
+    case PacketType::kPubrec: return "PUBREC";
+    case PacketType::kPubrel: return "PUBREL";
+    case PacketType::kPubcomp: return "PUBCOMP";
+    case PacketType::kSubscribe: return "SUBSCRIBE";
+    case PacketType::kSuback: return "SUBACK";
+    case PacketType::kUnsubscribe: return "UNSUBSCRIBE";
+    case PacketType::kUnsuback: return "UNSUBACK";
+    case PacketType::kPingreq: return "PINGREQ";
+    case PacketType::kPingresp: return "PINGRESP";
+    case PacketType::kDisconnect: return "DISCONNECT";
+  }
+  return "?";
+}
+
+Bytes encode(const Packet& p) {
+  Bytes body = std::visit(
+      [](const auto& pkt) -> Bytes {
+        using T = std::decay_t<decltype(pkt)>;
+        if constexpr (std::is_same_v<T, Puback> || std::is_same_v<T, Pubrec> ||
+                      std::is_same_v<T, Pubrel> || std::is_same_v<T, Pubcomp> ||
+                      std::is_same_v<T, Unsuback>) {
+          return body_of_packet_id(pkt.packet_id);
+        } else if constexpr (std::is_same_v<T, Pingreq> ||
+                             std::is_same_v<T, Pingresp> ||
+                             std::is_same_v<T, Disconnect>) {
+          return {};
+        } else {
+          return body_of(pkt);
+        }
+      },
+      p);
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(packet_type(p)) << 4) | header_flags(p)));
+  write_remaining_length(out, body.size());
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Result<Packet> decode(BytesView data) {
+  auto header = parse_fixed_header(data);
+  if (!header) return header.error();
+  if (!header.value()) return Err(Errc::kParse, "incomplete fixed header");
+  const FixedHeader h = *header.value();
+  if (data.size() != h.header_size + h.remaining_length) {
+    return Err(Errc::kParse, "buffer size does not match packet length");
+  }
+  return decode_body(h.type_and_flags,
+                     data.subspan(h.header_size, h.remaining_length));
+}
+
+void StreamDecoder::feed(BytesView data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+Result<std::optional<Packet>> StreamDecoder::next() {
+  auto header = parse_fixed_header(BytesView(buf_));
+  if (!header) return header.error();
+  if (!header.value()) return std::optional<Packet>{};
+  const FixedHeader h = *header.value();
+  const std::size_t total = h.header_size + h.remaining_length;
+  if (buf_.size() < total) return std::optional<Packet>{};
+  auto packet = decode_body(
+      h.type_and_flags, BytesView(buf_).subspan(h.header_size, h.remaining_length));
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(total));
+  if (!packet) return packet.error();
+  return std::optional<Packet>{std::move(packet).value()};
+}
+
+}  // namespace ifot::mqtt

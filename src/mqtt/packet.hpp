@@ -1,0 +1,181 @@
+// MQTT v3.1.1 (OASIS standard) control-packet model and wire codec.
+//
+// The paper's flow-distribution function is built on Mosquitto, an MQTT
+// broker; we implement the protocol itself so the substrate is real. All
+// fourteen control packet types encode/decode, including the QoS 2
+// handshake packets. The codec is transport-agnostic: StreamDecoder turns
+// an arbitrary byte stream into complete packets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace ifot::mqtt {
+
+/// MQTT control packet type codes (fixed header bits 7-4).
+enum class PacketType : std::uint8_t {
+  kConnect = 1,
+  kConnack = 2,
+  kPublish = 3,
+  kPuback = 4,
+  kPubrec = 5,
+  kPubrel = 6,
+  kPubcomp = 7,
+  kSubscribe = 8,
+  kSuback = 9,
+  kUnsubscribe = 10,
+  kUnsuback = 11,
+  kPingreq = 12,
+  kPingresp = 13,
+  kDisconnect = 14,
+};
+
+/// Quality-of-service levels.
+enum class QoS : std::uint8_t { kAtMostOnce = 0, kAtLeastOnce = 1, kExactlyOnce = 2 };
+
+/// CONNACK return codes (MQTT 3.1.1 §3.2.2.3).
+enum class ConnectCode : std::uint8_t {
+  kAccepted = 0,
+  kUnacceptableProtocol = 1,
+  kIdentifierRejected = 2,
+  kServerUnavailable = 3,
+  kBadCredentials = 4,
+  kNotAuthorized = 5,
+};
+
+/// SUBACK failure return code.
+inline constexpr std::uint8_t kSubackFailure = 0x80;
+
+/// Will message carried in CONNECT.
+struct Will {
+  std::string topic;
+  Bytes payload;
+  QoS qos = QoS::kAtMostOnce;
+  bool retain = false;
+  friend bool operator==(const Will&, const Will&) = default;
+};
+
+struct Connect {
+  std::string client_id;
+  std::uint16_t keep_alive_s = 60;
+  bool clean_session = true;
+  std::optional<Will> will;
+  std::optional<std::string> username;
+  std::optional<std::string> password;
+  friend bool operator==(const Connect&, const Connect&) = default;
+};
+
+struct Connack {
+  bool session_present = false;
+  ConnectCode code = ConnectCode::kAccepted;
+  friend bool operator==(const Connack&, const Connack&) = default;
+};
+
+struct Publish {
+  std::string topic;
+  Bytes payload;
+  QoS qos = QoS::kAtMostOnce;
+  bool retain = false;
+  bool dup = false;
+  std::uint16_t packet_id = 0;  ///< meaningful only for QoS > 0
+  friend bool operator==(const Publish&, const Publish&) = default;
+};
+
+struct Puback {
+  std::uint16_t packet_id = 0;
+  friend bool operator==(const Puback&, const Puback&) = default;
+};
+struct Pubrec {
+  std::uint16_t packet_id = 0;
+  friend bool operator==(const Pubrec&, const Pubrec&) = default;
+};
+struct Pubrel {
+  std::uint16_t packet_id = 0;
+  friend bool operator==(const Pubrel&, const Pubrel&) = default;
+};
+struct Pubcomp {
+  std::uint16_t packet_id = 0;
+  friend bool operator==(const Pubcomp&, const Pubcomp&) = default;
+};
+
+struct TopicRequest {
+  std::string filter;
+  QoS qos = QoS::kAtMostOnce;
+  friend bool operator==(const TopicRequest&, const TopicRequest&) = default;
+};
+
+struct Subscribe {
+  std::uint16_t packet_id = 0;
+  std::vector<TopicRequest> topics;
+  friend bool operator==(const Subscribe&, const Subscribe&) = default;
+};
+
+struct Suback {
+  std::uint16_t packet_id = 0;
+  std::vector<std::uint8_t> return_codes;  ///< granted QoS or kSubackFailure
+  friend bool operator==(const Suback&, const Suback&) = default;
+};
+
+struct Unsubscribe {
+  std::uint16_t packet_id = 0;
+  std::vector<std::string> topics;
+  friend bool operator==(const Unsubscribe&, const Unsubscribe&) = default;
+};
+
+struct Unsuback {
+  std::uint16_t packet_id = 0;
+  friend bool operator==(const Unsuback&, const Unsuback&) = default;
+};
+
+struct Pingreq {
+  friend bool operator==(const Pingreq&, const Pingreq&) = default;
+};
+struct Pingresp {
+  friend bool operator==(const Pingresp&, const Pingresp&) = default;
+};
+struct Disconnect {
+  friend bool operator==(const Disconnect&, const Disconnect&) = default;
+};
+
+using Packet =
+    std::variant<Connect, Connack, Publish, Puback, Pubrec, Pubrel, Pubcomp,
+                 Subscribe, Suback, Unsubscribe, Unsuback, Pingreq, Pingresp,
+                 Disconnect>;
+
+/// Returns the control-packet type of a Packet variant.
+PacketType packet_type(const Packet& p);
+/// Human-readable packet-type name (logging).
+const char* packet_type_name(PacketType t);
+
+/// Encodes one packet to its full wire form (fixed header + body).
+Bytes encode(const Packet& p);
+
+/// Decodes exactly one packet from `data`; fails if bytes remain.
+Result<Packet> decode(BytesView data);
+
+/// Incremental decoder: feed arbitrary byte chunks, poll complete packets.
+/// Enforces the 4-byte remaining-length limit (max 256 MiB body).
+class StreamDecoder {
+ public:
+  /// Appends raw bytes received from the transport.
+  void feed(BytesView data);
+
+  /// Returns the next complete packet, nothing when more bytes are needed,
+  /// or an Error when the stream is corrupt (stream must then be closed).
+  /// Returns std::nullopt wrapped in Result: we model it as
+  /// Result<std::optional<Packet>>.
+  Result<std::optional<Packet>> next();
+
+  [[nodiscard]] std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+}  // namespace ifot::mqtt

@@ -1,0 +1,30 @@
+// Timer abstraction that keeps the MQTT library independent of the
+// discrete-event simulator: the node layer adapts sim::Simulator to this
+// interface; a real deployment would adapt an OS event loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace ifot::mqtt {
+
+/// Minimal timer service used by Broker and Client for keep-alive and
+/// message-redelivery timers.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Current time (virtual in the simulator, monotonic in a real port).
+  virtual SimTime now() = 0;
+
+  /// Runs `fn` after `delay`; returns a cancellation handle (never 0).
+  virtual std::uint64_t call_after(SimDuration delay,
+                                   std::function<void()> fn) = 0;
+
+  /// Cancels a pending timer; no-op for fired/unknown handles.
+  virtual void cancel(std::uint64_t handle) = 0;
+};
+
+}  // namespace ifot::mqtt

@@ -1,0 +1,64 @@
+#include "mqtt/topic.hpp"
+
+namespace ifot::mqtt {
+namespace {
+
+std::vector<std::string_view> split_levels(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == '/') {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool valid_topic_name(std::string_view topic) {
+  if (topic.empty() || topic.size() > 65535) return false;
+  for (char c : topic) {
+    if (c == '+' || c == '#' || c == '\0') return false;
+  }
+  return true;
+}
+
+bool valid_topic_filter(std::string_view filter) {
+  if (filter.empty() || filter.size() > 65535) return false;
+  const auto levels = split_levels(filter);
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const auto& level = levels[i];
+    for (std::size_t j = 0; j < level.size(); ++j) {
+      const char c = level[j];
+      if (c == '\0') return false;
+      // Wildcards must occupy an entire level.
+      if ((c == '+' || c == '#') && level.size() != 1) return false;
+    }
+    // '#' must be the last level.
+    if (level == "#" && i + 1 != levels.size()) return false;
+  }
+  return true;
+}
+
+bool topic_matches(std::string_view filter, std::string_view topic) {
+  if (!valid_topic_filter(filter) || !valid_topic_name(topic)) return false;
+  // Wildcard-leading filters never match $-topics (§4.7.2).
+  if (!topic.empty() && topic.front() == '$' &&
+      (filter.front() == '+' || filter.front() == '#')) {
+    return false;
+  }
+  const auto f = split_levels(filter);
+  const auto t = split_levels(topic);
+  std::size_t i = 0;
+  for (; i < f.size(); ++i) {
+    if (f[i] == "#") return true;
+    if (i >= t.size()) return false;
+    if (f[i] == "+") continue;
+    if (f[i] != t[i]) return false;
+  }
+  return i == t.size();
+}
+
+}  // namespace ifot::mqtt

@@ -1,0 +1,133 @@
+// MQTT topic names, topic filters and the broker's subscription tree.
+//
+// Implements the MQTT 3.1.1 §4.7 matching rules:
+//  * '/' separates levels; levels may be empty;
+//  * '+' matches exactly one level; '#' matches any suffix and must be the
+//    final level;
+//  * filters starting with '+'/'#' do not match topics starting with '$'.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ifot::mqtt {
+
+/// True when `topic` is a valid topic *name* (no wildcards, non-empty).
+bool valid_topic_name(std::string_view topic);
+
+/// True when `filter` is a valid topic *filter* (wildcards allowed).
+bool valid_topic_filter(std::string_view filter);
+
+/// True when `filter` matches `topic` under §4.7 rules.
+bool topic_matches(std::string_view filter, std::string_view topic);
+
+/// Subscription tree: maps topic filters to subscriber values of type V,
+/// supporting wildcard-aware lookup of all subscribers matching a topic
+/// name. V is a small value (e.g. session index); one value per
+/// (filter, key) pair where key disambiguates subscribers.
+template <typename K, typename V>
+class TopicTree {
+ public:
+  /// Inserts or replaces the value for (filter, key).
+  void insert(std::string_view filter, const K& key, V value) {
+    Node* node = &root_;
+    for (const auto& level : levels(filter)) {
+      auto& child = node->children[level];
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    node->entries[key] = std::move(value);
+    ++version_;
+  }
+
+  /// Removes the entry for (filter, key); returns true when it existed.
+  bool erase(std::string_view filter, const K& key) {
+    Node* node = &root_;
+    for (const auto& level : levels(filter)) {
+      auto it = node->children.find(level);
+      if (it == node->children.end()) return false;
+      node = it->second.get();
+    }
+    const bool erased = node->entries.erase(key) > 0;
+    if (erased) ++version_;
+    return erased;
+  }
+
+  /// Removes every filter entry with the given key (session teardown).
+  void erase_key(const K& key) {
+    erase_key_rec(root_, key);
+    ++version_;
+  }
+
+  /// Collects all (key, value) pairs whose filter matches `topic`.
+  /// A subscriber matching via several filters appears once per filter
+  /// (the broker deduplicates by key, keeping max QoS).
+  void match(std::string_view topic,
+             std::vector<std::pair<K, V>>& out) const {
+    const auto lv = levels(topic);
+    const bool dollar = !topic.empty() && topic.front() == '$';
+    match_rec(root_, lv, 0, dollar, out);
+  }
+
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+ private:
+  struct Node {
+    std::unordered_map<std::string, std::unique_ptr<Node>> children;
+    std::unordered_map<K, V> entries;
+  };
+
+  static std::vector<std::string> levels(std::string_view s) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+      if (i == s.size() || s[i] == '/') {
+        out.emplace_back(s.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    return out;
+  }
+
+  static void collect(const Node& node, std::vector<std::pair<K, V>>& out) {
+    for (const auto& [k, v] : node.entries) out.emplace_back(k, v);
+  }
+
+  static void erase_key_rec(Node& node, const K& key) {
+    node.entries.erase(key);
+    for (auto& [_, child] : node.children) erase_key_rec(*child, key);
+  }
+
+  static void match_rec(const Node& node,
+                        const std::vector<std::string>& topic,
+                        std::size_t depth, bool dollar_topic,
+                        std::vector<std::pair<K, V>>& out) {
+    // '#' at this level matches the remainder (including zero levels),
+    // but never a $-topic at the root.
+    if (auto it = node.children.find("#"); it != node.children.end()) {
+      if (!(depth == 0 && dollar_topic)) collect(*it->second, out);
+    }
+    if (depth == topic.size()) {
+      collect(node, out);
+      return;
+    }
+    const std::string& level = topic[depth];
+    if (auto it = node.children.find(level); it != node.children.end()) {
+      match_rec(*it->second, topic, depth + 1, dollar_topic, out);
+    }
+    if (auto it = node.children.find("+"); it != node.children.end()) {
+      if (!(depth == 0 && dollar_topic)) {
+        match_rec(*it->second, topic, depth + 1, dollar_topic, out);
+      }
+    }
+  }
+
+  Node root_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace ifot::mqtt

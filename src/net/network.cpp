@@ -1,0 +1,144 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace ifot::net {
+namespace {
+
+SimDuration airtime(std::size_t payload_bytes, std::size_t header_bytes,
+                    double bandwidth_bps, SimDuration per_frame_overhead) {
+  const double bits = static_cast<double>(payload_bytes + header_bytes) * 8.0;
+  const double seconds = bits / bandwidth_bps;
+  return per_frame_overhead + from_seconds(seconds);
+}
+
+std::uint64_t pair_key(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(from.value()) << 32) | to.value();
+}
+
+}  // namespace
+
+Network::Network(sim::Simulator& sim, const LanConfig& lan, std::uint64_t seed)
+    : sim_(sim), lan_(lan), rng_(seed) {}
+
+NodeId Network::add_host(std::string name) {
+  hosts_.push_back(Host{std::move(name), nullptr, false, {}, 0});
+  return NodeId{static_cast<NodeId::value_type>(hosts_.size() - 1)};
+}
+
+NodeId Network::add_remote_host(std::string name, const WanConfig& wan) {
+  hosts_.push_back(Host{std::move(name), nullptr, true, wan, 0});
+  return NodeId{static_cast<NodeId::value_type>(hosts_.size() - 1)};
+}
+
+void Network::set_handler(NodeId host, MessageHandler handler) {
+  assert(host.value() < hosts_.size());
+  hosts_[host.value()].handler = std::move(handler);
+}
+
+const std::string& Network::host_name(NodeId id) const {
+  assert(id.value() < hosts_.size());
+  return hosts_[id.value()].name;
+}
+
+Network::PathOutcome Network::traverse_lan(std::size_t payload_bytes) {
+  PathOutcome out;
+  const SimDuration air = airtime(payload_bytes, lan_.header_bytes,
+                                  lan_.bandwidth_bps, lan_.per_frame_overhead);
+  SimTime cursor = sim_.now();
+  SimDuration backoff = lan_.rto;
+  for (int attempt = 1; attempt <= lan_.max_attempts; ++attempt) {
+    out.attempts = attempt;
+    const SimTime start = std::max(cursor, lan_busy_until_);
+    lan_busy_until_ = start + air;
+    const SimTime tx_end = start + air;
+    if (rng_.chance(lan_.loss_prob)) {
+      counters_.add("lan.retransmits");
+      cursor = tx_end + backoff;
+      backoff *= 2;
+      continue;
+    }
+    const SimDuration jitter = lan_.jitter_max > 0
+        ? static_cast<SimDuration>(rng_.uniform() *
+                                   static_cast<double>(lan_.jitter_max))
+        : 0;
+    out.delivered = true;
+    out.delay = (tx_end + lan_.propagation + jitter) - sim_.now();
+    return out;
+  }
+  return out;  // dropped
+}
+
+Network::PathOutcome Network::traverse_wan(Host& remote,
+                                           std::size_t payload_bytes) {
+  PathOutcome out;
+  const WanConfig& wan = remote.wan;
+  const SimDuration air = airtime(payload_bytes, wan.header_bytes,
+                                  wan.bandwidth_bps, 0);
+  SimTime cursor = sim_.now();
+  SimDuration backoff = wan.rto;
+  for (int attempt = 1; attempt <= wan.max_attempts; ++attempt) {
+    out.attempts = attempt;
+    const SimTime start = std::max(cursor, remote.wan_busy_until);
+    remote.wan_busy_until = start + air;
+    const SimTime tx_end = start + air;
+    if (rng_.chance(wan.loss_prob)) {
+      counters_.add("wan.retransmits");
+      cursor = tx_end + backoff;
+      backoff *= 2;
+      continue;
+    }
+    const SimDuration jitter = wan.jitter_max > 0
+        ? static_cast<SimDuration>(rng_.uniform() *
+                                   static_cast<double>(wan.jitter_max))
+        : 0;
+    out.delivered = true;
+    out.delay = (tx_end + wan.propagation + jitter) - sim_.now();
+    return out;
+  }
+  return out;
+}
+
+void Network::send(NodeId from, NodeId to, Bytes payload) {
+  assert(from.value() < hosts_.size());
+  assert(to.value() < hosts_.size());
+  counters_.add("frames");
+  counters_.add("bytes", payload.size());
+
+  Host& src = hosts_[from.value()];
+  Host& dst = hosts_[to.value()];
+
+  // A path touching a remote host crosses its WAN link; LAN<->LAN paths
+  // cross the shared medium.
+  PathOutcome outcome = (src.remote || dst.remote)
+      ? traverse_wan(src.remote ? src : dst, payload.size())
+      : traverse_lan(payload.size());
+
+  if (!outcome.delivered) {
+    counters_.add("drops");
+    IFOT_LOG(kWarn, "net") << "frame " << host_name(from) << "->"
+                           << host_name(to) << " dropped after "
+                           << outcome.attempts << " attempts";
+    return;
+  }
+
+  // Enforce per-pair FIFO (TCP-like ordering): never deliver before the
+  // previous datagram on the same pair.
+  SimTime deliver_at = sim_.now() + outcome.delay;
+  auto& last = pair_last_delivery_[pair_key(from, to)];
+  deliver_at = std::max(deliver_at, last + 1);
+  last = deliver_at;
+
+  delivery_latency_.record(deliver_at - sim_.now());
+  sim_.schedule_at(deliver_at,
+                   [this, from, to, p = std::move(payload)]() mutable {
+                     Host& h = hosts_[to.value()];
+                     if (h.handler) h.handler(from, p);
+                   });
+}
+
+}  // namespace ifot::net

@@ -1,0 +1,126 @@
+// Simulated network substituting for the paper's testbed wireless LAN.
+//
+// Model:
+//  * LAN hosts share one half-duplex medium (802.11-style): each frame
+//    occupies the channel for airtime = per_frame_overhead +
+//    bits/bandwidth; concurrent transmissions serialize behind
+//    channel-busy time (first-order contention model).
+//  * Frames suffer propagation latency plus uniform jitter, and are lost
+//    with probability loss_prob; the (reliable) transport retransmits with
+//    exponential backoff, so loss shows up as latency, as with TCP.
+//  * Remote ("cloud") hosts hang off point-to-point WAN links with their
+//    own bandwidth/latency — used by the Fig.1 cloud-vs-local bench.
+//  * Delivery per (src,dst) pair is FIFO, matching TCP ordering.
+//
+// The transport is message-oriented: one send() = one delivered datagram
+// (the MQTT layer frames packets itself).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace ifot::net {
+
+/// Parameters of the shared wireless LAN medium.
+struct LanConfig {
+  /// Usable bandwidth in bits per second (802.11n-era effective rate).
+  double bandwidth_bps = 40e6;
+  /// One-way propagation + stack latency.
+  SimDuration propagation = from_millis(0.8);
+  /// Uniform jitter added on top of propagation: U[0, jitter_max].
+  SimDuration jitter_max = from_millis(1.5);
+  /// Per-frame channel occupancy overhead (preamble, MAC/IP/TCP headers).
+  SimDuration per_frame_overhead = from_millis(0.25);
+  /// Extra bytes per frame counted against bandwidth (headers).
+  std::size_t header_bytes = 78;
+  /// Frame loss probability per attempt.
+  double loss_prob = 0.0;
+  /// Retransmission timeout base (doubles per retry).
+  SimDuration rto = from_millis(20);
+  /// Maximum transmission attempts before the frame is dropped.
+  int max_attempts = 5;
+};
+
+/// Parameters of a point-to-point WAN link (for remote/cloud hosts).
+struct WanConfig {
+  double bandwidth_bps = 10e6;          ///< uplink-constrained path
+  SimDuration propagation = from_millis(25);  ///< one-way WAN latency
+  SimDuration jitter_max = from_millis(5);
+  std::size_t header_bytes = 78;
+  double loss_prob = 0.0;
+  SimDuration rto = from_millis(200);
+  int max_attempts = 5;
+};
+
+/// Handler invoked on the destination host when a datagram arrives.
+using MessageHandler =
+    std::function<void(NodeId from, const Bytes& payload)>;
+
+/// The simulated network fabric. Owns all hosts and link state.
+class Network {
+ public:
+  Network(sim::Simulator& sim, const LanConfig& lan, std::uint64_t seed);
+
+  /// Adds a host on the shared wireless LAN; returns its id.
+  NodeId add_host(std::string name);
+
+  /// Adds a remote host reachable from every LAN host through a dedicated
+  /// WAN link (models a cloud server).
+  NodeId add_remote_host(std::string name, const WanConfig& wan);
+
+  /// Installs the receive handler for a host (replaces any previous one).
+  void set_handler(NodeId host, MessageHandler handler);
+
+  /// Sends a datagram. Delivery is scheduled on the simulator; per
+  /// (from,to) ordering is FIFO. Frames exceeding max_attempts are dropped
+  /// (counted in counters()["drops"]).
+  void send(NodeId from, NodeId to, Bytes payload);
+
+  [[nodiscard]] const std::string& host_name(NodeId id) const;
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+
+  /// Traffic counters: frames, bytes, retransmits, drops.
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  /// Per-delivery network latency (excludes queueing inside nodes).
+  [[nodiscard]] const LatencyRecorder& delivery_latency() const {
+    return delivery_latency_;
+  }
+
+ private:
+  struct Host {
+    std::string name;
+    MessageHandler handler;
+    bool remote = false;
+    WanConfig wan;           // valid when remote
+    SimTime wan_busy_until = 0;  // WAN link serialization (per remote host)
+  };
+
+  /// Computes channel occupancy + delivery delay for one frame crossing
+  /// the shared LAN or a WAN link; accounts retransmissions.
+  struct PathOutcome {
+    bool delivered = false;
+    SimDuration delay = 0;  // from send() call to handler invocation
+    int attempts = 1;
+  };
+  PathOutcome traverse_lan(std::size_t payload_bytes);
+  PathOutcome traverse_wan(Host& remote, std::size_t payload_bytes);
+
+  sim::Simulator& sim_;  // NOLINT(cppcoreguidelines-avoid-const-or-ref-data-members)
+  LanConfig lan_;
+  Rng rng_;
+  std::vector<Host> hosts_;
+  SimTime lan_busy_until_ = 0;
+  std::unordered_map<std::uint64_t, SimTime> pair_last_delivery_;
+  Counters counters_;
+  LatencyRecorder delivery_latency_;
+};
+
+}  // namespace ifot::net

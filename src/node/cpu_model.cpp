@@ -1,0 +1,37 @@
+#include "node/cpu_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ifot::node {
+
+void CpuQueue::arm_stall() {
+  const auto wait = static_cast<SimDuration>(rng_.exponential(
+      1.0 / static_cast<double>(profile_.stall_mean_interval)));
+  sim_.schedule_after(wait, [this] {
+    const auto stall = static_cast<SimDuration>(
+        rng_.uniform(static_cast<double>(profile_.stall_min),
+                     static_cast<double>(profile_.stall_max)));
+    // The CPU freezes: everything queued (and anything arriving during
+    // the freeze) waits the stall out.
+    busy_until_ = std::max(sim_.now(), busy_until_) + stall;
+    total_stalled_ += stall;
+    arm_stall();
+  });
+}
+
+void CpuQueue::execute(SimDuration cost, std::function<void()> fn) {
+  assert(cost >= 0);
+  const auto scaled =
+      static_cast<SimDuration>(static_cast<double>(cost) / profile_.factor);
+  const SimTime start = std::max(sim_.now(), busy_until_);
+  busy_until_ = start + scaled;
+  total_busy_ += scaled;
+  sim_.schedule_at(busy_until_, std::move(fn));
+}
+
+SimDuration CpuQueue::backlog() const {
+  return std::max<SimDuration>(0, busy_until_ - sim_.now());
+}
+
+}  // namespace ifot::node

@@ -1,0 +1,108 @@
+// CPU model of an IFoT neuron module.
+//
+// Substitutes for the paper's Raspberry Pi 2 (ARM Cortex-A7 @ 900 MHz):
+// each module's CPU is a single-server FIFO queue; every piece of work
+// (packet handling, sample decode, model update, ...) occupies the server
+// for its service time divided by the module's speed factor. Queueing in
+// this model is what produces the paper's latency knee between 20 and
+// 40 Hz (Tables II/III).
+//
+// Costs in CostModel are calibrated for factor 1.0 == one Raspberry Pi 2
+// core running the paper's Python/Jubatus stack; see EXPERIMENTS.md for
+// the calibration rationale.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace ifot::node {
+
+/// Relative speed of a module's CPU (1.0 = Raspberry Pi 2 reference),
+/// plus an optional stall model: at exponentially distributed intervals
+/// (mean `stall_mean_interval`) the CPU freezes for U[stall_min,
+/// stall_max] — the rare GC pauses / Wi-Fi retransmission storms that
+/// dominate the paper's low-rate *max* latencies (Table II: 357 ms max at
+/// a 59 ms average). Time-based, so the added load is rate-independent.
+struct CpuProfile {
+  double factor = 1.0;
+  SimDuration stall_mean_interval = 0;  ///< 0 = stalls disabled
+  SimDuration stall_min = 0;
+  SimDuration stall_max = 0;
+};
+
+/// Reference-hardware service times for the operations the runtime
+/// performs. All values are for a factor-1.0 module.
+struct CostModel {
+  /// Fixed transport + MQTT packet handling per received datagram.
+  SimDuration per_packet = from_millis(0.35);
+  /// Per payload byte (encode/decode/copy).
+  SimDuration per_byte = 40;  // 40ns/B ~ 25 MB/s on the Pi's stack
+  /// Reading one sample off a (short-range-connected) sensor.
+  SimDuration sensor_read = from_millis(3.0);
+  /// Building + publishing one flow message (client side).
+  SimDuration publish = from_millis(7.0);
+  /// Broker routing: fixed part per inbound message...
+  SimDuration broker_route = from_millis(3.5);
+  /// ...plus this per matched subscriber.
+  SimDuration broker_per_subscriber = from_millis(0.7);
+  /// Subscriber-side delivery of one flow message to one task.
+  SimDuration deliver = from_millis(4.0);
+  /// Online training on one sample (Jubatus update + bookkeeping).
+  SimDuration train = from_millis(14.0);
+  /// Classification of one sample.
+  SimDuration predict = from_millis(7.0);
+  /// Anomaly-score update for one sample.
+  SimDuration anomaly = from_millis(9.0);
+  /// Cluster assignment/update for one sample.
+  SimDuration cluster = from_millis(6.0);
+  /// Regression update+estimate for one sample.
+  SimDuration estimate = from_millis(8.0);
+  /// Lightweight stream ops (window/filter/map/merge) per sample.
+  SimDuration stream_op = from_millis(1.5);
+  /// Applying one actuator command.
+  SimDuration actuate = from_millis(2.0);
+  /// Serializing/deserializing + mixing models (per model involved).
+  SimDuration model_io = from_millis(5.0);
+  /// In-process handoff between colocated tasks (no MQTT encode/decode,
+  /// no broker hop) - the local fast path of emit.
+  SimDuration local_dispatch = from_millis(1.5);
+};
+
+/// Single-server FIFO CPU queue bound to the simulator clock.
+class CpuQueue {
+ public:
+  CpuQueue(sim::Simulator& sim, CpuProfile profile, Rng rng = Rng(1))
+      : sim_(sim), profile_(profile), rng_(rng) {
+    if (profile_.stall_mean_interval > 0) arm_stall();
+  }
+
+  /// Enqueues work costing `cost` reference-time units; `fn` runs when the
+  /// work completes (after queueing behind earlier work).
+  void execute(SimDuration cost, std::function<void()> fn);
+
+  /// Time the CPU becomes idle given current queue.
+  [[nodiscard]] SimTime busy_until() const { return busy_until_; }
+  /// Total busy time accumulated (for utilization reporting).
+  [[nodiscard]] SimDuration total_busy() const { return total_busy_; }
+  /// Current backlog (queue + in-service) in virtual time.
+  [[nodiscard]] SimDuration backlog() const;
+  [[nodiscard]] double factor() const { return profile_.factor; }
+
+  /// Total stall time injected (reporting).
+  [[nodiscard]] SimDuration total_stalled() const { return total_stalled_; }
+
+ private:
+  void arm_stall();
+
+  sim::Simulator& sim_;  // NOLINT(cppcoreguidelines-avoid-const-or-ref-data-members)
+  CpuProfile profile_;
+  Rng rng_;
+  SimTime busy_until_ = 0;
+  SimDuration total_busy_ = 0;
+  SimDuration total_stalled_ = 0;
+};
+
+}  // namespace ifot::node

@@ -1,0 +1,52 @@
+#include "node/flow_msg.hpp"
+
+namespace ifot::node {
+namespace {
+constexpr std::uint8_t kTagSample = 0;
+constexpr std::uint8_t kTagModel = 1;
+}  // namespace
+
+Bytes encode_flow(const device::Sample& s) {
+  Bytes out;
+  out.push_back(kTagSample);
+  const Bytes body = device::encode(s);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Bytes encode_flow(const ModelMsg& m) {
+  Bytes out;
+  BinaryWriter w(out);
+  w.u8(kTagModel);
+  w.str(m.producer);
+  w.varint(m.model.size());
+  w.raw(m.model);
+  return out;
+}
+
+Result<FlowPayload> decode_flow(BytesView data) {
+  if (data.empty()) return Err(Errc::kParse, "empty flow message");
+  const std::uint8_t tag = data[0];
+  if (tag == kTagSample) {
+    auto s = device::decode_sample(data.subspan(1));
+    if (!s) return s.error();
+    return FlowPayload{std::move(s).value()};
+  }
+  if (tag == kTagModel) {
+    BinaryReader r(data.subspan(1));
+    ModelMsg m;
+    auto producer = r.str();
+    if (!producer) return producer.error();
+    m.producer = std::move(producer).value();
+    auto len = r.varint();
+    if (!len) return len.error();
+    auto body = r.raw(static_cast<std::size_t>(len.value()));
+    if (!body) return body.error();
+    m.model = std::move(body).value();
+    if (!r.at_end()) return Err(Errc::kParse, "trailing bytes in model msg");
+    return FlowPayload{std::move(m)};
+  }
+  return Err(Errc::kParse, "unknown flow tag");
+}
+
+}  // namespace ifot::node

@@ -1,0 +1,33 @@
+// Framing of flow payloads inside MQTT messages.
+//
+// Two payload kinds ride the fabric: data samples, and serialized models
+// (the Train class ships its model to Judging/Predict classes, paper
+// Fig. 9). A one-byte tag distinguishes them.
+#pragma once
+
+#include <variant>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "device/sample.hpp"
+
+namespace ifot::node {
+
+/// A model payload: opaque encoded model plus the producing task name.
+struct ModelMsg {
+  std::string producer;
+  Bytes model;
+
+  friend bool operator==(const ModelMsg&, const ModelMsg&) = default;
+};
+
+using FlowPayload = std::variant<device::Sample, ModelMsg>;
+
+/// Encodes a sample as a flow message.
+Bytes encode_flow(const device::Sample& s);
+/// Encodes a model as a flow message.
+Bytes encode_flow(const ModelMsg& m);
+/// Decodes either kind.
+Result<FlowPayload> decode_flow(BytesView data);
+
+}  // namespace ifot::node

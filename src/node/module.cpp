@@ -1,0 +1,629 @@
+#include "node/module.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace ifot::node {
+namespace {
+constexpr const char* kLog = "node.module";
+}
+
+std::uint32_t NeuronModule::next_link_id_ = 1;
+
+NeuronModule::NeuronModule(sim::Simulator& sim, net::Network& network,
+                           NodeId host, Config config)
+    : sim_(sim),
+      net_(network),
+      host_(host),
+      config_(std::move(config)),
+      cpu_(sim, config_.cpu,
+           Rng(config_.seed ^ (0x9E3779B97F4A7C15ULL * (host.value() + 7)))),
+      sched_(sim),
+      rng_(config_.seed ^ (0x517CC1B727220A95ULL * (host.value() + 1))),
+      created_at_(sim.now()) {
+  net_.set_handler(host_, [this](NodeId from, const Bytes& data) {
+    on_datagram(from, data);
+  });
+}
+
+NeuronModule::~NeuronModule() = default;
+
+void NeuronModule::attach_sensor(const std::string& device_name) {
+  sensor_devices_.insert(device_name);
+}
+
+device::ActuatorSink& NeuronModule::attach_actuator(
+    const std::string& device_name, SimDuration actuation_latency) {
+  actuator_sinks_.push_back(
+      std::make_unique<device::ActuatorSink>(device_name, actuation_latency));
+  return *actuator_sinks_.back();
+}
+
+std::vector<std::string> NeuronModule::actuators() const {
+  std::vector<std::string> out;
+  out.reserve(actuator_sinks_.size());
+  for (const auto& a : actuator_sinks_) out.push_back(a->name());
+  return out;
+}
+
+device::ActuatorSink* NeuronModule::actuator(const std::string& name) {
+  for (const auto& a : actuator_sinks_) {
+    if (a->name() == name) return a.get();
+  }
+  return nullptr;
+}
+
+double NeuronModule::utilization() const {
+  const SimDuration elapsed = sim_.now() - created_at_;
+  if (elapsed <= 0) return 0;
+  return static_cast<double>(cpu_.total_busy()) /
+         static_cast<double>(elapsed);
+}
+
+// ---- transport -------------------------------------------------------------
+
+void NeuronModule::transport_send(NodeId to, MsgKind kind, Dir dir,
+                                  std::uint32_t link, const Bytes& payload) {
+  if (failed_) return;  // silent crash: pings stop, will fires later
+  Bytes frame;
+  frame.reserve(payload.size() + 6);
+  BinaryWriter w(frame);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u8(static_cast<std::uint8_t>(dir));
+  w.u32(link);
+  w.raw(payload);
+  net_.send(host_, to, std::move(frame));
+}
+
+void NeuronModule::on_datagram(NodeId from, const Bytes& data) {
+  if (failed_) return;  // a crashed module neither receives nor replies
+  BinaryReader r{BytesView(data)};
+  auto kind_raw = r.u8();
+  auto dir_raw = r.u8();
+  auto link = r.u32();
+  if (!kind_raw || !dir_raw || !link || kind_raw.value() > 2 ||
+      dir_raw.value() > 1) {
+    IFOT_LOG(kWarn, kLog) << name() << ": malformed transport frame from "
+                          << net_.host_name(from);
+    return;
+  }
+  auto payload = r.raw(r.remaining());
+  assert(payload);
+  const auto kind = static_cast<MsgKind>(kind_raw.value());
+  const bool to_server = dir_raw.value() ==
+                         static_cast<std::uint8_t>(Dir::kToServer);
+
+  // Charge inbound packet handling on this module's CPU, then dispatch.
+  const SimDuration cost =
+      config_.costs.per_packet +
+      config_.costs.per_byte * static_cast<SimDuration>(data.size()) +
+      (to_server && kind == MsgKind::kData ? config_.costs.broker_route : 0);
+  cpu_.execute(cost, [this, from, kind, to_server, link = link.value(),
+                      p = std::move(payload).value()]() mutable {
+    if (to_server) {
+      if (broker_ != nullptr) {
+        on_broker_datagram(from, kind, link, std::move(p));
+      }
+    } else {
+      on_client_datagram(kind, link, std::move(p));
+    }
+  });
+}
+
+void NeuronModule::on_broker_datagram(NodeId from, MsgKind kind,
+                                      std::uint32_t link, Bytes payload) {
+  switch (kind) {
+    case MsgKind::kOpen: {
+      broker_links_[link] = from;
+      broker_->on_link_open(
+          link,
+          /*send=*/
+          [this, from, link](const Bytes& bytes) {
+            // Outgoing broker traffic serializes through the CPU with a
+            // per-subscriber routing cost.
+            const SimDuration cost =
+                config_.costs.broker_per_subscriber +
+                config_.costs.per_byte *
+                    static_cast<SimDuration>(bytes.size());
+            cpu_.execute(cost, [this, from, link, bytes] {
+              transport_send(from, MsgKind::kData, Dir::kToClient, link,
+                             bytes);
+            });
+          },
+          /*close=*/
+          [this, from, link] {
+            broker_links_.erase(link);
+            transport_send(from, MsgKind::kClose, Dir::kToClient, link, {});
+          });
+      break;
+    }
+    case MsgKind::kData:
+      broker_->on_link_data(link, BytesView(payload));
+      break;
+    case MsgKind::kClose:
+      broker_->on_link_closed(link);
+      broker_links_.erase(link);
+      break;
+  }
+}
+
+void NeuronModule::on_client_datagram(MsgKind kind, std::uint32_t link,
+                                      Bytes payload) {
+  for (auto& b : clients_) {
+    if (b.link != link) continue;
+    switch (kind) {
+      case MsgKind::kOpen:
+        break;  // clients never receive opens
+      case MsgKind::kData:
+        b.client->on_data(BytesView(payload));
+        break;
+      case MsgKind::kClose:
+        b.open = false;
+        b.client->on_transport_closed();
+        break;
+    }
+    return;
+  }
+}
+
+// ---- roles -----------------------------------------------------------------
+
+void NeuronModule::start_broker() {
+  assert(broker_ == nullptr);
+  broker_ = std::make_unique<mqtt::Broker>(sched_, config_.broker);
+}
+
+void NeuronModule::connect(NodeId broker_module) {
+  connect(std::vector<NodeId>{broker_module});
+}
+
+void NeuronModule::connect(const std::vector<NodeId>& broker_modules) {
+  assert(clients_.empty());
+  assert(!broker_modules.empty());
+  clients_.reserve(broker_modules.size());
+  for (std::size_t bi = 0; bi < broker_modules.size(); ++bi) {
+    clients_.push_back(ClientBinding{});
+    ClientBinding& b = clients_.back();
+    b.broker = broker_modules[bi];
+    b.link = next_link_id_++;
+    mqtt::ClientConfig cc;
+    // One session per broker; suffix non-primary client ids.
+    cc.client_id = bi == 0 ? name() : name() + "@" + std::to_string(bi);
+    cc.clean_session = true;
+    cc.keep_alive_s = config_.keep_alive_s;
+    if (config_.announce_status && bi == 0) {
+      cc.will = mqtt::Will{"ifot/status/" + name(), to_bytes("offline"),
+                           mqtt::QoS::kAtMostOnce, /*retain=*/true};
+    }
+    const NodeId broker = b.broker;
+    const std::uint32_t link = b.link;
+    b.client = std::make_unique<mqtt::Client>(
+        sched_, cc, [this, broker, link](const Bytes& bytes) {
+          // Client-side protocol sends ride on the CPU via the callers
+          // (publish/subscribe charge their own costs); acks and pings
+          // are sent directly - their cost is folded into per_packet.
+          transport_send(broker, MsgKind::kData, Dir::kToServer, link,
+                         bytes);
+        });
+    b.client->set_on_message(
+        [this](const mqtt::Publish& p) { on_flow_message(p); });
+    b.client->set_on_connack([this, bi](const mqtt::Connack& ack) {
+      ClientBinding& bb = clients_[bi];
+      if (ack.code == mqtt::ConnectCode::kAccepted) {
+        if (config_.announce_status && bi == 0) {
+          (void)bb.client->publish("ifot/status/" + name(),
+                                   to_bytes("online"),
+                                   mqtt::QoS::kAtMostOnce, /*retain=*/true);
+        }
+        flush_pending_subscriptions(bb);
+      } else {
+        IFOT_LOG(kError, kLog) << name() << ": broker rejected CONNECT (code "
+                               << static_cast<int>(ack.code) << ")";
+      }
+    });
+    transport_send(b.broker, MsgKind::kOpen, Dir::kToServer, b.link, {});
+    b.open = true;
+    b.client->on_transport_open();
+  }
+}
+
+std::size_t NeuronModule::broker_index_for(std::string_view topic,
+                                           int hint) const {
+  if (clients_.size() <= 1) return 0;
+  if (hint >= 0) {
+    return static_cast<std::size_t>(hint) % clients_.size();
+  }
+  // Management-plane topics live on the primary broker.
+  if (topic.rfind("$SYS", 0) == 0 || topic.rfind("ifot/status/", 0) == 0 ||
+      topic.rfind("ifot/directory/", 0) == 0) {
+    return 0;
+  }
+  // Hash the topic base (first three levels) so producers and consumers
+  // agree regardless of shard/partition suffixes or '+' wildcards.
+  std::size_t levels = 0;
+  std::size_t end = topic.size();
+  for (std::size_t i = 0; i < topic.size(); ++i) {
+    if (topic[i] == '/') {
+      if (++levels == 3) {
+        end = i;
+        break;
+      }
+    }
+  }
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i < end; ++i) {
+    h ^= static_cast<std::uint8_t>(topic[i]);
+    h *= 16777619u;
+  }
+  return h % clients_.size();
+}
+
+mqtt::QoS NeuronModule::qos_for(int hint) const {
+  if (hint >= 0 && hint <= 2) return static_cast<mqtt::QoS>(hint);
+  return config_.flow_qos;
+}
+
+void NeuronModule::subscribe_on(std::size_t index, const std::string& filter,
+                                mqtt::QoS qos) {
+  ClientBinding& b = clients_[index];
+  b.pending_filters.emplace_back(filter, qos);
+  if (b.client->connected()) flush_pending_subscriptions(b);
+}
+
+void NeuronModule::flush_pending_subscriptions(ClientBinding& binding) {
+  if (binding.pending_filters.empty()) return;
+  std::vector<mqtt::TopicRequest> reqs;
+  reqs.reserve(binding.pending_filters.size());
+  for (const auto& [f, qos] : binding.pending_filters) {
+    reqs.push_back({f, qos});
+  }
+  binding.pending_filters.clear();
+  if (auto s = binding.client->subscribe(std::move(reqs)); !s) {
+    IFOT_LOG(kError, kLog) << name()
+                           << ": subscribe failed: " << s.error().to_string();
+  }
+}
+
+// ---- deployment ------------------------------------------------------------
+
+Status NeuronModule::deploy_task(const recipe::Task& task,
+                                 const recipe::RecipeNode& node,
+                                 bool local_output) {
+  std::unique_ptr<FlowTask> t;
+  if (node.type == "sensor") {
+    const std::string device = node.str("sensor", node.name);
+    if (sensor_devices_.count(device) == 0) {
+      return Err(Errc::kNotFound, "module '" + name() +
+                                      "' has no sensor device '" + device +
+                                      "'");
+    }
+    auto model = device::make_sensor_model(node.str("model", "waveform"),
+                                           rng_.fork());
+    if (!model) return model.error();
+    t = std::make_unique<SensorTask>(task, node, std::move(model).value());
+  } else if (node.type == "actuator") {
+    const std::string device = node.str("actuator", node.name);
+    device::ActuatorSink* sink = actuator(device);
+    if (sink == nullptr) {
+      return Err(Errc::kNotFound, "module '" + name() +
+                                      "' has no actuator device '" + device +
+                                      "'");
+    }
+    t = std::make_unique<ActuatorTask>(task, node, sink);
+  } else if (node.type == "window") {
+    t = std::make_unique<WindowTask>(task, node);
+  } else if (node.type == "filter") {
+    t = std::make_unique<FilterTask>(task, node);
+  } else if (node.type == "map") {
+    t = std::make_unique<MapTask>(task, node);
+  } else if (node.type == "anomaly") {
+    t = std::make_unique<AnomalyTask>(task, node);
+  } else if (node.type == "train") {
+    t = std::make_unique<TrainTask>(task, node);
+  } else if (node.type == "predict") {
+    t = std::make_unique<PredictTask>(task, node);
+  } else if (node.type == "estimate") {
+    t = std::make_unique<EstimateTask>(task, node);
+  } else if (node.type == "cluster") {
+    t = std::make_unique<ClusterTask>(task, node);
+  } else if (node.type == "merge") {
+    t = std::make_unique<MergeTask>(task, node);
+  } else if (node.type == "tap") {
+    // A tap re-publishes another application's flow under this recipe's
+    // namespace (secondary use); the behaviour is merge's re-emit.
+    t = std::make_unique<MergeTask>(task, node);
+  } else {
+    return Err(Errc::kUnsupported, "unknown task type: " + node.type);
+  }
+
+  if (!task.input_topics.empty()) {
+    if (clients_.empty()) {
+      return Err(Errc::kState,
+                 "module '" + name() + "' is not connected to a broker");
+    }
+    for (std::size_t i = 0; i < task.input_topics.size(); ++i) {
+      const int hint = i < task.input_brokers.size() ? task.input_brokers[i]
+                                                     : -1;
+      const int qos_hint = i < task.input_qos.size() ? task.input_qos[i] : -1;
+      subscribe_on(broker_index_for(task.input_topics[i], hint),
+                   task.input_topics[i], qos_for(qos_hint));
+    }
+  }
+  if (!task.output_topic.empty() && !local_output && clients_.empty()) {
+    return Err(Errc::kState,
+               "module '" + name() + "' is not connected to a broker");
+  }
+  counters_.add("tasks_deployed");
+  tasks_.push_back(
+      DeployedTask{std::shared_ptr<FlowTask>(std::move(t)), local_output});
+  return {};
+}
+
+Status NeuronModule::remove_task(const std::string& output_topic) {
+  auto it = std::find_if(tasks_.begin(), tasks_.end(),
+                         [&](const DeployedTask& t) {
+                           return t.task->spec().output_topic == output_topic;
+                         });
+  if (it == tasks_.end()) {
+    return Err(Errc::kNotFound,
+               "no task with output topic '" + output_topic + "' on '" +
+                   name() + "'");
+  }
+  const bool was_sensor = dynamic_cast<SensorTask*>(it->task.get()) != nullptr;
+  const std::vector<std::string> dropped_filters =
+      it->task->spec().input_topics;
+  const bool timers_running = !sensor_timers_.empty();
+  if (was_sensor) stop_sensors();  // timers hold raw task pointers
+  tasks_.erase(it);
+  if (was_sensor && timers_running) start_sensors();
+  counters_.add("tasks_removed");
+
+  // Unsubscribe filters no surviving task or watch still needs.
+  std::vector<std::string> to_unsubscribe;
+  for (const auto& filter : dropped_filters) {
+    bool still_needed = false;
+    for (const auto& t : tasks_) {
+      const auto& ins = t.task->spec().input_topics;
+      if (std::find(ins.begin(), ins.end(), filter) != ins.end()) {
+        still_needed = true;
+        break;
+      }
+    }
+    for (const auto& [wf, _] : watches_) {
+      if (wf == filter) still_needed = true;
+    }
+    if (!still_needed) to_unsubscribe.push_back(filter);
+  }
+  if (!to_unsubscribe.empty()) {
+    // Unsubscribe on every broker; brokers without the subscription just
+    // acknowledge (UNSUBACK is unconditional in MQTT 3.1.1).
+    for (auto& b : clients_) {
+      if (!b.client->connected()) continue;
+      if (auto s = b.client->unsubscribe(to_unsubscribe); !s) {
+        IFOT_LOG(kWarn, kLog) << name() << ": unsubscribe failed: "
+                              << s.error().to_string();
+      }
+    }
+  }
+  return {};
+}
+
+void NeuronModule::announce_flow(const recipe::Task& task,
+                                 const recipe::RecipeNode& node) {
+  if (client() == nullptr) return;
+  const std::string topic =
+      "ifot/directory/" + task.output_topic.substr(5);  // strip "ifot/"
+  std::string payload = "topic=" + task.output_topic +
+                        ";type=" + node.type + ";module=" + name();
+  if (task.partition_count > 1) {
+    payload += ";partitions=" + std::to_string(task.partition_count);
+  }
+  (void)client()->publish(topic, to_bytes(payload), mqtt::QoS::kAtMostOnce,
+                          /*retain=*/true);
+}
+
+void NeuronModule::retract_flow(const recipe::Task& task) {
+  if (client() == nullptr) return;
+  const std::string topic =
+      "ifot/directory/" + task.output_topic.substr(5);
+  (void)client()->publish(topic, {}, mqtt::QoS::kAtMostOnce, /*retain=*/true);
+}
+
+void NeuronModule::start_sensors() {
+  stop_sensors();  // idempotent: re-arming replaces existing timers
+  for (const auto& t : tasks_) {
+    if (dynamic_cast<SensorTask*>(t.task.get()) == nullptr) continue;
+    // Aliasing shared_ptr keeps the task alive while timer work is queued.
+    auto sensor = std::static_pointer_cast<SensorTask>(t.task);
+    auto timer = std::make_unique<sim::PeriodicTimer>(
+        sim_, sensor->rate_period(), [this, sensor] {
+          // The tick instant is the sensing moment; reading the sensor
+          // costs CPU before the sample can be published.
+          const SimTime sensed_at = sim_.now();
+          cpu_.execute(config_.costs.sensor_read, [this, sensor, sensed_at] {
+            sensor->tick(*this, sensed_at);
+          });
+        });
+    timer->start(sensor->rate_period());
+    sensor_timers_.push_back(std::move(timer));
+  }
+}
+
+void NeuronModule::stop_sensors() { sensor_timers_.clear(); }
+
+// ---- TaskContext -----------------------------------------------------------
+
+bool NeuronModule::task_is_local_output(const recipe::Task& spec) const {
+  // Task ids are per-recipe; the output topic embeds recipe, node and
+  // shard, so it uniquely identifies the deployed task on this module.
+  for (const auto& t : tasks_) {
+    if (t.task->spec().output_topic == spec.output_topic) {
+      return t.local_output;
+    }
+  }
+  return false;
+}
+
+void NeuronModule::emit_sample(const recipe::Task& spec, device::Sample s) {
+  counters_.add("samples_emitted");
+  // Partitioned routing: each sample rides its own partition topic so the
+  // broker fans it out to exactly one consumer shard.
+  std::string topic = spec.output_topic;
+  if (spec.partition_count > 1) {
+    topic += "/p" + std::to_string(s.seq % spec.partition_count);
+  }
+  if (task_is_local_output(spec)) {
+    counters_.add("local_dispatches");
+    dispatch_local(topic, FlowPayload{std::move(s)});
+    return;
+  }
+  Bytes payload = encode_flow(s);
+  const SimDuration cost =
+      config_.costs.publish +
+      config_.costs.per_byte * static_cast<SimDuration>(payload.size());
+  publish_flow(topic, spec.output_broker, spec.output_qos,
+               spec.retained_output, std::move(payload), cost);
+}
+
+void NeuronModule::emit_model(const recipe::Task& spec, Bytes model) {
+  counters_.add("models_emitted");
+  // A partitioned producer's models ride the /model side-channel so every
+  // consumer shard receives them.
+  std::string topic = spec.output_topic;
+  if (spec.partition_count > 1) topic += "/model";
+  if (task_is_local_output(spec)) {
+    counters_.add("local_dispatches");
+    dispatch_local(topic, FlowPayload{ModelMsg{spec.name, std::move(model)}});
+    return;
+  }
+  const ModelMsg msg{spec.name, std::move(model)};
+  Bytes payload = encode_flow(msg);
+  const SimDuration cost =
+      config_.costs.model_io + config_.costs.publish +
+      config_.costs.per_byte * static_cast<SimDuration>(payload.size());
+  // Models are always retained: a consumer joining late (or failing
+  // over) receives the latest model immediately instead of waiting for
+  // the next publish interval.
+  publish_flow(topic, spec.output_broker, spec.output_qos, /*retain=*/true,
+               std::move(payload), cost);
+}
+
+void NeuronModule::publish_flow(const std::string& topic, int broker_hint,
+                                int qos_hint, bool retain, Bytes payload,
+                                SimDuration cost) {
+  if (clients_.empty()) return;
+  const std::size_t index = broker_index_for(topic, broker_hint);
+  const mqtt::QoS qos = qos_for(qos_hint);
+  cpu_.execute(cost, [this, index, topic, qos, retain,
+                      payload = std::move(payload)] {
+    auto& b = clients_[index];
+    if (auto st = b.client->publish(topic, payload, qos, retain); !st) {
+      IFOT_LOG(kWarn, kLog) << name()
+                            << ": publish failed: " << st.error().to_string();
+      counters_.add("publish_failures");
+    }
+  });
+}
+
+void NeuronModule::report_completion(const recipe::Task& spec,
+                                     const device::Sample& s) {
+  counters_.add("completions");
+  if (hook_) hook_(spec, s, sim_.now());
+}
+
+// ---- flow dispatch ---------------------------------------------------------
+
+void NeuronModule::fail() {
+  failed_ = true;
+  stop_sensors();
+  counters_.add("failures_injected");
+}
+
+Status NeuronModule::watch(const std::string& filter, WatchHandler handler) {
+  if (clients_.empty()) {
+    return Err(Errc::kState,
+               "module '" + name() + "' is not connected to a broker");
+  }
+  if (!mqtt::valid_topic_filter(filter)) {
+    return Err(Errc::kInvalidArgument, "invalid filter: " + filter);
+  }
+  watches_.emplace_back(filter, std::move(handler));
+  // Watch on every broker: management traffic lives on the primary, but
+  // wildcard watches (e.g. "$SYS/#") should see all brokers.
+  for (std::size_t bi = 0; bi < clients_.size(); ++bi) {
+    subscribe_on(bi, filter, config_.flow_qos);
+  }
+  return {};
+}
+
+void NeuronModule::on_flow_message(const mqtt::Publish& p) {
+  // Management-plane watches see the raw payload (status strings, $SYS
+  // counters) - these are not Sample-encoded flows.
+  for (const auto& [filter, handler] : watches_) {
+    if (mqtt::topic_matches(filter, p.topic)) handler(p.topic, p.payload);
+  }
+  // Which deployed tasks subscribe to this topic?
+  std::vector<std::shared_ptr<FlowTask>> consumers;
+  for (const auto& t : tasks_) {
+    for (const auto& filter : t.task->spec().input_topics) {
+      if (mqtt::topic_matches(filter, p.topic)) {
+        consumers.push_back(t.task);
+        break;
+      }
+    }
+  }
+  if (consumers.empty()) return;  // watch-only traffic
+
+  auto payload = decode_flow(BytesView(p.payload));
+  if (!payload) {
+    IFOT_LOG(kWarn, kLog) << name() << ": undecodable flow on '" << p.topic
+                          << "': " << payload.error().to_string();
+    counters_.add("bad_flow_messages");
+    return;
+  }
+  // Load shedding: drop samples (never models) when the CPU is drowning.
+  if (config_.max_backlog > 0 &&
+      std::holds_alternative<device::Sample>(payload.value()) &&
+      cpu_.backlog() > config_.max_backlog) {
+    counters_.add("load_shed");
+    return;
+  }
+  for (const auto& task : consumers) {
+    if (const auto* s = std::get_if<device::Sample>(&payload.value())) {
+      if (!task->accepts(*s)) continue;
+    }
+    counters_.add("flow_dispatched");
+    const SimDuration cost =
+        config_.costs.deliver + task->cost(config_.costs, payload.value());
+    cpu_.execute(cost, [this, task, pl = payload.value()] {
+      task->process(*this, pl);
+    });
+  }
+}
+
+void NeuronModule::dispatch_local(const std::string& topic,
+                                  const FlowPayload& payload) {
+  for (const auto& t : tasks_) {
+    bool match = false;
+    for (const auto& filter : t.task->spec().input_topics) {
+      if (mqtt::topic_matches(filter, topic)) {
+        match = true;
+        break;
+      }
+    }
+    if (!match) continue;
+    if (const auto* s = std::get_if<device::Sample>(&payload)) {
+      if (!t.task->accepts(*s)) continue;
+    }
+    counters_.add("flow_dispatched_local");
+    const std::shared_ptr<FlowTask> task = t.task;
+    const SimDuration cost = config_.costs.local_dispatch +
+                             task->cost(config_.costs, payload);
+    cpu_.execute(cost,
+                 [this, task, pl = payload] { task->process(*this, pl); });
+  }
+}
+
+}  // namespace ifot::node

@@ -1,0 +1,244 @@
+// The IFoT neuron module runtime: "a small computer running IFoT
+// middleware for processing data streams" (paper §IV-A).
+//
+// A NeuronModule binds together:
+//  * a host on the simulated network (src/net);
+//  * a CPU model charging service time for every operation (src/node/cpu_model);
+//  * optionally the Broker class (an mqtt::Broker reachable by other
+//    modules over a TCP-like link protocol);
+//  * one MQTT client shared by the module's tasks (Publish / Subscribe
+//    classes);
+//  * the FlowTasks deployed on it by the middleware, plus the attached
+//    sensors and actuators.
+//
+// Transport framing on the simulated network: one datagram =
+// [kind:u8][dir:u8][link:u32][mqtt bytes], kind in {open, data, close},
+// dir in {to-server, to-client}. The direction byte lets a module host
+// both the Broker class and its own client (the broker module connects
+// to itself over a loopback link). The network layer guarantees per-pair
+// FIFO, standing in for TCP.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "device/actuator_sim.hpp"
+#include "mqtt/broker.hpp"
+#include "mqtt/client.hpp"
+#include "net/network.hpp"
+#include "node/cpu_model.hpp"
+#include "node/sched_adapter.hpp"
+#include "node/tasks.hpp"
+#include "sim/simulator.hpp"
+
+namespace ifot::node {
+
+/// Observer of end-to-end completions (wired to the management node's
+/// latency recorders).
+using CompletionHook = std::function<void(
+    const recipe::Task& task, const device::Sample& sample, SimTime now)>;
+
+/// One IFoT neuron module.
+class NeuronModule final : public TaskContext {
+ public:
+  struct Config {
+    std::string name = "module";
+    CpuProfile cpu;
+    CostModel costs;
+    mqtt::QoS flow_qos = mqtt::QoS::kAtMostOnce;
+    std::uint64_t seed = 1;
+    mqtt::BrokerConfig broker;
+    std::uint16_t keep_alive_s = 60;
+    /// Announce liveness on ifot/status/<name>: a retained "online" after
+    /// connecting, and an "offline" will the broker publishes when the
+    /// module dies (the basis of failure detection for the dynamic
+    /// join/leave support the paper lists as future work).
+    bool announce_status = false;
+    /// Load shedding: when > 0, inbound *samples* are dropped while the
+    /// CPU backlog exceeds this bound, trading loss for bounded latency
+    /// at overload (models and protocol traffic are never shed).
+    SimDuration max_backlog = 0;
+  };
+
+  /// `host` must have been obtained from `network.add_host` /
+  /// `add_remote_host`; the module installs itself as the host's handler.
+  NeuronModule(sim::Simulator& sim, net::Network& network, NodeId host,
+               Config config);
+  ~NeuronModule() override;
+
+  [[nodiscard]] NodeId id() const { return host_; }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+
+  // ---- devices ----
+  /// Declares a sensor device attached to this module.
+  void attach_sensor(const std::string& device_name);
+  /// Declares (and owns) an actuator attached to this module.
+  device::ActuatorSink& attach_actuator(
+      const std::string& device_name,
+      SimDuration actuation_latency = from_millis(2));
+  [[nodiscard]] const std::set<std::string>& sensors() const {
+    return sensor_devices_;
+  }
+  [[nodiscard]] std::vector<std::string> actuators() const;
+  [[nodiscard]] device::ActuatorSink* actuator(const std::string& name);
+
+  // ---- roles ----
+  /// Starts the Broker class on this module.
+  void start_broker();
+  [[nodiscard]] bool is_broker() const { return broker_ != nullptr; }
+  [[nodiscard]] mqtt::Broker* broker() { return broker_.get(); }
+
+  /// Opens this module's MQTT client(s). Multi-broker fabrics pass every
+  /// broker module; flows are assigned to brokers by the recipe's
+  /// `broker = N` parameter or a stable hash of the flow's topic base.
+  /// Management-plane topics (status, directory, $SYS watches) live on
+  /// the primary broker (index 0).
+  void connect(NodeId broker_module);
+  void connect(const std::vector<NodeId>& broker_modules);
+  /// Primary broker's client (nullptr before connect()).
+  [[nodiscard]] mqtt::Client* client() {
+    return clients_.empty() ? nullptr : clients_.front().client.get();
+  }
+  [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+
+  // ---- deployment (middleware Step 3: instantiate classes) ----
+  /// Instantiates the class for one task of a split recipe on this module
+  /// and subscribes to its input flows. Sensor tasks need the device
+  /// attached; actuator tasks need the actuator attached.
+  ///
+  /// `local_output` marks tasks whose downstream consumers all live on
+  /// this same module (the middleware knows the placement): their output
+  /// is dispatched in-process instead of crossing the broker — mirroring
+  /// the paper's Fig. 9 where the Actuator class hangs directly off the
+  /// Predict module.
+  Status deploy_task(const recipe::Task& task, const recipe::RecipeNode& node,
+                     bool local_output = false);
+
+  /// Removes a deployed task (identified by its unique output topic):
+  /// drops its sensor timer and unsubscribes filters no other task or
+  /// watch still needs. Returns kNotFound when no such task is deployed.
+  Status remove_task(const std::string& output_topic);
+
+  /// Publishes (retained) or clears this task's entry in the fabric's
+  /// flow directory (ifot/directory/<recipe>/<task>) so other
+  /// applications can discover and tap the flow.
+  void announce_flow(const recipe::Task& task,
+                     const recipe::RecipeNode& node);
+  void retract_flow(const recipe::Task& task);
+
+  /// Starts all deployed sensor tasks' sampling timers (first tick after
+  /// one period).
+  void start_sensors();
+  /// Stops sensor timers.
+  void stop_sensors();
+
+  void set_completion_hook(CompletionHook hook) { hook_ = std::move(hook); }
+
+  // ---- failure injection ----
+  /// Simulates a crash: the module stops processing inbound traffic,
+  /// stops its sensors and goes silent on the network (no DISCONNECT), so
+  /// the broker's keep-alive eventually fires its will. Deployed task
+  /// state is lost from the fabric's point of view.
+  void fail();
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  // ---- management-plane subscriptions ----
+  /// Subscribes this module's client to `filter` and delivers matching
+  /// messages to `handler` (outside the recipe task path). Used by the
+  /// management software to watch status and $SYS flows.
+  using WatchHandler =
+      std::function<void(const std::string& topic, const Bytes& payload)>;
+  Status watch(const std::string& filter, WatchHandler handler);
+
+  // ---- TaskContext ----
+  [[nodiscard]] SimTime now() const override { return sim_.now(); }
+  void emit_sample(const recipe::Task& spec, device::Sample s) override;
+  void emit_model(const recipe::Task& spec, Bytes model) override;
+  void report_completion(const recipe::Task& spec,
+                         const device::Sample& s) override;
+
+  // ---- introspection ----
+  [[nodiscard]] const CpuQueue& cpu() const { return cpu_; }
+  [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+  /// One deployed class instance plus its placement-derived flags.
+  /// shared_ptr: queued CPU work and sensor-timer callbacks keep the task
+  /// alive across remove_task()/undeploy.
+  struct DeployedTask {
+    std::shared_ptr<FlowTask> task;
+    bool local_output = false;
+  };
+  [[nodiscard]] const std::vector<DeployedTask>& tasks() const {
+    return tasks_;
+  }
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  /// Fraction of the run the CPU was busy.
+  [[nodiscard]] double utilization() const;
+
+ private:
+  enum class MsgKind : std::uint8_t { kOpen = 0, kData = 1, kClose = 2 };
+  enum class Dir : std::uint8_t { kToServer = 0, kToClient = 1 };
+
+  void on_datagram(NodeId from, const Bytes& data);
+  void on_broker_datagram(NodeId from, MsgKind kind, std::uint32_t link,
+                          Bytes payload);
+  void on_client_datagram(MsgKind kind, std::uint32_t link, Bytes payload);
+  void transport_send(NodeId to, MsgKind kind, Dir dir, std::uint32_t link,
+                      const Bytes& payload);
+  void on_flow_message(const mqtt::Publish& p);
+  /// In-process delivery of a payload to colocated consumer tasks.
+  void dispatch_local(const std::string& topic, const FlowPayload& payload);
+  [[nodiscard]] bool task_is_local_output(const recipe::Task& spec) const;
+
+  /// One MQTT client towards one broker module.
+  struct ClientBinding {
+    NodeId broker;
+    std::uint32_t link = 0;
+    bool open = false;
+    std::unique_ptr<mqtt::Client> client;
+    std::vector<std::pair<std::string, mqtt::QoS>> pending_filters;
+  };
+  /// Broker index for a flow topic/filter: explicit hint when >= 0,
+  /// primary for management topics, stable hash of the topic base (first
+  /// three levels) otherwise.
+  [[nodiscard]] std::size_t broker_index_for(std::string_view topic,
+                                             int hint) const;
+  ClientBinding& binding(std::size_t index) { return clients_[index]; }
+  void subscribe_on(std::size_t index, const std::string& filter,
+                    mqtt::QoS qos);
+  /// Resolves a per-flow QoS hint (-1 = fabric default).
+  [[nodiscard]] mqtt::QoS qos_for(int hint) const;
+  void publish_flow(const std::string& topic, int broker_hint, int qos_hint,
+                    bool retain, Bytes payload, SimDuration cost);
+  void flush_pending_subscriptions(ClientBinding& binding);
+
+  sim::Simulator& sim_;   // NOLINT(cppcoreguidelines-avoid-const-or-ref-data-members)
+  net::Network& net_;     // NOLINT(cppcoreguidelines-avoid-const-or-ref-data-members)
+  NodeId host_;
+  Config config_;
+  CpuQueue cpu_;
+  SimScheduler sched_;
+  Rng rng_;
+
+  std::unique_ptr<mqtt::Broker> broker_;
+  std::unordered_map<std::uint32_t, NodeId> broker_links_;  // link -> peer
+
+  std::vector<ClientBinding> clients_;
+
+  std::vector<DeployedTask> tasks_;
+  std::vector<std::unique_ptr<sim::PeriodicTimer>> sensor_timers_;
+  std::set<std::string> sensor_devices_;
+  std::vector<std::unique_ptr<device::ActuatorSink>> actuator_sinks_;
+
+  CompletionHook hook_;
+  Counters counters_;
+  SimTime created_at_ = 0;
+  bool failed_ = false;
+  std::vector<std::pair<std::string, WatchHandler>> watches_;
+
+  static std::uint32_t next_link_id_;
+};
+
+}  // namespace ifot::node

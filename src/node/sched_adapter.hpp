@@ -1,0 +1,33 @@
+// Adapts the discrete-event simulator to the mqtt::Scheduler interface so
+// broker/client keep-alive and redelivery timers run on virtual time.
+#pragma once
+
+#include <unordered_map>
+
+#include "mqtt/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace ifot::node {
+
+/// mqtt::Scheduler backed by sim::Simulator.
+class SimScheduler final : public mqtt::Scheduler {
+ public:
+  explicit SimScheduler(sim::Simulator& sim) : sim_(sim) {}
+
+  SimTime now() override { return sim_.now(); }
+
+  std::uint64_t call_after(SimDuration delay,
+                           std::function<void()> fn) override {
+    const auto id = sim_.schedule_after(delay, std::move(fn));
+    return id.seq;
+  }
+
+  void cancel(std::uint64_t handle) override {
+    sim_.cancel(sim::EventId{handle});
+  }
+
+ private:
+  sim::Simulator& sim_;  // NOLINT(cppcoreguidelines-avoid-const-or-ref-data-members)
+};
+
+}  // namespace ifot::node

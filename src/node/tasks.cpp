@@ -1,0 +1,430 @@
+#include "node/tasks.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "ml/mix.hpp"
+#include "ml/model_io.hpp"
+
+namespace ifot::node {
+namespace {
+constexpr const char* kLog = "node.task";
+}
+
+ml::FeatureId hashed_feature_id(std::string_view name) {
+  // FNV-1a 32-bit.
+  std::uint32_t h = 2166136261u;
+  for (char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+ml::FeatureVector features_of(const device::Sample& s) {
+  ml::FeatureVector fv;
+  for (const auto& [name, value] : s.fields) {
+    fv.set(hashed_feature_id(name), value);
+  }
+  return fv;
+}
+
+SimDuration FlowTask::cost(const CostModel& costs,
+                           const FlowPayload& /*payload*/) const {
+  const std::string& type = node_.type;
+  if (type == "anomaly") return costs.anomaly;
+  if (type == "cluster") return costs.cluster;
+  if (type == "estimate") return costs.estimate;
+  if (type == "actuator") return costs.actuate;
+  return costs.stream_op;  // window / filter / map / merge
+}
+
+// ---- SensorTask ------------------------------------------------------------
+
+SensorTask::SensorTask(recipe::Task spec, recipe::RecipeNode node,
+                       std::unique_ptr<device::SensorModel> model)
+    : FlowTask(std::move(spec), std::move(node)), model_(std::move(model)) {
+  assert(model_);
+}
+
+SimDuration SensorTask::rate_period() const {
+  const double rate = node_.num("rate_hz", 1.0);
+  return static_cast<SimDuration>(static_cast<double>(kSecond) / rate);
+}
+
+void SensorTask::tick(TaskContext& ctx, SimTime sensed_at) {
+  device::Sample s = model_->sample(sensed_at);
+  s.source = node_.name;
+  s.seq = seq_++;
+  s.sensed_at = sensed_at;
+  ctx.emit_sample(spec_, std::move(s));
+}
+
+void SensorTask::process(TaskContext& /*ctx*/, const FlowPayload& /*p*/) {
+  // Sources have no inputs; reaching here is a wiring bug.
+  IFOT_LOG(kWarn, kLog) << "sensor task '" << spec_.name
+                        << "' received an inbound flow message";
+}
+
+// ---- WindowTask ------------------------------------------------------------
+
+WindowTask::WindowTask(recipe::Task spec, recipe::RecipeNode node)
+    : FlowTask(std::move(spec), std::move(node)),
+      size_(static_cast<std::size_t>(node_.num("size", 8))),
+      slide_(static_cast<std::size_t>(node_.num("slide", 0))),
+      span_(from_millis(node_.num("span_ms", 0))),
+      aggregate_(node_.str("aggregate", "mean")) {
+  if (slide_ == 0) slide_ = size_;  // tumbling by default
+}
+
+void WindowTask::process(TaskContext& ctx, const FlowPayload& payload) {
+  const auto* s = std::get_if<device::Sample>(&payload);
+  if (s == nullptr) return;
+  if (span_ > 0) {
+    // Event-time tumbling: a sample belonging to a later bucket closes
+    // the current one.
+    const std::int64_t bucket = s->sensed_at / span_;
+    if (bucket_ >= 0 && bucket != bucket_ && !window_.empty()) {
+      // Flush the whole bucket (slide == size in event-time mode).
+      slide_ = window_.size();
+      flush(ctx);
+    }
+    bucket_ = bucket;
+    window_.push_back(*s);
+    return;
+  }
+  window_.push_back(*s);
+  if (window_.size() >= size_) flush(ctx);
+}
+
+void WindowTask::flush(TaskContext& ctx) {
+  device::Sample out;
+  out.source = spec_.name;
+  out.seq = out_seq_++;
+  // Latency accounting uses the *oldest* contributing sample so window
+  // buffering shows up in end-to-end delay.
+  out.sensed_at = window_.front().sensed_at;
+  out.label = window_.back().label;
+
+  // Aggregate per field name over the window.
+  std::vector<std::string> names;
+  for (const auto& w : window_) {
+    for (const auto& [k, _] : w.fields) {
+      if (std::find(names.begin(), names.end(), k) == names.end()) {
+        names.push_back(k);
+      }
+    }
+  }
+  for (const auto& name : names) {
+    double acc = aggregate_ == "min" ? HUGE_VAL
+                 : aggregate_ == "max" ? -HUGE_VAL
+                                       : 0.0;
+    std::size_t n = 0;
+    for (const auto& w : window_) {
+      bool has = false;
+      double v = 0;
+      for (const auto& [k, fv] : w.fields) {
+        if (k == name) {
+          has = true;
+          v = fv;
+          break;
+        }
+      }
+      if (!has) continue;
+      ++n;
+      if (aggregate_ == "min") {
+        acc = std::min(acc, v);
+      } else if (aggregate_ == "max") {
+        acc = std::max(acc, v);
+      } else if (aggregate_ == "last") {
+        acc = v;
+      } else {  // mean / sum
+        acc += v;
+      }
+    }
+    if (n == 0) continue;
+    if (aggregate_ == "mean") acc /= static_cast<double>(n);
+    out.set_field(name, acc);
+  }
+  // Slide the window.
+  for (std::size_t i = 0; i < slide_ && !window_.empty(); ++i) {
+    window_.pop_front();
+  }
+  ctx.emit_sample(spec_, std::move(out));
+}
+
+// ---- FilterTask ------------------------------------------------------------
+
+FilterTask::FilterTask(recipe::Task spec, recipe::RecipeNode node)
+    : FlowTask(std::move(spec), std::move(node)),
+      field_(node_.str("field", "value")),
+      op_(node_.str("op", "gt")),
+      value_(node_.num("value", 0)) {}
+
+void FilterTask::process(TaskContext& ctx, const FlowPayload& payload) {
+  const auto* s = std::get_if<device::Sample>(&payload);
+  if (s == nullptr) return;
+  const double v = s->field(field_, 0);
+  bool pass = false;
+  if (op_ == "lt") pass = v < value_;
+  else if (op_ == "le") pass = v <= value_;
+  else if (op_ == "gt") pass = v > value_;
+  else if (op_ == "ge") pass = v >= value_;
+  else if (op_ == "eq") pass = v == value_;
+  else if (op_ == "ne") pass = v != value_;
+  if (!pass) return;
+  device::Sample out = *s;
+  out.source = spec_.name;
+  ctx.emit_sample(spec_, std::move(out));
+}
+
+// ---- MapTask ---------------------------------------------------------------
+
+MapTask::MapTask(recipe::Task spec, recipe::RecipeNode node)
+    : FlowTask(std::move(spec), std::move(node)),
+      field_(node_.str("field", "value")),
+      out_field_(node_.str("out_field", node_.str("field", "value"))),
+      scale_(node_.num("scale", 1.0)),
+      offset_(node_.num("offset", 0.0)) {}
+
+void MapTask::process(TaskContext& ctx, const FlowPayload& payload) {
+  const auto* s = std::get_if<device::Sample>(&payload);
+  if (s == nullptr) return;
+  device::Sample out = *s;
+  out.source = spec_.name;
+  out.set_field(out_field_, s->field(field_, 0) * scale_ + offset_);
+  ctx.emit_sample(spec_, std::move(out));
+}
+
+// ---- AnomalyTask -----------------------------------------------------------
+
+AnomalyTask::AnomalyTask(recipe::Task spec, recipe::RecipeNode node)
+    : FlowTask(std::move(spec), std::move(node)),
+      threshold_(node_.num("threshold", 3.0)),
+      emit_all_(node_.str("emit", "all") == "all") {
+  if (node_.str("algorithm", "zscore") == "lof") {
+    lof_.emplace(static_cast<std::size_t>(node_.num("k", 10)),
+                 static_cast<std::size_t>(node_.num("window", 256)));
+  } else {
+    zscore_.emplace(static_cast<std::size_t>(node_.num("min_samples", 10)));
+  }
+}
+
+void AnomalyTask::process(TaskContext& ctx, const FlowPayload& payload) {
+  const auto* s = std::get_if<device::Sample>(&payload);
+  if (s == nullptr) return;
+  const auto fv = features_of(*s);
+  const double score = zscore_ ? zscore_->add(fv) : lof_->add(fv);
+  const bool anomalous = score > threshold_;
+  if (!emit_all_ && !anomalous) {
+    ctx.report_completion(spec_, *s);
+    return;
+  }
+  device::Sample out = *s;
+  out.source = spec_.name;
+  out.set_field("score", score);
+  out.label = anomalous ? "anomaly" : "normal";
+  ctx.report_completion(spec_, out);
+  ctx.emit_sample(spec_, std::move(out));
+}
+
+// ---- TrainTask -------------------------------------------------------------
+
+TrainTask::TrainTask(recipe::Task spec, recipe::RecipeNode node)
+    : FlowTask(std::move(spec), std::move(node)),
+      classifier_(ml::make_classifier(node_.str("algorithm", "arow"))),
+      publish_every_(
+          static_cast<std::uint64_t>(node_.num("publish_every", 16))),
+      mix_(node_.flag("mix", false) && spec_.shard_count > 1) {
+  assert(classifier_);  // validate() restricts algorithm names
+}
+
+SimDuration TrainTask::cost(const CostModel& costs,
+                            const FlowPayload& payload) const {
+  if (std::holds_alternative<ModelMsg>(payload)) {
+    return costs.model_io *
+           static_cast<SimDuration>(std::max<std::size_t>(
+               peer_models_.size() + 2, 1));  // decode + MIX of all models
+  }
+  return costs.train;
+}
+
+void TrainTask::process(TaskContext& ctx, const FlowPayload& payload) {
+  if (const auto* m = std::get_if<ModelMsg>(&payload)) {
+    // Managing-class cooperation: adopt the average of our model and the
+    // sibling shards' latest models.
+    if (!mix_ || m->producer == spec_.name) return;
+    auto decoded = ml::ModelCodec::decode_linear(BytesView(m->model));
+    if (!decoded) {
+      IFOT_LOG(kWarn, kLog) << "train '" << spec_.name
+                            << "': bad peer model from " << m->producer;
+      return;
+    }
+    peer_models_[m->producer] = std::move(decoded).value();
+    std::vector<const ml::LinearModel*> models;
+    models.reserve(peer_models_.size() + 1);
+    models.push_back(&classifier_->model());
+    for (const auto& [_, peer] : peer_models_) models.push_back(&peer);
+    ml::LinearModel mixed =
+        ml::mix_models(std::span<const ml::LinearModel* const>(models));
+    // Jubatus resets per-worker diffs after a MIX; approximate that by
+    // carrying the average count instead of the sum, so one shard's
+    // history cannot dominate future mixes.
+    mixed.set_update_count(mixed.update_count() / models.size());
+    classifier_->set_model(std::move(mixed));
+    ++mixes_applied_;
+    return;
+  }
+  const auto* s = std::get_if<device::Sample>(&payload);
+  if (s == nullptr) return;
+  if (s->label.empty()) return;  // unsupervised samples are not trainable
+  classifier_->train(features_of(*s), s->label);
+  ++trained_;
+  // "Sensing to Training" completes here (paper Table II).
+  ctx.report_completion(spec_, *s);
+  if (publish_every_ > 0 && trained_ % publish_every_ == 0) {
+    ctx.emit_model(spec_, ml::ModelCodec::encode(classifier_->model()));
+  }
+}
+
+// ---- PredictTask -----------------------------------------------------------
+
+PredictTask::PredictTask(recipe::Task spec, recipe::RecipeNode node)
+    : FlowTask(std::move(spec), std::move(node)) {}
+
+SimDuration PredictTask::cost(const CostModel& costs,
+                              const FlowPayload& payload) const {
+  if (const auto* m = std::get_if<ModelMsg>(&payload)) {
+    // Decode + (when several producers) MIX.
+    const auto n = static_cast<SimDuration>(std::max<std::size_t>(
+        models_.size() + (models_.count(m->producer) == 0 ? 1 : 0), 1));
+    return costs.model_io * n;
+  }
+  return costs.predict;
+}
+
+void PredictTask::process(TaskContext& ctx, const FlowPayload& payload) {
+  if (const auto* m = std::get_if<ModelMsg>(&payload)) {
+    auto decoded = ml::ModelCodec::decode_linear(BytesView(m->model));
+    if (!decoded) {
+      IFOT_LOG(kWarn, kLog) << "predict '" << spec_.name
+                            << "': bad model from " << m->producer << ": "
+                            << decoded.error().to_string();
+      return;
+    }
+    models_[m->producer] = std::move(decoded).value();
+    ++model_updates_;
+    // Consumer-side MIX: average all producers' latest models (Jubatus
+    // MIX semantics; see DESIGN.md §5).
+    if (models_.size() == 1) {
+      current_ = models_.begin()->second;
+    } else {
+      std::vector<const ml::LinearModel*> ptrs;
+      ptrs.reserve(models_.size());
+      for (const auto& [_, model] : models_) ptrs.push_back(&model);
+      current_ = ml::mix_models(
+          std::span<const ml::LinearModel* const>(ptrs));
+    }
+    return;
+  }
+  const auto& s = std::get<device::Sample>(payload);
+  const auto fv = features_of(s);
+  device::Sample out = s;
+  out.source = spec_.name;
+  out.seq = out_seq_++;
+  const std::size_t best = current_.argmax(fv);
+  if (best != SIZE_MAX) {
+    out.label = current_.label_name(best);
+    out.set_field("confidence", current_.scores(fv)[best]);
+    // When the inbound sample carries ground truth (labelled evaluation
+    // streams), record correctness so accuracy can be measured online.
+    if (!s.label.empty()) {
+      out.set_field("correct", out.label == s.label ? 1.0 : 0.0);
+    }
+  } else {
+    out.label.clear();  // no model yet
+  }
+  // "Sensing to Predicting" completes here (paper Table III).
+  ctx.report_completion(spec_, out);
+  ctx.emit_sample(spec_, std::move(out));
+}
+
+// ---- EstimateTask ----------------------------------------------------------
+
+EstimateTask::EstimateTask(recipe::Task spec, recipe::RecipeNode node)
+    : FlowTask(std::move(spec), std::move(node)),
+      regression_(node_.num("c", 1.0), node_.num("epsilon", 0.1)),
+      target_(node_.str("target", "target")) {}
+
+void EstimateTask::process(TaskContext& ctx, const FlowPayload& payload) {
+  const auto* s = std::get_if<device::Sample>(&payload);
+  if (s == nullptr) return;
+  // Features exclude the target so the model cannot cheat.
+  ml::FeatureVector fv;
+  bool has_target = false;
+  double target = 0;
+  for (const auto& [name, value] : s->fields) {
+    if (name == target_) {
+      has_target = true;
+      target = value;
+      continue;
+    }
+    fv.set(hashed_feature_id(name), value);
+  }
+  device::Sample out = *s;
+  out.source = spec_.name;
+  out.set_field("estimate", regression_.estimate(fv));
+  if (has_target) regression_.train(fv, target);
+  ctx.report_completion(spec_, out);
+  ctx.emit_sample(spec_, std::move(out));
+}
+
+// ---- ClusterTask -----------------------------------------------------------
+
+ClusterTask::ClusterTask(recipe::Task spec, recipe::RecipeNode node)
+    : FlowTask(std::move(spec), std::move(node)),
+      kmeans_(static_cast<std::size_t>(node_.num("k", 4))) {}
+
+void ClusterTask::process(TaskContext& ctx, const FlowPayload& payload) {
+  const auto* s = std::get_if<device::Sample>(&payload);
+  if (s == nullptr) return;
+  device::Sample out = *s;
+  out.source = spec_.name;
+  out.set_field("cluster",
+                static_cast<double>(kmeans_.add(features_of(*s))));
+  ctx.report_completion(spec_, out);
+  ctx.emit_sample(spec_, std::move(out));
+}
+
+// ---- MergeTask -------------------------------------------------------------
+
+MergeTask::MergeTask(recipe::Task spec, recipe::RecipeNode node)
+    : FlowTask(std::move(spec), std::move(node)) {}
+
+void MergeTask::process(TaskContext& ctx, const FlowPayload& payload) {
+  const auto* s = std::get_if<device::Sample>(&payload);
+  if (s == nullptr) return;
+  device::Sample out = *s;
+  out.source = spec_.name;
+  out.seq = out_seq_++;
+  ctx.emit_sample(spec_, std::move(out));
+}
+
+// ---- ActuatorTask ----------------------------------------------------------
+
+ActuatorTask::ActuatorTask(recipe::Task spec, recipe::RecipeNode node,
+                           device::ActuatorSink* sink)
+    : FlowTask(std::move(spec), std::move(node)), sink_(sink) {
+  assert(sink_ != nullptr);
+}
+
+void ActuatorTask::process(TaskContext& ctx, const FlowPayload& payload) {
+  const auto* s = std::get_if<device::Sample>(&payload);
+  if (s == nullptr) return;
+  sink_->apply(ctx.now(), *s);
+  ctx.report_completion(spec_, *s);
+}
+
+}  // namespace ifot::node

@@ -1,0 +1,268 @@
+// The middleware's processing classes (paper Fig. 4), one per recipe node
+// type, executed on neuron modules:
+//
+//   SensorTask    — Sensor class: drives a SensorModel at the recipe rate
+//   WindowTask    — basic stream processing (aggregation)
+//   FilterTask    — basic stream processing (predicate)
+//   MapTask       — basic stream processing (transform)
+//   AnomalyTask   — Judging class with a streaming anomaly detector
+//   TrainTask     — Learning class (online classifier + model publishing)
+//   PredictTask   — Judging class (classification with the shipped model;
+//                   performs consumer-side MIX when several learners feed it)
+//   EstimateTask  — Learning+Judging on one stream (online regression)
+//   ClusterTask   — sequential k-means assignment
+//   MergeTask     — fan-in of several flows
+//   ActuatorTask  — Actuator class: applies results to an ActuatorSink
+//
+// Tasks are transport-agnostic: they receive decoded FlowPayloads after
+// the module's CPU model has charged the processing cost, and emit
+// through a TaskContext.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "device/actuator_sim.hpp"
+#include "device/sensor_sim.hpp"
+#include "ml/anomaly.hpp"
+#include "ml/classifier.hpp"
+#include "ml/cluster.hpp"
+#include "ml/regression.hpp"
+#include "node/cpu_model.hpp"
+#include "node/flow_msg.hpp"
+#include "recipe/split.hpp"
+
+namespace ifot::node {
+
+/// Services a task needs from its hosting module.
+class TaskContext {
+ public:
+  virtual ~TaskContext() = default;
+
+  /// Current virtual time.
+  [[nodiscard]] virtual SimTime now() const = 0;
+
+  /// Publishes a sample on the task's output topic (charges publish CPU
+  /// cost on the hosting module).
+  virtual void emit_sample(const recipe::Task& spec, device::Sample s) = 0;
+
+  /// Publishes a serialized model on the task's output topic.
+  virtual void emit_model(const recipe::Task& spec, Bytes model) = 0;
+
+  /// Reports that `spec` finished processing a sample end to end (used by
+  /// the management node's latency recorders; paper Tables II/III measure
+  /// sensing->training and sensing->predicting this way).
+  virtual void report_completion(const recipe::Task& spec,
+                                 const device::Sample& s) = 0;
+};
+
+/// Base class of all recipe-node runtimes.
+class FlowTask {
+ public:
+  FlowTask(recipe::Task spec, recipe::RecipeNode node)
+      : spec_(std::move(spec)), node_(std::move(node)) {}
+  virtual ~FlowTask() = default;
+  FlowTask(const FlowTask&) = delete;
+  FlowTask& operator=(const FlowTask&) = delete;
+
+  [[nodiscard]] const recipe::Task& spec() const { return spec_; }
+  [[nodiscard]] const recipe::RecipeNode& node() const { return node_; }
+
+  /// CPU service cost of processing `payload` (reference units).
+  [[nodiscard]] virtual SimDuration cost(const CostModel& costs,
+                                         const FlowPayload& payload) const;
+
+  /// Handles one inbound payload (cost already charged by the module).
+  virtual void process(TaskContext& ctx, const FlowPayload& payload) = 0;
+
+  /// Shard partitioning: true when this shard owns the sample.
+  [[nodiscard]] bool accepts(const device::Sample& s) const {
+    return spec_.shard_count <= 1 || s.seq % spec_.shard_count == spec_.shard;
+  }
+
+ protected:
+  recipe::Task spec_;
+  recipe::RecipeNode node_;
+};
+
+/// Sensor class: timer-driven source (module drives tick()).
+class SensorTask final : public FlowTask {
+ public:
+  SensorTask(recipe::Task spec, recipe::RecipeNode node,
+             std::unique_ptr<device::SensorModel> model);
+
+  /// Called by the module at each sampling instant; `sensed_at` is the
+  /// tick time (the sensing moment the paper measures from).
+  void tick(TaskContext& ctx, SimTime sensed_at);
+
+  void process(TaskContext& ctx, const FlowPayload& payload) override;
+  [[nodiscard]] SimDuration rate_period() const;
+
+ private:
+  std::unique_ptr<device::SensorModel> model_;
+  std::uint64_t seq_ = 0;
+};
+
+/// Tumbling/sliding window aggregation over every numeric field.
+/// Two windowing modes:
+///  * count-based (param `size`, optional `slide` for overlap);
+///  * event-time tumbling (param `span_ms`): samples are bucketed by
+///    floor(sensed_at / span); a bucket flushes when the first sample of
+///    the next bucket arrives (watermark = stream order).
+class WindowTask final : public FlowTask {
+ public:
+  WindowTask(recipe::Task spec, recipe::RecipeNode node);
+  void process(TaskContext& ctx, const FlowPayload& payload) override;
+
+ private:
+  void flush(TaskContext& ctx);
+
+  std::size_t size_;
+  std::size_t slide_;
+  SimDuration span_ = 0;        ///< >0: event-time mode
+  std::int64_t bucket_ = -1;    ///< current event-time bucket index
+  std::string aggregate_;
+  std::deque<device::Sample> window_;
+  std::uint64_t out_seq_ = 0;
+};
+
+/// Predicate on one field.
+class FilterTask final : public FlowTask {
+ public:
+  FilterTask(recipe::Task spec, recipe::RecipeNode node);
+  void process(TaskContext& ctx, const FlowPayload& payload) override;
+
+ private:
+  std::string field_;
+  std::string op_;
+  double value_;
+};
+
+/// Affine transform of one field (optionally renamed).
+class MapTask final : public FlowTask {
+ public:
+  MapTask(recipe::Task spec, recipe::RecipeNode node);
+  void process(TaskContext& ctx, const FlowPayload& payload) override;
+
+ private:
+  std::string field_;
+  std::string out_field_;
+  double scale_;
+  double offset_;
+};
+
+/// Streaming anomaly detection (zscore | lof); tags samples and can drop
+/// normal ones (param emit = "anomalies" | "all").
+class AnomalyTask final : public FlowTask {
+ public:
+  AnomalyTask(recipe::Task spec, recipe::RecipeNode node);
+  void process(TaskContext& ctx, const FlowPayload& payload) override;
+
+ private:
+  double threshold_;
+  bool emit_all_;
+  std::optional<ml::ZScoreDetector> zscore_;
+  std::optional<ml::LofDetector> lof_;
+};
+
+/// Learning class: trains an online classifier on labelled samples and
+/// periodically publishes the serialized model. When the recipe enables
+/// learner-side MIX (`mix = true` on a sharded train node — the paper's
+/// Managing class coordinating distributed learning), the task also
+/// consumes sibling shards' models and adopts the Jubatus-style average.
+class TrainTask final : public FlowTask {
+ public:
+  TrainTask(recipe::Task spec, recipe::RecipeNode node);
+
+  [[nodiscard]] SimDuration cost(const CostModel& costs,
+                                 const FlowPayload& payload) const override;
+  void process(TaskContext& ctx, const FlowPayload& payload) override;
+
+  [[nodiscard]] const ml::Classifier& classifier() const { return *classifier_; }
+  [[nodiscard]] std::uint64_t mixes_applied() const { return mixes_applied_; }
+
+ private:
+  std::unique_ptr<ml::Classifier> classifier_;
+  std::uint64_t trained_ = 0;
+  std::uint64_t publish_every_;
+  bool mix_ = false;
+  std::map<std::string, ml::LinearModel> peer_models_;
+  std::uint64_t mixes_applied_ = 0;
+};
+
+/// Judging class: classifies samples with the latest model(s) shipped by
+/// upstream Learning tasks; several producers are MIXed.
+class PredictTask final : public FlowTask {
+ public:
+  PredictTask(recipe::Task spec, recipe::RecipeNode node);
+
+  [[nodiscard]] SimDuration cost(const CostModel& costs,
+                                 const FlowPayload& payload) const override;
+  void process(TaskContext& ctx, const FlowPayload& payload) override;
+
+  [[nodiscard]] std::size_t model_sources() const { return models_.size(); }
+  [[nodiscard]] std::uint64_t model_updates() const { return model_updates_; }
+
+ private:
+  std::map<std::string, ml::LinearModel> models_;  // per producer
+  ml::LinearModel current_;
+  std::uint64_t model_updates_ = 0;
+  std::uint64_t out_seq_ = 0;
+};
+
+/// Online regression: trains on samples carrying the target field,
+/// always emits an estimate.
+class EstimateTask final : public FlowTask {
+ public:
+  EstimateTask(recipe::Task spec, recipe::RecipeNode node);
+  void process(TaskContext& ctx, const FlowPayload& payload) override;
+
+ private:
+  ml::PaRegression regression_;
+  std::string target_;
+};
+
+/// Sequential k-means assignment; adds a "cluster" field.
+class ClusterTask final : public FlowTask {
+ public:
+  ClusterTask(recipe::Task spec, recipe::RecipeNode node);
+  void process(TaskContext& ctx, const FlowPayload& payload) override;
+
+ private:
+  ml::SequentialKMeans kmeans_;
+};
+
+/// Fan-in: re-emits inbound samples under this task's topic.
+class MergeTask final : public FlowTask {
+ public:
+  MergeTask(recipe::Task spec, recipe::RecipeNode node);
+  void process(TaskContext& ctx, const FlowPayload& payload) override;
+
+ private:
+  std::uint64_t out_seq_ = 0;
+};
+
+/// Actuator class: applies results to the attached ActuatorSink.
+class ActuatorTask final : public FlowTask {
+ public:
+  /// `sink` is owned by the hosting module and outlives the task.
+  ActuatorTask(recipe::Task spec, recipe::RecipeNode node,
+               device::ActuatorSink* sink);
+  void process(TaskContext& ctx, const FlowPayload& payload) override;
+
+ private:
+  device::ActuatorSink* sink_;
+};
+
+/// Converts a sample's numeric fields to a feature vector using hashed
+/// feature ids (stable across distributed tasks without coordination).
+ml::FeatureVector features_of(const device::Sample& s);
+
+/// Stable 32-bit feature id for a field name (FNV-1a).
+ml::FeatureId hashed_feature_id(std::string_view name);
+
+}  // namespace ifot::node

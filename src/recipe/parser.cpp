@@ -1,0 +1,194 @@
+#include "recipe/parser.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace ifot::recipe {
+namespace {
+
+Error parse_err(std::size_t line_no, const std::string& why) {
+  return Err(Errc::kParse, "line " + std::to_string(line_no) + ": " + why);
+}
+
+/// Parses one `key = value` assignment.
+Result<std::pair<std::string, Param>> parse_assignment(
+    std::string_view text, std::size_t line_no) {
+  const auto eq = text.find('=');
+  if (eq == std::string_view::npos) {
+    return parse_err(line_no, "expected 'key = value' in parameter block");
+  }
+  const std::string key{trim(text.substr(0, eq))};
+  const std::string_view raw = trim(text.substr(eq + 1));
+  if (key.empty()) return parse_err(line_no, "empty parameter key");
+  if (raw.empty()) return parse_err(line_no, "empty value for key '" + key + "'");
+  if (raw.front() == '"') {
+    if (raw.size() < 2 || raw.back() != '"') {
+      return parse_err(line_no, "unterminated string for key '" + key + "'");
+    }
+    return std::pair{key, Param{std::string(raw.substr(1, raw.size() - 2))}};
+  }
+  if (raw == "true") return std::pair{key, Param{true}};
+  if (raw == "false") return std::pair{key, Param{false}};
+  auto num = parse_double(raw);
+  if (!num) {
+    return parse_err(line_no, "bad value for key '" + key +
+                                  "': " + num.error().message);
+  }
+  return std::pair{key, Param{num.value()}};
+}
+
+/// Splits a parameter block body on commas that are outside quotes.
+std::vector<std::string> split_params(std::string_view body) {
+  std::vector<std::string> out;
+  std::string current;
+  bool in_string = false;
+  for (char c : body) {
+    if (c == '"') in_string = !in_string;
+    if (c == ',' && !in_string) {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!trim(current).empty() || !out.empty()) out.push_back(current);
+  return out;
+}
+
+Status parse_node_line(Recipe& r, std::string_view rest, std::size_t line_no) {
+  // <name> : <type> [{ params }]
+  const auto colon = rest.find(':');
+  if (colon == std::string_view::npos) {
+    return parse_err(line_no, "expected 'node <name> : <type>'");
+  }
+  RecipeNode node;
+  node.name = std::string(trim(rest.substr(0, colon)));
+  std::string_view after = trim(rest.substr(colon + 1));
+  const auto brace = after.find('{');
+  if (brace == std::string_view::npos) {
+    node.type = std::string(trim(after));
+  } else {
+    node.type = std::string(trim(after.substr(0, brace)));
+    if (after.back() != '}') {
+      return parse_err(line_no, "missing closing '}'");
+    }
+    const std::string_view body =
+        after.substr(brace + 1, after.size() - brace - 2);
+    for (const auto& part : split_params(body)) {
+      if (trim(part).empty()) continue;
+      auto kv = parse_assignment(part, line_no);
+      if (!kv) return kv.error();
+      if (!node.params.emplace(kv.value()).second) {
+        return parse_err(line_no, "duplicate key '" + kv.value().first + "'");
+      }
+    }
+  }
+  if (node.name.empty()) return parse_err(line_no, "empty node name");
+  if (node.type.empty()) return parse_err(line_no, "empty node type");
+  r.nodes.push_back(std::move(node));
+  return {};
+}
+
+Status parse_edge_line(Recipe& r, std::string_view rest, std::size_t line_no) {
+  // <name> -> <name> [-> <name>]*
+  std::vector<std::string> hops;
+  std::size_t pos = 0;
+  while (pos <= rest.size()) {
+    const auto arrow = rest.find("->", pos);
+    const std::string_view hop =
+        arrow == std::string_view::npos
+            ? rest.substr(pos)
+            : rest.substr(pos, arrow - pos);
+    hops.emplace_back(trim(hop));
+    if (arrow == std::string_view::npos) break;
+    pos = arrow + 2;
+  }
+  if (hops.size() < 2) {
+    return parse_err(line_no, "edge needs at least two nodes");
+  }
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    const std::size_t from = r.index_of(hops[i]);
+    const std::size_t to = r.index_of(hops[i + 1]);
+    if (from == SIZE_MAX) {
+      return parse_err(line_no, "unknown node: '" + hops[i] + "'");
+    }
+    if (to == SIZE_MAX) {
+      return parse_err(line_no, "unknown node: '" + hops[i + 1] + "'");
+    }
+    r.edges.emplace_back(from, to);
+  }
+  return {};
+}
+
+}  // namespace
+
+Result<Recipe> parse(std::string_view text) {
+  Recipe r;
+  std::size_t line_no = 0;
+  for (const auto& raw_line : split(text, '\n')) {
+    ++line_no;
+    std::string_view line{raw_line};
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (starts_with(line, "recipe ")) {
+      if (!r.name.empty()) {
+        return parse_err(line_no, "duplicate 'recipe' directive");
+      }
+      r.name = std::string(trim(line.substr(7)));
+      if (r.name.empty()) return parse_err(line_no, "empty recipe name");
+    } else if (starts_with(line, "node ")) {
+      if (auto s = parse_node_line(r, trim(line.substr(5)), line_no); !s) {
+        return s.error();
+      }
+    } else if (starts_with(line, "edge ")) {
+      if (auto s = parse_edge_line(r, trim(line.substr(5)), line_no); !s) {
+        return s.error();
+      }
+    } else {
+      return parse_err(line_no, "unknown directive");
+    }
+  }
+  if (auto s = validate(r); !s) return s.error();
+  return r;
+}
+
+std::string to_text(const Recipe& r) {
+  std::string out = "recipe " + r.name + "\n";
+  for (const auto& n : r.nodes) {
+    out += "node " + n.name + " : " + n.type;
+    if (!n.params.empty()) {
+      out += " { ";
+      bool first = true;
+      for (const auto& [k, v] : n.params) {
+        if (!first) out += ", ";
+        first = false;
+        out += k + " = ";
+        if (const auto* d = std::get_if<double>(&v)) {
+          // Integral doubles print without the trailing ".000000".
+          if (*d == std::floor(*d) && std::abs(*d) < 1e15) {
+            out += std::to_string(static_cast<long long>(*d));
+          } else {
+            out += std::to_string(*d);
+          }
+        } else if (const auto* s = std::get_if<std::string>(&v)) {
+          out += "\"" + *s + "\"";
+        } else {
+          out += std::get<bool>(v) ? "true" : "false";
+        }
+      }
+      out += " }";
+    }
+    out += "\n";
+  }
+  for (const auto& [from, to] : r.edges) {
+    out += "edge " + r.nodes[from].name + " -> " + r.nodes[to].name + "\n";
+  }
+  return out;
+}
+
+}  // namespace ifot::recipe

@@ -1,0 +1,35 @@
+// Text format for recipes. The paper leaves the recipe language as future
+// work ("Definition of the language to describe recipes ... are also part
+// of future work"); this module supplies one.
+//
+// Grammar (line-oriented; '#' starts a comment):
+//
+//   recipe <name>
+//   node <name> : <type> [{ key = value [, key = value]* }]
+//   edge <name> -> <name> [-> <name>]*
+//
+// Values are numbers (1, 2.5), booleans (true/false) or quoted strings
+// ("accelerometer"). Example:
+//
+//   recipe elderly_monitoring
+//   node accel  : sensor  { sensor = "accelerometer", rate_hz = 20 }
+//   node detect : anomaly { algorithm = "zscore", threshold = 3.0 }
+//   node alarm  : actuator { actuator = "bedside_alarm" }
+//   edge accel -> detect -> alarm
+#pragma once
+
+#include <string_view>
+
+#include "common/result.hpp"
+#include "recipe/recipe.hpp"
+
+namespace ifot::recipe {
+
+/// Parses and validates a recipe from its text form. Errors carry the
+/// 1-based line number.
+Result<Recipe> parse(std::string_view text);
+
+/// Serializes a recipe back to the text form (round-trips with parse).
+std::string to_text(const Recipe& r);
+
+}  // namespace ifot::recipe

@@ -1,0 +1,215 @@
+#include "recipe/recipe.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace ifot::recipe {
+
+double RecipeNode::num(const std::string& key, double fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  if (const auto* v = std::get_if<double>(&it->second)) return *v;
+  return fallback;
+}
+
+std::string RecipeNode::str(const std::string& key,
+                            const std::string& fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  if (const auto* v = std::get_if<std::string>(&it->second)) return *v;
+  return fallback;
+}
+
+bool RecipeNode::flag(const std::string& key, bool fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  if (const auto* v = std::get_if<bool>(&it->second)) return *v;
+  return fallback;
+}
+
+std::size_t Recipe::index_of(const std::string& node_name) const {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].name == node_name) return i;
+  }
+  return SIZE_MAX;
+}
+
+std::vector<std::size_t> Recipe::inputs_of(std::size_t node) const {
+  std::vector<std::size_t> out;
+  for (const auto& [from, to] : edges) {
+    if (to == node) out.push_back(from);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Recipe::outputs_of(std::size_t node) const {
+  std::vector<std::size_t> out;
+  for (const auto& [from, to] : edges) {
+    if (from == node) out.push_back(to);
+  }
+  return out;
+}
+
+const std::vector<std::string>& known_node_types() {
+  static const std::vector<std::string> kTypes = {
+      "sensor", "tap",      "window",  "filter", "map",      "anomaly",
+      "train",  "predict",  "estimate", "cluster", "merge", "actuator",
+  };
+  return kTypes;
+}
+
+bool is_source_type(const std::string& type) {
+  return type == "sensor" || type == "tap";
+}
+bool is_sink_type(const std::string& type) { return type == "actuator"; }
+
+namespace {
+
+Status validate_params(const RecipeNode& n) {
+  auto fail = [&](const std::string& why) -> Status {
+    return Err(Errc::kInvalidArgument,
+               "node '" + n.name + "' (" + n.type + "): " + why);
+  };
+  if (n.type == "sensor") {
+    if (n.num("rate_hz", 0) <= 0) return fail("rate_hz must be > 0");
+  } else if (n.type == "tap") {
+    if (!n.has("topic")) return fail("tap requires a topic parameter");
+  } else if (n.type == "window") {
+    if (n.has("span_ms")) {
+      if (n.num("span_ms", 0) <= 0) return fail("span_ms must be > 0");
+    } else if (n.num("size", 0) < 1) {
+      return fail("size must be >= 1");
+    }
+    const auto agg = n.str("aggregate", "mean");
+    static const std::set<std::string> kAggs = {"mean", "min", "max", "sum",
+                                                "last"};
+    if (kAggs.find(agg) == kAggs.end()) {
+      return fail("unknown aggregate '" + agg + "'");
+    }
+  } else if (n.type == "filter") {
+    static const std::set<std::string> kOps = {"lt", "le", "gt", "ge", "eq",
+                                               "ne"};
+    if (kOps.find(n.str("op", "gt")) == kOps.end()) {
+      return fail("unknown op '" + n.str("op", "gt") + "'");
+    }
+  } else if (n.type == "anomaly") {
+    const auto alg = n.str("algorithm", "zscore");
+    if (alg != "zscore" && alg != "lof") {
+      return fail("unknown algorithm '" + alg + "'");
+    }
+    if (n.num("threshold", 3.0) <= 0) return fail("threshold must be > 0");
+  } else if (n.type == "train" || n.type == "predict") {
+    static const std::set<std::string> kAlgos = {"perceptron", "pa",  "pa1",
+                                                 "pa2",        "cw",  "arow"};
+    if (kAlgos.find(n.str("algorithm", "arow")) == kAlgos.end()) {
+      return fail("unknown algorithm '" + n.str("algorithm", "arow") + "'");
+    }
+  } else if (n.type == "cluster") {
+    if (n.num("k", 0) < 1) return fail("k must be >= 1");
+  }
+  if (n.has("qos")) {
+    const double qos = n.num("qos", 0);
+    if (qos < 0 || qos > 2 ||
+        qos != static_cast<double>(static_cast<int>(qos))) {
+      return fail("qos must be 0, 1 or 2");
+    }
+  }
+  const double parallelism = n.num("parallelism", 1);
+  if (parallelism < 1 || parallelism != static_cast<double>(
+                                            static_cast<int>(parallelism))) {
+    return fail("parallelism must be a positive integer");
+  }
+  if (parallelism > 1 && (is_source_type(n.type) || is_sink_type(n.type))) {
+    return fail("sources and sinks cannot be parallelized");
+  }
+  return {};
+}
+
+}  // namespace
+
+Status validate(const Recipe& r) {
+  if (r.name.empty()) {
+    return Err(Errc::kInvalidArgument, "recipe has no name");
+  }
+  if (r.nodes.empty()) {
+    return Err(Errc::kInvalidArgument, "recipe has no nodes");
+  }
+  std::set<std::string> names;
+  for (const auto& n : r.nodes) {
+    if (n.name.empty()) {
+      return Err(Errc::kInvalidArgument, "node with empty name");
+    }
+    if (!names.insert(n.name).second) {
+      return Err(Errc::kInvalidArgument, "duplicate node name: " + n.name);
+    }
+    const auto& types = known_node_types();
+    if (std::find(types.begin(), types.end(), n.type) == types.end()) {
+      return Err(Errc::kInvalidArgument,
+                 "node '" + n.name + "' has unknown type: " + n.type);
+    }
+    if (auto s = validate_params(n); !s) return s;
+  }
+  std::set<std::pair<std::size_t, std::size_t>> seen_edges;
+  for (const auto& [from, to] : r.edges) {
+    if (from >= r.nodes.size() || to >= r.nodes.size()) {
+      return Err(Errc::kInvalidArgument, "edge references unknown node");
+    }
+    if (from == to) {
+      return Err(Errc::kInvalidArgument,
+                 "self-loop on node: " + r.nodes[from].name);
+    }
+    if (!seen_edges.insert({from, to}).second) {
+      return Err(Errc::kInvalidArgument,
+                 "duplicate edge: " + r.nodes[from].name + " -> " +
+                     r.nodes[to].name);
+    }
+  }
+  for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+    const auto& n = r.nodes[i];
+    const auto ins = r.inputs_of(i);
+    const auto outs = r.outputs_of(i);
+    if (is_source_type(n.type) && !ins.empty()) {
+      return Err(Errc::kInvalidArgument,
+                 "source node '" + n.name + "' has inputs");
+    }
+    if (is_sink_type(n.type) && !outs.empty()) {
+      return Err(Errc::kInvalidArgument,
+                 "sink node '" + n.name + "' has outputs");
+    }
+    if (!is_source_type(n.type) && ins.empty()) {
+      return Err(Errc::kInvalidArgument,
+                 "node '" + n.name + "' has no inputs");
+    }
+  }
+  if (auto order = topological_order(r); !order) return order.error();
+  return {};
+}
+
+Result<std::vector<std::size_t>> topological_order(const Recipe& r) {
+  std::vector<std::size_t> in_degree(r.nodes.size(), 0);
+  for (const auto& [from, to] : r.edges) {
+    if (from >= r.nodes.size() || to >= r.nodes.size()) {
+      return Err(Errc::kInvalidArgument, "edge references unknown node");
+    }
+    ++in_degree[to];
+  }
+  // Kahn's algorithm; picks lowest index first for a deterministic order.
+  std::vector<std::size_t> order;
+  std::vector<bool> emitted(r.nodes.size(), false);
+  while (order.size() < r.nodes.size()) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+      if (emitted[i] || in_degree[i] != 0) continue;
+      emitted[i] = true;
+      order.push_back(i);
+      for (std::size_t to : r.outputs_of(i)) --in_degree[to];
+      progressed = true;
+    }
+    if (!progressed) {
+      return Err(Errc::kInvalidArgument, "recipe graph contains a cycle");
+    }
+  }
+  return order;
+}
+
+}  // namespace ifot::recipe

@@ -1,0 +1,78 @@
+// The Recipe: a configuration describing how IoT data streams are
+// processed, analyzed and merged (paper §IV-C, Fig. 5). A recipe is a
+// directed acyclic task graph whose nodes are processing steps and whose
+// edges are flows.
+//
+// Node types understood by the runtime (src/node):
+//   sensor   — flow source bound to a physical/virtual sensor
+//   tap      — flow source bound to an *existing* topic of another
+//              application (secondary/tertiary use of flows, paper §VI)
+//   window   — sliding/tumbling aggregation over a stream
+//   filter   — predicate on a sample field
+//   map      — arithmetic transform of sample fields
+//   anomaly  — streaming anomaly detection (zscore | lof)
+//   train    — online model training (perceptron|pa|pa1|pa2|cw|arow)
+//   predict  — classification with the latest trained model
+//   estimate — online regression (train+predict on one stream)
+//   cluster  — sequential k-means assignment
+//   merge    — fan-in of several flows into one
+//   actuator — flow sink bound to a physical/virtual actuator
+#pragma once
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace ifot::recipe {
+
+/// A parameter value in a recipe node's `{ key = value }` block.
+using Param = std::variant<double, std::string, bool>;
+using ParamMap = std::map<std::string, Param>;
+
+/// One processing step.
+struct RecipeNode {
+  std::string name;
+  std::string type;
+  ParamMap params;
+
+  /// Typed parameter lookup; `fallback` when absent or wrong type.
+  [[nodiscard]] double num(const std::string& key, double fallback) const;
+  [[nodiscard]] std::string str(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] bool flag(const std::string& key, bool fallback) const;
+  [[nodiscard]] bool has(const std::string& key) const {
+    return params.find(key) != params.end();
+  }
+};
+
+/// A parsed recipe: named DAG of processing steps.
+struct Recipe {
+  std::string name;
+  std::vector<RecipeNode> nodes;
+  /// Edges as (from_index, to_index) into `nodes`.
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+
+  [[nodiscard]] std::size_t index_of(const std::string& node_name) const;
+  [[nodiscard]] std::vector<std::size_t> inputs_of(std::size_t node) const;
+  [[nodiscard]] std::vector<std::size_t> outputs_of(std::size_t node) const;
+};
+
+/// The node types the runtime implements.
+[[nodiscard]] const std::vector<std::string>& known_node_types();
+[[nodiscard]] bool is_source_type(const std::string& type);
+[[nodiscard]] bool is_sink_type(const std::string& type);
+
+/// Structural validation: unique names, known types, edges in range,
+/// sources have no inputs, sinks have no outputs, every non-source has at
+/// least one input, graph is acyclic, parameters are well-formed for the
+/// node type (e.g. anomaly.algorithm in {zscore, lof}).
+Status validate(const Recipe& r);
+
+/// Topological order of node indices; fails on cycles.
+Result<std::vector<std::size_t>> topological_order(const Recipe& r);
+
+}  // namespace ifot::recipe

@@ -1,0 +1,202 @@
+#include "recipe/split.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace ifot::recipe {
+
+double default_cost_weight(const std::string& node_type) {
+  // Relative service demand per sample, loosely calibrated against the
+  // Raspberry Pi CPU model in src/node/cpu_model.hpp.
+  if (node_type == "train") return 8.0;
+  if (node_type == "predict") return 4.0;
+  if (node_type == "estimate") return 5.0;
+  if (node_type == "anomaly") return 6.0;
+  if (node_type == "cluster") return 4.0;
+  if (node_type == "window") return 1.5;
+  if (node_type == "merge") return 1.2;
+  if (node_type == "map") return 1.2;
+  if (node_type == "filter") return 1.0;
+  if (node_type == "sensor") return 0.8;
+  if (node_type == "tap") return 1.0;
+  if (node_type == "actuator") return 0.8;
+  return 1.0;
+}
+
+Result<TaskGraph> split_recipe(const Recipe& r) {
+  if (auto s = validate(r); !s) return s.error();
+
+  TaskGraph g;
+  g.recipe_name = r.name;
+  g.recipe = r;
+
+  auto order = topological_order(r);
+  if (!order) return order.error();
+
+  // Pass 1: create shard tasks per node, in topological order so task
+  // indices are themselves topologically sorted (allocators rely on it).
+  std::vector<std::vector<std::size_t>> node_tasks(r.nodes.size());
+  for (std::size_t ni : order.value()) {
+    const RecipeNode& node = r.nodes[ni];
+    const auto shards = static_cast<std::size_t>(node.num("parallelism", 1));
+    for (std::size_t s = 0; s < shards; ++s) {
+      Task t;
+      t.id = TaskId{static_cast<TaskId::value_type>(g.tasks.size())};
+      t.recipe_node = ni;
+      t.shard = s;
+      t.shard_count = shards;
+      t.name = shards == 1 ? node.name
+                           : node.name + "#" + std::to_string(s);
+      t.output_topic = "ifot/" + r.name + "/" + node.name;
+      if (shards > 1) t.output_topic += "/" + std::to_string(s);
+      // Sensor load scales with its sampling rate (reference: 10 Hz), so
+      // allocators avoid stacking work onto fast-sampling modules.
+      double weight = default_cost_weight(node.type);
+      if (node.type == "sensor") {
+        weight *= std::max(1.0, node.num("rate_hz", 10) / 10.0);
+      }
+      t.cost_weight = weight / static_cast<double>(shards);
+      t.output_broker = static_cast<int>(node.num("broker", -1));
+      t.output_qos = static_cast<int>(node.num("qos", -1));
+      t.retained_output = node.flag("retain", false);
+      // Taps are sources within the recipe graph but subscribe to the
+      // named external topic (another application's flow); the producing
+      // application's broker assignment rides the optional tap param.
+      if (node.type == "tap") {
+        t.input_topics.push_back(node.str("topic", ""));
+        t.input_brokers.push_back(
+            static_cast<int>(node.num("topic_broker", -1)));
+        t.input_qos.push_back(static_cast<int>(node.num("topic_qos", -1)));
+      }
+      // Learner-side MIX (the Managing class): sharded train nodes with
+      // `mix = true` subscribe to their sibling shards' model topics and
+      // adopt the averaged model. Models ride <base>/<shard> normally and
+      // <base>/<shard>/model when the node's own output is partitioned
+      // (same-K sharded downstream consumers); cover both.
+      if (node.type == "train" && shards > 1 && node.flag("mix", false)) {
+        const std::string mix_base = "ifot/" + r.name + "/" + node.name;
+        t.input_topics.push_back(mix_base + "/+");
+        t.input_brokers.push_back(t.output_broker);
+        t.input_qos.push_back(t.output_qos);
+        t.input_topics.push_back(mix_base + "/+/model");
+        t.input_brokers.push_back(t.output_broker);
+        t.input_qos.push_back(t.output_qos);
+      }
+      node_tasks[ni].push_back(g.tasks.size());
+      g.tasks.push_back(std::move(t));
+    }
+  }
+
+  // Pass 2a: decide partitioned routing per producer node. A producer's
+  // sample output is partitioned when all of its sharded consumers agree
+  // on one shard count K and none opted out (`partitioned = false`);
+  // otherwise shards filter client-side by sequence number.
+  std::vector<std::size_t> partition_of(r.nodes.size(), 1);
+  for (std::size_t ni = 0; ni < r.nodes.size(); ++ni) {
+    std::size_t k = 1;
+    bool ok = true;
+    for (std::size_t ci : r.outputs_of(ni)) {
+      const RecipeNode& consumer = r.nodes[ci];
+      const auto shards =
+          static_cast<std::size_t>(consumer.num("parallelism", 1));
+      if (shards <= 1) continue;
+      if (!consumer.flag("partitioned", true)) {
+        ok = false;
+        break;
+      }
+      if (k != 1 && k != shards) {
+        ok = false;  // consumers disagree on shard count
+        break;
+      }
+      k = shards;
+    }
+    if (ok && k > 1) partition_of[ni] = k;
+  }
+  for (std::size_t ni = 0; ni < r.nodes.size(); ++ni) {
+    for (std::size_t ti : node_tasks[ni]) {
+      g.tasks[ti].partition_count = partition_of[ni];
+    }
+  }
+
+  // Pass 2b: wire upstream topics. Every shard of a consumer node
+  // subscribes to each producer node; sharded producers are covered with
+  // a single '+' wildcard level; partitioned producers add the /p<i> (or
+  // /model) suffix level.
+  for (const auto& [from, to] : r.edges) {
+    const RecipeNode& producer = r.nodes[from];
+    const RecipeNode& consumer = r.nodes[to];
+    const auto producer_shards =
+        static_cast<std::size_t>(producer.num("parallelism", 1));
+    const auto consumer_shards =
+        static_cast<std::size_t>(consumer.num("parallelism", 1));
+    std::string base = "ifot/" + r.name + "/" + producer.name;
+    if (producer_shards > 1) base += "/+";
+    const int producer_broker = static_cast<int>(producer.num("broker", -1));
+    const int producer_qos = static_cast<int>(producer.num("qos", -1));
+    for (std::size_t task_index : node_tasks[to]) {
+      Task& t = g.tasks[task_index];
+      auto add_filter = [&](std::string filter) {
+        t.input_topics.push_back(std::move(filter));
+        t.input_brokers.push_back(producer_broker);
+        t.input_qos.push_back(producer_qos);
+      };
+      if (partition_of[from] > 1) {
+        if (consumer_shards > 1) {
+          // Own partition plus the model side-channel.
+          add_filter(base + "/p" + std::to_string(t.shard));
+          add_filter(base + "/model");
+        } else {
+          add_filter(base + "/+");
+        }
+      } else {
+        add_filter(base);
+      }
+      for (std::size_t up_index : node_tasks[from]) {
+        t.upstream.push_back(g.tasks[up_index].id);
+      }
+    }
+  }
+  for (auto& t : g.tasks) {
+    std::sort(t.upstream.begin(), t.upstream.end());
+    t.upstream.erase(std::unique(t.upstream.begin(), t.upstream.end()),
+                     t.upstream.end());
+    // Deduplicate filters keeping the (filter, broker, qos) triple intact.
+    std::vector<std::tuple<std::string, int, int>> paired;
+    paired.reserve(t.input_topics.size());
+    for (std::size_t i = 0; i < t.input_topics.size(); ++i) {
+      paired.emplace_back(t.input_topics[i], t.input_brokers[i],
+                          t.input_qos[i]);
+    }
+    std::sort(paired.begin(), paired.end());
+    paired.erase(std::unique(paired.begin(), paired.end()), paired.end());
+    t.input_topics.clear();
+    t.input_brokers.clear();
+    t.input_qos.clear();
+    for (auto& [f, b, q] : paired) {
+      t.input_topics.push_back(std::move(f));
+      t.input_brokers.push_back(b);
+      t.input_qos.push_back(q);
+    }
+  }
+
+  // Pass 3: topological stages over tasks ("parallel task sets").
+  std::vector<std::size_t> depth(g.tasks.size(), 0);
+  std::size_t max_depth = 0;
+  for (std::size_t ni : order.value()) {
+    for (std::size_t ti : node_tasks[ni]) {
+      std::size_t d = 0;
+      for (TaskId up : g.tasks[ti].upstream) {
+        d = std::max(d, depth[up.value()] + 1);
+      }
+      depth[ti] = d;
+      max_depth = std::max(max_depth, d);
+    }
+  }
+  g.stages.assign(max_depth + 1, {});
+  for (std::size_t ti = 0; ti < g.tasks.size(); ++ti) {
+    g.stages[depth[ti]].push_back(ti);
+  }
+  return g;
+}
+
+}  // namespace ifot::recipe

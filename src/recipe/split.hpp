@@ -1,0 +1,90 @@
+// The Recipe split class (paper §IV-C.1): reads an application's recipe
+// and divides it into tasks that can be executed in parallel.
+//
+// Splitting performs two things:
+//  * one task per recipe node, carrying the MQTT topics that implement the
+//    recipe's edges (topic scheme: ifot/<recipe>/<node>[/<shard>]);
+//  * data-parallel fission: a node with `parallelism = n` becomes n shard
+//    tasks; shards partition the stream by sample sequence number, and
+//    downstream tasks subscribe to the shard topics with a '+' wildcard;
+//  * partitioned routing: when every sharded consumer of a producer uses
+//    the same shard count K (and none sets `partitioned = false`), the
+//    producer publishes each sample to <topic>/p<seq%K> and shard i
+//    subscribes only its own partition — the broker then fans each sample
+//    out to one shard instead of all K (models ride <topic>/model).
+//    Without this, broker routing work grows with K and the Broker class
+//    becomes the bottleneck that parallelism was meant to remove.
+//
+// The result also carries the topological stages ("tasks that can be
+// performed in parallel", paper Fig. 6 Step 2) used by the allocator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "recipe/recipe.hpp"
+
+namespace ifot::recipe {
+
+/// One executable sub-task produced by splitting.
+struct Task {
+  TaskId id;
+  std::size_t recipe_node = 0;  ///< index into Recipe::nodes
+  std::size_t shard = 0;        ///< shard index within the node
+  std::size_t shard_count = 1;  ///< total shards of the node
+  std::string name;             ///< "<node>" or "<node>#<shard>"
+  std::vector<TaskId> upstream;       ///< producer tasks (within the recipe)
+  std::string output_topic;           ///< topic this task publishes to
+  /// Filters this task subscribes to; for `tap` sources this is the
+  /// external topic named in the recipe.
+  std::vector<std::string> input_topics;
+  /// Relative CPU weight (used by cost-aware allocators); derived from
+  /// node type (training is heavier than filtering).
+  double cost_weight = 1.0;
+  /// >1: sample output is split across `<output_topic>/p<seq%K>` topics
+  /// (partitioned routing for sharded consumers); models then ride
+  /// `<output_topic>/model`.
+  std::size_t partition_count = 1;
+  /// Broker handling this task's output flow in a multi-broker fabric:
+  /// the recipe node's `broker = N` parameter, or -1 for hash-based
+  /// assignment (stable on the output topic base).
+  int output_broker = -1;
+  /// MQTT QoS of this task's output flow: the recipe node's `qos`
+  /// parameter (0/1/2), or -1 for the fabric default. Consumers subscribe
+  /// at the producer's level.
+  int output_qos = -1;
+  /// The recipe node's `retain` flag: samples are published retained so
+  /// late subscribers (taps of slowly-changing flows) see the last value
+  /// immediately.
+  bool retained_output = false;
+  /// QoS per input filter (parallel to input_topics), from the producing
+  /// node; -1 = fabric default.
+  std::vector<int> input_qos;
+  /// Broker per input filter (parallel to input_topics): the producing
+  /// node's assignment, or -1 for hash-based.
+  std::vector<int> input_brokers;
+};
+
+/// The split result: tasks plus parallel stages.
+struct TaskGraph {
+  std::string recipe_name;
+  Recipe recipe;
+  std::vector<Task> tasks;
+  /// Topological levels: stages[i] lists indices into `tasks` that may
+  /// run concurrently once stages[0..i-1] are placed.
+  std::vector<std::vector<std::size_t>> stages;
+
+  [[nodiscard]] const Task& task(TaskId id) const {
+    return tasks[id.value()];
+  }
+};
+
+/// Default per-type CPU weight (1.0 = a trivial pass-through step).
+double default_cost_weight(const std::string& node_type);
+
+/// Splits a validated recipe. Fails when the recipe does not validate.
+Result<TaskGraph> split_recipe(const Recipe& r);
+
+}  // namespace ifot::recipe

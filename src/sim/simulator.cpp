@@ -1,0 +1,84 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ifot::sim {
+
+EventId Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+  assert(fn);
+  if (at < now_) at = now_;
+  const EventId id{next_seq_++};
+  heap_.push(Entry{at, id.seq, std::move(fn)});
+  return id;
+}
+
+EventId Simulator::schedule_after(SimDuration delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) {
+  if (id.seq == 0 || id.seq >= next_seq_) return;
+  cancelled_.insert(id.seq);
+}
+
+bool Simulator::pop_one() {
+  while (!heap_.empty()) {
+    // priority_queue::top is const; move is safe because we pop right away.
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    if (auto it = cancelled_.find(e.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = e.at;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && pop_one()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t n = 0;
+  while (!heap_.empty()) {
+    // Skip cancelled heads so the deadline test sees a live event.
+    while (!heap_.empty() &&
+           cancelled_.count(heap_.top().seq) != 0) {
+      cancelled_.erase(heap_.top().seq);
+      heap_.pop();
+    }
+    if (heap_.empty() || heap_.top().at > deadline) break;
+    if (pop_one()) ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+void PeriodicTimer::start(SimDuration initial_delay) {
+  stop();
+  running_ = true;
+  pending_ = sim_.schedule_after(initial_delay, [this] { tick(); });
+}
+
+void PeriodicTimer::stop() {
+  if (running_) {
+    sim_.cancel(pending_);
+    running_ = false;
+  }
+}
+
+void PeriodicTimer::tick() {
+  if (!running_) return;
+  // Reschedule before invoking so the callback may call stop().
+  pending_ = sim_.schedule_after(period_, [this] { tick(); });
+  fn_();
+}
+
+}  // namespace ifot::sim

@@ -1,0 +1,111 @@
+// Deterministic discrete-event simulation engine.
+//
+// This is the substrate substituting for the paper's physical testbed
+// (six Raspberry Pi 2 modules on a wireless LAN): all node CPUs, network
+// transfers and sensor timers are events on one virtual clock, so every
+// experiment is exactly reproducible.
+//
+// Determinism rules:
+//  * events at equal timestamps fire in scheduling order (FIFO tiebreak);
+//  * all randomness flows through seeded ifot::Rng instances;
+//  * wall-clock time never enters the simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ifot::sim {
+
+/// Handle identifying a scheduled event; usable to cancel it.
+struct EventId {
+  std::uint64_t seq = 0;
+  friend bool operator==(EventId, EventId) = default;
+};
+
+/// Discrete-event simulator: a virtual clock plus an event queue.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute virtual time `at` (clamped to now).
+  EventId schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` after the current time.
+  EventId schedule_after(SimDuration delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown event
+  /// is a no-op.
+  void cancel(EventId id);
+
+  /// Runs events until the queue is empty or `max_events` fired.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Runs events with timestamp <= deadline; afterwards now() == deadline
+  /// (even if the queue still holds later events). Returns events executed.
+  std::size_t run_until(SimTime deadline);
+
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t pending() const {
+    return heap_.size() - cancelled_.size();
+  }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_one();  // fires the earliest event; false when queue empty
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+/// Repeating timer built on Simulator: fires `fn` every `period`, starting
+/// at `start` (absolute). Used for fixed-rate sensor sampling.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, SimDuration period, std::function<void()> fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {}
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Starts ticking; first tick at now + initial_delay.
+  void start(SimDuration initial_delay = 0);
+  /// Stops ticking; pending tick is cancelled.
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] SimDuration period() const { return period_; }
+
+ private:
+  void tick();
+
+  Simulator& sim_;  // NOLINT(cppcoreguidelines-avoid-const-or-ref-data-members)
+  SimDuration period_;
+  std::function<void()> fn_;
+  EventId pending_{};
+  bool running_ = false;
+};
+
+}  // namespace ifot::sim

@@ -1,0 +1,281 @@
+#include "alloc/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "recipe/parser.hpp"
+
+namespace ifot::alloc {
+namespace {
+
+recipe::TaskGraph graph_of(const char* text) {
+  auto parsed = recipe::parse(text);
+  EXPECT_TRUE(parsed.ok()) << (parsed.ok() ? "" : parsed.error().to_string());
+  auto g = recipe::split_recipe(parsed.value());
+  EXPECT_TRUE(g.ok()) << (g.ok() ? "" : g.error().to_string());
+  return g.value();
+}
+
+std::vector<ModuleInfo> six_pis() {
+  std::vector<ModuleInfo> mods;
+  for (int i = 0; i < 6; ++i) {
+    ModuleInfo m;
+    m.id = NodeId{static_cast<NodeId::value_type>(i)};
+    m.name = "module_" + std::string(1, static_cast<char>('a' + i));
+    m.cpu_factor = 1.0;
+    mods.push_back(std::move(m));
+  }
+  mods[0].sensors = {"sensor_a"};
+  mods[1].sensors = {"sensor_b"};
+  mods[2].sensors = {"sensor_c"};
+  mods[5].actuators = {"display"};
+  return mods;
+}
+
+constexpr const char* kPaperish = R"(
+recipe eval
+node sa : sensor { sensor = "sensor_a", rate_hz = 10 }
+node sb : sensor { sensor = "sensor_b", rate_hz = 10 }
+node sc : sensor { sensor = "sensor_c", rate_hz = 10 }
+node tr : train { algorithm = "arow" }
+node pr : predict { }
+node disp : actuator { actuator = "display" }
+edge sa -> tr
+edge sb -> tr
+edge sc -> tr
+edge sa -> pr
+edge sb -> pr
+edge sc -> pr
+edge tr -> pr
+edge pr -> disp
+)";
+
+class AllocatorStrategyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AllocatorStrategyTest, FactoryWorks) {
+  auto a = make_allocator(GetParam());
+  ASSERT_NE(a, nullptr);
+  EXPECT_STREQ(a->name(), GetParam());
+}
+
+TEST_P(AllocatorStrategyTest, RespectsDeviceConstraints) {
+  auto a = make_allocator(GetParam());
+  const auto g = graph_of(kPaperish);
+  const auto mods = six_pis();
+  auto p = a->allocate(g, mods);
+  ASSERT_TRUE(p.ok()) << p.error().to_string();
+  for (std::size_t ti = 0; ti < g.tasks.size(); ++ti) {
+    const auto& node = g.recipe.nodes[g.tasks[ti].recipe_node];
+    if (node.type == "sensor") {
+      const std::string dev = node.str("sensor", "");
+      // Placed module must host that device.
+      for (const auto& m : mods) {
+        if (m.id == p.value().task_module[ti]) {
+          EXPECT_TRUE(m.sensors.count(dev)) << node.name;
+        }
+      }
+    }
+    if (node.type == "actuator") {
+      for (const auto& m : mods) {
+        if (m.id == p.value().task_module[ti]) {
+          EXPECT_TRUE(m.actuators.count("display"));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(AllocatorStrategyTest, EveryTaskPlaced) {
+  auto a = make_allocator(GetParam());
+  const auto g = graph_of(kPaperish);
+  auto p = a->allocate(g, six_pis());
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().task_module.size(), g.tasks.size());
+  for (NodeId id : p.value().task_module) EXPECT_TRUE(id.valid());
+}
+
+TEST_P(AllocatorStrategyTest, FailsWhenDeviceMissing) {
+  auto a = make_allocator(GetParam());
+  const auto g = graph_of(kPaperish);
+  auto mods = six_pis();
+  mods[5].actuators.clear();  // no display anywhere
+  auto p = a->allocate(g, mods);
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.error().code, Errc::kNotFound);
+}
+
+TEST_P(AllocatorStrategyTest, FailsWithNoModules) {
+  auto a = make_allocator(GetParam());
+  const auto g = graph_of(kPaperish);
+  EXPECT_FALSE(a->allocate(g, {}).ok());
+}
+
+TEST_P(AllocatorStrategyTest, HonoursPinParameter) {
+  auto a = make_allocator(GetParam());
+  const auto g = graph_of(R"(
+recipe pinned
+node s : sensor { sensor = "sensor_a", rate_hz = 1 }
+node t : train { algorithm = "arow", pin = "module_e" }
+edge s -> t
+)");
+  const auto mods = six_pis();
+  auto p = a->allocate(g, mods);
+  ASSERT_TRUE(p.ok()) << p.error().to_string();
+  for (std::size_t ti = 0; ti < g.tasks.size(); ++ti) {
+    if (g.tasks[ti].name == "t") {
+      EXPECT_EQ(p.value().task_module[ti], mods[4].id);
+    }
+  }
+}
+
+TEST_P(AllocatorStrategyTest, PinToUnknownModuleFails) {
+  auto a = make_allocator(GetParam());
+  const auto g = graph_of(R"(
+recipe pinned
+node s : sensor { sensor = "sensor_a", rate_hz = 1 }
+node t : train { algorithm = "arow", pin = "module_zz" }
+edge s -> t
+)");
+  auto p = a->allocate(g, six_pis());
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.error().message.find("module_zz"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, AllocatorStrategyTest,
+                         ::testing::Values("round_robin", "load_aware",
+                                           "heft"));
+
+TEST(Allocator, FactoryRejectsUnknown) {
+  EXPECT_EQ(make_allocator("simulated_annealing"), nullptr);
+}
+
+TEST(LoadAware, SpreadsShardsAcrossModules) {
+  const auto g = graph_of(R"(
+recipe shards
+node s : sensor { sensor = "sensor_a", rate_hz = 100 }
+node heavy : train { algorithm = "arow", parallelism = 5 }
+edge s -> heavy
+)");
+  LoadAwareAllocator a;
+  auto p = a.allocate(g, six_pis());
+  ASSERT_TRUE(p.ok());
+  std::set<NodeId> used;
+  for (std::size_t ti = 0; ti < g.tasks.size(); ++ti) {
+    if (g.tasks[ti].name.find("heavy") == 0) {
+      used.insert(p.value().task_module[ti]);
+    }
+  }
+  EXPECT_GE(used.size(), 5u);  // shards land on distinct modules
+}
+
+TEST(LoadAware, PrefersFasterModules) {
+  const auto g = graph_of(R"(
+recipe fast
+node s : sensor { sensor = "sensor_a", rate_hz = 1 }
+node t : train { algorithm = "arow" }
+edge s -> t
+)");
+  auto mods = six_pis();
+  mods[4].cpu_factor = 8.0;  // module_e is much faster
+  LoadAwareAllocator a;
+  auto p = a.allocate(g, mods);
+  ASSERT_TRUE(p.ok());
+  for (std::size_t ti = 0; ti < g.tasks.size(); ++ti) {
+    if (g.tasks[ti].name == "t") {
+      EXPECT_EQ(p.value().task_module[ti], mods[4].id);
+    }
+  }
+}
+
+TEST(LoadAware, AccountsExistingLoad) {
+  const auto g = graph_of(R"(
+recipe second
+node s : sensor { sensor = "sensor_a", rate_hz = 1 }
+node t : train { algorithm = "arow" }
+edge s -> t
+)");
+  auto mods = six_pis();
+  // All modules but module_f are pre-loaded.
+  for (std::size_t i = 0; i + 1 < mods.size(); ++i) {
+    mods[i].existing_load = 100;
+  }
+  LoadAwareAllocator a;
+  auto p = a.allocate(g, mods);
+  ASSERT_TRUE(p.ok());
+  for (std::size_t ti = 0; ti < g.tasks.size(); ++ti) {
+    if (g.tasks[ti].name == "t") {
+      EXPECT_EQ(p.value().task_module[ti], mods[5].id);
+    }
+  }
+}
+
+TEST(Heft, BeatsOrMatchesRoundRobinMakespan) {
+  const auto g = graph_of(R"(
+recipe wide
+node s : sensor { sensor = "sensor_a", rate_hz = 10 }
+node t1 : train { algorithm = "arow", parallelism = 4 }
+node an : anomaly { algorithm = "zscore", threshold = 3 }
+node cl : cluster { k = 4 }
+node m : merge
+edge s -> t1
+edge s -> an -> m
+edge s -> cl -> m
+)");
+  auto mods = six_pis();
+  mods[1].cpu_factor = 0.5;  // heterogeneous fabric
+  mods[3].cpu_factor = 2.0;
+  RoundRobinAllocator rr;
+  HeftAllocator heft;
+  auto p_rr = rr.allocate(g, mods);
+  auto p_heft = heft.allocate(g, mods);
+  ASSERT_TRUE(p_rr.ok());
+  ASSERT_TRUE(p_heft.ok());
+  const auto m_rr = evaluate_placement(g, mods, p_rr.value());
+  const auto m_heft = evaluate_placement(g, mods, p_heft.value());
+  EXPECT_LE(m_heft.est_makespan, m_rr.est_makespan * 1.001);
+}
+
+TEST(EvaluatePlacement, ComputesCrossEdgesAndImbalance) {
+  const auto g = graph_of(R"(
+recipe tiny
+node s : sensor { sensor = "sensor_a", rate_hz = 1 }
+node f : filter { field = "v", op = "gt", value = 0 }
+edge s -> f
+)");
+  auto mods = six_pis();
+  // Both tasks on module_a: zero cross edges.
+  Placement same;
+  same.task_module = {mods[0].id, mods[0].id};
+  const auto m_same = evaluate_placement(g, mods, same);
+  EXPECT_EQ(m_same.cross_edges, 0u);
+  // Split across modules: one cross edge.
+  Placement split;
+  split.task_module = {mods[0].id, mods[1].id};
+  const auto m_split = evaluate_placement(g, mods, split);
+  EXPECT_EQ(m_split.cross_edges, 1u);
+  EXPECT_GE(m_same.imbalance, m_split.imbalance);
+  EXPECT_GT(m_split.est_makespan, 0.0);
+}
+
+TEST(RoundRobin, CyclesThroughModules) {
+  const auto g = graph_of(R"(
+recipe cycle
+node s : sensor { sensor = "sensor_a", rate_hz = 1 }
+node f1 : filter { field = "v", op = "gt", value = 0 }
+node f2 : filter { field = "v", op = "gt", value = 0 }
+node f3 : filter { field = "v", op = "gt", value = 0 }
+edge s -> f1
+edge s -> f2
+edge s -> f3
+)");
+  RoundRobinAllocator a;
+  auto p = a.allocate(g, six_pis());
+  ASSERT_TRUE(p.ok());
+  std::set<NodeId> used(p.value().task_module.begin(),
+                        p.value().task_module.end());
+  EXPECT_GE(used.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ifot::alloc

@@ -1,0 +1,125 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace ifot {
+namespace {
+
+TEST(BinaryWriter, FixedWidthBigEndian) {
+  Bytes out;
+  BinaryWriter w(out);
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  ASSERT_EQ(out.size(), 7u);
+  EXPECT_EQ(out[0], 0xAB);
+  EXPECT_EQ(out[1], 0x12);
+  EXPECT_EQ(out[2], 0x34);
+  EXPECT_EQ(out[3], 0xDE);
+  EXPECT_EQ(out[4], 0xAD);
+  EXPECT_EQ(out[5], 0xBE);
+  EXPECT_EQ(out[6], 0xEF);
+}
+
+TEST(BinaryRoundTrip, AllPrimitives) {
+  Bytes out;
+  BinaryWriter w(out);
+  w.u8(7);
+  w.u16(65535);
+  w.u32(0);
+  w.u64(0xFFFFFFFFFFFFFFFFull);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.varint(0);
+  w.varint(127);
+  w.varint(128);
+  w.varint(300);
+  w.varint(1ull << 60);
+  w.str16("hello");
+  w.str("world with a longer payload");
+
+  BinaryReader r{BytesView(out)};
+  EXPECT_EQ(r.u8().value(), 7);
+  EXPECT_EQ(r.u16().value(), 65535);
+  EXPECT_EQ(r.u32().value(), 0u);
+  EXPECT_EQ(r.u64().value(), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(r.i64().value(), -42);
+  EXPECT_DOUBLE_EQ(r.f64().value(), 3.14159);
+  EXPECT_EQ(r.varint().value(), 0u);
+  EXPECT_EQ(r.varint().value(), 127u);
+  EXPECT_EQ(r.varint().value(), 128u);
+  EXPECT_EQ(r.varint().value(), 300u);
+  EXPECT_EQ(r.varint().value(), 1ull << 60);
+  EXPECT_EQ(r.str16().value(), "hello");
+  EXPECT_EQ(r.str().value(), "world with a longer payload");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BinaryRoundTrip, FloatSpecials) {
+  Bytes out;
+  BinaryWriter w(out);
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::denorm_min());
+  BinaryReader r{BytesView(out)};
+  EXPECT_EQ(r.f64().value(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.f64().value(), -0.0);
+  EXPECT_EQ(r.f64().value(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(BinaryReader, TruncatedReadsFail) {
+  Bytes out;
+  BinaryWriter w(out);
+  w.u16(0x1234);
+  BinaryReader r{BytesView(out)};
+  EXPECT_TRUE(r.u8().ok());
+  EXPECT_TRUE(r.u8().ok());
+  auto next = r.u8();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.error().code, Errc::kParse);
+}
+
+TEST(BinaryReader, TruncatedStringFails) {
+  Bytes out;
+  BinaryWriter w(out);
+  w.u16(100);  // claims 100 bytes follow
+  out.push_back('x');
+  BinaryReader r{BytesView(out)};
+  EXPECT_FALSE(r.str16().ok());
+}
+
+TEST(BinaryReader, VarintTooLongFails) {
+  Bytes out(11, 0xFF);  // continuation bit forever
+  BinaryReader r{BytesView(out)};
+  EXPECT_FALSE(r.varint().ok());
+}
+
+TEST(BinaryReader, RawTracksPosition) {
+  Bytes data = to_bytes("abcdef");
+  BinaryReader r{BytesView(data)};
+  auto head = r.raw(2);
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(to_string(BytesView(head.value())), "ab");
+  EXPECT_EQ(r.position(), 2u);
+  EXPECT_EQ(r.remaining(), 4u);
+  auto rest = r.raw(4);
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(to_string(BytesView(rest.value())), "cdef");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BinaryRoundTrip, EmptyStrings) {
+  Bytes out;
+  BinaryWriter w(out);
+  w.str16("");
+  w.str("");
+  BinaryReader r{BytesView(out)};
+  EXPECT_EQ(r.str16().value(), "");
+  EXPECT_EQ(r.str().value(), "");
+  EXPECT_TRUE(r.at_end());
+}
+
+}  // namespace
+}  // namespace ifot

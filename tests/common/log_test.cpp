@@ -1,0 +1,71 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ifot {
+namespace {
+
+/// Captures log lines and restores global config afterwards.
+class LogCapture {
+ public:
+  LogCapture() {
+    log_config::set_sink([this](LogLevel level, const std::string& line) {
+      entries.emplace_back(level, line);
+    });
+  }
+  ~LogCapture() {
+    log_config::set_sink(nullptr);
+    log_config::set_clock(nullptr);
+    log_config::set_level(LogLevel::kWarn);
+  }
+  std::vector<std::pair<LogLevel, std::string>> entries;
+};
+
+TEST(Log, LevelFiltering) {
+  LogCapture cap;
+  log_config::set_level(LogLevel::kWarn);
+  IFOT_LOG(kInfo, "test") << "hidden";
+  IFOT_LOG(kWarn, "test") << "shown";
+  IFOT_LOG(kError, "test") << "also shown";
+  ASSERT_EQ(cap.entries.size(), 2u);
+  EXPECT_NE(cap.entries[0].second.find("shown"), std::string::npos);
+}
+
+TEST(Log, OffSuppressesEverything) {
+  LogCapture cap;
+  log_config::set_level(LogLevel::kOff);
+  IFOT_LOG(kError, "test") << "nope";
+  EXPECT_TRUE(cap.entries.empty());
+}
+
+TEST(Log, LineCarriesComponentAndLevel) {
+  LogCapture cap;
+  log_config::set_level(LogLevel::kDebug);
+  IFOT_LOG(kDebug, "mqtt.broker") << "routing " << 42 << " messages";
+  ASSERT_EQ(cap.entries.size(), 1u);
+  const std::string& line = cap.entries[0].second;
+  EXPECT_NE(line.find("[DEBUG]"), std::string::npos);
+  EXPECT_NE(line.find("[mqtt.broker]"), std::string::npos);
+  EXPECT_NE(line.find("routing 42 messages"), std::string::npos);
+}
+
+TEST(Log, ClockHookPrefixesVirtualTime) {
+  LogCapture cap;
+  log_config::set_level(LogLevel::kInfo);
+  log_config::set_clock([] { return SimTime{1500 * kMillisecond}; });
+  IFOT_LOG(kInfo, "test") << "stamped";
+  ASSERT_EQ(cap.entries.size(), 1u);
+  EXPECT_NE(cap.entries[0].second.find("1500.000ms"), std::string::npos);
+}
+
+TEST(Log, EnabledMatchesLevel) {
+  log_config::set_level(LogLevel::kError);
+  EXPECT_FALSE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  log_config::set_level(LogLevel::kWarn);
+}
+
+}  // namespace
+}  // namespace ifot

@@ -1,0 +1,67 @@
+#include "common/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace ifot {
+namespace {
+
+Result<int> half(int v) {
+  if (v % 2 != 0) return Err(Errc::kInvalidArgument, "odd");
+  return v / 2;
+}
+
+TEST(Result, ValueAccess) {
+  auto r = half(10);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 5);
+}
+
+TEST(Result, ErrorAccess) {
+  auto r = half(3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kInvalidArgument);
+  EXPECT_EQ(r.error().message, "odd");
+  EXPECT_EQ(r.error().to_string(), "invalid_argument: odd");
+}
+
+TEST(Result, ValueOr) {
+  EXPECT_EQ(half(4).value_or(-1), 2);
+  EXPECT_EQ(half(5).value_or(-1), -1);
+}
+
+TEST(Result, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r{std::make_unique<int>(9)};
+  ASSERT_TRUE(r.ok());
+  auto owned = std::move(r).value();
+  EXPECT_EQ(*owned, 9);
+}
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(StatusTest, ErrorPropagates) {
+  Status s = Err(Errc::kState, "not started");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, Errc::kState);
+}
+
+TEST(ErrcNames, AllDistinct) {
+  const Errc all[] = {Errc::kInvalidArgument, Errc::kParse, Errc::kNotFound,
+                      Errc::kAlreadyExists,   Errc::kCapacity,
+                      Errc::kProtocol,        Errc::kUnsupported,
+                      Errc::kState,           Errc::kIo};
+  for (std::size_t i = 0; i < std::size(all); ++i) {
+    for (std::size_t j = i + 1; j < std::size(all); ++j) {
+      EXPECT_STRNE(errc_name(all[i]), errc_name(all[j]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ifot

@@ -1,0 +1,77 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ifot {
+namespace {
+
+TEST(LatencyRecorder, EmptyIsZero) {
+  LatencyRecorder r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_DOUBLE_EQ(r.avg_ms(), 0);
+  EXPECT_DOUBLE_EQ(r.max_ms(), 0);
+  EXPECT_DOUBLE_EQ(r.min_ms(), 0);
+  EXPECT_DOUBLE_EQ(r.percentile_ms(50), 0);
+}
+
+TEST(LatencyRecorder, BasicStatistics) {
+  LatencyRecorder r;
+  for (int i = 1; i <= 10; ++i) r.record(i * kMillisecond);
+  EXPECT_EQ(r.count(), 10u);
+  EXPECT_DOUBLE_EQ(r.avg_ms(), 5.5);
+  EXPECT_DOUBLE_EQ(r.max_ms(), 10.0);
+  EXPECT_DOUBLE_EQ(r.min_ms(), 1.0);
+  EXPECT_DOUBLE_EQ(r.percentile_ms(0), 1.0);
+  EXPECT_DOUBLE_EQ(r.percentile_ms(100), 10.0);
+  EXPECT_NEAR(r.percentile_ms(50), 6.0, 1.0);
+}
+
+TEST(LatencyRecorder, PercentileAfterInterleavedRecords) {
+  LatencyRecorder r;
+  r.record(5 * kMillisecond);
+  EXPECT_DOUBLE_EQ(r.percentile_ms(100), 5.0);
+  r.record(1 * kMillisecond);  // invalidates sort cache
+  EXPECT_DOUBLE_EQ(r.percentile_ms(0), 1.0);
+  EXPECT_DOUBLE_EQ(r.percentile_ms(100), 5.0);
+}
+
+TEST(LatencyRecorder, StddevOfConstantIsZero) {
+  LatencyRecorder r;
+  r.record(3 * kMillisecond);
+  EXPECT_DOUBLE_EQ(r.stddev_ms(), 0);  // < 2 samples
+  r.record(3 * kMillisecond);
+  r.record(3 * kMillisecond);
+  EXPECT_DOUBLE_EQ(r.stddev_ms(), 0);
+}
+
+TEST(LatencyRecorder, ClearResets) {
+  LatencyRecorder r;
+  r.record(kMillisecond);
+  r.clear();
+  EXPECT_TRUE(r.empty());
+  EXPECT_DOUBLE_EQ(r.avg_ms(), 0);
+}
+
+TEST(Counters, AddAndGet) {
+  Counters c;
+  c.add("x");
+  c.add("x", 4);
+  c.add("y", 2);
+  EXPECT_EQ(c.get("x"), 5u);
+  EXPECT_EQ(c.get("y"), 2u);
+  EXPECT_EQ(c.get("missing"), 0u);
+}
+
+TEST(Counters, SortedIsStableByName) {
+  Counters c;
+  c.add("zeta");
+  c.add("alpha", 3);
+  auto sorted = c.sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].first, "alpha");
+  EXPECT_EQ(sorted[1].first, "zeta");
+}
+
+}  // namespace
+}  // namespace ifot

@@ -1,0 +1,57 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ifot {
+namespace {
+
+TEST(Split, KeepsEmptySegments) {
+  EXPECT_EQ(split("a/b/c", '/'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a//c", '/'), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("/a", '/'), (std::vector<std::string>{"", "a"}));
+  EXPECT_EQ(split("a/", '/'), (std::vector<std::string>{"a", ""}));
+  EXPECT_EQ(split("", '/'), (std::vector<std::string>{""}));
+}
+
+TEST(Trim, Whitespace) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("none"), "none");
+}
+
+TEST(Join, RoundTripsSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(join(parts, "/"), "x/y/z");
+  EXPECT_EQ(split(join(parts, "/"), '/'), parts);
+  EXPECT_EQ(join({}, "/"), "");
+  EXPECT_EQ(join({"solo"}, "/"), "solo");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("ifot/a/b", "ifot/"));
+  EXPECT_FALSE(starts_with("ifot", "ifot/"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(ParseDouble, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("-1e3").value(), -1000.0);
+  EXPECT_DOUBLE_EQ(parse_double("42").value(), 42.0);
+  EXPECT_FALSE(parse_double("").ok());
+  EXPECT_FALSE(parse_double("1.5x").ok());
+  EXPECT_FALSE(parse_double("abc").ok());
+}
+
+TEST(ParseUint, ValidAndInvalid) {
+  EXPECT_EQ(parse_uint("0").value(), 0u);
+  EXPECT_EQ(parse_uint("18446744073709551615").value(),
+            18446744073709551615ull);
+  EXPECT_FALSE(parse_uint("-1").ok());
+  EXPECT_FALSE(parse_uint("1.5").ok());
+  EXPECT_FALSE(parse_uint("").ok());
+}
+
+}  // namespace
+}  // namespace ifot

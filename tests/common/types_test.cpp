@@ -1,0 +1,61 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace ifot {
+namespace {
+
+TEST(Id, DefaultIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.value(), NodeId::kInvalid);
+}
+
+TEST(Id, ExplicitConstructionIsValid) {
+  NodeId id{7};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(Id, ComparisonAndOrdering) {
+  EXPECT_EQ(TaskId{3}, TaskId{3});
+  EXPECT_NE(TaskId{3}, TaskId{4});
+  EXPECT_LT(TaskId{3}, TaskId{4});
+}
+
+TEST(Id, DistinctTagTypesDoNotMix) {
+  // Compile-time property: NodeId and TaskId are distinct types.
+  static_assert(!std::is_same_v<NodeId, TaskId>);
+  static_assert(!std::is_convertible_v<NodeId, TaskId>);
+}
+
+TEST(Id, Hashable) {
+  std::unordered_set<NodeId> set;
+  set.insert(NodeId{1});
+  set.insert(NodeId{2});
+  set.insert(NodeId{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Time, UnitRelations) {
+  EXPECT_EQ(kMicrosecond, 1000 * kNanosecond);
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+}
+
+TEST(Time, ConversionRoundTrips) {
+  EXPECT_EQ(from_millis(2.5), 2 * kMillisecond + 500 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(to_millis(from_millis(123.456)), 123.456);
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(0.75)), 0.75);
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+}
+
+TEST(Time, ZeroAndNegativeDurations) {
+  EXPECT_EQ(from_millis(0), 0);
+  EXPECT_DOUBLE_EQ(to_millis(-kMillisecond), -1.0);
+}
+
+}  // namespace
+}  // namespace ifot

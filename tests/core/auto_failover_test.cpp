@@ -1,0 +1,110 @@
+// End-to-end self-healing: a module crashes, its MQTT will announces the
+// death after the keep-alive grace, and the FailoverManager re-places its
+// tasks automatically — no operator in the loop.
+#include <gtest/gtest.h>
+
+#include "core/middleware.hpp"
+#include "mgmt/failover_manager.hpp"
+
+namespace ifot::core {
+namespace {
+
+struct Fabric {
+  Fabric() {
+    MiddlewareConfig cfg;
+    cfg.keep_alive_s = 2;  // will fires ~3 s after the crash
+    mw = std::make_unique<Middleware>(cfg);
+    mw->add_module({.name = "m_sensor", .sensors = {"temp"}});
+    broker = mw->add_module(
+        {.name = "m_broker", .broker = true, .accept_tasks = false});
+    w1 = mw->add_module({.name = "w1"});
+    w2 = mw->add_module({.name = "w2", .actuators = {"fan"}});
+    EXPECT_TRUE(mw->start().ok());
+  }
+  std::unique_ptr<Middleware> mw;
+  NodeId broker, w1, w2;
+};
+
+constexpr const char* kRecipe = R"(
+recipe healing
+node src : sensor { sensor = "temp", rate_hz = 10, model = "constant" }
+node flt : filter { field = "value", op = "ge", value = -1e9, pin = "w1" }
+node act : actuator { actuator = "fan" }
+edge src -> flt -> act
+)";
+
+TEST(AutoFailover, SelfHealsAfterCrash) {
+  Fabric f;
+  mgmt::FailoverManager manager;
+  ASSERT_TRUE(manager.attach(*f.mw, f.broker).ok());
+  ASSERT_TRUE(f.mw->deploy(kRecipe).ok());
+  f.mw->start_flows();
+  f.mw->run_for(2 * kSecond);
+  auto* fan = f.mw->module_by_name("w2")->actuator("fan");
+  const auto before = fan->count();
+  ASSERT_GT(before, 10u);
+
+  // Crash w1 silently; nobody calls redeploy manually.
+  f.mw->module(f.w1).fail();
+  f.mw->run_for(10 * kSecond);  // grace (3 s) + failover + recovery
+
+  EXPECT_EQ(manager.failovers(), 1u);
+  ASSERT_EQ(manager.offline().size(), 1u);
+  EXPECT_EQ(manager.offline()[0], "w1");
+  // Flow resumed: substantially more actuations than at crash time.
+  EXPECT_GT(fan->count(), before + 30);
+  // The filter now lives on a survivor.
+  const auto& d = f.mw->deployments()[0];
+  for (std::size_t ti = 0; ti < d.graph.tasks.size(); ++ti) {
+    EXPECT_NE(d.placement.task_module[ti], f.w1);
+  }
+}
+
+TEST(AutoFailover, HookObservesOutcome) {
+  Fabric f;
+  mgmt::FailoverManager manager;
+  ASSERT_TRUE(manager.attach(*f.mw, f.broker).ok());
+  std::vector<std::string> events;
+  manager.set_hook([&](const std::string& module, Status outcome) {
+    events.push_back(module + (outcome.ok() ? ":ok" : ":failed"));
+  });
+  ASSERT_TRUE(f.mw->deploy(kRecipe).ok());
+  f.mw->start_flows();
+  f.mw->run_for(kSecond);
+  f.mw->module(f.w1).fail();
+  f.mw->run_for(10 * kSecond);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], "w1:ok");
+}
+
+TEST(AutoFailover, ReportsUnplaceableTasks) {
+  Fabric f;
+  mgmt::FailoverManager manager;
+  ASSERT_TRUE(manager.attach(*f.mw, f.broker).ok());
+  std::vector<bool> outcomes;
+  manager.set_hook([&](const std::string&, Status outcome) {
+    outcomes.push_back(outcome.ok());
+  });
+  ASSERT_TRUE(f.mw->deploy(kRecipe).ok());
+  f.mw->start_flows();
+  f.mw->run_for(kSecond);
+  // Kill the only module hosting the "temp" device: the sensor task has
+  // nowhere to go; the manager must report the failure, not crash.
+  f.mw->module(f.mw->module_by_name("m_sensor")->id()).fail();
+  f.mw->run_for(10 * kSecond);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0]);
+  EXPECT_EQ(manager.failovers(), 0u);
+}
+
+TEST(AutoFailover, IgnoresCleanOnlineTransitions) {
+  Fabric f;
+  mgmt::FailoverManager manager;
+  ASSERT_TRUE(manager.attach(*f.mw, f.broker).ok());
+  f.mw->run_for(5 * kSecond);
+  EXPECT_EQ(manager.failovers(), 0u);
+  EXPECT_TRUE(manager.offline().empty());
+}
+
+}  // namespace
+}  // namespace ifot::core

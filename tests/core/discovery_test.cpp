@@ -1,0 +1,140 @@
+// Flow discovery and secondary use: the paper's future-work "search
+// function for data streams" plus its core goal (b): contents produced by
+// one application are distributed for secondary/tertiary use by others.
+#include <gtest/gtest.h>
+
+#include "core/middleware.hpp"
+#include "mgmt/flow_directory.hpp"
+
+namespace ifot::core {
+namespace {
+
+constexpr const char* kProducer = R"(
+recipe producer
+node src  : sensor { sensor = "temp", rate_hz = 10, model = "random_walk" }
+node trend : window { size = 4, aggregate = "mean" }
+node fan  : actuator { actuator = "fan" }
+edge src -> trend -> fan
+)";
+
+struct Fabric {
+  Fabric() {
+    mw.add_module({.name = "m_sensor", .sensors = {"temp"}});
+    mw.add_module({.name = "m_broker", .broker = true, .accept_tasks = false});
+    worker = mw.add_module(
+        {.name = "m_worker", .actuators = {"fan", "logger"}});
+    EXPECT_TRUE(mw.start().ok());
+  }
+  Middleware mw;
+  NodeId worker;
+};
+
+TEST(FlowDirectory, ListsDeployedFlows) {
+  Fabric f;
+  mgmt::FlowDirectory dir;
+  ASSERT_TRUE(dir.attach(f.mw, f.worker).ok());
+  ASSERT_TRUE(f.mw.deploy(kProducer).ok());
+  f.mw.run_for(kSecond);
+  // src and trend announce; the actuator (sink) does not.
+  EXPECT_EQ(dir.size(), 2u);
+  EXPECT_EQ(dir.topic_of("producer/src"), "ifot/producer/src");
+  EXPECT_EQ(dir.topic_of("producer/trend"), "ifot/producer/trend");
+  EXPECT_EQ(dir.topic_of("producer/fan"), "");
+  const auto sensors = dir.by_type("sensor");
+  ASSERT_EQ(sensors.size(), 1u);
+  EXPECT_EQ(sensors[0].module, "m_sensor");
+  EXPECT_NE(dir.to_string().find("producer/trend"), std::string::npos);
+}
+
+TEST(FlowDirectory, LateWatcherCatchesUpViaRetained) {
+  Fabric f;
+  ASSERT_TRUE(f.mw.deploy(kProducer).ok());
+  f.mw.run_for(kSecond);
+  // Attach the watcher only after deployment: retained announcements
+  // bring it up to date.
+  mgmt::FlowDirectory dir;
+  ASSERT_TRUE(dir.attach(f.mw, f.worker).ok());
+  f.mw.run_for(kSecond);
+  EXPECT_EQ(dir.size(), 2u);
+}
+
+TEST(FlowDirectory, UndeployRetractsEntries) {
+  Fabric f;
+  mgmt::FlowDirectory dir;
+  ASSERT_TRUE(dir.attach(f.mw, f.worker).ok());
+  auto id = f.mw.deploy(kProducer);
+  ASSERT_TRUE(id.ok());
+  f.mw.run_for(kSecond);
+  ASSERT_EQ(dir.size(), 2u);
+  ASSERT_TRUE(f.mw.undeploy(id.value()).ok());
+  f.mw.run_for(kSecond);
+  EXPECT_EQ(dir.size(), 0u);
+  EXPECT_TRUE(f.mw.deployments().empty());
+}
+
+TEST(Undeploy, StopsFlowsAndFreesSubscriptions) {
+  Fabric f;
+  auto id = f.mw.deploy(kProducer);
+  ASSERT_TRUE(id.ok());
+  f.mw.start_flows();
+  f.mw.run_for(2 * kSecond);
+  auto* fan = f.mw.module_by_name("m_worker")->actuator("fan");
+  ASSERT_GT(fan->count(), 0u);
+  ASSERT_TRUE(f.mw.undeploy(id.value()).ok());
+  const auto count = fan->count();
+  f.mw.run_for(2 * kSecond);
+  EXPECT_LE(fan->count(), count + 2);  // only in-flight drains
+  EXPECT_EQ(f.mw.module_by_name("m_sensor")->task_count(), 0u);
+}
+
+TEST(Undeploy, UnknownIdRejected) {
+  Fabric f;
+  EXPECT_FALSE(f.mw.undeploy(RecipeId{777}).ok());
+}
+
+TEST(Tap, SecondApplicationConsumesFirstApplicationsFlow) {
+  Fabric f;
+  ASSERT_TRUE(f.mw.deploy(kProducer).ok());
+  // Discover the producer's windowed flow, then tap it from a second,
+  // independently deployed application.
+  mgmt::FlowDirectory dir;
+  ASSERT_TRUE(dir.attach(f.mw, f.worker).ok());
+  f.mw.run_for(kSecond);
+  const std::string topic = dir.topic_of("producer/trend");
+  ASSERT_FALSE(topic.empty());
+
+  const std::string consumer = R"(
+recipe consumer
+node feed : tap { topic = ")" + topic + R"(" }
+node log  : actuator { actuator = "logger" }
+edge feed -> log
+)";
+  ASSERT_TRUE(f.mw.deploy(consumer).ok());
+  f.mw.start_flows();
+  f.mw.run_for(4 * kSecond);
+  auto* fan = f.mw.module_by_name("m_worker")->actuator("fan");
+  auto* logger = f.mw.module_by_name("m_worker")->actuator("logger");
+  // Both applications see the same (windowed) stream.
+  EXPECT_GT(logger->count(), 3u);
+  EXPECT_NEAR(static_cast<double>(logger->count()),
+              static_cast<double>(fan->count()), 3.0);
+  // Samples in the consumer preserve the original sensing timestamps.
+  for (const auto& rec : logger->records()) {
+    EXPECT_GT(rec.at, rec.sensed_at);
+  }
+}
+
+TEST(Tap, RecipeRequiresTopicParam) {
+  Fabric f;
+  auto r = f.mw.deploy(R"(
+recipe broken
+node feed : tap { }
+node log : actuator { actuator = "logger" }
+edge feed -> log
+)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("topic"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ifot::core

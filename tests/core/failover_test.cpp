@@ -1,0 +1,193 @@
+// Failure injection and failover: the dynamic join/leave support the
+// paper names as future work, built on MQTT wills (status topics) and
+// re-running task assignment over the surviving modules.
+#include <gtest/gtest.h>
+
+#include "core/middleware.hpp"
+#include "mgmt/status_board.hpp"
+
+namespace ifot::core {
+namespace {
+
+constexpr const char* kRecipe = R"(
+recipe monitored
+node src : sensor { sensor = "temp", rate_hz = 10, model = "random_walk" }
+node flt : filter { field = "value", op = "ge", value = -1e9, pin = "worker_1" }
+node act : actuator { actuator = "fan" }
+edge src -> flt -> act
+)";
+
+MiddlewareConfig fast_failure_config() {
+  MiddlewareConfig cfg;
+  cfg.keep_alive_s = 2;  // will fires after ~3 s of silence
+  return cfg;
+}
+
+struct Fabric {
+  explicit Fabric(MiddlewareConfig cfg = fast_failure_config()) : mw(cfg) {
+    sensor = mw.add_module({.name = "sensor_mod", .sensors = {"temp"}});
+    broker = mw.add_module({.name = "broker_mod", .broker = true,
+                            .accept_tasks = false});
+    w1 = mw.add_module({.name = "worker_1"});
+    w2 = mw.add_module({.name = "worker_2", .actuators = {"fan"}});
+    EXPECT_TRUE(mw.start().ok());
+  }
+  Middleware mw;
+  NodeId sensor, broker, w1, w2;
+};
+
+TEST(Failover, StatusAnnouncedOnline) {
+  Fabric f;
+  std::vector<std::string> statuses;
+  ASSERT_TRUE(f.mw.watch(f.w2, "ifot/status/+",
+                         [&](const std::string& topic, const Bytes& p) {
+                           statuses.push_back(topic + "=" +
+                                              to_string(BytesView(p)));
+                         })
+                  .ok());
+  f.mw.run_for(kSecond);
+  // Retained "online" for every module (including the watcher itself).
+  ASSERT_GE(statuses.size(), 4u);
+  for (const auto& s : statuses) {
+    EXPECT_NE(s.find("=online"), std::string::npos) << s;
+  }
+}
+
+TEST(Failover, WillFiresAfterCrash) {
+  Fabric f;
+  std::vector<std::string> offline;
+  ASSERT_TRUE(f.mw.watch(f.w2, "ifot/status/worker_1",
+                         [&](const std::string&, const Bytes& p) {
+                           offline.push_back(to_string(BytesView(p)));
+                         })
+                  .ok());
+  f.mw.run_for(kSecond);
+  offline.clear();  // drop the retained "online"
+  ASSERT_TRUE(f.mw.fail_module(f.w1).ok());
+  f.mw.run_for(10 * kSecond);  // > 1.5 * keep-alive
+  ASSERT_EQ(offline.size(), 1u);
+  EXPECT_EQ(offline[0], "offline");
+}
+
+TEST(Failover, CannotFailBroker) {
+  Fabric f;
+  auto s = f.mw.fail_module(f.broker);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, Errc::kUnsupported);
+}
+
+TEST(Failover, UnknownModuleRejected) {
+  Fabric f;
+  EXPECT_FALSE(f.mw.fail_module(NodeId{999}).ok());
+}
+
+TEST(Failover, FlowStopsOnCrashAndResumesAfterRedeploy) {
+  Fabric f;
+  ASSERT_TRUE(f.mw.deploy(kRecipe).ok());  // flt pinned on worker_1
+  f.mw.start_flows();
+  f.mw.run_for(2 * kSecond);
+  auto* fan = f.mw.module_by_name("worker_2")->actuator("fan");
+  const std::size_t before = fan->count();
+  EXPECT_GT(before, 10u);
+
+  // Crash the module running the filter: the pipeline is severed.
+  ASSERT_TRUE(f.mw.fail_module(f.w1).ok());
+  f.mw.run_for(2 * kSecond);
+  const std::size_t during = fan->count();
+  EXPECT_LE(during, before + 3);  // only in-flight samples drained
+
+  // Failover: the filter moves to a surviving module and flow resumes.
+  ASSERT_TRUE(f.mw.redeploy_failed(f.w1).ok());
+  f.mw.run_for(2 * kSecond);
+  EXPECT_GT(fan->count(), during + 10);
+  // It must not have been re-placed on the dead module.
+  const auto& d = f.mw.deployments()[0];
+  for (std::size_t ti = 0; ti < d.graph.tasks.size(); ++ti) {
+    EXPECT_NE(d.placement.task_module[ti], f.w1);
+  }
+}
+
+TEST(Failover, SensorTaskFailsOverToModuleWithSameDevice) {
+  MiddlewareConfig cfg = fast_failure_config();
+  Middleware mw(cfg);
+  const NodeId s1 = mw.add_module({.name = "s1", .sensors = {"temp"}});
+  mw.add_module({.name = "s2", .sensors = {"temp"}});  // spare with device
+  mw.add_module({.name = "b", .broker = true, .accept_tasks = false});
+  mw.add_module({.name = "w", .actuators = {"fan"}});
+  ASSERT_TRUE(mw.start().ok());
+  ASSERT_TRUE(mw.deploy(R"(
+recipe spare
+node src : sensor { sensor = "temp", rate_hz = 10, model = "constant" }
+node act : actuator { actuator = "fan" }
+edge src -> act
+)").ok());
+  mw.start_flows();
+  mw.run_for(kSecond);
+  auto* fan = mw.module_by_name("w")->actuator("fan");
+  const auto before = fan->count();
+  ASSERT_GT(before, 0u);
+
+  ASSERT_TRUE(mw.fail_module(s1).ok());
+  ASSERT_TRUE(mw.redeploy_failed(s1).ok());
+  mw.run_for(2 * kSecond);
+  EXPECT_GT(fan->count(), before + 10);
+  // The sensor task now runs on s2.
+  EXPECT_EQ(mw.module_by_name("s2")->task_count(), 1u);
+}
+
+TEST(Failover, SensorFailoverImpossibleWithoutSpareDevice) {
+  Fabric f;
+  ASSERT_TRUE(f.mw.deploy(kRecipe).ok());
+  ASSERT_TRUE(f.mw.fail_module(f.sensor).ok());
+  auto s = f.mw.redeploy_failed(f.sensor);
+  ASSERT_FALSE(s.ok());  // no other module hosts "temp"
+  EXPECT_EQ(s.error().code, Errc::kNotFound);
+}
+
+TEST(StatusBoard, RendersModulesAndBroker) {
+  Fabric f;
+  ASSERT_TRUE(f.mw.deploy(kRecipe).ok());
+  f.mw.start_flows();
+  f.mw.run_for(kSecond);
+  const std::string board = mgmt::fabric_status(f.mw);
+  EXPECT_NE(board.find("sensor_mod"), std::string::npos);
+  EXPECT_NE(board.find("broker"), std::string::npos);
+  EXPECT_NE(board.find("flt"), std::string::npos);
+  EXPECT_NE(board.find("up"), std::string::npos);
+  ASSERT_TRUE(f.mw.fail_module(f.w1).ok());
+  EXPECT_NE(mgmt::fabric_status(f.mw).find("FAILED"), std::string::npos);
+  const std::string placements = mgmt::placement_board(f.mw);
+  EXPECT_NE(placements.find("monitored"), std::string::npos);
+}
+
+TEST(SysStats, BrokerPublishesCounters) {
+  MiddlewareConfig cfg = fast_failure_config();
+  cfg.broker.sys_interval = kSecond;
+  Middleware mw(cfg);
+  mw.add_module({.name = "s", .sensors = {"temp"}});
+  mw.add_module({.name = "b", .broker = true, .accept_tasks = false});
+  const NodeId w = mw.add_module({.name = "w", .actuators = {"fan"}});
+  ASSERT_TRUE(mw.start().ok());
+  std::map<std::string, std::string> stats;
+  ASSERT_TRUE(mw.watch(w, "$SYS/broker/#",
+                       [&](const std::string& topic, const Bytes& p) {
+                         stats[topic] = to_string(BytesView(p));
+                       })
+                  .ok());
+  ASSERT_TRUE(mw.deploy(R"(
+recipe sys
+node src : sensor { sensor = "temp", rate_hz = 20, model = "constant" }
+node act : actuator { actuator = "fan" }
+edge src -> act
+)").ok());
+  mw.start_flows();
+  mw.run_for(5 * kSecond);
+  ASSERT_TRUE(stats.count("$SYS/broker/clients/connected"));
+  EXPECT_EQ(stats["$SYS/broker/clients/connected"], "3");
+  ASSERT_TRUE(stats.count("$SYS/broker/messages/received"));
+  EXPECT_GT(std::stoull(stats["$SYS/broker/messages/received"]), 50u);
+  ASSERT_TRUE(stats.count("$SYS/broker/retained/count"));
+}
+
+}  // namespace
+}  // namespace ifot::core

@@ -1,0 +1,159 @@
+#include "device/sensor_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "device/actuator_sim.hpp"
+
+namespace ifot::device {
+namespace {
+
+TEST(WaveformSensor, OscillatesAroundOffset) {
+  WaveformSensor::Config cfg;
+  cfg.offset = 10;
+  cfg.amplitude = 2;
+  cfg.period = kSecond;
+  cfg.noise = 0.0;
+  WaveformSensor sensor(cfg, Rng(1));
+  double min_v = 1e9;
+  double max_v = -1e9;
+  for (int i = 0; i < 100; ++i) {
+    const auto s = sensor.sample(i * (kSecond / 100));
+    const double v = s.field("value", 0);
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+  }
+  EXPECT_NEAR(min_v, 8.0, 0.2);
+  EXPECT_NEAR(max_v, 12.0, 0.2);
+}
+
+TEST(WaveformSensor, PeriodRespected) {
+  WaveformSensor::Config cfg;
+  cfg.amplitude = 1;
+  cfg.period = kSecond;
+  cfg.noise = 0;
+  WaveformSensor sensor(cfg, Rng(1));
+  const double v0 = sensor.sample(0).field("value", 0);
+  const double v_full = sensor.sample(kSecond).field("value", 0);
+  EXPECT_NEAR(v0, v_full, 1e-9);
+  const double v_quarter = sensor.sample(kSecond / 4).field("value", 0);
+  EXPECT_NEAR(v_quarter, 1.0, 1e-9);
+}
+
+TEST(RandomWalkSensor, StaysWithinBounds) {
+  RandomWalkSensor::Config cfg;
+  cfg.start = 0;
+  cfg.step = 5.0;
+  cfg.min = -10;
+  cfg.max = 10;
+  RandomWalkSensor sensor(cfg, Rng(2));
+  for (int i = 0; i < 1000; ++i) {
+    const double v = sensor.sample(0).field("value", 0);
+    EXPECT_GE(v, -10.0);
+    EXPECT_LE(v, 10.0);
+  }
+}
+
+TEST(RandomWalkSensor, IsDeterministicPerSeed) {
+  RandomWalkSensor::Config cfg;
+  RandomWalkSensor a(cfg, Rng(3));
+  RandomWalkSensor b(cfg, Rng(3));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.sample(0), b.sample(0));
+  }
+}
+
+TEST(ActivitySensor, EmitsLabelsFromStateSet) {
+  ActivitySensor sensor(ActivitySensor::default_states(), Rng(4));
+  std::set<std::string> labels;
+  for (int i = 0; i < 2000; ++i) {
+    labels.insert(sensor.sample(0).label);
+  }
+  // All four states should be visited over 2000 ticks.
+  EXPECT_EQ(labels.size(), 4u);
+  EXPECT_TRUE(labels.count("walking"));
+  EXPECT_TRUE(labels.count("falling"));
+}
+
+TEST(ActivitySensor, EmitsThreeAxes) {
+  ActivitySensor sensor(ActivitySensor::default_states(), Rng(5));
+  const auto s = sensor.sample(0);
+  EXPECT_EQ(s.fields.size(), 3u);
+  EXPECT_NE(s.field("ax", -999), -999);
+  EXPECT_NE(s.field("ay", -999), -999);
+  EXPECT_NE(s.field("az", -999), -999);
+}
+
+TEST(ActivitySensor, LabelsSeparableByEmissions) {
+  // sitting and falling emissions are far apart: averaging many samples
+  // per label should recover distinct means.
+  ActivitySensor sensor(ActivitySensor::default_states(), Rng(6));
+  double sit_az = 0;
+  int sit_n = 0;
+  double fall_ax = 0;
+  int fall_n = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto s = sensor.sample(0);
+    if (s.label == "sitting") {
+      sit_az += s.field("az", 0);
+      ++sit_n;
+    } else if (s.label == "falling") {
+      fall_ax += s.field("ax", 0);
+      ++fall_n;
+    }
+  }
+  ASSERT_GT(sit_n, 10);
+  ASSERT_GT(fall_n, 10);
+  EXPECT_NEAR(sit_az / sit_n, 9.8, 0.5);
+  EXPECT_NEAR(fall_ax / fall_n, 4.0, 1.5);
+}
+
+TEST(ConstantSensor, HoldsValueWithNoise) {
+  ConstantSensor sensor("lvl", 5.0, 0.01, Rng(7));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(sensor.sample(0).field("lvl", 0), 5.0, 0.1);
+  }
+}
+
+TEST(SensorFactory, KnownKinds) {
+  for (const char* kind : {"waveform", "random_walk", "activity", "constant"}) {
+    auto m = make_sensor_model(kind, Rng(8));
+    ASSERT_TRUE(m.ok()) << kind;
+    EXPECT_STREQ(m.value()->kind(), kind);
+  }
+}
+
+TEST(SensorFactory, UnknownKindFails) {
+  auto m = make_sensor_model("quantum", Rng(9));
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.error().code, Errc::kNotFound);
+}
+
+TEST(ActuatorSink, RecordsCommandsWithLatency) {
+  ActuatorSink sink("alarm", from_millis(5));
+  Sample s;
+  s.source = "detector";
+  s.sensed_at = 100 * kMillisecond;
+  s.label = "anomaly";
+  s.fields = {{"score", 4.2}};
+  sink.apply(200 * kMillisecond, s);
+  ASSERT_EQ(sink.count(), 1u);
+  const auto& rec = sink.records()[0];
+  EXPECT_EQ(rec.at, 200 * kMillisecond + from_millis(5));
+  EXPECT_EQ(rec.sensed_at, 100 * kMillisecond);
+  EXPECT_EQ(rec.source, "detector");
+  EXPECT_DOUBLE_EQ(rec.value, 4.2);
+  EXPECT_EQ(rec.label, "anomaly");
+}
+
+TEST(ActuatorSink, ClearResets) {
+  ActuatorSink sink("x");
+  sink.apply(0, Sample{});
+  sink.clear();
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+}  // namespace
+}  // namespace ifot::device

@@ -1,0 +1,150 @@
+#include "mgmt/paper_experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mgmt/report.hpp"
+#include "recipe/parser.hpp"
+
+namespace ifot::mgmt {
+namespace {
+
+TEST(PaperRecipe, ParsesAtAllSweptRates) {
+  for (double rate : {5.0, 10.0, 20.0, 40.0, 80.0}) {
+    auto r = recipe::parse(paper_recipe_text(rate, "arow"));
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    EXPECT_EQ(r.value().nodes.size(), 6u);  // 3 sensors, train, predict, act
+  }
+}
+
+TEST(PaperRecipe, ParallelVariantParses) {
+  auto r = recipe::parse(paper_recipe_text(40, "arow", 3, 2));
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  auto g = recipe::split_recipe(r.value());
+  ASSERT_TRUE(g.ok());
+  // 3 sensors + 3 train shards + 2 predict shards + 1 actuator.
+  EXPECT_EQ(g.value().tasks.size(), 9u);
+}
+
+TEST(PaperReference, TablesMatchPaperText) {
+  const auto& t2 = paper_table2_reference();
+  ASSERT_EQ(t2.size(), 5u);
+  EXPECT_DOUBLE_EQ(t2[0].avg_ms, 58.969);
+  EXPECT_DOUBLE_EQ(t2[3].avg_ms, 1123.317);
+  const auto& t3 = paper_table3_reference();
+  EXPECT_DOUBLE_EQ(t3[4].avg_ms, 1144.580);
+  EXPECT_DOUBLE_EQ(t3[4].max_ms, 1249.122);
+}
+
+/// One short sweep shared by the shape tests (the experiment is the
+/// expensive part; run it once).
+class SweepTest : public ::testing::Test {
+ protected:
+  static const PaperExperimentResult& result() {
+    static const PaperExperimentResult kResult = [] {
+      PaperExperimentConfig cfg;
+      cfg.rates_hz = {5, 10, 40};
+      cfg.duration = 10 * kSecond;
+      cfg.stall_mean_interval = 0;  // shape tests want a noiseless CPU
+      return run_paper_experiment(cfg);
+    }();
+    return kResult;
+  }
+};
+
+TEST_F(SweepTest, CompletionsRecordedAtEveryRate) {
+  for (const auto& rr : result().rates) {
+    EXPECT_GT(rr.train.count(), 10u) << rr.rate_hz;
+    EXPECT_GT(rr.predict.count(), 10u) << rr.rate_hz;
+    EXPECT_GT(rr.actuations, 10u) << rr.rate_hz;
+    EXPECT_GT(rr.samples_emitted, 0u) << rr.rate_hz;
+  }
+}
+
+TEST_F(SweepTest, LowRateIsRealTime) {
+  const auto& low = result().rates[0];
+  EXPECT_LT(low.train.avg_ms(), 150.0);
+  EXPECT_LT(low.predict.avg_ms(), 150.0);
+}
+
+TEST_F(SweepTest, FlatRegionBetween5And10Hz) {
+  const auto& r5 = result().rates[0];
+  const auto& r10 = result().rates[1];
+  // The paper's Tables II/III: 5 and 10 Hz are nearly identical.
+  EXPECT_LT(std::abs(r10.train.avg_ms() - r5.train.avg_ms()),
+            0.5 * r5.train.avg_ms());
+}
+
+TEST_F(SweepTest, TrainingSaturatesAt40Hz) {
+  const auto& r5 = result().rates[0];
+  const auto& r40 = result().rates[2];
+  EXPECT_GT(r40.train.avg_ms(), 5 * r5.train.avg_ms());
+  EXPECT_GT(r40.train_module_util, 0.95);  // CPU pinned
+}
+
+TEST_F(SweepTest, PredictingCheaperThanTraining) {
+  const auto& r40 = result().rates[2];
+  EXPECT_LT(r40.predict.avg_ms(), r40.train.avg_ms());
+}
+
+TEST_F(SweepTest, UtilizationOrdering) {
+  // Broker handles every message but routing is cheap; train is the
+  // bottleneck at high rates.
+  const auto& r40 = result().rates[2];
+  EXPECT_GT(r40.train_module_util, r40.broker_module_util);
+}
+
+TEST_F(SweepTest, ReportsRender) {
+  const std::string t2 = format_paper_table(result(), /*training=*/true);
+  EXPECT_NE(t2.find("Table II"), std::string::npos);
+  EXPECT_NE(t2.find("paper avg"), std::string::npos);
+  const std::string t3 = format_paper_table(result(), /*training=*/false);
+  EXPECT_NE(t3.find("Table III"), std::string::npos);
+  const std::string verdict = shape_verdict(result());
+  EXPECT_EQ(verdict.find("FAIL"), std::string::npos) << verdict;
+}
+
+TEST(TableTest, RendersAlignedAndCsv) {
+  Table t({"a", "long_header", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"wide cell", "x"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a "), std::string::npos);
+  EXPECT_NE(s.find("long_header"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("a,long_header,c"), std::string::npos);
+  EXPECT_NE(csv.find("1,2,3"), std::string::npos);
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+}
+
+TEST(Experiment, StallModelRaisesMaxMuchMoreThanAvg) {
+  PaperExperimentConfig quiet;
+  quiet.rates_hz = {5};
+  quiet.duration = 20 * kSecond;
+  quiet.stall_mean_interval = 0;
+  PaperExperimentConfig stally = quiet;
+  stally.stall_mean_interval = 10 * kSecond;
+  stally.stall_min = from_millis(150);
+  stally.stall_max = from_millis(320);
+  const auto base = run_paper_experiment(quiet);
+  const auto noisy = run_paper_experiment(stally);
+  // Max blows out toward the paper's ~350 ms...
+  EXPECT_GT(noisy.rates[0].train.max_ms(), base.rates[0].train.max_ms() + 100);
+  // ...while the average moves only a little (the paper's 59 ms avg).
+  EXPECT_LT(noisy.rates[0].train.avg_ms(),
+            base.rates[0].train.avg_ms() + 30);
+}
+
+TEST(Experiment, DeterministicForSeed) {
+  PaperExperimentConfig cfg;
+  cfg.rates_hz = {10};
+  cfg.duration = 5 * kSecond;
+  cfg.seed = 123;
+  const auto a = run_paper_experiment(cfg);
+  const auto b = run_paper_experiment(cfg);
+  ASSERT_EQ(a.rates.size(), 1u);
+  EXPECT_EQ(a.rates[0].train.samples(), b.rates[0].train.samples());
+  EXPECT_EQ(a.rates[0].predict.samples(), b.rates[0].predict.samples());
+}
+
+}  // namespace
+}  // namespace ifot::mgmt

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "mgmt/report.hpp"
+
+namespace ifot::mgmt {
+namespace {
+
+struct EnvGuard {
+  explicit EnvGuard(const char* value) {
+    if (value == nullptr) {
+      ::unsetenv("IFOT_CSV_DIR");
+    } else {
+      ::setenv("IFOT_CSV_DIR", value, 1);
+    }
+  }
+  ~EnvGuard() { ::unsetenv("IFOT_CSV_DIR"); }
+};
+
+Table sample_table() {
+  Table t({"a", "b"});
+  t.add_row({"1", "x"});
+  t.add_row({"2", "y"});
+  return t;
+}
+
+TEST(CsvExport, NoopWithoutEnv) {
+  EnvGuard guard(nullptr);
+  EXPECT_EQ(maybe_write_csv("nope", sample_table()), "");
+}
+
+TEST(CsvExport, WritesFileUnderDir) {
+  EnvGuard guard("/tmp");
+  const std::string path = maybe_write_csv("ifot_csv_test", sample_table());
+  ASSERT_EQ(path, "/tmp/ifot_csv_test.csv");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,x");
+  in.close();
+  std::remove(path.c_str());
+}
+
+TEST(CsvExport, UnwritableDirFailsGracefully) {
+  EnvGuard guard("/nonexistent/dir");
+  EXPECT_EQ(maybe_write_csv("x", sample_table()), "");
+}
+
+}  // namespace
+}  // namespace ifot::mgmt

@@ -1,0 +1,117 @@
+#include "ml/anomaly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace ifot::ml {
+namespace {
+
+FeatureVector fv1(double x) {
+  FeatureVector fv;
+  fv.set(0, x);
+  return fv;
+}
+
+FeatureVector fv2(double x, double y) {
+  FeatureVector fv;
+  fv.set(0, x);
+  fv.set(1, y);
+  return fv;
+}
+
+TEST(ZScore, SilentDuringWarmup) {
+  ZScoreDetector det(/*min_samples=*/10);
+  Rng rng(1);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_DOUBLE_EQ(det.add(fv1(rng.normal(0, 1))), 0.0);
+  }
+}
+
+TEST(ZScore, FlagsObviousOutlier) {
+  ZScoreDetector det(10);
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) det.add(fv1(rng.normal(10, 1)));
+  const double normal_score = det.score(fv1(10.5));
+  const double outlier_score = det.score(fv1(25.0));
+  EXPECT_LT(normal_score, 3.0);
+  EXPECT_GT(outlier_score, 10.0);
+}
+
+TEST(ZScore, ScoreIsMaxAcrossFeatures) {
+  ZScoreDetector det(5);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    det.add(fv2(rng.normal(0, 1), rng.normal(100, 5)));
+  }
+  // Outlier only in the second feature.
+  const double s = det.score(fv2(0.0, 200.0));
+  EXPECT_GT(s, 10.0);
+}
+
+TEST(ZScore, AddReturnsPreUpdateScore) {
+  ZScoreDetector det(2);
+  det.add(fv1(0));
+  det.add(fv1(0.1));
+  det.add(fv1(-0.1));
+  det.add(fv1(0.05));
+  const double spike = det.add(fv1(50));
+  EXPECT_GT(spike, 5.0);
+}
+
+TEST(ZScore, ConstantStreamHasBoundedScores) {
+  ZScoreDetector det(5);
+  for (int i = 0; i < 100; ++i) det.add(fv1(7.0));
+  // Variance ~0 is floored; the same value must not look anomalous in a
+  // pathological way: score of the same constant is 0.
+  EXPECT_DOUBLE_EQ(det.score(fv1(7.0)), 0.0);
+}
+
+TEST(Lof, InlierNearOneOutlierLarge) {
+  LofDetector det(/*k=*/5, /*window=*/128);
+  Rng rng(5);
+  // Tight cluster around origin.
+  for (int i = 0; i < 100; ++i) {
+    det.add(fv2(rng.normal(0, 0.5), rng.normal(0, 0.5)));
+  }
+  const double inlier = det.score(fv2(0.1, -0.2));
+  const double outlier = det.score(fv2(30, 30));
+  EXPECT_LT(inlier, 2.0);
+  EXPECT_GT(outlier, 5.0);
+  EXPECT_GT(outlier, inlier * 3);
+}
+
+TEST(Lof, ReturnsNeutralUntilWindowFills) {
+  LofDetector det(10, 64);
+  EXPECT_DOUBLE_EQ(det.add(fv1(1)), 1.0);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_DOUBLE_EQ(det.add(fv1(static_cast<double>(i))), 1.0);
+  }
+}
+
+TEST(Lof, WindowEvictsOldPoints) {
+  LofDetector det(3, /*window=*/16);
+  for (int i = 0; i < 64; ++i) det.add(fv1(static_cast<double>(i)));
+  EXPECT_EQ(det.size(), 16u);
+}
+
+TEST(Lof, TwoClustersBothInliers) {
+  LofDetector det(5, 256);
+  Rng rng(6);
+  for (int i = 0; i < 60; ++i) {
+    det.add(fv2(rng.normal(0, 0.3), rng.normal(0, 0.3)));
+    det.add(fv2(rng.normal(10, 0.3), rng.normal(10, 0.3)));
+  }
+  EXPECT_LT(det.score(fv2(0, 0)), 2.5);
+  EXPECT_LT(det.score(fv2(10, 10)), 2.5);
+  EXPECT_GT(det.score(fv2(5, 5)), 3.0);  // between the clusters
+}
+
+TEST(Lof, CoincidentPointsAreInliers) {
+  LofDetector det(3, 64);
+  for (int i = 0; i < 20; ++i) det.add(fv1(1.0));
+  EXPECT_LE(det.score(fv1(1.0)), 1.5);
+}
+
+}  // namespace
+}  // namespace ifot::ml

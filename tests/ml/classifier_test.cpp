@@ -1,0 +1,214 @@
+#include "ml/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace ifot::ml {
+namespace {
+
+FeatureVector fv2(double x, double y) {
+  FeatureVector fv;
+  fv.set(0, x);
+  fv.set(1, y);
+  return fv;
+}
+
+/// Linearly separable two-class stream: label by sign of x + y.
+struct SeparableStream {
+  Rng rng{42};
+  std::pair<FeatureVector, std::string> next() {
+    const double x = rng.uniform(-1, 1);
+    const double y = rng.uniform(-1, 1);
+    return {fv2(x, y), x + y > 0 ? "pos" : "neg"};
+  }
+};
+
+class ClassifierAlgoTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ClassifierAlgoTest, FactoryProducesNamedAlgorithm) {
+  auto clf = make_classifier(GetParam());
+  ASSERT_NE(clf, nullptr);
+  EXPECT_STREQ(clf->name(), GetParam());
+}
+
+TEST_P(ClassifierAlgoTest, LearnsLinearlySeparableData) {
+  auto clf = make_classifier(GetParam());
+  ASSERT_NE(clf, nullptr);
+  SeparableStream stream;
+  for (int i = 0; i < 2000; ++i) {
+    auto [fv, label] = stream.next();
+    clf->train(fv, label);
+  }
+  int correct = 0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    auto [fv, label] = stream.next();
+    if (clf->classify(fv).label == label) ++correct;
+  }
+  EXPECT_GT(correct, n * 9 / 10)
+      << GetParam() << " accuracy " << (100.0 * correct / n) << "%";
+}
+
+TEST_P(ClassifierAlgoTest, MultiClassQuadrants) {
+  auto clf = make_classifier(GetParam());
+  ASSERT_NE(clf, nullptr);
+  Rng rng(7);
+  auto quadrant = [](double x, double y) -> std::string {
+    if (x >= 0 && y >= 0) return "q1";
+    if (x < 0 && y >= 0) return "q2";
+    if (x < 0 && y < 0) return "q3";
+    return "q4";
+  };
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.uniform(-1, 1);
+    const double y = rng.uniform(-1, 1);
+    // Keep a margin around the axes so the problem is cleanly separable.
+    if (std::abs(x) < 0.1 || std::abs(y) < 0.1) continue;
+    clf->train(fv2(x, y), quadrant(x, y));
+  }
+  int correct = 0;
+  int total = 0;
+  while (total < 400) {
+    const double x = rng.uniform(-1, 1);
+    const double y = rng.uniform(-1, 1);
+    if (std::abs(x) < 0.15 || std::abs(y) < 0.15) continue;
+    ++total;
+    if (clf->classify(fv2(x, y)).label == quadrant(x, y)) ++correct;
+  }
+  EXPECT_GT(correct, total * 4 / 5) << GetParam();
+}
+
+TEST_P(ClassifierAlgoTest, UpdateCountTracksTraining) {
+  auto clf = make_classifier(GetParam());
+  ASSERT_NE(clf, nullptr);
+  EXPECT_EQ(clf->model().update_count(), 0u);
+  clf->train(fv2(1, 0), "a");
+  clf->train(fv2(0, 1), "b");
+  EXPECT_EQ(clf->model().update_count(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ClassifierAlgoTest,
+                         ::testing::Values("perceptron", "pa", "pa1", "pa2",
+                                           "cw", "arow"));
+
+TEST(Classifier, EmptyModelClassifiesToEmptyLabel) {
+  Perceptron clf;
+  const auto result = clf.classify(fv2(1, 1));
+  EXPECT_EQ(result.label, "");
+  EXPECT_DOUBLE_EQ(result.score, 0);
+}
+
+TEST(Classifier, SingleLabelModelPredictsThatLabel) {
+  Arow clf;
+  clf.train(fv2(1, 1), "only");
+  EXPECT_EQ(clf.classify(fv2(0.5, 0.5)).label, "only");
+}
+
+TEST(Classifier, MarginIsBestMinusRunnerUp) {
+  PassiveAggressive clf;
+  SeparableStream stream;
+  for (int i = 0; i < 500; ++i) {
+    auto [fv, label] = stream.next();
+    clf.train(fv, label);
+  }
+  const auto strong = clf.classify(fv2(1.0, 1.0));
+  const auto weak = clf.classify(fv2(0.01, 0.01));
+  EXPECT_GT(strong.margin, weak.margin);
+}
+
+TEST(Classifier, PerceptronOnlyUpdatesOnMistakes) {
+  Perceptron clf;
+  clf.train(fv2(1, 0), "a");
+  clf.train(fv2(-1, 0), "b");
+  // Now (1,0)->a scores positive; a correct margin>0 example must not
+  // change the weights.
+  const auto before = clf.model().weights(0).w;
+  clf.train(fv2(2, 0), "a");
+  EXPECT_EQ(clf.model().weights(0).w, before);
+}
+
+TEST(Classifier, PaAggressivenessOrdering) {
+  // On the same single mistake, PA (unbounded tau) moves at least as far
+  // as PA-I with small C.
+  PassiveAggressive pa(PassiveAggressive::Variant::kPA);
+  PassiveAggressive pa1(PassiveAggressive::Variant::kPA1, 0.01);
+  for (auto* clf : {static_cast<Classifier*>(&pa),
+                    static_cast<Classifier*>(&pa1)}) {
+    clf->train(fv2(1, 0), "a");
+    clf->train(fv2(-1, 0), "b");
+    clf->train(fv2(1, 0), "a");
+  }
+  const double wa_pa = pa.model().weights(0).w.at(0);
+  const double wa_pa1 = pa1.model().weights(0).w.at(0);
+  EXPECT_GE(wa_pa, wa_pa1);
+}
+
+TEST(Classifier, ArowShrinksConfidence) {
+  Arow clf(0.1);
+  clf.train(fv2(1, 0), "a");
+  clf.train(fv2(-1, 0), "b");
+  clf.train(fv2(1, 0), "a");
+  // Sigma for feature 0 must have decreased from the prior 1.0.
+  const auto& sigma = clf.model().weights(0).sigma;
+  ASSERT_TRUE(sigma.count(0));
+  EXPECT_LT(sigma.at(0), 1.0);
+  EXPECT_GT(sigma.at(0), 0.0);
+}
+
+TEST(Classifier, CwShrinksConfidence) {
+  ConfidenceWeighted clf(1.0);
+  clf.train(fv2(1, 0), "a");
+  clf.train(fv2(-1, 0), "b");
+  clf.train(fv2(1, 0), "a");
+  const auto& sigma = clf.model().weights(0).sigma;
+  ASSERT_TRUE(sigma.count(0));
+  EXPECT_LT(sigma.at(0), 1.0);
+  EXPECT_GT(sigma.at(0), 0.0);
+}
+
+TEST(Classifier, ArowRobustToLabelNoise) {
+  // AROW's selling point: with 10% flipped labels it still learns.
+  Arow arow(0.1);
+  Rng rng(3);
+  SeparableStream stream;
+  for (int i = 0; i < 3000; ++i) {
+    auto [fv, label] = stream.next();
+    if (rng.chance(0.10)) label = label == "pos" ? "neg" : "pos";
+    arow.train(fv, label);
+  }
+  int correct = 0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    auto [fv, label] = stream.next();
+    if (arow.classify(fv).label == label) ++correct;
+  }
+  EXPECT_GT(correct, n * 85 / 100);
+}
+
+TEST(Classifier, FactoryRejectsUnknown) {
+  EXPECT_EQ(make_classifier("svm"), nullptr);
+  EXPECT_EQ(make_classifier(""), nullptr);
+}
+
+TEST(Classifier, SetModelReplacesState) {
+  Perceptron a;
+  a.train(fv2(1, 0), "x");
+  a.train(fv2(-1, 0), "y");
+  Perceptron b;
+  b.set_model(a.model());
+  EXPECT_EQ(b.classify(fv2(1, 0)).label, a.classify(fv2(1, 0)).label);
+}
+
+TEST(Classifier, ZeroVectorTrainIsSafe) {
+  PassiveAggressive clf;
+  clf.train(FeatureVector{}, "a");
+  clf.train(FeatureVector{}, "b");
+  clf.train(FeatureVector{}, "a");  // norm2 == 0 path
+  EXPECT_EQ(clf.model().label_count(), 2u);
+}
+
+}  // namespace
+}  // namespace ifot::ml

@@ -1,0 +1,112 @@
+#include "ml/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace ifot::ml {
+namespace {
+
+FeatureVector fv2(double x, double y) {
+  FeatureVector fv;
+  fv.set(0, x);
+  fv.set(1, y);
+  return fv;
+}
+
+TEST(SequentialKMeans, SeedsWithFirstDistinctPoints) {
+  SequentialKMeans km(3);
+  EXPECT_EQ(km.add(fv2(0, 0)), 0u);
+  EXPECT_EQ(km.add(fv2(10, 0)), 1u);
+  EXPECT_EQ(km.add(fv2(0, 10)), 2u);
+  EXPECT_EQ(km.cluster_count(), 3u);
+}
+
+TEST(SequentialKMeans, DuplicateSeedPointDoesNotCreateCluster) {
+  SequentialKMeans km(3);
+  km.add(fv2(1, 1));
+  km.add(fv2(1, 1));
+  EXPECT_EQ(km.cluster_count(), 1u);
+  EXPECT_EQ(km.count(0), 2u);
+}
+
+TEST(SequentialKMeans, AssignsToNearestCentroid) {
+  SequentialKMeans km(2);
+  km.add(fv2(0, 0));
+  km.add(fv2(100, 100));
+  EXPECT_EQ(km.assign(fv2(1, 2)), 0u);
+  EXPECT_EQ(km.assign(fv2(99, 98)), 1u);
+}
+
+TEST(SequentialKMeans, AssignOnEmptyIsInvalid) {
+  SequentialKMeans km(2);
+  EXPECT_EQ(km.assign(fv2(0, 0)), SIZE_MAX);
+  EXPECT_TRUE(std::isinf(km.nearest_distance2(fv2(0, 0))));
+}
+
+TEST(SequentialKMeans, CentroidsConvergeToClusterMeans) {
+  SequentialKMeans km(2);
+  Rng rng(8);
+  for (int i = 0; i < 4000; ++i) {
+    km.add(fv2(rng.normal(0, 0.5), rng.normal(0, 0.5)));
+    km.add(fv2(rng.normal(20, 0.5), rng.normal(20, 0.5)));
+  }
+  // One centroid near (0,0), the other near (20,20) (order unspecified).
+  std::set<std::size_t> near_origin;
+  std::set<std::size_t> near_far;
+  for (std::size_t c = 0; c < 2; ++c) {
+    const auto& cent = km.centroid(c);
+    const double d0 = cent.get(0) * cent.get(0) + cent.get(1) * cent.get(1);
+    const double d20 = (cent.get(0) - 20) * (cent.get(0) - 20) +
+                       (cent.get(1) - 20) * (cent.get(1) - 20);
+    if (d0 < 1.0) near_origin.insert(c);
+    if (d20 < 1.0) near_far.insert(c);
+  }
+  EXPECT_EQ(near_origin.size(), 1u);
+  EXPECT_EQ(near_far.size(), 1u);
+}
+
+TEST(SequentialKMeans, CountsAccumulatePerCluster) {
+  SequentialKMeans km(2);
+  km.add(fv2(0, 0));
+  km.add(fv2(10, 10));
+  km.add(fv2(0.1, 0.1));
+  km.add(fv2(0.2, -0.1));
+  EXPECT_EQ(km.count(0), 3u);
+  EXPECT_EQ(km.count(1), 1u);
+}
+
+TEST(SequentialKMeans, NearestDistanceShrinksWithMoreData) {
+  SequentialKMeans km(1);
+  km.add(fv2(0, 0));
+  km.add(fv2(2, 0));  // centroid moves to (1,0)
+  const double d = km.nearest_distance2(fv2(1, 0));
+  EXPECT_LT(d, 0.01);
+}
+
+TEST(SequentialKMeans, MacQueenUpdateMovesByInverseCount) {
+  SequentialKMeans km(1);
+  km.add(fv2(0, 0));       // centroid (0,0), count 1
+  km.add(fv2(4, 0));       // count 2, eta 1/2 -> centroid (2,0)
+  EXPECT_DOUBLE_EQ(km.centroid(0).get(0), 2.0);
+  km.add(fv2(5, 0));       // count 3, eta 1/3 -> centroid (3,0)
+  EXPECT_DOUBLE_EQ(km.centroid(0).get(0), 3.0);
+}
+
+TEST(SequentialKMeans, HandlesSparseDisjointSupports) {
+  SequentialKMeans km(1);
+  FeatureVector a;
+  a.set(0, 2.0);
+  FeatureVector b;
+  b.set(5, 4.0);
+  km.add(a);
+  km.add(b);  // centroid should be (1.0 @0, 2.0 @5)
+  EXPECT_DOUBLE_EQ(km.centroid(0).get(0), 1.0);
+  EXPECT_DOUBLE_EQ(km.centroid(0).get(5), 2.0);
+}
+
+}  // namespace
+}  // namespace ifot::ml

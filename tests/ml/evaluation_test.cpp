@@ -1,0 +1,97 @@
+#include "ml/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace ifot::ml {
+namespace {
+
+TEST(ConfusionMatrix, EmptyIsZero) {
+  ConfusionMatrix m;
+  EXPECT_EQ(m.total(), 0u);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0);
+  EXPECT_DOUBLE_EQ(m.precision("x"), 0);
+  EXPECT_DOUBLE_EQ(m.recall("x"), 0);
+  EXPECT_DOUBLE_EQ(m.macro_recall(), 0);
+}
+
+TEST(ConfusionMatrix, PerfectPredictions) {
+  ConfusionMatrix m;
+  for (int i = 0; i < 10; ++i) {
+    m.record("a", "a");
+    m.record("b", "b");
+  }
+  EXPECT_EQ(m.total(), 20u);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(m.precision("a"), 1.0);
+  EXPECT_DOUBLE_EQ(m.recall("b"), 1.0);
+  EXPECT_DOUBLE_EQ(m.macro_recall(), 1.0);
+}
+
+TEST(ConfusionMatrix, KnownCounts) {
+  // truth a: 8 correct, 2 predicted b. truth b: 6 correct, 4 predicted a.
+  ConfusionMatrix m;
+  for (int i = 0; i < 8; ++i) m.record("a", "a");
+  for (int i = 0; i < 2; ++i) m.record("a", "b");
+  for (int i = 0; i < 6; ++i) m.record("b", "b");
+  for (int i = 0; i < 4; ++i) m.record("b", "a");
+  EXPECT_EQ(m.count("a", "a"), 8u);
+  EXPECT_EQ(m.count("a", "b"), 2u);
+  EXPECT_EQ(m.count("b", "a"), 4u);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 14.0 / 20.0);
+  EXPECT_DOUBLE_EQ(m.recall("a"), 0.8);
+  EXPECT_DOUBLE_EQ(m.recall("b"), 0.6);
+  EXPECT_DOUBLE_EQ(m.precision("a"), 8.0 / 12.0);
+  EXPECT_DOUBLE_EQ(m.precision("b"), 6.0 / 8.0);
+  EXPECT_DOUBLE_EQ(m.macro_recall(), 0.7);
+}
+
+TEST(ConfusionMatrix, LabelsGrowDynamically) {
+  ConfusionMatrix m;
+  m.record("a", "a");
+  m.record("b", "c");  // two new labels in one record
+  EXPECT_EQ(m.labels().size(), 3u);
+  EXPECT_EQ(m.count("b", "c"), 1u);
+  EXPECT_EQ(m.count("a", "a"), 1u);  // earlier cells survive growth
+  m.record("d", "a");
+  EXPECT_EQ(m.count("a", "a"), 1u);
+  EXPECT_EQ(m.count("d", "a"), 1u);
+}
+
+TEST(ConfusionMatrix, PredictedOnlyLabelExcludedFromMacroRecall) {
+  ConfusionMatrix m;
+  m.record("a", "a");
+  m.record("a", "ghost");  // "ghost" never appears as truth
+  EXPECT_DOUBLE_EQ(m.macro_recall(), 0.5);  // only label "a" counts
+}
+
+TEST(ConfusionMatrix, RendersTable) {
+  ConfusionMatrix m;
+  m.record("walk", "walk");
+  m.record("fall", "walk");
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("walk"), std::string::npos);
+  EXPECT_NE(s.find("fall"), std::string::npos);
+}
+
+TEST(Evaluate, ScoresTrainedClassifier) {
+  Arow clf;
+  Rng rng(77);
+  std::vector<std::pair<FeatureVector, std::string>> train_set;
+  std::vector<std::pair<FeatureVector, std::string>> test_set;
+  for (int i = 0; i < 2200; ++i) {
+    FeatureVector fv;
+    const double x = rng.uniform(-1, 1);
+    fv.set(0, x);
+    auto& dst = i < 2000 ? train_set : test_set;
+    dst.emplace_back(fv, x > 0 ? "pos" : "neg");
+  }
+  for (const auto& [fv, label] : train_set) clf.train(fv, label);
+  const auto result = evaluate(clf, test_set);
+  EXPECT_GT(result.accuracy, 0.9);
+  EXPECT_EQ(result.matrix.total(), test_set.size());
+}
+
+}  // namespace
+}  // namespace ifot::ml

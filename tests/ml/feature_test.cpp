@@ -1,0 +1,101 @@
+#include "ml/feature.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ifot::ml {
+namespace {
+
+TEST(FeatureVector, SetAndGet) {
+  FeatureVector fv;
+  fv.set(3, 1.5);
+  fv.set(1, -2.0);
+  fv.set(3, 4.0);  // replace
+  EXPECT_EQ(fv.size(), 2u);
+  EXPECT_DOUBLE_EQ(fv.get(1), -2.0);
+  EXPECT_DOUBLE_EQ(fv.get(3), 4.0);
+  EXPECT_DOUBLE_EQ(fv.get(99), 0.0);
+}
+
+TEST(FeatureVector, ItemsStaySortedById) {
+  FeatureVector fv;
+  fv.set(9, 1);
+  fv.set(2, 1);
+  fv.set(5, 1);
+  fv.set(0, 1);
+  FeatureId prev = 0;
+  bool first = true;
+  for (const auto& [id, _] : fv.items()) {
+    if (!first) {
+      EXPECT_GT(id, prev);
+    }
+    prev = id;
+    first = false;
+  }
+}
+
+TEST(FeatureVector, AddAccumulates) {
+  FeatureVector fv;
+  fv.add(7, 1.0);
+  fv.add(7, 2.5);
+  EXPECT_DOUBLE_EQ(fv.get(7), 3.5);
+  fv.add(8, -1.0);
+  EXPECT_DOUBLE_EQ(fv.get(8), -1.0);
+}
+
+TEST(FeatureVector, Norm2) {
+  FeatureVector fv;
+  fv.set(0, 3.0);
+  fv.set(1, 4.0);
+  EXPECT_DOUBLE_EQ(fv.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(FeatureVector{}.norm2(), 0.0);
+}
+
+TEST(FeatureVector, Scale) {
+  FeatureVector fv;
+  fv.set(0, 2.0);
+  fv.set(1, -1.0);
+  fv.scale(3.0);
+  EXPECT_DOUBLE_EQ(fv.get(0), 6.0);
+  EXPECT_DOUBLE_EQ(fv.get(1), -3.0);
+}
+
+TEST(FeatureVector, EqualityAndClear) {
+  FeatureVector a;
+  FeatureVector b;
+  a.set(1, 2);
+  b.set(1, 2);
+  EXPECT_EQ(a, b);
+  b.set(2, 3);
+  EXPECT_NE(a, b);
+  b.clear();
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(FeatureNames, InternsStably) {
+  FeatureNames names;
+  const FeatureId a = names.id_of("temp");
+  const FeatureId b = names.id_of("humidity");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(names.id_of("temp"), a);
+  EXPECT_EQ(names.name_of(a), "temp");
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST(FeatureNames, FindWithoutInterning) {
+  FeatureNames names;
+  EXPECT_EQ(names.find("missing"), FeatureNames::kMissing);
+  names.id_of("present");
+  EXPECT_NE(names.find("present"), FeatureNames::kMissing);
+  EXPECT_EQ(names.size(), 1u);
+}
+
+TEST(FeatureBuilder, BuildsThroughSharedNames) {
+  FeatureNames names;
+  FeatureBuilder builder(names);
+  auto fv = builder.set("x", 1.0).set("y", 2.0).build();
+  EXPECT_DOUBLE_EQ(fv.get(names.find("x")), 1.0);
+  EXPECT_DOUBLE_EQ(fv.get(names.find("y")), 2.0);
+}
+
+}  // namespace
+}  // namespace ifot::ml

@@ -1,0 +1,124 @@
+#include "ml/mix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ml/classifier.hpp"
+
+namespace ifot::ml {
+namespace {
+
+FeatureVector fv2(double x, double y) {
+  FeatureVector fv;
+  fv.set(0, x);
+  fv.set(1, y);
+  return fv;
+}
+
+LinearModel single_label_model(const std::string& label, double w0,
+                               std::uint64_t updates) {
+  LinearModel m;
+  const std::size_t i = m.label_index(label);
+  m.weights(i).w[0] = w0;
+  m.set_update_count(updates);
+  return m;
+}
+
+TEST(Mix, EmptyInputGivesEmptyModel) {
+  const LinearModel m = mix_models(std::vector<LinearModel>{});
+  EXPECT_EQ(m.label_count(), 0u);
+}
+
+TEST(Mix, SingleModelPassesThrough) {
+  auto a = single_label_model("x", 2.0, 5);
+  const LinearModel m = mix_models({a});
+  ASSERT_EQ(m.label_count(), 1u);
+  EXPECT_DOUBLE_EQ(m.weights(0).w.at(0), 2.0);
+  EXPECT_EQ(m.update_count(), 5u);
+}
+
+TEST(Mix, UniformAverageWhenNoUpdates) {
+  auto a = single_label_model("x", 2.0, 0);
+  auto b = single_label_model("x", 4.0, 0);
+  const LinearModel m = mix_models({a, b});
+  EXPECT_DOUBLE_EQ(m.weights(0).w.at(0), 3.0);
+}
+
+TEST(Mix, WeightedByUpdateCounts) {
+  auto a = single_label_model("x", 2.0, 30);
+  auto b = single_label_model("x", 4.0, 10);
+  const LinearModel m = mix_models({a, b});
+  // (30*2 + 10*4) / 40 = 2.5
+  EXPECT_DOUBLE_EQ(m.weights(0).w.at(0), 2.5);
+  EXPECT_EQ(m.update_count(), 40u);
+}
+
+TEST(Mix, UnionsLabels) {
+  auto a = single_label_model("x", 2.0, 1);
+  auto b = single_label_model("y", -1.0, 1);
+  const LinearModel m = mix_models({a, b});
+  EXPECT_EQ(m.label_count(), 2u);
+  EXPECT_NE(m.find_label("x"), SIZE_MAX);
+  EXPECT_NE(m.find_label("y"), SIZE_MAX);
+  // Missing label in one model contributes zero weight.
+  EXPECT_DOUBLE_EQ(m.weights(m.find_label("x")).w.at(0), 1.0);
+}
+
+TEST(Mix, SigmaAveragedWithPriorForMissing) {
+  LinearModel a;
+  a.weights(a.label_index("x")).sigma[0] = 0.2;
+  a.set_update_count(1);
+  LinearModel b;
+  b.label_index("x");  // sigma entry absent -> prior 1.0
+  b.set_update_count(1);
+  const LinearModel m = mix_models({a, b});
+  EXPECT_DOUBLE_EQ(m.weights(0).sigma.at(0), 0.6);
+}
+
+TEST(Mix, MixedModelOutperformsShardsOnPartitionedStreams) {
+  // Two learners each see only half the feature space; the MIX should
+  // classify the whole space better than either shard alone.
+  Arow left;
+  Arow right;
+  Rng rng(21);
+  auto label_of = [](double x, double y) {
+    return x + y > 0 ? std::string("pos") : std::string("neg");
+  };
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.uniform(-1, 1);
+    const double y = rng.uniform(-1, 1);
+    if (x < 0) {
+      left.train(fv2(x, y), label_of(x, y));
+    } else {
+      right.train(fv2(x, y), label_of(x, y));
+    }
+  }
+  Arow mixed;
+  mixed.set_model(mix_models({left.model(), right.model()}));
+  int mixed_ok = 0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform(-1, 1);
+    const double y = rng.uniform(-1, 1);
+    if (mixed.classify(fv2(x, y)).label == label_of(x, y)) ++mixed_ok;
+  }
+  EXPECT_GT(mixed_ok, n * 85 / 100);
+}
+
+TEST(Mix, DeterministicLabelOrder) {
+  auto a = single_label_model("alpha", 1, 1);
+  auto b = single_label_model("beta", 1, 1);
+  const LinearModel m1 = mix_models({a, b});
+  const LinearModel m2 = mix_models({a, b});
+  EXPECT_EQ(m1.label_name(0), m2.label_name(0));
+  EXPECT_EQ(m1, m2);
+}
+
+TEST(Mix, IdempotentOnIdenticalModels) {
+  auto a = single_label_model("x", 3.5, 10);
+  const LinearModel m = mix_models({a, a, a});
+  EXPECT_DOUBLE_EQ(m.weights(0).w.at(0), 3.5);
+}
+
+}  // namespace
+}  // namespace ifot::ml

@@ -1,0 +1,116 @@
+#include "ml/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ml/classifier.hpp"
+
+namespace ifot::ml {
+namespace {
+
+FeatureVector fv2(double x, double y) {
+  FeatureVector fv;
+  fv.set(0, x);
+  fv.set(1, y);
+  return fv;
+}
+
+TEST(ModelCodec, LinearRoundTripEmpty) {
+  LinearModel m;
+  auto decoded = ModelCodec::decode_linear(BytesView(ModelCodec::encode(m)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), m);
+}
+
+TEST(ModelCodec, LinearRoundTripTrainedModel) {
+  Arow clf;
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-1, 1);
+    const double y = rng.uniform(-1, 1);
+    clf.train(fv2(x, y), x > y ? "above" : "below");
+  }
+  const Bytes wire = ModelCodec::encode(clf.model());
+  auto decoded = ModelCodec::decode_linear(BytesView(wire));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(decoded.value(), clf.model());
+
+  // Decoded model must classify identically.
+  Arow clone;
+  clone.set_model(std::move(decoded).value());
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.uniform(-1, 1);
+    const double y = rng.uniform(-1, 1);
+    EXPECT_EQ(clone.classify(fv2(x, y)).label,
+              clf.classify(fv2(x, y)).label);
+  }
+}
+
+TEST(ModelCodec, EncodingIsDeterministic) {
+  Arow clf;
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    clf.train(fv2(rng.uniform(-1, 1), rng.uniform(-1, 1)),
+              rng.chance(0.5) ? "a" : "b");
+  }
+  EXPECT_EQ(ModelCodec::encode(clf.model()), ModelCodec::encode(clf.model()));
+}
+
+TEST(ModelCodec, RejectsTruncatedLinearModel) {
+  LinearModel m;
+  m.label_index("x");
+  Bytes wire = ModelCodec::encode(m);
+  wire.pop_back();
+  EXPECT_FALSE(ModelCodec::decode_linear(BytesView(wire)).ok());
+}
+
+TEST(ModelCodec, RejectsTrailingBytes) {
+  LinearModel m;
+  Bytes wire = ModelCodec::encode(m);
+  wire.push_back(0xEE);
+  EXPECT_FALSE(ModelCodec::decode_linear(BytesView(wire)).ok());
+}
+
+TEST(ModelCodec, RejectsUnknownVersion) {
+  LinearModel m;
+  Bytes wire = ModelCodec::encode(m);
+  wire[0] = 0x7F;
+  auto decoded = ModelCodec::decode_linear(BytesView(wire));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, Errc::kUnsupported);
+}
+
+TEST(ModelCodec, RegressionRoundTrip) {
+  PaRegression reg(1.0, 0.05);
+  Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-1, 1);
+    reg.train(fv2(x, -x), 3 * x);
+  }
+  const Bytes wire = ModelCodec::encode(reg);
+  auto decoded = ModelCodec::decode_regression(BytesView(wire));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().weights(), reg.weights());
+  EXPECT_EQ(decoded.value().update_count(), reg.update_count());
+  EXPECT_DOUBLE_EQ(decoded.value().estimate(fv2(0.5, -0.5)),
+                   reg.estimate(fv2(0.5, -0.5)));
+}
+
+TEST(ModelCodec, RegressionRejectsGarbage) {
+  const Bytes garbage = {0x01, 0x02, 0x03};
+  EXPECT_FALSE(ModelCodec::decode_regression(BytesView(garbage)).ok());
+  EXPECT_FALSE(ModelCodec::decode_linear(BytesView(garbage)).ok());
+  EXPECT_FALSE(ModelCodec::decode_linear(BytesView(Bytes{})).ok());
+}
+
+TEST(ModelCodec, PreservesUpdateCountForMixWeighting) {
+  LinearModel m;
+  m.label_index("x");
+  m.set_update_count(12345);
+  auto decoded = ModelCodec::decode_linear(BytesView(ModelCodec::encode(m)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().update_count(), 12345u);
+}
+
+}  // namespace
+}  // namespace ifot::ml

@@ -1,0 +1,213 @@
+// Property tests for the online-learning substrate, parameterized over
+// (algorithm, seed): learnability on separable data, codec round-trips of
+// randomly trained models, MIX invariances, and clustering conservation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/classifier.hpp"
+#include "ml/cluster.hpp"
+#include "ml/mix.hpp"
+#include "ml/model_io.hpp"
+
+namespace ifot::ml {
+namespace {
+
+FeatureVector random_point(Rng& rng, int dims) {
+  FeatureVector fv;
+  for (int d = 0; d < dims; ++d) {
+    fv.set(static_cast<FeatureId>(d), rng.uniform(-1, 1));
+  }
+  return fv;
+}
+
+using AlgoSeed = std::tuple<const char*, int>;
+
+class ClassifierProperty : public ::testing::TestWithParam<AlgoSeed> {};
+
+TEST_P(ClassifierProperty, LearnsRandomLinearConcepts) {
+  const auto& [algo, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * std::uint64_t{6364136223846793005} + 1);
+  // Random hyperplane in 4 dims with margin.
+  double w[4];
+  for (auto& v : w) v = rng.uniform(-1, 1);
+  auto label_of = [&](const FeatureVector& fv) {
+    double s = 0;
+    for (int d = 0; d < 4; ++d) s += w[d] * fv.get(static_cast<FeatureId>(d));
+    return s > 0 ? std::string("pos") : std::string("neg");
+  };
+  auto margin_of = [&](const FeatureVector& fv) {
+    double s = 0;
+    double norm = 0;
+    for (int d = 0; d < 4; ++d) {
+      s += w[d] * fv.get(static_cast<FeatureId>(d));
+      norm += w[d] * w[d];
+    }
+    return std::abs(s) / std::max(std::sqrt(norm), 1e-9);
+  };
+  auto clf = make_classifier(algo);
+  ASSERT_NE(clf, nullptr);
+  for (int i = 0; i < 3000; ++i) {
+    const auto fv = random_point(rng, 4);
+    if (margin_of(fv) < 0.1) continue;  // keep a margin band
+    clf->train(fv, label_of(fv));
+  }
+  int correct = 0;
+  int total = 0;
+  while (total < 300) {
+    const auto fv = random_point(rng, 4);
+    if (margin_of(fv) < 0.15) continue;
+    ++total;
+    if (clf->classify(fv).label == label_of(fv)) ++correct;
+  }
+  EXPECT_GT(correct, total * 85 / 100) << algo << " seed " << seed;
+}
+
+TEST_P(ClassifierProperty, ModelCodecRoundTripsTrainedState) {
+  const auto& [algo, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 31 + 7);
+  auto clf = make_classifier(algo);
+  ASSERT_NE(clf, nullptr);
+  const char* labels[] = {"a", "b", "c"};
+  for (int i = 0; i < 500; ++i) {
+    clf->train(random_point(rng, 6), labels[rng.below(3)]);
+  }
+  auto decoded =
+      ModelCodec::decode_linear(BytesView(ModelCodec::encode(clf->model())));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), clf->model());
+}
+
+TEST_P(ClassifierProperty, TrainingIsDeterministic) {
+  const auto& [algo, seed] = GetParam();
+  auto run = [&, algo = algo, seed = seed] {
+    Rng rng(static_cast<std::uint64_t>(seed));
+    auto clf = make_classifier(algo);
+    for (int i = 0; i < 300; ++i) {
+      clf->train(random_point(rng, 3), rng.chance(0.5) ? "x" : "y");
+    }
+    return ModelCodec::encode(clf->model());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgoSeeds, ClassifierProperty,
+    ::testing::Combine(::testing::Values("perceptron", "pa", "pa1", "pa2",
+                                         "cw", "arow"),
+                       ::testing::Range(0, 4)));
+
+class MixProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MixProperty, PermutationInvariant) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 3);
+  std::vector<LinearModel> models;
+  for (int m = 0; m < 4; ++m) {
+    Arow clf;
+    for (int i = 0; i < 200; ++i) {
+      clf.train(random_point(rng, 4), rng.chance(0.5) ? "p" : "n");
+    }
+    models.push_back(clf.model());
+  }
+  const LinearModel forward = mix_models(models);
+  std::vector<LinearModel> reversed(models.rbegin(), models.rend());
+  const LinearModel backward = mix_models(reversed);
+  // Same weights regardless of order (label registration order may
+  // differ, so compare per label name).
+  ASSERT_EQ(forward.label_count(), backward.label_count());
+  for (std::size_t li = 0; li < forward.label_count(); ++li) {
+    const std::string& label = forward.label_name(li);
+    const std::size_t bi = backward.find_label(label);
+    ASSERT_NE(bi, SIZE_MAX);
+    for (const auto& [id, v] : forward.weights(li).w) {
+      auto it = backward.weights(bi).w.find(id);
+      ASSERT_NE(it, backward.weights(bi).w.end());
+      EXPECT_NEAR(it->second, v, 1e-12);
+    }
+  }
+  EXPECT_EQ(forward.update_count(), backward.update_count());
+}
+
+TEST_P(MixProperty, MixOfCopiesIsIdentityOnWeights) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 17 + 5);
+  Arow clf;
+  for (int i = 0; i < 300; ++i) {
+    clf.train(random_point(rng, 4), rng.chance(0.5) ? "p" : "n");
+  }
+  const LinearModel mixed = mix_models({clf.model(), clf.model()});
+  for (std::size_t li = 0; li < clf.model().label_count(); ++li) {
+    for (const auto& [id, v] : clf.model().weights(li).w) {
+      EXPECT_NEAR(mixed.weights(li).w.at(id), v, 1e-12);
+    }
+  }
+}
+
+TEST_P(MixProperty, MixedScoresAreConvexCombinations) {
+  // With equal update counts, the mixed score of any point equals the
+  // average of the component scores (linearity of the model).
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 23 + 9);
+  Perceptron a;
+  Perceptron b;
+  for (int i = 0; i < 200; ++i) {
+    a.train(random_point(rng, 3), rng.chance(0.5) ? "p" : "n");
+    b.train(random_point(rng, 3), rng.chance(0.5) ? "p" : "n");
+  }
+  a.model().set_update_count(100);
+  b.model().set_update_count(100);
+  const LinearModel mixed = mix_models({a.model(), b.model()});
+  for (int t = 0; t < 50; ++t) {
+    const auto fv = random_point(rng, 3);
+    const auto sa = a.model().scores(fv);
+    const auto sb = b.model().scores(fv);
+    const auto sm = mixed.scores(fv);
+    for (std::size_t li = 0; li < mixed.label_count(); ++li) {
+      const std::string& label = mixed.label_name(li);
+      const double expect = (sa[a.model().find_label(label)] +
+                             sb[b.model().find_label(label)]) /
+                            2.0;
+      EXPECT_NEAR(sm[li], expect, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixProperty, ::testing::Range(0, 6));
+
+class KMeansProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KMeansProperty, CountsConserveSamples) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 41 + 11);
+  SequentialKMeans km(1 + rng.below(6));
+  const int n = 500;
+  for (int i = 0; i < n; ++i) km.add(random_point(rng, 3));
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < km.cluster_count(); ++c) total += km.count(c);
+  EXPECT_EQ(total, static_cast<std::uint64_t>(n));
+}
+
+TEST_P(KMeansProperty, AssignReturnsNearestCentroid) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 53 + 13);
+  SequentialKMeans km(4);
+  for (int i = 0; i < 300; ++i) km.add(random_point(rng, 3));
+  for (int t = 0; t < 100; ++t) {
+    const auto fv = random_point(rng, 3);
+    const std::size_t c = km.assign(fv);
+    const double d2 = km.nearest_distance2(fv);
+    for (std::size_t other = 0; other < km.cluster_count(); ++other) {
+      double acc = 0;
+      const auto& cent = km.centroid(other);
+      for (int dim = 0; dim < 3; ++dim) {
+        const auto id = static_cast<FeatureId>(dim);
+        const double diff = fv.get(id) - cent.get(id);
+        acc += diff * diff;
+      }
+      EXPECT_GE(acc + 1e-12, d2) << "cluster " << other << " vs " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KMeansProperty, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace ifot::ml

@@ -1,0 +1,99 @@
+#include "ml/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace ifot::ml {
+namespace {
+
+FeatureVector fv2(double x, double y) {
+  FeatureVector fv;
+  fv.set(0, x);
+  fv.set(1, y);
+  return fv;
+}
+
+TEST(PaRegression, LearnsLinearFunction) {
+  // target = 2x - 3y (+ small noise).
+  PaRegression reg(1.0, 0.01);
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(-1, 1);
+    const double y = rng.uniform(-1, 1);
+    reg.train(fv2(x, y), 2 * x - 3 * y + rng.normal(0, 0.01));
+  }
+  double mse = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform(-1, 1);
+    const double y = rng.uniform(-1, 1);
+    const double err = reg.estimate(fv2(x, y)) - (2 * x - 3 * y);
+    mse += err * err;
+  }
+  EXPECT_LT(mse / n, 0.05);
+  EXPECT_NEAR(reg.weights().at(0), 2.0, 0.3);
+  EXPECT_NEAR(reg.weights().at(1), -3.0, 0.3);
+}
+
+TEST(PaRegression, EpsilonInsensitiveIgnoresSmallErrors) {
+  PaRegression reg(1.0, /*epsilon=*/0.5);
+  reg.train(fv2(1, 0), 0.4);  // |err| = 0.4 < epsilon -> no update
+  EXPECT_TRUE(reg.weights().empty());
+  EXPECT_EQ(reg.update_count(), 1u);
+}
+
+TEST(PaRegression, LargeErrorTriggersUpdate) {
+  PaRegression reg(1.0, 0.1);
+  reg.train(fv2(1, 0), 5.0);
+  ASSERT_TRUE(reg.weights().count(0));
+  EXPECT_GT(reg.weights().at(0), 0.0);
+}
+
+TEST(PaRegression, NegativeTargetsMoveWeightsDown) {
+  PaRegression reg(1.0, 0.1);
+  reg.train(fv2(1, 0), -5.0);
+  ASSERT_TRUE(reg.weights().count(0));
+  EXPECT_LT(reg.weights().at(0), 0.0);
+}
+
+TEST(PaRegression, AggressivenessCappedByC) {
+  PaRegression small_c(0.01, 0.0);
+  PaRegression big_c(100.0, 0.0);
+  small_c.train(fv2(1, 0), 10.0);
+  big_c.train(fv2(1, 0), 10.0);
+  EXPECT_LT(small_c.weights().at(0), big_c.weights().at(0));
+  // tau <= C: with C=0.01 the step is exactly 0.01 * x.
+  EXPECT_DOUBLE_EQ(small_c.weights().at(0), 0.01);
+}
+
+TEST(PaRegression, EmptyModelEstimatesZero) {
+  PaRegression reg;
+  EXPECT_DOUBLE_EQ(reg.estimate(fv2(3, -7)), 0.0);
+}
+
+TEST(PaRegression, ZeroVectorTrainIsSafe) {
+  PaRegression reg;
+  reg.train(FeatureVector{}, 10.0);  // norm2 == 0
+  EXPECT_TRUE(reg.weights().empty());
+}
+
+TEST(PaRegression, TracksDriftingTarget) {
+  // Online learners must follow concept drift: slope changes midway.
+  PaRegression reg(1.0, 0.01);
+  Rng rng(4);
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.uniform(-1, 1);
+    reg.train(fv2(x, 0), 1.0 * x);
+  }
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.uniform(-1, 1);
+    reg.train(fv2(x, 0), -4.0 * x);
+  }
+  EXPECT_NEAR(reg.weights().at(0), -4.0, 0.5);
+}
+
+}  // namespace
+}  // namespace ifot::ml

@@ -1,0 +1,223 @@
+// Broker edge cases: inflight windows, redelivery caps, queue overflow,
+// QoS 2 broker-side state, and $SYS statistics.
+#include <gtest/gtest.h>
+
+#include "mqtt/broker.hpp"
+#include "tests/mqtt/harness.hpp"
+
+namespace ifot::mqtt {
+namespace {
+
+using testing::Harness;
+using testing::Peer;
+
+TEST(BrokerEdge, InflightWindowQueuesExcessQos1) {
+  BrokerConfig cfg;
+  cfg.max_inflight_per_session = 2;
+  Harness h(cfg);
+  Peer& pub = h.add_client("pub");
+  Peer& sub = h.add_client("sub");
+  h.connect(pub);
+  h.connect(sub);
+  ASSERT_TRUE(sub.client().subscribe({{"w", QoS::kAtLeastOnce}}).ok());
+  h.settle();
+  // Burst of 10 messages: the broker may only have 2 unacked at a time,
+  // but all 10 must arrive (acks open the window).
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pub.client()
+                    .publish("w", Bytes{static_cast<std::uint8_t>(i)},
+                             QoS::kAtLeastOnce)
+                    .ok());
+  }
+  h.settle();
+  EXPECT_EQ(sub.messages().size(), 10u);
+  EXPECT_GT(h.broker().counters().get("queued"), 0u);
+}
+
+TEST(BrokerEdge, QueueOverflowDropsForOfflinePersistentSession) {
+  BrokerConfig cfg;
+  cfg.max_queued_per_session = 5;
+  Harness h(cfg);
+  Peer& durable = h.add_client("durable", /*clean=*/false);
+  Peer& pub = h.add_client("pub");
+  h.connect(durable);
+  h.connect(pub);
+  ASSERT_TRUE(durable.client().subscribe({{"q", QoS::kAtLeastOnce}}).ok());
+  h.settle();
+  durable.kill_transport();
+  h.settle();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(pub.client().publish("q", Bytes{1}, QoS::kAtLeastOnce).ok());
+  }
+  h.settle();
+  EXPECT_EQ(h.broker().counters().get("queued"), 5u);
+  EXPECT_EQ(h.broker().counters().get("dropped_queue_full"), 15u);
+}
+
+TEST(BrokerEdge, RedeliveryStopsAfterMaxRetries) {
+  BrokerConfig cfg;
+  cfg.retry_interval = from_millis(50);
+  cfg.max_retries = 3;
+  Harness h(cfg);
+  // A subscriber that swallows QoS1 PUBLISHes (never PUBACKs): feed the
+  // broker directly so we control the ack behaviour.
+  int deliveries = 0;
+  h.broker().on_link_open(
+      42, [&](const Bytes& bytes) {
+        auto p = decode(BytesView(bytes));
+        if (p.ok() && std::holds_alternative<Publish>(p.value())) {
+          ++deliveries;
+        }
+      },
+      [] {});
+  Connect c;
+  c.client_id = "mute";
+  h.broker().on_link_data(42, BytesView(encode(Packet{c})));
+  Subscribe s;
+  s.packet_id = 1;
+  s.topics = {{"r", QoS::kAtLeastOnce}};
+  h.broker().on_link_data(42, BytesView(encode(Packet{s})));
+
+  h.broker().publish_local("r", to_bytes("x"), QoS::kAtLeastOnce);
+  h.settle(5 * kSecond);
+  // Original + at most max_retries redeliveries.
+  EXPECT_GE(deliveries, 2);
+  EXPECT_LE(deliveries, 1 + cfg.max_retries + 1);
+  EXPECT_GT(h.broker().counters().get("redeliveries"), 0u);
+}
+
+TEST(BrokerEdge, Qos2DuplicatePublishNotRoutedTwice) {
+  Harness h;
+  Peer& sub = h.add_client("sub");
+  h.connect(sub);
+  ASSERT_TRUE(sub.client().subscribe({{"d", QoS::kAtMostOnce}}).ok());
+  h.settle();
+  // Publisher link driven by hand so we can resend a DUP before PUBREL.
+  Bytes outbox;
+  h.broker().on_link_open(
+      7, [&](const Bytes& bytes) { outbox.insert(outbox.end(), bytes.begin(), bytes.end()); },
+      [] {});
+  Connect c;
+  c.client_id = "manual";
+  h.broker().on_link_data(7, BytesView(encode(Packet{c})));
+  Publish p;
+  p.topic = "d";
+  p.payload = to_bytes("once");
+  p.qos = QoS::kExactlyOnce;
+  p.packet_id = 9;
+  h.broker().on_link_data(7, BytesView(encode(Packet{p})));
+  p.dup = true;
+  h.broker().on_link_data(7, BytesView(encode(Packet{p})));  // retransmit
+  h.settle();
+  ASSERT_EQ(sub.messages().size(), 1u);
+  EXPECT_EQ(h.broker().counters().get("qos2_duplicates"), 1u);
+  // After PUBREL, the id is released and may be reused.
+  h.broker().on_link_data(7, BytesView(encode(Packet{Pubrel{9}})));
+  p.dup = false;
+  h.broker().on_link_data(7, BytesView(encode(Packet{p})));
+  h.settle();
+  EXPECT_EQ(sub.messages().size(), 2u);
+}
+
+TEST(BrokerEdge, SysStatsPublishedOnInterval) {
+  BrokerConfig cfg;
+  cfg.sys_interval = kSecond;
+  Harness h(cfg);
+  Peer& sub = h.add_client("watcher");
+  h.connect(sub);
+  ASSERT_TRUE(sub.client().subscribe({{"$SYS/#", QoS::kAtMostOnce}}).ok());
+  h.settle(3500 * kMillisecond);
+  // At least three ticks of eight topics each.
+  EXPECT_GE(sub.messages().size(), 24u);
+  bool saw_connected = false;
+  for (const auto& m : sub.messages()) {
+    if (m.topic == "$SYS/broker/clients/connected") {
+      saw_connected = true;
+      EXPECT_EQ(to_string(BytesView(m.payload)), "1");
+    }
+  }
+  EXPECT_TRUE(saw_connected);
+}
+
+TEST(BrokerEdge, SysStatsRetainedForLateSubscribers) {
+  BrokerConfig cfg;
+  cfg.sys_interval = kSecond;
+  Harness h(cfg);
+  Peer& early = h.add_client("early");
+  h.connect(early);
+  h.settle(2 * kSecond);  // stats published before the watcher exists
+  Peer& late = h.add_client("late");
+  h.connect(late);
+  ASSERT_TRUE(
+      late.client().subscribe({{"$SYS/broker/clients/total", QoS::kAtMostOnce}}).ok());
+  h.settle(100 * kMillisecond);
+  ASSERT_GE(late.messages().size(), 1u);
+  EXPECT_TRUE(late.messages()[0].retain);
+}
+
+TEST(BrokerEdge, DuplicateConnectSameIdentityReacked) {
+  Harness h;
+  std::vector<Packet> out;
+  h.broker().on_link_open(
+      11, [&](const Bytes& b) {
+        auto p = decode(BytesView(b));
+        ASSERT_TRUE(p.ok());
+        out.push_back(std::move(p).value());
+      },
+      [] {});
+  Connect c;
+  c.client_id = "retrier";
+  h.broker().on_link_data(11, BytesView(encode(Packet{c})));
+  h.broker().on_link_data(11, BytesView(encode(Packet{c})));  // retry
+  h.settle();
+  // Two CONNACKs, link still alive.
+  int connacks = 0;
+  for (const auto& p : out) {
+    if (std::holds_alternative<Connack>(p)) ++connacks;
+  }
+  EXPECT_EQ(connacks, 2);
+  EXPECT_EQ(h.broker().connected_count(), 1u);
+}
+
+TEST(BrokerEdge, DuplicateConnectDifferentIdentityDropped) {
+  Harness h;
+  bool closed = false;
+  h.broker().on_link_open(
+      12, [](const Bytes&) {}, [&] { closed = true; });
+  Connect c;
+  c.client_id = "alpha";
+  h.broker().on_link_data(12, BytesView(encode(Packet{c})));
+  c.client_id = "impostor";
+  h.broker().on_link_data(12, BytesView(encode(Packet{c})));
+  h.settle();
+  EXPECT_TRUE(closed);  // identity change is punished per §3.1.0-2
+}
+
+TEST(BrokerEdge, PublishToTopicWithNoSubscribersIsSafe) {
+  Harness h;
+  Peer& pub = h.add_client("pub");
+  h.connect(pub);
+  ASSERT_TRUE(pub.client().publish("void", to_bytes("x"), QoS::kAtLeastOnce).ok());
+  h.settle();
+  EXPECT_EQ(h.broker().counters().get("routed"), 1u);
+  EXPECT_EQ(pub.client().inflight_count(), 0u);  // still PUBACKed
+}
+
+TEST(BrokerEdge, ResubscribeReplacesQos) {
+  Harness h;
+  Peer& pub = h.add_client("pub");
+  Peer& sub = h.add_client("sub");
+  h.connect(pub);
+  h.connect(sub);
+  ASSERT_TRUE(sub.client().subscribe({{"t", QoS::kAtLeastOnce}}).ok());
+  h.settle();
+  ASSERT_TRUE(sub.client().subscribe({{"t", QoS::kAtMostOnce}}).ok());
+  h.settle();
+  ASSERT_TRUE(pub.client().publish("t", to_bytes("x"), QoS::kAtLeastOnce).ok());
+  h.settle();
+  ASSERT_EQ(sub.messages().size(), 1u);
+  EXPECT_EQ(sub.messages()[0].qos, QoS::kAtMostOnce);  // downgraded grant
+}
+
+}  // namespace
+}  // namespace ifot::mqtt

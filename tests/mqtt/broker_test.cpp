@@ -1,0 +1,439 @@
+#include "mqtt/broker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/mqtt/harness.hpp"
+
+namespace ifot::mqtt {
+namespace {
+
+using testing::Harness;
+using testing::Peer;
+
+TEST(Broker, ConnectAccepted) {
+  Harness h;
+  Peer& p = h.add_client("c1");
+  bool acked = false;
+  p.client().set_on_connack([&](const Connack& ack) {
+    acked = true;
+    EXPECT_EQ(ack.code, ConnectCode::kAccepted);
+    EXPECT_FALSE(ack.session_present);
+  });
+  h.connect(p);
+  EXPECT_TRUE(acked);
+  EXPECT_TRUE(p.client().connected());
+  EXPECT_EQ(h.broker().session_count(), 1u);
+  EXPECT_EQ(h.broker().connected_count(), 1u);
+}
+
+TEST(Broker, PublishSubscribeQos0) {
+  Harness h;
+  Peer& pub = h.add_client("pub");
+  Peer& sub = h.add_client("sub");
+  h.connect(pub);
+  h.connect(sub);
+  ASSERT_TRUE(sub.client().subscribe({{"flows/a", QoS::kAtMostOnce}}).ok());
+  h.settle();
+  ASSERT_TRUE(
+      pub.client().publish("flows/a", to_bytes("v1"), QoS::kAtMostOnce).ok());
+  h.settle();
+  ASSERT_EQ(sub.messages().size(), 1u);
+  EXPECT_EQ(sub.messages()[0].topic, "flows/a");
+  EXPECT_EQ(to_string(BytesView(sub.messages()[0].payload)), "v1");
+  EXPECT_EQ(sub.messages()[0].qos, QoS::kAtMostOnce);
+}
+
+TEST(Broker, FanOutToMultipleSubscribers) {
+  Harness h;
+  Peer& pub = h.add_client("pub");
+  Peer& s1 = h.add_client("s1");
+  Peer& s2 = h.add_client("s2");
+  Peer& s3 = h.add_client("s3");
+  for (Peer* p : {&pub, &s1, &s2, &s3}) h.connect(*p);
+  for (Peer* p : {&s1, &s2, &s3}) {
+    ASSERT_TRUE(p->client().subscribe({{"t", QoS::kAtMostOnce}}).ok());
+  }
+  h.settle();
+  ASSERT_TRUE(pub.client().publish("t", to_bytes("x"), QoS::kAtMostOnce).ok());
+  h.settle();
+  EXPECT_EQ(s1.messages().size(), 1u);
+  EXPECT_EQ(s2.messages().size(), 1u);
+  EXPECT_EQ(s3.messages().size(), 1u);
+  EXPECT_TRUE(pub.messages().empty());  // publisher is not subscribed
+}
+
+TEST(Broker, WildcardSubscriptionReceivesMatching) {
+  Harness h;
+  Peer& pub = h.add_client("pub");
+  Peer& sub = h.add_client("sub");
+  h.connect(pub);
+  h.connect(sub);
+  ASSERT_TRUE(
+      sub.client().subscribe({{"ifot/app/+", QoS::kAtMostOnce}}).ok());
+  h.settle();
+  for (const char* topic : {"ifot/app/a", "ifot/app/b", "ifot/other/c"}) {
+    ASSERT_TRUE(
+        pub.client().publish(topic, to_bytes("x"), QoS::kAtMostOnce).ok());
+  }
+  h.settle();
+  ASSERT_EQ(sub.messages().size(), 2u);
+  EXPECT_EQ(sub.messages()[0].topic, "ifot/app/a");
+  EXPECT_EQ(sub.messages()[1].topic, "ifot/app/b");
+}
+
+TEST(Broker, OverlappingSubscriptionsDeliverOnceAtMaxQos) {
+  BrokerConfig cfg;
+  Harness h(cfg);
+  Peer& pub = h.add_client("pub");
+  Peer& sub = h.add_client("sub");
+  h.connect(pub);
+  h.connect(sub);
+  ASSERT_TRUE(sub.client()
+                  .subscribe({{"a/#", QoS::kAtMostOnce},
+                              {"a/b", QoS::kAtLeastOnce}})
+                  .ok());
+  h.settle();
+  ASSERT_TRUE(
+      pub.client().publish("a/b", to_bytes("x"), QoS::kAtLeastOnce).ok());
+  h.settle();
+  ASSERT_EQ(sub.messages().size(), 1u);
+  EXPECT_EQ(sub.messages()[0].qos, QoS::kAtLeastOnce);
+}
+
+TEST(Broker, Qos1EndToEndAck) {
+  Harness h;
+  Peer& pub = h.add_client("pub");
+  Peer& sub = h.add_client("sub");
+  h.connect(pub);
+  h.connect(sub);
+  ASSERT_TRUE(sub.client().subscribe({{"q", QoS::kAtLeastOnce}}).ok());
+  h.settle();
+  bool done = false;
+  ASSERT_TRUE(pub.client()
+                  .publish("q", to_bytes("p"), QoS::kAtLeastOnce, false,
+                           [&] { done = true; })
+                  .ok());
+  h.settle();
+  EXPECT_TRUE(done);  // PUBACK received
+  ASSERT_EQ(sub.messages().size(), 1u);
+  EXPECT_EQ(sub.messages()[0].qos, QoS::kAtLeastOnce);
+  EXPECT_EQ(pub.client().inflight_count(), 0u);
+}
+
+TEST(Broker, Qos2ExactlyOnceEndToEnd) {
+  Harness h;
+  Peer& pub = h.add_client("pub");
+  Peer& sub = h.add_client("sub");
+  h.connect(pub);
+  h.connect(sub);
+  ASSERT_TRUE(sub.client().subscribe({{"q2", QoS::kExactlyOnce}}).ok());
+  h.settle();
+  bool done = false;
+  ASSERT_TRUE(pub.client()
+                  .publish("q2", to_bytes("p"), QoS::kExactlyOnce, false,
+                           [&] { done = true; })
+                  .ok());
+  h.settle();
+  EXPECT_TRUE(done);  // full PUBREC/PUBREL/PUBCOMP handshake
+  ASSERT_EQ(sub.messages().size(), 1u);
+  EXPECT_EQ(sub.messages()[0].qos, QoS::kExactlyOnce);
+  EXPECT_EQ(h.broker().counters().get("qos2_duplicates"), 0u);
+}
+
+TEST(Broker, RetainedMessageDeliveredOnSubscribe) {
+  Harness h;
+  Peer& pub = h.add_client("pub");
+  h.connect(pub);
+  ASSERT_TRUE(pub.client()
+                  .publish("cfg/room", to_bytes("21.5"), QoS::kAtMostOnce,
+                           /*retain=*/true)
+                  .ok());
+  h.settle();
+  EXPECT_EQ(h.broker().retained_count(), 1u);
+
+  Peer& late = h.add_client("late");
+  h.connect(late);
+  ASSERT_TRUE(late.client().subscribe({{"cfg/+", QoS::kAtMostOnce}}).ok());
+  h.settle();
+  ASSERT_EQ(late.messages().size(), 1u);
+  EXPECT_TRUE(late.messages()[0].retain);
+  EXPECT_EQ(to_string(BytesView(late.messages()[0].payload)), "21.5");
+}
+
+TEST(Broker, EmptyRetainedPayloadClears) {
+  Harness h;
+  Peer& pub = h.add_client("pub");
+  h.connect(pub);
+  ASSERT_TRUE(pub.client()
+                  .publish("cfg/x", to_bytes("v"), QoS::kAtMostOnce, true)
+                  .ok());
+  h.settle();
+  ASSERT_TRUE(
+      pub.client().publish("cfg/x", {}, QoS::kAtMostOnce, true).ok());
+  h.settle();
+  EXPECT_EQ(h.broker().retained_count(), 0u);
+}
+
+TEST(Broker, LiveForwardClearsRetainFlag) {
+  Harness h;
+  Peer& pub = h.add_client("pub");
+  Peer& sub = h.add_client("sub");
+  h.connect(pub);
+  h.connect(sub);
+  ASSERT_TRUE(sub.client().subscribe({{"r", QoS::kAtMostOnce}}).ok());
+  h.settle();
+  ASSERT_TRUE(pub.client()
+                  .publish("r", to_bytes("v"), QoS::kAtMostOnce, true)
+                  .ok());
+  h.settle();
+  ASSERT_EQ(sub.messages().size(), 1u);
+  EXPECT_FALSE(sub.messages()[0].retain);  // [MQTT-3.3.1-9]
+}
+
+TEST(Broker, WillPublishedOnUngracefulDisconnect) {
+  Harness h;
+  ClientConfig cc;
+  cc.client_id = "fragile";
+  cc.will = Will{"status/fragile", to_bytes("dead"), QoS::kAtMostOnce, false};
+  Peer& fragile = h.add_client(cc);
+  Peer& watcher = h.add_client("watcher");
+  h.connect(fragile);
+  h.connect(watcher);
+  ASSERT_TRUE(
+      watcher.client().subscribe({{"status/#", QoS::kAtMostOnce}}).ok());
+  h.settle();
+  fragile.kill_transport();
+  h.settle();
+  ASSERT_EQ(watcher.messages().size(), 1u);
+  EXPECT_EQ(watcher.messages()[0].topic, "status/fragile");
+  EXPECT_EQ(h.broker().counters().get("wills_published"), 1u);
+}
+
+TEST(Broker, NoWillOnGracefulDisconnect) {
+  Harness h;
+  ClientConfig cc;
+  cc.client_id = "polite";
+  cc.will = Will{"status/polite", to_bytes("dead"), QoS::kAtMostOnce, false};
+  Peer& polite = h.add_client(cc);
+  Peer& watcher = h.add_client("watcher");
+  h.connect(polite);
+  h.connect(watcher);
+  ASSERT_TRUE(
+      watcher.client().subscribe({{"status/#", QoS::kAtMostOnce}}).ok());
+  h.settle();
+  polite.client().disconnect();
+  h.settle();
+  EXPECT_TRUE(watcher.messages().empty());
+  EXPECT_EQ(h.broker().counters().get("wills_published"), 0u);
+}
+
+TEST(Broker, CleanSessionRemovedOnDisconnect) {
+  Harness h;
+  Peer& p = h.add_client("ephemeral", /*clean=*/true);
+  h.connect(p);
+  EXPECT_EQ(h.broker().session_count(), 1u);
+  p.client().disconnect();
+  h.settle();
+  EXPECT_EQ(h.broker().session_count(), 0u);
+}
+
+TEST(Broker, PersistentSessionSurvivesDisconnect) {
+  Harness h;
+  Peer& p = h.add_client("durable", /*clean=*/false);
+  h.connect(p);
+  ASSERT_TRUE(p.client().subscribe({{"d", QoS::kAtLeastOnce}}).ok());
+  h.settle();
+  p.kill_transport();
+  h.settle();
+  EXPECT_EQ(h.broker().session_count(), 1u);
+  EXPECT_EQ(h.broker().connected_count(), 0u);
+}
+
+TEST(Broker, PersistentSessionQueuesQos1WhileOffline) {
+  Harness h;
+  Peer& durable = h.add_client("durable", /*clean=*/false);
+  Peer& pub = h.add_client("pub");
+  h.connect(durable);
+  h.connect(pub);
+  ASSERT_TRUE(durable.client().subscribe({{"d", QoS::kAtLeastOnce}}).ok());
+  h.settle();
+  durable.kill_transport();
+  h.settle();
+  ASSERT_TRUE(
+      pub.client().publish("d", to_bytes("offline-msg"), QoS::kAtLeastOnce)
+          .ok());
+  h.settle();
+  EXPECT_EQ(h.broker().counters().get("queued"), 1u);
+
+  // Reconnect with a fresh transport; session resumes and the queued
+  // message is delivered.
+  Peer& durable2 = h.add_client("durable", /*clean=*/false);
+  bool session_present = false;
+  durable2.client().set_on_connack(
+      [&](const Connack& ack) { session_present = ack.session_present; });
+  h.connect(durable2);
+  h.settle();
+  EXPECT_TRUE(session_present);
+  ASSERT_EQ(durable2.messages().size(), 1u);
+  EXPECT_EQ(to_string(BytesView(durable2.messages()[0].payload)),
+            "offline-msg");
+}
+
+TEST(Broker, Qos0DroppedForOfflineSessions) {
+  Harness h;
+  Peer& durable = h.add_client("durable", /*clean=*/false);
+  Peer& pub = h.add_client("pub");
+  h.connect(durable);
+  h.connect(pub);
+  ASSERT_TRUE(durable.client().subscribe({{"d", QoS::kAtMostOnce}}).ok());
+  h.settle();
+  durable.kill_transport();
+  h.settle();
+  ASSERT_TRUE(
+      pub.client().publish("d", to_bytes("gone"), QoS::kAtMostOnce).ok());
+  h.settle();
+  EXPECT_EQ(h.broker().counters().get("dropped_qos0_offline"), 1u);
+}
+
+TEST(Broker, SessionTakeoverDisconnectsOldLink) {
+  Harness h;
+  Peer& first = h.add_client("same-id");
+  h.connect(first);
+  EXPECT_TRUE(first.client().connected());
+  Peer& second = h.add_client("same-id");
+  h.connect(second);
+  EXPECT_TRUE(second.client().connected());
+  EXPECT_FALSE(first.transport_up());
+  EXPECT_EQ(h.broker().counters().get("session_takeovers"), 1u);
+  EXPECT_EQ(h.broker().connected_count(), 1u);
+}
+
+TEST(Broker, EmptyClientIdWithCleanSessionGetsGeneratedId) {
+  Harness h;
+  Peer& p = h.add_client("", /*clean=*/true);
+  h.connect(p);
+  EXPECT_TRUE(p.client().connected());
+  EXPECT_EQ(h.broker().session_count(), 1u);
+}
+
+TEST(Broker, EmptyClientIdWithoutCleanSessionRejected) {
+  Harness h;
+  Peer& p = h.add_client("", /*clean=*/false);
+  ConnectCode code = ConnectCode::kAccepted;
+  p.client().set_on_connack([&](const Connack& ack) { code = ack.code; });
+  h.connect(p);
+  EXPECT_EQ(code, ConnectCode::kIdentifierRejected);
+  EXPECT_FALSE(p.client().connected());
+}
+
+TEST(Broker, MaxQosDowngrade) {
+  BrokerConfig cfg;
+  cfg.max_qos = QoS::kAtMostOnce;
+  Harness h(cfg);
+  Peer& pub = h.add_client("pub");
+  Peer& sub = h.add_client("sub");
+  h.connect(pub);
+  h.connect(sub);
+  std::vector<std::uint8_t> granted;
+  ASSERT_TRUE(sub.client()
+                  .subscribe({{"t", QoS::kExactlyOnce}},
+                             [&](const Suback& ack) {
+                               granted = ack.return_codes;
+                             })
+                  .ok());
+  h.settle();
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(granted[0], 0);  // downgraded to QoS 0
+}
+
+TEST(Broker, InvalidFilterGetsSubackFailure) {
+  Harness h;
+  Peer& sub = h.add_client("sub");
+  h.connect(sub);
+  // Client-side validation rejects bad filters, so craft the packet by
+  // feeding the broker directly through a second path: use a filter that
+  // is client-valid but server-rejected is not possible here, so this
+  // exercises the client-side guard instead.
+  auto status = sub.client().subscribe({{"bad/#/filter", QoS::kAtMostOnce}});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, Errc::kInvalidArgument);
+}
+
+TEST(Broker, Unsubscribe) {
+  Harness h;
+  Peer& pub = h.add_client("pub");
+  Peer& sub = h.add_client("sub");
+  h.connect(pub);
+  h.connect(sub);
+  ASSERT_TRUE(sub.client().subscribe({{"u", QoS::kAtMostOnce}}).ok());
+  h.settle();
+  bool unsubbed = false;
+  ASSERT_TRUE(sub.client().unsubscribe({"u"}, [&] { unsubbed = true; }).ok());
+  h.settle();
+  EXPECT_TRUE(unsubbed);
+  ASSERT_TRUE(pub.client().publish("u", to_bytes("x"), QoS::kAtMostOnce).ok());
+  h.settle();
+  EXPECT_TRUE(sub.messages().empty());
+}
+
+TEST(Broker, KeepAliveTimeoutClosesLinkAndPublishesWill) {
+  Harness h;
+  ClientConfig cc;
+  cc.client_id = "sleepy";
+  cc.keep_alive_s = 2;
+  cc.will = Will{"status/sleepy", to_bytes("timeout"), QoS::kAtMostOnce, false};
+  Peer& sleepy = h.add_client(cc);
+  Peer& watcher = h.add_client("watcher");
+  h.connect(sleepy);
+  h.connect(watcher);
+  ASSERT_TRUE(
+      watcher.client().subscribe({{"status/#", QoS::kAtMostOnce}}).ok());
+  h.settle();
+  // Suppress the client's PINGREQs by killing only its outbound path:
+  // simulate by stopping the client side silently (transport stays "up"
+  // for the broker). We emulate via on_transport_closed on the client
+  // only, so it stops pinging while the broker still waits.
+  sleepy.client().on_transport_closed();
+  h.settle(10 * kSecond);  // > 1.5 * keep_alive
+  EXPECT_EQ(h.broker().counters().get("keepalive_timeouts"), 1u);
+  ASSERT_EQ(watcher.messages().size(), 1u);
+  EXPECT_EQ(watcher.messages()[0].topic, "status/sleepy");
+}
+
+TEST(Broker, PublishLocalReachesSubscribers) {
+  Harness h;
+  Peer& sub = h.add_client("sub");
+  h.connect(sub);
+  ASSERT_TRUE(sub.client().subscribe({{"$SYS/stats", QoS::kAtMostOnce}}).ok());
+  h.settle();
+  h.broker().publish_local("$SYS/stats", to_bytes("42"), QoS::kAtMostOnce);
+  h.settle();
+  ASSERT_EQ(sub.messages().size(), 1u);
+  EXPECT_EQ(sub.messages()[0].topic, "$SYS/stats");
+}
+
+TEST(Broker, FirstPacketMustBeConnect) {
+  Harness h;
+  bool closed = false;
+  h.broker().on_link_open(
+      99, [](const Bytes&) {}, [&] { closed = true; });
+  const Bytes ping = encode(Packet{Pingreq{}});
+  h.broker().on_link_data(99, BytesView(ping));
+  h.settle();
+  EXPECT_TRUE(closed);
+}
+
+TEST(Broker, CorruptStreamDropsLink) {
+  Harness h;
+  bool closed = false;
+  h.broker().on_link_open(
+      98, [](const Bytes&) {}, [&] { closed = true; });
+  const Bytes garbage = {0x10, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F};
+  h.broker().on_link_data(98, BytesView(garbage));
+  h.settle();
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(h.broker().counters().get("protocol_errors"), 1u);
+}
+
+}  // namespace
+}  // namespace ifot::mqtt

@@ -1,0 +1,241 @@
+#include "mqtt/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/mqtt/harness.hpp"
+
+namespace ifot::mqtt {
+namespace {
+
+using testing::Harness;
+using testing::Peer;
+
+TEST(Client, RejectsInvalidTopicOnPublish) {
+  Harness h;
+  Peer& p = h.add_client("c");
+  h.connect(p);
+  EXPECT_FALSE(p.client().publish("bad/+/topic", {}, QoS::kAtMostOnce).ok());
+  EXPECT_FALSE(p.client().publish("", {}, QoS::kAtMostOnce).ok());
+}
+
+TEST(Client, RejectsSubscribeWhenDisconnected) {
+  sim::Simulator sim;
+  testing::SimSched sched(sim);
+  ClientConfig cc;
+  cc.client_id = "lonely";
+  Client client(sched, cc, [](const Bytes&) {});
+  auto status = client.subscribe({{"t", QoS::kAtMostOnce}});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, Errc::kState);
+}
+
+TEST(Client, RejectsEmptySubscriptionList) {
+  Harness h;
+  Peer& p = h.add_client("c");
+  h.connect(p);
+  EXPECT_FALSE(p.client().subscribe({}).ok());
+  EXPECT_FALSE(p.client().unsubscribe({}).ok());
+}
+
+TEST(Client, Qos0PublishWhileOfflineIsBufferedUntilConnect) {
+  Harness h;
+  Peer& p = h.add_client("buffered");
+  Peer& sub = h.add_client("sub");
+  h.connect(sub);
+  ASSERT_TRUE(sub.client().subscribe({{"b", QoS::kAtMostOnce}}).ok());
+  h.settle();
+  // Not yet connected: publish buffers.
+  ASSERT_TRUE(p.client().publish("b", to_bytes("early"), QoS::kAtMostOnce).ok());
+  EXPECT_TRUE(sub.messages().empty());
+  h.connect(p);
+  h.settle();
+  ASSERT_EQ(sub.messages().size(), 1u);
+  EXPECT_EQ(to_string(BytesView(sub.messages()[0].payload)), "early");
+}
+
+TEST(Client, InflightWindowCapacity) {
+  Harness h;
+  ClientConfig cc;
+  cc.client_id = "windowed";
+  cc.max_inflight = 2;
+  Peer& p = h.add_client(cc);
+  // While offline, QoS1 publishes occupy the window without being sent.
+  ASSERT_TRUE(p.client().publish("t", {}, QoS::kAtLeastOnce).ok());
+  ASSERT_TRUE(p.client().publish("t", {}, QoS::kAtLeastOnce).ok());
+  auto third = p.client().publish("t", {}, QoS::kAtLeastOnce);
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.error().code, Errc::kCapacity);
+  EXPECT_EQ(p.client().inflight_count(), 2u);
+}
+
+TEST(Client, InflightQos1SentOnConnectWithDupAfterResume) {
+  Harness h;
+  Peer& sub = h.add_client("sub");
+  h.connect(sub);
+  ASSERT_TRUE(sub.client().subscribe({{"t", QoS::kAtLeastOnce}}).ok());
+  h.settle();
+
+  ClientConfig cc;
+  cc.client_id = "resumer";
+  Peer& p = h.add_client(cc);
+  bool done = false;
+  ASSERT_TRUE(p.client()
+                  .publish("t", to_bytes("x"), QoS::kAtLeastOnce, false,
+                           [&] { done = true; })
+                  .ok());
+  EXPECT_FALSE(done);
+  h.connect(p);  // publish goes out after CONNACK
+  h.settle();
+  EXPECT_TRUE(done);
+  ASSERT_EQ(sub.messages().size(), 1u);
+}
+
+TEST(Client, RetriesUnackedQos1WithDup) {
+  // A broker harness that swallows the first PUBACK so the client retries.
+  sim::Simulator sim;
+  testing::SimSched sched(sim);
+  ClientConfig cc;
+  cc.client_id = "retry";
+  cc.retry_interval = from_millis(100);
+  std::vector<Packet> sent;
+  Client client(sched, cc, [&](const Bytes& bytes) {
+    auto p = decode(BytesView(bytes));
+    ASSERT_TRUE(p.ok());
+    sent.push_back(std::move(p).value());
+  });
+  client.on_transport_open();
+  client.on_data(BytesView(encode(Packet{Connack{false, ConnectCode::kAccepted}})));
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.publish("t", to_bytes("v"), QoS::kAtLeastOnce).ok());
+  sim.run_until(sim.now() + from_millis(350));  // 3 retry intervals
+  // CONNECT + original PUBLISH + >= 2 retries.
+  int publishes = 0;
+  int dups = 0;
+  std::uint16_t pid = 0;
+  for (const auto& pkt : sent) {
+    if (const auto* pub = std::get_if<Publish>(&pkt)) {
+      ++publishes;
+      if (pub->dup) ++dups;
+      if (pid == 0) pid = pub->packet_id;
+      EXPECT_EQ(pub->packet_id, pid);  // same id on every retry
+    }
+  }
+  EXPECT_GE(publishes, 3);
+  EXPECT_EQ(dups, publishes - 1);
+  // Late PUBACK completes it; no further retries.
+  client.on_data(BytesView(encode(Packet{Puback{pid}})));
+  const auto count_before = sent.size();
+  sim.run_until(sim.now() + from_millis(500));
+  std::size_t later_publishes = 0;
+  for (std::size_t i = count_before; i < sent.size(); ++i) {
+    if (std::holds_alternative<Publish>(sent[i])) ++later_publishes;
+  }
+  EXPECT_EQ(later_publishes, 0u);
+  EXPECT_EQ(client.inflight_count(), 0u);
+}
+
+TEST(Client, Qos2InboundDeduplicatesOnDupPublish) {
+  sim::Simulator sim;
+  testing::SimSched sched(sim);
+  ClientConfig cc;
+  cc.client_id = "dedup";
+  std::vector<Packet> sent;
+  Client client(sched, cc, [&](const Bytes& bytes) {
+    auto p = decode(BytesView(bytes));
+    ASSERT_TRUE(p.ok());
+    sent.push_back(std::move(p).value());
+  });
+  int deliveries = 0;
+  client.set_on_message([&](const Publish&) { ++deliveries; });
+  client.on_transport_open();
+  client.on_data(BytesView(encode(Packet{Connack{false, ConnectCode::kAccepted}})));
+
+  Publish p;
+  p.topic = "t";
+  p.qos = QoS::kExactlyOnce;
+  p.packet_id = 11;
+  client.on_data(BytesView(encode(Packet{p})));
+  p.dup = true;
+  client.on_data(BytesView(encode(Packet{p})));  // retransmission
+  EXPECT_EQ(deliveries, 1);
+  // PUBREL releases the id; a new PUBLISH with the same id delivers again.
+  client.on_data(BytesView(encode(Packet{Pubrel{11}})));
+  p.dup = false;
+  client.on_data(BytesView(encode(Packet{p})));
+  EXPECT_EQ(deliveries, 2);
+}
+
+TEST(Client, PingSentAtKeepAliveInterval) {
+  sim::Simulator sim;
+  testing::SimSched sched(sim);
+  ClientConfig cc;
+  cc.client_id = "pinger";
+  cc.keep_alive_s = 5;
+  int pings = 0;
+  Client client(sched, cc, [&](const Bytes& bytes) {
+    auto p = decode(BytesView(bytes));
+    if (p.ok() && std::holds_alternative<Pingreq>(p.value())) ++pings;
+  });
+  client.on_transport_open();
+  client.on_data(BytesView(encode(Packet{Connack{false, ConnectCode::kAccepted}})));
+  sim.run_until(sim.now() + 16 * kSecond);
+  EXPECT_EQ(pings, 3);  // t=5,10,15
+}
+
+TEST(Client, DisconnectSendsPacketAndStopsPing) {
+  sim::Simulator sim;
+  testing::SimSched sched(sim);
+  ClientConfig cc;
+  cc.client_id = "bye";
+  cc.keep_alive_s = 1;
+  std::vector<PacketType> types;
+  Client client(sched, cc, [&](const Bytes& bytes) {
+    auto p = decode(BytesView(bytes));
+    ASSERT_TRUE(p.ok());
+    types.push_back(packet_type(p.value()));
+  });
+  client.on_transport_open();
+  client.on_data(BytesView(encode(Packet{Connack{false, ConnectCode::kAccepted}})));
+  client.disconnect();
+  EXPECT_FALSE(client.connected());
+  sim.run_until(sim.now() + 10 * kSecond);
+  ASSERT_EQ(types.size(), 2u);
+  EXPECT_EQ(types[0], PacketType::kConnect);
+  EXPECT_EQ(types[1], PacketType::kDisconnect);
+}
+
+TEST(Client, ProtocolErrorSurfacesToOwner) {
+  sim::Simulator sim;
+  testing::SimSched sched(sim);
+  ClientConfig cc;
+  cc.client_id = "victim";
+  Client client(sched, cc, [](const Bytes&) {});
+  bool reported = false;
+  client.set_on_protocol_error([&](const Error&) { reported = true; });
+  client.on_transport_open();
+  const Bytes garbage = {0x10, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F};
+  client.on_data(BytesView(garbage));
+  EXPECT_TRUE(reported);
+  EXPECT_FALSE(client.connected());
+}
+
+TEST(Client, SubackCallbackReceivesGrants) {
+  Harness h;
+  Peer& p = h.add_client("granted");
+  h.connect(p);
+  std::vector<std::uint8_t> rc;
+  ASSERT_TRUE(p.client()
+                  .subscribe({{"a", QoS::kAtLeastOnce},
+                              {"b/#", QoS::kExactlyOnce}},
+                             [&](const Suback& ack) {
+                               rc = ack.return_codes;
+                             })
+                  .ok());
+  h.settle();
+  ASSERT_EQ(rc.size(), 2u);
+  EXPECT_EQ(rc[0], 1);
+  EXPECT_EQ(rc[1], 2);
+}
+
+}  // namespace
+}  // namespace ifot::mqtt

@@ -1,0 +1,141 @@
+// Test harness wiring mqtt::Client instances to a mqtt::Broker through
+// the discrete-event simulator with a fixed symmetric link delay (no
+// ifot_net dependency: bytes are shuttled directly).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mqtt/broker.hpp"
+#include "mqtt/client.hpp"
+#include "sim/simulator.hpp"
+
+namespace ifot::mqtt::testing {
+
+class SimSched final : public Scheduler {
+ public:
+  explicit SimSched(sim::Simulator& sim) : sim_(sim) {}
+  SimTime now() override { return sim_.now(); }
+  std::uint64_t call_after(SimDuration delay,
+                           std::function<void()> fn) override {
+    return sim_.schedule_after(delay, std::move(fn)).seq;
+  }
+  void cancel(std::uint64_t handle) override {
+    sim_.cancel(sim::EventId{handle});
+  }
+
+ private:
+  sim::Simulator& sim_;
+};
+
+/// One client connected to the harness broker over a delayed pipe.
+class Peer {
+ public:
+  Peer(sim::Simulator& sim, Scheduler& sched, Broker& broker, LinkId link,
+       ClientConfig cfg, SimDuration delay)
+      : sim_(sim), broker_(broker), link_(link), delay_(delay) {
+    // In-flight bytes still arrive after a close (TCP-like: the kernel
+    // delivers what was already sent); only *new* sends are suppressed.
+    // A stale delivery into the broker after on_link_closed is ignored by
+    // the broker's link table, matching real socket teardown races.
+    client_ = std::make_unique<Client>(
+        sched, std::move(cfg), [this](const Bytes& bytes) {
+          if (!up_) return;
+          sim_.schedule_after(delay_, [this, bytes] {
+            broker_.on_link_data(link_, BytesView(bytes));
+          });
+        });
+    messages_.reserve(64);
+    client_->set_on_message(
+        [this](const Publish& p) { messages_.push_back(p); });
+  }
+
+  /// Opens the transport and sends CONNECT.
+  void open() {
+    up_ = true;
+    broker_.on_link_open(
+        link_,
+        [this](const Bytes& bytes) {
+          sim_.schedule_after(delay_, [this, bytes] {
+            client_->on_data(BytesView(bytes));
+          });
+        },
+        [this] {
+          up_ = false;
+          client_->on_transport_closed();
+        });
+    client_->on_transport_open();
+  }
+
+  /// Simulates an abrupt transport loss (no DISCONNECT).
+  void kill_transport() {
+    if (!up_) return;
+    up_ = false;
+    client_->on_transport_closed();
+    broker_.on_link_closed(link_);
+  }
+
+  [[nodiscard]] Client& client() { return *client_; }
+  [[nodiscard]] const std::vector<Publish>& messages() const {
+    return messages_;
+  }
+  void clear_messages() { messages_.clear(); }
+  [[nodiscard]] bool transport_up() const { return up_; }
+  [[nodiscard]] LinkId link() const { return link_; }
+
+ private:
+  sim::Simulator& sim_;
+  Broker& broker_;
+  LinkId link_;
+  SimDuration delay_;
+  bool up_ = false;
+  std::unique_ptr<Client> client_;
+  std::vector<Publish> messages_;
+};
+
+/// Simulator + broker + any number of peers.
+class Harness {
+ public:
+  explicit Harness(BrokerConfig cfg = {}, SimDuration link_delay = kMillisecond)
+      : sched_(sim_), broker_(sched_, cfg), delay_(link_delay) {}
+
+  Peer& add_client(const std::string& client_id, bool clean = true,
+                   std::uint16_t keep_alive_s = 60) {
+    ClientConfig cc;
+    cc.client_id = client_id;
+    cc.clean_session = clean;
+    cc.keep_alive_s = keep_alive_s;
+    return add_client(cc);
+  }
+
+  Peer& add_client(ClientConfig cc) {
+    peers_.push_back(std::make_unique<Peer>(sim_, sched_, broker_,
+                                            next_link_++, std::move(cc),
+                                            delay_));
+    return *peers_.back();
+  }
+
+  /// Opens a peer and settles the CONNECT handshake.
+  void connect(Peer& peer) {
+    peer.open();
+    settle();
+  }
+
+  /// Runs the simulator until idle (bounded to avoid timer loops).
+  void settle(SimDuration window = 10 * kSecond) {
+    sim_.run_until(sim_.now() + window);
+  }
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] Broker& broker() { return broker_; }
+
+ private:
+  sim::Simulator sim_;
+  SimSched sched_;
+  Broker broker_;
+  SimDuration delay_;
+  LinkId next_link_ = 1;
+  std::vector<std::unique_ptr<Peer>> peers_;
+};
+
+}  // namespace ifot::mqtt::testing

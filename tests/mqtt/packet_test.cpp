@@ -1,0 +1,242 @@
+#include "mqtt/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ifot::mqtt {
+namespace {
+
+/// Encodes then decodes a packet and requires equality.
+template <typename T>
+void expect_round_trip(const T& pkt) {
+  const Bytes wire = encode(Packet{pkt});
+  auto decoded = decode(BytesView(wire));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  const auto* out = std::get_if<T>(&decoded.value());
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, pkt);
+}
+
+TEST(PacketCodec, ConnectMinimal) {
+  Connect c;
+  c.client_id = "node1";
+  c.clean_session = true;
+  c.keep_alive_s = 30;
+  expect_round_trip(c);
+}
+
+TEST(PacketCodec, ConnectWithWillAndCredentials) {
+  Connect c;
+  c.client_id = "sensor-7";
+  c.clean_session = false;
+  c.keep_alive_s = 120;
+  c.will = Will{"ifot/status/sensor-7", to_bytes("offline"),
+                QoS::kAtLeastOnce, true};
+  c.username = "user";
+  c.password = "secret";
+  expect_round_trip(c);
+}
+
+TEST(PacketCodec, ConnectEmptyClientId) {
+  Connect c;
+  c.client_id = "";
+  expect_round_trip(c);
+}
+
+TEST(PacketCodec, Connack) {
+  expect_round_trip(Connack{true, ConnectCode::kAccepted});
+  expect_round_trip(Connack{false, ConnectCode::kIdentifierRejected});
+}
+
+TEST(PacketCodec, PublishQos0) {
+  Publish p;
+  p.topic = "ifot/app/sensor_a";
+  p.payload = to_bytes("32-byte sample payload .......!");
+  expect_round_trip(p);
+}
+
+TEST(PacketCodec, PublishQos1WithFlags) {
+  Publish p;
+  p.topic = "a/b";
+  p.payload = to_bytes("x");
+  p.qos = QoS::kAtLeastOnce;
+  p.packet_id = 777;
+  p.retain = true;
+  p.dup = true;
+  expect_round_trip(p);
+}
+
+TEST(PacketCodec, PublishQos2) {
+  Publish p;
+  p.topic = "a";
+  p.qos = QoS::kExactlyOnce;
+  p.packet_id = 1;
+  expect_round_trip(p);
+}
+
+TEST(PacketCodec, PublishEmptyPayload) {
+  Publish p;
+  p.topic = "t";
+  expect_round_trip(p);
+}
+
+TEST(PacketCodec, LargePayloadUsesMultiByteRemainingLength) {
+  Publish p;
+  p.topic = "big";
+  p.payload.assign(100000, 0x5A);
+  const Bytes wire = encode(Packet{p});
+  EXPECT_GT(wire.size(), 100000u);
+  auto decoded = decode(BytesView(wire));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(std::get<Publish>(decoded.value()).payload.size(), 100000u);
+}
+
+TEST(PacketCodec, AckPackets) {
+  expect_round_trip(Puback{42});
+  expect_round_trip(Pubrec{43});
+  expect_round_trip(Pubrel{44});
+  expect_round_trip(Pubcomp{45});
+  expect_round_trip(Unsuback{46});
+}
+
+TEST(PacketCodec, Subscribe) {
+  Subscribe s;
+  s.packet_id = 9;
+  s.topics = {{"ifot/+/train", QoS::kAtLeastOnce}, {"#", QoS::kAtMostOnce}};
+  expect_round_trip(s);
+}
+
+TEST(PacketCodec, Suback) {
+  Suback s;
+  s.packet_id = 9;
+  s.return_codes = {0, 1, 2, kSubackFailure};
+  expect_round_trip(s);
+}
+
+TEST(PacketCodec, Unsubscribe) {
+  Unsubscribe u;
+  u.packet_id = 3;
+  u.topics = {"a/b", "c/#"};
+  expect_round_trip(u);
+}
+
+TEST(PacketCodec, EmptyBodyPackets) {
+  expect_round_trip(Pingreq{});
+  expect_round_trip(Pingresp{});
+  expect_round_trip(Disconnect{});
+}
+
+TEST(PacketCodec, PacketTypeMapping) {
+  EXPECT_EQ(packet_type(Packet{Connect{}}), PacketType::kConnect);
+  EXPECT_EQ(packet_type(Packet{Publish{}}), PacketType::kPublish);
+  EXPECT_EQ(packet_type(Packet{Disconnect{}}), PacketType::kDisconnect);
+  EXPECT_STREQ(packet_type_name(PacketType::kPubrel), "PUBREL");
+}
+
+TEST(PacketCodec, RejectsTrailingGarbage) {
+  Bytes wire = encode(Packet{Pingreq{}});
+  wire.push_back(0x00);
+  EXPECT_FALSE(decode(BytesView(wire)).ok());
+}
+
+TEST(PacketCodec, RejectsBadFixedHeaderFlags) {
+  Bytes wire = encode(Packet{Pingreq{}});
+  wire[0] |= 0x01;  // PINGREQ flags must be 0
+  EXPECT_FALSE(decode(BytesView(wire)).ok());
+}
+
+TEST(PacketCodec, RejectsQos3Publish) {
+  Publish p;
+  p.topic = "t";
+  p.qos = QoS::kAtLeastOnce;
+  p.packet_id = 1;
+  Bytes wire = encode(Packet{p});
+  wire[0] |= 0x06;  // qos bits = 3
+  EXPECT_FALSE(decode(BytesView(wire)).ok());
+}
+
+TEST(PacketCodec, RejectsZeroPacketIdOnQos1Publish) {
+  Publish p;
+  p.topic = "t";
+  p.qos = QoS::kAtLeastOnce;
+  p.packet_id = 0;
+  const Bytes wire = encode(Packet{p});
+  EXPECT_FALSE(decode(BytesView(wire)).ok());
+}
+
+TEST(PacketCodec, RejectsEmptySubscribe) {
+  // Hand-build a SUBSCRIBE with a packet id but no topics.
+  Bytes wire = {0x82, 0x02, 0x00, 0x01};
+  EXPECT_FALSE(decode(BytesView(wire)).ok());
+}
+
+TEST(PacketCodec, RejectsUnknownProtocolName) {
+  Connect c;
+  c.client_id = "x";
+  Bytes wire = encode(Packet{c});
+  wire[4] = 'X';  // corrupt protocol name ("MQTT" -> "XQTT")
+  EXPECT_FALSE(decode(BytesView(wire)).ok());
+}
+
+TEST(StreamDecoder, ReassemblesSplitPackets) {
+  Publish p;
+  p.topic = "topic/with/levels";
+  p.payload = to_bytes("payload data here");
+  const Bytes wire = encode(Packet{p});
+
+  StreamDecoder dec;
+  // Feed one byte at a time; the packet must appear exactly once.
+  int seen = 0;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    dec.feed(BytesView(&wire[i], 1));
+    auto next = dec.next();
+    ASSERT_TRUE(next.ok());
+    if (next.value()) {
+      ++seen;
+      EXPECT_EQ(std::get<Publish>(*next.value()), p);
+    }
+  }
+  EXPECT_EQ(seen, 1);
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(StreamDecoder, HandlesCoalescedPackets) {
+  Bytes wire = encode(Packet{Pingreq{}});
+  const Bytes second = encode(Packet{Puback{5}});
+  wire.insert(wire.end(), second.begin(), second.end());
+
+  StreamDecoder dec;
+  dec.feed(BytesView(wire));
+  auto first = dec.next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first.value());
+  EXPECT_TRUE(std::holds_alternative<Pingreq>(*first.value()));
+  auto next = dec.next();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next.value());
+  EXPECT_EQ(std::get<Puback>(*next.value()).packet_id, 5);
+  auto none = dec.next();
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none.value());
+}
+
+TEST(StreamDecoder, ReportsCorruptStream) {
+  StreamDecoder dec;
+  // 5-byte remaining length => protocol error.
+  const Bytes bad = {0x10, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F};
+  dec.feed(BytesView(bad));
+  EXPECT_FALSE(dec.next().ok());
+}
+
+TEST(StreamDecoder, EmptyNeedsMoreBytes) {
+  StreamDecoder dec;
+  auto r = dec.next();
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value());
+  dec.feed(BytesView(Bytes{0xC0}));  // half a PINGREQ header
+  r = dec.next();
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value());
+}
+
+}  // namespace
+}  // namespace ifot::mqtt

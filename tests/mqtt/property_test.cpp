@@ -1,0 +1,269 @@
+// Property tests for the MQTT substrate: random packets round-trip
+// through the codec under arbitrary stream chunking, and the broker's
+// TopicTree agrees with the reference matcher on random topic universes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "mqtt/packet.hpp"
+#include "mqtt/topic.hpp"
+
+namespace ifot::mqtt {
+namespace {
+
+// ---- random generators -------------------------------------------------
+
+std::string random_topic_segment(Rng& rng) {
+  static const char* kSegments[] = {"ifot", "app", "sensor", "a", "b",
+                                    "x9",   "",    "flow",   "m"};
+  return kSegments[rng.below(std::size(kSegments))];
+}
+
+std::string random_topic(Rng& rng) {
+  const auto levels = 1 + rng.below(4);
+  std::string out;
+  for (std::uint64_t i = 0; i < levels; ++i) {
+    if (i > 0) out += "/";
+    out += random_topic_segment(rng);
+  }
+  if (!valid_topic_name(out)) out = "fallback/topic";
+  return out;
+}
+
+std::string random_filter(Rng& rng) {
+  const auto levels = 1 + rng.below(4);
+  std::string out;
+  for (std::uint64_t i = 0; i < levels; ++i) {
+    if (i > 0) out += "/";
+    const auto pick = rng.below(10);
+    if (pick == 0) {
+      out += "+";
+    } else if (pick == 1 && i + 1 == levels) {
+      out += "#";
+    } else {
+      out += random_topic_segment(rng);
+    }
+  }
+  if (!valid_topic_filter(out)) out = "#";
+  return out;
+}
+
+Bytes random_payload(Rng& rng, std::size_t max_len) {
+  Bytes out(rng.below(max_len + 1));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(256));
+  return out;
+}
+
+std::string random_string(Rng& rng, std::size_t max_len) {
+  std::string out(rng.below(max_len + 1), 'x');
+  for (auto& c : out) {
+    c = static_cast<char>('a' + rng.below(26));
+  }
+  return out;
+}
+
+Packet random_packet(Rng& rng) {
+  const auto pick = rng.below(14);
+  auto pid = [&rng] {
+    return static_cast<std::uint16_t>(1 + rng.below(65535));
+  };
+  switch (pick) {
+    case 0: {
+      Connect c;
+      c.client_id = random_string(rng, 12);
+      c.clean_session = rng.chance(0.5);
+      c.keep_alive_s = static_cast<std::uint16_t>(rng.below(600));
+      if (rng.chance(0.4)) {
+        c.will = Will{random_topic(rng), random_payload(rng, 32),
+                      static_cast<QoS>(rng.below(3)), rng.chance(0.5)};
+      }
+      if (rng.chance(0.3)) {
+        c.username = random_string(rng, 8);
+        if (rng.chance(0.5)) c.password = random_string(rng, 8);
+      }
+      return Packet{c};
+    }
+    case 1:
+      return Packet{Connack{rng.chance(0.5),
+                            static_cast<ConnectCode>(rng.below(6))}};
+    case 2: {
+      Publish p;
+      p.topic = random_topic(rng);
+      p.payload = random_payload(rng, 300);
+      p.qos = static_cast<QoS>(rng.below(3));
+      if (p.qos != QoS::kAtMostOnce) {
+        p.packet_id = pid();
+        p.dup = rng.chance(0.3);
+      }
+      p.retain = rng.chance(0.2);
+      return Packet{p};
+    }
+    case 3: return Packet{Puback{pid()}};
+    case 4: return Packet{Pubrec{pid()}};
+    case 5: return Packet{Pubrel{pid()}};
+    case 6: return Packet{Pubcomp{pid()}};
+    case 7: {
+      Subscribe s;
+      s.packet_id = pid();
+      const auto n = 1 + rng.below(5);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        s.topics.push_back(
+            {random_filter(rng), static_cast<QoS>(rng.below(3))});
+      }
+      return Packet{s};
+    }
+    case 8: {
+      Suback s;
+      s.packet_id = pid();
+      const auto n = 1 + rng.below(5);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        s.return_codes.push_back(rng.chance(0.1) ? kSubackFailure
+                                                 : static_cast<std::uint8_t>(
+                                                       rng.below(3)));
+      }
+      return Packet{s};
+    }
+    case 9: {
+      Unsubscribe u;
+      u.packet_id = pid();
+      const auto n = 1 + rng.below(5);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        u.topics.push_back(random_filter(rng));
+      }
+      return Packet{u};
+    }
+    case 10: return Packet{Unsuback{pid()}};
+    case 11: return Packet{Pingreq{}};
+    case 12: return Packet{Pingresp{}};
+    default: return Packet{Disconnect{}};
+  }
+}
+
+// ---- properties ----------------------------------------------------------
+
+class PacketRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PacketRoundTripProperty, EncodeDecodeIsIdentity) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  for (int i = 0; i < 200; ++i) {
+    const Packet original = random_packet(rng);
+    const Bytes wire = encode(original);
+    auto decoded = decode(BytesView(wire));
+    ASSERT_TRUE(decoded.ok())
+        << packet_type_name(packet_type(original)) << ": "
+        << decoded.error().to_string();
+    EXPECT_TRUE(decoded.value() == original)
+        << packet_type_name(packet_type(original));
+  }
+}
+
+TEST_P(PacketRoundTripProperty, StreamDecoderHandlesArbitraryChunking) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * std::uint64_t{104729} + 3);
+  // Concatenate a burst of packets, feed in random chunks, expect the
+  // exact sequence back.
+  std::vector<Packet> originals;
+  Bytes stream;
+  for (int i = 0; i < 50; ++i) {
+    originals.push_back(random_packet(rng));
+    const Bytes wire = encode(originals.back());
+    stream.insert(stream.end(), wire.begin(), wire.end());
+  }
+  StreamDecoder dec;
+  std::vector<Packet> decoded;
+  std::size_t pos = 0;
+  while (pos < stream.size()) {
+    const std::size_t chunk =
+        std::min<std::size_t>(1 + rng.below(17), stream.size() - pos);
+    dec.feed(BytesView(stream).subspan(pos, chunk));
+    pos += chunk;
+    while (true) {
+      auto next = dec.next();
+      ASSERT_TRUE(next.ok()) << next.error().to_string();
+      if (!next.value()) break;
+      decoded.push_back(std::move(*next.value()));
+    }
+  }
+  ASSERT_EQ(decoded.size(), originals.size());
+  for (std::size_t i = 0; i < originals.size(); ++i) {
+    EXPECT_TRUE(decoded[i] == originals[i]) << "packet " << i;
+  }
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST_P(PacketRoundTripProperty, TruncatedPacketsNeverDecode) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  for (int i = 0; i < 100; ++i) {
+    const Bytes wire = encode(random_packet(rng));
+    if (wire.size() < 3) continue;
+    const std::size_t cut = 1 + rng.below(wire.size() - 2);
+    auto decoded = decode(BytesView(wire).subspan(0, wire.size() - cut));
+    EXPECT_FALSE(decoded.ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PacketRoundTripProperty,
+                         ::testing::Range(0, 8));
+
+class TopicTreeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopicTreeProperty, TreeAgreesWithReferenceMatcher) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * std::uint64_t{2654435761} + 11);
+  TopicTree<int, int> tree;
+  std::vector<std::string> filters;
+  for (int i = 0; i < 40; ++i) {
+    std::string f = random_filter(rng);
+    // Keep filters unique per key so erase semantics stay simple.
+    filters.push_back(f);
+    tree.insert(f, i, 0);
+  }
+  for (int t = 0; t < 200; ++t) {
+    const std::string topic = random_topic(rng);
+    std::vector<std::pair<int, int>> got;
+    tree.match(topic, got);
+    std::set<int> got_keys;
+    for (const auto& [k, _] : got) got_keys.insert(k);
+    std::set<int> expected;
+    for (int i = 0; i < static_cast<int>(filters.size()); ++i) {
+      if (topic_matches(filters[static_cast<std::size_t>(i)], topic)) {
+        expected.insert(i);
+      }
+    }
+    EXPECT_EQ(got_keys, expected) << "topic " << topic;
+  }
+}
+
+TEST_P(TopicTreeProperty, EraseRestoresNonMatching) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 13);
+  TopicTree<int, int> tree;
+  std::vector<std::string> filters;
+  for (int i = 0; i < 20; ++i) {
+    filters.push_back(random_filter(rng));
+    tree.insert(filters.back(), i, 0);
+  }
+  // Remove half the subscribers entirely.
+  for (int i = 0; i < 20; i += 2) tree.erase_key(i);
+  for (int t = 0; t < 100; ++t) {
+    const std::string topic = random_topic(rng);
+    std::vector<std::pair<int, int>> got;
+    tree.match(topic, got);
+    for (const auto& [k, _] : got) {
+      EXPECT_EQ(k % 2, 1) << "erased key " << k << " still matches";
+      EXPECT_TRUE(topic_matches(filters[static_cast<std::size_t>(k)], topic));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopicTreeProperty, ::testing::Range(0, 8));
+
+TEST(TopicProperty, MatchImpliesValidInputs) {
+  // topic_matches is total: never true for invalid names/filters.
+  EXPECT_FALSE(topic_matches("", "a"));
+  EXPECT_FALSE(topic_matches("a", ""));
+  EXPECT_FALSE(topic_matches("a/#/b", "a/x/b"));
+  EXPECT_FALSE(topic_matches("a", "a/+"));
+}
+
+}  // namespace
+}  // namespace ifot::mqtt

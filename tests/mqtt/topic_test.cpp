@@ -1,0 +1,164 @@
+#include "mqtt/topic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ifot::mqtt {
+namespace {
+
+TEST(TopicName, Validity) {
+  EXPECT_TRUE(valid_topic_name("a"));
+  EXPECT_TRUE(valid_topic_name("a/b/c"));
+  EXPECT_TRUE(valid_topic_name("/leading"));
+  EXPECT_TRUE(valid_topic_name("trailing/"));
+  EXPECT_TRUE(valid_topic_name("$SYS/broker"));
+  EXPECT_FALSE(valid_topic_name(""));
+  EXPECT_FALSE(valid_topic_name("a/+/b"));
+  EXPECT_FALSE(valid_topic_name("a/#"));
+  EXPECT_FALSE(valid_topic_name(std::string("a\0b", 3)));
+}
+
+TEST(TopicFilter, Validity) {
+  EXPECT_TRUE(valid_topic_filter("a/b"));
+  EXPECT_TRUE(valid_topic_filter("+"));
+  EXPECT_TRUE(valid_topic_filter("#"));
+  EXPECT_TRUE(valid_topic_filter("a/+/c"));
+  EXPECT_TRUE(valid_topic_filter("a/#"));
+  EXPECT_TRUE(valid_topic_filter("+/+/+"));
+  EXPECT_FALSE(valid_topic_filter(""));
+  EXPECT_FALSE(valid_topic_filter("a+"));     // wildcard not alone in level
+  EXPECT_FALSE(valid_topic_filter("a/b#"));
+  EXPECT_FALSE(valid_topic_filter("#/a"));    // '#' not last
+  EXPECT_FALSE(valid_topic_filter("a/#/b"));
+}
+
+struct MatchCase {
+  const char* filter;
+  const char* topic;
+  bool expect;
+};
+
+class TopicMatchTest : public ::testing::TestWithParam<MatchCase> {};
+
+TEST_P(TopicMatchTest, MatchesPerSpec) {
+  const auto& c = GetParam();
+  EXPECT_EQ(topic_matches(c.filter, c.topic), c.expect)
+      << c.filter << " vs " << c.topic;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spec47, TopicMatchTest,
+    ::testing::Values(
+        // Exact matches.
+        MatchCase{"a/b/c", "a/b/c", true},
+        MatchCase{"a/b/c", "a/b/d", false},
+        MatchCase{"a/b/c", "a/b", false},
+        MatchCase{"a/b", "a/b/c", false},
+        // '+' single level.
+        MatchCase{"a/+/c", "a/b/c", true},
+        MatchCase{"a/+/c", "a/x/c", true},
+        MatchCase{"a/+/c", "a/b/d", false},
+        MatchCase{"a/+/c", "a/b/c/d", false},
+        MatchCase{"+", "a", true},
+        MatchCase{"+", "a/b", false},
+        MatchCase{"+/+", "/finance", true},   // spec example
+        MatchCase{"/+", "/finance", true},    // spec example
+        MatchCase{"+", "/finance", false},    // spec example
+        // '#' multi level (including parent).
+        MatchCase{"#", "a", true},
+        MatchCase{"#", "a/b/c", true},
+        MatchCase{"sport/#", "sport", true},  // spec: matches parent
+        MatchCase{"sport/#", "sport/tennis/player1", true},
+        MatchCase{"sport/tennis/#", "sport", false},
+        // '$' topics are hidden from wildcard-leading filters.
+        MatchCase{"#", "$SYS/broker", false},
+        MatchCase{"+/broker", "$SYS/broker", false},
+        MatchCase{"$SYS/#", "$SYS/broker", true},
+        MatchCase{"$SYS/broker", "$SYS/broker", true},
+        // Empty levels are real levels.
+        MatchCase{"a//c", "a//c", true},
+        MatchCase{"a/+/c", "a//c", true}));
+
+TEST(TopicTree, ExactAndWildcardLookup) {
+  TopicTree<std::string, int> tree;
+  tree.insert("ifot/app/a", "c1", 1);
+  tree.insert("ifot/app/+", "c2", 2);
+  tree.insert("ifot/#", "c3", 3);
+  tree.insert("other/x", "c4", 4);
+
+  std::vector<std::pair<std::string, int>> out;
+  tree.match("ifot/app/a", out);
+  ASSERT_EQ(out.size(), 3u);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out[0].first, "c1");
+  EXPECT_EQ(out[1].first, "c2");
+  EXPECT_EQ(out[2].first, "c3");
+}
+
+TEST(TopicTree, HashParentMatch) {
+  TopicTree<std::string, int> tree;
+  tree.insert("sport/#", "c", 1);
+  std::vector<std::pair<std::string, int>> out;
+  tree.match("sport", out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(TopicTree, DollarTopicsHiddenFromRootWildcards) {
+  TopicTree<std::string, int> tree;
+  tree.insert("#", "all", 1);
+  tree.insert("+/x", "plus", 2);
+  tree.insert("$SYS/#", "sys", 3);
+  std::vector<std::pair<std::string, int>> out;
+  tree.match("$SYS/x", out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first, "sys");
+}
+
+TEST(TopicTree, EraseRemovesOnlyThatKey) {
+  TopicTree<std::string, int> tree;
+  tree.insert("a/b", "c1", 1);
+  tree.insert("a/b", "c2", 2);
+  EXPECT_TRUE(tree.erase("a/b", "c1"));
+  EXPECT_FALSE(tree.erase("a/b", "c1"));  // already gone
+  std::vector<std::pair<std::string, int>> out;
+  tree.match("a/b", out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first, "c2");
+}
+
+TEST(TopicTree, EraseKeyRemovesAllFilters) {
+  TopicTree<std::string, int> tree;
+  tree.insert("a/+", "c1", 1);
+  tree.insert("b/#", "c1", 2);
+  tree.insert("a/x", "c2", 3);
+  tree.erase_key("c1");
+  std::vector<std::pair<std::string, int>> out;
+  tree.match("a/x", out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first, "c2");
+  out.clear();
+  tree.match("b/anything", out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TopicTree, InsertReplacesValue) {
+  TopicTree<std::string, int> tree;
+  tree.insert("t", "c", 1);
+  tree.insert("t", "c", 9);
+  std::vector<std::pair<std::string, int>> out;
+  tree.match("t", out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].second, 9);
+}
+
+TEST(TopicTree, OverlappingFiltersReportedPerFilter) {
+  TopicTree<std::string, int> tree;
+  tree.insert("a/#", "c", 0);
+  tree.insert("a/+", "c", 1);
+  tree.insert("a/b", "c", 2);
+  std::vector<std::pair<std::string, int>> out;
+  tree.match("a/b", out);
+  EXPECT_EQ(out.size(), 3u);  // broker dedups by key, tree reports all
+}
+
+}  // namespace
+}  // namespace ifot::mqtt

@@ -1,0 +1,211 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ifot::net {
+namespace {
+
+struct Delivery {
+  NodeId from;
+  Bytes payload;
+  SimTime at;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+};
+
+LanConfig quiet_lan() {
+  LanConfig lan;
+  lan.jitter_max = 0;
+  lan.loss_prob = 0;
+  return lan;
+}
+
+TEST_F(NetworkTest, DeliversToHandler) {
+  Network net(sim_, quiet_lan(), 1);
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  std::vector<Delivery> got;
+  net.set_handler(b, [&](NodeId from, const Bytes& p) {
+    got.push_back({from, p, sim_.now()});
+  });
+  net.send(a, b, to_bytes("hello"));
+  sim_.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].from, a);
+  EXPECT_EQ(to_string(BytesView(got[0].payload)), "hello");
+  EXPECT_GT(got[0].at, 0);
+}
+
+TEST_F(NetworkTest, DeliveryDelayIncludesPropagationAndAirtime) {
+  LanConfig lan = quiet_lan();
+  lan.bandwidth_bps = 8e6;  // 1 byte / us
+  lan.propagation = from_millis(1);
+  lan.per_frame_overhead = from_millis(0.5);
+  lan.header_bytes = 0;
+  Network net(sim_, lan, 1);
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  SimTime arrival = -1;
+  net.set_handler(b, [&](NodeId, const Bytes&) { arrival = sim_.now(); });
+  net.send(a, b, Bytes(1000, 0));  // 1000 B = 1 ms at 8 Mbit/s
+  sim_.run();
+  // 0.5 ms overhead + 1 ms airtime + 1 ms propagation = 2.5 ms.
+  EXPECT_EQ(arrival, from_millis(2.5));
+}
+
+TEST_F(NetworkTest, SharedMediumSerializesConcurrentSenders) {
+  LanConfig lan = quiet_lan();
+  lan.bandwidth_bps = 8e6;
+  lan.propagation = 0;
+  lan.per_frame_overhead = 0;
+  lan.header_bytes = 0;
+  Network net(sim_, lan, 1);
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  const NodeId c = net.add_host("c");
+  std::vector<SimTime> arrivals;
+  net.set_handler(c, [&](NodeId, const Bytes&) {
+    arrivals.push_back(sim_.now());
+  });
+  // Two 1000-byte frames sent at t=0 must occupy the channel back to back.
+  net.send(a, c, Bytes(1000, 0));
+  net.send(b, c, Bytes(1000, 0));
+  sim_.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], from_millis(1));
+  EXPECT_EQ(arrivals[1], from_millis(2));
+}
+
+TEST_F(NetworkTest, PerPairFifoOrderingHolds) {
+  LanConfig lan;
+  lan.jitter_max = from_millis(5);  // jitter could reorder without FIFO
+  lan.loss_prob = 0;
+  Network net(sim_, lan, 7);
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  std::vector<std::uint8_t> got;
+  net.set_handler(b, [&](NodeId, const Bytes& p) { got.push_back(p[0]); });
+  for (std::uint8_t i = 0; i < 50; ++i) net.send(a, b, Bytes{i});
+  sim_.run();
+  ASSERT_EQ(got.size(), 50u);
+  for (std::uint8_t i = 0; i < 50; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST_F(NetworkTest, LossConsumesRetransmitsButDelivers) {
+  LanConfig lan = quiet_lan();
+  lan.loss_prob = 0.5;
+  Network net(sim_, lan, 99);
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  int delivered = 0;
+  net.set_handler(b, [&](NodeId, const Bytes&) { ++delivered; });
+  for (int i = 0; i < 200; ++i) net.send(a, b, Bytes{1});
+  sim_.run();
+  // p(drop) = 0.5^5 per frame; expect ~194+ delivered and retransmits > 0.
+  EXPECT_GT(delivered, 150);
+  EXPECT_GT(net.counters().get("lan.retransmits"), 50u);
+  EXPECT_EQ(net.counters().get("frames"), 200u);
+}
+
+TEST_F(NetworkTest, CertainLossDropsFrames) {
+  LanConfig lan = quiet_lan();
+  lan.loss_prob = 1.0;
+  lan.max_attempts = 3;
+  Network net(sim_, lan, 3);
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  int delivered = 0;
+  net.set_handler(b, [&](NodeId, const Bytes&) { ++delivered; });
+  net.send(a, b, Bytes{1});
+  sim_.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.counters().get("drops"), 1u);
+  EXPECT_EQ(net.counters().get("lan.retransmits"), 3u);
+}
+
+TEST_F(NetworkTest, RemoteHostCrossesWanLatency) {
+  Network net(sim_, quiet_lan(), 1);
+  const NodeId a = net.add_host("a");
+  WanConfig wan;
+  wan.propagation = from_millis(40);
+  wan.jitter_max = 0;
+  wan.loss_prob = 0;
+  const NodeId cloud = net.add_remote_host("cloud", wan);
+  SimTime arrival = -1;
+  net.set_handler(cloud, [&](NodeId, const Bytes&) { arrival = sim_.now(); });
+  net.send(a, cloud, Bytes{1});
+  sim_.run();
+  EXPECT_GE(arrival, from_millis(40));
+  // WAN is far slower than LAN propagation.
+  EXPECT_GT(arrival, 10 * quiet_lan().propagation);
+}
+
+TEST_F(NetworkTest, WanBandwidthQueuesLargeTransfers) {
+  Network net(sim_, quiet_lan(), 1);
+  const NodeId a = net.add_host("a");
+  WanConfig wan;
+  wan.bandwidth_bps = 8e5;  // 100 B/ms
+  wan.propagation = 0;
+  wan.jitter_max = 0;
+  wan.header_bytes = 0;
+  const NodeId cloud = net.add_remote_host("cloud", wan);
+  std::vector<SimTime> arrivals;
+  net.set_handler(cloud, [&](NodeId, const Bytes&) {
+    arrivals.push_back(sim_.now());
+  });
+  net.send(a, cloud, Bytes(1000, 0));  // 10 ms on the link
+  net.send(a, cloud, Bytes(1000, 0));
+  sim_.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], from_millis(10));
+  EXPECT_EQ(arrivals[1], from_millis(20));
+}
+
+TEST_F(NetworkTest, CountersTrackBytes) {
+  Network net(sim_, quiet_lan(), 1);
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  net.set_handler(b, [](NodeId, const Bytes&) {});
+  net.send(a, b, Bytes(123, 0));
+  net.send(a, b, Bytes(77, 0));
+  sim_.run();
+  EXPECT_EQ(net.counters().get("bytes"), 200u);
+  EXPECT_EQ(net.counters().get("frames"), 2u);
+  EXPECT_EQ(net.delivery_latency().count(), 2u);
+}
+
+TEST_F(NetworkTest, HostNames) {
+  Network net(sim_, quiet_lan(), 1);
+  const NodeId a = net.add_host("alpha");
+  const NodeId b = net.add_host("beta");
+  EXPECT_EQ(net.host_name(a), "alpha");
+  EXPECT_EQ(net.host_name(b), "beta");
+  EXPECT_EQ(net.host_count(), 2u);
+}
+
+TEST_F(NetworkTest, DeterministicAcrossRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    LanConfig lan;  // with jitter
+    Network net(sim, lan, seed);
+    const NodeId a = net.add_host("a");
+    const NodeId b = net.add_host("b");
+    std::vector<SimTime> arrivals;
+    net.set_handler(b, [&](NodeId, const Bytes&) {
+      arrivals.push_back(sim.now());
+    });
+    for (int i = 0; i < 20; ++i) net.send(a, b, Bytes{1});
+    sim.run();
+    return arrivals;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+}  // namespace
+}  // namespace ifot::net

@@ -1,0 +1,108 @@
+// Property tests for the simulated network: conservation, ordering and
+// determinism under randomized traffic, jitter and loss.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+
+namespace ifot::net {
+namespace {
+
+struct TrafficResult {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::vector<SimTime> arrivals;
+  bool fifo_ok = true;
+};
+
+/// Drives random traffic between 4 hosts and checks invariants.
+TrafficResult run_traffic(std::uint64_t seed, double loss) {
+  sim::Simulator sim;
+  LanConfig lan;
+  lan.loss_prob = loss;
+  Network net(sim, lan, seed);
+  constexpr int kHosts = 4;
+  std::vector<NodeId> hosts;
+  TrafficResult result;
+  // Per (src,dst) last sequence seen, to check FIFO.
+  std::uint64_t last_seq[kHosts][kHosts] = {};
+  for (int i = 0; i < kHosts; ++i) {
+    hosts.push_back(net.add_host("h" + std::to_string(i)));
+  }
+  for (int i = 0; i < kHosts; ++i) {
+    net.set_handler(hosts[static_cast<std::size_t>(i)],
+                    [&, i](NodeId from, const Bytes& payload) {
+                      ++result.delivered;
+                      result.arrivals.push_back(sim.now());
+                      BinaryReader r{BytesView(payload)};
+                      const auto src = from.value();
+                      const std::uint64_t seq = r.u64().value();
+                      if (seq <= last_seq[src][i] && last_seq[src][i] != 0) {
+                        result.fifo_ok = false;
+                      }
+                      last_seq[src][i] = seq;
+                    });
+  }
+  Rng rng(seed ^ 0xABCDEF);
+  std::uint64_t seq = 0;
+  for (int burst = 0; burst < 50; ++burst) {
+    sim.schedule_at(burst * from_millis(5), [&net, &hosts, &rng, &seq,
+                                             &result] {
+      for (int m = 0; m < 4; ++m) {
+        const auto a = rng.below(4);
+        auto b = rng.below(3);
+        if (b >= a) ++b;
+        Bytes payload;
+        BinaryWriter w(payload);
+        w.u64(++seq);
+        payload.resize(8 + rng.below(200));
+        net.send(hosts[a], hosts[b], payload);
+        ++result.sent;
+      }
+    });
+  }
+  sim.run();
+  result.dropped = net.counters().get("drops");
+  return result;
+}
+
+class NetProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NetProperty, ConservationWithoutLoss) {
+  const auto r = run_traffic(static_cast<std::uint64_t>(GetParam()), 0.0);
+  EXPECT_EQ(r.delivered, r.sent);
+  EXPECT_EQ(r.dropped, 0u);
+}
+
+TEST_P(NetProperty, ConservationUnderLoss) {
+  const auto r = run_traffic(static_cast<std::uint64_t>(GetParam()), 0.3);
+  EXPECT_EQ(r.delivered + r.dropped, r.sent);
+}
+
+TEST_P(NetProperty, PerPairFifoUnderJitterAndLoss) {
+  EXPECT_TRUE(run_traffic(static_cast<std::uint64_t>(GetParam()), 0.0).fifo_ok);
+  EXPECT_TRUE(run_traffic(static_cast<std::uint64_t>(GetParam()), 0.2).fifo_ok);
+}
+
+TEST_P(NetProperty, DeterministicPerSeed) {
+  const auto a = run_traffic(static_cast<std::uint64_t>(GetParam()), 0.1);
+  const auto b = run_traffic(static_cast<std::uint64_t>(GetParam()), 0.1);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.dropped, b.dropped);
+}
+
+TEST_P(NetProperty, ArrivalsNeverPrecedePhysicalMinimum) {
+  const auto r = run_traffic(static_cast<std::uint64_t>(GetParam()), 0.0);
+  const LanConfig lan;
+  // No frame can arrive before one propagation delay has elapsed.
+  for (const SimTime at : r.arrivals) {
+    EXPECT_GE(at, lan.propagation);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace ifot::net

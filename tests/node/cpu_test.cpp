@@ -1,0 +1,129 @@
+#include "node/cpu_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ifot::node {
+namespace {
+
+TEST(CpuQueue, SingleJobCompletesAfterServiceTime) {
+  sim::Simulator sim;
+  CpuQueue cpu(sim, CpuProfile{1.0});
+  SimTime done = -1;
+  cpu.execute(from_millis(10), [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, from_millis(10));
+}
+
+TEST(CpuQueue, JobsQueueFifo) {
+  sim::Simulator sim;
+  CpuQueue cpu(sim, CpuProfile{1.0});
+  std::vector<SimTime> done;
+  for (int i = 0; i < 3; ++i) {
+    cpu.execute(from_millis(5), [&] { done.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], from_millis(5));
+  EXPECT_EQ(done[1], from_millis(10));
+  EXPECT_EQ(done[2], from_millis(15));
+}
+
+TEST(CpuQueue, FasterProfileShortensService) {
+  sim::Simulator sim;
+  CpuQueue cpu(sim, CpuProfile{4.0});  // 4x Raspberry Pi
+  SimTime done = -1;
+  cpu.execute(from_millis(20), [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, from_millis(5));
+}
+
+TEST(CpuQueue, SlowerProfileStretchesService) {
+  sim::Simulator sim;
+  CpuQueue cpu(sim, CpuProfile{0.5});
+  SimTime done = -1;
+  cpu.execute(from_millis(10), [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, from_millis(20));
+}
+
+TEST(CpuQueue, IdleGapsDoNotAccumulate) {
+  sim::Simulator sim;
+  CpuQueue cpu(sim, CpuProfile{1.0});
+  SimTime first = -1;
+  cpu.execute(from_millis(1), [&] { first = sim.now(); });
+  sim.run();
+  // Schedule the next job well after the first completed.
+  sim.schedule_at(from_millis(100), [&] {
+    cpu.execute(from_millis(1), [&] {
+      EXPECT_EQ(sim.now(), from_millis(101));
+    });
+  });
+  sim.run();
+  EXPECT_EQ(first, from_millis(1));
+}
+
+TEST(CpuQueue, BacklogReflectsQueuedWork) {
+  sim::Simulator sim;
+  CpuQueue cpu(sim, CpuProfile{1.0});
+  EXPECT_EQ(cpu.backlog(), 0);
+  cpu.execute(from_millis(10), [] {});
+  cpu.execute(from_millis(10), [] {});
+  EXPECT_EQ(cpu.backlog(), from_millis(20));
+  sim.run();
+  EXPECT_EQ(cpu.backlog(), 0);
+}
+
+TEST(CpuQueue, TotalBusyAccumulates) {
+  sim::Simulator sim;
+  CpuQueue cpu(sim, CpuProfile{2.0});
+  cpu.execute(from_millis(10), [] {});
+  cpu.execute(from_millis(10), [] {});
+  sim.run();
+  EXPECT_EQ(cpu.total_busy(), from_millis(10));  // scaled by factor 2
+}
+
+TEST(CpuQueue, ZeroCostRunsInOrder) {
+  sim::Simulator sim;
+  CpuQueue cpu(sim, CpuProfile{1.0});
+  std::vector<int> order;
+  cpu.execute(0, [&] { order.push_back(1); });
+  cpu.execute(0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(CpuQueue, WorkSubmittedFromCompletionChains) {
+  sim::Simulator sim;
+  CpuQueue cpu(sim, CpuProfile{1.0});
+  SimTime done = -1;
+  cpu.execute(from_millis(5), [&] {
+    cpu.execute(from_millis(5), [&] { done = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(done, from_millis(10));
+}
+
+TEST(CostModel, DefaultsSatisfyCalibrationInvariants) {
+  const CostModel costs;
+  // Training must dominate predicting (paper: training path saturates
+  // first), and stream ops must be far cheaper than analysis ops.
+  EXPECT_GT(costs.train, costs.predict);
+  EXPECT_GT(costs.predict, costs.stream_op);
+  EXPECT_GT(costs.anomaly, costs.stream_op);
+  // Train-module capacity (deliver + train per message) must sit between
+  // 30 and 60 msg/s so the knee falls between 20 Hz and 40 Hz x 3 sensors.
+  const double per_msg_s = to_seconds(costs.deliver + costs.train);
+  const double capacity = 1.0 / per_msg_s;
+  EXPECT_GT(capacity, 30.0);
+  EXPECT_LT(capacity, 90.0);
+  // Predict-module capacity must exceed 60 msg/s (20 Hz x 3 fine) and be
+  // below 240 msg/s (80 Hz x 3 saturates).
+  const double predict_capacity = 1.0 / to_seconds(costs.deliver + costs.predict);
+  EXPECT_GT(predict_capacity, 60.0);
+  EXPECT_LT(predict_capacity, 240.0);
+}
+
+}  // namespace
+}  // namespace ifot::node

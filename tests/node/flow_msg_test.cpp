@@ -1,0 +1,73 @@
+#include "node/flow_msg.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ifot::node {
+namespace {
+
+device::Sample make_sample() {
+  device::Sample s;
+  s.source = "sense_a";
+  s.seq = 99;
+  s.sensed_at = 123456789;
+  s.fields = {{"ax", 1.5}, {"ay", -2.5}};
+  s.label = "walking";
+  return s;
+}
+
+TEST(FlowMsg, SampleRoundTrip) {
+  const device::Sample s = make_sample();
+  auto decoded = decode_flow(BytesView(encode_flow(s)));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  const auto* out = std::get_if<device::Sample>(&decoded.value());
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, s);
+}
+
+TEST(FlowMsg, ModelRoundTrip) {
+  const ModelMsg m{"train#2", Bytes{1, 2, 3, 4, 5}};
+  auto decoded = decode_flow(BytesView(encode_flow(m)));
+  ASSERT_TRUE(decoded.ok());
+  const auto* out = std::get_if<ModelMsg>(&decoded.value());
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, m);
+}
+
+TEST(FlowMsg, EmptyModelRoundTrip) {
+  const ModelMsg m{"t", {}};
+  auto decoded = decode_flow(BytesView(encode_flow(m)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(std::get<ModelMsg>(decoded.value()), m);
+}
+
+TEST(FlowMsg, RejectsEmptyBuffer) {
+  EXPECT_FALSE(decode_flow(BytesView(Bytes{})).ok());
+}
+
+TEST(FlowMsg, RejectsUnknownTag) {
+  const Bytes bad = {0x7F, 0x00};
+  auto decoded = decode_flow(BytesView(bad));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, Errc::kParse);
+}
+
+TEST(FlowMsg, RejectsTruncatedSample) {
+  Bytes wire = encode_flow(make_sample());
+  wire.resize(wire.size() / 2);
+  EXPECT_FALSE(decode_flow(BytesView(wire)).ok());
+}
+
+TEST(FlowMsg, RejectsModelWithTrailingBytes) {
+  Bytes wire = encode_flow(ModelMsg{"t", Bytes{1}});
+  wire.push_back(0xAA);
+  EXPECT_FALSE(decode_flow(BytesView(wire)).ok());
+}
+
+TEST(FlowMsg, TagsDistinguishKinds) {
+  const Bytes sample_wire = encode_flow(make_sample());
+  const Bytes model_wire = encode_flow(ModelMsg{"t", Bytes{1}});
+  EXPECT_NE(sample_wire[0], model_wire[0]);
+}
+
+}  // namespace
+}  // namespace ifot::node

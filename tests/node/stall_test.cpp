@@ -1,0 +1,74 @@
+// The CPU stall model: rare time-based freezes that reproduce the
+// paper's low-rate max-latency outliers without changing capacity.
+#include <gtest/gtest.h>
+
+#include "node/cpu_model.hpp"
+
+namespace ifot::node {
+namespace {
+
+TEST(CpuStall, DisabledByDefault) {
+  sim::Simulator sim;
+  CpuQueue cpu(sim, CpuProfile{});
+  SimTime done = -1;
+  cpu.execute(from_millis(5), [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, from_millis(5));
+  EXPECT_EQ(cpu.total_stalled(), 0);
+  EXPECT_EQ(sim.pending(), 0u);  // no stall timer armed
+}
+
+TEST(CpuStall, InjectsFreezesOverTime) {
+  sim::Simulator sim;
+  CpuProfile profile;
+  profile.stall_mean_interval = kSecond;
+  profile.stall_min = from_millis(100);
+  profile.stall_max = from_millis(200);
+  CpuQueue cpu(sim, profile, Rng(42));
+  sim.run_until(30 * kSecond);
+  // ~30 stalls expected; allow wide slack.
+  EXPECT_GT(cpu.total_stalled(), 10 * from_millis(100));
+  EXPECT_LT(cpu.total_stalled(), 90 * from_millis(200));
+}
+
+TEST(CpuStall, QueuedWorkWaitsOutTheFreeze) {
+  sim::Simulator sim;
+  CpuProfile profile;
+  profile.stall_mean_interval = 10 * kSecond;  // rare
+  profile.stall_min = from_millis(300);
+  profile.stall_max = from_millis(300);
+  CpuQueue cpu(sim, profile, Rng(7));
+  // Find when the first stall fires by sampling total_stalled.
+  SimTime stall_at = -1;
+  for (SimTime t = 0; t < 120 * kSecond && stall_at < 0; t += kMillisecond) {
+    sim.run_until(t);
+    if (cpu.total_stalled() > 0) stall_at = t;
+  }
+  ASSERT_GT(stall_at, 0);
+  // Work submitted right after the freeze begins completes only after
+  // the freeze plus its own service time.
+  SimTime done = -1;
+  cpu.execute(from_millis(5), [&] { done = sim.now(); });
+  sim.run_until(stall_at + kSecond);
+  ASSERT_GT(done, 0);
+  EXPECT_GE(done - stall_at, from_millis(5));
+  EXPECT_LE(done - stall_at, from_millis(306));
+}
+
+TEST(CpuStall, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    CpuProfile profile;
+    profile.stall_mean_interval = kSecond;
+    profile.stall_min = from_millis(50);
+    profile.stall_max = from_millis(150);
+    CpuQueue cpu(sim, profile, Rng(seed));
+    sim.run_until(20 * kSecond);
+    return cpu.total_stalled();
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace ifot::node

@@ -1,0 +1,604 @@
+#include "node/tasks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/model_io.hpp"
+#include "recipe/parser.hpp"
+
+namespace ifot::node {
+namespace {
+
+/// TaskContext capturing emissions for assertions.
+class FakeContext final : public TaskContext {
+ public:
+  [[nodiscard]] SimTime now() const override { return now_; }
+  void emit_sample(const recipe::Task&, device::Sample s) override {
+    samples.push_back(std::move(s));
+  }
+  void emit_model(const recipe::Task&, Bytes model) override {
+    models.push_back(std::move(model));
+  }
+  void report_completion(const recipe::Task&,
+                         const device::Sample& s) override {
+    completions.push_back(s);
+  }
+  void set_now(SimTime t) { now_ = t; }
+
+  std::vector<device::Sample> samples;
+  std::vector<Bytes> models;
+  std::vector<device::Sample> completions;
+
+ private:
+  SimTime now_ = 0;
+};
+
+recipe::RecipeNode node_of(const std::string& name, const std::string& type,
+                           recipe::ParamMap params = {}) {
+  recipe::RecipeNode n;
+  n.name = name;
+  n.type = type;
+  n.params = std::move(params);
+  return n;
+}
+
+recipe::Task spec_of(const std::string& name, std::size_t shard = 0,
+                     std::size_t shard_count = 1) {
+  recipe::Task t;
+  t.id = TaskId{0};
+  t.name = name;
+  t.shard = shard;
+  t.shard_count = shard_count;
+  t.output_topic = "ifot/test/" + name;
+  return t;
+}
+
+device::Sample sample_with(const std::string& source, std::uint64_t seq,
+                           std::vector<std::pair<std::string, double>> fields,
+                           const std::string& label = "") {
+  device::Sample s;
+  s.source = source;
+  s.seq = seq;
+  s.sensed_at = 42;
+  s.fields = std::move(fields);
+  s.label = label;
+  return s;
+}
+
+// ---- sensor ----------------------------------------------------------------
+
+TEST(SensorTask, TickEmitsStampedSamples) {
+  auto model = device::make_sensor_model("constant", Rng(1));
+  ASSERT_TRUE(model.ok());
+  SensorTask task(spec_of("s"),
+                  node_of("s", "sensor", {{"rate_hz", 10.0}}),
+                  std::move(model).value());
+  FakeContext ctx;
+  task.tick(ctx, 100);
+  task.tick(ctx, 200);
+  ASSERT_EQ(ctx.samples.size(), 2u);
+  EXPECT_EQ(ctx.samples[0].source, "s");
+  EXPECT_EQ(ctx.samples[0].seq, 0u);
+  EXPECT_EQ(ctx.samples[0].sensed_at, 100);
+  EXPECT_EQ(ctx.samples[1].seq, 1u);
+  EXPECT_EQ(ctx.samples[1].sensed_at, 200);
+}
+
+TEST(SensorTask, RatePeriodFromParam) {
+  auto model = device::make_sensor_model("constant", Rng(1));
+  SensorTask task(spec_of("s"),
+                  node_of("s", "sensor", {{"rate_hz", 20.0}}),
+                  std::move(model).value());
+  EXPECT_EQ(task.rate_period(), kSecond / 20);
+}
+
+// ---- shard partitioning ----------------------------------------------------
+
+TEST(FlowTask, ShardAcceptancePartitionsBySeq) {
+  MergeTask shard0(spec_of("m#0", 0, 3), node_of("m", "merge"));
+  MergeTask shard1(spec_of("m#1", 1, 3), node_of("m", "merge"));
+  MergeTask shard2(spec_of("m#2", 2, 3), node_of("m", "merge"));
+  int accepted = 0;
+  for (std::uint64_t seq = 0; seq < 30; ++seq) {
+    const auto s = sample_with("src", seq, {{"v", 1.0}});
+    const int hits = (shard0.accepts(s) ? 1 : 0) + (shard1.accepts(s) ? 1 : 0) +
+                     (shard2.accepts(s) ? 1 : 0);
+    EXPECT_EQ(hits, 1) << "seq " << seq;  // exactly one shard owns it
+    accepted += hits;
+  }
+  EXPECT_EQ(accepted, 30);
+}
+
+// ---- window ----------------------------------------------------------------
+
+TEST(WindowTask, TumblingMeanAggregation) {
+  WindowTask task(spec_of("w"),
+                  node_of("w", "window",
+                          {{"size", 4.0}, {"aggregate", std::string("mean")}}));
+  FakeContext ctx;
+  for (int i = 1; i <= 8; ++i) {
+    task.process(ctx, FlowPayload{sample_with(
+                          "s", static_cast<std::uint64_t>(i),
+                          {{"v", static_cast<double>(i)}})});
+  }
+  ASSERT_EQ(ctx.samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(ctx.samples[0].field("v", 0), 2.5);   // mean(1..4)
+  EXPECT_DOUBLE_EQ(ctx.samples[1].field("v", 0), 6.5);   // mean(5..8)
+  EXPECT_EQ(ctx.samples[0].source, "w");
+}
+
+TEST(WindowTask, MaxAndMinAggregation) {
+  for (const auto& [agg, expected] :
+       std::vector<std::pair<std::string, double>>{{"max", 4.0},
+                                                   {"min", 1.0},
+                                                   {"sum", 10.0},
+                                                   {"last", 4.0}}) {
+    WindowTask task(
+        spec_of("w"),
+        node_of("w", "window", {{"size", 4.0}, {"aggregate", agg}}));
+    FakeContext ctx;
+    for (int i = 1; i <= 4; ++i) {
+      task.process(ctx, FlowPayload{sample_with(
+                            "s", static_cast<std::uint64_t>(i),
+                            {{"v", static_cast<double>(i)}})});
+    }
+    ASSERT_EQ(ctx.samples.size(), 1u) << agg;
+    EXPECT_DOUBLE_EQ(ctx.samples[0].field("v", 0), expected) << agg;
+  }
+}
+
+TEST(WindowTask, SlidingWindowOverlaps) {
+  WindowTask task(spec_of("w"),
+                  node_of("w", "window", {{"size", 4.0}, {"slide", 2.0}}));
+  FakeContext ctx;
+  for (int i = 1; i <= 8; ++i) {
+    task.process(ctx, FlowPayload{sample_with(
+                          "s", static_cast<std::uint64_t>(i),
+                          {{"v", static_cast<double>(i)}})});
+  }
+  // Windows: [1..4], [3..6], [5..8].
+  ASSERT_EQ(ctx.samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(ctx.samples[0].field("v", 0), 2.5);
+  EXPECT_DOUBLE_EQ(ctx.samples[1].field("v", 0), 4.5);
+  EXPECT_DOUBLE_EQ(ctx.samples[2].field("v", 0), 6.5);
+}
+
+TEST(WindowTask, LatencyStampsFromOldestContribution) {
+  WindowTask task(spec_of("w"), node_of("w", "window", {{"size", 2.0}}));
+  FakeContext ctx;
+  auto s1 = sample_with("s", 0, {{"v", 1.0}});
+  s1.sensed_at = 100;
+  auto s2 = sample_with("s", 1, {{"v", 2.0}});
+  s2.sensed_at = 900;
+  task.process(ctx, FlowPayload{s1});
+  task.process(ctx, FlowPayload{s2});
+  ASSERT_EQ(ctx.samples.size(), 1u);
+  EXPECT_EQ(ctx.samples[0].sensed_at, 100);
+}
+
+TEST(WindowTask, EventTimeTumblingFlushesOnBucketBoundary) {
+  WindowTask task(spec_of("w"),
+                  node_of("w", "window", {{"span_ms", 100.0}}));
+  FakeContext ctx;
+  // Three samples in bucket 0 (0-100 ms), then one in bucket 1.
+  for (int i = 0; i < 3; ++i) {
+    auto s = sample_with("s", static_cast<std::uint64_t>(i),
+                         {{"v", static_cast<double>(i + 1)}});
+    s.sensed_at = from_millis(10.0 * (i + 1));
+    task.process(ctx, FlowPayload{s});
+  }
+  EXPECT_TRUE(ctx.samples.empty());  // bucket still open
+  auto s = sample_with("s", 3, {{"v", 10.0}});
+  s.sensed_at = from_millis(150);
+  task.process(ctx, FlowPayload{s});
+  ASSERT_EQ(ctx.samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(ctx.samples[0].field("v", 0), 2.0);  // mean(1,2,3)
+  EXPECT_EQ(ctx.samples[0].sensed_at, from_millis(10));
+}
+
+TEST(WindowTask, EventTimeBucketsOfVaryingSize) {
+  WindowTask task(spec_of("w"),
+                  node_of("w", "window",
+                          {{"span_ms", 100.0}, {"aggregate", std::string("sum")}}));
+  FakeContext ctx;
+  const double times_ms[] = {5, 50, 120, 250, 260, 270, 350};
+  for (std::size_t i = 0; i < std::size(times_ms); ++i) {
+    auto s = sample_with("s", i, {{"v", 1.0}});
+    s.sensed_at = from_millis(times_ms[i]);
+    task.process(ctx, FlowPayload{s});
+  }
+  // Buckets closed: [0,100) -> 2 samples, [100,200) -> 1, [200,300) -> 3.
+  ASSERT_EQ(ctx.samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(ctx.samples[0].field("v", 0), 2.0);
+  EXPECT_DOUBLE_EQ(ctx.samples[1].field("v", 0), 1.0);
+  EXPECT_DOUBLE_EQ(ctx.samples[2].field("v", 0), 3.0);
+}
+
+TEST(WindowTask, IgnoresModelPayloads) {
+  WindowTask task(spec_of("w"), node_of("w", "window", {{"size", 1.0}}));
+  FakeContext ctx;
+  task.process(ctx, FlowPayload{ModelMsg{"t", Bytes{1, 2, 3}}});
+  EXPECT_TRUE(ctx.samples.empty());
+}
+
+// ---- filter ----------------------------------------------------------------
+
+TEST(FilterTask, PassesAndDropsByPredicate) {
+  FilterTask task(spec_of("f"),
+                  node_of("f", "filter",
+                          {{"field", std::string("v")},
+                           {"op", std::string("gt")},
+                           {"value", 5.0}}));
+  FakeContext ctx;
+  task.process(ctx, FlowPayload{sample_with("s", 0, {{"v", 7.0}})});
+  task.process(ctx, FlowPayload{sample_with("s", 1, {{"v", 3.0}})});
+  task.process(ctx, FlowPayload{sample_with("s", 2, {{"v", 5.0}})});
+  ASSERT_EQ(ctx.samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(ctx.samples[0].field("v", 0), 7.0);
+}
+
+TEST(FilterTask, AllOperators) {
+  const struct {
+    const char* op;
+    double value;
+    bool pass;  // for input v = 5
+  } cases[] = {
+      {"lt", 6, true}, {"lt", 5, false}, {"le", 5, true},
+      {"gt", 4, true}, {"ge", 5, true},  {"eq", 5, true},
+      {"eq", 4, false}, {"ne", 4, true}, {"ne", 5, false},
+  };
+  for (const auto& c : cases) {
+    FilterTask task(spec_of("f"),
+                    node_of("f", "filter",
+                            {{"field", std::string("v")},
+                             {"op", std::string(c.op)},
+                             {"value", c.value}}));
+    FakeContext ctx;
+    task.process(ctx, FlowPayload{sample_with("s", 0, {{"v", 5.0}})});
+    EXPECT_EQ(ctx.samples.size(), c.pass ? 1u : 0u)
+        << c.op << " " << c.value;
+  }
+}
+
+// ---- map -------------------------------------------------------------------
+
+TEST(MapTask, AffineTransformWithRename) {
+  MapTask task(spec_of("m"),
+               node_of("m", "map",
+                       {{"field", std::string("c")},
+                        {"out_field", std::string("f")},
+                        {"scale", 1.8},
+                        {"offset", 32.0}}));
+  FakeContext ctx;
+  task.process(ctx, FlowPayload{sample_with("s", 0, {{"c", 100.0}})});
+  ASSERT_EQ(ctx.samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(ctx.samples[0].field("f", 0), 212.0);
+  EXPECT_DOUBLE_EQ(ctx.samples[0].field("c", 0), 100.0);  // original kept
+}
+
+// ---- anomaly ---------------------------------------------------------------
+
+TEST(AnomalyTask, TagsOutliersAndReportsCompletions) {
+  AnomalyTask task(spec_of("a"),
+                   node_of("a", "anomaly",
+                           {{"algorithm", std::string("zscore")},
+                            {"threshold", 4.0},
+                            {"min_samples", 10.0}}));
+  FakeContext ctx;
+  Rng rng(3);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    task.process(ctx, FlowPayload{sample_with("s", i,
+                                              {{"v", rng.normal(0, 1)}})});
+  }
+  task.process(ctx, FlowPayload{sample_with("s", 200, {{"v", 100.0}})});
+  ASSERT_EQ(ctx.samples.size(), 201u);
+  EXPECT_EQ(ctx.samples.back().label, "anomaly");
+  EXPECT_GT(ctx.samples.back().field("score", 0), 4.0);
+  EXPECT_EQ(ctx.completions.size(), 201u);
+  int anomalies = 0;
+  for (const auto& s : ctx.samples) {
+    if (s.label == "anomaly") ++anomalies;
+  }
+  EXPECT_LT(anomalies, 5);  // normal data rarely flagged at threshold 4
+}
+
+TEST(AnomalyTask, EmitAnomaliesOnlyDropsNormals) {
+  AnomalyTask task(spec_of("a"),
+                   node_of("a", "anomaly",
+                           {{"algorithm", std::string("zscore")},
+                            {"threshold", 4.0},
+                            {"min_samples", 10.0},
+                            {"emit", std::string("anomalies")}}));
+  FakeContext ctx;
+  Rng rng(5);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    task.process(ctx, FlowPayload{sample_with("s", i,
+                                              {{"v", rng.normal(0, 1)}})});
+  }
+  const std::size_t before = ctx.samples.size();
+  task.process(ctx, FlowPayload{sample_with("s", 100, {{"v", 80.0}})});
+  EXPECT_EQ(ctx.samples.size(), before + 1);
+  EXPECT_LT(before, 5u);
+  EXPECT_EQ(ctx.completions.size(), 101u);  // completions for every sample
+}
+
+TEST(AnomalyTask, LofVariantRuns) {
+  AnomalyTask task(spec_of("a"),
+                   node_of("a", "anomaly",
+                           {{"algorithm", std::string("lof")},
+                            {"threshold", 3.0},
+                            {"k", 5.0}}));
+  FakeContext ctx;
+  Rng rng(6);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    task.process(ctx, FlowPayload{sample_with(
+                          "s", i, {{"x", rng.normal(0, 0.3)},
+                                   {"y", rng.normal(0, 0.3)}})});
+  }
+  task.process(ctx,
+               FlowPayload{sample_with("s", 50, {{"x", 50.0}, {"y", 50.0}})});
+  EXPECT_EQ(ctx.samples.back().label, "anomaly");
+}
+
+// ---- train -----------------------------------------------------------------
+
+TEST(TrainTask, TrainsOnLabelledSamplesOnly) {
+  TrainTask task(spec_of("t"),
+                 node_of("t", "train",
+                         {{"algorithm", std::string("arow")},
+                          {"publish_every", 4.0}}));
+  FakeContext ctx;
+  task.process(ctx, FlowPayload{sample_with("s", 0, {{"v", 1.0}})});  // no label
+  EXPECT_EQ(ctx.completions.size(), 0u);
+  task.process(ctx, FlowPayload{sample_with("s", 1, {{"v", 1.0}}, "a")});
+  EXPECT_EQ(ctx.completions.size(), 1u);
+  EXPECT_EQ(task.classifier().model().update_count(), 1u);
+}
+
+TEST(TrainTask, PublishesModelEveryN) {
+  TrainTask task(spec_of("t"),
+                 node_of("t", "train",
+                         {{"algorithm", std::string("pa1")},
+                          {"publish_every", 3.0}}));
+  FakeContext ctx;
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    task.process(ctx, FlowPayload{sample_with(
+                          "s", i, {{"v", i % 2 ? 1.0 : -1.0}},
+                          i % 2 ? "pos" : "neg")});
+  }
+  EXPECT_EQ(ctx.models.size(), 3u);
+  // Published models decode into the live model.
+  auto decoded = ml::ModelCodec::decode_linear(BytesView(ctx.models.back()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().label_count(), 2u);
+}
+
+TEST(TrainTask, IgnoresInboundModelsWithoutMix) {
+  TrainTask task(spec_of("t"),
+                 node_of("t", "train", {{"algorithm", std::string("pa")}}));
+  FakeContext ctx;
+  task.process(ctx, FlowPayload{ModelMsg{"other", Bytes{9, 9}}});
+  EXPECT_TRUE(ctx.completions.empty());
+  EXPECT_EQ(task.classifier().model().update_count(), 0u);
+  EXPECT_EQ(task.mixes_applied(), 0u);
+}
+
+TEST(TrainTask, LearnerSideMixAdoptsPeerKnowledge) {
+  // Shard 0 never sees label "up"; after mixing in a peer model that
+  // knows it, shard 0 can classify both labels.
+  TrainTask peer(spec_of("t#1", 1, 2),
+                 node_of("t", "train", {{"algorithm", std::string("arow")},
+                                        {"mix", true},
+                                        {"publish_every", 1000.0}}));
+  FakeContext pctx;
+  Rng rng(17);
+  for (std::uint64_t i = 0; i < 600; ++i) {
+    const double y = rng.uniform(-1, 1);
+    peer.process(pctx, FlowPayload{sample_with("s", i * 2 + 1, {{"y", y}},
+                                               y > 0 ? "up" : "down")});
+  }
+  const Bytes peer_model = ml::ModelCodec::encode(peer.classifier().model());
+
+  TrainTask shard(spec_of("t#0", 0, 2),
+                  node_of("t", "train", {{"algorithm", std::string("arow")},
+                                         {"mix", true},
+                                         {"publish_every", 1000.0}}));
+  FakeContext ctx;
+  EXPECT_EQ(shard.classifier().model().label_count(), 0u);
+  shard.process(ctx, FlowPayload{ModelMsg{"t#1", peer_model}});
+  EXPECT_EQ(shard.mixes_applied(), 1u);
+  EXPECT_EQ(shard.classifier().model().label_count(), 2u);
+  ml::FeatureVector up;
+  up.set(hashed_feature_id("y"), 0.9);
+  EXPECT_EQ(shard.classifier().classify(up).label, "up");
+}
+
+TEST(TrainTask, MixIgnoresOwnModelEcho) {
+  TrainTask shard(spec_of("t#0", 0, 2),
+                  node_of("t", "train", {{"algorithm", std::string("arow")},
+                                         {"mix", true}}));
+  FakeContext ctx;
+  shard.process(ctx, FlowPayload{ModelMsg{"t#0", Bytes{1, 2, 3}}});
+  EXPECT_EQ(shard.mixes_applied(), 0u);
+}
+
+TEST(TrainTask, MixRejectsCorruptPeerModel) {
+  TrainTask shard(spec_of("t#0", 0, 2),
+                  node_of("t", "train", {{"algorithm", std::string("arow")},
+                                         {"mix", true}}));
+  FakeContext ctx;
+  shard.process(ctx, FlowPayload{ModelMsg{"t#1", Bytes{0xFF, 0x00}}});
+  EXPECT_EQ(shard.mixes_applied(), 0u);
+}
+
+TEST(TrainTask, CostDependsOnPayloadKind) {
+  TrainTask task(spec_of("t"),
+                 node_of("t", "train", {{"algorithm", std::string("arow")}}));
+  const CostModel costs;
+  EXPECT_EQ(task.cost(costs, FlowPayload{device::Sample{}}), costs.train);
+  // A model payload costs decode + MIX over own model and peers.
+  EXPECT_GE(task.cost(costs, FlowPayload{ModelMsg{}}), costs.model_io);
+  EXPECT_LT(task.cost(costs, FlowPayload{ModelMsg{}}), costs.model_io * 4);
+}
+
+// ---- predict ---------------------------------------------------------------
+
+TEST(PredictTask, NoModelYieldsEmptyLabel) {
+  PredictTask task(spec_of("p"), node_of("p", "predict"));
+  FakeContext ctx;
+  task.process(ctx, FlowPayload{sample_with("s", 0, {{"v", 1.0}})});
+  ASSERT_EQ(ctx.samples.size(), 1u);
+  EXPECT_EQ(ctx.samples[0].label, "");
+  EXPECT_EQ(ctx.completions.size(), 1u);
+}
+
+TEST(PredictTask, UsesShippedModel) {
+  // Train a model elsewhere, ship it, expect correct predictions.
+  TrainTask trainer(spec_of("t"),
+                    node_of("t", "train",
+                            {{"algorithm", std::string("arow")},
+                             {"publish_every", 100.0}}));
+  FakeContext tctx;
+  Rng rng(7);
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    const double x = rng.uniform(-1, 1);
+    trainer.process(
+        tctx, FlowPayload{sample_with("s", i, {{"x", x}},
+                                      x > 0 ? "pos" : "neg")});
+  }
+  const Bytes model = ml::ModelCodec::encode(trainer.classifier().model());
+
+  PredictTask task(spec_of("p"), node_of("p", "predict"));
+  FakeContext ctx;
+  task.process(ctx, FlowPayload{ModelMsg{"t", model}});
+  EXPECT_EQ(task.model_updates(), 1u);
+  task.process(ctx, FlowPayload{sample_with("s", 0, {{"x", 0.9}})});
+  task.process(ctx, FlowPayload{sample_with("s", 1, {{"x", -0.9}})});
+  ASSERT_EQ(ctx.samples.size(), 2u);
+  EXPECT_EQ(ctx.samples[0].label, "pos");
+  EXPECT_EQ(ctx.samples[1].label, "neg");
+  EXPECT_NE(ctx.samples[0].field("confidence", -1), -1);
+}
+
+TEST(PredictTask, MixesModelsFromSeveralProducers) {
+  // Label by sign(y). Each shard sees only one half of the x axis but
+  // both labels, so each learns the boundary from partial data; the
+  // consumer-side MIX must classify in both halves.
+  auto train_half = [](bool positive_x) {
+    TrainTask t(spec_of("t"),
+                node_of("t", "train", {{"algorithm", std::string("arow")},
+                                       {"publish_every", 1000.0}}));
+    FakeContext ctx;
+    Rng rng(positive_x ? 8u : 9u);
+    for (std::uint64_t i = 0; i < 800; ++i) {
+      double x = rng.uniform(0.05, 1);
+      if (!positive_x) x = -x;
+      const double y = rng.uniform(-1, 1);
+      t.process(ctx, FlowPayload{sample_with("s", i, {{"x", x}, {"y", y}},
+                                             y > 0 ? "up" : "down")});
+    }
+    return ml::ModelCodec::encode(t.classifier().model());
+  };
+  PredictTask task(spec_of("p"), node_of("p", "predict"));
+  FakeContext ctx;
+  task.process(ctx, FlowPayload{ModelMsg{"shard0", train_half(true)}});
+  task.process(ctx, FlowPayload{ModelMsg{"shard1", train_half(false)}});
+  EXPECT_EQ(task.model_sources(), 2u);
+  task.process(ctx, FlowPayload{sample_with("s", 0, {{"x", 0.8}, {"y", 0.9}})});
+  task.process(ctx,
+               FlowPayload{sample_with("s", 1, {{"x", -0.8}, {"y", -0.9}})});
+  ASSERT_EQ(ctx.samples.size(), 2u);
+  EXPECT_EQ(ctx.samples[0].label, "up");
+  EXPECT_EQ(ctx.samples[1].label, "down");
+}
+
+TEST(PredictTask, BadModelPayloadIgnored) {
+  PredictTask task(spec_of("p"), node_of("p", "predict"));
+  FakeContext ctx;
+  task.process(ctx, FlowPayload{ModelMsg{"evil", Bytes{0xFF, 0x00}}});
+  EXPECT_EQ(task.model_updates(), 0u);
+}
+
+// ---- estimate --------------------------------------------------------------
+
+TEST(EstimateTask, LearnsTargetOnline) {
+  EstimateTask task(spec_of("e"),
+                    node_of("e", "estimate",
+                            {{"target", std::string("t")},
+                             {"epsilon", 0.01}}));
+  FakeContext ctx;
+  Rng rng(10);
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(-1, 1);
+    task.process(ctx, FlowPayload{sample_with(
+                          "s", i, {{"x", x}, {"t", 3 * x}})});
+  }
+  // Estimate for a fresh sample without the target field.
+  ctx.samples.clear();
+  task.process(ctx, FlowPayload{sample_with("s", 9999, {{"x", 0.5}})});
+  ASSERT_EQ(ctx.samples.size(), 1u);
+  EXPECT_NEAR(ctx.samples[0].field("estimate", 0), 1.5, 0.3);
+}
+
+// ---- cluster ---------------------------------------------------------------
+
+TEST(ClusterTask, AssignsStableClusters) {
+  ClusterTask task(spec_of("c"), node_of("c", "cluster", {{"k", 2.0}}));
+  FakeContext ctx;
+  Rng rng(11);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const bool left = i % 2 == 0;
+    const double v = left ? rng.normal(0, 0.2) : rng.normal(10, 0.2);
+    task.process(ctx, FlowPayload{sample_with("s", i, {{"v", v}})});
+  }
+  // Samples near 0 and near 10 must land in different clusters.
+  ctx.samples.clear();
+  task.process(ctx, FlowPayload{sample_with("s", 1000, {{"v", 0.0}})});
+  task.process(ctx, FlowPayload{sample_with("s", 1001, {{"v", 10.0}})});
+  ASSERT_EQ(ctx.samples.size(), 2u);
+  EXPECT_NE(ctx.samples[0].field("cluster", -1),
+            ctx.samples[1].field("cluster", -1));
+}
+
+// ---- merge / actuator --------------------------------------------------------
+
+TEST(MergeTask, ReemitsUnderOwnName) {
+  MergeTask task(spec_of("m"), node_of("m", "merge"));
+  FakeContext ctx;
+  task.process(ctx, FlowPayload{sample_with("a", 7, {{"v", 1.0}})});
+  task.process(ctx, FlowPayload{sample_with("b", 3, {{"v", 2.0}})});
+  ASSERT_EQ(ctx.samples.size(), 2u);
+  EXPECT_EQ(ctx.samples[0].source, "m");
+  EXPECT_EQ(ctx.samples[0].seq, 0u);
+  EXPECT_EQ(ctx.samples[1].seq, 1u);
+  EXPECT_DOUBLE_EQ(ctx.samples[1].field("v", 0), 2.0);
+}
+
+TEST(ActuatorTask, AppliesToSink) {
+  device::ActuatorSink sink("relay", from_millis(1));
+  ActuatorTask task(spec_of("act"), node_of("act", "actuator"), &sink);
+  FakeContext ctx;
+  ctx.set_now(500);
+  auto s = sample_with("p", 0, {{"v", 1.0}}, "on");
+  task.process(ctx, FlowPayload{s});
+  ASSERT_EQ(sink.count(), 1u);
+  EXPECT_EQ(sink.records()[0].label, "on");
+  EXPECT_EQ(ctx.completions.size(), 1u);
+  EXPECT_TRUE(ctx.samples.empty());  // sinks do not re-emit
+}
+
+// ---- feature hashing ---------------------------------------------------------
+
+TEST(FeatureHashing, StableAndDistinct) {
+  EXPECT_EQ(hashed_feature_id("ax"), hashed_feature_id("ax"));
+  EXPECT_NE(hashed_feature_id("ax"), hashed_feature_id("ay"));
+  EXPECT_NE(hashed_feature_id("ax"), hashed_feature_id("az"));
+}
+
+TEST(FeaturesOf, OrderIndependent) {
+  auto a = sample_with("s", 0, {{"x", 1.0}, {"y", 2.0}});
+  auto b = sample_with("s", 0, {{"y", 2.0}, {"x", 1.0}});
+  EXPECT_EQ(features_of(a), features_of(b));
+}
+
+}  // namespace
+}  // namespace ifot::node

@@ -1,0 +1,180 @@
+#include "recipe/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ifot::recipe {
+namespace {
+
+constexpr const char* kElderly = R"(
+# Elderly monitoring (paper section III-A.1)
+recipe elderly_monitoring
+node accel  : sensor  { sensor = "accelerometer", rate_hz = 20, model = "activity" }
+node detect : anomaly { algorithm = "zscore", threshold = 3.0 }
+node alarm  : actuator { actuator = "bedside_alarm" }
+edge accel -> detect -> alarm
+)";
+
+TEST(Parser, ParsesFullRecipe) {
+  auto r = parse(kElderly);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  const Recipe& recipe = r.value();
+  EXPECT_EQ(recipe.name, "elderly_monitoring");
+  ASSERT_EQ(recipe.nodes.size(), 3u);
+  EXPECT_EQ(recipe.nodes[0].name, "accel");
+  EXPECT_EQ(recipe.nodes[0].type, "sensor");
+  EXPECT_EQ(recipe.nodes[0].str("sensor", ""), "accelerometer");
+  EXPECT_DOUBLE_EQ(recipe.nodes[0].num("rate_hz", 0), 20.0);
+  ASSERT_EQ(recipe.edges.size(), 2u);
+  EXPECT_EQ(recipe.edges[0], (std::pair<std::size_t, std::size_t>{0, 1}));
+  EXPECT_EQ(recipe.edges[1], (std::pair<std::size_t, std::size_t>{1, 2}));
+}
+
+TEST(Parser, ChainedEdgesExpand) {
+  auto r = parse(R"(
+recipe chain
+node s : sensor { rate_hz = 1 }
+node f : filter { }
+node m : map { }
+node a : actuator
+edge s -> f -> m -> a
+)");
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(r.value().edges.size(), 3u);
+}
+
+TEST(Parser, BooleanAndNumericParams) {
+  auto r = parse(R"(
+recipe types
+node s : sensor { rate_hz = 2.5, fast = true, slow = false }
+node w : window { size = 4 }
+edge s -> w
+)");
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  const auto& s = r.value().nodes[0];
+  EXPECT_TRUE(s.flag("fast", false));
+  EXPECT_FALSE(s.flag("slow", true));
+  EXPECT_DOUBLE_EQ(s.num("rate_hz", 0), 2.5);
+}
+
+TEST(Parser, StringWithCommaInsideQuotes) {
+  auto r = parse(R"(
+recipe q
+node s : sensor { rate_hz = 1, note = "a,b,c" }
+node w : window { size = 2 }
+edge s -> w
+)");
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(r.value().nodes[0].str("note", ""), "a,b,c");
+}
+
+TEST(Parser, CommentsAndBlankLinesIgnored) {
+  auto r = parse(
+      "# header\n\nrecipe c  # trailing comment\n"
+      "node s : sensor { rate_hz = 1 }  # node comment\n"
+      "node w : window { size = 2 }\n"
+      "edge s -> w\n\n");
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(r.value().name, "c");
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  auto r = parse("recipe x\nnode broken\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(Parser, RejectsUnknownDirective) {
+  EXPECT_FALSE(parse("recipe x\nfrobnicate y\n").ok());
+}
+
+TEST(Parser, RejectsDuplicateRecipeDirective) {
+  EXPECT_FALSE(parse("recipe a\nrecipe b\n").ok());
+}
+
+TEST(Parser, RejectsEdgeToUnknownNode) {
+  auto r = parse(R"(
+recipe x
+node s : sensor { rate_hz = 1 }
+edge s -> ghost
+)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("ghost"), std::string::npos);
+}
+
+TEST(Parser, RejectsUnterminatedString) {
+  EXPECT_FALSE(parse(R"(
+recipe x
+node s : sensor { sensor = "oops }
+node w : window { size = 2 }
+edge s -> w
+)").ok());
+}
+
+TEST(Parser, RejectsMissingBrace) {
+  EXPECT_FALSE(parse(R"(
+recipe x
+node s : sensor { rate_hz = 1
+edge s -> s
+)").ok());
+}
+
+TEST(Parser, RejectsDuplicateParamKey) {
+  EXPECT_FALSE(parse(R"(
+recipe x
+node s : sensor { rate_hz = 1, rate_hz = 2 }
+)").ok());
+}
+
+TEST(Parser, RejectsSingleNodeEdge) {
+  EXPECT_FALSE(parse(R"(
+recipe x
+node s : sensor { rate_hz = 1 }
+edge s
+)").ok());
+}
+
+TEST(Parser, ToTextRoundTrips) {
+  auto r = parse(kElderly);
+  ASSERT_TRUE(r.ok());
+  const std::string text = to_text(r.value());
+  auto r2 = parse(text);
+  ASSERT_TRUE(r2.ok()) << r2.error().to_string() << "\n" << text;
+  EXPECT_EQ(r2.value().name, r.value().name);
+  ASSERT_EQ(r2.value().nodes.size(), r.value().nodes.size());
+  for (std::size_t i = 0; i < r.value().nodes.size(); ++i) {
+    EXPECT_EQ(r2.value().nodes[i].name, r.value().nodes[i].name);
+    EXPECT_EQ(r2.value().nodes[i].type, r.value().nodes[i].type);
+    EXPECT_EQ(r2.value().nodes[i].params, r.value().nodes[i].params);
+  }
+  EXPECT_EQ(r2.value().edges, r.value().edges);
+}
+
+TEST(Parser, ParsesAllKnownNodeTypes) {
+  auto r = parse(R"(
+recipe everything
+node s1 : sensor { sensor = "s", rate_hz = 10, model = "activity" }
+node w : window { size = 8, aggregate = "mean" }
+node f : filter { field = "v", op = "gt", value = 0.5 }
+node m : map { field = "v", scale = 2, offset = 1 }
+node an : anomaly { algorithm = "lof", threshold = 2.0 }
+node tr : train { algorithm = "pa1" }
+node pr : predict { algorithm = "pa1" }
+node es : estimate { target = "t" }
+node cl : cluster { k = 3 }
+node mg : merge
+node ac : actuator { actuator = "relay" }
+edge s1 -> w -> f -> m -> an -> mg
+edge s1 -> tr
+edge s1 -> pr
+edge tr -> pr
+edge s1 -> es -> mg
+edge s1 -> cl -> mg
+edge mg -> ac
+edge pr -> ac
+)");
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(r.value().nodes.size(), 11u);
+}
+
+}  // namespace
+}  // namespace ifot::recipe

@@ -1,0 +1,161 @@
+// Property tests for recipes: randomly generated pipelines round-trip
+// through the text format, and splitting preserves the graph structure.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "recipe/parser.hpp"
+#include "recipe/split.hpp"
+
+namespace ifot::recipe {
+namespace {
+
+/// Builds a random valid recipe: layered DAG of sensors -> operators ->
+/// actuator, with random parallelism on some operators.
+Recipe random_recipe(Rng& rng) {
+  Recipe r;
+  r.name = "rand";
+  const auto n_sensors = 1 + rng.below(4);
+  const auto n_ops = 1 + rng.below(6);
+  static const char* kOps[] = {"window", "filter", "map",
+                               "anomaly", "cluster", "merge"};
+  for (std::uint64_t i = 0; i < n_sensors; ++i) {
+    RecipeNode n;
+    n.name = "s" + std::to_string(i);
+    n.type = "sensor";
+    n.params["sensor"] = std::string("dev") + std::to_string(i);
+    n.params["rate_hz"] = 1.0 + static_cast<double>(rng.below(50));
+    r.nodes.push_back(std::move(n));
+  }
+  for (std::uint64_t i = 0; i < n_ops; ++i) {
+    RecipeNode n;
+    n.name = "op" + std::to_string(i);
+    n.type = kOps[rng.below(std::size(kOps))];
+    if (n.type == "window") n.params["size"] = 2.0 + static_cast<double>(rng.below(8));
+    if (n.type == "cluster") n.params["k"] = 2.0 + static_cast<double>(rng.below(4));
+    if (n.type != "merge" && rng.chance(0.3)) {
+      n.params["parallelism"] = 1.0 + static_cast<double>(rng.below(4));
+    }
+    r.nodes.push_back(std::move(n));
+    // Wire from a random earlier node (sensor or earlier op).
+    const std::size_t me = r.nodes.size() - 1;
+    const std::size_t from = rng.below(me);
+    r.edges.emplace_back(from, me);
+    // Occasionally add a second input (fan-in).
+    if (rng.chance(0.3)) {
+      const std::size_t from2 = rng.below(me);
+      if (from2 != from) r.edges.emplace_back(from2, me);
+    }
+  }
+  {
+    RecipeNode n;
+    n.name = "sink";
+    n.type = "actuator";
+    n.params["actuator"] = std::string("out");
+    r.nodes.push_back(std::move(n));
+  }
+  // Terminal nodes (no outputs, not the sink) feed the sink.
+  const std::size_t sink = r.nodes.size() - 1;
+  for (std::size_t i = 0; i < sink; ++i) {
+    if (r.outputs_of(i).empty()) r.edges.emplace_back(i, sink);
+  }
+  return r;
+}
+
+class RecipeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecipeProperty, GeneratedRecipesValidate) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 1);
+  for (int i = 0; i < 20; ++i) {
+    const Recipe r = random_recipe(rng);
+    auto s = validate(r);
+    EXPECT_TRUE(s.ok()) << s.error().to_string() << "\n" << to_text(r);
+  }
+}
+
+TEST_P(RecipeProperty, TextRoundTripPreservesStructure) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 211 + 3);
+  for (int i = 0; i < 20; ++i) {
+    const Recipe original = random_recipe(rng);
+    auto reparsed = parse(to_text(original));
+    ASSERT_TRUE(reparsed.ok())
+        << reparsed.error().to_string() << "\n" << to_text(original);
+    const Recipe& r = reparsed.value();
+    ASSERT_EQ(r.nodes.size(), original.nodes.size());
+    for (std::size_t ni = 0; ni < r.nodes.size(); ++ni) {
+      EXPECT_EQ(r.nodes[ni].name, original.nodes[ni].name);
+      EXPECT_EQ(r.nodes[ni].type, original.nodes[ni].type);
+      EXPECT_EQ(r.nodes[ni].params, original.nodes[ni].params);
+    }
+    EXPECT_EQ(r.edges, original.edges);
+  }
+}
+
+TEST_P(RecipeProperty, SplitCoversEveryNodeWithItsShards) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 307 + 5);
+  for (int i = 0; i < 20; ++i) {
+    const Recipe r = random_recipe(rng);
+    auto g = split_recipe(r);
+    ASSERT_TRUE(g.ok()) << g.error().to_string();
+    // Expected task count = sum of parallelism.
+    std::size_t expected = 0;
+    for (const auto& n : r.nodes) {
+      expected += static_cast<std::size_t>(n.num("parallelism", 1));
+    }
+    EXPECT_EQ(g.value().tasks.size(), expected);
+    // Every non-source task has inputs; sources have none.
+    for (const auto& t : g.value().tasks) {
+      const auto& node = r.nodes[t.recipe_node];
+      if (is_source_type(node.type)) {
+        EXPECT_TRUE(t.input_topics.empty());
+        EXPECT_TRUE(t.upstream.empty());
+      } else {
+        EXPECT_FALSE(t.input_topics.empty()) << t.name;
+        EXPECT_FALSE(t.upstream.empty()) << t.name;
+      }
+    }
+  }
+}
+
+TEST_P(RecipeProperty, SplitUpstreamIdsAreTopological) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 401 + 7);
+  for (int i = 0; i < 20; ++i) {
+    auto g = split_recipe(random_recipe(rng));
+    ASSERT_TRUE(g.ok());
+    for (const auto& t : g.value().tasks) {
+      for (TaskId up : t.upstream) {
+        EXPECT_LT(up.value(), t.id.value());
+      }
+    }
+  }
+}
+
+TEST_P(RecipeProperty, StagesPartitionTasksRespectingDependencies) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 503 + 9);
+  for (int i = 0; i < 20; ++i) {
+    auto g = split_recipe(random_recipe(rng));
+    ASSERT_TRUE(g.ok());
+    // Stage index of every task.
+    std::vector<std::size_t> stage_of(g.value().tasks.size(), SIZE_MAX);
+    std::size_t covered = 0;
+    for (std::size_t s = 0; s < g.value().stages.size(); ++s) {
+      for (std::size_t ti : g.value().stages[s]) {
+        EXPECT_EQ(stage_of[ti], SIZE_MAX);  // appears exactly once
+        stage_of[ti] = s;
+        ++covered;
+      }
+    }
+    EXPECT_EQ(covered, g.value().tasks.size());
+    for (const auto& t : g.value().tasks) {
+      for (TaskId up : t.upstream) {
+        EXPECT_LT(stage_of[up.value()], stage_of[t.id.value()]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecipeProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace ifot::recipe

@@ -1,0 +1,241 @@
+#include "recipe/split.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "recipe/parser.hpp"
+
+namespace ifot::recipe {
+namespace {
+
+Recipe parse_ok(const char* text) {
+  auto r = parse(text);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().to_string());
+  return r.value();
+}
+
+constexpr const char* kLinear = R"(
+recipe linear
+node s : sensor { sensor = "dev", rate_hz = 10 }
+node f : filter { field = "v", op = "gt", value = 0 }
+node a : actuator { actuator = "out" }
+edge s -> f -> a
+)";
+
+TEST(Split, OneTaskPerUnshardedNode) {
+  auto g = split_recipe(parse_ok(kLinear));
+  ASSERT_TRUE(g.ok()) << g.error().to_string();
+  EXPECT_EQ(g.value().tasks.size(), 3u);
+  EXPECT_EQ(g.value().recipe_name, "linear");
+}
+
+TEST(Split, TopicSchemeFollowsRecipeAndNode) {
+  auto g = split_recipe(parse_ok(kLinear));
+  ASSERT_TRUE(g.ok());
+  const auto& tasks = g.value().tasks;
+  // Task order is topological, so s, f, a.
+  EXPECT_EQ(tasks[0].output_topic, "ifot/linear/s");
+  EXPECT_EQ(tasks[1].output_topic, "ifot/linear/f");
+  ASSERT_EQ(tasks[1].input_topics.size(), 1u);
+  EXPECT_EQ(tasks[1].input_topics[0], "ifot/linear/s");
+  ASSERT_EQ(tasks[2].input_topics.size(), 1u);
+  EXPECT_EQ(tasks[2].input_topics[0], "ifot/linear/f");
+}
+
+TEST(Split, UpstreamIdsWired) {
+  auto g = split_recipe(parse_ok(kLinear));
+  ASSERT_TRUE(g.ok());
+  const auto& tasks = g.value().tasks;
+  EXPECT_TRUE(tasks[0].upstream.empty());
+  ASSERT_EQ(tasks[1].upstream.size(), 1u);
+  EXPECT_EQ(tasks[1].upstream[0], tasks[0].id);
+  ASSERT_EQ(tasks[2].upstream.size(), 1u);
+  EXPECT_EQ(tasks[2].upstream[0], tasks[1].id);
+}
+
+TEST(Split, StagesAreTopologicalLevels) {
+  auto g = split_recipe(parse_ok(kLinear));
+  ASSERT_TRUE(g.ok());
+  const auto& stages = g.value().stages;
+  ASSERT_EQ(stages.size(), 3u);
+  EXPECT_EQ(stages[0].size(), 1u);
+  EXPECT_EQ(stages[1].size(), 1u);
+  EXPECT_EQ(stages[2].size(), 1u);
+}
+
+constexpr const char* kParallel = R"(
+recipe par
+node s : sensor { sensor = "dev", rate_hz = 50 }
+node heavy : train { algorithm = "arow", parallelism = 4 }
+node p : predict { }
+node a : actuator { actuator = "out" }
+edge s -> heavy
+edge s -> p
+edge heavy -> p
+edge p -> a
+)";
+
+TEST(Split, ParallelismCreatesShards) {
+  auto g = split_recipe(parse_ok(kParallel));
+  ASSERT_TRUE(g.ok()) << g.error().to_string();
+  // 1 sensor + 4 train shards + 1 predict + 1 actuator.
+  EXPECT_EQ(g.value().tasks.size(), 7u);
+  std::set<std::string> names;
+  for (const auto& t : g.value().tasks) names.insert(t.name);
+  EXPECT_TRUE(names.count("heavy#0"));
+  EXPECT_TRUE(names.count("heavy#3"));
+  EXPECT_FALSE(names.count("heavy"));
+}
+
+TEST(Split, ShardTopicsAndWildcardDownstream) {
+  auto g = split_recipe(parse_ok(kParallel));
+  ASSERT_TRUE(g.ok());
+  const recipe::Task* sensor = nullptr;
+  const recipe::Task* shard0 = nullptr;
+  const recipe::Task* predict = nullptr;
+  for (const auto& t : g.value().tasks) {
+    if (t.name == "s") sensor = &t;
+    if (t.name == "heavy#0") shard0 = &t;
+    if (t.name == "p") predict = &t;
+  }
+  ASSERT_NE(sensor, nullptr);
+  ASSERT_NE(shard0, nullptr);
+  ASSERT_NE(predict, nullptr);
+  EXPECT_EQ(shard0->output_topic, "ifot/par/heavy/0");
+  EXPECT_EQ(shard0->shard_count, 4u);
+  // The sensor's only sharded consumer uses K=4, so its sample output is
+  // partitioned; each train shard subscribes to its own partition (plus
+  // the model side-channel).
+  EXPECT_EQ(sensor->partition_count, 4u);
+  std::set<std::string> shard_filters(shard0->input_topics.begin(),
+                                      shard0->input_topics.end());
+  EXPECT_TRUE(shard_filters.count("ifot/par/s/p0"));
+  EXPECT_TRUE(shard_filters.count("ifot/par/s/model"));
+  // Predict (unsharded) covers all partitions of the sensor with '+' and
+  // the sharded train node with the shard wildcard.
+  std::set<std::string> filters(predict->input_topics.begin(),
+                                predict->input_topics.end());
+  EXPECT_TRUE(filters.count("ifot/par/s/+"));
+  EXPECT_TRUE(filters.count("ifot/par/heavy/+"));
+  EXPECT_EQ(predict->upstream.size(), 5u);  // sensor + 4 shards
+}
+
+TEST(Split, PartitionedOptOutKeepsPlainTopics) {
+  auto g = split_recipe(parse_ok(R"(
+recipe nopart
+node s : sensor { sensor = "dev", rate_hz = 50 }
+node heavy : train { algorithm = "arow", parallelism = 4, partitioned = false }
+edge s -> heavy
+)"));
+  ASSERT_TRUE(g.ok());
+  for (const auto& t : g.value().tasks) {
+    if (t.name == "s") {
+      EXPECT_EQ(t.partition_count, 1u);
+    }
+    if (t.name == "heavy#2") {
+      ASSERT_EQ(t.input_topics.size(), 1u);
+      EXPECT_EQ(t.input_topics[0], "ifot/nopart/s");
+    }
+  }
+}
+
+TEST(Split, DisagreeingShardCountsDisablePartitioning) {
+  auto g = split_recipe(parse_ok(R"(
+recipe mixed
+node s : sensor { sensor = "dev", rate_hz = 50 }
+node a : train { algorithm = "arow", parallelism = 2 }
+node b : anomaly { algorithm = "zscore", threshold = 3, parallelism = 3 }
+edge s -> a
+edge s -> b
+)"));
+  ASSERT_TRUE(g.ok());
+  for (const auto& t : g.value().tasks) {
+    if (t.name == "s") {
+      EXPECT_EQ(t.partition_count, 1u);
+    }
+  }
+}
+
+TEST(Split, UnshardedConsumersDoNotTriggerPartitioning) {
+  auto g = split_recipe(parse_ok(kLinear));
+  ASSERT_TRUE(g.ok());
+  for (const auto& t : g.value().tasks) {
+    EXPECT_EQ(t.partition_count, 1u) << t.name;
+  }
+}
+
+TEST(Split, ShardCostDividesNodeCost) {
+  auto g = split_recipe(parse_ok(kParallel));
+  ASSERT_TRUE(g.ok());
+  double shard_cost = 0;
+  for (const auto& t : g.value().tasks) {
+    if (t.name == "heavy#0") shard_cost = t.cost_weight;
+  }
+  EXPECT_DOUBLE_EQ(shard_cost, default_cost_weight("train") / 4.0);
+}
+
+TEST(Split, TaskIndicesAreTopologicallySorted) {
+  // Declare nodes in anti-topological order; split must still produce
+  // tasks whose upstream ids are smaller than their own.
+  auto g = split_recipe(parse_ok(R"(
+recipe reversed
+node a : actuator { actuator = "out" }
+node f : filter { field = "v", op = "gt", value = 0 }
+node s : sensor { sensor = "dev", rate_hz = 1 }
+edge s -> f
+edge f -> a
+)"));
+  ASSERT_TRUE(g.ok());
+  for (const auto& t : g.value().tasks) {
+    for (TaskId up : t.upstream) {
+      EXPECT_LT(up.value(), t.id.value());
+    }
+  }
+}
+
+TEST(Split, FanInMergesInputFilters) {
+  auto g = split_recipe(parse_ok(R"(
+recipe fanin
+node s1 : sensor { sensor = "d1", rate_hz = 1 }
+node s2 : sensor { sensor = "d2", rate_hz = 1 }
+node m : merge
+node a : actuator { actuator = "out" }
+edge s1 -> m
+edge s2 -> m
+edge m -> a
+)"));
+  ASSERT_TRUE(g.ok());
+  const recipe::Task* merge = nullptr;
+  for (const auto& t : g.value().tasks) {
+    if (t.name == "m") merge = &t;
+  }
+  ASSERT_NE(merge, nullptr);
+  EXPECT_EQ(merge->input_topics.size(), 2u);
+  EXPECT_EQ(merge->upstream.size(), 2u);
+}
+
+TEST(Split, RejectsInvalidRecipe) {
+  Recipe r;
+  r.name = "broken";
+  EXPECT_FALSE(split_recipe(r).ok());
+}
+
+TEST(Split, DefaultCostWeightsOrdering) {
+  // Training must dominate lightweight stream ops in the cost model.
+  EXPECT_GT(default_cost_weight("train"), default_cost_weight("predict"));
+  EXPECT_GT(default_cost_weight("predict"), default_cost_weight("filter"));
+  EXPECT_GT(default_cost_weight("anomaly"), default_cost_weight("map"));
+  EXPECT_DOUBLE_EQ(default_cost_weight("unknown_type"), 1.0);
+}
+
+TEST(Split, TaskGraphLookupById) {
+  auto g = split_recipe(parse_ok(kLinear));
+  ASSERT_TRUE(g.ok());
+  for (const auto& t : g.value().tasks) {
+    EXPECT_EQ(g.value().task(t.id).name, t.name);
+  }
+}
+
+}  // namespace
+}  // namespace ifot::recipe

@@ -1,0 +1,171 @@
+// Unit tests for the recipe-level features added beyond the paper's
+// prototype: the `tap` source type, event-time window params, learner
+// MIX wiring, and broker-assignment params.
+#include <gtest/gtest.h>
+
+#include "recipe/parser.hpp"
+#include "recipe/split.hpp"
+
+namespace ifot::recipe {
+namespace {
+
+Recipe parse_ok(const std::string& text) {
+  auto r = parse(text);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().to_string());
+  return r.value();
+}
+
+TEST(Tap, IsASourceType) {
+  EXPECT_TRUE(is_source_type("tap"));
+  EXPECT_TRUE(is_source_type("sensor"));
+  EXPECT_FALSE(is_source_type("merge"));
+}
+
+TEST(Tap, RequiresTopicParam) {
+  auto r = parse(R"(
+recipe t
+node feed : tap { }
+node a : actuator { actuator = "out" }
+edge feed -> a
+)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("topic"), std::string::npos);
+}
+
+TEST(Tap, RejectsInboundEdges) {
+  auto r = parse(R"(
+recipe t
+node s : sensor { sensor = "d", rate_hz = 1 }
+node feed : tap { topic = "ifot/other/flow" }
+node a : actuator { actuator = "out" }
+edge s -> feed
+edge feed -> a
+)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("source"), std::string::npos);
+}
+
+TEST(Tap, SplitSubscribesExternalTopic) {
+  auto g = split_recipe(parse_ok(R"(
+recipe t
+node feed : tap { topic = "ifot/producer/trend" }
+node a : actuator { actuator = "out" }
+edge feed -> a
+)"));
+  ASSERT_TRUE(g.ok());
+  const auto& feed = g.value().tasks[0];
+  EXPECT_EQ(feed.name, "feed");
+  ASSERT_EQ(feed.input_topics.size(), 1u);
+  EXPECT_EQ(feed.input_topics[0], "ifot/producer/trend");
+  EXPECT_TRUE(feed.upstream.empty());  // external flows are not edges
+  // The tap's own output is re-published under this recipe's namespace.
+  EXPECT_EQ(feed.output_topic, "ifot/t/feed");
+}
+
+TEST(Window, SpanParamValidated) {
+  EXPECT_FALSE(parse(R"(
+recipe w
+node s : sensor { sensor = "d", rate_hz = 1 }
+node w : window { span_ms = -5 }
+node a : actuator { actuator = "out" }
+edge s -> w -> a
+)").ok());
+  EXPECT_TRUE(parse(R"(
+recipe w
+node s : sensor { sensor = "d", rate_hz = 1 }
+node w : window { span_ms = 250 }
+node a : actuator { actuator = "out" }
+edge s -> w -> a
+)").ok());
+}
+
+TEST(Mix, ShardedTrainWithMixSubscribesSiblingModels) {
+  auto g = split_recipe(parse_ok(R"(
+recipe m
+node s : sensor { sensor = "d", rate_hz = 10 }
+node tr : train { algorithm = "arow", parallelism = 3, mix = true }
+edge s -> tr
+)"));
+  ASSERT_TRUE(g.ok());
+  for (const auto& t : g.value().tasks) {
+    if (t.name.rfind("tr#", 0) != 0) continue;
+    bool has_sibling_filter = false;
+    for (const auto& f : t.input_topics) {
+      if (f == "ifot/m/tr/+") has_sibling_filter = true;
+    }
+    EXPECT_TRUE(has_sibling_filter) << t.name;
+  }
+}
+
+TEST(Mix, UnshardedTrainDoesNotSelfSubscribe) {
+  auto g = split_recipe(parse_ok(R"(
+recipe m
+node s : sensor { sensor = "d", rate_hz = 10 }
+node tr : train { algorithm = "arow", mix = true }
+edge s -> tr
+)"));
+  ASSERT_TRUE(g.ok());
+  for (const auto& t : g.value().tasks) {
+    if (t.name != "tr") continue;
+    for (const auto& f : t.input_topics) {
+      EXPECT_EQ(f.find("ifot/m/tr"), std::string::npos) << f;
+    }
+  }
+}
+
+TEST(BrokerAssignment, ParamsFlowToTasks) {
+  auto g = split_recipe(parse_ok(R"(
+recipe b
+node s1 : sensor { sensor = "d1", rate_hz = 10, broker = 0 }
+node s2 : sensor { sensor = "d2", rate_hz = 10, broker = 1 }
+node m : merge
+node a : actuator { actuator = "out" }
+edge s1 -> m
+edge s2 -> m
+edge m -> a
+)"));
+  ASSERT_TRUE(g.ok());
+  for (const auto& t : g.value().tasks) {
+    if (t.name == "s1") {
+      EXPECT_EQ(t.output_broker, 0);
+    }
+    if (t.name == "s2") {
+      EXPECT_EQ(t.output_broker, 1);
+    }
+    if (t.name == "m") {
+      EXPECT_EQ(t.output_broker, -1);  // hash-assigned
+      ASSERT_EQ(t.input_brokers.size(), t.input_topics.size());
+      // Consumer filters carry the producers' assignments.
+      for (std::size_t i = 0; i < t.input_topics.size(); ++i) {
+        if (t.input_topics[i] == "ifot/b/s1") {
+          EXPECT_EQ(t.input_brokers[i], 0);
+        }
+        if (t.input_topics[i] == "ifot/b/s2") {
+          EXPECT_EQ(t.input_brokers[i], 1);
+        }
+      }
+    }
+  }
+}
+
+TEST(CostWeights, SensorWeightScalesWithRate) {
+  auto g = split_recipe(parse_ok(R"(
+recipe cw
+node slow : sensor { sensor = "d1", rate_hz = 10 }
+node fast : sensor { sensor = "d2", rate_hz = 80 }
+node m : merge
+edge slow -> m
+edge fast -> m
+)"));
+  ASSERT_TRUE(g.ok());
+  double slow_w = 0;
+  double fast_w = 0;
+  for (const auto& t : g.value().tasks) {
+    if (t.name == "slow") slow_w = t.cost_weight;
+    if (t.name == "fast") fast_w = t.cost_weight;
+  }
+  EXPECT_DOUBLE_EQ(fast_w, 8 * slow_w);
+}
+
+}  // namespace
+}  // namespace ifot::recipe

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "recipe/recipe.hpp"
+
+namespace ifot::recipe {
+namespace {
+
+RecipeNode sensor_node(const std::string& name, double rate = 10) {
+  RecipeNode n;
+  n.name = name;
+  n.type = "sensor";
+  n.params["rate_hz"] = rate;
+  return n;
+}
+
+RecipeNode typed_node(const std::string& name, const std::string& type) {
+  RecipeNode n;
+  n.name = name;
+  n.type = type;
+  return n;
+}
+
+Recipe minimal_valid() {
+  Recipe r;
+  r.name = "ok";
+  r.nodes = {sensor_node("s"), typed_node("w", "window"),
+             typed_node("a", "actuator")};
+  r.nodes[1].params["size"] = 4.0;
+  r.edges = {{0, 1}, {1, 2}};
+  return r;
+}
+
+TEST(Validate, AcceptsMinimalPipeline) {
+  EXPECT_TRUE(validate(minimal_valid()).ok());
+}
+
+TEST(Validate, RejectsEmptyRecipe) {
+  Recipe r;
+  r.name = "empty";
+  EXPECT_FALSE(validate(r).ok());
+}
+
+TEST(Validate, RejectsMissingName) {
+  Recipe r = minimal_valid();
+  r.name.clear();
+  EXPECT_FALSE(validate(r).ok());
+}
+
+TEST(Validate, RejectsDuplicateNodeNames) {
+  Recipe r = minimal_valid();
+  r.nodes[1].name = "s";
+  EXPECT_FALSE(validate(r).ok());
+}
+
+TEST(Validate, RejectsUnknownType) {
+  Recipe r = minimal_valid();
+  r.nodes[1].type = "teleport";
+  EXPECT_FALSE(validate(r).ok());
+}
+
+TEST(Validate, RejectsEdgeOutOfRange) {
+  Recipe r = minimal_valid();
+  r.edges.push_back({0, 99});
+  EXPECT_FALSE(validate(r).ok());
+}
+
+TEST(Validate, RejectsSelfLoop) {
+  Recipe r = minimal_valid();
+  r.edges.push_back({1, 1});
+  EXPECT_FALSE(validate(r).ok());
+}
+
+TEST(Validate, RejectsDuplicateEdge) {
+  Recipe r = minimal_valid();
+  r.edges.push_back({0, 1});
+  EXPECT_FALSE(validate(r).ok());
+}
+
+TEST(Validate, RejectsCycle) {
+  Recipe r;
+  r.name = "cyclic";
+  r.nodes = {sensor_node("s"), typed_node("f", "filter"),
+             typed_node("m", "map"), typed_node("a", "actuator")};
+  r.edges = {{0, 1}, {1, 2}, {2, 1}, {2, 3}};
+  auto status = validate(r);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("cycle"), std::string::npos);
+}
+
+TEST(Validate, RejectsSensorWithInputs) {
+  Recipe r = minimal_valid();
+  r.edges.push_back({1, 0});
+  EXPECT_FALSE(validate(r).ok());
+}
+
+TEST(Validate, RejectsActuatorWithOutputs) {
+  Recipe r = minimal_valid();
+  r.nodes.push_back(typed_node("f", "filter"));
+  r.edges.push_back({2, 3});
+  EXPECT_FALSE(validate(r).ok());
+}
+
+TEST(Validate, RejectsOrphanOperator) {
+  Recipe r = minimal_valid();
+  r.nodes.push_back(typed_node("orphan", "filter"));
+  auto status = validate(r);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("orphan"), std::string::npos);
+}
+
+TEST(Validate, RejectsNonPositiveSensorRate) {
+  Recipe r = minimal_valid();
+  r.nodes[0].params["rate_hz"] = 0.0;
+  EXPECT_FALSE(validate(r).ok());
+}
+
+TEST(Validate, RejectsBadWindowAggregate) {
+  Recipe r = minimal_valid();
+  r.nodes[1].params["aggregate"] = std::string("median");
+  EXPECT_FALSE(validate(r).ok());
+}
+
+TEST(Validate, RejectsBadFilterOp) {
+  Recipe r = minimal_valid();
+  r.nodes[1] = typed_node("f", "filter");
+  r.nodes[1].params["op"] = std::string("between");
+  EXPECT_FALSE(validate(r).ok());
+}
+
+TEST(Validate, RejectsBadAnomalyAlgorithm) {
+  Recipe r = minimal_valid();
+  r.nodes[1] = typed_node("an", "anomaly");
+  r.nodes[1].params["algorithm"] = std::string("isolation_forest");
+  EXPECT_FALSE(validate(r).ok());
+}
+
+TEST(Validate, RejectsBadTrainAlgorithm) {
+  Recipe r = minimal_valid();
+  r.nodes[1] = typed_node("t", "train");
+  r.nodes[1].params["algorithm"] = std::string("transformer");
+  EXPECT_FALSE(validate(r).ok());
+}
+
+TEST(Validate, RejectsZeroClusterK) {
+  Recipe r = minimal_valid();
+  r.nodes[1] = typed_node("c", "cluster");
+  r.nodes[1].params["k"] = 0.0;
+  EXPECT_FALSE(validate(r).ok());
+}
+
+TEST(Validate, RejectsFractionalParallelism) {
+  Recipe r = minimal_valid();
+  r.nodes[1].params["parallelism"] = 2.5;
+  EXPECT_FALSE(validate(r).ok());
+}
+
+TEST(Validate, RejectsParallelSensor) {
+  Recipe r = minimal_valid();
+  r.nodes[0].params["parallelism"] = 2.0;
+  EXPECT_FALSE(validate(r).ok());
+}
+
+TEST(Validate, AcceptsParallelOperator) {
+  Recipe r = minimal_valid();
+  r.nodes[1].params["parallelism"] = 4.0;
+  EXPECT_TRUE(validate(r).ok());
+}
+
+TEST(TopologicalOrder, RespectsEdges) {
+  Recipe r = minimal_valid();
+  auto order = topological_order(r);
+  ASSERT_TRUE(order.ok());
+  const auto& o = order.value();
+  ASSERT_EQ(o.size(), 3u);
+  auto pos = [&](std::size_t node) {
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      if (o[i] == node) return i;
+    }
+    return SIZE_MAX;
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(1), pos(2));
+}
+
+TEST(TopologicalOrder, DetectsCycle) {
+  Recipe r = minimal_valid();
+  r.edges.push_back({2, 0});  // actuator -> sensor back edge
+  EXPECT_FALSE(topological_order(r).ok());
+}
+
+TEST(RecipeNode, TypedParamAccessors) {
+  RecipeNode n;
+  n.params["d"] = 1.5;
+  n.params["s"] = std::string("str");
+  n.params["b"] = true;
+  EXPECT_DOUBLE_EQ(n.num("d", 0), 1.5);
+  EXPECT_DOUBLE_EQ(n.num("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(n.num("s", 7), 7);  // wrong type -> fallback
+  EXPECT_EQ(n.str("s", ""), "str");
+  EXPECT_EQ(n.str("d", "fb"), "fb");
+  EXPECT_TRUE(n.flag("b", false));
+  EXPECT_FALSE(n.flag("d", false));
+  EXPECT_TRUE(n.has("d"));
+  EXPECT_FALSE(n.has("zzz"));
+}
+
+TEST(Recipe, IndexAndNeighbours) {
+  Recipe r = minimal_valid();
+  EXPECT_EQ(r.index_of("w"), 1u);
+  EXPECT_EQ(r.index_of("nope"), SIZE_MAX);
+  EXPECT_EQ(r.inputs_of(1), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(r.outputs_of(1), (std::vector<std::size_t>{2}));
+  EXPECT_TRUE(r.inputs_of(0).empty());
+  EXPECT_TRUE(r.outputs_of(2).empty());
+}
+
+}  // namespace
+}  // namespace ifot::recipe

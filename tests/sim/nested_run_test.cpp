@@ -1,0 +1,63 @@
+// Nested simulator runs: callbacks that themselves advance the clock
+// (the FailoverManager settles the fabric from inside an event). These
+// tests pin down the semantics that pattern relies on.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace ifot::sim {
+namespace {
+
+TEST(NestedRun, InnerRunUntilConsumesEventsOnce) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(10, [&] {
+    fired.push_back(1);
+    // Nested advance past later events.
+    sim.run_until(100);
+  });
+  sim.schedule_at(50, [&] { fired.push_back(2); });
+  sim.schedule_at(200, [&] { fired.push_back(3); });
+  sim.run_until(300);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300);
+}
+
+TEST(NestedRun, InnerAdvanceBeyondOuterDeadlineIsMonotonic) {
+  Simulator sim;
+  SimTime inner_end = 0;
+  sim.schedule_at(10, [&] {
+    sim.run_until(500);  // beyond the outer deadline
+    inner_end = sim.now();
+  });
+  sim.run_until(100);
+  EXPECT_EQ(inner_end, 500);
+  EXPECT_GE(sim.now(), 500);  // the clock never goes backwards
+}
+
+TEST(NestedRun, EventScheduledDuringNestedRunFires) {
+  Simulator sim;
+  bool late_fired = false;
+  sim.schedule_at(10, [&] {
+    sim.schedule_after(5, [&] { late_fired = true; });
+    sim.run_until(sim.now() + 20);
+    EXPECT_TRUE(late_fired);  // consumed by the nested run
+  });
+  sim.run_until(100);
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(NestedRun, CancellationVisibleAcrossNesting) {
+  Simulator sim;
+  bool cancelled_fired = false;
+  EventId victim = sim.schedule_at(50, [&] { cancelled_fired = true; });
+  sim.schedule_at(10, [&] {
+    sim.cancel(victim);
+    sim.run_until(200);
+  });
+  sim.run_until(300);
+  EXPECT_FALSE(cancelled_fired);
+}
+
+}  // namespace
+}  // namespace ifot::sim

@@ -1,0 +1,197 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ifot::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(30, [&] { fired.push_back(3); });
+  sim.schedule_at(10, [&] { fired.push_back(1); });
+  sim.schedule_at(20, [&] { fired.push_back(2); });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, EqualTimestampsFifo) {
+  Simulator sim;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&fired, i] { fired.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  Simulator sim;
+  sim.schedule_at(100, [] {});
+  sim.run();
+  SimTime seen = -1;
+  sim.schedule_at(10, [&] { seen = sim.now(); });  // in the past
+  sim.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  auto id = sim.schedule_at(10, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, CancelUnknownIsNoop) {
+  Simulator sim;
+  sim.cancel(EventId{});      // zero id
+  sim.cancel(EventId{9999});  // never scheduled
+  bool fired = false;
+  sim.schedule_at(1, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  for (SimTime t = 10; t <= 100; t += 10) {
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  const std::size_t n = sim.run_until(50);
+  EXPECT_EQ(n, 5u);
+  EXPECT_EQ(sim.now(), 50);
+  EXPECT_EQ(sim.pending(), 5u);
+  sim.run_until(200);
+  EXPECT_EQ(fired.size(), 10u);
+  EXPECT_EQ(sim.now(), 200);  // clock advances to the deadline
+}
+
+TEST(Simulator, RunUntilWithEventExactlyAtDeadline) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(50, [&] { fired = true; });
+  sim.run_until(50);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunHonoursMaxEvents) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(i, [&] { ++count; });
+  }
+  EXPECT_EQ(sim.run(3), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.run(), 7u);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_after(1, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 99);
+}
+
+TEST(Simulator, CancelledHeadDoesNotBlockRunUntil) {
+  Simulator sim;
+  auto id = sim.schedule_at(10, [] {});
+  bool fired = false;
+  sim.schedule_at(20, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run_until(20);
+  EXPECT_TRUE(fired);
+}
+
+TEST(PeriodicTimer, FiresAtFixedPeriod) {
+  Simulator sim;
+  std::vector<SimTime> ticks;
+  PeriodicTimer timer(sim, 100, [&] { ticks.push_back(sim.now()); });
+  timer.start(100);
+  sim.run_until(500);
+  EXPECT_EQ(ticks, (std::vector<SimTime>{100, 200, 300, 400, 500}));
+}
+
+TEST(PeriodicTimer, StartWithZeroDelayFiresImmediately) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, 50, [&] { ++ticks; });
+  timer.start();
+  sim.run_until(100);
+  EXPECT_EQ(ticks, 3);  // t=0, 50, 100
+}
+
+TEST(PeriodicTimer, StopHaltsTicks) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, 10, [&] { ++ticks; });
+  timer.start(10);
+  sim.run_until(30);
+  timer.stop();
+  sim.run_until(1000);
+  EXPECT_EQ(ticks, 3);
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimer, CallbackMayStopTimer) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, 10, [&] {
+    if (++ticks == 2) timer.stop();
+  });
+  timer.start(10);
+  sim.run_until(1000);
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(PeriodicTimer, DestructorCancels) {
+  Simulator sim;
+  int ticks = 0;
+  {
+    PeriodicTimer timer(sim, 10, [&] { ++ticks; });
+    timer.start(10);
+  }
+  sim.run_until(100);
+  EXPECT_EQ(ticks, 0);
+}
+
+TEST(PeriodicTimer, RestartResetsPhase) {
+  Simulator sim;
+  std::vector<SimTime> ticks;
+  PeriodicTimer timer(sim, 100, [&] { ticks.push_back(sim.now()); });
+  timer.start(100);
+  sim.run_until(150);
+  timer.start(100);  // restart at t=150
+  sim.run_until(400);
+  EXPECT_EQ(ticks, (std::vector<SimTime>{100, 250, 350}));
+}
+
+}  // namespace
+}  // namespace ifot::sim
