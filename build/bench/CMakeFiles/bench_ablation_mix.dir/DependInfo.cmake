@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_mix.cpp" "bench/CMakeFiles/bench_ablation_mix.dir/bench_ablation_mix.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_mix.dir/bench_ablation_mix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mgmt/CMakeFiles/ifot_mgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ifot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/ifot_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/ifot_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ifot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ifot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mqtt/CMakeFiles/ifot_mqtt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ifot_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/recipe/CMakeFiles/ifot_recipe.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ifot_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ifot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

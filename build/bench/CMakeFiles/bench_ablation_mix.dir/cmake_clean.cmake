@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mix.dir/bench_ablation_mix.cpp.o"
+  "CMakeFiles/bench_ablation_mix.dir/bench_ablation_mix.cpp.o.d"
+  "bench_ablation_mix"
+  "bench_ablation_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mqtt.dir/bench_mqtt.cpp.o"
+  "CMakeFiles/bench_mqtt.dir/bench_mqtt.cpp.o.d"
+  "bench_mqtt"
+  "bench_mqtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mqtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

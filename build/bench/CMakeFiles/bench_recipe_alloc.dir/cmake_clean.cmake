@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recipe_alloc.dir/bench_recipe_alloc.cpp.o"
+  "CMakeFiles/bench_recipe_alloc.dir/bench_recipe_alloc.cpp.o.d"
+  "bench_recipe_alloc"
+  "bench_recipe_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recipe_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_predicting.dir/bench_table3_predicting.cpp.o"
+  "CMakeFiles/bench_table3_predicting.dir/bench_table3_predicting.cpp.o.d"
+  "bench_table3_predicting"
+  "bench_table3_predicting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_predicting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

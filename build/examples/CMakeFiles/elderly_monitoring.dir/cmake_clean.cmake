@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elderly_monitoring.dir/elderly_monitoring.cpp.o"
+  "CMakeFiles/elderly_monitoring.dir/elderly_monitoring.cpp.o.d"
+  "elderly_monitoring"
+  "elderly_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elderly_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/home_appliance_control.dir/home_appliance_control.cpp.o"
+  "CMakeFiles/home_appliance_control.dir/home_appliance_control.cpp.o.d"
+  "home_appliance_control"
+  "home_appliance_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/home_appliance_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

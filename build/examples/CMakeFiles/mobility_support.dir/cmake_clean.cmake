@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_support.dir/mobility_support.cpp.o"
+  "CMakeFiles/mobility_support.dir/mobility_support.cpp.o.d"
+  "mobility_support"
+  "mobility_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

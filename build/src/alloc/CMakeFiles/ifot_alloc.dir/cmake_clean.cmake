@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifot_alloc.dir/allocator.cpp.o"
+  "CMakeFiles/ifot_alloc.dir/allocator.cpp.o.d"
+  "libifot_alloc.a"
+  "libifot_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifot_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

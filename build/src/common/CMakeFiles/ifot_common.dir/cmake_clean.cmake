@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifot_common.dir/bytes.cpp.o"
+  "CMakeFiles/ifot_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/ifot_common.dir/log.cpp.o"
+  "CMakeFiles/ifot_common.dir/log.cpp.o.d"
+  "CMakeFiles/ifot_common.dir/stats.cpp.o"
+  "CMakeFiles/ifot_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ifot_common.dir/strings.cpp.o"
+  "CMakeFiles/ifot_common.dir/strings.cpp.o.d"
+  "libifot_common.a"
+  "libifot_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifot_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

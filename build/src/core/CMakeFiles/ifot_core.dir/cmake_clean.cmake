@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifot_core.dir/middleware.cpp.o"
+  "CMakeFiles/ifot_core.dir/middleware.cpp.o.d"
+  "libifot_core.a"
+  "libifot_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifot_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

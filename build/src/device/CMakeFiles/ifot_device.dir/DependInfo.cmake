@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/actuator_sim.cpp" "src/device/CMakeFiles/ifot_device.dir/actuator_sim.cpp.o" "gcc" "src/device/CMakeFiles/ifot_device.dir/actuator_sim.cpp.o.d"
+  "/root/repo/src/device/sample.cpp" "src/device/CMakeFiles/ifot_device.dir/sample.cpp.o" "gcc" "src/device/CMakeFiles/ifot_device.dir/sample.cpp.o.d"
+  "/root/repo/src/device/sensor_sim.cpp" "src/device/CMakeFiles/ifot_device.dir/sensor_sim.cpp.o" "gcc" "src/device/CMakeFiles/ifot_device.dir/sensor_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ifot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

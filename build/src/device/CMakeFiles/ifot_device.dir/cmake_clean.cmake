@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifot_device.dir/actuator_sim.cpp.o"
+  "CMakeFiles/ifot_device.dir/actuator_sim.cpp.o.d"
+  "CMakeFiles/ifot_device.dir/sample.cpp.o"
+  "CMakeFiles/ifot_device.dir/sample.cpp.o.d"
+  "CMakeFiles/ifot_device.dir/sensor_sim.cpp.o"
+  "CMakeFiles/ifot_device.dir/sensor_sim.cpp.o.d"
+  "libifot_device.a"
+  "libifot_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifot_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

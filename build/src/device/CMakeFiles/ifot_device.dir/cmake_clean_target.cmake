@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libifot_device.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ifot_device.
+# This may be replaced when dependencies are built.

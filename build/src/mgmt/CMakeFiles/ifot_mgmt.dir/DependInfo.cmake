@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mgmt/failover_manager.cpp" "src/mgmt/CMakeFiles/ifot_mgmt.dir/failover_manager.cpp.o" "gcc" "src/mgmt/CMakeFiles/ifot_mgmt.dir/failover_manager.cpp.o.d"
+  "/root/repo/src/mgmt/flow_directory.cpp" "src/mgmt/CMakeFiles/ifot_mgmt.dir/flow_directory.cpp.o" "gcc" "src/mgmt/CMakeFiles/ifot_mgmt.dir/flow_directory.cpp.o.d"
+  "/root/repo/src/mgmt/paper_experiment.cpp" "src/mgmt/CMakeFiles/ifot_mgmt.dir/paper_experiment.cpp.o" "gcc" "src/mgmt/CMakeFiles/ifot_mgmt.dir/paper_experiment.cpp.o.d"
+  "/root/repo/src/mgmt/report.cpp" "src/mgmt/CMakeFiles/ifot_mgmt.dir/report.cpp.o" "gcc" "src/mgmt/CMakeFiles/ifot_mgmt.dir/report.cpp.o.d"
+  "/root/repo/src/mgmt/status_board.cpp" "src/mgmt/CMakeFiles/ifot_mgmt.dir/status_board.cpp.o" "gcc" "src/mgmt/CMakeFiles/ifot_mgmt.dir/status_board.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ifot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/ifot_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/ifot_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ifot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ifot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mqtt/CMakeFiles/ifot_mqtt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ifot_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/recipe/CMakeFiles/ifot_recipe.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ifot_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ifot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

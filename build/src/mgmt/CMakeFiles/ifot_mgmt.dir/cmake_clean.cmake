@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifot_mgmt.dir/failover_manager.cpp.o"
+  "CMakeFiles/ifot_mgmt.dir/failover_manager.cpp.o.d"
+  "CMakeFiles/ifot_mgmt.dir/flow_directory.cpp.o"
+  "CMakeFiles/ifot_mgmt.dir/flow_directory.cpp.o.d"
+  "CMakeFiles/ifot_mgmt.dir/paper_experiment.cpp.o"
+  "CMakeFiles/ifot_mgmt.dir/paper_experiment.cpp.o.d"
+  "CMakeFiles/ifot_mgmt.dir/report.cpp.o"
+  "CMakeFiles/ifot_mgmt.dir/report.cpp.o.d"
+  "CMakeFiles/ifot_mgmt.dir/status_board.cpp.o"
+  "CMakeFiles/ifot_mgmt.dir/status_board.cpp.o.d"
+  "libifot_mgmt.a"
+  "libifot_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifot_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/anomaly.cpp" "src/ml/CMakeFiles/ifot_ml.dir/anomaly.cpp.o" "gcc" "src/ml/CMakeFiles/ifot_ml.dir/anomaly.cpp.o.d"
+  "/root/repo/src/ml/classifier.cpp" "src/ml/CMakeFiles/ifot_ml.dir/classifier.cpp.o" "gcc" "src/ml/CMakeFiles/ifot_ml.dir/classifier.cpp.o.d"
+  "/root/repo/src/ml/cluster.cpp" "src/ml/CMakeFiles/ifot_ml.dir/cluster.cpp.o" "gcc" "src/ml/CMakeFiles/ifot_ml.dir/cluster.cpp.o.d"
+  "/root/repo/src/ml/evaluation.cpp" "src/ml/CMakeFiles/ifot_ml.dir/evaluation.cpp.o" "gcc" "src/ml/CMakeFiles/ifot_ml.dir/evaluation.cpp.o.d"
+  "/root/repo/src/ml/feature.cpp" "src/ml/CMakeFiles/ifot_ml.dir/feature.cpp.o" "gcc" "src/ml/CMakeFiles/ifot_ml.dir/feature.cpp.o.d"
+  "/root/repo/src/ml/linear_model.cpp" "src/ml/CMakeFiles/ifot_ml.dir/linear_model.cpp.o" "gcc" "src/ml/CMakeFiles/ifot_ml.dir/linear_model.cpp.o.d"
+  "/root/repo/src/ml/mix.cpp" "src/ml/CMakeFiles/ifot_ml.dir/mix.cpp.o" "gcc" "src/ml/CMakeFiles/ifot_ml.dir/mix.cpp.o.d"
+  "/root/repo/src/ml/model_io.cpp" "src/ml/CMakeFiles/ifot_ml.dir/model_io.cpp.o" "gcc" "src/ml/CMakeFiles/ifot_ml.dir/model_io.cpp.o.d"
+  "/root/repo/src/ml/regression.cpp" "src/ml/CMakeFiles/ifot_ml.dir/regression.cpp.o" "gcc" "src/ml/CMakeFiles/ifot_ml.dir/regression.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ifot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

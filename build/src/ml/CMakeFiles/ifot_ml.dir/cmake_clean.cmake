@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifot_ml.dir/anomaly.cpp.o"
+  "CMakeFiles/ifot_ml.dir/anomaly.cpp.o.d"
+  "CMakeFiles/ifot_ml.dir/classifier.cpp.o"
+  "CMakeFiles/ifot_ml.dir/classifier.cpp.o.d"
+  "CMakeFiles/ifot_ml.dir/cluster.cpp.o"
+  "CMakeFiles/ifot_ml.dir/cluster.cpp.o.d"
+  "CMakeFiles/ifot_ml.dir/evaluation.cpp.o"
+  "CMakeFiles/ifot_ml.dir/evaluation.cpp.o.d"
+  "CMakeFiles/ifot_ml.dir/feature.cpp.o"
+  "CMakeFiles/ifot_ml.dir/feature.cpp.o.d"
+  "CMakeFiles/ifot_ml.dir/linear_model.cpp.o"
+  "CMakeFiles/ifot_ml.dir/linear_model.cpp.o.d"
+  "CMakeFiles/ifot_ml.dir/mix.cpp.o"
+  "CMakeFiles/ifot_ml.dir/mix.cpp.o.d"
+  "CMakeFiles/ifot_ml.dir/model_io.cpp.o"
+  "CMakeFiles/ifot_ml.dir/model_io.cpp.o.d"
+  "CMakeFiles/ifot_ml.dir/regression.cpp.o"
+  "CMakeFiles/ifot_ml.dir/regression.cpp.o.d"
+  "libifot_ml.a"
+  "libifot_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifot_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mqtt/broker.cpp" "src/mqtt/CMakeFiles/ifot_mqtt.dir/broker.cpp.o" "gcc" "src/mqtt/CMakeFiles/ifot_mqtt.dir/broker.cpp.o.d"
+  "/root/repo/src/mqtt/client.cpp" "src/mqtt/CMakeFiles/ifot_mqtt.dir/client.cpp.o" "gcc" "src/mqtt/CMakeFiles/ifot_mqtt.dir/client.cpp.o.d"
+  "/root/repo/src/mqtt/packet.cpp" "src/mqtt/CMakeFiles/ifot_mqtt.dir/packet.cpp.o" "gcc" "src/mqtt/CMakeFiles/ifot_mqtt.dir/packet.cpp.o.d"
+  "/root/repo/src/mqtt/topic.cpp" "src/mqtt/CMakeFiles/ifot_mqtt.dir/topic.cpp.o" "gcc" "src/mqtt/CMakeFiles/ifot_mqtt.dir/topic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ifot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifot_mqtt.dir/broker.cpp.o"
+  "CMakeFiles/ifot_mqtt.dir/broker.cpp.o.d"
+  "CMakeFiles/ifot_mqtt.dir/client.cpp.o"
+  "CMakeFiles/ifot_mqtt.dir/client.cpp.o.d"
+  "CMakeFiles/ifot_mqtt.dir/packet.cpp.o"
+  "CMakeFiles/ifot_mqtt.dir/packet.cpp.o.d"
+  "CMakeFiles/ifot_mqtt.dir/topic.cpp.o"
+  "CMakeFiles/ifot_mqtt.dir/topic.cpp.o.d"
+  "libifot_mqtt.a"
+  "libifot_mqtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifot_mqtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifot_net.dir/network.cpp.o"
+  "CMakeFiles/ifot_net.dir/network.cpp.o.d"
+  "libifot_net.a"
+  "libifot_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifot_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

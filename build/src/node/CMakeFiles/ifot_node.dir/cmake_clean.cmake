@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifot_node.dir/cpu_model.cpp.o"
+  "CMakeFiles/ifot_node.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/ifot_node.dir/flow_msg.cpp.o"
+  "CMakeFiles/ifot_node.dir/flow_msg.cpp.o.d"
+  "CMakeFiles/ifot_node.dir/module.cpp.o"
+  "CMakeFiles/ifot_node.dir/module.cpp.o.d"
+  "CMakeFiles/ifot_node.dir/tasks.cpp.o"
+  "CMakeFiles/ifot_node.dir/tasks.cpp.o.d"
+  "libifot_node.a"
+  "libifot_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifot_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

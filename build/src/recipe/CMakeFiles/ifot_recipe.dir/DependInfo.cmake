@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recipe/parser.cpp" "src/recipe/CMakeFiles/ifot_recipe.dir/parser.cpp.o" "gcc" "src/recipe/CMakeFiles/ifot_recipe.dir/parser.cpp.o.d"
+  "/root/repo/src/recipe/recipe.cpp" "src/recipe/CMakeFiles/ifot_recipe.dir/recipe.cpp.o" "gcc" "src/recipe/CMakeFiles/ifot_recipe.dir/recipe.cpp.o.d"
+  "/root/repo/src/recipe/split.cpp" "src/recipe/CMakeFiles/ifot_recipe.dir/split.cpp.o" "gcc" "src/recipe/CMakeFiles/ifot_recipe.dir/split.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ifot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

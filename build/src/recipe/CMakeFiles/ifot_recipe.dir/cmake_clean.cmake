@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifot_recipe.dir/parser.cpp.o"
+  "CMakeFiles/ifot_recipe.dir/parser.cpp.o.d"
+  "CMakeFiles/ifot_recipe.dir/recipe.cpp.o"
+  "CMakeFiles/ifot_recipe.dir/recipe.cpp.o.d"
+  "CMakeFiles/ifot_recipe.dir/split.cpp.o"
+  "CMakeFiles/ifot_recipe.dir/split.cpp.o.d"
+  "libifot_recipe.a"
+  "libifot_recipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifot_recipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

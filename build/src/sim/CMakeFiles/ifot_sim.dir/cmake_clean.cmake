@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifot_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ifot_sim.dir/simulator.cpp.o.d"
+  "libifot_sim.a"
+  "libifot_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifot_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/auto_failover_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/auto_failover_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/discovery_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/discovery_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/e2e_property_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/e2e_property_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/failover_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/failover_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/learner_mix_e2e_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/learner_mix_e2e_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/middleware_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/middleware_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/multibroker_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/multibroker_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/qos_flow_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/qos_flow_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/retained_flow_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/retained_flow_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/shedding_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/shedding_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgmt_test.dir/mgmt/experiment_test.cpp.o"
+  "CMakeFiles/mgmt_test.dir/mgmt/experiment_test.cpp.o.d"
+  "CMakeFiles/mgmt_test.dir/mgmt/report_csv_test.cpp.o"
+  "CMakeFiles/mgmt_test.dir/mgmt/report_csv_test.cpp.o.d"
+  "mgmt_test"
+  "mgmt_test.pdb"
+  "mgmt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgmt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/anomaly_test.cpp" "tests/CMakeFiles/ml_test.dir/ml/anomaly_test.cpp.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/anomaly_test.cpp.o.d"
+  "/root/repo/tests/ml/classifier_test.cpp" "tests/CMakeFiles/ml_test.dir/ml/classifier_test.cpp.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/classifier_test.cpp.o.d"
+  "/root/repo/tests/ml/cluster_test.cpp" "tests/CMakeFiles/ml_test.dir/ml/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/cluster_test.cpp.o.d"
+  "/root/repo/tests/ml/evaluation_test.cpp" "tests/CMakeFiles/ml_test.dir/ml/evaluation_test.cpp.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/evaluation_test.cpp.o.d"
+  "/root/repo/tests/ml/feature_test.cpp" "tests/CMakeFiles/ml_test.dir/ml/feature_test.cpp.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/feature_test.cpp.o.d"
+  "/root/repo/tests/ml/mix_test.cpp" "tests/CMakeFiles/ml_test.dir/ml/mix_test.cpp.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/mix_test.cpp.o.d"
+  "/root/repo/tests/ml/model_io_test.cpp" "tests/CMakeFiles/ml_test.dir/ml/model_io_test.cpp.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/model_io_test.cpp.o.d"
+  "/root/repo/tests/ml/property_test.cpp" "tests/CMakeFiles/ml_test.dir/ml/property_test.cpp.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/property_test.cpp.o.d"
+  "/root/repo/tests/ml/regression_test.cpp" "tests/CMakeFiles/ml_test.dir/ml/regression_test.cpp.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/regression_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/ifot_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ifot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

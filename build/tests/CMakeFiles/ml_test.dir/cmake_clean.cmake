@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_test.dir/ml/anomaly_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/anomaly_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml/classifier_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/classifier_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml/cluster_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/cluster_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml/evaluation_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/evaluation_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml/feature_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/feature_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml/mix_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/mix_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml/model_io_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/model_io_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml/property_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/property_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml/regression_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/regression_test.cpp.o.d"
+  "ml_test"
+  "ml_test.pdb"
+  "ml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

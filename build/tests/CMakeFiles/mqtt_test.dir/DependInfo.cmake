@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mqtt/broker_edge_test.cpp" "tests/CMakeFiles/mqtt_test.dir/mqtt/broker_edge_test.cpp.o" "gcc" "tests/CMakeFiles/mqtt_test.dir/mqtt/broker_edge_test.cpp.o.d"
+  "/root/repo/tests/mqtt/broker_test.cpp" "tests/CMakeFiles/mqtt_test.dir/mqtt/broker_test.cpp.o" "gcc" "tests/CMakeFiles/mqtt_test.dir/mqtt/broker_test.cpp.o.d"
+  "/root/repo/tests/mqtt/client_retry_test.cpp" "tests/CMakeFiles/mqtt_test.dir/mqtt/client_retry_test.cpp.o" "gcc" "tests/CMakeFiles/mqtt_test.dir/mqtt/client_retry_test.cpp.o.d"
+  "/root/repo/tests/mqtt/client_test.cpp" "tests/CMakeFiles/mqtt_test.dir/mqtt/client_test.cpp.o" "gcc" "tests/CMakeFiles/mqtt_test.dir/mqtt/client_test.cpp.o.d"
+  "/root/repo/tests/mqtt/packet_test.cpp" "tests/CMakeFiles/mqtt_test.dir/mqtt/packet_test.cpp.o" "gcc" "tests/CMakeFiles/mqtt_test.dir/mqtt/packet_test.cpp.o.d"
+  "/root/repo/tests/mqtt/property_test.cpp" "tests/CMakeFiles/mqtt_test.dir/mqtt/property_test.cpp.o" "gcc" "tests/CMakeFiles/mqtt_test.dir/mqtt/property_test.cpp.o.d"
+  "/root/repo/tests/mqtt/session_resume_test.cpp" "tests/CMakeFiles/mqtt_test.dir/mqtt/session_resume_test.cpp.o" "gcc" "tests/CMakeFiles/mqtt_test.dir/mqtt/session_resume_test.cpp.o.d"
+  "/root/repo/tests/mqtt/topic_test.cpp" "tests/CMakeFiles/mqtt_test.dir/mqtt/topic_test.cpp.o" "gcc" "tests/CMakeFiles/mqtt_test.dir/mqtt/topic_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mqtt/CMakeFiles/ifot_mqtt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ifot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ifot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

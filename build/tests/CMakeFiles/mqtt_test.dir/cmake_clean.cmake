@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqtt_test.dir/mqtt/broker_edge_test.cpp.o"
+  "CMakeFiles/mqtt_test.dir/mqtt/broker_edge_test.cpp.o.d"
+  "CMakeFiles/mqtt_test.dir/mqtt/broker_test.cpp.o"
+  "CMakeFiles/mqtt_test.dir/mqtt/broker_test.cpp.o.d"
+  "CMakeFiles/mqtt_test.dir/mqtt/client_retry_test.cpp.o"
+  "CMakeFiles/mqtt_test.dir/mqtt/client_retry_test.cpp.o.d"
+  "CMakeFiles/mqtt_test.dir/mqtt/client_test.cpp.o"
+  "CMakeFiles/mqtt_test.dir/mqtt/client_test.cpp.o.d"
+  "CMakeFiles/mqtt_test.dir/mqtt/packet_test.cpp.o"
+  "CMakeFiles/mqtt_test.dir/mqtt/packet_test.cpp.o.d"
+  "CMakeFiles/mqtt_test.dir/mqtt/property_test.cpp.o"
+  "CMakeFiles/mqtt_test.dir/mqtt/property_test.cpp.o.d"
+  "CMakeFiles/mqtt_test.dir/mqtt/session_resume_test.cpp.o"
+  "CMakeFiles/mqtt_test.dir/mqtt/session_resume_test.cpp.o.d"
+  "CMakeFiles/mqtt_test.dir/mqtt/topic_test.cpp.o"
+  "CMakeFiles/mqtt_test.dir/mqtt/topic_test.cpp.o.d"
+  "mqtt_test"
+  "mqtt_test.pdb"
+  "mqtt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqtt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

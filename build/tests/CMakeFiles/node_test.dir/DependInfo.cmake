@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/node/cpu_test.cpp" "tests/CMakeFiles/node_test.dir/node/cpu_test.cpp.o" "gcc" "tests/CMakeFiles/node_test.dir/node/cpu_test.cpp.o.d"
+  "/root/repo/tests/node/flow_msg_test.cpp" "tests/CMakeFiles/node_test.dir/node/flow_msg_test.cpp.o" "gcc" "tests/CMakeFiles/node_test.dir/node/flow_msg_test.cpp.o.d"
+  "/root/repo/tests/node/module_test.cpp" "tests/CMakeFiles/node_test.dir/node/module_test.cpp.o" "gcc" "tests/CMakeFiles/node_test.dir/node/module_test.cpp.o.d"
+  "/root/repo/tests/node/stall_test.cpp" "tests/CMakeFiles/node_test.dir/node/stall_test.cpp.o" "gcc" "tests/CMakeFiles/node_test.dir/node/stall_test.cpp.o.d"
+  "/root/repo/tests/node/tasks_test.cpp" "tests/CMakeFiles/node_test.dir/node/tasks_test.cpp.o" "gcc" "tests/CMakeFiles/node_test.dir/node/tasks_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/node/CMakeFiles/ifot_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ifot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ifot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mqtt/CMakeFiles/ifot_mqtt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ifot_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/recipe/CMakeFiles/ifot_recipe.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ifot_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ifot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_test.dir/node/cpu_test.cpp.o"
+  "CMakeFiles/node_test.dir/node/cpu_test.cpp.o.d"
+  "CMakeFiles/node_test.dir/node/flow_msg_test.cpp.o"
+  "CMakeFiles/node_test.dir/node/flow_msg_test.cpp.o.d"
+  "CMakeFiles/node_test.dir/node/module_test.cpp.o"
+  "CMakeFiles/node_test.dir/node/module_test.cpp.o.d"
+  "CMakeFiles/node_test.dir/node/stall_test.cpp.o"
+  "CMakeFiles/node_test.dir/node/stall_test.cpp.o.d"
+  "CMakeFiles/node_test.dir/node/tasks_test.cpp.o"
+  "CMakeFiles/node_test.dir/node/tasks_test.cpp.o.d"
+  "node_test"
+  "node_test.pdb"
+  "node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/recipe/parser_test.cpp" "tests/CMakeFiles/recipe_test.dir/recipe/parser_test.cpp.o" "gcc" "tests/CMakeFiles/recipe_test.dir/recipe/parser_test.cpp.o.d"
+  "/root/repo/tests/recipe/property_test.cpp" "tests/CMakeFiles/recipe_test.dir/recipe/property_test.cpp.o" "gcc" "tests/CMakeFiles/recipe_test.dir/recipe/property_test.cpp.o.d"
+  "/root/repo/tests/recipe/split_test.cpp" "tests/CMakeFiles/recipe_test.dir/recipe/split_test.cpp.o" "gcc" "tests/CMakeFiles/recipe_test.dir/recipe/split_test.cpp.o.d"
+  "/root/repo/tests/recipe/tap_and_params_test.cpp" "tests/CMakeFiles/recipe_test.dir/recipe/tap_and_params_test.cpp.o" "gcc" "tests/CMakeFiles/recipe_test.dir/recipe/tap_and_params_test.cpp.o.d"
+  "/root/repo/tests/recipe/validate_test.cpp" "tests/CMakeFiles/recipe_test.dir/recipe/validate_test.cpp.o" "gcc" "tests/CMakeFiles/recipe_test.dir/recipe/validate_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/recipe/CMakeFiles/ifot_recipe.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ifot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recipe_test.dir/recipe/parser_test.cpp.o"
+  "CMakeFiles/recipe_test.dir/recipe/parser_test.cpp.o.d"
+  "CMakeFiles/recipe_test.dir/recipe/property_test.cpp.o"
+  "CMakeFiles/recipe_test.dir/recipe/property_test.cpp.o.d"
+  "CMakeFiles/recipe_test.dir/recipe/split_test.cpp.o"
+  "CMakeFiles/recipe_test.dir/recipe/split_test.cpp.o.d"
+  "CMakeFiles/recipe_test.dir/recipe/tap_and_params_test.cpp.o"
+  "CMakeFiles/recipe_test.dir/recipe/tap_and_params_test.cpp.o.d"
+  "CMakeFiles/recipe_test.dir/recipe/validate_test.cpp.o"
+  "CMakeFiles/recipe_test.dir/recipe/validate_test.cpp.o.d"
+  "recipe_test"
+  "recipe_test.pdb"
+  "recipe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recipe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
