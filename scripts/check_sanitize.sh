@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Configures a sanitizer build (ASan + UBSan via -DIFOT_SANITIZE=ON) in
+# build-asan/ and runs the full test suite under it. Intended as a CI
+# job and a local pre-merge check for the zero-copy MQTT path.
+#
+# Usage: scripts/check_sanitize.sh [ctest -R filter]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-asan
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DIFOT_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+export ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1
+export UBSAN_OPTIONS=print_stacktrace=1
+
+cd "$BUILD_DIR"
+if [ "$#" -gt 0 ]; then
+  ctest --output-on-failure -j "$(nproc)" -R "$1"
+else
+  ctest --output-on-failure -j "$(nproc)"
+fi

@@ -24,6 +24,7 @@ enum class Errc {
   kUnsupported,
   kState,
   kIo,
+  kTimeout,
 };
 
 /// Returns a stable human-readable name for an error category.
@@ -38,6 +39,7 @@ constexpr const char* errc_name(Errc c) {
     case Errc::kUnsupported: return "unsupported";
     case Errc::kState: return "bad_state";
     case Errc::kIo: return "io_error";
+    case Errc::kTimeout: return "timeout";
   }
   return "unknown";
 }

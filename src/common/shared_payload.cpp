@@ -1,0 +1,10 @@
+#include "common/shared_payload.hpp"
+
+namespace ifot {
+
+const Bytes& SharedPayload::empty_bytes() {
+  static const Bytes kEmpty;
+  return kEmpty;
+}
+
+}  // namespace ifot

@@ -1,0 +1,72 @@
+// Immutable, reference-counted message payload.
+//
+// The broker's PUBLISH fan-out hands one inbound payload to N
+// subscribers; holding the bytes behind shared_ptr<const Bytes> makes
+// every per-subscriber Publish clone O(1) instead of O(payload):
+// copies share the same immutable buffer, so the fabric moves a payload
+// through route/queue/inflight/redelivery without ever duplicating it.
+// The Bytes-like read surface (size/empty/view/operator==) keeps the
+// type a drop-in replacement for a by-value Bytes field.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.hpp"
+
+namespace ifot {
+
+/// Value-semantics handle to an immutable byte buffer. Copying shares
+/// the buffer; equality compares contents.
+class SharedPayload {
+ public:
+  SharedPayload() = default;
+
+  /// Takes ownership of `bytes` (one allocation; empty stays null).
+  // NOLINTNEXTLINE(google-explicit-constructor): drop-in for Bytes fields
+  SharedPayload(Bytes bytes)
+      : buf_(bytes.empty()
+                 ? nullptr
+                 : std::make_shared<const Bytes>(std::move(bytes))) {}
+
+  /// Adopts an already-shared buffer (fan-in from another message).
+  explicit SharedPayload(std::shared_ptr<const Bytes> buf)
+      : buf_(buf && buf->empty() ? nullptr : std::move(buf)) {}
+
+  [[nodiscard]] const Bytes& bytes() const {
+    return buf_ ? *buf_ : empty_bytes();
+  }
+  [[nodiscard]] BytesView view() const { return BytesView(bytes()); }
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors Bytes -> BytesView
+  operator BytesView() const { return view(); }
+
+  [[nodiscard]] std::size_t size() const { return buf_ ? buf_->size() : 0; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] const std::uint8_t* data() const { return bytes().data(); }
+
+  /// Replaces the contents with `n` copies of `v` (test ergonomics,
+  /// mirrors Bytes::assign).
+  void assign(std::size_t n, std::uint8_t v) {
+    *this = SharedPayload(Bytes(n, v));
+  }
+  void clear() { buf_.reset(); }
+
+  /// The underlying shared buffer (null when empty). Exposed so tests
+  /// and counters can verify buffer identity across fan-out copies.
+  [[nodiscard]] const std::shared_ptr<const Bytes>& share() const {
+    return buf_;
+  }
+  /// Number of messages currently sharing this buffer (0 when empty).
+  [[nodiscard]] long use_count() const { return buf_.use_count(); }
+
+  friend bool operator==(const SharedPayload& a, const SharedPayload& b) {
+    return a.buf_ == b.buf_ || a.bytes() == b.bytes();
+  }
+
+ private:
+  static const Bytes& empty_bytes();
+
+  std::shared_ptr<const Bytes> buf_;
+};
+
+}  // namespace ifot

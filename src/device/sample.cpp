@@ -21,6 +21,11 @@ void Sample::set_field(const std::string& name, double value) {
 
 Bytes encode(const Sample& s) {
   Bytes out;
+  encode_into(s, out);
+  return out;
+}
+
+void encode_into(const Sample& s, Bytes& out) {
   BinaryWriter w(out);
   w.str(s.source);
   w.varint(s.seq);
@@ -31,7 +36,6 @@ Bytes encode(const Sample& s) {
     w.f64(v);
   }
   w.str(s.label);
-  return out;
 }
 
 Result<Sample> decode_sample(BytesView data) {

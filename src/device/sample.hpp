@@ -39,6 +39,9 @@ struct Sample {
 
 /// Binary codec for samples (what actually rides in MQTT payloads).
 Bytes encode(const Sample& s);
+/// Appends the encoded sample to `out` (lets callers frame a sample
+/// behind a header without an intermediate buffer copy).
+void encode_into(const Sample& s, Bytes& out);
 Result<Sample> decode_sample(BytesView data);
 
 }  // namespace ifot::device

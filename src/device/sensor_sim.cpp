@@ -11,6 +11,7 @@ Sample WaveformSensor::sample(SimTime now) {
       kTwoPi * static_cast<double>(now % cfg_.period) /
       static_cast<double>(cfg_.period);
   Sample s;
+  s.fields.reserve(1);
   s.set_field(cfg_.field, cfg_.offset + cfg_.amplitude * std::sin(phase) +
                               rng_.normal(0, cfg_.noise));
   return s;
@@ -20,6 +21,7 @@ Sample RandomWalkSensor::sample(SimTime /*now*/) {
   value_ += rng_.normal(0, cfg_.step);
   value_ = std::clamp(value_, cfg_.min, cfg_.max);
   Sample s;
+  s.fields.reserve(1);
   s.set_field(cfg_.field, value_);
   return s;
 }
@@ -36,6 +38,7 @@ std::vector<ActivitySensor::State> ActivitySensor::default_states() {
 Sample ActivitySensor::sample(SimTime /*now*/) {
   const State& st = states_[state_];
   Sample s;
+  s.fields.reserve(3);
   static const char* kAxes[3] = {"ax", "ay", "az"};
   for (int i = 0; i < 3; ++i) {
     s.set_field(kAxes[i], rng_.normal(st.mean[i], st.stddev[i]));
@@ -52,6 +55,7 @@ Sample ActivitySensor::sample(SimTime /*now*/) {
 
 Sample ConstantSensor::sample(SimTime /*now*/) {
   Sample s;
+  s.fields.reserve(1);
   s.set_field(field_, value_ + rng_.normal(0, noise_));
   return s;
 }

@@ -27,6 +27,12 @@ Broker::~Broker() {
   }
 }
 
+std::size_t Broker::inbound_qos2_backlog() const {
+  std::size_t n = 0;
+  for (const auto& [_, s] : sessions_) n += s->inbound_qos2.size();
+  return n;
+}
+
 std::size_t Broker::connected_count() const {
   std::size_t n = 0;
   for (const auto& [_, s] : sessions_) {
@@ -194,6 +200,7 @@ void Broker::handle_connect(Link& link, Connect c) {
     session = std::make_unique<Session>();
     session->client_id = c.client_id;
   }
+  session->inbound_qos2.set_capacity(cfg_.max_inbound_qos2_per_session);
   session->clean = c.clean_session;
   session->will = std::move(c.will);
   session->link = link.id;
@@ -237,11 +244,15 @@ void Broker::handle_publish(Session& session, Publish p) {
     }
     case QoS::kExactlyOnce: {
       const std::uint16_t pid = p.packet_id;
-      if (session.inbound_qos2.insert(pid).second) {
+      const std::uint64_t evictions_before = session.inbound_qos2.evictions();
+      if (session.inbound_qos2.insert(pid)) {
         route(std::move(p), session.client_id);  // first sight: route now
       } else {
         counters_.add("qos2_duplicates");
       }
+      const std::uint64_t evicted =
+          session.inbound_qos2.evictions() - evictions_before;
+      if (evicted > 0) counters_.add("qos2_dedup_evictions", evicted);
       send_packet(session, Packet{Pubrec{pid}});
       break;
     }
@@ -285,8 +296,8 @@ void Broker::handle_unsubscribe(Session& session, const Unsubscribe& u) {
   send_packet(session, Packet{Unsuback{u.packet_id}});
 }
 
-void Broker::publish_local(const std::string& topic, Bytes payload, QoS qos,
-                           bool retain) {
+void Broker::publish_local(const std::string& topic, SharedPayload payload,
+                           QoS qos, bool retain) {
   Publish p;
   p.topic = topic;
   p.payload = std::move(payload);
@@ -302,6 +313,7 @@ void Broker::route(Publish p, const std::string& origin) {
     if (p.payload.empty()) {
       retained_.erase(p.topic);
     } else {
+      // Payload is shared, so the retained copy costs only header state.
       Publish stored = p;
       stored.dup = false;
       retained_[p.topic] = std::move(stored);
@@ -314,17 +326,49 @@ void Broker::route(Publish p, const std::string& origin) {
   // filters (overlapping-subscription rule, §3.3.5).
   std::sort(matches.begin(), matches.end());
   const Publish original = std::move(p);
+  // Encode-once fan-out: every QoS 0 delivery of this message is the
+  // same wire packet (no packet id, retain/dup cleared), so the whole
+  // QoS 0 group shares a single encode and a single buffer. QoS 1/2
+  // deliveries carry per-subscriber packet ids and still share the
+  // payload bytes through the Publish copy.
+  Bytes qos0_wire;
   for (std::size_t i = 0; i < matches.size(); ++i) {
     if (i + 1 < matches.size() && matches[i + 1].first == matches[i].first) {
       continue;  // keep last (sorted -> highest QoS is the later entry)
     }
     auto it = sessions_.find(matches[i].first);
     if (it == sessions_.end()) continue;
-    Publish out = original;
-    out.retain = false;  // [MQTT-3.3.1-9]
-    out.dup = false;
-    out.qos = std::min(out.qos, matches[i].second);
-    deliver(*it->second, std::move(out));
+    Session& session = *it->second;
+    const QoS effective = std::min(original.qos, matches[i].second);
+    if (effective == QoS::kAtMostOnce) {
+      if (!session.connected) {
+        counters_.add("dropped_qos0_offline");
+        continue;
+      }
+      auto lit = links_.find(session.link);
+      if (lit == links_.end()) {
+        counters_.add("dropped_qos0_offline");
+        continue;
+      }
+      if (qos0_wire.empty()) {
+        Publish wire_msg;
+        wire_msg.topic = original.topic;
+        wire_msg.payload = original.payload;  // shares the buffer
+        qos0_wire = encode(Packet{std::move(wire_msg)});
+        counters_.add("fanout_encodes");
+        // The one remaining copy: payload bytes into the wire buffer.
+        counters_.add("payload_bytes_copied", original.payload.size());
+      }
+      counters_.add("payload_bytes_shared", original.payload.size());
+      counters_.add("delivered_qos0");
+      send_encoded(*lit->second, qos0_wire);
+    } else {
+      Publish out;
+      out.topic = original.topic;
+      out.payload = original.payload;  // shares the buffer
+      out.qos = effective;             // retain/dup cleared [MQTT-3.3.1-9]
+      deliver(session, std::move(out));
+    }
   }
 }
 
@@ -370,6 +414,9 @@ void Broker::send_inflight(Session& session, InflightOut& inflight) {
   ++inflight.attempts;
   send_packet(session, Packet{inflight.msg});
   counters_.add("delivered_qos12");
+  // QoS 1/2 deliveries carry per-subscriber packet ids, so each send
+  // encodes its own wire buffer (one payload copy per delivery).
+  counters_.add("payload_bytes_copied", inflight.msg.payload.size());
   arm_retry(session, inflight.msg.packet_id);
 }
 
@@ -420,8 +467,12 @@ void Broker::send_packet(Session& session, const Packet& p) {
 }
 
 void Broker::send_packet(Link& link, const Packet& p) {
+  send_encoded(link, encode(p));
+}
+
+void Broker::send_encoded(Link& link, const Bytes& wire) {
   counters_.add("packets_out");
-  link.send(encode(p));
+  link.send(wire);
 }
 
 void Broker::arm_keepalive(Link& link) {

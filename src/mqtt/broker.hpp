@@ -26,6 +26,7 @@
 
 #include "common/bytes.hpp"
 #include "common/stats.hpp"
+#include "mqtt/id_set.hpp"
 #include "mqtt/packet.hpp"
 #include "mqtt/scheduler.hpp"
 #include "mqtt/topic.hpp"
@@ -48,6 +49,11 @@ struct BrokerConfig {
   /// Give up redelivering after this many attempts (session keeps the
   /// message for reconnect-time redelivery regardless).
   int max_retries = 10;
+  /// Bound on the per-session inbound QoS 2 dedup set. A peer whose
+  /// PUBREL is lost for good would otherwise leak its packet id forever;
+  /// past this bound the oldest parked id is evicted (counted in
+  /// counters()["qos2_dedup_evictions"]).
+  std::size_t max_inbound_qos2_per_session = 1024;
   /// When > 0, the broker periodically publishes its statistics under
   /// $SYS/broker/... (Mosquitto-style), for the management software.
   SimDuration sys_interval = 0;
@@ -78,13 +84,16 @@ class Broker {
 
   /// Publishes a message as if originated by the broker itself (used for
   /// management/$SYS-style announcements).
-  void publish_local(const std::string& topic, Bytes payload, QoS qos,
+  void publish_local(const std::string& topic, SharedPayload payload, QoS qos,
                      bool retain = false);
 
   [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
   [[nodiscard]] std::size_t connected_count() const;
   [[nodiscard]] std::size_t retained_count() const { return retained_.size(); }
   [[nodiscard]] const Counters& counters() const { return counters_; }
+  /// Packet ids currently parked in inbound QoS 2 dedup across all
+  /// sessions (diagnostics; a lost-PUBREL leak shows up here).
+  [[nodiscard]] std::size_t inbound_qos2_backlog() const;
 
  private:
   struct Session;
@@ -110,8 +119,9 @@ class Broker {
     std::map<std::uint16_t, InflightOut> inflight;
     std::deque<Publish> queued;  // offline / above inflight window
     // Inbound QoS2 exactly-once dedup: ids whose PUBLISH was routed but
-    // whose PUBREL has not arrived yet.
-    std::set<std::uint16_t> inbound_qos2;
+    // whose PUBREL has not arrived yet. Bounded: lost PUBRELs must not
+    // leak ids forever.
+    BoundedIdSet inbound_qos2;
   };
 
   struct Link {
@@ -144,6 +154,9 @@ class Broker {
 
   void send_packet(Session& session, const Packet& p);
   void send_packet(Link& link, const Packet& p);
+  /// Emits pre-encoded wire bytes (the fan-out path encodes once per
+  /// QoS 0 group and reuses the buffer for every subscriber).
+  void send_encoded(Link& link, const Bytes& wire);
   void drop_link(Link& link, bool publish_will);
   void arm_keepalive(Link& link);
   void arm_sys_stats();

@@ -13,6 +13,7 @@ constexpr const char* kLog = "mqtt.client";
 Client::Client(Scheduler& sched, ClientConfig cfg, SendFn send)
     : sched_(sched), cfg_(std::move(cfg)), send_(std::move(send)) {
   assert(send_);
+  inbound_qos2_.set_capacity(cfg_.max_inbound_qos2);
 }
 
 Client::~Client() {
@@ -153,9 +154,13 @@ void Client::handle_packet(Packet packet) {
         } else if constexpr (std::is_same_v<T, Publish>) {
           if (p.qos == QoS::kExactlyOnce) {
             // Exactly-once: deliver on first sight of this packet id.
-            if (inbound_qos2_.insert(p.packet_id).second) {
+            const std::uint64_t evictions_before = inbound_qos2_.evictions();
+            if (inbound_qos2_.insert(p.packet_id)) {
               if (on_message_) on_message_(p);
             }
+            const std::uint64_t evicted =
+                inbound_qos2_.evictions() - evictions_before;
+            if (evicted > 0) counters_.add("qos2_dedup_evictions", evicted);
             send_packet(Packet{Pubrec{p.packet_id}});
           } else {
             if (on_message_) on_message_(p);
@@ -171,7 +176,7 @@ void Client::handle_packet(Packet packet) {
             auto done = std::move(it->second.done);
             inflight_.erase(it);
             counters_.add("acked");
-            if (done) done();
+            if (done) done({});
           }
         } else if constexpr (std::is_same_v<T, Pubrec>) {
           auto it = inflight_.find(p.packet_id);
@@ -191,7 +196,7 @@ void Client::handle_packet(Packet packet) {
             auto done = std::move(it->second.done);
             inflight_.erase(it);
             counters_.add("acked");
-            if (done) done();
+            if (done) done({});
           }
         } else if constexpr (std::is_same_v<T, Suback>) {
           auto it = pending_control_.find(p.packet_id);
@@ -224,8 +229,8 @@ void Client::handle_packet(Packet packet) {
       std::move(packet));
 }
 
-Status Client::publish(std::string topic, Bytes payload, QoS qos, bool retain,
-                       Completion done) {
+Status Client::publish(std::string topic, SharedPayload payload, QoS qos,
+                       bool retain, PublishCallback done) {
   if (!valid_topic_name(topic)) {
     return Err(Errc::kInvalidArgument, "invalid topic name: " + topic);
   }
@@ -239,8 +244,14 @@ Status Client::publish(std::string topic, Bytes payload, QoS qos, bool retain,
   if (qos == QoS::kAtMostOnce) {
     if (connected_) {
       send_packet(Packet{p});
-      if (done) done();
+      if (done) done({});
     } else {
+      // Bounded offline buffer: shed the oldest message first (the
+      // freshest sensor reading is the valuable one).
+      if (pending_qos0_.size() >= cfg_.max_pending_qos0) {
+        pending_qos0_.pop_front();
+        counters_.add("qos0_dropped");
+      }
       pending_qos0_.push_back(std::move(p));
     }
     return {};
@@ -342,6 +353,18 @@ void Client::arm_retry(std::uint16_t packet_id) {
         InflightPub& f = iit->second;
         f.retry_timer = 0;
         if (!connected_) return;
+        // Attempt cap (mirrors the broker's): endless redelivery to a
+        // peer that never acks would pin the packet id and the payload
+        // buffer forever. Fail the publish instead.
+        if (f.attempts > cfg_.max_retries) {
+          counters_.add("retry_exhausted");
+          auto done = std::move(f.done);
+          inflight_.erase(iit);
+          if (done) {
+            done(Err(Errc::kTimeout, "publish retries exhausted"));
+          }
+          return;
+        }
         counters_.add("redeliveries");
         if (f.awaiting_pubcomp) {
           send_packet(Packet{Pubrel{packet_id}});

@@ -17,6 +17,7 @@
 
 #include "common/bytes.hpp"
 #include "common/stats.hpp"
+#include "mqtt/id_set.hpp"
 #include "mqtt/packet.hpp"
 #include "mqtt/scheduler.hpp"
 
@@ -34,6 +35,16 @@ struct ClientConfig {
   /// SUBSCRIBE, UNSUBSCRIBE) - lossy links drop those too.
   SimDuration control_retry_interval = from_millis(2000);
   std::size_t max_inflight = 32;
+  /// Give up redelivering a QoS 1/2 publish after this many attempts;
+  /// the publish's completion fires with a timeout error and the message
+  /// is dropped (counted in counters()["retry_exhausted"]).
+  int max_retries = 10;
+  /// QoS 0 publishes buffered while offline; past the bound the oldest
+  /// buffered message is dropped (counters()["qos0_dropped"]).
+  std::size_t max_pending_qos0 = 256;
+  /// Bound on the inbound QoS 2 dedup set; a lost broker PUBREL must not
+  /// leak packet ids forever (counters()["qos2_dedup_evictions"]).
+  std::size_t max_inbound_qos2 = 1024;
 };
 
 /// The client-side protocol engine.
@@ -44,6 +55,9 @@ class Client {
   using ConnackHandler = std::function<void(const Connack&)>;
   using SubackHandler = std::function<void(const Suback&)>;
   using Completion = std::function<void()>;
+  /// Publish completion: ok on PUBACK/PUBCOMP (or immediate QoS 0 send),
+  /// an error when redelivery is exhausted.
+  using PublishCallback = std::function<void(Status)>;
 
   /// `send` transmits raw bytes to the broker.
   Client(Scheduler& sched, ClientConfig cfg, SendFn send);
@@ -67,9 +81,11 @@ class Client {
   }
 
   /// Publishes a message. QoS 0 sends immediately (offline -> buffered
-  /// until connect). QoS 1/2 completion fires on PUBACK/PUBCOMP.
-  Status publish(std::string topic, Bytes payload, QoS qos,
-                 bool retain = false, Completion done = nullptr);
+  /// until connect). QoS 1/2 completion fires ok on PUBACK/PUBCOMP, or
+  /// with an error once redelivery is exhausted (cfg.max_retries).
+  /// The payload buffer is shared, never copied, across redeliveries.
+  Status publish(std::string topic, SharedPayload payload, QoS qos,
+                 bool retain = false, PublishCallback done = nullptr);
 
   /// Subscribes to the given filters; `done` fires on SUBACK.
   Status subscribe(std::vector<TopicRequest> topics,
@@ -85,6 +101,13 @@ class Client {
   [[nodiscard]] bool connected() const { return connected_; }
   [[nodiscard]] const std::string& client_id() const { return cfg_.client_id; }
   [[nodiscard]] std::size_t inflight_count() const { return inflight_.size(); }
+  [[nodiscard]] std::size_t pending_qos0_count() const {
+    return pending_qos0_.size();
+  }
+  /// Packet ids parked in inbound QoS 2 dedup (lost-PUBREL diagnostics).
+  [[nodiscard]] std::size_t inbound_qos2_backlog() const {
+    return inbound_qos2_.size();
+  }
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
  private:
@@ -93,7 +116,7 @@ class Client {
     bool awaiting_pubcomp = false;
     int attempts = 0;
     std::uint64_t retry_timer = 0;
-    Completion done;
+    PublishCallback done;
   };
 
   void handle_packet(Packet packet);
@@ -126,8 +149,8 @@ class Client {
     std::uint64_t retry_timer = 0;
   };
   std::map<std::uint16_t, PendingControl> pending_control_;
-  std::deque<Publish> pending_qos0_;   // buffered while offline
-  std::set<std::uint16_t> inbound_qos2_;
+  std::deque<Publish> pending_qos0_;   // buffered while offline (bounded)
+  BoundedIdSet inbound_qos2_;
   std::uint64_t ping_timer_ = 0;
   std::uint64_t connect_timer_ = 0;
   Counters counters_;

@@ -1,0 +1,61 @@
+// Bounded, insertion-ordered packet-id set for inbound QoS 2 dedup.
+//
+// The exactly-once handshake parks a packet id between PUBLISH and
+// PUBREL. When the PUBREL is lost for good (peer died, session reset on
+// the other side), the id would stay parked forever and the set would
+// grow without bound across a long-lived session. This set evicts the
+// oldest id once a capacity is reached: by then the peer has stopped
+// retrying that id, so eviction trades an unbounded leak for a bounded,
+// counted worst case (a duplicate delivery if the peer does retry).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <set>
+
+namespace ifot::mqtt {
+
+class BoundedIdSet {
+ public:
+  void set_capacity(std::size_t cap) {
+    cap_ = std::max<std::size_t>(cap, 1);
+    trim();
+  }
+
+  /// Returns true on first sight of `id` (the caller should deliver).
+  bool insert(std::uint16_t id) {
+    if (!set_.insert(id).second) return false;
+    order_.push_back(id);
+    trim();
+    return true;
+  }
+
+  void erase(std::uint16_t id) {
+    if (set_.erase(id) == 0) return;
+    order_.erase(std::find(order_.begin(), order_.end(), id));
+  }
+
+  [[nodiscard]] std::size_t size() const { return set_.size(); }
+  [[nodiscard]] bool contains(std::uint16_t id) const {
+    return set_.count(id) != 0;
+  }
+  /// Ids discarded because the set was full (lost-PUBREL leak pressure).
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  void trim() {
+    while (set_.size() > cap_) {
+      set_.erase(order_.front());
+      order_.pop_front();
+      ++evictions_;
+    }
+  }
+
+  std::size_t cap_ = 1024;
+  std::set<std::uint16_t> set_;
+  std::deque<std::uint16_t> order_;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace ifot::mqtt

@@ -85,13 +85,34 @@ Bytes body_of(const Connack& p) {
   return body;
 }
 
-Bytes body_of(const Publish& p) {
-  Bytes body;
-  BinaryWriter w(body);
+std::uint8_t publish_flags(const Publish& p) {
+  std::uint8_t f = 0;
+  if (p.dup) f |= 0x08;
+  f |= static_cast<std::uint8_t>(static_cast<std::uint8_t>(p.qos) << 1);
+  if (p.retain) f |= 0x01;
+  return f;
+}
+
+/// PUBLISH encode fast path: the fan-out hot path calls this once per
+/// QoS group, so it writes fixed header + body into one exact-sized
+/// buffer instead of building a body and copying it.
+Bytes encode_publish(const Publish& p) {
+  const std::size_t body_len = 2 + p.topic.size() +
+                               (p.qos != QoS::kAtMostOnce ? 2 : 0) +
+                               p.payload.size();
+  std::size_t rl_len = 1;
+  for (std::size_t v = body_len; v >= 128; v /= 128) ++rl_len;
+  Bytes out;
+  out.reserve(1 + rl_len + body_len);
+  out.push_back(static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(PacketType::kPublish) << 4) |
+      publish_flags(p)));
+  write_remaining_length(out, body_len);
+  BinaryWriter w(out);
   w.str16(p.topic);
   if (p.qos != QoS::kAtMostOnce) w.u16(p.packet_id);
   w.raw(p.payload);
-  return body;
+  return out;
 }
 
 Bytes body_of_packet_id(std::uint16_t packet_id) {
@@ -320,13 +341,7 @@ Result<Packet> decode_body(std::uint8_t type_and_flags, BytesView body) {
 }
 
 std::uint8_t header_flags(const Packet& p) {
-  if (const auto* pub = std::get_if<Publish>(&p)) {
-    std::uint8_t f = 0;
-    if (pub->dup) f |= 0x08;
-    f |= static_cast<std::uint8_t>(static_cast<std::uint8_t>(pub->qos) << 1);
-    if (pub->retain) f |= 0x01;
-    return f;
-  }
+  if (const auto* pub = std::get_if<Publish>(&p)) return publish_flags(*pub);
   const auto t = packet_type(p);
   if (t == PacketType::kPubrel || t == PacketType::kSubscribe ||
       t == PacketType::kUnsubscribe) {
@@ -362,10 +377,14 @@ const char* packet_type_name(PacketType t) {
 }
 
 Bytes encode(const Packet& p) {
+  if (const auto* pub = std::get_if<Publish>(&p)) return encode_publish(*pub);
   Bytes body = std::visit(
       [](const auto& pkt) -> Bytes {
         using T = std::decay_t<decltype(pkt)>;
-        if constexpr (std::is_same_v<T, Puback> || std::is_same_v<T, Pubrec> ||
+        if constexpr (std::is_same_v<T, Publish>) {
+          return Bytes{};  // unreachable: encode() dispatches PUBLISH above
+        } else if constexpr (std::is_same_v<T, Puback> ||
+                      std::is_same_v<T, Pubrec> ||
                       std::is_same_v<T, Pubrel> || std::is_same_v<T, Pubcomp> ||
                       std::is_same_v<T, Unsuback>) {
           return body_of_packet_id(pkt.packet_id);

@@ -15,6 +15,7 @@
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
+#include "common/shared_payload.hpp"
 
 namespace ifot::mqtt {
 
@@ -79,7 +80,9 @@ struct Connack {
 
 struct Publish {
   std::string topic;
-  Bytes payload;
+  /// Reference-counted: copying a Publish shares the payload buffer, so
+  /// broker fan-out / inflight / retained copies never duplicate bytes.
+  SharedPayload payload;
   QoS qos = QoS::kAtMostOnce;
   bool retain = false;
   bool dup = false;

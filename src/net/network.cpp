@@ -20,6 +20,12 @@ std::uint64_t pair_key(NodeId from, NodeId to) {
   return (static_cast<std::uint64_t>(from.value()) << 32) | to.value();
 }
 
+/// Doubles `backoff` without overflowing SimDuration, clamped to `cap`.
+SimDuration next_backoff(SimDuration backoff, SimDuration cap) {
+  if (backoff > cap / 2) return cap;
+  return backoff * 2;
+}
+
 }  // namespace
 
 Network::Network(sim::Simulator& sim, const LanConfig& lan, std::uint64_t seed)
@@ -59,7 +65,7 @@ Network::PathOutcome Network::traverse_lan(std::size_t payload_bytes) {
     if (rng_.chance(lan_.loss_prob)) {
       counters_.add("lan.retransmits");
       cursor = tx_end + backoff;
-      backoff *= 2;
+      backoff = next_backoff(backoff, lan_.max_backoff);
       continue;
     }
     const SimDuration jitter = lan_.jitter_max > 0
@@ -89,7 +95,7 @@ Network::PathOutcome Network::traverse_wan(Host& remote,
     if (rng_.chance(wan.loss_prob)) {
       counters_.add("wan.retransmits");
       cursor = tx_end + backoff;
-      backoff *= 2;
+      backoff = next_backoff(backoff, wan.max_backoff);
       continue;
     }
     const SimDuration jitter = wan.jitter_max > 0

@@ -43,8 +43,11 @@ struct LanConfig {
   std::size_t header_bytes = 78;
   /// Frame loss probability per attempt.
   double loss_prob = 0.0;
-  /// Retransmission timeout base (doubles per retry).
+  /// Retransmission timeout base (doubles per retry, clamped).
   SimDuration rto = from_millis(20);
+  /// Upper bound on the doubled retransmission backoff. Unbounded
+  /// doubling overflows SimDuration past ~60 attempts.
+  SimDuration max_backoff = from_seconds(10);
   /// Maximum transmission attempts before the frame is dropped.
   int max_attempts = 5;
 };
@@ -57,6 +60,8 @@ struct WanConfig {
   std::size_t header_bytes = 78;
   double loss_prob = 0.0;
   SimDuration rto = from_millis(200);
+  /// Upper bound on the doubled retransmission backoff (see LanConfig).
+  SimDuration max_backoff = from_seconds(30);
   int max_attempts = 5;
 };
 
@@ -93,6 +98,9 @@ class Network {
   [[nodiscard]] const LatencyRecorder& delivery_latency() const {
     return delivery_latency_;
   }
+  /// Time until which the shared LAN medium is occupied (diagnostics;
+  /// regression hook for the retransmission-backoff clamp).
+  [[nodiscard]] SimTime lan_busy_until() const { return lan_busy_until_; }
 
  private:
   struct Host {

@@ -9,8 +9,7 @@ constexpr std::uint8_t kTagModel = 1;
 Bytes encode_flow(const device::Sample& s) {
   Bytes out;
   out.push_back(kTagSample);
-  const Bytes body = device::encode(s);
-  out.insert(out.end(), body.begin(), body.end());
+  device::encode_into(s, out);  // frame + body in one buffer, no copy
   return out;
 }
 

@@ -479,7 +479,9 @@ void NeuronModule::emit_sample(const recipe::Task& spec, device::Sample s) {
     dispatch_local(topic, FlowPayload{std::move(s)});
     return;
   }
-  Bytes payload = encode_flow(s);
+  // Wrap the encoded sample once; every queueing/retry stage downstream
+  // shares the same immutable buffer.
+  SharedPayload payload(encode_flow(s));
   const SimDuration cost =
       config_.costs.publish +
       config_.costs.per_byte * static_cast<SimDuration>(payload.size());
@@ -499,7 +501,7 @@ void NeuronModule::emit_model(const recipe::Task& spec, Bytes model) {
     return;
   }
   const ModelMsg msg{spec.name, std::move(model)};
-  Bytes payload = encode_flow(msg);
+  SharedPayload payload(encode_flow(msg));
   const SimDuration cost =
       config_.costs.model_io + config_.costs.publish +
       config_.costs.per_byte * static_cast<SimDuration>(payload.size());
@@ -511,8 +513,8 @@ void NeuronModule::emit_model(const recipe::Task& spec, Bytes model) {
 }
 
 void NeuronModule::publish_flow(const std::string& topic, int broker_hint,
-                                int qos_hint, bool retain, Bytes payload,
-                                SimDuration cost) {
+                                int qos_hint, bool retain,
+                                SharedPayload payload, SimDuration cost) {
   if (clients_.empty()) return;
   const std::size_t index = broker_index_for(topic, broker_hint);
   const mqtt::QoS qos = qos_for(qos_hint);
@@ -562,7 +564,7 @@ void NeuronModule::on_flow_message(const mqtt::Publish& p) {
   // Management-plane watches see the raw payload (status strings, $SYS
   // counters) - these are not Sample-encoded flows.
   for (const auto& [filter, handler] : watches_) {
-    if (mqtt::topic_matches(filter, p.topic)) handler(p.topic, p.payload);
+    if (mqtt::topic_matches(filter, p.topic)) handler(p.topic, p.payload.bytes());
   }
   // Which deployed tasks subscribe to this topic?
   std::vector<std::shared_ptr<FlowTask>> consumers;

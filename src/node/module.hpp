@@ -211,7 +211,7 @@ class NeuronModule final : public TaskContext {
   /// Resolves a per-flow QoS hint (-1 = fabric default).
   [[nodiscard]] mqtt::QoS qos_for(int hint) const;
   void publish_flow(const std::string& topic, int broker_hint, int qos_hint,
-                    bool retain, Bytes payload, SimDuration cost);
+                    bool retain, SharedPayload payload, SimDuration cost);
   void flush_pending_subscriptions(ClientBinding& binding);
 
   sim::Simulator& sim_;   // NOLINT(cppcoreguidelines-avoid-const-or-ref-data-members)

@@ -1,0 +1,65 @@
+#include "common/shared_payload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ifot {
+namespace {
+
+TEST(SharedPayload, DefaultIsEmptyAndNull) {
+  SharedPayload p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_EQ(p.share(), nullptr);
+  EXPECT_EQ(p.use_count(), 0);
+  EXPECT_TRUE(p.bytes().empty());
+}
+
+TEST(SharedPayload, AdoptsBytesWithoutCopyOnShare) {
+  SharedPayload p(Bytes{1, 2, 3});
+  EXPECT_EQ(p.size(), 3u);
+  SharedPayload q = p;  // O(1): shares the buffer
+  EXPECT_EQ(q.share().get(), p.share().get());
+  EXPECT_EQ(p.use_count(), 2);
+  EXPECT_EQ(q.bytes(), (Bytes{1, 2, 3}));
+}
+
+TEST(SharedPayload, EmptyBytesCollapseToNull) {
+  SharedPayload p{Bytes{}};
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.share(), nullptr);
+  SharedPayload q(std::make_shared<const Bytes>());
+  EXPECT_EQ(q.share(), nullptr);
+}
+
+TEST(SharedPayload, EqualityComparesContentsAcrossBuffers) {
+  SharedPayload a(Bytes{9, 9});
+  SharedPayload b(Bytes{9, 9});   // distinct buffer, same contents
+  SharedPayload c(Bytes{9, 8});
+  EXPECT_NE(a.share().get(), b.share().get());
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(SharedPayload{}, SharedPayload{Bytes{}});
+}
+
+TEST(SharedPayload, ViewAndConversionSeeTheSameBytes) {
+  SharedPayload p(Bytes{4, 5, 6});
+  BytesView v = p;  // implicit, mirrors Bytes -> BytesView
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.data(), p.data());
+  EXPECT_EQ(v[1], 5);
+  EXPECT_EQ(p.view().size(), 3u);
+}
+
+TEST(SharedPayload, AssignAndClearReplaceTheBuffer) {
+  SharedPayload p(Bytes{1});
+  const auto* before = p.share().get();
+  p.assign(4, 7);
+  EXPECT_NE(p.share().get(), before);
+  EXPECT_EQ(p.bytes(), Bytes(4, 7));
+  p.clear();
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.share(), nullptr);
+}
+
+}  // namespace
+}  // namespace ifot

@@ -111,7 +111,7 @@ TEST(Broker, Qos1EndToEndAck) {
   bool done = false;
   ASSERT_TRUE(pub.client()
                   .publish("q", to_bytes("p"), QoS::kAtLeastOnce, false,
-                           [&] { done = true; })
+                           [&](Status) { done = true; })
                   .ok());
   h.settle();
   EXPECT_TRUE(done);  // PUBACK received
@@ -131,7 +131,7 @@ TEST(Broker, Qos2ExactlyOnceEndToEnd) {
   bool done = false;
   ASSERT_TRUE(pub.client()
                   .publish("q2", to_bytes("p"), QoS::kExactlyOnce, false,
-                           [&] { done = true; })
+                           [&](Status) { done = true; })
                   .ok());
   h.settle();
   EXPECT_TRUE(done);  // full PUBREC/PUBREL/PUBCOMP handshake

@@ -81,7 +81,7 @@ TEST(Client, InflightQos1SentOnConnectWithDupAfterResume) {
   bool done = false;
   ASSERT_TRUE(p.client()
                   .publish("t", to_bytes("x"), QoS::kAtLeastOnce, false,
-                           [&] { done = true; })
+                           [&](Status) { done = true; })
                   .ok());
   EXPECT_FALSE(done);
   h.connect(p);  // publish goes out after CONNACK

@@ -1,0 +1,269 @@
+// Regression tests for the encode-once / zero-copy PUBLISH fan-out and
+// the QoS robustness sweep that rode along with it: bounded publish
+// retries, bounded offline QoS 0 buffering, bounded inbound QoS 2 dedup
+// sets, and exactly-once delivery under a PUBREC/PUBREL/PUBCOMP loss
+// storm.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mqtt/broker.hpp"
+#include "mqtt/client.hpp"
+#include "tests/mqtt/harness.hpp"
+
+namespace ifot::mqtt {
+namespace {
+
+using testing::Harness;
+using testing::Peer;
+using testing::SimSched;
+
+TEST(FanOut, Qos0GroupEncodesOnceAndSharesPayload) {
+  Harness h;
+  Peer& pub = h.add_client("pub");
+  std::vector<Peer*> subs;
+  for (int i = 0; i < 5; ++i) {
+    subs.push_back(&h.add_client("s" + std::to_string(i)));
+  }
+  h.connect(pub);
+  for (Peer* s : subs) {
+    h.connect(*s);
+    ASSERT_TRUE(s->client().subscribe({{"f/#", QoS::kAtMostOnce}}).ok());
+  }
+  h.settle();
+  const Bytes payload(64, 0xAB);
+  ASSERT_TRUE(pub.client().publish("f/t", payload, QoS::kAtMostOnce).ok());
+  h.settle();
+  for (Peer* s : subs) {
+    ASSERT_EQ(s->messages().size(), 1u);
+    EXPECT_EQ(s->messages()[0].payload.bytes(), payload);
+  }
+  const Counters& c = h.broker().counters();
+  // One encode -- and one payload copy, into the wire buffer -- serves
+  // the whole five-subscriber group.
+  EXPECT_EQ(c.get("fanout_encodes"), 1u);
+  EXPECT_EQ(c.get("payload_bytes_copied"), 64u);
+  EXPECT_EQ(c.get("delivered_qos0"), 5u);
+  EXPECT_EQ(c.get("payload_bytes_shared"), 5u * 64u);
+}
+
+TEST(FanOut, PublishCopiesShareOnePayloadBuffer) {
+  SharedPayload payload(Bytes(1024, 0x5A));
+  Publish p;
+  p.topic = "t";
+  p.payload = payload;
+  Publish per_subscriber = p;  // what route() clones per QoS 1/2 subscriber
+  // Same underlying buffer, not equal copies of it.
+  EXPECT_EQ(per_subscriber.payload.share().get(), payload.share().get());
+  EXPECT_EQ(payload.use_count(), 3);
+}
+
+TEST(FanOut, Qos2ExactlyOnceUnderAckLossStorm) {
+  sim::Simulator sim;
+  SimSched sched(sim);
+  Broker broker(sched);
+  constexpr LinkId kPub = 1;
+  constexpr LinkId kSub = 2;
+  // The storm: the publisher's first PUBRELs vanish, the broker's first
+  // PUBRECs and PUBCOMPs vanish. Lost PUBRECs force DUP PUBLISH
+  // redeliveries (exercising broker dedup); lost PUBRELs/PUBCOMPs leave
+  // the handshake half-open until retries drain it.
+  int drop_pubrel = 3;
+  int drop_pubrec = 2;
+  int drop_pubcomp = 3;
+
+  ClientConfig pc;
+  pc.client_id = "pub";
+  pc.retry_interval = from_millis(100);
+  Client pub(sched, pc, [&](const Bytes& b) {
+    auto pkt = decode(BytesView(b));
+    ASSERT_TRUE(pkt.ok());
+    if (std::holds_alternative<Pubrel>(pkt.value()) && drop_pubrel > 0) {
+      --drop_pubrel;
+      return;
+    }
+    sim.schedule_after(kMillisecond,
+                       [&broker, b] { broker.on_link_data(kPub, BytesView(b)); });
+  });
+  broker.on_link_open(
+      kPub,
+      [&](const Bytes& b) {
+        auto pkt = decode(BytesView(b));
+        ASSERT_TRUE(pkt.ok());
+        if (std::holds_alternative<Pubrec>(pkt.value()) && drop_pubrec > 0) {
+          --drop_pubrec;
+          return;
+        }
+        if (std::holds_alternative<Pubcomp>(pkt.value()) && drop_pubcomp > 0) {
+          --drop_pubcomp;
+          return;
+        }
+        sim.schedule_after(kMillisecond,
+                           [&pub, b] { pub.on_data(BytesView(b)); });
+      },
+      [] {});
+
+  ClientConfig sc;
+  sc.client_id = "sub";
+  Client sub(sched, sc, [&](const Bytes& b) {
+    sim.schedule_after(kMillisecond,
+                       [&broker, b] { broker.on_link_data(kSub, BytesView(b)); });
+  });
+  broker.on_link_open(
+      kSub,
+      [&](const Bytes& b) {
+        sim.schedule_after(kMillisecond,
+                           [&sub, b] { sub.on_data(BytesView(b)); });
+      },
+      [] {});
+  int received = 0;
+  sub.set_on_message([&](const Publish& p) {
+    ++received;
+    EXPECT_EQ(p.qos, QoS::kExactlyOnce);
+  });
+
+  pub.on_transport_open();
+  sub.on_transport_open();
+  sim.run_until(sim.now() + kSecond);
+  ASSERT_TRUE(pub.connected());
+  ASSERT_TRUE(sub.connected());
+  ASSERT_TRUE(sub.subscribe({{"q2", QoS::kExactlyOnce}}).ok());
+  sim.run_until(sim.now() + kSecond);
+
+  std::optional<Status> result;
+  ASSERT_TRUE(pub.publish("q2", to_bytes("storm"), QoS::kExactlyOnce, false,
+                          [&](Status s) { result = std::move(s); })
+                  .ok());
+  sim.run_until(sim.now() + 30 * kSecond);
+
+  // All drops were consumed, the handshake completed, and the message
+  // arrived exactly once despite the DUP redeliveries.
+  EXPECT_EQ(drop_pubrel, 0);
+  EXPECT_EQ(drop_pubrec, 0);
+  EXPECT_EQ(drop_pubcomp, 0);
+  EXPECT_EQ(received, 1);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok());
+  EXPECT_GE(broker.counters().get("qos2_duplicates"), 1u);
+  // No half-open handshake residue anywhere: every dedup entry was
+  // released by the (eventually delivered) PUBREL.
+  EXPECT_EQ(pub.inflight_count(), 0u);
+  EXPECT_EQ(broker.inbound_qos2_backlog(), 0u);
+  EXPECT_EQ(pub.inbound_qos2_backlog(), 0u);
+  EXPECT_EQ(sub.inbound_qos2_backlog(), 0u);
+}
+
+TEST(FanOut, RetryExhaustionFailsThePublishCallback) {
+  sim::Simulator sim;
+  SimSched sched(sim);
+  ClientConfig cc;
+  cc.client_id = "exhausted";
+  cc.retry_interval = from_millis(50);
+  cc.max_retries = 3;
+  Client client(sched, cc, [](const Bytes&) {});  // broker never answers
+  client.on_transport_open();
+  client.on_data(
+      BytesView(encode(Packet{Connack{false, ConnectCode::kAccepted}})));
+  ASSERT_TRUE(client.connected());
+  std::optional<Status> result;
+  ASSERT_TRUE(client.publish("t", to_bytes("x"), QoS::kAtLeastOnce, false,
+                             [&](Status s) { result = std::move(s); })
+                  .ok());
+  sim.run_until(sim.now() + 10 * kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok());
+  EXPECT_EQ(client.counters().get("retry_exhausted"), 1u);
+  EXPECT_EQ(client.inflight_count(), 0u);
+}
+
+TEST(FanOut, OfflineQos0BufferShedsOldestAtBound) {
+  sim::Simulator sim;
+  SimSched sched(sim);
+  ClientConfig cc;
+  cc.client_id = "buffered";
+  cc.max_pending_qos0 = 4;
+  std::vector<Packet> sent;
+  Client client(sched, cc, [&](const Bytes& b) {
+    auto p = decode(BytesView(b));
+    ASSERT_TRUE(p.ok());
+    sent.push_back(std::move(p).value());
+  });
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client
+                    .publish("t", to_bytes("m" + std::to_string(i)),
+                             QoS::kAtMostOnce)
+                    .ok());
+  }
+  EXPECT_EQ(client.pending_qos0_count(), 4u);
+  EXPECT_EQ(client.counters().get("qos0_dropped"), 6u);
+  // Connecting flushes the newest four; the oldest six were shed.
+  client.on_transport_open();
+  client.on_data(
+      BytesView(encode(Packet{Connack{false, ConnectCode::kAccepted}})));
+  std::vector<std::string> flushed;
+  for (const auto& p : sent) {
+    if (const auto* pub = std::get_if<Publish>(&p)) {
+      flushed.push_back(to_string(BytesView(pub->payload)));
+    }
+  }
+  ASSERT_EQ(flushed.size(), 4u);
+  EXPECT_EQ(flushed.front(), "m6");
+  EXPECT_EQ(flushed.back(), "m9");
+  EXPECT_EQ(client.pending_qos0_count(), 0u);
+}
+
+TEST(FanOut, ClientInboundQos2DedupSetIsBounded) {
+  sim::Simulator sim;
+  SimSched sched(sim);
+  ClientConfig cc;
+  cc.client_id = "dedup";
+  cc.max_inbound_qos2 = 4;
+  Client client(sched, cc, [](const Bytes&) {});
+  int delivered = 0;
+  client.set_on_message([&](const Publish&) { ++delivered; });
+  client.on_transport_open();
+  client.on_data(
+      BytesView(encode(Packet{Connack{false, ConnectCode::kAccepted}})));
+  // A broker whose PUBRELs are all lost parks ten ids in the dedup set;
+  // the bound keeps only the newest four instead of leaking forever.
+  for (std::uint16_t pid = 1; pid <= 10; ++pid) {
+    Publish p;
+    p.topic = "q2";
+    p.payload = to_bytes("x");
+    p.qos = QoS::kExactlyOnce;
+    p.packet_id = pid;
+    client.on_data(BytesView(encode(Packet{std::move(p)})));
+  }
+  EXPECT_EQ(delivered, 10);
+  EXPECT_EQ(client.inbound_qos2_backlog(), 4u);
+  EXPECT_EQ(client.counters().get("qos2_dedup_evictions"), 6u);
+}
+
+TEST(FanOut, BrokerInboundQos2DedupSetIsBounded) {
+  sim::Simulator sim;
+  SimSched sched(sim);
+  BrokerConfig cfg;
+  cfg.max_inbound_qos2_per_session = 4;
+  Broker broker(sched, cfg);
+  broker.on_link_open(1, [](const Bytes&) {}, [] {});
+  Connect c;
+  c.client_id = "raw";
+  broker.on_link_data(1, BytesView(encode(Packet{c})));
+  // A publisher that never completes PUBREL parks ids in the session's
+  // dedup set; the per-session bound evicts the oldest.
+  for (std::uint16_t pid = 1; pid <= 10; ++pid) {
+    Publish p;
+    p.topic = "t";
+    p.payload = to_bytes("x");
+    p.qos = QoS::kExactlyOnce;
+    p.packet_id = pid;
+    broker.on_link_data(1, BytesView(encode(Packet{std::move(p)})));
+  }
+  EXPECT_EQ(broker.inbound_qos2_backlog(), 4u);
+  EXPECT_EQ(broker.counters().get("qos2_dedup_evictions"), 6u);
+}
+
+}  // namespace
+}  // namespace ifot::mqtt

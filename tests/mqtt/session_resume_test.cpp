@@ -50,7 +50,7 @@ TEST(SessionResume, Qos2OutboundCompletesAcrossReconnect) {
   bool done = false;
   ASSERT_TRUE(flaky.client()
                   .publish("q2", to_bytes("exactly-once"), QoS::kExactlyOnce,
-                           false, [&] { done = true; })
+                           false, [&](Status) { done = true; })
                   .ok());
   flaky.kill_transport();  // immediately, before any broker reply arrives
   h.settle();

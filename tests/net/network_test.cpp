@@ -207,5 +207,31 @@ TEST_F(NetworkTest, DeterministicAcrossRuns) {
   EXPECT_NE(run_once(5), run_once(6));
 }
 
+TEST_F(NetworkTest, RetransmissionBackoffClampsAtMaxBackoff) {
+  // 100% loss with a large attempt budget: the doubled backoff must clamp
+  // at max_backoff. Unclamped doubling overflows SimDuration after ~60
+  // attempts and corrupts the channel-busy accounting.
+  LanConfig lan = quiet_lan();
+  lan.loss_prob = 1.0;
+  lan.max_attempts = 100;
+  lan.rto = from_millis(1);
+  lan.max_backoff = from_millis(8);
+  Network net(sim_, lan, 1);
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  bool delivered = false;
+  net.set_handler(b, [&](NodeId, const Bytes&) { delivered = true; });
+  net.send(a, b, Bytes(64, 0));
+  sim_.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.counters().get("drops"), 1u);
+  EXPECT_EQ(net.counters().get("lan.retransmits"), 100u);
+  // 100 attempts at <= 8 ms backoff each stays well under two seconds of
+  // channel-busy time; unclamped doubling left this astronomically large
+  // (or negative, once the multiply overflowed).
+  EXPECT_GT(net.lan_busy_until(), 0);
+  EXPECT_LT(net.lan_busy_until(), from_seconds(2));
+}
+
 }  // namespace
 }  // namespace ifot::net
