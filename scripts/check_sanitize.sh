@@ -19,7 +19,7 @@ export UBSAN_OPTIONS=print_stacktrace=1
 
 cd "$BUILD_DIR"
 if [ "$#" -gt 0 ]; then
-  ctest --output-on-failure -j "$(nproc)" -R "$1"
+  ctest --output-on-failure --no-tests=error -j "$(nproc)" -R "$1"
 else
-  ctest --output-on-failure -j "$(nproc)"
+  ctest --output-on-failure --no-tests=error -j "$(nproc)"
 fi
