@@ -1,0 +1,78 @@
+// Seed-corpus generator: writes the wire encoding of one representative
+// packet of every control type (plus QoS/retain/will variations) into the
+// directory given as argv[1]. The fuzzer starts from valid packets and
+// mutates toward the interesting malformed neighborhood.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "mqtt/packet.hpp"
+
+namespace {
+
+using namespace ifot;
+using namespace ifot::mqtt;
+
+std::vector<Packet> corpus_packets() {
+  std::vector<Packet> out;
+  out.push_back(Connect{.client_id = "seed", .keep_alive_s = 30});
+  out.push_back(Connect{
+      .client_id = "willful",
+      .clean_session = false,
+      .will = Will{.topic = "state/gone", .payload = to_bytes("bye"),
+                   .qos = QoS::kAtLeastOnce, .retain = true},
+      .username = "user",
+      .password = "pass"});
+  out.push_back(Connack{.session_present = true,
+                        .code = ConnectCode::kAccepted});
+  out.push_back(Publish{.topic = "flow/a", .payload = to_bytes("hello")});
+  out.push_back(Publish{.topic = "flow/b", .payload = to_bytes("q2"),
+                        .qos = QoS::kExactlyOnce, .retain = true,
+                        .dup = true, .packet_id = 7});
+  out.push_back(Publish{.topic = "flow/empty", .payload = SharedPayload{}});
+  out.push_back(Puback{.packet_id = 1});
+  out.push_back(Pubrec{.packet_id = 2});
+  out.push_back(Pubrel{.packet_id = 3});
+  out.push_back(Pubcomp{.packet_id = 4});
+  out.push_back(Subscribe{
+      .packet_id = 5,
+      .topics = {{"flow/#", QoS::kAtLeastOnce}, {"+/x", QoS::kAtMostOnce}}});
+  out.push_back(Suback{.packet_id = 5,
+                       .return_codes = {0, 1, kSubackFailure}});
+  out.push_back(Unsubscribe{.packet_id = 6, .topics = {"flow/#", "a/b"}});
+  out.push_back(Unsuback{.packet_id = 6});
+  out.push_back(Pingreq{});
+  out.push_back(Pingresp{});
+  out.push_back(Disconnect{});
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-dir>\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path dir(argv[1]);
+  std::filesystem::create_directories(dir);
+  int i = 0;
+  for (const Packet& p : corpus_packets()) {
+    const Bytes wire = encode(p);
+    const std::string name =
+        std::string("seed-") + std::to_string(i++) + "-" +
+        packet_type_name(packet_type(p));
+    std::ofstream f(dir / name, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(wire.data()),
+            static_cast<std::streamsize>(wire.size()));
+    if (!f) {
+      std::fprintf(stderr, "failed to write %s\n", name.c_str());
+      return 1;
+    }
+  }
+  std::printf("wrote %d corpus files to %s\n", i, dir.string().c_str());
+  return 0;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Configures an audit build (-DIFOT_AUDIT=ON) in build-audit/ and runs the
+# full test suite under it. IFOT_AUDIT_ASSERT re-checks structural
+# invariants (broker session maps vs subscription trie, dedup-set bounds,
+# payload byte accounting, packet-id uniqueness, simulator time
+# monotonicity) after every mutation, so this run turns the whole suite
+# into a state-machine checker.
+#
+# Usage: scripts/check_audit.sh [ctest -R filter]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-audit
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DIFOT_AUDIT=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+cd "$BUILD_DIR"
+if [ "$#" -gt 0 ]; then
+  ctest --output-on-failure --no-tests=error -j "$(nproc)" -R "$1"
+else
+  ctest --output-on-failure --no-tests=error -j "$(nproc)"
+fi

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Builds the libFuzzer harness (-DIFOT_FUZZ=ON, requires Clang), generates
+# the seed corpus from encode() round-trips, and runs a short smoke pass
+# (small iteration budget) so CI catches decoder crashes without a long
+# fuzzing campaign. Longer campaigns: re-run the printed command with a
+# bigger -runs / no -max_total_time.
+#
+# Exits 0 with a SKIP notice when no clang++ is installed.
+#
+# Usage: scripts/check_fuzz_smoke.sh [runs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+RUNS="${1:-20000}"
+
+CXX_BIN="${FUZZ_CXX:-}"
+if [ -z "$CXX_BIN" ]; then
+  for candidate in clang++ clang++-18 clang++-17 clang++-16 clang++-15 \
+                   clang++-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      CXX_BIN="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$CXX_BIN" ]; then
+  echo "SKIP: clang++ not found; libFuzzer needs Clang (or set FUZZ_CXX)" >&2
+  exit 0
+fi
+
+BUILD_DIR=build-fuzz
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_COMPILER="$CXX_BIN" \
+  -DIFOT_FUZZ=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target fuzz_packet_decode --target make_corpus
+
+CORPUS_DIR="$BUILD_DIR/corpus/packet_decode"
+"$BUILD_DIR/fuzz/make_corpus" "$CORPUS_DIR"
+
+echo "fuzzing mqtt::decode for $RUNS runs..."
+"$BUILD_DIR/fuzz/fuzz_packet_decode" -runs="$RUNS" -max_total_time=60 \
+    -print_final_stats=1 "$CORPUS_DIR"
+echo "fuzz smoke: no crashes"

@@ -1,0 +1,51 @@
+#include "common/audit.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace ifot::audit {
+namespace {
+
+// The ledger is mutex-protected rather than lock-free: audits run only
+// in dedicated test builds, where clarity beats throughput.
+std::mutex& ledger_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, std::int64_t>& ledger() {
+  static std::map<std::string, std::int64_t> counters;
+  return counters;
+}
+
+}  // namespace
+
+void fail(const char* expr, const char* file, int line,
+          const std::string& message) {
+  std::fprintf(stderr, "IFOT_AUDIT failure at %s:%d\n  expression: %s\n  %s\n",
+               file, line, expr, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void live_add(const char* key, std::int64_t delta) {
+  if constexpr (!kEnabled) return;
+  std::lock_guard<std::mutex> lock(ledger_mutex());
+  std::int64_t& v = ledger()[key];
+  v += delta;
+  if (v < 0) {
+    fail("audit::live_add keeps counters non-negative", __FILE__, __LINE__,
+         std::string("counter '") + key + "' went negative");
+  }
+}
+
+std::int64_t live(const char* key) {
+  if constexpr (!kEnabled) return 0;
+  std::lock_guard<std::mutex> lock(ledger_mutex());
+  auto it = ledger().find(key);
+  return it == ledger().end() ? 0 : it->second;
+}
+
+}  // namespace ifot::audit

@@ -1,0 +1,57 @@
+// Runtime invariant auditing, compiled out of release builds.
+//
+// Stateful subsystems (broker session maps, dedup sets, the simulator
+// event queue) carry invariants that unit tests exercise only at their
+// entry points. IFOT_AUDIT_ASSERT lets the data structures themselves
+// re-check those invariants after every mutation, so an audit-enabled
+// test run (-DIFOT_AUDIT=ON) turns the whole suite into a state-machine
+// checker. In normal builds the checks cost nothing: the condition is
+// type-checked but never evaluated.
+//
+// A small live-object ledger (audit::live_add / audit::live) backs
+// byte-accounting invariants such as "every SharedPayload buffer ever
+// allocated has been released"; it too compiles to no-ops when audits
+// are off.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ifot::audit {
+
+#if defined(IFOT_AUDIT)
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// Reports a failed audit and aborts. Never returns.
+[[noreturn]] void fail(const char* expr, const char* file, int line,
+                       const std::string& message);
+
+/// Adjusts a named live-object counter (audit builds only; a no-op
+/// otherwise). Aborts if the counter would go negative: releasing more
+/// than was acquired is itself an invariant violation.
+void live_add(const char* key, std::int64_t delta);
+
+/// Current value of a live-object counter (always 0 when audits are off).
+[[nodiscard]] std::int64_t live(const char* key);
+
+}  // namespace ifot::audit
+
+#if defined(IFOT_AUDIT)
+#define IFOT_AUDIT_ASSERT(cond, msg)                                 \
+  do {                                                               \
+    if (!(cond)) ::ifot::audit::fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+#else
+// Disabled: the condition and message still type-check (so audit code
+// cannot bit-rot) but are never evaluated.
+#define IFOT_AUDIT_ASSERT(cond, msg) \
+  do {                               \
+    if (false) {                     \
+      (void)(cond);                  \
+      (void)(msg);                   \
+    }                                \
+  } while (0)
+#endif

@@ -1,6 +1,35 @@
 #include "common/shared_payload.hpp"
 
+#include "common/audit.hpp"
+
 namespace ifot {
+namespace {
+
+/// Wraps `bytes` in a shared buffer. Audit builds attach a deleter that
+/// balances the live-object ledger, so a leaked or double-freed payload
+/// buffer shows up as a nonzero audit::live() count at teardown.
+std::shared_ptr<const Bytes> adopt(Bytes bytes) {
+  if (bytes.empty()) return nullptr;
+  if constexpr (audit::kEnabled) {
+    const auto n = static_cast<std::int64_t>(bytes.size());
+    audit::live_add("shared_payload.buffers", 1);
+    audit::live_add("shared_payload.bytes", n);
+    return std::shared_ptr<const Bytes>(
+        new Bytes(std::move(bytes)), [n](const Bytes* p) {
+          audit::live_add("shared_payload.buffers", -1);
+          audit::live_add("shared_payload.bytes", -n);
+          delete p;  // NOLINT(cppcoreguidelines-owning-memory)
+        });
+  }
+  return std::make_shared<const Bytes>(std::move(bytes));
+}
+
+}  // namespace
+
+SharedPayload::SharedPayload(Bytes bytes) : buf_(adopt(std::move(bytes))) {
+  IFOT_AUDIT_ASSERT(!buf_ || !buf_->empty(),
+                    "SharedPayload must not hold an empty buffer");
+}
 
 const Bytes& SharedPayload::empty_bytes() {
   static const Bytes kEmpty;

@@ -23,11 +23,10 @@ class SharedPayload {
   SharedPayload() = default;
 
   /// Takes ownership of `bytes` (one allocation; empty stays null).
+  /// Audit builds ledger the buffer in audit::live("shared_payload.*")
+  /// so tests can assert every allocated payload byte is released.
   // NOLINTNEXTLINE(google-explicit-constructor): drop-in for Bytes fields
-  SharedPayload(Bytes bytes)
-      : buf_(bytes.empty()
-                 ? nullptr
-                 : std::make_shared<const Bytes>(std::move(bytes))) {}
+  SharedPayload(Bytes bytes);
 
   /// Adopts an already-shared buffer (fan-in from another message).
   explicit SharedPayload(std::shared_ptr<const Bytes> buf)

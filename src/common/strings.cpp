@@ -35,7 +35,7 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep) {
 }
 
 bool starts_with(std::string_view s, std::string_view prefix) {
-  return s.substr(0, prefix.size()) == prefix;
+  return s.starts_with(prefix);
 }
 
 Result<double> parse_double(std::string_view s) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/audit.hpp"
 #include "common/log.hpp"
 
 namespace ifot::mqtt {
@@ -49,6 +50,7 @@ void Broker::on_link_open(LinkId link, SendFn send, CloseFn close) {
   l->last_rx = sched_.now();
   links_[link] = std::move(l);
   counters_.add("links_opened");
+  audit_invariants();
 }
 
 void Broker::on_link_data(LinkId link, BytesView data) {
@@ -64,10 +66,12 @@ void Broker::on_link_data(LinkId link, BytesView data) {
                             << next.error().to_string();
       counters_.add("protocol_errors");
       drop_link(*l, /*publish_will=*/true);
+      audit_invariants();
       return;
     }
     if (!next.value()) return;  // need more bytes
     handle_packet(*l, std::move(*next.value()));
+    audit_invariants();
     // handle_packet may have dropped the link.
     it = links_.find(link);
     if (it == links_.end()) return;
@@ -79,6 +83,7 @@ void Broker::on_link_closed(LinkId link) {
   auto it = links_.find(link);
   if (it == links_.end()) return;
   drop_link(*it->second, /*publish_will=*/true);
+  audit_invariants();
 }
 
 Broker::Session& Broker::session_of(Link& link) {
@@ -304,6 +309,7 @@ void Broker::publish_local(const std::string& topic, SharedPayload payload,
   p.qos = qos;
   p.retain = retain;
   route(std::move(p), "$broker");
+  audit_invariants();
 }
 
 void Broker::route(Publish p, const std::string& origin) {
@@ -388,6 +394,8 @@ void Broker::deliver(Session& session, Publish p) {
     p.packet_id = pid;
     auto [it, inserted] = session.inflight.emplace(pid, InflightOut{std::move(p)});
     assert(inserted);
+    IFOT_AUDIT_ASSERT(inserted && pid != 0,
+                      "allocated packet id must be fresh and nonzero");
     send_inflight(session, it->second);
   } else if (session.queued.size() < cfg_.max_queued_per_session) {
     session.queued.push_back(std::move(p));
@@ -406,6 +414,8 @@ void Broker::pump_queue(Session& session) {
     p.packet_id = pid;
     auto [it, inserted] = session.inflight.emplace(pid, InflightOut{std::move(p)});
     assert(inserted);
+    IFOT_AUDIT_ASSERT(inserted && pid != 0,
+                      "allocated packet id must be fresh and nonzero");
     send_inflight(session, it->second);
   }
 }
@@ -528,6 +538,16 @@ void Broker::publish_sys_stats() {
   pub("publish/messages/dropped", counters_.get("dropped_queue_full"));
   pub("retained/count", retained_.size());
   pub("store/messages/queued", counters_.get("queued"));
+  // Zero-copy fan-out health (ROADMAP: surface the fan-out counters):
+  // encodes per routed group, and how many payload bytes were shared vs
+  // copied into wire buffers.
+  pub("publish/fanout/encodes", counters_.get("fanout_encodes"));
+  pub("publish/fanout/bytes/shared", counters_.get("payload_bytes_shared"));
+  pub("publish/fanout/bytes/copied", counters_.get("payload_bytes_copied"));
+  // Bounded QoS 2 dedup pressure: evictions mean lost PUBRELs pushed a
+  // session past its dedup capacity.
+  pub("store/qos2/dedup/evictions", counters_.get("qos2_dedup_evictions"));
+  pub("store/qos2/dedup/backlog", inbound_qos2_backlog());
 }
 
 void Broker::drop_link(Link& link, bool publish_will) {
@@ -567,6 +587,80 @@ void Broker::drop_link(Link& link, bool publish_will) {
     p.qos = will->qos;
     p.retain = will->retain;
     route(std::move(p), "$will");
+  }
+}
+
+void Broker::audit_invariants() const {
+  if constexpr (!audit::kEnabled) return;
+
+  // Links and sessions must reference each other consistently.
+  for (const auto& [id, link] : links_) {
+    IFOT_AUDIT_ASSERT(link->id == id, "link map key diverged from link id");
+    if (!link->session.empty()) {
+      IFOT_AUDIT_ASSERT(sessions_.find(link->session) != sessions_.end(),
+                        "link bound to missing session '" + link->session + "'");
+    }
+  }
+
+  std::size_t subscription_total = 0;
+  for (const auto& [cid, session] : sessions_) {
+    IFOT_AUDIT_ASSERT(session->client_id == cid,
+                      "session map key diverged from client id");
+    if (session->connected) {
+      auto lit = links_.find(session->link);
+      IFOT_AUDIT_ASSERT(lit != links_.end(),
+                        "connected session '" + cid + "' has no live link");
+      IFOT_AUDIT_ASSERT(lit == links_.end() || lit->second->session == cid,
+                        "session '" + cid + "' points at a link owned by '" +
+                            (lit == links_.end() ? "" : lit->second->session) +
+                            "'");
+    }
+
+    // Flow-control bounds hold after every mutation.
+    IFOT_AUDIT_ASSERT(
+        session->inflight.size() <= cfg_.max_inflight_per_session,
+        "session '" + cid + "' exceeded the inflight window");
+    IFOT_AUDIT_ASSERT(session->queued.size() <= cfg_.max_queued_per_session,
+                      "session '" + cid + "' exceeded the offline queue bound");
+    IFOT_AUDIT_ASSERT(
+        session->inbound_qos2.size() <= cfg_.max_inbound_qos2_per_session,
+        "session '" + cid + "' exceeded the QoS 2 dedup bound");
+
+    // Outbound QoS 1/2 packet ids are unique by construction (map keys)
+    // and must agree with the message they track.
+    for (const auto& [pid, inflight] : session->inflight) {
+      IFOT_AUDIT_ASSERT(pid != 0, "packet id 0 parked in inflight");
+      IFOT_AUDIT_ASSERT(inflight.msg.packet_id == pid,
+                        "inflight key diverged from message packet id");
+      IFOT_AUDIT_ASSERT(inflight.msg.qos != QoS::kAtMostOnce,
+                        "QoS 0 message parked in the inflight window");
+    }
+
+    // Every subscription is mirrored in the tree.
+    subscription_total += session->subscriptions.size();
+    for (const auto& [filter, granted] : session->subscriptions) {
+      (void)granted;
+      IFOT_AUDIT_ASSERT(tree_.contains(filter, cid),
+                        "subscription '" + filter + "' of '" + cid +
+                            "' missing from the topic tree");
+    }
+  }
+
+  // ... and the tree holds nothing else (a takeover/teardown that forgets
+  // erase_key would leak entries that keep routing to dead sessions).
+  IFOT_AUDIT_ASSERT(tree_.entry_count() == subscription_total,
+                    "topic tree entry count diverged from session "
+                    "subscriptions: tree holds " +
+                        std::to_string(tree_.entry_count()) + ", sessions " +
+                        std::to_string(subscription_total));
+
+  for (const auto& [topic, msg] : retained_) {
+    IFOT_AUDIT_ASSERT(valid_topic_name(topic),
+                      "retained store holds invalid topic '" + topic + "'");
+    IFOT_AUDIT_ASSERT(msg.topic == topic,
+                      "retained message topic diverged from its key");
+    IFOT_AUDIT_ASSERT(!msg.payload.empty(),
+                      "empty retained payload should have cleared the slot");
   }
 }
 

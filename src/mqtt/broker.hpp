@@ -165,6 +165,12 @@ class Broker {
   Session& session_of(Link& link);
   std::uint16_t alloc_packet_id(Session& session);
 
+  /// Re-checks cross-container invariants (links <-> sessions <->
+  /// subscription tree, inflight/queue/dedup bounds, retained-store
+  /// shape). Audit builds (-DIFOT_AUDIT=ON) abort on violation; release
+  /// builds compile this to a no-op.
+  void audit_invariants() const;
+
   Scheduler& sched_;  // NOLINT(cppcoreguidelines-avoid-const-or-ref-data-members)
   BrokerConfig cfg_;
   std::unordered_map<LinkId, std::unique_ptr<Link>> links_;

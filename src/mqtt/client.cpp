@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "common/audit.hpp"
 #include "common/log.hpp"
 #include "mqtt/topic.hpp"
 
@@ -264,6 +265,11 @@ Status Client::publish(std::string topic, SharedPayload payload, QoS qos,
   auto [it, inserted] =
       inflight_.emplace(pid, InflightPub{std::move(p), false, 0, 0, std::move(done)});
   assert(inserted);
+  // In-flight packet ids must be unique across both the publish window
+  // and pending control requests, or acks would resolve the wrong one.
+  IFOT_AUDIT_ASSERT(inserted && pid != 0 &&
+                        pending_control_.find(pid) == pending_control_.end(),
+                    "allocated packet id collides with in-flight state");
   if (connected_) {
     ++it->second.attempts;
     send_packet(Packet{it->second.msg});

@@ -14,6 +14,8 @@
 #include <deque>
 #include <set>
 
+#include "common/audit.hpp"
+
 namespace ifot::mqtt {
 
 class BoundedIdSet {
@@ -28,12 +30,14 @@ class BoundedIdSet {
     if (!set_.insert(id).second) return false;
     order_.push_back(id);
     trim();
+    audit_consistent();
     return true;
   }
 
   void erase(std::uint16_t id) {
     if (set_.erase(id) == 0) return;
     order_.erase(std::find(order_.begin(), order_.end(), id));
+    audit_consistent();
   }
 
   [[nodiscard]] std::size_t size() const { return set_.size(); }
@@ -50,6 +54,16 @@ class BoundedIdSet {
       order_.pop_front();
       ++evictions_;
     }
+    audit_consistent();
+  }
+
+  /// The lookup set and the eviction order must describe the same ids,
+  /// and the capacity bound must hold after every mutation.
+  void audit_consistent() const {
+    IFOT_AUDIT_ASSERT(set_.size() == order_.size(),
+                      "BoundedIdSet set/order element counts diverged");
+    IFOT_AUDIT_ASSERT(set_.size() <= cap_,
+                      "BoundedIdSet exceeded its configured capacity");
   }
 
   std::size_t cap_ = 1024;

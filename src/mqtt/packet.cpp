@@ -6,7 +6,7 @@ namespace ifot::mqtt {
 namespace {
 
 constexpr std::uint8_t kProtocolLevel4 = 4;  // MQTT 3.1.1
-constexpr std::size_t kMaxRemainingLength = 268435455;  // 0xFFFFFF7F encoded
+constexpr std::uint8_t kProtocolLevel3 = 3;  // MQTT 3.1 ("MQIsdp")
 
 // ---- fixed header ---------------------------------------------------------
 
@@ -164,6 +164,10 @@ Result<Packet> decode_connect(BinaryReader& r) {
   }
   auto level = r.u8();
   if (!level) return level.error();
+  if (level.value() != kProtocolLevel4 && level.value() != kProtocolLevel3) {
+    return Err(Errc::kProtocol, "unsupported protocol level " +
+                                    std::to_string(level.value()));
+  }
   auto flags_r = r.u8();
   if (!flags_r) return flags_r.error();
   const std::uint8_t flags = flags_r.value();
@@ -228,6 +232,9 @@ Result<Packet> decode_publish(std::uint8_t flags, BinaryReader& r) {
   auto qos = decode_qos(static_cast<std::uint8_t>((flags >> 1) & 0x03));
   if (!qos) return qos.error();
   p.qos = qos.value();
+  if (p.qos == QoS::kAtMostOnce && p.dup) {
+    return Err(Errc::kProtocol, "DUP set on QoS 0 PUBLISH");  // [MQTT-3.3.1-2]
+  }
   p.retain = (flags & 0x01) != 0;
   auto topic = r.str16();
   if (!topic) return topic.error();
@@ -244,16 +251,25 @@ Result<Packet> decode_publish(std::uint8_t flags, BinaryReader& r) {
   return Packet{std::move(p)};
 }
 
+/// Reads a packet identifier; zero is reserved in every packet that
+/// carries one (§2.3.1).
+Result<std::uint16_t> decode_packet_id(BinaryReader& r) {
+  auto pid = r.u16();
+  if (!pid) return pid.error();
+  if (pid.value() == 0) return Err(Errc::kProtocol, "packet id 0");
+  return pid.value();
+}
+
 template <typename T>
 Result<Packet> decode_packet_id_only(BinaryReader& r) {
-  auto pid = r.u16();
+  auto pid = decode_packet_id(r);
   if (!pid) return pid.error();
   return Packet{T{pid.value()}};
 }
 
 Result<Packet> decode_subscribe(BinaryReader& r) {
   Subscribe s;
-  auto pid = r.u16();
+  auto pid = decode_packet_id(r);
   if (!pid) return pid.error();
   s.packet_id = pid.value();
   while (!r.at_end()) {
@@ -273,7 +289,7 @@ Result<Packet> decode_subscribe(BinaryReader& r) {
 
 Result<Packet> decode_suback(BinaryReader& r) {
   Suback s;
-  auto pid = r.u16();
+  auto pid = decode_packet_id(r);
   if (!pid) return pid.error();
   s.packet_id = pid.value();
   while (!r.at_end()) {
@@ -286,7 +302,7 @@ Result<Packet> decode_suback(BinaryReader& r) {
 
 Result<Packet> decode_unsubscribe(BinaryReader& r) {
   Unsubscribe u;
-  auto pid = r.u16();
+  auto pid = decode_packet_id(r);
   if (!pid) return pid.error();
   u.packet_id = pid.value();
   while (!r.at_end()) {
@@ -301,7 +317,12 @@ Result<Packet> decode_unsubscribe(BinaryReader& r) {
 }
 
 Result<Packet> decode_body(std::uint8_t type_and_flags, BytesView body) {
-  const auto type = static_cast<PacketType>(type_and_flags >> 4);
+  const std::uint8_t type_bits = type_and_flags >> 4;
+  if (type_bits == 0 || type_bits == 15) {
+    return Err(Errc::kProtocol,
+               "reserved packet type " + std::to_string(type_bits));
+  }
+  const auto type = static_cast<PacketType>(type_bits);
   const std::uint8_t flags = type_and_flags & 0x0F;
   BinaryReader r(body);
 
@@ -410,8 +431,18 @@ Result<Packet> decode(BytesView data) {
   if (!header) return header.error();
   if (!header.value()) return Err(Errc::kParse, "incomplete fixed header");
   const FixedHeader h = *header.value();
-  if (data.size() != h.header_size + h.remaining_length) {
-    return Err(Errc::kParse, "buffer size does not match packet length");
+  const std::size_t total = h.header_size + h.remaining_length;
+  if (data.size() < total) {
+    // The declared remaining length runs past the supplied buffer; a
+    // lenient decoder would truncate the body here, which is exactly how
+    // hostile length fields smuggle short reads.
+    return Err(Errc::kParse,
+               "truncated packet: header declares " +
+                   std::to_string(h.remaining_length) + " body bytes, " +
+                   std::to_string(data.size() - h.header_size) + " supplied");
+  }
+  if (data.size() > total) {
+    return Err(Errc::kProtocol, "trailing bytes after packet");
   }
   return decode_body(h.type_and_flags,
                      data.subspan(h.header_size, h.remaining_length));
@@ -427,6 +458,14 @@ Result<std::optional<Packet>> StreamDecoder::next() {
   if (!header.value()) return std::optional<Packet>{};
   const FixedHeader h = *header.value();
   const std::size_t total = h.header_size + h.remaining_length;
+  if (total > max_packet_) {
+    // Fail fast: waiting for a deliberately huge declared body would pin
+    // buffer memory for as long as the peer cares to dribble bytes.
+    return Err(Errc::kCapacity,
+               "declared packet size " + std::to_string(total) +
+                   " exceeds the " + std::to_string(max_packet_) +
+                   "-byte limit");
+  }
   if (buf_.size() < total) return std::optional<Packet>{};
   auto packet = decode_body(
       h.type_and_flags, BytesView(buf_).subspan(h.header_size, h.remaining_length));

@@ -53,6 +53,10 @@ enum class ConnectCode : std::uint8_t {
 /// SUBACK failure return code.
 inline constexpr std::uint8_t kSubackFailure = 0x80;
 
+/// Largest body a fixed header can declare (4 remaining-length bytes,
+/// §2.2.3: 256 MiB - 1).
+inline constexpr std::size_t kMaxRemainingLength = 268435455;
+
 /// Will message carried in CONNECT.
 struct Will {
   std::string topic;
@@ -159,11 +163,22 @@ const char* packet_type_name(PacketType t);
 /// Encodes one packet to its full wire form (fixed header + body).
 Bytes encode(const Packet& p);
 
-/// Decodes exactly one packet from `data`; fails if bytes remain.
+/// Decodes exactly one packet from `data`.
+///
+/// Malformed inputs are rejected with typed errors rather than being
+/// truncated or zero-filled:
+///  * Errc::kParse     — the buffer ends before the declared packet does
+///                       (incomplete fixed header, truncated body);
+///  * Errc::kProtocol  — the bytes are complete but violate the spec
+///                       (reserved types/flags, bad QoS, trailing bytes,
+///                       packet id 0, oversized remaining length).
 Result<Packet> decode(BytesView data);
 
 /// Incremental decoder: feed arbitrary byte chunks, poll complete packets.
-/// Enforces the 4-byte remaining-length limit (max 256 MiB body).
+/// Enforces the 4-byte remaining-length limit (max 256 MiB body) and an
+/// optional tighter per-packet cap (set_max_packet_size), so a hostile
+/// peer declaring a huge body fails fast instead of tying up buffer
+/// memory waiting for bytes that never come.
 class StreamDecoder {
  public:
   /// Appends raw bytes received from the transport.
@@ -175,10 +190,16 @@ class StreamDecoder {
   /// Result<std::optional<Packet>>.
   Result<std::optional<Packet>> next();
 
+  /// Caps the total wire size (header + body) this decoder will accept
+  /// for one packet; a larger declared packet fails next() with
+  /// Errc::kCapacity. Defaults to the protocol limit.
+  void set_max_packet_size(std::size_t bytes) { max_packet_ = bytes; }
+
   [[nodiscard]] std::size_t buffered() const { return buf_.size(); }
 
  private:
   Bytes buf_;
+  std::size_t max_packet_ = kMaxRemainingLength;
 };
 
 }  // namespace ifot::mqtt

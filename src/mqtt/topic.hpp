@@ -75,6 +75,23 @@ class TopicTree {
 
   [[nodiscard]] std::uint64_t version() const { return version_; }
 
+  /// True when an entry exists for exactly (filter, key). Exact-filter
+  /// lookup, no wildcard expansion (invariant audits and tests).
+  [[nodiscard]] bool contains(std::string_view filter, const K& key) const {
+    const Node* node = &root_;
+    for (const auto& level : levels(filter)) {
+      auto it = node->children.find(level);
+      if (it == node->children.end()) return false;
+      node = it->second.get();
+    }
+    return node->entries.find(key) != node->entries.end();
+  }
+
+  /// Total number of (filter, key) entries in the tree.
+  [[nodiscard]] std::size_t entry_count() const {
+    return entry_count_rec(root_);
+  }
+
  private:
   struct Node {
     std::unordered_map<std::string, std::unique_ptr<Node>> children;
@@ -95,6 +112,14 @@ class TopicTree {
 
   static void collect(const Node& node, std::vector<std::pair<K, V>>& out) {
     for (const auto& [k, v] : node.entries) out.emplace_back(k, v);
+  }
+
+  static std::size_t entry_count_rec(const Node& node) {
+    std::size_t n = node.entries.size();
+    for (const auto& [_, child] : node.children) {
+      n += entry_count_rec(*child);
+    }
+    return n;
   }
 
   static void erase_key_rec(Node& node, const K& key) {

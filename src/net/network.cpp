@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "common/audit.hpp"
 #include "common/log.hpp"
 
 namespace ifot::net {
@@ -141,7 +142,12 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
 
   delivery_latency_.record(deliver_at - sim_.now());
   sim_.schedule_at(deliver_at,
-                   [this, from, to, p = std::move(payload)]() mutable {
+                   [this, from, to, deliver_at,
+                    p = std::move(payload)]() mutable {
+                     // The FIFO guarantee above only holds if the
+                     // simulator fires us exactly when asked.
+                     IFOT_AUDIT_ASSERT(sim_.now() == deliver_at,
+                                       "delivery fired at the wrong time");
                      Host& h = hosts_[to.value()];
                      if (h.handler) h.handler(from, p);
                    });

@@ -1,7 +1,10 @@
 #include "sim/simulator.hpp"
 
 #include <cassert>
+#include <string>
 #include <utility>
+
+#include "common/audit.hpp"
 
 namespace ifot::sim {
 
@@ -32,6 +35,12 @@ bool Simulator::pop_one() {
       cancelled_.erase(it);
       continue;
     }
+    // Virtual time only moves forward: schedule_at clamps to now, so a
+    // popped event from the past means the heap ordering broke.
+    IFOT_AUDIT_ASSERT(e.at >= now_,
+                      "event fires at " + std::to_string(e.at) +
+                          " but the clock already reached " +
+                          std::to_string(now_));
     now_ = e.at;
     e.fn();
     return true;
@@ -55,7 +64,12 @@ std::size_t Simulator::run_until(SimTime deadline) {
       heap_.pop();
     }
     if (heap_.empty() || heap_.top().at > deadline) break;
+    // A nested run_until inside the handler may advance the clock past
+    // our deadline, so audit the dispatched event's due time, not now_.
+    const SimTime due = heap_.top().at;
     if (pop_one()) ++n;
+    IFOT_AUDIT_ASSERT(due <= deadline,
+                      "run_until dispatched an event past its deadline");
   }
   if (now_ < deadline) now_ = deadline;
   return n;

@@ -1,0 +1,62 @@
+// The audit framework itself: the assert macro, the live-object ledger,
+// and the compiled-out no-op behavior. Runs in both normal and
+// -DIFOT_AUDIT=ON builds; expectations branch on audit::kEnabled so the
+// same suite validates both configurations.
+#include "common/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/shared_payload.hpp"
+
+namespace ifot {
+namespace {
+
+TEST(Audit, PassingAssertIsAlwaysSilent) {
+  IFOT_AUDIT_ASSERT(1 + 1 == 2, "arithmetic still works");
+}
+
+TEST(Audit, DisabledAssertNeverEvaluatesItsCondition) {
+  if (audit::kEnabled) GTEST_SKIP() << "audit build evaluates conditions";
+  bool touched = false;
+  IFOT_AUDIT_ASSERT(((touched = true)), "side effect must not run");
+  EXPECT_FALSE(touched);
+}
+
+TEST(AuditDeathTest, FailingAssertAbortsWithLocationWhenEnabled) {
+  if (!audit::kEnabled) GTEST_SKIP() << "asserts compile out of this build";
+  EXPECT_DEATH(IFOT_AUDIT_ASSERT(false, "forced failure"),
+               "IFOT_AUDIT failure");
+}
+
+TEST(Audit, LiveLedgerTracksDeltasOnlyWhenEnabled) {
+  const char* key = "audit_test.widgets";
+  EXPECT_EQ(audit::live(key), 0);
+  audit::live_add(key, 3);
+  audit::live_add(key, -1);
+  EXPECT_EQ(audit::live(key), audit::kEnabled ? 2 : 0);
+  audit::live_add(key, audit::kEnabled ? -2 : 0);  // restore balance
+  EXPECT_EQ(audit::live(key), 0);
+}
+
+TEST(AuditDeathTest, LedgerRejectsNegativeBalances) {
+  if (!audit::kEnabled) GTEST_SKIP() << "ledger is a no-op in this build";
+  EXPECT_DEATH(audit::live_add("audit_test.negative", -1),
+               "went negative");
+}
+
+TEST(Audit, SharedPayloadBuffersAreBalancedOnRelease) {
+  if (!audit::kEnabled) GTEST_SKIP() << "ledger is a no-op in this build";
+  const std::int64_t buffers_before = audit::live("shared_payload.buffers");
+  const std::int64_t bytes_before = audit::live("shared_payload.bytes");
+  {
+    SharedPayload p(Bytes{1, 2, 3, 4});
+    SharedPayload copy = p;  // shares the buffer: no second acquisition
+    EXPECT_EQ(audit::live("shared_payload.buffers"), buffers_before + 1);
+    EXPECT_EQ(audit::live("shared_payload.bytes"), bytes_before + 4);
+  }
+  EXPECT_EQ(audit::live("shared_payload.buffers"), buffers_before);
+  EXPECT_EQ(audit::live("shared_payload.bytes"), bytes_before);
+}
+
+}  // namespace
+}  // namespace ifot

@@ -1,0 +1,268 @@
+// Hostile-input tests for the MQTT wire decoder.
+//
+// Replays the malformed-packet classes the fuzz harness
+// (fuzz/fuzz_packet_decode.cpp) explores, as deterministic fixtures, so
+// tier-1 ctest covers the same surface without a fuzzing toolchain.
+// Every class must be rejected with a *typed* error (never silently
+// truncated, zero-filled, or partially decoded):
+//   kParse     - the buffer ends before the declared packet does;
+//   kProtocol  - complete bytes that violate MQTT 3.1.1;
+//   kCapacity  - declared size exceeds the stream decoder's cap.
+#include "mqtt/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ifot::mqtt {
+namespace {
+
+Bytes bytes(std::initializer_list<int> raw) {
+  Bytes out;
+  for (int b : raw) out.push_back(static_cast<std::uint8_t>(b));
+  return out;
+}
+
+Error decode_error(const Bytes& wire) {
+  auto r = decode(BytesView(wire));
+  EXPECT_FALSE(r.ok()) << "hostile input decoded successfully";
+  return r.ok() ? Error{} : r.error();
+}
+
+// ---- class 1: truncated fixed header / remaining length -----------------
+
+TEST(DecodeHostile, EmptyAndOneByteBuffersAreIncomplete) {
+  EXPECT_EQ(decode_error(Bytes{}).code, Errc::kParse);
+  EXPECT_EQ(decode_error(bytes({0xC0})).code, Errc::kParse);  // bare PINGREQ byte
+}
+
+TEST(DecodeHostile, RemainingLengthContinuationPastEndOfBuffer) {
+  // Every length byte has the continuation bit set, and the buffer ends
+  // mid-field: incomplete, not decodable.
+  EXPECT_EQ(decode_error(bytes({0x30, 0x80})).code, Errc::kParse);
+  EXPECT_EQ(decode_error(bytes({0x30, 0xFF, 0xFF})).code, Errc::kParse);
+}
+
+// ---- class 2: remaining-length field overflow ---------------------------
+
+TEST(DecodeHostile, RemainingLengthLongerThanFourBytesIsRejected) {
+  // Five continuation bytes exceed the §2.2.3 limit regardless of what
+  // would follow.
+  const Error e =
+      decode_error(bytes({0x30, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F, 0x00}));
+  EXPECT_EQ(e.code, Errc::kProtocol);
+}
+
+// ---- class 3: declared length exceeds the supplied buffer ---------------
+
+TEST(DecodeHostile, OversizedDeclaredLengthIsTypedParseError) {
+  // PUBLISH declaring a 100-byte body with 4 bytes supplied. A lenient
+  // decoder would truncate; ours must name the shortfall.
+  Bytes wire = bytes({0x30, 100, 0x00, 0x02, 't', 't'});
+  const Error e = decode_error(wire);
+  EXPECT_EQ(e.code, Errc::kParse);
+  EXPECT_NE(e.message.find("truncated"), std::string::npos) << e.message;
+}
+
+TEST(DecodeHostile, StringLengthPrefixBeyondBodyIsRejected) {
+  // PUBLISH whose topic length prefix (0x7FFF) runs past the body.
+  Bytes wire = bytes({0x30, 4, 0x7F, 0xFF, 't', 't'});
+  EXPECT_EQ(decode_error(wire).code, Errc::kParse);
+}
+
+// ---- class 4: trailing bytes --------------------------------------------
+
+TEST(DecodeHostile, TrailingBytesAfterCompletePacketAreRejected) {
+  Bytes wire = encode(Packet{Pingreq{}});
+  wire.push_back(0x00);
+  EXPECT_EQ(decode_error(wire).code, Errc::kProtocol);
+}
+
+TEST(DecodeHostile, TrailingBytesInsideDeclaredBodyAreRejected) {
+  // PUBACK with a correctly-declared 3-byte body: 2 packet-id bytes plus
+  // one byte the grammar has no use for.
+  Bytes wire = bytes({0x40, 3, 0x00, 0x01, 0xAA});
+  EXPECT_EQ(decode_error(wire).code, Errc::kProtocol);
+}
+
+// ---- class 5: reserved packet types -------------------------------------
+
+TEST(DecodeHostile, ReservedPacketTypesAreRejected) {
+  EXPECT_EQ(decode_error(bytes({0x00, 0x00})).code, Errc::kProtocol);  // type 0
+  EXPECT_EQ(decode_error(bytes({0xF0, 0x00})).code, Errc::kProtocol);  // type 15
+}
+
+// ---- class 6: nonzero reserved fixed-header flags -----------------------
+
+TEST(DecodeHostile, ReservedHeaderFlagsMustBeZero) {
+  // PINGREQ, CONNECT and PUBACK carry no flags (§2.2.2).
+  EXPECT_EQ(decode_error(bytes({0xC1, 0x00})).code, Errc::kProtocol);
+  EXPECT_EQ(decode_error(bytes({0x41, 2, 0x00, 0x01})).code, Errc::kProtocol);
+  // PUBREL/SUBSCRIBE/UNSUBSCRIBE require exactly 0b0010.
+  EXPECT_EQ(decode_error(bytes({0x60, 2, 0x00, 0x01})).code, Errc::kProtocol);
+  EXPECT_EQ(decode_error(bytes({0x6F, 2, 0x00, 0x01})).code, Errc::kProtocol);
+}
+
+// ---- class 7: invalid PUBLISH flag combinations -------------------------
+
+TEST(DecodeHostile, PublishQos3IsRejected) {
+  // Flags 0b0110: both QoS bits set.
+  Bytes wire = bytes({0x36, 4, 0x00, 0x02, 't', 't'});
+  EXPECT_EQ(decode_error(wire).code, Errc::kProtocol);
+}
+
+TEST(DecodeHostile, PublishDupOnQos0IsRejected) {
+  // Flags 0b1000: DUP without QoS ([MQTT-3.3.1-2]).
+  Bytes wire = bytes({0x38, 4, 0x00, 0x02, 't', 't'});
+  EXPECT_EQ(decode_error(wire).code, Errc::kProtocol);
+}
+
+// ---- class 8: packet id 0 -----------------------------------------------
+
+TEST(DecodeHostile, PacketIdZeroIsRejectedEverywhere) {
+  // QoS 1 PUBLISH, PUBACK, SUBSCRIBE, UNSUBSCRIBE.
+  EXPECT_EQ(decode_error(bytes({0x32, 6, 0x00, 0x02, 't', 't', 0x00, 0x00}))
+                .code,
+            Errc::kProtocol);
+  EXPECT_EQ(decode_error(bytes({0x40, 2, 0x00, 0x00})).code, Errc::kProtocol);
+  EXPECT_EQ(
+      decode_error(bytes({0x82, 6, 0x00, 0x00, 0x00, 0x01, 't', 0x00})).code,
+      Errc::kProtocol);
+  EXPECT_EQ(decode_error(bytes({0xA2, 5, 0x00, 0x00, 0x00, 0x01, 't'})).code,
+            Errc::kProtocol);
+}
+
+// ---- class 9: malformed CONNECT -----------------------------------------
+
+TEST(DecodeHostile, ConnectReservedFlagIsRejected) {
+  Bytes body;
+  BinaryWriter w(body);
+  w.str16("MQTT");
+  w.u8(4);
+  w.u8(0x03);  // clean session + reserved bit 0
+  w.u16(60);
+  w.str16("c");
+  Bytes wire = bytes({0x10, static_cast<int>(body.size())});
+  wire.insert(wire.end(), body.begin(), body.end());
+  EXPECT_EQ(decode_error(wire).code, Errc::kProtocol);
+}
+
+TEST(DecodeHostile, ConnectUnsupportedProtocolLevelIsRejected) {
+  Bytes body;
+  BinaryWriter w(body);
+  w.str16("MQTT");
+  w.u8(5);  // MQTT 5.0 is not spoken here
+  w.u8(0x02);
+  w.u16(60);
+  w.str16("c");
+  Bytes wire = bytes({0x10, static_cast<int>(body.size())});
+  wire.insert(wire.end(), body.begin(), body.end());
+  const Error e = decode_error(wire);
+  EXPECT_EQ(e.code, Errc::kProtocol);
+  EXPECT_NE(e.message.find("protocol level"), std::string::npos) << e.message;
+}
+
+TEST(DecodeHostile, ConnectWillQosWithoutWillFlagIsRejected) {
+  Bytes body;
+  BinaryWriter w(body);
+  w.str16("MQTT");
+  w.u8(4);
+  w.u8(0x0A);  // will QoS 1 set, will flag clear
+  w.u16(60);
+  w.str16("c");
+  Bytes wire = bytes({0x10, static_cast<int>(body.size())});
+  wire.insert(wire.end(), body.begin(), body.end());
+  EXPECT_EQ(decode_error(wire).code, Errc::kProtocol);
+}
+
+TEST(DecodeHostile, ConnectPasswordWithoutUsernameIsRejected) {
+  Bytes body;
+  BinaryWriter w(body);
+  w.str16("MQTT");
+  w.u8(4);
+  w.u8(0x42);  // password flag without username flag
+  w.u16(60);
+  w.str16("c");
+  w.str16("secret");
+  Bytes wire = bytes({0x10, static_cast<int>(body.size())});
+  wire.insert(wire.end(), body.begin(), body.end());
+  EXPECT_EQ(decode_error(wire).code, Errc::kProtocol);
+}
+
+// ---- class 10: empty SUBSCRIBE / UNSUBSCRIBE ----------------------------
+
+TEST(DecodeHostile, SubscribeWithNoTopicsIsRejected) {
+  EXPECT_EQ(decode_error(bytes({0x82, 2, 0x00, 0x01})).code, Errc::kProtocol);
+  EXPECT_EQ(decode_error(bytes({0xA2, 2, 0x00, 0x01})).code, Errc::kProtocol);
+}
+
+// ---- class 11: bad CONNACK code -----------------------------------------
+
+TEST(DecodeHostile, ConnackCodeAboveFiveIsRejected) {
+  EXPECT_EQ(decode_error(bytes({0x20, 2, 0x00, 0x06})).code, Errc::kProtocol);
+}
+
+// ---- stream decoder: split-across-chunks headers ------------------------
+
+TEST(DecodeHostile, StreamDecoderSurvivesByteAtATimeHostileInput) {
+  // A hostile packet split one byte per feed() must produce the same
+  // typed error as the whole buffer at once - never a packet, never a
+  // hang once the bytes are all in.
+  const Bytes wire = bytes({0x36, 4, 0x00, 0x02, 't', 't'});  // QoS 3
+  StreamDecoder dec;
+  bool errored = false;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    dec.feed(BytesView(wire).subspan(i, 1));
+    auto next = dec.next();
+    if (!next) {
+      EXPECT_EQ(next.error().code, Errc::kProtocol);
+      errored = true;
+      break;
+    }
+    EXPECT_FALSE(next.value().has_value());
+  }
+  EXPECT_TRUE(errored);
+}
+
+TEST(DecodeHostile, StreamDecoderSplitHeaderThenValidPacketDecodes) {
+  // Control: a valid packet split mid-remaining-length still decodes,
+  // so the hostile rejections above are not over-eager.
+  Publish p;
+  p.topic = "a/b";
+  p.payload = Bytes(200, 0x42);  // needs a 2-byte remaining length
+  const Bytes wire = encode(Packet{p});
+  ASSERT_GT(wire.size(), 3u);
+  StreamDecoder dec;
+  dec.feed(BytesView(wire).subspan(0, 2));  // type byte + half the length
+  auto first = dec.next();
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().has_value());
+  dec.feed(BytesView(wire).subspan(2));
+  auto second = dec.next();
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second.value().has_value());
+  EXPECT_TRUE(*second.value() == Packet{p});
+}
+
+TEST(DecodeHostile, StreamDecoderCapsDeclaredPacketSize) {
+  StreamDecoder dec;
+  dec.set_max_packet_size(1024);
+  // PUBLISH declaring a 1 MiB body: rejected from the header alone,
+  // before any body byte arrives.
+  dec.feed(bytes({0x30, 0x80, 0x80, 0x40}));
+  auto next = dec.next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.error().code, Errc::kCapacity);
+}
+
+TEST(DecodeHostile, StreamDecoderAcceptsPacketsUnderTheCap) {
+  StreamDecoder dec;
+  dec.set_max_packet_size(1024);
+  const Bytes wire = encode(Packet{Pingreq{}});
+  dec.feed(BytesView(wire));
+  auto next = dec.next();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next.value().has_value());
+  EXPECT_TRUE(*next.value() == Packet{Pingreq{}});
+}
+
+}  // namespace
+}  // namespace ifot::mqtt

@@ -1,0 +1,86 @@
+// The fan-out and QoS 2 dedup counters must be observable over the wire
+// on $SYS/broker/... topics (ROADMAP: surface the fan-out counters), not
+// just via the in-process Counters accessor.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "mqtt/broker.hpp"
+#include "tests/mqtt/harness.hpp"
+
+namespace ifot::mqtt {
+namespace {
+
+using ifot::mqtt::testing::Harness;
+using ifot::mqtt::testing::Peer;
+
+// Collects the latest payload per $SYS topic seen by a peer.
+std::map<std::string, std::string> sys_snapshot(const Peer& peer) {
+  std::map<std::string, std::string> latest;
+  for (const auto& m : peer.messages()) {
+    latest[m.topic] = to_string(BytesView(m.payload));
+  }
+  return latest;
+}
+
+TEST(SysCounters, FanoutAndDedupCountersArePublished) {
+  BrokerConfig cfg;
+  cfg.sys_interval = kSecond;
+  Harness h(cfg);
+  Peer& watcher = h.add_client("watcher");
+  Peer& sub = h.add_client("sub");
+  Peer& pub = h.add_client("pub");
+  h.connect(watcher);
+  h.connect(sub);
+  h.connect(pub);
+  ASSERT_TRUE(watcher.client().subscribe({{"$SYS/#", QoS::kAtMostOnce}}).ok());
+  ASSERT_TRUE(sub.client().subscribe({{"flow/#", QoS::kAtMostOnce}}).ok());
+  h.settle();
+
+  // Drive one QoS 0 fan-out so fanout_encodes and the shared-bytes
+  // counter move off zero.
+  const Bytes payload = to_bytes("0123456789");
+  ASSERT_TRUE(pub.client().publish("flow/a", payload, QoS::kAtMostOnce).ok());
+  h.settle(2 * kSecond);  // at least one stats tick after the publish
+
+  const auto stats = sys_snapshot(watcher);
+  for (const char* topic : {
+           "$SYS/broker/publish/fanout/encodes",
+           "$SYS/broker/publish/fanout/bytes/shared",
+           "$SYS/broker/publish/fanout/bytes/copied",
+           "$SYS/broker/store/qos2/dedup/evictions",
+           "$SYS/broker/store/qos2/dedup/backlog",
+       }) {
+    ASSERT_TRUE(stats.count(topic)) << "missing " << topic;
+  }
+  // The flow/a fan-out encoded once and shared its 10 payload bytes.
+  EXPECT_GE(std::stoull(stats.at("$SYS/broker/publish/fanout/encodes")), 1u);
+  EXPECT_GE(std::stoull(stats.at("$SYS/broker/publish/fanout/bytes/shared")),
+            payload.size());
+  // Nothing forced a copy or touched QoS 2 dedup state in this scenario.
+  EXPECT_EQ(stats.at("$SYS/broker/store/qos2/dedup/backlog"), "0");
+}
+
+TEST(SysCounters, CounterTopicsAreRetainedForLateSubscribers) {
+  BrokerConfig cfg;
+  cfg.sys_interval = kSecond;
+  Harness h(cfg);
+  Peer& early = h.add_client("early");
+  h.connect(early);
+  h.settle(2 * kSecond);  // a stats tick happens with no watcher attached
+  Peer& late = h.add_client("late");
+  h.connect(late);
+  ASSERT_TRUE(late.client()
+                  .subscribe({{"$SYS/broker/publish/fanout/encodes",
+                               QoS::kAtMostOnce}})
+                  .ok());
+  h.settle(100 * kMillisecond);
+  ASSERT_GE(late.messages().size(), 1u);
+  EXPECT_TRUE(late.messages()[0].retain);
+  EXPECT_EQ(late.messages()[0].topic, "$SYS/broker/publish/fanout/encodes");
+}
+
+}  // namespace
+}  // namespace ifot::mqtt

@@ -150,6 +150,84 @@ TEST(TopicTree, InsertReplacesValue) {
   EXPECT_EQ(out[0].second, 9);
 }
 
+// ---- hostile-pattern matcher edge cases ---------------------------------
+
+INSTANTIATE_TEST_SUITE_P(
+    HostilePatterns, TopicMatchTest,
+    ::testing::Values(
+        // '#' at each level depth, including as the entire filter.
+        MatchCase{"#", "", false},            // empty topic is invalid
+        MatchCase{"a/#", "a/b/c/d/e", true},
+        MatchCase{"a/b/#", "a/b", true},
+        MatchCase{"a/b/#", "a", false},
+        MatchCase{"a/b/c/#", "a/b/c/d", true},
+        // '+' at each level depth.
+        MatchCase{"+/b/c", "a/b/c", true},
+        MatchCase{"a/b/+", "a/b/c", true},
+        MatchCase{"+/+/+", "a/b/c", true},
+        MatchCase{"+/+/+", "a/b", false},
+        MatchCase{"+/+", "a/b/c", false},
+        // '+' matches an empty level but not a missing one.
+        MatchCase{"+/b", "/b", true},
+        MatchCase{"a/+", "a/", true},
+        MatchCase{"a/+", "a", false},
+        // Consecutive empty levels are all real.
+        MatchCase{"a//", "a//", true},
+        MatchCase{"a//", "a/", false},
+        MatchCase{"//", "//", true},
+        MatchCase{"+/+/+", "//", true},
+        MatchCase{"#", "//", true},
+        // Wildcards embedded mid-level never validate, so never match.
+        MatchCase{"a/b+/c", "a/bx/c", false},
+        MatchCase{"a/+b/c", "a/xb/c", false},
+        MatchCase{"a/b#", "a/b", false},
+        // '#' not at the final level never validates.
+        MatchCase{"#/tail", "x/tail", false},
+        // Any leading-'$' level is shielded only at the root.
+        MatchCase{"+/$x", "a/$x", true},
+        MatchCase{"a/#", "a/$weird", true},
+        MatchCase{"#", "$anything", false},
+        MatchCase{"+", "$", false},
+        // $SYS subtree requires a literal first level.
+        MatchCase{"$SYS/#", "$SYS", true},
+        MatchCase{"$SYS/+/x", "$SYS/broker/x", true},
+        MatchCase{"$sys/#", "$SYS/broker", false}));  // case-sensitive
+
+TEST(TopicTree, WildcardEntriesNeverMatchDollarTopicsAtRoot) {
+  // The broker publishes $SYS stats through the same tree as user
+  // topics; a '#'-subscriber must not receive them (§4.7.2).
+  TopicTree<std::string, int> tree;
+  tree.insert("#", "snoop", 1);
+  tree.insert("+/broker/uptime", "snoop2", 2);
+  std::vector<std::pair<std::string, int>> out;
+  tree.match("$SYS/broker/uptime", out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TopicTree, ContainsIsExactFilterLookup) {
+  TopicTree<std::string, int> tree;
+  tree.insert("a/+/c", "c1", 1);
+  EXPECT_TRUE(tree.contains("a/+/c", "c1"));
+  EXPECT_FALSE(tree.contains("a/b/c", "c1"));  // no wildcard expansion
+  EXPECT_FALSE(tree.contains("a/+/c", "c2"));
+  EXPECT_FALSE(tree.contains("a/+", "c1"));
+}
+
+TEST(TopicTree, EntryCountTracksInsertEraseAndEraseKey) {
+  TopicTree<std::string, int> tree;
+  EXPECT_EQ(tree.entry_count(), 0u);
+  tree.insert("a/b", "c1", 1);
+  tree.insert("a/+", "c1", 2);
+  tree.insert("a/b", "c2", 3);
+  EXPECT_EQ(tree.entry_count(), 3u);
+  tree.insert("a/b", "c1", 9);  // replace, not add
+  EXPECT_EQ(tree.entry_count(), 3u);
+  EXPECT_TRUE(tree.erase("a/b", "c2"));
+  EXPECT_EQ(tree.entry_count(), 2u);
+  tree.erase_key("c1");
+  EXPECT_EQ(tree.entry_count(), 0u);
+}
+
 TEST(TopicTree, OverlappingFiltersReportedPerFilter) {
   TopicTree<std::string, int> tree;
   tree.insert("a/#", "c", 0);
