@@ -93,5 +93,10 @@ int main() {
   std::printf("  anomaly pages:             %zu\n", pager->count());
   std::printf("  sensing->judgement delay:  avg %.2f ms, max %.2f ms\n",
               judge_latency.avg_ms(), judge_latency.max_ms());
+  std::printf("determinism: events=%llu trace_hash=%016llx\n",
+              static_cast<unsigned long long>(
+                  mw.simulator().events_executed()),
+              static_cast<unsigned long long>(
+                  mw.simulator().trace_hash()));
   return 0;
 }

@@ -94,5 +94,10 @@ int main() {
               control_latency.avg_ms(), control_latency.max_ms());
   std::printf("  (window buffering dominates: oldest-sample stamping makes\n"
               "   the reported delay include aggregation wait)\n");
+  std::printf("determinism: events=%llu trace_hash=%016llx\n",
+              static_cast<unsigned long long>(
+                  mw.simulator().events_executed()),
+              static_cast<unsigned long long>(
+                  mw.simulator().trace_hash()));
   return 0;
 }

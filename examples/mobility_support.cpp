@@ -99,5 +99,10 @@ int main() {
   std::printf("  train shards spread over:  %zu modules\n", shard_modules);
   std::printf("  sensing->judgement delay:  avg %.2f ms, max %.2f ms\n",
               latency.avg_ms(), latency.max_ms());
+  std::printf("determinism: events=%llu trace_hash=%016llx\n",
+              static_cast<unsigned long long>(
+                  mw.simulator().events_executed()),
+              static_cast<unsigned long long>(
+                  mw.simulator().trace_hash()));
   return 0;
 }

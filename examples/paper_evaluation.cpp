@@ -38,6 +38,11 @@ int main() {
     mw.start_flows();
     mw.run_for(5 * kSecond);
     mw.stop_flows();
+    std::printf("determinism: events=%llu trace_hash=%016llx\n",
+                static_cast<unsigned long long>(
+                    mw.simulator().events_executed()),
+                static_cast<unsigned long long>(
+                    mw.simulator().trace_hash()));
     std::printf("%s\n", mgmt::placement_board(mw).c_str());
     std::printf("%s\n", directory.to_string().c_str());
     std::printf("%s\n", mgmt::fabric_status(mw).c_str());

@@ -65,5 +65,10 @@ int main() {
   std::printf("\nfan actuated %zu times in 30 s\n", fan->count());
   std::printf("sensing -> actuation latency: avg %.2f ms, p99 %.2f ms, max %.2f ms\n",
               latency.avg_ms(), latency.percentile_ms(99), latency.max_ms());
+  std::printf("determinism: events=%llu trace_hash=%016llx\n",
+              static_cast<unsigned long long>(
+                  mw.simulator().events_executed()),
+              static_cast<unsigned long long>(
+                  mw.simulator().trace_hash()));
   return 0;
 }

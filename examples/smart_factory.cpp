@@ -117,5 +117,10 @@ int main() {
               static_cast<unsigned long long>(
                   mw.module_by_name("worker_1")->counters().get("load_shed") +
                   mw.module_by_name("worker_2")->counters().get("load_shed")));
+  std::printf("determinism: events=%llu trace_hash=%016llx\n",
+              static_cast<unsigned long long>(
+                  mw.simulator().events_executed()),
+              static_cast<unsigned long long>(
+                  mw.simulator().trace_hash()));
   return 0;
 }

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Project-specific static contract gate. Two passes:
+#
+#   1. scripts/ifot_lint.py over src/ -- Result<>/Status consumption,
+#      nondeterminism and raw-I/O bans, #pragma once, include order, and
+#      audit coverage of public mutating broker/module/middleware APIs.
+#   2. Header self-containment: every header under src/ must compile as
+#      its own translation unit (g++ -fsyntax-only on a one-line TU that
+#      includes only that header).
+#
+# Exits non-zero with file:line diagnostics on any violation. SKIPs (exit
+# 0) when python3 or a C++ compiler is unavailable so the gate degrades
+# gracefully on minimal containers.
+#
+# Usage: scripts/check_lint.sh [--lint-only]
+set -u
+
+cd "$(dirname "$0")/.."
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "SKIP: python3 not found; cannot run ifot_lint"
+  exit 0
+fi
+
+fail=0
+
+echo "== ifot_lint: project contract rules =="
+if ! python3 scripts/ifot_lint.py --root .; then
+  fail=1
+fi
+
+if [ "${1:-}" = "--lint-only" ]; then
+  exit "$fail"
+fi
+
+CXX="${CXX:-}"
+if [ -z "$CXX" ]; then
+  for candidate in c++ g++ clang++; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      CXX="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$CXX" ]; then
+  echo "SKIP: no C++ compiler found; skipping header self-containment pass"
+  exit "$fail"
+fi
+
+echo "== header self-containment ($CXX -std=c++20 -fsyntax-only) =="
+tu="$(mktemp --suffix=.cpp)"
+trap 'rm -f "$tu"' EXIT
+checked=0
+while IFS= read -r hdr; do
+  rel="${hdr#src/}"
+  printf '#include "%s"\n' "$rel" > "$tu"
+  if ! "$CXX" -std=c++20 -fsyntax-only -I src "$tu" 2>/tmp/selfcontain.err; then
+    echo "$hdr: [self-contained] header does not compile standalone:"
+    sed 's/^/    /' /tmp/selfcontain.err
+    fail=1
+  fi
+  checked=$((checked + 1))
+done < <(find src -name '*.hpp' | sort)
+echo "checked $checked headers"
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_lint: OK"
+fi
+exit "$fail"

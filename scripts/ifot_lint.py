@@ -1,0 +1,520 @@
+#!/usr/bin/env python3
+"""Project-specific static contract linter for the IFoT middleware.
+
+Fast, AST-free checks of contracts the generic tooling (compiler warnings,
+clang-tidy) cannot express because they are *project* conventions:
+
+  unchecked-result   every call of a Result<>/Status-returning function is
+                     consumed or explicitly (void)-discarded
+  no-nondeterminism  wall-clock time and unseeded randomness never enter
+                     src/ outside the sanctioned RNG (common/rng.hpp) --
+                     the simulator's determinism guarantee depends on it
+  no-raw-io          stdout/stderr writes go through common/log.hpp (the
+                     logger injects virtual timestamps; raw prints race it)
+  pragma-once        every header starts with #pragma once
+  include-order      own header first, then system includes (sorted), then
+                     project includes (sorted)
+  audit-coverage     every public mutating API of the audited classes
+                     (table below) re-checks invariants via
+                     IFOT_AUDIT_ASSERT / audit_invariants(), or carries an
+                     explicit `// audit: exempt(reason)` pragma
+
+Rules are data-driven: a new banned token, audited class or allowlisted
+file is one table entry below.  Diagnostics are `file:line: [rule] msg`;
+the process exits non-zero when any violation is found.
+
+Suppressions: append `// lint: allow(<rule>): <reason>` to the offending
+line.  A suppression without a reason is itself a violation -- the
+"zero unexplained suppressions" contract.
+
+Usage: ifot_lint.py [--root DIR] [--list-rules] [paths...]
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Rule tables.  Adding a rule = one entry here (plus a checker function for
+# genuinely new rule *kinds*).  Paths are repo-relative with '/' separators.
+# --------------------------------------------------------------------------
+
+# no-nondeterminism: tokens that smuggle wall-clock time or unseeded
+# randomness into simulation code, and the files allowed to mention them.
+BANNED_NONDETERMINISM = [
+    (r"std::chrono::system_clock", "wall-clock time"),
+    (r"std::chrono::steady_clock", "wall-clock time"),
+    (r"std::chrono::high_resolution_clock", "wall-clock time"),
+    (r"\btime\s*\(\s*(?:NULL|nullptr|0|&)", "wall-clock time"),
+    (r"\bgettimeofday\s*\(", "wall-clock time"),
+    (r"\bclock_gettime\s*\(", "wall-clock time"),
+    (r"\bsrand\s*\(", "unseeded/global randomness"),
+    (r"\brand\s*\(\s*\)", "unseeded/global randomness"),
+    (r"std::random_device", "nondeterministic entropy source"),
+    (r"std::mt19937", "use ifot::Rng instead of <random> engines"),
+    (r"std::default_random_engine", "use ifot::Rng instead of <random>"),
+    (r"#include\s*<random>", "use ifot::Rng (common/rng.hpp)"),
+    (r"#include\s*<chrono>", "virtual time is SimTime (common/types.hpp)"),
+]
+NONDETERMINISM_ALLOWED = {
+    "src/common/rng.hpp",  # the one sanctioned randomness source
+}
+
+# no-raw-io: direct stdout/stderr writes, and the sanctioned sinks.
+# snprintf formats into caller buffers and is fine anywhere.
+BANNED_RAW_IO = [
+    (r"std::cout\b", "stdout"),
+    (r"std::cerr\b", "stderr"),
+    (r"std::clog\b", "stderr"),
+    (r"(?<![\w:])printf\s*\(", "stdout"),
+    (r"\bfprintf\s*\(", "stdout/stderr"),
+    (r"\bputs\s*\(", "stdout"),
+    (r"\bfwrite\s*\(", "raw stream write"),
+]
+RAW_IO_ALLOWED = {
+    "src/common/log.cpp",    # the logger's stderr sink
+    "src/common/log.hpp",
+    "src/common/audit.cpp",  # audit failures report before abort()
+}
+
+# audit-coverage: classes whose public mutating (non-const) APIs must
+# re-check invariants after every mutation.  The linter reads the public
+# section of `header` for the contract and checks definitions in `impl`.
+AUDITED_CLASSES = [
+    {"class": "Broker", "header": "src/mqtt/broker.hpp",
+     "impl": "src/mqtt/broker.cpp"},
+    {"class": "NeuronModule", "header": "src/node/module.hpp",
+     "impl": "src/node/module.cpp"},
+    {"class": "Middleware", "header": "src/core/middleware.hpp",
+     "impl": "src/core/middleware.cpp"},
+]
+AUDIT_MARKERS = ("IFOT_AUDIT_ASSERT", "audit_invariants")
+
+# unchecked-result: functions whose declared name is ambiguous across the
+# tree (same name declared with both Result and non-Result returns) are
+# skipped -- the compiler's [[nodiscard]] still covers direct calls.
+RESULT_RETURN_RE = re.compile(
+    r"(?:\[\[nodiscard\]\]\s+)?(?:virtual\s+)?(?:static\s+)?"
+    r"(Result\s*<[^;{}()]*>|Status)\s+"
+    r"(?:[A-Za-z_]\w*::)?([A-Za-z_]\w*)\s*\(")
+NON_RESULT_RETURN_RE = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s+)?(?:virtual\s+)?(?:static\s+)?(?:inline\s+)?"
+    r"(void|bool|int|double|float|std::\w+|[A-Z]\w*(?:::\w+)*[&*]?|auto)\s+"
+    r"(?:[A-Za-z_]\w*::)?([a-z_]\w*)\s*\(", re.MULTILINE)
+
+SUPPRESS_RE = re.compile(r"//\s*lint:\s*allow\(([\w-]+)\)(:?\s*(.*))?")
+# A reason is mandatory (the '(' must not be immediately closed); it may
+# wrap onto following comment lines, so no closing ')' is required here.
+EXEMPT_RE = re.compile(r"//\s*audit:\s*exempt\((?!\s*\))")
+
+SOURCE_EXTS = (".cpp", ".hpp")
+
+
+def is_header(path):
+    return path.endswith(".hpp")
+
+
+# --------------------------------------------------------------------------
+# Lexing helpers.
+# --------------------------------------------------------------------------
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literal *contents*, preserving
+    newlines (line numbers survive) and the `//` marker of line comments
+    (so pragma scanners can still find them on the raw text)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            seg = text[i:j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            i = j + 2
+        elif c == "R" and text[i:i + 2] == 'R"':
+            m = re.match(r'R"([^(\s]*)\(', text[i:])
+            if not m:
+                out.append(c)
+                i += 1
+                continue
+            close = ")" + m.group(1) + '"'
+            j = text.find(close, i)
+            j = n - len(close) if j == -1 else j
+            seg = text[i:j + len(close)]
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            i = j + len(close)
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            out.append(c + " " * (j - i - 1) + c)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+class Diagnostics:
+    def __init__(self):
+        self.items = []
+
+    def report(self, path, line, rule, message, raw_lines):
+        """Registers a violation unless the offending line carries a
+        well-formed suppression for this rule."""
+        raw = raw_lines[line - 1] if 0 < line <= len(raw_lines) else ""
+        m = SUPPRESS_RE.search(raw)
+        if m and m.group(1) == rule:
+            if m.group(3):
+                return  # suppressed, with a reason
+            self.items.append((path, line, rule,
+                               "suppression without a reason "
+                               "(`// lint: allow(%s): <why>`)" % rule))
+            return
+        self.items.append((path, line, rule, message))
+
+
+# --------------------------------------------------------------------------
+# Rule: banned tokens (no-nondeterminism, no-raw-io).
+# --------------------------------------------------------------------------
+
+def check_banned_tokens(path, text, raw_lines, diags):
+    checks = []
+    if path not in NONDETERMINISM_ALLOWED:
+        checks.append(("no-nondeterminism", BANNED_NONDETERMINISM,
+                       "outside common/rng.hpp"))
+    if path not in RAW_IO_ALLOWED:
+        checks.append(("no-raw-io", BANNED_RAW_IO,
+                       "outside common/log.hpp (use IFOT_LOG)"))
+    for rule, table, where in checks:
+        for pattern, what in table:
+            for m in re.finditer(pattern, text):
+                diags.report(path, line_of(text, m.start()), rule,
+                             "%s (%s) is banned %s" %
+                             (m.group(0).strip(), what, where), raw_lines)
+
+
+# --------------------------------------------------------------------------
+# Rule: pragma-once + include-order.
+# --------------------------------------------------------------------------
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"])([^">]+)[">]', re.MULTILINE)
+
+
+def check_includes(path, text, raw_lines, diags):
+    # Parse includes from the raw text: stripping blanks the quoted
+    # targets. `text` (stripped) is still used for the pragma scan.
+    raw_text = "\n".join(raw_lines)
+    includes = []  # (line, kind, target)
+    for m in INCLUDE_RE.finditer(raw_text):
+        kind = "system" if m.group(1) == "<" else "project"
+        includes.append((line_of(raw_text, m.start()), kind, m.group(2)))
+
+    if is_header(path):
+        pragma = re.search(r"^\s*#\s*pragma\s+once\s*$", text, re.MULTILINE)
+        if not pragma:
+            diags.report(path, 1, "pragma-once",
+                         "header is missing #pragma once", raw_lines)
+        elif includes and line_of(text, pragma.start()) > includes[0][0]:
+            diags.report(path, includes[0][0], "pragma-once",
+                         "#pragma once must precede all includes", raw_lines)
+    else:
+        # Own header first: src/foo/bar.cpp -> "foo/bar.hpp".
+        rel = path[len("src/"):] if path.startswith("src/") else path
+        own = os.path.splitext(rel)[0] + ".hpp"
+        if includes and includes[0][2] == own:
+            includes = includes[1:]
+        elif any(inc[2] == own for inc in includes):
+            diags.report(path, includes[0][0], "include-order",
+                         'own header "%s" must be the first include' % own,
+                         raw_lines)
+
+    # System block before project block, each alphabetically sorted.
+    seen_project = None
+    for line, kind, target in includes:
+        if kind == "project":
+            seen_project = (line, target)
+        elif seen_project:
+            diags.report(path, line, "include-order",
+                         "system include <%s> after project include \"%s\""
+                         % (target, seen_project[1]), raw_lines)
+            break
+    for kind_want in ("system", "project"):
+        block = [(line, t) for line, kind, t in includes if kind == kind_want]
+        for (l1, t1), (l2, t2) in zip(block, block[1:]):
+            if t2 < t1:
+                diags.report(path, l2, "include-order",
+                             "%s includes are not sorted: %s after %s"
+                             % (kind_want, t2, t1), raw_lines)
+                break
+
+
+# --------------------------------------------------------------------------
+# Rule: unchecked-result.
+# --------------------------------------------------------------------------
+
+def collect_result_functions(files):
+    """Names declared with Result<>/Status returns, minus names also
+    declared with a non-Result return somewhere (ambiguous)."""
+    result_names, other_names = set(), set()
+    for path, text in files.items():
+        for m in RESULT_RETURN_RE.finditer(text):
+            result_names.add(m.group(2))
+        for m in NON_RESULT_RETURN_RE.finditer(text):
+            # The generic capitalized-type alternative also matches
+            # Result</Status declarations themselves; those are not
+            # conflicting overloads.
+            rtype = m.group(1)
+            if rtype == "Status" or rtype.startswith("Result"):
+                continue
+            other_names.add(m.group(2))
+    return result_names - other_names
+
+
+RECEIVER_CHARS = set("abcdefghijklmnopqrstuvwxyz"
+                     "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.:>-()[]")
+
+
+def statement_prefix(text, call_start):
+    """Walks back from a call over its receiver chain (`obj.`, `ptr->`,
+    `ns::`, interleaved `()`/`[]`) and returns (prefix, chain) where
+    `prefix` is the right-trimmed text immediately before the statement
+    and `chain` is the walked-over receiver text (includes any leading
+    `(void)` cast, which the walk also consumes)."""
+    i = call_start
+    while i > 0 and text[i - 1] in RECEIVER_CHARS or \
+            (i > 0 and text[i - 1] in " \t" and i - 2 >= 0 and
+             text[i - 2] in ".>:"):
+        i -= 1
+    return text[:i].rstrip(), text[i:call_start]
+
+
+def close_of_call(text, open_paren):
+    depth = 0
+    for j in range(open_paren, len(text)):
+        if text[j] == "(":
+            depth += 1
+        elif text[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return j
+    return -1
+
+
+def check_unchecked_result(path, text, raw_lines, result_names, diags):
+    for m in re.finditer(r"\b([A-Za-z_]\w*)\s*\(", text):
+        name = m.group(1)
+        if name not in result_names:
+            continue
+        prefix, chain = statement_prefix(text, m.start())
+        # A statement begins after ';', '{', '}' or at file start; anything
+        # else (return, =, if (, operators, commas) consumes the result or
+        # is mid-expression.
+        if prefix and prefix[-1] not in ";{}":
+            continue
+        # `(void)obj.call(...)` — the cast is part of the walked-back
+        # receiver chain, and explicitly discards the result.
+        if chain.lstrip().startswith("(void)"):
+            continue
+        open_paren = text.find("(", m.end(1))
+        close = close_of_call(text, open_paren)
+        if close == -1:
+            continue
+        after = text[close + 1:close + 2]
+        rest = text[close + 1:].lstrip()
+        if not rest.startswith(";"):
+            continue  # .value(), chained call, etc. -- consumed
+        # Reaching here: `name(...)` is a whole statement whose Result is
+        # dropped on the floor, and it is not a (void) discard (the cast
+        # would appear in the prefix).
+        del after
+        diags.report(path, line_of(text, m.start()), "unchecked-result",
+                     "result of '%s(...)' (returns Result<>/Status) is "
+                     "silently dropped; consume it or cast to (void)" % name,
+                     raw_lines)
+
+
+# --------------------------------------------------------------------------
+# Rule: audit-coverage.
+# --------------------------------------------------------------------------
+
+def public_mutating_methods(class_name, header_text):
+    """Names of public non-const methods declared in `class X { ... };`,
+    excluding constructors/destructors/operators."""
+    m = re.search(r"\bclass\s+%s\b[^;{]*{" % re.escape(class_name),
+                  header_text)
+    if not m:
+        return {}
+    depth, i = 1, m.end()
+    body_start = m.end()
+    while i < len(header_text) and depth:
+        if header_text[i] == "{":
+            depth += 1
+        elif header_text[i] == "}":
+            depth -= 1
+        i += 1
+    body = header_text[body_start:i - 1]
+
+    methods = {}
+    access = "private"  # class default
+    # Walk declarations at class-body depth 0 (skip nested struct bodies).
+    depth = 0
+    for raw_line in body.split("\n"):
+        line = raw_line.strip()
+        if depth == 0:
+            if re.match(r"(public|protected|private)\s*:", line):
+                access = line.split(":")[0].strip()
+            elif access == "public":
+                decl = re.match(
+                    r"(?:\[\[nodiscard\]\]\s*)?(?:virtual\s+)?"
+                    r"(?:[\w:<>,&*\s]+?\s)??([a-z_]\w*)\s*\(", line)
+                if decl and not line.startswith(("~", "operator")):
+                    name = decl.group(1)
+                    is_const = re.search(r"\)\s*const\b", raw_line) is not None
+                    if name != class_name and name not in ("operator",):
+                        # const overloads don't mutate; keep mutating ones.
+                        if not is_const:
+                            methods[name] = True
+        depth += raw_line.count("{") - raw_line.count("}")
+    return methods
+
+
+def method_bodies(class_name, impl_text):
+    """Yields (name, def_line, body_text) for `Ret Class::name(...) {...}`
+    definitions in an implementation file."""
+    for m in re.finditer(r"\b%s::([A-Za-z_]\w*)\s*\(" % re.escape(class_name),
+                         impl_text):
+        open_paren = impl_text.find("(", m.end(1))
+        close = close_of_call(impl_text, open_paren)
+        if close == -1:
+            continue
+        j = close + 1
+        while j < len(impl_text) and impl_text[j] not in "{;":
+            j += 1
+        if j >= len(impl_text) or impl_text[j] != "{":
+            continue  # declaration, not definition
+        depth, k = 1, j + 1
+        while k < len(impl_text) and depth:
+            if impl_text[k] == "{":
+                depth += 1
+            elif impl_text[k] == "}":
+                depth -= 1
+            k += 1
+        yield m.group(1), line_of(impl_text, m.start()), impl_text[j:k]
+
+
+def check_audit_coverage(files, raw_files, diags, classes=None):
+    for entry in (AUDITED_CLASSES if classes is None else classes):
+        header, impl = entry["header"], entry["impl"]
+        if header not in files or impl not in files:
+            continue
+        wanted = public_mutating_methods(entry["class"], files[header])
+        raw_impl = raw_files[impl]
+        raw_lines = raw_impl.split("\n")
+        for name, line, body in method_bodies(entry["class"], files[impl]):
+            if name not in wanted:
+                continue
+            if any(marker in body for marker in AUDIT_MARKERS):
+                continue
+            # The exempt pragma may sit on the definition line, in the
+            # comment block just above it (up to 4 lines), or anywhere in
+            # the (raw, comment-bearing) body.
+            raw_region = "\n".join(
+                raw_lines[max(0, line - 5):line + body.count("\n") + 1])
+            if EXEMPT_RE.search(raw_region):
+                continue
+            diags.report(
+                impl, line, "audit-coverage",
+                "public mutating API %s::%s has no IFOT_AUDIT_ASSERT / "
+                "audit_invariants() and no `// audit: exempt(reason)`"
+                % (entry["class"], name), raw_lines)
+
+
+# --------------------------------------------------------------------------
+# Driver.
+# --------------------------------------------------------------------------
+
+def gather_sources(root, paths):
+    files = {}
+    if paths:
+        for p in paths:
+            rel = os.path.relpath(p, root).replace(os.sep, "/")
+            with open(os.path.join(root, rel), encoding="utf-8") as f:
+                files[rel] = f.read()
+        return files
+    for base, _, names in os.walk(os.path.join(root, "src")):
+        for name in sorted(names):
+            if not name.endswith(SOURCE_EXTS):
+                continue
+            full = os.path.join(base, name)
+            rel = os.path.relpath(full, root).replace(os.sep, "/")
+            with open(full, encoding="utf-8") as f:
+                files[rel] = f.read()
+    return files
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), ".."),
+        help="repository root (default: the linter's parent directory)")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule ids and exit")
+    ap.add_argument("--audited-class", action="append", default=[],
+                    metavar="CLASS:HEADER:IMPL",
+                    help="override the audit-coverage table (used by the "
+                         "negative fixture test)")
+    ap.add_argument("paths", nargs="*",
+                    help="specific files to lint (default: all of src/)")
+    args = ap.parse_args(argv)
+
+    rules = ["unchecked-result", "no-nondeterminism", "no-raw-io",
+             "pragma-once", "include-order", "audit-coverage"]
+    if args.list_rules:
+        print("\n".join(rules))
+        return 0
+
+    root = os.path.abspath(args.root)
+    raw_files = gather_sources(root, args.paths)
+    if not raw_files:
+        print("ifot_lint: no sources found under %s" % root, file=sys.stderr)
+        return 2
+    files = {p: strip_comments_and_strings(t) for p, t in raw_files.items()}
+
+    diags = Diagnostics()
+    result_names = collect_result_functions(files)
+    for path, text in sorted(files.items()):
+        raw_lines = raw_files[path].split("\n")
+        check_banned_tokens(path, text, raw_lines, diags)
+        check_includes(path, text, raw_lines, diags)
+        check_unchecked_result(path, text, raw_lines, result_names, diags)
+    overrides = [dict(zip(("class", "header", "impl"), spec.split(":")))
+                 for spec in args.audited_class] or None
+    check_audit_coverage(files, raw_files, diags, overrides)
+
+    for path, line, rule, message in sorted(diags.items):
+        print("%s:%d: [%s] %s" % (path, line, rule, message))
+    if diags.items:
+        print("ifot_lint: %d violation(s) across %d file(s)"
+              % (len(diags.items), len({d[0] for d in diags.items})),
+              file=sys.stderr)
+        return 1
+    print("ifot_lint: %d files clean (%d rules: %s)"
+          % (len(files), len(rules), ", ".join(rules)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

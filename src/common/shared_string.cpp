@@ -1,0 +1,39 @@
+#include "common/shared_string.hpp"
+
+#include "common/audit.hpp"
+
+namespace ifot {
+namespace {
+
+/// Wraps `s` in a shared buffer. Audit builds attach a deleter that
+/// balances the live-object ledger, so a leaked or double-freed string
+/// buffer shows up as a nonzero audit::live() count at teardown.
+std::shared_ptr<const std::string> adopt(std::string s) {
+  if (s.empty()) return nullptr;
+  if constexpr (audit::kEnabled) {
+    const auto n = static_cast<std::int64_t>(s.size());
+    audit::live_add("shared_string.buffers", 1);
+    audit::live_add("shared_string.bytes", n);
+    return std::shared_ptr<const std::string>(
+        new std::string(std::move(s)), [n](const std::string* p) {
+          audit::live_add("shared_string.buffers", -1);
+          audit::live_add("shared_string.bytes", -n);
+          delete p;  // NOLINT(cppcoreguidelines-owning-memory)
+        });
+  }
+  return std::make_shared<const std::string>(std::move(s));
+}
+
+}  // namespace
+
+SharedString::SharedString(std::string s) : buf_(adopt(std::move(s))) {
+  IFOT_AUDIT_ASSERT(!buf_ || !buf_->empty(),
+                    "SharedString must not hold an empty buffer");
+}
+
+const std::string& SharedString::empty_string() {
+  static const std::string kEmpty;
+  return kEmpty;
+}
+
+}  // namespace ifot

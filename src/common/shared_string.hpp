@@ -1,0 +1,78 @@
+// Immutable, reference-counted string.
+//
+// The broker's PUBLISH fan-out hands one inbound message to N
+// subscribers; payload bytes are already shared via SharedPayload, but
+// Publish::topic used to be a std::string copied per QoS 1/2 subscriber.
+// SharedString closes that gap: copies share one immutable buffer, so a
+// fan-out group allocates the topic once no matter how many subscribers,
+// queues and retry slots hold it. The std::string-like read surface
+// (str/view/size/empty/operator==) keeps the type a drop-in replacement
+// for a by-value std::string field.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace ifot {
+
+/// Value-semantics handle to an immutable string. Copying shares the
+/// buffer; equality compares contents.
+class SharedString {
+ public:
+  SharedString() = default;
+
+  /// Takes ownership of `s` (one allocation; empty stays null).
+  /// Audit builds ledger the buffer in audit::live("shared_string.*")
+  /// so tests can assert every allocated string has been released.
+  // NOLINTNEXTLINE(google-explicit-constructor): drop-in for string fields
+  SharedString(std::string s);
+  // NOLINTNEXTLINE(google-explicit-constructor): literal ergonomics
+  SharedString(const char* s) : SharedString(std::string(s)) {}
+
+  [[nodiscard]] const std::string& str() const {
+    return buf_ ? *buf_ : empty_string();
+  }
+  [[nodiscard]] std::string_view view() const { return str(); }
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors string -> view
+  operator std::string_view() const { return view(); }
+  // NOLINTNEXTLINE(google-explicit-constructor): map keys, concatenation
+  operator const std::string&() const { return str(); }
+
+  [[nodiscard]] std::size_t size() const { return buf_ ? buf_->size() : 0; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// The underlying shared buffer (null when empty). Exposed so tests
+  /// and counters can verify buffer identity across fan-out copies.
+  [[nodiscard]] const std::shared_ptr<const std::string>& share() const {
+    return buf_;
+  }
+  /// Number of holders currently sharing this buffer (0 when empty).
+  [[nodiscard]] long use_count() const { return buf_.use_count(); }
+
+  friend bool operator==(const SharedString& a, const SharedString& b) {
+    return a.buf_ == b.buf_ || a.str() == b.str();
+  }
+  /// Heterogeneous comparison against anything string-view-like, so
+  /// `topic == "a/b"` and `topic == some_std_string` need no SharedString
+  /// temporary (and no allocation).
+  template <typename T>
+    requires(!std::is_same_v<std::decay_t<T>, SharedString> &&
+             std::is_convertible_v<const T&, std::string_view>)
+  friend bool operator==(const SharedString& a, const T& b) {
+    return a.view() == std::string_view(b);
+  }
+
+ private:
+  static const std::string& empty_string();
+
+  std::shared_ptr<const std::string> buf_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const SharedString& s) {
+  return os << s.str();
+}
+
+}  // namespace ifot

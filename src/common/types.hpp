@@ -5,7 +5,6 @@
 // to/from floating-point milliseconds only at reporting boundaries.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>

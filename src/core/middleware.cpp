@@ -1,9 +1,9 @@
 #include "core/middleware.hpp"
 
 #include <algorithm>
-
 #include <cassert>
 
+#include "common/audit.hpp"
 #include "common/log.hpp"
 
 namespace ifot::core {
@@ -43,13 +43,17 @@ NodeId Middleware::register_module(const ModuleSpec& spec, NodeId host) {
 
 NodeId Middleware::add_module(const ModuleSpec& spec) {
   assert(!started_ && "add modules before start()");
-  return register_module(spec, net_->add_host(spec.name));
+  const NodeId id = register_module(spec, net_->add_host(spec.name));
+  audit_invariants();
+  return id;
 }
 
 NodeId Middleware::add_remote_module(const ModuleSpec& spec,
                                      const net::WanConfig& wan) {
   assert(!started_ && "add modules before start()");
-  return register_module(spec, net_->add_remote_host(spec.name, wan));
+  const NodeId id = register_module(spec, net_->add_remote_host(spec.name, wan));
+  audit_invariants();
+  return id;
 }
 
 Status Middleware::start() {
@@ -66,9 +70,12 @@ Status Middleware::start() {
   started_ = true;
   // Let CONNECT/CONNACK handshakes settle before anything flows.
   sim_.run_until(sim_.now() + kSettleTime);
+  audit_invariants();
   return {};
 }
 
+// audit: exempt(accessor; hands out a module whose mutators audit
+// themselves)
 node::NeuronModule& Middleware::module(NodeId id) {
   for (auto& entry : modules_) {
     if (entry.module->id() == id) return *entry.module;
@@ -84,6 +91,8 @@ std::vector<NodeId> Middleware::module_ids() const {
   return out;
 }
 
+// audit: exempt(accessor; hands out a module whose mutators audit
+// themselves)
 node::NeuronModule* Middleware::module_by_name(const std::string& name) {
   for (auto& entry : modules_) {
     if (entry.spec.name == name) return entry.module.get();
@@ -109,6 +118,7 @@ std::vector<alloc::ModuleInfo> Middleware::allocator_view() const {
   return out;
 }
 
+// audit: exempt(parses, then delegates to do_deploy, which audits)
 Result<RecipeId> Middleware::deploy(std::string_view recipe_text,
                                     const std::string& allocator) {
   auto parsed = recipe::parse(recipe_text);
@@ -116,6 +126,8 @@ Result<RecipeId> Middleware::deploy(std::string_view recipe_text,
   return deploy(parsed.value(), allocator);
 }
 
+// audit: exempt(resolves the allocator, then delegates to do_deploy,
+// which audits)
 Result<RecipeId> Middleware::deploy(const recipe::Recipe& recipe,
                                     const std::string& allocator) {
   auto alloc_impl = alloc::make_allocator(allocator);
@@ -125,6 +137,7 @@ Result<RecipeId> Middleware::deploy(const recipe::Recipe& recipe,
   return do_deploy(recipe, *alloc_impl);
 }
 
+// audit: exempt(delegates to do_deploy, which audits)
 Result<RecipeId> Middleware::deploy_with(const recipe::Recipe& recipe,
                                          alloc::Allocator& allocator) {
   return do_deploy(recipe, allocator);
@@ -193,6 +206,7 @@ Result<RecipeId> Middleware::do_deploy(const recipe::Recipe& recipe,
   deployments_.push_back(std::move(d));
   // Let SUBSCRIBE/SUBACK handshakes settle before flows start.
   sim_.run_until(sim_.now() + kSettleTime);
+  audit_invariants();
   return deployments_.back().id;
 }
 
@@ -223,6 +237,7 @@ Status Middleware::undeploy(RecipeId id) {
                         << "'";
   deployments_.erase(it);
   sim_.run_until(sim_.now() + kSettleTime);
+  audit_invariants();
   return {};
 }
 
@@ -231,13 +246,17 @@ void Middleware::start_flows() {
   for (auto& entry : modules_) {
     if (!entry.module->failed()) entry.module->start_sensors();
   }
+  audit_invariants();
 }
 
 void Middleware::stop_flows() {
   flows_running_ = false;
   for (auto& entry : modules_) entry.module->stop_sensors();
+  audit_invariants();
 }
 
+// audit: exempt(advances virtual time only; every event handler audits
+// the object it mutates)
 void Middleware::run_for(SimDuration d) { sim_.run_until(sim_.now() + d); }
 
 Status Middleware::fail_module(NodeId id) {
@@ -252,6 +271,7 @@ Status Middleware::fail_module(NodeId id) {
     entry.module->fail();
     entry.spec.accept_tasks = false;  // exclude from future placements
     IFOT_LOG(kWarn, kLog) << "module '" << entry.spec.name << "' failed";
+    audit_invariants();
     return {};
   }
   return Err(Errc::kNotFound, "unknown module id");
@@ -322,17 +342,84 @@ Status Middleware::redeploy_failed(NodeId failed) {
       }
     }
   }
+  // Post-condition: failover left no placement pointing at the failed
+  // module (every orphan was re-homed above).
+  if constexpr (audit::kEnabled) {
+    for (const auto& d : deployments_) {
+      for (NodeId m : d.placement.task_module) {
+        IFOT_AUDIT_ASSERT(m != failed,
+                          "redeploy_failed left a task on the failed module");
+      }
+    }
+  }
   sim_.run_until(sim_.now() + kSettleTime);
+  audit_invariants();
   return {};
 }
 
+// audit: exempt(delegates to NeuronModule::watch, which audits)
 Status Middleware::watch(NodeId module_id, const std::string& filter,
                          node::NeuronModule::WatchHandler handler) {
   return module(module_id).watch(filter, std::move(handler));
 }
 
+// audit: exempt(hook registration only; no fabric state is touched)
 void Middleware::set_completion_hook(node::CompletionHook hook) {
   for (auto& entry : modules_) entry.module->set_completion_hook(hook);
+}
+
+void Middleware::audit_invariants() const {
+  if constexpr (!audit::kEnabled) return;
+
+  auto find_entry = [this](NodeId id) -> const ModuleEntry* {
+    for (const auto& e : modules_) {
+      if (e.module->id() == id) return &e;
+    }
+    return nullptr;
+  };
+
+  // The load ledger runs parallel to the module list and never goes
+  // negative (deploy adds exactly what undeploy later subtracts).
+  IFOT_AUDIT_ASSERT(module_load_.size() == modules_.size(),
+                    "load ledger has " + std::to_string(module_load_.size()) +
+                        " entries for " + std::to_string(modules_.size()) +
+                        " modules");
+  for (double load : module_load_) {
+    IFOT_AUDIT_ASSERT(load >= -1e-9, "negative placed load on a module");
+  }
+
+  // Broker bookkeeping: every registered broker id is a fabric module,
+  // and actually runs the Broker class once the fabric started.
+  for (NodeId b : broker_modules_) {
+    const ModuleEntry* e = find_entry(b);
+    IFOT_AUDIT_ASSERT(e != nullptr, "broker module id not in the fabric");
+    IFOT_AUDIT_ASSERT(!started_ || e->module->is_broker(),
+                      "module '" + e->spec.name +
+                          "' is registered as broker but runs none");
+  }
+
+  // A crashed module must be excluded from future placements.
+  for (const auto& e : modules_) {
+    IFOT_AUDIT_ASSERT(!e.module->failed() || !e.spec.accept_tasks,
+                      "failed module '" + e.spec.name +
+                          "' still accepts tasks");
+  }
+
+  // Placement consistency: every placed sub-task maps to a module that
+  // exists in the fabric (failed modules keep their entries until
+  // redeploy_failed re-homes them; redeploy audits that post-condition).
+  for (const auto& d : deployments_) {
+    IFOT_AUDIT_ASSERT(
+        d.placement.task_module.size() == d.graph.tasks.size(),
+        "placement of '" + d.graph.recipe_name + "' covers " +
+            std::to_string(d.placement.task_module.size()) + " of " +
+            std::to_string(d.graph.tasks.size()) + " tasks");
+    for (NodeId m : d.placement.task_module) {
+      IFOT_AUDIT_ASSERT(find_entry(m) != nullptr,
+                        "task of '" + d.graph.recipe_name +
+                            "' is placed on a module not in the fabric");
+    }
+  }
 }
 
 std::string Middleware::describe(const Deployment& d) const {

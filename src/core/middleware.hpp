@@ -168,6 +168,15 @@ class Middleware {
   /// Human-readable placement summary of a deployment (diagnostics).
   [[nodiscard]] std::string describe(const Deployment& d) const;
 
+  /// Runtime invariant sweep (compiled out unless IFOT_AUDIT=ON):
+  /// placement consistency — every deployment's placement maps each task
+  /// to a module that exists in the fabric, a failed module never
+  /// accepts future tasks, the per-module load ledger stays non-negative
+  /// and parallel to the module list, and broker modules are real
+  /// brokers. Mutating public APIs call this after every fabric change
+  /// (enforced by scripts/ifot_lint.py rule audit-coverage).
+  void audit_invariants() const;
+
  private:
   struct ModuleEntry {
     ModuleSpec spec;

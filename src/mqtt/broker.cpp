@@ -358,21 +358,25 @@ void Broker::route(Publish p, const std::string& origin) {
       }
       if (qos0_wire.empty()) {
         Publish wire_msg;
-        wire_msg.topic = original.topic;
+        wire_msg.topic = original.topic;  // shares the string
         wire_msg.payload = original.payload;  // shares the buffer
         qos0_wire = encode(Packet{std::move(wire_msg)});
         counters_.add("fanout_encodes");
-        // The one remaining copy: payload bytes into the wire buffer.
+        // The one remaining copy: topic + payload bytes into the wire
+        // buffer.
         counters_.add("payload_bytes_copied", original.payload.size());
+        counters_.add("topic_bytes_copied", original.topic.size());
       }
       counters_.add("payload_bytes_shared", original.payload.size());
+      counters_.add("topic_bytes_shared", original.topic.size());
       counters_.add("delivered_qos0");
       send_encoded(*lit->second, qos0_wire);
     } else {
       Publish out;
-      out.topic = original.topic;
+      out.topic = original.topic;      // shares the string
       out.payload = original.payload;  // shares the buffer
       out.qos = effective;             // retain/dup cleared [MQTT-3.3.1-9]
+      counters_.add("topic_bytes_shared", original.topic.size());
       deliver(session, std::move(out));
     }
   }
@@ -425,8 +429,9 @@ void Broker::send_inflight(Session& session, InflightOut& inflight) {
   send_packet(session, Packet{inflight.msg});
   counters_.add("delivered_qos12");
   // QoS 1/2 deliveries carry per-subscriber packet ids, so each send
-  // encodes its own wire buffer (one payload copy per delivery).
+  // encodes its own wire buffer (one topic + payload copy per delivery).
   counters_.add("payload_bytes_copied", inflight.msg.payload.size());
+  counters_.add("topic_bytes_copied", inflight.msg.topic.size());
   arm_retry(session, inflight.msg.packet_id);
 }
 
@@ -544,6 +549,12 @@ void Broker::publish_sys_stats() {
   pub("publish/fanout/encodes", counters_.get("fanout_encodes"));
   pub("publish/fanout/bytes/shared", counters_.get("payload_bytes_shared"));
   pub("publish/fanout/bytes/copied", counters_.get("payload_bytes_copied"));
+  // Topic strings ride the same sharing discipline as payload bytes
+  // (ROADMAP: share topic strings across fan-out).
+  pub("publish/fanout/topic_bytes/shared",
+      counters_.get("topic_bytes_shared"));
+  pub("publish/fanout/topic_bytes/copied",
+      counters_.get("topic_bytes_copied"));
   // Bounded QoS 2 dedup pressure: evictions mean lost PUBRELs pushed a
   // session past its dedup capacity.
   pub("store/qos2/dedup/evictions", counters_.get("qos2_dedup_evictions"));

@@ -16,6 +16,7 @@
 #include "common/bytes.hpp"
 #include "common/result.hpp"
 #include "common/shared_payload.hpp"
+#include "common/shared_string.hpp"
 
 namespace ifot::mqtt {
 
@@ -83,7 +84,10 @@ struct Connack {
 };
 
 struct Publish {
-  std::string topic;
+  /// Reference-counted like the payload: copying a Publish shares the
+  /// topic buffer, so QoS 1/2 fan-out / inflight / retained copies never
+  /// duplicate the topic string either.
+  SharedString topic;
   /// Reference-counted: copying a Publish shares the payload buffer, so
   /// broker fan-out / inflight / retained copies never duplicate bytes.
   SharedPayload payload;

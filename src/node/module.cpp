@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/audit.hpp"
 #include "common/log.hpp"
 
 namespace ifot::node {
@@ -32,12 +33,14 @@ NeuronModule::~NeuronModule() = default;
 
 void NeuronModule::attach_sensor(const std::string& device_name) {
   sensor_devices_.insert(device_name);
+  audit_invariants();
 }
 
 device::ActuatorSink& NeuronModule::attach_actuator(
     const std::string& device_name, SimDuration actuation_latency) {
   actuator_sinks_.push_back(
       std::make_unique<device::ActuatorSink>(device_name, actuation_latency));
+  audit_invariants();
   return *actuator_sinks_.back();
 }
 
@@ -48,6 +51,8 @@ std::vector<std::string> NeuronModule::actuators() const {
   return out;
 }
 
+// audit: exempt(read-only lookup; the non-const overload only hands out a
+// sink owned and audited by this module)
 device::ActuatorSink* NeuronModule::actuator(const std::string& name) {
   for (const auto& a : actuator_sinks_) {
     if (a->name() == name) return a.get();
@@ -60,6 +65,53 @@ double NeuronModule::utilization() const {
   if (elapsed <= 0) return 0;
   return static_cast<double>(cpu_.total_busy()) /
          static_cast<double>(elapsed);
+}
+
+void NeuronModule::audit_invariants() const {
+  if constexpr (!audit::kEnabled) return;
+
+  // Deployment ledger balances against the live task list.
+  IFOT_AUDIT_ASSERT(
+      counters_.get("tasks_deployed") ==
+          counters_.get("tasks_removed") + tasks_.size(),
+      "task ledger diverged on '" + name() + "': deployed " +
+          std::to_string(counters_.get("tasks_deployed")) + ", removed " +
+          std::to_string(counters_.get("tasks_removed")) + ", live " +
+          std::to_string(tasks_.size()));
+
+  // Note: output topics are NOT unique per module — deploying the same
+  // recipe twice (distinct deployment ids) legally places identical task
+  // sets side by side, and remove_task drops the first match.
+  std::size_t sensor_tasks = 0;
+  for (const auto& t : tasks_) {
+    IFOT_AUDIT_ASSERT(t.task != nullptr, "null task deployed on " + name());
+    if (dynamic_cast<const SensorTask*>(t.task.get()) != nullptr) {
+      ++sensor_tasks;
+    }
+  }
+
+  // start_sensors() arms exactly one timer per deployed sensor task;
+  // deploying more sensors without re-arming leaves timers behind, never
+  // ahead.
+  IFOT_AUDIT_ASSERT(sensor_timers_.size() <= sensor_tasks,
+                    "module '" + name() + "' has " +
+                        std::to_string(sensor_timers_.size()) +
+                        " sensor timers for " +
+                        std::to_string(sensor_tasks) + " sensor tasks");
+
+  // A crashed module is silent: no sampling, per the failure model
+  // (silent crash; the broker's keep-alive fires the will).
+  IFOT_AUDIT_ASSERT(!failed_ || sensor_timers_.empty(),
+                    "failed module '" + name() + "' still samples sensors");
+
+  // One client binding per broker, each on its own transport link.
+  std::set<std::uint32_t> links;
+  for (const auto& b : clients_) {
+    IFOT_AUDIT_ASSERT(b.client != nullptr,
+                      "null client binding on '" + name() + "'");
+    IFOT_AUDIT_ASSERT(links.insert(b.link).second,
+                      "duplicate client link id on '" + name() + "'");
+  }
 }
 
 // ---- transport -------------------------------------------------------------
@@ -173,8 +225,10 @@ void NeuronModule::on_client_datagram(MsgKind kind, std::uint32_t link,
 void NeuronModule::start_broker() {
   assert(broker_ == nullptr);
   broker_ = std::make_unique<mqtt::Broker>(sched_, config_.broker);
+  audit_invariants();
 }
 
+// audit: exempt(delegates to the vector overload, which audits)
 void NeuronModule::connect(NodeId broker_module) {
   connect(std::vector<NodeId>{broker_module});
 }
@@ -227,6 +281,7 @@ void NeuronModule::connect(const std::vector<NodeId>& broker_modules) {
     b.open = true;
     b.client->on_transport_open();
   }
+  audit_invariants();
 }
 
 std::size_t NeuronModule::broker_index_for(std::string_view topic,
@@ -291,6 +346,11 @@ void NeuronModule::flush_pending_subscriptions(ClientBinding& binding) {
 Status NeuronModule::deploy_task(const recipe::Task& task,
                                  const recipe::RecipeNode& node,
                                  bool local_output) {
+  // State-machine legality: a crashed module lost its runtime; the
+  // middleware must never instantiate classes on it (fail_module flips
+  // accept_tasks so placement routes around it).
+  IFOT_AUDIT_ASSERT(!failed_,
+                    "deploy_task on failed module '" + name() + "'");
   std::unique_ptr<FlowTask> t;
   if (node.type == "sensor") {
     const std::string device = node.str("sensor", node.name);
@@ -358,6 +418,7 @@ Status NeuronModule::deploy_task(const recipe::Task& task,
   counters_.add("tasks_deployed");
   tasks_.push_back(
       DeployedTask{std::shared_ptr<FlowTask>(std::move(t)), local_output});
+  audit_invariants();
   return {};
 }
 
@@ -377,8 +438,10 @@ Status NeuronModule::remove_task(const std::string& output_topic) {
   const bool timers_running = !sensor_timers_.empty();
   if (was_sensor) stop_sensors();  // timers hold raw task pointers
   tasks_.erase(it);
-  if (was_sensor && timers_running) start_sensors();
+  // Balance the ledger before re-arming: start_sensors() re-checks the
+  // module invariants, which compare this counter against tasks_.size().
   counters_.add("tasks_removed");
+  if (was_sensor && timers_running) start_sensors();
 
   // Unsubscribe filters no surviving task or watch still needs.
   std::vector<std::string> to_unsubscribe;
@@ -407,9 +470,12 @@ Status NeuronModule::remove_task(const std::string& output_topic) {
       }
     }
   }
+  audit_invariants();
   return {};
 }
 
+// audit: exempt(publishes a retained discovery record via the MQTT client;
+// no module state is touched)
 void NeuronModule::announce_flow(const recipe::Task& task,
                                  const recipe::RecipeNode& node) {
   if (client() == nullptr) return;
@@ -424,6 +490,8 @@ void NeuronModule::announce_flow(const recipe::Task& task,
                           /*retain=*/true);
 }
 
+// audit: exempt(clears the retained discovery record via the MQTT client;
+// no module state is touched)
 void NeuronModule::retract_flow(const recipe::Task& task) {
   if (client() == nullptr) return;
   const std::string topic =
@@ -449,9 +517,13 @@ void NeuronModule::start_sensors() {
     timer->start(sensor->rate_period());
     sensor_timers_.push_back(std::move(timer));
   }
+  audit_invariants();
 }
 
-void NeuronModule::stop_sensors() { sensor_timers_.clear(); }
+void NeuronModule::stop_sensors() {
+  sensor_timers_.clear();
+  audit_invariants();
+}
 
 // ---- TaskContext -----------------------------------------------------------
 
@@ -466,6 +538,10 @@ bool NeuronModule::task_is_local_output(const recipe::Task& spec) const {
   return false;
 }
 
+// audit: exempt(hot path; may legally run after remove_task()/fail() via
+// queued CPU work keeping the task alive -- transport_send drops traffic
+// from failed modules, and the ledger invariants are audited at every
+// deploy/remove)
 void NeuronModule::emit_sample(const recipe::Task& spec, device::Sample s) {
   counters_.add("samples_emitted");
   // Partitioned routing: each sample rides its own partition topic so the
@@ -489,6 +565,7 @@ void NeuronModule::emit_sample(const recipe::Task& spec, device::Sample s) {
                spec.retained_output, std::move(payload), cost);
 }
 
+// audit: exempt(hot path; same lifetime rules as emit_sample)
 void NeuronModule::emit_model(const recipe::Task& spec, Bytes model) {
   counters_.add("models_emitted");
   // A partitioned producer's models ride the /model side-channel so every
@@ -529,6 +606,7 @@ void NeuronModule::publish_flow(const std::string& topic, int broker_hint,
   });
 }
 
+// audit: exempt(observer notification; mutates only a counter)
 void NeuronModule::report_completion(const recipe::Task& spec,
                                      const device::Sample& s) {
   counters_.add("completions");
@@ -541,6 +619,7 @@ void NeuronModule::fail() {
   failed_ = true;
   stop_sensors();
   counters_.add("failures_injected");
+  audit_invariants();
 }
 
 Status NeuronModule::watch(const std::string& filter, WatchHandler handler) {
@@ -557,6 +636,7 @@ Status NeuronModule::watch(const std::string& filter, WatchHandler handler) {
   for (std::size_t bi = 0; bi < clients_.size(); ++bi) {
     subscribe_on(bi, filter, config_.flow_qos);
   }
+  audit_invariants();
   return {};
 }
 
@@ -592,6 +672,17 @@ void NeuronModule::on_flow_message(const mqtt::Publish& p) {
     counters_.add("load_shed");
     return;
   }
+  // Backlog bound: with shedding configured, sample processing is only
+  // admitted while the CPU backlog is at or under the bound -- the shed
+  // branch above is the sole gate keeping latency bounded. (Checked once
+  // at admission: the consumers' own enqueues below may legally carry the
+  // backlog past the bound until the next message is gated.)
+  IFOT_AUDIT_ASSERT(config_.max_backlog <= 0 ||
+                        !std::holds_alternative<device::Sample>(
+                            payload.value()) ||
+                        cpu_.backlog() <= config_.max_backlog,
+                    "sample admitted past the shedding bound on '" +
+                        name() + "'");
   for (const auto& task : consumers) {
     if (const auto* s = std::get_if<device::Sample>(&payload.value())) {
       if (!task->accepts(*s)) continue;

@@ -177,6 +177,15 @@ class NeuronModule final : public TaskContext {
   /// Fraction of the run the CPU was busy.
   [[nodiscard]] double utilization() const;
 
+  /// Runtime invariant sweep (compiled out unless IFOT_AUDIT=ON): the
+  /// deployment ledger balances (tasks_deployed - tasks_removed ==
+  /// live tasks), output topics stay unique on this module, sensor
+  /// timers never outnumber deployed sensor tasks, client links are
+  /// distinct, and a failed module has gone silent. Mutating public
+  /// APIs call this after every state change (enforced by
+  /// scripts/ifot_lint.py rule audit-coverage).
+  void audit_invariants() const;
+
  private:
   enum class MsgKind : std::uint8_t { kOpen = 0, kData = 1, kClose = 2 };
   enum class Dir : std::uint8_t { kToServer = 0, kToClient = 1 };

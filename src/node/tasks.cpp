@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/audit.hpp"
 #include "common/log.hpp"
 #include "ml/mix.hpp"
 #include "ml/model_io.hpp"
@@ -77,6 +78,10 @@ WindowTask::WindowTask(recipe::Task spec, recipe::RecipeNode node)
       span_(from_millis(node_.num("span_ms", 0))),
       aggregate_(node_.str("aggregate", "mean")) {
   if (slide_ == 0) slide_ = size_;  // tumbling by default
+  // A zero-size count window would flush nothing per slide and grow the
+  // buffer without bound; event-time mode (span_ > 0) ignores size_.
+  IFOT_AUDIT_ASSERT(span_ > 0 || size_ >= 1,
+                    "window '" + spec_.name + "' has size 0");
 }
 
 void WindowTask::process(TaskContext& ctx, const FlowPayload& payload) {
@@ -97,9 +102,17 @@ void WindowTask::process(TaskContext& ctx, const FlowPayload& payload) {
   }
   window_.push_back(*s);
   if (window_.size() >= size_) flush(ctx);
+  // Count-based windows are bounded: flush() drains at least `slide_`
+  // samples whenever the buffer reaches `size_`.
+  IFOT_AUDIT_ASSERT(window_.size() < size_ + slide_,
+                    "window '" + spec_.name + "' buffer exceeded its bound");
 }
 
 void WindowTask::flush(TaskContext& ctx) {
+  // front()/back() below require a non-empty window; both call sites
+  // only flush after buffering at least one sample.
+  IFOT_AUDIT_ASSERT(!window_.empty(),
+                    "flush of empty window '" + spec_.name + "'");
   device::Sample out;
   out.source = spec_.name;
   out.seq = out_seq_++;

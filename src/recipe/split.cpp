@@ -3,7 +3,113 @@
 #include <algorithm>
 #include <tuple>
 
+#include "common/audit.hpp"
+
 namespace ifot::recipe {
+namespace {
+
+/// Does `filter` tap the stream published by task `up`? The filter's
+/// leading levels must match the output topic level-by-level ('+'
+/// wildcards the shard level); leftover trailing filter levels are the
+/// partition / model side-channels (<out>/p<k>, <out>/+/model) and are
+/// accepted.
+bool filter_taps_output(const std::string& filter, const Task& up) {
+  const std::string& out = up.output_topic;
+  std::size_t fi = 0;
+  std::size_t ti = 0;
+  while (ti <= out.size()) {
+    if (fi > filter.size()) return false;  // filter ran out before topic
+    const std::size_t fe = std::min(filter.find('/', fi), filter.size());
+    const std::string_view level =
+        std::string_view(filter).substr(fi, fe - fi);
+    if (level == "#") return true;
+    const std::size_t te = std::min(out.find('/', ti), out.size());
+    if (level != "+" &&
+        level != std::string_view(out).substr(ti, te - ti)) {
+      return false;
+    }
+    fi = fe + 1;
+    ti = te + 1;
+  }
+  return true;  // all topic levels consumed; any filter remainder is a
+                // side-channel suffix
+}
+
+/// Structural invariants of a freshly split graph (audit builds only):
+/// task ids are dense and topologically sorted, the per-input parallel
+/// arrays line up, the stages partition the task set, and every internal
+/// input filter taps some upstream task's stream (split/merge conserves
+/// stream endpoints; `tap` tasks read external streams and are skipped).
+void audit_task_graph(const TaskGraph& g) {
+  if constexpr (!audit::kEnabled) return;
+
+  std::vector<std::size_t> staged(g.tasks.size(), 0);
+  for (const auto& stage : g.stages) {
+    for (std::size_t ti : stage) {
+      IFOT_AUDIT_ASSERT(ti < g.tasks.size(), "stage entry out of range");
+      ++staged[ti];
+    }
+  }
+  for (std::size_t ti = 0; ti < g.tasks.size(); ++ti) {
+    IFOT_AUDIT_ASSERT(staged[ti] == 1,
+                      "task '" + g.tasks[ti].name +
+                          "' appears in " + std::to_string(staged[ti]) +
+                          " stages (stages must partition the task set)");
+  }
+
+  for (std::size_t ti = 0; ti < g.tasks.size(); ++ti) {
+    const Task& t = g.tasks[ti];
+    IFOT_AUDIT_ASSERT(t.id.value() == ti,
+                      "task ids must be dense and index-aligned");
+    IFOT_AUDIT_ASSERT(t.recipe_node < g.recipe.nodes.size(),
+                      "task '" + t.name + "' references a missing node");
+    IFOT_AUDIT_ASSERT(t.shard < t.shard_count,
+                      "task '" + t.name + "' shard index out of range");
+    IFOT_AUDIT_ASSERT(t.partition_count >= 1,
+                      "task '" + t.name + "' has zero partitions");
+    IFOT_AUDIT_ASSERT(
+        t.input_brokers.size() == t.input_topics.size() &&
+            t.input_qos.size() == t.input_topics.size(),
+        "task '" + t.name + "' input arrays diverged: " +
+            std::to_string(t.input_topics.size()) + " topics, " +
+            std::to_string(t.input_brokers.size()) + " brokers, " +
+            std::to_string(t.input_qos.size()) + " qos");
+    for (TaskId up : t.upstream) {
+      // Pass 1 emits tasks in topological order, so an upstream id always
+      // precedes its consumer; allocators rely on this.
+      IFOT_AUDIT_ASSERT(up.value() < ti,
+                        "task '" + t.name +
+                            "' has a non-topological upstream reference");
+    }
+    if (g.recipe.nodes[t.recipe_node].type == "tap") continue;
+    for (const auto& filter : t.input_topics) {
+      bool conserved = false;
+      for (TaskId up : t.upstream) {
+        if (filter_taps_output(filter, g.tasks[up.value()])) {
+          conserved = true;
+          break;
+        }
+      }
+      // Learner-side MIX: sharded train tasks tap their sibling shards'
+      // model streams (same recipe node, not an upstream edge).
+      if (!conserved) {
+        for (const Task& sib : g.tasks) {
+          if (sib.recipe_node == t.recipe_node &&
+              filter_taps_output(filter, sib)) {
+            conserved = true;
+            break;
+          }
+        }
+      }
+      IFOT_AUDIT_ASSERT(conserved,
+                        "input '" + filter + "' of task '" + t.name +
+                            "' taps no upstream stream (endpoint lost in "
+                            "split)");
+    }
+  }
+}
+
+}  // namespace
 
 double default_cost_weight(const std::string& node_type) {
   // Relative service demand per sample, loosely calibrated against the
@@ -196,6 +302,7 @@ Result<TaskGraph> split_recipe(const Recipe& r) {
   for (std::size_t ti = 0; ti < g.tasks.size(); ++ti) {
     g.stages[depth[ti]].push_back(ti);
   }
+  audit_task_graph(g);
   return g;
 }
 

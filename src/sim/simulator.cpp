@@ -26,6 +26,21 @@ void Simulator::cancel(EventId id) {
   cancelled_.insert(id.seq);
 }
 
+void Simulator::trace_event(SimTime at, std::uint64_t seq) {
+  // FNV-1a over the 16 bytes of (at, seq). Cheap enough to stay on in
+  // every build: ~20 integer ops per event.
+  constexpr std::uint64_t kPrime = 0x100000001B3ULL;
+  auto fold = [this](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      trace_hash_ ^= (v >> (8 * i)) & 0xFF;
+      trace_hash_ *= kPrime;
+    }
+  };
+  fold(static_cast<std::uint64_t>(at));
+  fold(seq);
+  ++executed_;
+}
+
 bool Simulator::pop_one() {
   while (!heap_.empty()) {
     // priority_queue::top is const; move is safe because we pop right away.
@@ -42,6 +57,7 @@ bool Simulator::pop_one() {
                           " but the clock already reached " +
                           std::to_string(now_));
     now_ = e.at;
+    trace_event(e.at, e.seq);
     e.fn();
     return true;
   }

@@ -60,6 +60,16 @@ class Simulator {
     return heap_.size() - cancelled_.size();
   }
 
+  /// Rolling FNV-1a hash over the ordered event trace (each fired event's
+  /// timestamp and scheduling sequence number). Two runs of the same
+  /// scenario must end with identical hashes; scripts/check_determinism.sh
+  /// turns that into a CI gate. Divergence means wall-clock time, an
+  /// unseeded random source, or address-dependent iteration order leaked
+  /// into the event schedule.
+  [[nodiscard]] std::uint64_t trace_hash() const { return trace_hash_; }
+  /// Total events executed (paired with trace_hash in determinism traces).
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
  private:
   struct Entry {
     SimTime at;
@@ -75,8 +85,12 @@ class Simulator {
 
   bool pop_one();  // fires the earliest event; false when queue empty
 
+  void trace_event(SimTime at, std::uint64_t seq);
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t trace_hash_ = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  std::uint64_t executed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::unordered_set<std::uint64_t> cancelled_;
 };

@@ -1,0 +1,72 @@
+// SharedString: the immutable refcounted string behind Publish::topic.
+// Copying must share one buffer (that is the whole point -- fan-out
+// allocates the topic once), equality must compare contents, and the
+// audit ledger must balance when buffers die.
+#include "common/shared_string.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/audit.hpp"
+
+namespace ifot {
+namespace {
+
+TEST(SharedString, CopiesShareOneBuffer) {
+  SharedString a(std::string("flow/building/floor3/temp"));
+  SharedString b = a;
+  SharedString c = b;
+  EXPECT_EQ(b.share().get(), a.share().get());
+  EXPECT_EQ(c.share().get(), a.share().get());
+  EXPECT_EQ(a.use_count(), 3);
+}
+
+TEST(SharedString, EmptyIsNullAndAllocationFree) {
+  SharedString e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.share(), nullptr);
+  EXPECT_EQ(e.use_count(), 0);
+  EXPECT_EQ(e.str(), "");
+  SharedString from_empty((std::string()));
+  EXPECT_EQ(from_empty.share(), nullptr);  // empty stays null, no alloc
+}
+
+TEST(SharedString, EqualityComparesContentsAcrossBuffers) {
+  SharedString a(std::string("a/b"));
+  SharedString b(std::string("a/b"));
+  EXPECT_NE(a.share().get(), b.share().get());
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(a == "a/b");
+  EXPECT_TRUE(a == std::string("a/b"));
+  EXPECT_FALSE(a == SharedString("a/c"));
+}
+
+TEST(SharedString, ReadSurfaceMatchesStdString) {
+  SharedString s("abc/def");
+  EXPECT_EQ(s.size(), 7u);
+  EXPECT_EQ(s.view(), std::string_view("abc/def"));
+  const std::string& ref = s;  // implicit conversion, no copy
+  EXPECT_EQ(&ref, &s.str());
+}
+
+TEST(SharedString, AuditLedgerBalancesWhenBuffersDie) {
+  const std::int64_t before_bufs = audit::live("shared_string.buffers");
+  const std::int64_t before_bytes = audit::live("shared_string.bytes");
+  {
+    SharedString a(std::string("0123456789"));
+    SharedString b = a;  // sharing must not double-count
+    (void)b;
+    if (audit::kEnabled) {
+      EXPECT_EQ(audit::live("shared_string.buffers"), before_bufs + 1);
+      EXPECT_EQ(audit::live("shared_string.bytes"), before_bytes + 10);
+    }
+  }
+  EXPECT_EQ(audit::live("shared_string.buffers"), before_bufs);
+  EXPECT_EQ(audit::live("shared_string.bytes"), before_bytes);
+}
+
+}  // namespace
+}  // namespace ifot

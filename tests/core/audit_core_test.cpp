@@ -1,0 +1,115 @@
+// Audit-build invariants of core::Middleware and recipe::split_recipe
+// (ISSUE PR3: extend IFOT_AUDIT into core/ and recipe/): placement
+// consistency across deploy/undeploy/failover, the failed-module
+// exclusion rule, and endpoint conservation through recipe split. Under
+// -DIFOT_AUDIT=ON every mutating call below re-runs
+// Middleware::audit_invariants() / audit_task_graph(); in normal builds
+// the same scenarios still assert their externally visible outcomes.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/audit.hpp"
+#include "core/middleware.hpp"
+#include "recipe/parser.hpp"
+#include "recipe/split.hpp"
+
+namespace ifot::core {
+namespace {
+
+constexpr const char* kSharded = R"(
+recipe audit_core
+node src : sensor  { sensor = "temp", rate_hz = 20 }
+node tr  : train   { parallelism = 2, mix = true, window = 4 }
+node pr  : predict { parallelism = 2 }
+node act : actuator { actuator = "horn" }
+edge src -> tr -> pr -> act
+)";
+
+void add_fabric(Middleware& mw) {
+  mw.add_module({.name = "m_sensor", .sensors = {"temp"}});
+  mw.add_module({.name = "m_broker", .broker = true, .accept_tasks = false});
+  mw.add_module({.name = "m_worker1"});
+  mw.add_module({.name = "m_worker2"});
+  mw.add_module({.name = "m_sink", .actuators = {"horn"}});
+}
+
+TEST(AuditCore, DeployUndeployKeepsPlacementConsistent) {
+  Middleware mw;
+  add_fabric(mw);
+  ASSERT_TRUE(mw.start().ok());
+  auto id = mw.deploy(kSharded);
+  ASSERT_TRUE(id.ok()) << id.error().to_string();
+  ASSERT_EQ(mw.deployments().size(), 1u);
+  // Placement maps every task to a live module (re-checked internally by
+  // audit_invariants on every mutation under -DIFOT_AUDIT=ON).
+  const auto& d = mw.deployments().back();
+  EXPECT_EQ(d.placement.task_module.size(), d.graph.tasks.size());
+  mw.start_flows();
+  mw.run_for(2 * kSecond);
+  mw.stop_flows();
+  ASSERT_TRUE(mw.undeploy(id.value()).ok());
+  mw.audit_invariants();
+}
+
+TEST(AuditCore, RedeployFailedLeavesNoTaskOnFailedModule) {
+  Middleware mw;
+  add_fabric(mw);
+  ASSERT_TRUE(mw.start().ok());
+  ASSERT_TRUE(mw.deploy(kSharded).ok());
+  mw.start_flows();
+  mw.run_for(kSecond);
+
+  const auto* w1 = mw.module_by_name("m_worker1");
+  ASSERT_NE(w1, nullptr);
+  const NodeId failed = w1->id();
+  ASSERT_TRUE(mw.fail_module(failed).ok());
+  ASSERT_TRUE(mw.redeploy_failed(failed).ok());
+  // The audit post-condition inside redeploy_failed already asserts no
+  // task remains on the failed module; re-assert observably here so the
+  // non-audit build checks it too.
+  for (const auto& d : mw.deployments()) {
+    for (NodeId m : d.placement.task_module) {
+      EXPECT_NE(m, failed);
+    }
+  }
+  mw.run_for(kSecond);
+  mw.stop_flows();
+}
+
+TEST(AuditCore, SplitConservesStreamEndpoints) {
+  auto parsed = recipe::parse(kSharded);
+  ASSERT_TRUE(parsed.ok());
+  // split_recipe runs audit_task_graph under -DIFOT_AUDIT=ON: dense ids,
+  // stage partition, topological upstreams, and every input filter
+  // (including the MIX sibling-model and /p<k>//model side-channel
+  // subscriptions) tapping a live upstream stream.
+  auto g = recipe::split_recipe(parsed.value());
+  ASSERT_TRUE(g.ok());
+  // src, 2x train, 2x predict, act
+  EXPECT_EQ(g.value().tasks.size(), 6u);
+  for (const auto& t : g.value().tasks) {
+    EXPECT_EQ(t.input_brokers.size(), t.input_topics.size());
+    EXPECT_EQ(t.input_qos.size(), t.input_topics.size());
+  }
+}
+
+TEST(AuditCoreDeathTest, PlacementOntoMissingModuleTripsAudit) {
+  if (!audit::kEnabled) {
+    GTEST_SKIP() << "asserts compile out of this build";
+  }
+  // Corrupt a deployment's placement from the outside and re-run the
+  // invariant checker: it must abort rather than let a dangling NodeId
+  // propagate into routing.
+  Middleware mw;
+  add_fabric(mw);
+  ASSERT_TRUE(mw.start().ok());
+  ASSERT_TRUE(mw.deploy(kSharded).ok());
+  auto& placement = const_cast<core::Deployment&>(mw.deployments().back());
+  ASSERT_FALSE(placement.placement.task_module.empty());
+  placement.placement.task_module[0] = NodeId{9999};
+  EXPECT_DEATH(mw.audit_invariants(), "IFOT_AUDIT failure");
+}
+
+}  // namespace
+}  // namespace ifot::core

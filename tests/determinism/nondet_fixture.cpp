@@ -1,0 +1,13 @@
+// Negative fixture for the determinism gate: prints entropy from
+// std::random_device so two runs almost surely differ.
+// check_determinism.sh --self-test runs it twice and requires the diff to
+// be non-empty, proving the gate can actually detect divergence. Lives
+// outside src/, so the ifot_lint nondeterminism ban does not apply.
+#include <cstdio>
+#include <random>
+
+int main() {
+  std::random_device rd;
+  std::printf("entropy: %u %u %u %u\n", rd(), rd(), rd(), rd());
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Lint negative fixture: deliberately missing #pragma once and with
+// misordered includes. Never compiled into any target; the
+// lint_fixture_negative test asserts ifot_lint flags every seeded
+// violation here.
+#include "zeta/some_project_header.hpp"
+#include <vector>
+#include <algorithm>

@@ -1,0 +1,16 @@
+// Lint negative fixture: deliberately violates the nondeterminism, raw
+// I/O, unchecked-result and suppression-reason contracts. Never compiled
+// into any target.
+#include <iostream>
+#include <random>
+
+struct Status {};
+Status do_thing();
+
+void misbehave() {
+  std::mt19937 gen(std::random_device{}());
+  std::cout << gen() << "\n";
+  std::srand(42);
+  do_thing();
+  do_thing();  // lint: allow(unchecked-result)
+}

@@ -1,0 +1,4 @@
+// Lint negative fixture (see gadget.hpp). Never compiled.
+#include "gadget.hpp"
+
+void Gadget::mutate_state(int v) { state_ = v; }

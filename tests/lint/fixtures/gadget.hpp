@@ -1,0 +1,13 @@
+// Lint negative fixture for the audit-coverage rule: a class with a
+// public mutating API that neither audits nor carries an exempt pragma.
+// Never compiled into any target.
+#pragma once
+
+class Gadget {
+ public:
+  void mutate_state(int v);
+  [[nodiscard]] int state() const { return state_; }
+
+ private:
+  int state_ = 0;
+};

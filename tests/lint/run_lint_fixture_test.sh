@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Negative test of scripts/ifot_lint.py: run the linter over the seeded
+# fixtures and require (a) a non-zero exit, (b) every rule to fire, and
+# (c) the reason-less suppression to be rejected.
+#
+# Usage: run_lint_fixture_test.sh <repo-root>
+set -u
+
+root="${1:?usage: run_lint_fixture_test.sh <repo-root>}"
+cd "$root" || exit 2
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "SKIP: python3 not found"
+  exit 0
+fi
+
+out=$(python3 scripts/ifot_lint.py \
+        --audited-class \
+        Gadget:tests/lint/fixtures/gadget.hpp:tests/lint/fixtures/gadget.cpp \
+        tests/lint/fixtures/bad_header.hpp \
+        tests/lint/fixtures/bad_source.cpp \
+        tests/lint/fixtures/gadget.hpp \
+        tests/lint/fixtures/gadget.cpp 2>&1)
+status=$?
+echo "$out"
+
+if [ "$status" -eq 0 ]; then
+  echo "FAIL: linter exited 0 on seeded violations"
+  exit 1
+fi
+
+fail=0
+for rule in unchecked-result no-nondeterminism no-raw-io pragma-once \
+            include-order audit-coverage; do
+  case "$out" in
+    *"[$rule]"*) ;;
+    *) echo "FAIL: rule $rule did not fire on its fixture"; fail=1 ;;
+  esac
+done
+case "$out" in
+  *"suppression without a reason"*) ;;
+  *) echo "FAIL: reason-less suppression was not rejected"; fail=1 ;;
+esac
+
+[ "$fail" -eq 0 ] && echo "OK: all rules fired and the bad suppression was rejected"
+exit "$fail"

@@ -60,6 +60,41 @@ TEST(FanOut, PublishCopiesShareOnePayloadBuffer) {
   EXPECT_EQ(payload.use_count(), 3);
 }
 
+TEST(FanOut, PublishCopiesShareOneTopicBuffer) {
+  Publish p;
+  p.topic = "flow/building/floor3/room12/temp";
+  p.payload = SharedPayload(Bytes(8, 0x11));
+  Publish per_subscriber = p;  // what route() clones per QoS 1/2 subscriber
+  // The topic rides the same immutable buffer as the original; cloning a
+  // Publish for fan-out no longer allocates per subscriber.
+  EXPECT_EQ(per_subscriber.topic.share().get(), p.topic.share().get());
+  EXPECT_EQ(p.topic.use_count(), 2);
+}
+
+TEST(FanOut, Qos12FanoutSharesTopicAcrossSubscribers) {
+  Harness h;
+  Peer& pub = h.add_client("pub");
+  Peer& s1 = h.add_client("s1");
+  Peer& s2 = h.add_client("s2");
+  h.connect(pub);
+  h.connect(s1);
+  h.connect(s2);
+  ASSERT_TRUE(s1.client().subscribe({{"f/#", QoS::kAtLeastOnce}}).ok());
+  ASSERT_TRUE(s2.client().subscribe({{"f/#", QoS::kAtLeastOnce}}).ok());
+  h.settle();
+  ASSERT_TRUE(
+      pub.client().publish("f/t", Bytes(16, 0x7C), QoS::kAtLeastOnce).ok());
+  h.settle();
+  ASSERT_EQ(s1.messages().size(), 1u);
+  ASSERT_EQ(s2.messages().size(), 1u);
+  const Counters& c = h.broker().counters();
+  // Each QoS 1 subscriber's queue slot shares the 3-byte topic buffer...
+  EXPECT_EQ(c.get("topic_bytes_shared"), 2u * 3u);
+  // ...and each per-subscriber wire encode copies it exactly once (no
+  // retries in a lossless harness).
+  EXPECT_EQ(c.get("topic_bytes_copied"), 2u * 3u);
+}
+
 TEST(FanOut, Qos2ExactlyOnceUnderAckLossStorm) {
   sim::Simulator sim;
   SimSched sched(sim);

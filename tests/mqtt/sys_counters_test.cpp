@@ -50,6 +50,8 @@ TEST(SysCounters, FanoutAndDedupCountersArePublished) {
            "$SYS/broker/publish/fanout/encodes",
            "$SYS/broker/publish/fanout/bytes/shared",
            "$SYS/broker/publish/fanout/bytes/copied",
+           "$SYS/broker/publish/fanout/topic_bytes/shared",
+           "$SYS/broker/publish/fanout/topic_bytes/copied",
            "$SYS/broker/store/qos2/dedup/evictions",
            "$SYS/broker/store/qos2/dedup/backlog",
        }) {
@@ -59,6 +61,10 @@ TEST(SysCounters, FanoutAndDedupCountersArePublished) {
   EXPECT_GE(std::stoull(stats.at("$SYS/broker/publish/fanout/encodes")), 1u);
   EXPECT_GE(std::stoull(stats.at("$SYS/broker/publish/fanout/bytes/shared")),
             payload.size());
+  // The 6-byte "flow/a" topic was shared once per subscriber delivery.
+  EXPECT_GE(
+      std::stoull(stats.at("$SYS/broker/publish/fanout/topic_bytes/shared")),
+      6u);
   // Nothing forced a copy or touched QoS 2 dedup state in this scenario.
   EXPECT_EQ(stats.at("$SYS/broker/store/qos2/dedup/backlog"), "0");
 }

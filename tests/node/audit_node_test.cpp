@@ -1,0 +1,122 @@
+// Audit-build invariants of NeuronModule (ISSUE PR3: extend IFOT_AUDIT
+// into node/): deployment-ledger balance, sensor-timer legality, the
+// failed-modules-are-silent rule, and the deploy-on-failed guard. Death
+// expectations branch on audit::kEnabled so the same suite runs in both
+// configurations; under -DIFOT_AUDIT=ON every mutating call here also
+// re-runs NeuronModule::audit_invariants().
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/audit.hpp"
+#include "node/module.hpp"
+#include "recipe/parser.hpp"
+#include "recipe/split.hpp"
+
+namespace ifot::node {
+namespace {
+
+constexpr const char* kRecipe = R"(
+recipe audit_node
+node src : sensor { sensor = "temp", rate_hz = 10 }
+node hot : filter { field = "value", op = "gt", value = 1.0 }
+edge src -> hot
+)";
+
+class AuditNodeFabric : public ::testing::Test {
+ protected:
+  AuditNodeFabric() {
+    net::LanConfig lan;
+    lan.loss_prob = 0;
+    net_ = std::make_unique<net::Network>(sim_, lan, 41);
+    auto make = [&](const std::string& name, bool sensor) {
+      const NodeId id = net_->add_host(name);
+      NeuronModule::Config cfg;
+      cfg.name = name;
+      cfg.seed = 41;
+      modules_.push_back(std::make_unique<NeuronModule>(sim_, *net_, id, cfg));
+      if (sensor) modules_.back()->attach_sensor("temp");
+      return modules_.back().get();
+    };
+    sensor_mod_ = make("sensor_mod", true);
+    broker_mod_ = make("broker_mod", false);
+    broker_mod_->start_broker();
+    sensor_mod_->connect(broker_mod_->id());
+    sim_.run_until(sim_.now() + from_millis(200));
+  }
+
+  recipe::TaskGraph split() {
+    auto parsed = recipe::parse(kRecipe);
+    EXPECT_TRUE(parsed.ok());
+    auto g = recipe::split_recipe(parsed.value());
+    EXPECT_TRUE(g.ok());
+    return g.value();
+  }
+
+  Status deploy(NeuronModule& m, const recipe::TaskGraph& g,
+                const std::string& task_name) {
+    for (const auto& t : g.tasks) {
+      if (t.name == task_name) {
+        return m.deploy_task(t, g.recipe.nodes[t.recipe_node]);
+      }
+    }
+    return Err(Errc::kNotFound, "no task " + task_name);
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> net_;
+  std::vector<std::unique_ptr<NeuronModule>> modules_;
+  NeuronModule* sensor_mod_ = nullptr;
+  NeuronModule* broker_mod_ = nullptr;
+};
+
+TEST_F(AuditNodeFabric, DeployRemoveKeepsLedgerBalanced) {
+  const auto g = split();
+  ASSERT_TRUE(deploy(*sensor_mod_, g, "src").ok());
+  ASSERT_TRUE(deploy(*sensor_mod_, g, "hot").ok());
+  EXPECT_EQ(sensor_mod_->counters().get("tasks_deployed"), 2u);
+  EXPECT_EQ(sensor_mod_->tasks().size(), 2u);
+
+  // remove_task re-checks the ledger mid-flight (stop/start_sensors both
+  // call audit_invariants); this passing under -DIFOT_AUDIT=ON is the
+  // regression test for the counter-before-rearm ordering.
+  const std::string out = g.tasks[0].output_topic;
+  ASSERT_TRUE(sensor_mod_->remove_task(out).ok());
+  EXPECT_EQ(sensor_mod_->counters().get("tasks_removed"), 1u);
+  EXPECT_EQ(sensor_mod_->tasks().size(), 1u);
+  sensor_mod_->audit_invariants();  // explicit final re-check
+}
+
+TEST_F(AuditNodeFabric, SensorTimersNeverExceedSensorTasks) {
+  const auto g = split();
+  ASSERT_TRUE(deploy(*sensor_mod_, g, "src").ok());
+  sensor_mod_->start_sensors();
+  sensor_mod_->start_sensors();  // idempotent re-arm must not stack timers
+  sim_.run_until(sim_.now() + from_millis(500));
+  sensor_mod_->stop_sensors();
+  sensor_mod_->audit_invariants();
+}
+
+TEST_F(AuditNodeFabric, FailedModuleIsSilent) {
+  const auto g = split();
+  ASSERT_TRUE(deploy(*sensor_mod_, g, "src").ok());
+  sensor_mod_->start_sensors();
+  sensor_mod_->fail();  // must cancel sampling (silent-crash model)
+  sensor_mod_->audit_invariants();
+  sim_.run_until(sim_.now() + from_millis(500));
+  EXPECT_EQ(sensor_mod_->counters().get("samples_emitted"), 0u);
+}
+
+TEST_F(AuditNodeFabric, DeployOnFailedModuleTripsAudit) {
+  if (!audit::kEnabled) {
+    GTEST_SKIP() << "asserts compile out of this build";
+  }
+  const auto g = split();
+  sensor_mod_->fail();
+  EXPECT_DEATH((void)deploy(*sensor_mod_, g, "src"), "IFOT_AUDIT failure");
+}
+
+}  // namespace
+}  // namespace ifot::node
