@@ -10,6 +10,8 @@
 // shipped, bytes of model traffic.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.hpp"
+
 #include <cstdio>
 
 #include "core/middleware.hpp"
@@ -114,7 +116,8 @@ int main(int argc, char** argv) {
       "interval (at 1024 the Judging class classifies less than half the\n"
       "stream), and a drifting stream would pay in accuracy as well.\n\n",
       t.to_string().c_str());
-  benchmark::RunSpecifiedBenchmarks();
+  ifot::benchjson::JsonDumpReporter reporter("BENCH_ablation_mix.json");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   return 0;
 }

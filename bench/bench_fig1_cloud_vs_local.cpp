@@ -12,6 +12,8 @@
 // the delay gap is a *network* effect, which is exactly Fig. 1's point.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.hpp"
+
 #include <cstdio>
 #include <string>
 
@@ -132,7 +134,8 @@ int main(int argc, char** argv) {
       "Fig. 1 reproduction: sensing->feedback (actuation) delay, local vs "
       "cloud-centric\n%s\n",
       t.to_string().c_str());
-  benchmark::RunSpecifiedBenchmarks();
+  ifot::benchjson::JsonDumpReporter reporter("BENCH_fig1_cloud_vs_local.json");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   return 0;
 }

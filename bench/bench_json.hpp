@@ -1,0 +1,82 @@
+// Shared bench entry point: every bench_* binary prints the usual console
+// table AND dumps a flat metric-name -> value JSON file
+// (BENCH_<name>.json in the working directory) so CI can archive results
+// and successive runs can be diffed without scraping stdout.
+//
+// Use IFOT_BENCH_MAIN("fanout") instead of BENCHMARK_MAIN().
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ifot::benchjson {
+
+/// Console reporter that additionally accumulates every per-iteration
+/// run's timings and user counters into a flat metric map, written as
+/// JSON on Finalize().
+class JsonDumpReporter final : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonDumpReporter(std::string path) : path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& r : reports) {
+      if (r.run_type != Run::RT_Iteration || r.error_occurred) continue;
+      const std::string base = r.benchmark_name();
+      metrics_[base + "/real_time"] = r.GetAdjustedRealTime();
+      metrics_[base + "/cpu_time"] = r.GetAdjustedCPUTime();
+      metrics_[base + "/iterations"] = static_cast<double>(r.iterations);
+      for (const auto& [name, counter] : r.counters) {
+        metrics_[base + "/" + name] = counter.value;
+      }
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    std::ofstream out(path_);
+    if (!out) return;  // unwritable cwd: keep the console output usable
+    out << "{\n";
+    bool first = true;
+    for (const auto& [name, value] : metrics_) {
+      if (!first) out << ",\n";
+      first = false;
+      out << "  \"" << escaped(name) << "\": " << value;
+    }
+    out << "\n}\n";
+  }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::map<std::string, double> metrics_;
+};
+
+inline int run_benchmarks(int argc, char** argv, const std::string& name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonDumpReporter reporter("BENCH_" + name + ".json");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ifot::benchjson
+
+#define IFOT_BENCH_MAIN(name)                                     \
+  int main(int argc, char** argv) {                               \
+    return ifot::benchjson::run_benchmarks(argc, argv, name);     \
+  }

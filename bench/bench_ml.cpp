@@ -5,6 +5,8 @@
 // the MIX-interval ablation from DESIGN.md.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.hpp"
+
 #include <vector>
 
 #include <cstdio>
@@ -211,7 +213,8 @@ void print_accuracy_comparison() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   print_accuracy_comparison();
-  benchmark::RunSpecifiedBenchmarks();
+  ifot::benchjson::JsonDumpReporter reporter("BENCH_ml.json");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   return 0;
 }

@@ -4,6 +4,8 @@
 // consume (paper §IV-C.3).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.hpp"
+
 #include <string>
 #include <vector>
 
@@ -137,4 +139,4 @@ BENCHMARK(BM_BrokerFanOut)->Arg(1)->Arg(8)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+IFOT_BENCH_MAIN("mqtt")

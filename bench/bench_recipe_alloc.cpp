@@ -5,6 +5,8 @@
 // on the paper topology (the ablation called out in DESIGN.md).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.hpp"
+
 #include <cstdio>
 #include <string>
 
@@ -131,7 +133,8 @@ void print_quality_ablation() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   print_quality_ablation();
-  benchmark::RunSpecifiedBenchmarks();
+  ifot::benchjson::JsonDumpReporter reporter("BENCH_recipe_alloc.json");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   return 0;
 }

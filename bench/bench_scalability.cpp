@@ -14,6 +14,8 @@
 // the paper's own argument for further decentralization.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.hpp"
+
 #include <cstdio>
 
 #include "mgmt/paper_experiment.hpp"
@@ -111,7 +113,8 @@ int main(int argc, char** argv) {
   mgmt::maybe_write_csv("scalability_brokers", dec);
   std::printf("Broker decentralization at 80 Hz x 8 shards\n%s\n",
               dec.to_string().c_str());
-  benchmark::RunSpecifiedBenchmarks();
+  ifot::benchjson::JsonDumpReporter reporter("BENCH_scalability.json");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   return 0;
 }

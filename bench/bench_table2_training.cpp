@@ -9,6 +9,8 @@
 // and 40 Hz, saturation blow-up at 80 Hz.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.hpp"
+
 #include <cstdio>
 
 #include "mgmt/paper_experiment.hpp"
@@ -49,7 +51,8 @@ int main(int argc, char** argv) {
               ifot::mgmt::format_paper_table(sweep(), /*training=*/true)
                   .c_str());
   std::printf("%s\n\n", ifot::mgmt::shape_verdict(sweep()).c_str());
-  benchmark::RunSpecifiedBenchmarks();
+  ifot::benchjson::JsonDumpReporter reporter("BENCH_table2_training.json");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   return 0;
 }

@@ -8,6 +8,8 @@
 // model update.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.hpp"
+
 #include <cstdio>
 
 #include "mgmt/paper_experiment.hpp"
@@ -61,7 +63,8 @@ int main(int argc, char** argv) {
   }
   std::printf("Predicting vs training (paper: 744.5 vs 1123.3 ms at 40 Hz)\n%s\n",
               cmp.to_string().c_str());
-  benchmark::RunSpecifiedBenchmarks();
+  ifot::benchjson::JsonDumpReporter reporter("BENCH_table3_predicting.json");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   return 0;
 }

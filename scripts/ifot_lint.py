@@ -84,6 +84,8 @@ RAW_IO_ALLOWED = {
 AUDITED_CLASSES = [
     {"class": "Broker", "header": "src/mqtt/broker.hpp",
      "impl": "src/mqtt/broker.cpp"},
+    {"class": "Outbox", "header": "src/mqtt/outbox.hpp",
+     "impl": "src/mqtt/outbox.cpp"},
     {"class": "NeuronModule", "header": "src/node/module.hpp",
      "impl": "src/node/module.cpp"},
     {"class": "Middleware", "header": "src/core/middleware.hpp",

@@ -58,25 +58,23 @@ void LatencyRecorder::clear() {
   sorted_valid_ = false;
 }
 
-void Counters::add(const std::string& name, std::uint64_t delta) {
-  for (auto& [k, v] : entries_) {
-    if (k == name) {
-      v += delta;
-      return;
-    }
+void Counters::add(std::string_view name, std::uint64_t delta) {
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    it->second += delta;
+    return;
   }
-  entries_.emplace_back(name, delta);
+  entries_.emplace(std::string(name), delta);
 }
 
-std::uint64_t Counters::get(const std::string& name) const {
-  for (const auto& [k, v] : entries_) {
-    if (k == name) return v;
-  }
-  return 0;
+std::uint64_t Counters::get(std::string_view name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second;
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> Counters::sorted() const {
-  auto out = entries_;
+  std::vector<std::pair<std::string, std::uint64_t>> out(entries_.begin(),
+                                                         entries_.end());
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -3,7 +3,10 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -44,16 +47,28 @@ class LatencyRecorder {
 };
 
 /// Simple named counter set for throughput/drop accounting.
+///
+/// add/get take string_view and look up through a transparent hash so
+/// the per-event hot paths (broker routing, egress outboxes, the
+/// network layer) never construct a temporary std::string per bump; a
+/// name is materialized once, the first time it is ever counted.
 class Counters {
  public:
-  void add(const std::string& name, std::uint64_t delta = 1);
-  [[nodiscard]] std::uint64_t get(const std::string& name) const;
+  void add(std::string_view name, std::uint64_t delta = 1);
+  [[nodiscard]] std::uint64_t get(std::string_view name) const;
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> sorted()
       const;
   void clear();
 
  private:
-  std::vector<std::pair<std::string, std::uint64_t>> entries_;
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, std::uint64_t, StringHash, std::equal_to<>>
+      entries_;
 };
 
 }  // namespace ifot

@@ -1,6 +1,7 @@
 #include "mqtt/broker.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 
 #include "common/audit.hpp"
@@ -45,7 +46,8 @@ std::size_t Broker::connected_count() const {
 void Broker::on_link_open(LinkId link, SendFn send, CloseFn close) {
   auto l = std::make_unique<Link>();
   l->id = link;
-  l->send = std::move(send);
+  l->outbox =
+      std::make_unique<Outbox>(cfg_.egress, std::move(send), &counters_);
   l->close = std::move(close);
   l->last_rx = sched_.now();
   links_[link] = std::move(l);
@@ -67,14 +69,21 @@ void Broker::on_link_data(LinkId link, BytesView data) {
       counters_.add("protocol_errors");
       drop_link(*l, /*publish_will=*/true);
       audit_invariants();
+      flush_egress();
       return;
     }
-    if (!next.value()) return;  // need more bytes
+    if (!next.value()) {
+      flush_egress();
+      return;  // need more bytes
+    }
     handle_packet(*l, std::move(*next.value()));
     audit_invariants();
     // handle_packet may have dropped the link.
     it = links_.find(link);
-    if (it == links_.end()) return;
+    if (it == links_.end()) {
+      flush_egress();
+      return;
+    }
     l = it->second.get();
   }
 }
@@ -84,6 +93,7 @@ void Broker::on_link_closed(LinkId link) {
   if (it == links_.end()) return;
   drop_link(*it->second, /*publish_will=*/true);
   audit_invariants();
+  flush_egress();
 }
 
 Broker::Session& Broker::session_of(Link& link) {
@@ -218,12 +228,13 @@ void Broker::handle_connect(Link& link, Connect c) {
   arm_keepalive(link);
 
   // Redeliver inflight messages from the previous connection (§4.4).
+  // The stored wire template is patched (id + DUP), never re-encoded.
   for (auto& [pid, inflight] : session->inflight) {
     if (inflight.awaiting_pubcomp) {
       send_packet(link, Packet{Pubrel{pid}});
     } else {
       inflight.msg.dup = true;
-      send_packet(link, Packet{inflight.msg});
+      send_inflight_frame(*session, inflight);
     }
     arm_retry(*session, pid);
   }
@@ -288,7 +299,7 @@ void Broker::handle_subscribe(Session& session, const Subscribe& s) {
       Publish out = msg;
       out.retain = true;
       out.qos = std::min(out.qos, static_cast<QoS>(ack.return_codes[i]));
-      deliver(session, std::move(out));
+      deliver(session, std::move(out), nullptr);
     }
   }
 }
@@ -310,6 +321,7 @@ void Broker::publish_local(const std::string& topic, SharedPayload payload,
   p.retain = retain;
   route(std::move(p), "$broker");
   audit_invariants();
+  flush_egress();
 }
 
 void Broker::route(Publish p, const std::string& origin) {
@@ -332,12 +344,29 @@ void Broker::route(Publish p, const std::string& origin) {
   // filters (overlapping-subscription rule, §3.3.5).
   std::sort(matches.begin(), matches.end());
   const Publish original = std::move(p);
-  // Encode-once fan-out: every QoS 0 delivery of this message is the
-  // same wire packet (no packet id, retain/dup cleared), so the whole
-  // QoS 0 group shares a single encode and a single buffer. QoS 1/2
-  // deliveries carry per-subscriber packet ids and still share the
-  // payload bytes through the Publish copy.
-  Bytes qos0_wire;
+  // Encode-once fan-out at every QoS level: each effective-QoS group of
+  // this message shares one wire template (retain/dup cleared per
+  // [MQTT-3.3.1-9]). QoS 0 deliveries reuse the frame untouched; QoS 1/2
+  // deliveries patch only the 2 packet-id bytes at flush time.
+  std::array<std::shared_ptr<WireTemplate>, 3> group;
+  auto group_template =
+      [&](QoS qos) -> const std::shared_ptr<WireTemplate>& {
+    auto& slot = group[static_cast<std::size_t>(qos)];
+    if (!slot) {
+      Publish wire_msg;
+      wire_msg.topic = original.topic;      // shares the string
+      wire_msg.payload = original.payload;  // shares the buffer
+      wire_msg.qos = qos;
+      slot = std::make_shared<WireTemplate>(encode_publish_template(wire_msg));
+      counters_.add("fanout_encodes");
+      counters_.add("egress_wire_templates");
+      // The one remaining copy: topic + payload bytes into the wire
+      // buffer.
+      counters_.add("payload_bytes_copied", original.payload.size());
+      counters_.add("topic_bytes_copied", original.topic.size());
+    }
+    return slot;
+  };
   for (std::size_t i = 0; i < matches.size(); ++i) {
     if (i + 1 < matches.size() && matches[i + 1].first == matches[i].first) {
       continue;  // keep last (sorted -> highest QoS is the later entry)
@@ -356,33 +385,24 @@ void Broker::route(Publish p, const std::string& origin) {
         counters_.add("dropped_qos0_offline");
         continue;
       }
-      if (qos0_wire.empty()) {
-        Publish wire_msg;
-        wire_msg.topic = original.topic;  // shares the string
-        wire_msg.payload = original.payload;  // shares the buffer
-        qos0_wire = encode(Packet{std::move(wire_msg)});
-        counters_.add("fanout_encodes");
-        // The one remaining copy: topic + payload bytes into the wire
-        // buffer.
-        counters_.add("payload_bytes_copied", original.payload.size());
-        counters_.add("topic_bytes_copied", original.topic.size());
-      }
       counters_.add("payload_bytes_shared", original.payload.size());
       counters_.add("topic_bytes_shared", original.topic.size());
       counters_.add("delivered_qos0");
-      send_encoded(*lit->second, qos0_wire);
+      send_template(*lit->second, group_template(effective), 0, false);
     } else {
       Publish out;
       out.topic = original.topic;      // shares the string
       out.payload = original.payload;  // shares the buffer
       out.qos = effective;             // retain/dup cleared [MQTT-3.3.1-9]
+      counters_.add("payload_bytes_shared", original.payload.size());
       counters_.add("topic_bytes_shared", original.topic.size());
-      deliver(session, std::move(out));
+      deliver(session, std::move(out), group_template(effective));
     }
   }
 }
 
-void Broker::deliver(Session& session, Publish p) {
+void Broker::deliver(Session& session, Publish p,
+                     std::shared_ptr<WireTemplate> wire) {
   if (p.qos == QoS::kAtMostOnce) {
     if (session.connected) {
       send_packet(session, Packet{std::move(p)});
@@ -396,13 +416,14 @@ void Broker::deliver(Session& session, Publish p) {
       session.inflight.size() < cfg_.max_inflight_per_session) {
     const std::uint16_t pid = alloc_packet_id(session);
     p.packet_id = pid;
-    auto [it, inserted] = session.inflight.emplace(pid, InflightOut{std::move(p)});
+    auto [it, inserted] = session.inflight.emplace(
+        pid, InflightOut{std::move(p), std::move(wire)});
     assert(inserted);
     IFOT_AUDIT_ASSERT(inserted && pid != 0,
                       "allocated packet id must be fresh and nonzero");
     send_inflight(session, it->second);
   } else if (session.queued.size() < cfg_.max_queued_per_session) {
-    session.queued.push_back(std::move(p));
+    session.queued.push_back(QueuedOut{std::move(p), std::move(wire)});
     counters_.add("queued");
   } else {
     counters_.add("dropped_queue_full");
@@ -412,11 +433,12 @@ void Broker::deliver(Session& session, Publish p) {
 void Broker::pump_queue(Session& session) {
   while (session.connected && !session.queued.empty() &&
          session.inflight.size() < cfg_.max_inflight_per_session) {
-    Publish p = std::move(session.queued.front());
+    QueuedOut q = std::move(session.queued.front());
     session.queued.pop_front();
     const std::uint16_t pid = alloc_packet_id(session);
-    p.packet_id = pid;
-    auto [it, inserted] = session.inflight.emplace(pid, InflightOut{std::move(p)});
+    q.msg.packet_id = pid;
+    auto [it, inserted] = session.inflight.emplace(
+        pid, InflightOut{std::move(q.msg), std::move(q.wire)});
     assert(inserted);
     IFOT_AUDIT_ASSERT(inserted && pid != 0,
                       "allocated packet id must be fresh and nonzero");
@@ -426,13 +448,31 @@ void Broker::pump_queue(Session& session) {
 
 void Broker::send_inflight(Session& session, InflightOut& inflight) {
   ++inflight.attempts;
-  send_packet(session, Packet{inflight.msg});
+  send_inflight_frame(session, inflight);
   counters_.add("delivered_qos12");
-  // QoS 1/2 deliveries carry per-subscriber packet ids, so each send
-  // encodes its own wire buffer (one topic + payload copy per delivery).
-  counters_.add("payload_bytes_copied", inflight.msg.payload.size());
-  counters_.add("topic_bytes_copied", inflight.msg.topic.size());
   arm_retry(session, inflight.msg.packet_id);
+}
+
+void Broker::send_inflight_frame(Session& session, InflightOut& inflight) {
+  auto lit = links_.find(session.link);
+  if (lit == links_.end()) return;
+  if (!inflight.wire) {
+    // Deliveries that reached the window without a fan-out group template
+    // (retained replays) encode lazily, once; the template then serves
+    // every retransmit of this message too.
+    Publish wire_msg = inflight.msg;  // shares topic/payload buffers
+    wire_msg.dup = false;
+    inflight.wire =
+        std::make_shared<WireTemplate>(encode_publish_template(wire_msg));
+    counters_.add("fanout_encodes");
+    counters_.add("egress_wire_templates");
+    counters_.add("payload_bytes_copied", inflight.msg.payload.size());
+    counters_.add("topic_bytes_copied", inflight.msg.topic.size());
+  }
+  IFOT_AUDIT_ASSERT(inflight.wire->has_packet_id(),
+                    "QoS 1/2 inflight frame lost its packet-id field");
+  send_template(*lit->second, inflight.wire, inflight.msg.packet_id,
+                inflight.msg.dup);
 }
 
 void Broker::arm_retry(Session& session, std::uint16_t packet_id) {
@@ -455,11 +495,14 @@ void Broker::arm_retry(Session& session, std::uint16_t packet_id) {
         if (f.awaiting_pubcomp) {
           send_packet(s, Packet{Pubrel{packet_id}});
         } else {
+          // Retransmit = patch DUP + id into the stored template; the
+          // frame is never re-encoded.
           f.msg.dup = true;
-          send_packet(s, Packet{f.msg});
+          send_inflight_frame(s, f);
         }
         ++f.attempts;
         arm_retry(s, packet_id);
+        flush_egress();
       });
 }
 
@@ -485,9 +528,38 @@ void Broker::send_packet(Link& link, const Packet& p) {
   send_encoded(link, encode(p));
 }
 
-void Broker::send_encoded(Link& link, const Bytes& wire) {
+void Broker::send_encoded(Link& link, Bytes wire) {
   counters_.add("packets_out");
-  link.send(wire);
+  link.outbox->enqueue(std::move(wire));
+  mark_egress_dirty(link);
+}
+
+void Broker::send_template(Link& link, std::shared_ptr<WireTemplate> wire,
+                           std::uint16_t packet_id, bool dup) {
+  counters_.add("packets_out");
+  link.outbox->enqueue(std::move(wire), packet_id, dup);
+  mark_egress_dirty(link);
+}
+
+void Broker::mark_egress_dirty(Link& link) {
+  if (!link.egress_dirty) {
+    link.egress_dirty = true;
+    dirty_links_.push_back(link.id);
+  }
+}
+
+void Broker::flush_egress() {
+  // Index loop: a flush can synchronously feed a peer whose response
+  // re-enters the broker and dirties more links (appended here). Dropped
+  // links simply fail the lookup. A nested flush_egress drains the whole
+  // vector and clears it; `i < size()` then ends the outer loop safely.
+  for (std::size_t i = 0; i < dirty_links_.size(); ++i) {
+    auto it = links_.find(dirty_links_[i]);
+    if (it == links_.end()) continue;
+    it->second->egress_dirty = false;
+    it->second->outbox->flush();
+  }
+  dirty_links_.clear();
 }
 
 void Broker::arm_keepalive(Link& link) {
@@ -507,6 +579,7 @@ void Broker::arm_keepalive(Link& link) {
     if (sched_.now() >= deadline) {
       counters_.add("keepalive_timeouts");
       drop_link(l, /*publish_will=*/true);
+      flush_egress();
     } else {
       l.keepalive_timer = sched_.call_after(
           deadline - sched_.now(), [this, id] {
@@ -524,16 +597,23 @@ void Broker::arm_sys_stats() {
     sys_timer_ = 0;
     publish_sys_stats();
     arm_sys_stats();
+    flush_egress();
   });
 }
 
 void Broker::publish_sys_stats() {
   // Mosquitto-style $SYS topics; payloads are decimal strings. Retained
   // so late subscribers (the management software) see the latest values.
+  // Routed directly (not via publish_local) so one stats tick coalesces
+  // into a single batched write per watcher link.
   auto pub = [this](const std::string& topic, std::uint64_t value) {
     const std::string s = std::to_string(value);
-    publish_local("$SYS/broker/" + topic, Bytes(s.begin(), s.end()),
-                  QoS::kAtMostOnce, /*retain=*/true);
+    Publish p;
+    p.topic = "$SYS/broker/" + topic;
+    p.payload = Bytes(s.begin(), s.end());
+    p.qos = QoS::kAtMostOnce;
+    p.retain = true;
+    route(std::move(p), "$broker");
   };
   pub("clients/connected", connected_count());
   pub("clients/total", session_count());
@@ -559,6 +639,16 @@ void Broker::publish_sys_stats() {
   // session past its dedup capacity.
   pub("store/qos2/dedup/evictions", counters_.get("qos2_dedup_evictions"));
   pub("store/qos2/dedup/backlog", inbound_qos2_backlog());
+  // Unified egress health: templates built, bytes that went out through
+  // a shared frame instead of a per-subscriber encode, and how well
+  // same-turn frames coalesce into single transport writes.
+  pub("egress/wire_templates", counters_.get("egress_wire_templates"));
+  pub("egress/template_bytes_shared",
+      counters_.get("egress_template_bytes_shared"));
+  pub("egress/batched_writes", counters_.get("egress_batched_writes"));
+  pub("egress/frames_per_write",
+      counters_.get("egress_frames") /
+          std::max<std::uint64_t>(1, counters_.get("egress_writes")));
 }
 
 void Broker::drop_link(Link& link, bool publish_will) {
@@ -586,6 +676,9 @@ void Broker::drop_link(Link& link, bool publish_will) {
       }
     }
   }
+  // Frames already queued on this link (e.g. a CONNACK reject) still go
+  // out before the transport closes; protocol frames are never shed.
+  link.outbox->flush();
   auto close = std::move(link.close);
   links_.erase(link.id);
   counters_.add("links_closed");
@@ -611,6 +704,13 @@ void Broker::audit_invariants() const {
       IFOT_AUDIT_ASSERT(sessions_.find(link->session) != sessions_.end(),
                         "link bound to missing session '" + link->session + "'");
     }
+    IFOT_AUDIT_ASSERT(link->outbox != nullptr, "link without an outbox");
+    link->outbox->audit_invariants();
+    // A frame queued on a link must be tracked for the end-of-turn flush,
+    // or it would sit in the outbox forever.
+    IFOT_AUDIT_ASSERT(link->outbox->pending_frames() == 0 ||
+                          link->egress_dirty,
+                      "link holds queued frames but is not flush-tracked");
   }
 
   std::size_t subscription_total = 0;
@@ -645,6 +745,16 @@ void Broker::audit_invariants() const {
                         "inflight key diverged from message packet id");
       IFOT_AUDIT_ASSERT(inflight.msg.qos != QoS::kAtMostOnce,
                         "QoS 0 message parked in the inflight window");
+      // A stored wire template must be patchable: it carries an id field
+      // and its byte length matches the message it encodes.
+      if (inflight.wire) {
+        IFOT_AUDIT_ASSERT(inflight.wire->has_packet_id(),
+                          "inflight wire template lacks a packet-id field");
+        IFOT_AUDIT_ASSERT(
+            inflight.wire->size() > 2 + inflight.msg.topic.size() +
+                                        inflight.msg.payload.size(),
+            "inflight wire template shorter than its topic + payload");
+      }
     }
 
     // Every subscription is mirrored in the tree.

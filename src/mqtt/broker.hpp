@@ -23,10 +23,12 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/stats.hpp"
 #include "mqtt/id_set.hpp"
+#include "mqtt/outbox.hpp"
 #include "mqtt/packet.hpp"
 #include "mqtt/scheduler.hpp"
 #include "mqtt/topic.hpp"
@@ -57,6 +59,9 @@ struct BrokerConfig {
   /// When > 0, the broker periodically publishes its statistics under
   /// $SYS/broker/... (Mosquitto-style), for the management software.
   SimDuration sys_interval = 0;
+  /// Per-link egress bounds: frames queued within one scheduler turn
+  /// coalesce into a single transport write up to these limits.
+  Outbox::Config egress;
 };
 
 /// The broker. One instance per broker node.
@@ -100,9 +105,20 @@ class Broker {
 
   struct InflightOut {
     Publish msg;                 // packet_id assigned
+    // Shared wire frame: the fan-out group's template, or lazily encoded
+    // on first send. Retransmits patch the id/DUP bytes, never re-encode.
+    std::shared_ptr<WireTemplate> wire;
     bool awaiting_pubcomp = false;  // QoS2: PUBREC received, PUBREL sent
     int attempts = 0;
     std::uint64_t retry_timer = 0;
+  };
+
+  /// A delivery parked behind the inflight window (or an offline link).
+  /// Keeps the fan-out group's template alive so draining the queue later
+  /// still costs zero encodes.
+  struct QueuedOut {
+    Publish msg;
+    std::shared_ptr<WireTemplate> wire;
   };
 
   struct Session {
@@ -117,7 +133,7 @@ class Broker {
     // Outbound state.
     std::uint16_t next_packet_id = 1;
     std::map<std::uint16_t, InflightOut> inflight;
-    std::deque<Publish> queued;  // offline / above inflight window
+    std::deque<QueuedOut> queued;  // offline / above inflight window
     // Inbound QoS2 exactly-once dedup: ids whose PUBLISH was routed but
     // whose PUBREL has not arrived yet. Bounded: lost PUBRELs must not
     // leak ids forever.
@@ -126,9 +142,12 @@ class Broker {
 
   struct Link {
     LinkId id = 0;
-    SendFn send;
     CloseFn close;
     StreamDecoder decoder;
+    // Egress queue wrapping the transport send callback; frames queued
+    // while handling one turn coalesce into a single write.
+    std::unique_ptr<Outbox> outbox;
+    bool egress_dirty = false;  // queued for the next flush_egress()
     std::string session;       // empty until CONNECT accepted
     bool got_connect = false;
     SimTime last_rx = 0;
@@ -145,18 +164,31 @@ class Broker {
   /// store when retain is set).
   void route(Publish p, const std::string& origin);
 
-  /// Queues or sends one message to one subscriber session.
-  void deliver(Session& session, Publish p);
+  /// Queues or sends one message to one subscriber session. `wire` is
+  /// the fan-out group's shared template (null for singleton deliveries
+  /// such as retained replays; those encode lazily on first send).
+  void deliver(Session& session, Publish p, std::shared_ptr<WireTemplate> wire);
   /// Sends the next queued messages while the inflight window has room.
   void pump_queue(Session& session);
   void send_inflight(Session& session, InflightOut& inflight);
+  /// Queues the inflight message's shared wire frame (encoding it first
+  /// if this delivery never had a group template), patching id/DUP only.
+  void send_inflight_frame(Session& session, InflightOut& inflight);
   void arm_retry(Session& session, std::uint16_t packet_id);
 
   void send_packet(Session& session, const Packet& p);
   void send_packet(Link& link, const Packet& p);
-  /// Emits pre-encoded wire bytes (the fan-out path encodes once per
-  /// QoS 0 group and reuses the buffer for every subscriber).
-  void send_encoded(Link& link, const Bytes& wire);
+  /// Queues an owned, fully encoded frame on the link's outbox.
+  void send_encoded(Link& link, Bytes wire);
+  /// Queues a shared PUBLISH template on the link's outbox; the packet
+  /// id and DUP bit are patched in at flush time.
+  void send_template(Link& link, std::shared_ptr<WireTemplate> wire,
+                     std::uint16_t packet_id, bool dup);
+  /// Marks a link for the end-of-turn flush.
+  void mark_egress_dirty(Link& link);
+  /// Flushes every link that queued frames this turn; called once at the
+  /// end of each externally triggered entry point and timer callback.
+  void flush_egress();
   void drop_link(Link& link, bool publish_will);
   void arm_keepalive(Link& link);
   void arm_sys_stats();
@@ -178,6 +210,7 @@ class Broker {
   TopicTree<std::string, QoS> tree_;
   std::map<std::string, Publish> retained_;
   Counters counters_;
+  std::vector<LinkId> dirty_links_;  // links with frames queued this turn
   std::uint64_t generation_ = 0;  // guards timers across session resets
   std::uint64_t sys_timer_ = 0;
 };

@@ -12,7 +12,11 @@ constexpr const char* kLog = "mqtt.client";
 }
 
 Client::Client(Scheduler& sched, ClientConfig cfg, SendFn send)
-    : sched_(sched), cfg_(std::move(cfg)), send_(std::move(send)) {
+    : sched_(sched),
+      cfg_(std::move(cfg)),
+      send_(std::move(send)),
+      outbox_(cfg_.egress, [this](const Bytes& wire) { send_(wire); },
+              &counters_) {
   assert(send_);
   inbound_qos2_.set_capacity(cfg_.max_inbound_qos2);
 }
@@ -38,6 +42,7 @@ void Client::on_transport_open() {
   c.will = cfg_.will;
   send_packet(Packet{c});
   arm_connect_retry();  // lossy links can drop the CONNECT itself
+  flush_egress();
 }
 
 void Client::arm_connect_retry() {
@@ -53,6 +58,7 @@ void Client::arm_connect_retry() {
     c.will = cfg_.will;
     send_packet(Packet{c});
     arm_connect_retry();
+    flush_egress();
   });
 }
 
@@ -69,12 +75,14 @@ void Client::arm_control_retry(std::uint16_t packet_id) {
         counters_.add("control_retries");
         send_packet(pit->second.request);
         arm_control_retry(packet_id);
+        flush_egress();
       });
 }
 
 void Client::on_transport_closed() {
   transport_up_ = false;
   connected_ = false;
+  outbox_.clear();  // the transport is gone; queued frames with it
   if (ping_timer_ != 0) {
     sched_.cancel(ping_timer_);
     ping_timer_ = 0;
@@ -103,9 +111,13 @@ void Client::on_data(BytesView data) {
     auto next = decoder_.next();
     if (!next) {
       fail_protocol(next.error());
+      flush_egress();
       return;
     }
-    if (!next.value()) return;
+    if (!next.value()) {
+      flush_egress();
+      return;
+    }
     handle_packet(std::move(*next.value()));
   }
 }
@@ -139,12 +151,13 @@ void Client::handle_packet(Packet packet) {
               arm_control_retry(pid);
             }
             // Session resume: redeliver unacknowledged publishes (§4.4).
+            // Stored wire frames are patched (DUP + id), not re-encoded.
             for (auto& [pid, inflight] : inflight_) {
               if (inflight.awaiting_pubcomp) {
                 send_packet(Packet{Pubrel{pid}});
               } else {
                 inflight.msg.dup = true;
-                send_packet(Packet{inflight.msg});
+                send_publish_frame(inflight);
               }
               ++inflight.attempts;
               arm_retry(pid);
@@ -245,6 +258,7 @@ Status Client::publish(std::string topic, SharedPayload payload, QoS qos,
   if (qos == QoS::kAtMostOnce) {
     if (connected_) {
       send_packet(Packet{p});
+      flush_egress();
       if (done) done({});
     } else {
       // Bounded offline buffer: shed the oldest message first (the
@@ -262,8 +276,9 @@ Status Client::publish(std::string topic, SharedPayload payload, QoS qos,
   }
   const std::uint16_t pid = alloc_packet_id();
   p.packet_id = pid;
-  auto [it, inserted] =
-      inflight_.emplace(pid, InflightPub{std::move(p), false, 0, 0, std::move(done)});
+  auto [it, inserted] = inflight_.emplace(
+      pid,
+      InflightPub{std::move(p), nullptr, false, 0, 0, std::move(done)});
   assert(inserted);
   // In-flight packet ids must be unique across both the publish window
   // and pending control requests, or acks would resolve the wrong one.
@@ -272,8 +287,9 @@ Status Client::publish(std::string topic, SharedPayload payload, QoS qos,
                     "allocated packet id collides with in-flight state");
   if (connected_) {
     ++it->second.attempts;
-    send_packet(Packet{it->second.msg});
+    send_publish_frame(it->second);
     arm_retry(pid);
+    flush_egress();
   }
   return {};
 }
@@ -297,6 +313,7 @@ Status Client::subscribe(std::vector<TopicRequest> topics, SubackHandler done) {
   pending_control_.emplace(s.packet_id, std::move(pc));
   send_packet(Packet{s});
   arm_control_retry(s.packet_id);
+  flush_egress();
   return {};
 }
 
@@ -314,12 +331,14 @@ Status Client::unsubscribe(std::vector<std::string> topics, Completion done) {
   pending_control_.emplace(u.packet_id, std::move(pc));
   send_packet(Packet{u});
   arm_control_retry(u.packet_id);
+  flush_egress();
   return {};
 }
 
 void Client::disconnect() {
   if (!connected_) return;
   send_packet(Packet{Disconnect{}});
+  flush_egress();
   connected_ = false;
   if (ping_timer_ != 0) {
     sched_.cancel(ping_timer_);
@@ -375,11 +394,14 @@ void Client::arm_retry(std::uint16_t packet_id) {
         if (f.awaiting_pubcomp) {
           send_packet(Packet{Pubrel{packet_id}});
         } else {
+          // Retransmit = patch the DUP bit into the stored wire frame;
+          // the packet is never re-encoded.
           f.msg.dup = true;
-          send_packet(Packet{f.msg});
+          send_publish_frame(f);
         }
         ++f.attempts;
         arm_retry(packet_id);
+        flush_egress();
       });
 }
 
@@ -393,13 +415,32 @@ void Client::arm_ping() {
     if (!connected_) return;
     send_packet(Packet{Pingreq{}});
     arm_ping();
+    flush_egress();
   });
 }
 
 void Client::send_packet(const Packet& p) {
   if (!transport_up_) return;
   counters_.add("packets_out");
-  send_(encode(p));
+  outbox_.enqueue(encode(p));
+}
+
+void Client::send_publish_frame(InflightPub& inflight) {
+  if (!transport_up_) return;
+  if (!inflight.wire) {
+    Publish wire_msg = inflight.msg;  // shares topic/payload buffers
+    wire_msg.dup = false;
+    inflight.wire =
+        std::make_shared<WireTemplate>(encode_publish_template(wire_msg));
+    counters_.add("egress_wire_templates");
+  }
+  counters_.add("packets_out");
+  outbox_.enqueue(inflight.wire, inflight.msg.packet_id, inflight.msg.dup);
+}
+
+void Client::flush_egress() {
+  if (!transport_up_) return;
+  outbox_.flush();
 }
 
 }  // namespace ifot::mqtt

@@ -11,6 +11,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -18,6 +19,7 @@
 #include "common/bytes.hpp"
 #include "common/stats.hpp"
 #include "mqtt/id_set.hpp"
+#include "mqtt/outbox.hpp"
 #include "mqtt/packet.hpp"
 #include "mqtt/scheduler.hpp"
 
@@ -45,6 +47,9 @@ struct ClientConfig {
   /// Bound on the inbound QoS 2 dedup set; a lost broker PUBREL must not
   /// leak packet ids forever (counters()["qos2_dedup_evictions"]).
   std::size_t max_inbound_qos2 = 1024;
+  /// Egress bounds: frames sent within one scheduler turn coalesce into
+  /// a single transport write up to these limits.
+  Outbox::Config egress;
 };
 
 /// The client-side protocol engine.
@@ -113,6 +118,9 @@ class Client {
  private:
   struct InflightPub {
     Publish msg;
+    // Wire frame encoded once at first send; retransmits patch the DUP
+    // bit (and id) in place instead of re-encoding.
+    std::shared_ptr<WireTemplate> wire;
     bool awaiting_pubcomp = false;
     int attempts = 0;
     std::uint64_t retry_timer = 0;
@@ -121,6 +129,11 @@ class Client {
 
   void handle_packet(Packet packet);
   void send_packet(const Packet& p);
+  /// Queues the inflight publish's shared wire frame (encoding it once,
+  /// lazily), patching packet id and DUP only.
+  void send_publish_frame(InflightPub& inflight);
+  /// Flushes everything queued this turn as one transport write.
+  void flush_egress();
   std::uint16_t alloc_packet_id();
   void arm_retry(std::uint16_t packet_id);
   void arm_connect_retry();
@@ -132,6 +145,7 @@ class Client {
   Scheduler& sched_;  // NOLINT(cppcoreguidelines-avoid-const-or-ref-data-members)
   ClientConfig cfg_;
   SendFn send_;
+  Outbox outbox_;  // batches same-turn frames into one send_() call
   StreamDecoder decoder_;
   bool transport_up_ = false;
   bool connected_ = false;

@@ -1,0 +1,132 @@
+#include "mqtt/outbox.hpp"
+
+#include <utility>
+
+#include "common/audit.hpp"
+
+namespace ifot::mqtt {
+
+const Bytes& WireTemplate::patched(std::uint16_t packet_id, bool dup) {
+  IFOT_AUDIT_ASSERT(has_packet_id() || (packet_id == 0 && !dup),
+                    "patched a QoS 0 template with an id or DUP");
+  IFOT_AUDIT_ASSERT(!has_packet_id() || packet_id != 0,
+                    "QoS 1/2 template patched with packet id 0");
+  if (has_packet_id()) {
+    enc_.wire[enc_.packet_id_offset] =
+        static_cast<std::uint8_t>(packet_id >> 8);
+    enc_.wire[enc_.packet_id_offset + 1] =
+        static_cast<std::uint8_t>(packet_id & 0xFF);
+    enc_.wire[0] = static_cast<std::uint8_t>(
+        (enc_.wire[0] & ~0x08) | (dup ? 0x08 : 0x00));
+    last_id_ = packet_id;
+  }
+  return enc_.wire;
+}
+
+void Outbox::enqueue(Bytes frame) {
+  make_room(frame.size());
+  pending_bytes_ += frame.size();
+  Entry e;
+  e.owned = std::move(frame);
+  entries_.push_back(std::move(e));
+  audit_invariants();
+}
+
+void Outbox::enqueue(std::shared_ptr<WireTemplate> tpl,
+                     std::uint16_t packet_id, bool dup) {
+  IFOT_AUDIT_ASSERT(tpl != nullptr, "null wire template queued");
+  make_room(tpl->size());
+  pending_bytes_ += tpl->size();
+  if (counters_ != nullptr) {
+    counters_->add("egress_template_bytes_shared", tpl->size());
+  }
+  Entry e;
+  e.tpl = std::move(tpl);
+  e.packet_id = packet_id;
+  e.dup = dup;
+  entries_.push_back(std::move(e));
+  audit_invariants();
+}
+
+void Outbox::flush() {
+  // The write callback may feed bytes straight into a peer that responds
+  // synchronously back into this link's owner, re-entering this outbox.
+  // Detach the batch first so a nested flush only sees the new frames.
+  while (!entries_.empty()) {
+    std::vector<Entry> batch;
+    batch.swap(entries_);
+    const std::size_t batch_bytes = pending_bytes_;
+    pending_bytes_ = 0;
+    if (counters_ != nullptr) {
+      counters_->add("egress_writes");
+      counters_->add("egress_frames", batch.size());
+      if (batch.size() > 1) counters_->add("egress_batched_writes");
+    }
+    if (batch.size() == 1) {
+      // Single frame: hand the buffer over without concatenation.
+      Entry& e = batch.front();
+      write_(e.tpl ? e.tpl->patched(e.packet_id, e.dup) : e.owned);
+    } else {
+      Bytes wire;
+      wire.reserve(batch_bytes);
+      for (Entry& e : batch) {
+        const Bytes& frame =
+            e.tpl ? e.tpl->patched(e.packet_id, e.dup) : e.owned;
+        wire.insert(wire.end(), frame.begin(), frame.end());
+      }
+      write_(wire);
+    }
+    // Recycle the batch's allocation for the next turn (unless the write
+    // callback re-entered and queued fresh frames, which keeps the loop
+    // going on the new entries instead).
+    if (entries_.empty()) {
+      batch.clear();
+      entries_.swap(batch);
+    }
+  }
+  audit_invariants();
+}
+
+void Outbox::clear() {
+  entries_.clear();
+  pending_bytes_ = 0;
+  audit_invariants();
+}
+
+void Outbox::make_room(std::size_t incoming_bytes) {
+  if (entries_.empty()) return;
+  if (entries_.size() + 1 > cfg_.max_queued_frames ||
+      pending_bytes_ + incoming_bytes > cfg_.max_batch_bytes) {
+    flush();
+  }
+}
+
+void Outbox::audit_invariants() const {
+  if constexpr (!audit::kEnabled) return;
+  IFOT_AUDIT_ASSERT(entries_.size() <= cfg_.max_queued_frames,
+                    "outbox exceeded its frame bound");
+  // A single frame may legitimately exceed the byte bound (it still goes
+  // out whole); two or more queued frames never do.
+  IFOT_AUDIT_ASSERT(entries_.size() <= 1 ||
+                        pending_bytes_ <= cfg_.max_batch_bytes,
+                    "outbox batch exceeded its byte bound");
+  std::size_t total = 0;
+  for (const Entry& e : entries_) {
+    total += entry_size(e);
+    if (e.tpl) {
+      IFOT_AUDIT_ASSERT(e.owned.empty(),
+                        "entry holds both a template and an owned buffer");
+      IFOT_AUDIT_ASSERT(e.tpl->has_packet_id() == (e.packet_id != 0),
+                        "template id field disagrees with the queued id");
+      IFOT_AUDIT_ASSERT(!e.dup || e.packet_id != 0,
+                        "DUP queued for an id-less (QoS 0) frame");
+    } else {
+      IFOT_AUDIT_ASSERT(e.packet_id == 0 && !e.dup,
+                        "owned frame queued with patch state");
+    }
+  }
+  IFOT_AUDIT_ASSERT(total == pending_bytes_,
+                    "outbox byte accounting diverged from its entries");
+}
+
+}  // namespace ifot::mqtt

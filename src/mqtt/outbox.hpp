@@ -1,0 +1,110 @@
+// Unified egress layer: wire templates and per-link write batching.
+//
+// A fan-out group encodes one PUBLISH wire frame; every QoS 1/2 delivery
+// of it differs only in the 2 packet-id bytes and the DUP flag bit, so a
+// WireTemplate patches those in place at a precomputed offset instead of
+// re-encoding per subscriber or per retransmit. The per-link Outbox then
+// coalesces every frame queued within one scheduler turn into a single
+// transport write (MQTT framing is self-delimiting, so a batch is just
+// concatenated frames and the receiving StreamDecoder splits them back
+// out). Both Broker and Client egress goes through this layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/stats.hpp"
+#include "mqtt/packet.hpp"
+
+namespace ifot::mqtt {
+
+/// One PUBLISH frame encoded once and shared across a whole fan-out
+/// group, across the inflight window, and across retransmits. Frozen
+/// except for the packet-id bytes and the DUP bit, which patched()
+/// rewrites per delivery.
+class WireTemplate {
+ public:
+  explicit WireTemplate(EncodedPublish enc) : enc_(std::move(enc)) {}
+
+  /// Patches the packet id and DUP bit in place and returns the frame.
+  /// QoS 0 templates (no id field) take packet_id 0 / dup false only.
+  const Bytes& patched(std::uint16_t packet_id, bool dup);
+
+  [[nodiscard]] bool has_packet_id() const {
+    return enc_.packet_id_offset != 0;
+  }
+  [[nodiscard]] std::size_t size() const { return enc_.wire.size(); }
+  [[nodiscard]] const Bytes& wire() const { return enc_.wire; }
+  /// The id most recently patched in (0 before the first patched()).
+  [[nodiscard]] std::uint16_t current_packet_id() const { return last_id_; }
+
+ private:
+  EncodedPublish enc_;
+  std::uint16_t last_id_ = 0;
+};
+
+/// Per-link egress queue. Owners queue frames (owned control-packet
+/// buffers or shared PUBLISH templates) as they handle a turn and call
+/// flush() once at the end of it; everything queued in between goes out
+/// as one transport write. Bounded: exceeding the frame/byte bound forces
+/// an early flush (never a drop — protocol frames are not sheddable).
+class Outbox {
+ public:
+  struct Config {
+    /// Frames coalesced into one write before a forced flush.
+    std::size_t max_queued_frames = 64;
+    /// Byte bound on one coalesced write (a single larger frame still
+    /// goes out whole, as its own write).
+    std::size_t max_batch_bytes = 64 * 1024;
+  };
+  /// Transport write; the buffer is only borrowed for the call.
+  using WriteFn = std::function<void(const Bytes&)>;
+
+  Outbox(Config cfg, WriteFn write, Counters* counters)
+      : cfg_(cfg), write_(std::move(write)), counters_(counters) {}
+
+  /// Queues a fully encoded frame the outbox takes ownership of.
+  void enqueue(Bytes frame);
+  /// Queues a shared PUBLISH template. The id/DUP patch happens at flush
+  /// time, so interleaved deliveries of the same template to other links
+  /// cannot clobber a queued-but-unsent frame.
+  void enqueue(std::shared_ptr<WireTemplate> tpl, std::uint16_t packet_id,
+               bool dup);
+  /// Writes all queued frames as one transport write (zero-copy when a
+  /// single frame is pending). No-op when nothing is queued.
+  void flush();
+  /// Drops everything queued (link teardown).
+  void clear();
+
+  [[nodiscard]] std::size_t pending_frames() const { return entries_.size(); }
+  [[nodiscard]] std::size_t pending_bytes() const { return pending_bytes_; }
+
+  /// Re-checks queue bounds, byte accounting, and template/id pairing.
+  /// Audit builds abort on violation; release builds compile to a no-op.
+  void audit_invariants() const;
+
+ private:
+  struct Entry {
+    Bytes owned;                        // used when tpl == nullptr
+    std::shared_ptr<WireTemplate> tpl;  // shared PUBLISH frame
+    std::uint16_t packet_id = 0;
+    bool dup = false;
+  };
+
+  [[nodiscard]] std::size_t entry_size(const Entry& e) const {
+    return e.tpl ? e.tpl->size() : e.owned.size();
+  }
+  /// Flushes when appending `incoming_bytes` would burst a bound.
+  void make_room(std::size_t incoming_bytes);
+
+  Config cfg_;
+  WriteFn write_;
+  Counters* counters_;  // not owned; may be null
+  std::vector<Entry> entries_;
+  std::size_t pending_bytes_ = 0;
+};
+
+}  // namespace ifot::mqtt

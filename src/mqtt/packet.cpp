@@ -97,22 +97,7 @@ std::uint8_t publish_flags(const Publish& p) {
 /// QoS group, so it writes fixed header + body into one exact-sized
 /// buffer instead of building a body and copying it.
 Bytes encode_publish(const Publish& p) {
-  const std::size_t body_len = 2 + p.topic.size() +
-                               (p.qos != QoS::kAtMostOnce ? 2 : 0) +
-                               p.payload.size();
-  std::size_t rl_len = 1;
-  for (std::size_t v = body_len; v >= 128; v /= 128) ++rl_len;
-  Bytes out;
-  out.reserve(1 + rl_len + body_len);
-  out.push_back(static_cast<std::uint8_t>(
-      (static_cast<std::uint8_t>(PacketType::kPublish) << 4) |
-      publish_flags(p)));
-  write_remaining_length(out, body_len);
-  BinaryWriter w(out);
-  w.str16(p.topic);
-  if (p.qos != QoS::kAtMostOnce) w.u16(p.packet_id);
-  w.raw(p.payload);
-  return out;
+  return encode_publish_template(p).wire;
 }
 
 Bytes body_of_packet_id(std::uint16_t packet_id) {
@@ -395,6 +380,28 @@ const char* packet_type_name(PacketType t) {
     case PacketType::kDisconnect: return "DISCONNECT";
   }
   return "?";
+}
+
+EncodedPublish encode_publish_template(const Publish& p) {
+  const std::size_t body_len = 2 + p.topic.size() +
+                               (p.qos != QoS::kAtMostOnce ? 2 : 0) +
+                               p.payload.size();
+  std::size_t rl_len = 1;
+  for (std::size_t v = body_len; v >= 128; v /= 128) ++rl_len;
+  EncodedPublish out;
+  out.wire.reserve(1 + rl_len + body_len);
+  out.wire.push_back(static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(PacketType::kPublish) << 4) |
+      publish_flags(p)));
+  write_remaining_length(out.wire, body_len);
+  BinaryWriter w(out.wire);
+  w.str16(p.topic);
+  if (p.qos != QoS::kAtMostOnce) {
+    out.packet_id_offset = out.wire.size();
+    w.u16(p.packet_id);
+  }
+  w.raw(p.payload);
+  return out;
 }
 
 Bytes encode(const Packet& p) {

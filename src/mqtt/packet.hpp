@@ -167,6 +167,23 @@ const char* packet_type_name(PacketType t);
 /// Encodes one packet to its full wire form (fixed header + body).
 Bytes encode(const Packet& p);
 
+/// A PUBLISH encoded once for sharing across a fan-out group: the full
+/// wire frame plus the byte offset of the 2-byte packet-id field.
+/// Deliveries to different subscribers (and retransmits) differ only in
+/// the packet id and the DUP flag bit, so egress code patches those in
+/// place instead of re-encoding the frame (mqtt/outbox.hpp).
+struct EncodedPublish {
+  Bytes wire;
+  /// Offset of the packet-id high byte within `wire`; 0 when the packet
+  /// carries no id (QoS 0 — offset 0 is always inside the fixed header,
+  /// so it can never be a real id position).
+  std::size_t packet_id_offset = 0;
+};
+
+/// Encodes a PUBLISH into a patchable wire template. The id and DUP bit
+/// initially written come from `p` itself.
+EncodedPublish encode_publish_template(const Publish& p);
+
 /// Decodes exactly one packet from `data`.
 ///
 /// Malformed inputs are rejected with typed errors rather than being

@@ -111,22 +111,37 @@ Network::PathOutcome Network::traverse_wan(Host& remote,
 }
 
 void Network::send(NodeId from, NodeId to, Bytes payload) {
+  std::vector<Bytes> frames;
+  frames.push_back(std::move(payload));
+  send_frames(from, to, std::move(frames));
+}
+
+void Network::send_frames(NodeId from, NodeId to, std::vector<Bytes> frames) {
   assert(from.value() < hosts_.size());
   assert(to.value() < hosts_.size());
-  counters_.add("frames");
-  counters_.add("bytes", payload.size());
+  if (frames.empty()) return;
+  std::size_t total_bytes = 0;
+  for (const Bytes& f : frames) total_bytes += f.size();
+  counters_.add("frames", frames.size());
+  counters_.add("bytes", total_bytes);
+  counters_.add("writes");
+  if (frames.size() > 1) {
+    counters_.add("batched_writes");
+    counters_.add("coalesced_frames", frames.size());
+  }
 
   Host& src = hosts_[from.value()];
   Host& dst = hosts_[to.value()];
 
   // A path touching a remote host crosses its WAN link; LAN<->LAN paths
-  // cross the shared medium.
+  // cross the shared medium. The batch traverses as ONE wire frame: a
+  // single header + per-frame overhead charge covers every datagram in it.
   PathOutcome outcome = (src.remote || dst.remote)
-      ? traverse_wan(src.remote ? src : dst, payload.size())
-      : traverse_lan(payload.size());
+      ? traverse_wan(src.remote ? src : dst, total_bytes)
+      : traverse_lan(total_bytes);
 
   if (!outcome.delivered) {
-    counters_.add("drops");
+    counters_.add("drops", frames.size());
     IFOT_LOG(kWarn, "net") << "frame " << host_name(from) << "->"
                            << host_name(to) << " dropped after "
                            << outcome.attempts << " attempts";
@@ -143,13 +158,16 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
   delivery_latency_.record(deliver_at - sim_.now());
   sim_.schedule_at(deliver_at,
                    [this, from, to, deliver_at,
-                    p = std::move(payload)]() mutable {
+                    fs = std::move(frames)]() mutable {
                      // The FIFO guarantee above only holds if the
                      // simulator fires us exactly when asked.
                      IFOT_AUDIT_ASSERT(sim_.now() == deliver_at,
                                        "delivery fired at the wrong time");
                      Host& h = hosts_[to.value()];
-                     if (h.handler) h.handler(from, p);
+                     if (!h.handler) return;
+                     // Split the batch back into datagrams: the handler
+                     // fires once per frame, in queue order.
+                     for (const Bytes& f : fs) h.handler(from, f);
                    });
 }
 

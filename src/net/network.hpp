@@ -89,6 +89,14 @@ class Network {
   /// (counted in counters()["drops"]).
   void send(NodeId from, NodeId to, Bytes payload);
 
+  /// Sends several datagrams as ONE wire frame (scatter-gather): the
+  /// medium is traversed once — one header + per-frame overhead charge
+  /// for the whole batch — and the receiver's handler fires once per
+  /// datagram, in order, splitting the batch back out. This is the
+  /// transport half of egress write batching: N same-turn MQTT frames
+  /// cost one channel occupancy instead of N.
+  void send_frames(NodeId from, NodeId to, std::vector<Bytes> frames);
+
   [[nodiscard]] const std::string& host_name(NodeId id) const;
   [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
 

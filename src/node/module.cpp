@@ -29,7 +29,12 @@ NeuronModule::NeuronModule(sim::Simulator& sim, net::Network& network,
   });
 }
 
-NeuronModule::~NeuronModule() = default;
+NeuronModule::~NeuronModule() {
+  // Pending flush events capture `this`; never let them fire after free.
+  for (auto& [peer, tx] : pending_tx_) {
+    if (tx.scheduled) sim_.cancel(tx.flush_event);
+  }
+}
 
 void NeuronModule::attach_sensor(const std::string& device_name) {
   sensor_devices_.insert(device_name);
@@ -104,6 +109,16 @@ void NeuronModule::audit_invariants() const {
   IFOT_AUDIT_ASSERT(!failed_ || sensor_timers_.empty(),
                     "failed module '" + name() + "' still samples sensors");
 
+  // Transport egress: queued frames always have a flush scheduled (or
+  // they would sit forever), and a crashed module holds none at all.
+  for (const auto& [peer, tx] : pending_tx_) {
+    IFOT_AUDIT_ASSERT(tx.frames.empty() || tx.scheduled,
+                      "module '" + name() +
+                          "' has queued frames with no flush scheduled");
+    IFOT_AUDIT_ASSERT(!failed_ || tx.frames.empty(),
+                      "failed module '" + name() + "' still queues frames");
+  }
+
   // One client binding per broker, each on its own transport link.
   std::set<std::uint32_t> links;
   for (const auto& b : clients_) {
@@ -126,7 +141,28 @@ void NeuronModule::transport_send(NodeId to, MsgKind kind, Dir dir,
   w.u8(static_cast<std::uint8_t>(dir));
   w.u32(link);
   w.raw(payload);
-  net_.send(host_, to, std::move(frame));
+  // Queue for the end-of-turn flush: everything this module emits towards
+  // the same peer within one simulation instant coalesces into a single
+  // network write (one channel occupancy instead of one per datagram).
+  PendingTx& tx = pending_tx_[to.value()];
+  tx.frames.push_back(std::move(frame));
+  if (!tx.scheduled) {
+    tx.scheduled = true;
+    tx.flush_event =
+        sim_.schedule_after(0, [this, to] { flush_transport(to); });
+  }
+}
+
+void NeuronModule::flush_transport(NodeId to) {
+  auto it = pending_tx_.find(to.value());
+  if (it == pending_tx_.end()) return;
+  std::vector<Bytes> frames;
+  frames.swap(it->second.frames);
+  it->second.scheduled = false;
+  if (failed_ || frames.empty()) return;
+  counters_.add("transport_writes");
+  if (frames.size() > 1) counters_.add("transport_batched_writes");
+  net_.send_frames(host_, to, std::move(frames));
 }
 
 void NeuronModule::on_datagram(NodeId from, const Bytes& data) {
@@ -164,34 +200,40 @@ void NeuronModule::on_datagram(NodeId from, const Bytes& data) {
   });
 }
 
+void NeuronModule::open_broker_link(NodeId from, std::uint32_t link) {
+  if (broker_links_.count(link) != 0) return;
+  broker_links_[link] = from;
+  broker_->on_link_open(
+      link,
+      /*send=*/
+      [this, from, link](const Bytes& bytes) {
+        // Outgoing broker traffic serializes through the CPU with a
+        // per-subscriber routing cost.
+        const SimDuration cost =
+            config_.costs.broker_per_subscriber +
+            config_.costs.per_byte * static_cast<SimDuration>(bytes.size());
+        cpu_.execute(cost, [this, from, link, bytes] {
+          transport_send(from, MsgKind::kData, Dir::kToClient, link, bytes);
+        });
+      },
+      /*close=*/
+      [this, from, link] {
+        broker_links_.erase(link);
+        transport_send(from, MsgKind::kClose, Dir::kToClient, link, {});
+      });
+}
+
 void NeuronModule::on_broker_datagram(NodeId from, MsgKind kind,
                                       std::uint32_t link, Bytes payload) {
   switch (kind) {
-    case MsgKind::kOpen: {
-      broker_links_[link] = from;
-      broker_->on_link_open(
-          link,
-          /*send=*/
-          [this, from, link](const Bytes& bytes) {
-            // Outgoing broker traffic serializes through the CPU with a
-            // per-subscriber routing cost.
-            const SimDuration cost =
-                config_.costs.broker_per_subscriber +
-                config_.costs.per_byte *
-                    static_cast<SimDuration>(bytes.size());
-            cpu_.execute(cost, [this, from, link, bytes] {
-              transport_send(from, MsgKind::kData, Dir::kToClient, link,
-                             bytes);
-            });
-          },
-          /*close=*/
-          [this, from, link] {
-            broker_links_.erase(link);
-            transport_send(from, MsgKind::kClose, Dir::kToClient, link, {});
-          });
+    case MsgKind::kOpen:
+      open_broker_link(from, link);
       break;
-    }
     case MsgKind::kData:
+      // A lost kOpen must not leave the link half-dead: a real transport
+      // retransmits its SYN, ours retransmits CONNECT (kData). Treat
+      // first data on an unknown link as the open.
+      open_broker_link(from, link);
       broker_->on_link_data(link, BytesView(payload));
       break;
     case MsgKind::kClose:
@@ -618,6 +660,15 @@ void NeuronModule::report_completion(const recipe::Task& spec,
 void NeuronModule::fail() {
   failed_ = true;
   stop_sensors();
+  // Frames queued but not yet flushed die with the crash: a silent
+  // failure must not emit one last batch.
+  for (auto& [peer, tx] : pending_tx_) {
+    tx.frames.clear();
+    if (tx.scheduled) {
+      sim_.cancel(tx.flush_event);
+      tx.scheduled = false;
+    }
+  }
   counters_.add("failures_injected");
   audit_invariants();
 }

@@ -191,11 +191,19 @@ class NeuronModule final : public TaskContext {
   enum class Dir : std::uint8_t { kToServer = 0, kToClient = 1 };
 
   void on_datagram(NodeId from, const Bytes& data);
+  /// Registers `link` with the Broker class (no-op when already open).
+  /// Also invoked on first data for an unknown link: a lost kOpen
+  /// datagram is healed by the peer's CONNECT retry, like a TCP SYN
+  /// retransmit.
+  void open_broker_link(NodeId from, std::uint32_t link);
   void on_broker_datagram(NodeId from, MsgKind kind, std::uint32_t link,
                           Bytes payload);
   void on_client_datagram(MsgKind kind, std::uint32_t link, Bytes payload);
   void transport_send(NodeId to, MsgKind kind, Dir dir, std::uint32_t link,
                       const Bytes& payload);
+  /// Sends every datagram queued for `to` this turn as one batched
+  /// network write (net::Network::send_frames).
+  void flush_transport(NodeId to);
   void on_flow_message(const mqtt::Publish& p);
   /// In-process delivery of a payload to colocated consumer tasks.
   void dispatch_local(const std::string& topic, const FlowPayload& payload);
@@ -233,6 +241,16 @@ class NeuronModule final : public TaskContext {
 
   std::unique_ptr<mqtt::Broker> broker_;
   std::unordered_map<std::uint32_t, NodeId> broker_links_;  // link -> peer
+
+  /// Datagrams queued towards one peer awaiting the end-of-turn flush.
+  /// Same-turn frames to the same peer ride one network write; the
+  /// receive side gets them back as individual datagrams, in order.
+  struct PendingTx {
+    std::vector<Bytes> frames;
+    bool scheduled = false;     // a flush event is queued on the simulator
+    sim::EventId flush_event{};
+  };
+  std::unordered_map<NodeId::value_type, PendingTx> pending_tx_;
 
   std::vector<ClientBinding> clients_;
 

@@ -62,11 +62,17 @@ TEST(BrokerEdge, RedeliveryStopsAfterMaxRetries) {
   // A subscriber that swallows QoS1 PUBLISHes (never PUBACKs): feed the
   // broker directly so we control the ack behaviour.
   int deliveries = 0;
+  StreamDecoder splitter;  // broker writes may batch several frames
   h.broker().on_link_open(
       42, [&](const Bytes& bytes) {
-        auto p = decode(BytesView(bytes));
-        if (p.ok() && std::holds_alternative<Publish>(p.value())) {
-          ++deliveries;
+        splitter.feed(BytesView(bytes));
+        while (true) {
+          auto p = splitter.next();
+          ASSERT_TRUE(p.ok());
+          if (!p.value().has_value()) break;
+          if (std::holds_alternative<Publish>(p.value().value())) {
+            ++deliveries;
+          }
         }
       },
       [] {});

@@ -60,6 +60,33 @@ TEST(CorpusRegression, OneShotDecodeIsTotalAndRoundTrips) {
   }
 }
 
+TEST(CorpusRegression, BatchedWritesSplitBackIntoWholeFrames) {
+  // batch-<N>-* files are whole batched transport writes as the egress
+  // Outbox emits them: N complete frames concatenated. The receive side
+  // must split every one of them back out, in order, with no error.
+  bool saw_batch = false;
+  for (const auto& path : corpus_files()) {
+    const std::string name = path.filename().string();
+    if (name.rfind("batch-", 0) != 0) continue;
+    saw_batch = true;
+    const auto expected = static_cast<std::size_t>(
+        std::stoul(name.substr(std::string("batch-").size())));
+    const Bytes wire = read_file(path);
+    StreamDecoder dec;
+    dec.set_max_packet_size(1 << 20);
+    dec.feed(BytesView(wire));
+    std::size_t decoded = 0;
+    for (;;) {
+      auto r = dec.next();
+      ASSERT_TRUE(r.ok()) << name << ": " << r.error().to_string();
+      if (!r.value()) break;
+      ++decoded;
+    }
+    EXPECT_EQ(decoded, expected) << name;
+  }
+  EXPECT_TRUE(saw_batch) << "no batch-* files in the corpus";
+}
+
 TEST(CorpusRegression, StreamDecoderMatchesOneShotVerdict) {
   for (const auto& path : corpus_files()) {
     const Bytes wire = read_file(path);

@@ -88,11 +88,17 @@ TEST(FanOut, Qos12FanoutSharesTopicAcrossSubscribers) {
   ASSERT_EQ(s1.messages().size(), 1u);
   ASSERT_EQ(s2.messages().size(), 1u);
   const Counters& c = h.broker().counters();
-  // Each QoS 1 subscriber's queue slot shares the 3-byte topic buffer...
+  // Each QoS 1 subscriber's queue slot shares the 3-byte topic buffer and
+  // the 16-byte payload buffer...
   EXPECT_EQ(c.get("topic_bytes_shared"), 2u * 3u);
-  // ...and each per-subscriber wire encode copies it exactly once (no
-  // retries in a lossless harness).
-  EXPECT_EQ(c.get("topic_bytes_copied"), 2u * 3u);
+  EXPECT_EQ(c.get("payload_bytes_shared"), 2u * 16u);
+  // ...and the whole group encodes ONE shared wire template: topic and
+  // payload are copied into a wire buffer exactly once, not per
+  // subscriber (deliveries patch the packet-id bytes in place).
+  EXPECT_EQ(c.get("fanout_encodes"), 1u);
+  EXPECT_EQ(c.get("topic_bytes_copied"), 3u);
+  EXPECT_EQ(c.get("payload_bytes_copied"), 16u);
+  EXPECT_EQ(c.get("egress_wire_templates"), 1u);
 }
 
 TEST(FanOut, Qos2ExactlyOnceUnderAckLossStorm) {
@@ -220,10 +226,15 @@ TEST(FanOut, OfflineQos0BufferShedsOldestAtBound) {
   cc.client_id = "buffered";
   cc.max_pending_qos0 = 4;
   std::vector<Packet> sent;
+  StreamDecoder splitter;  // the connect-time flush batches its frames
   Client client(sched, cc, [&](const Bytes& b) {
-    auto p = decode(BytesView(b));
-    ASSERT_TRUE(p.ok());
-    sent.push_back(std::move(p).value());
+    splitter.feed(BytesView(b));
+    while (true) {
+      auto p = splitter.next();
+      ASSERT_TRUE(p.ok());
+      if (!p.value().has_value()) break;
+      sent.push_back(std::move(p).value().value());
+    }
   });
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(client

@@ -1,0 +1,176 @@
+// Unit tests for the per-link egress Outbox: same-turn frames coalesce
+// into one transport write, bounds force early flushes (never drops),
+// templates are patched at flush time, and a write callback that re-enters
+// the outbox cannot lose or duplicate frames.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "mqtt/outbox.hpp"
+#include "mqtt/packet.hpp"
+
+namespace ifot::mqtt {
+namespace {
+
+Bytes frame_of(std::uint8_t fill, std::size_t len) {
+  return Bytes(len, fill);
+}
+
+Bytes concat(const std::vector<Bytes>& frames) {
+  Bytes out;
+  for (const Bytes& f : frames) out.insert(out.end(), f.begin(), f.end());
+  return out;
+}
+
+std::shared_ptr<WireTemplate> make_template(QoS qos, std::uint16_t id) {
+  Publish p;
+  p.topic = "t/x";
+  p.payload = SharedPayload(Bytes(10, 0x77));
+  p.qos = qos;
+  p.packet_id = id;
+  return std::make_shared<WireTemplate>(encode_publish_template(p));
+}
+
+TEST(Outbox, CoalescesSameTurnFramesIntoOneWrite) {
+  Counters counters;
+  std::vector<Bytes> writes;
+  Outbox box({}, [&](const Bytes& b) { writes.push_back(b); }, &counters);
+  box.enqueue(frame_of(0x01, 4));
+  box.enqueue(frame_of(0x02, 8));
+  box.enqueue(frame_of(0x03, 2));
+  EXPECT_EQ(box.pending_frames(), 3u);
+  EXPECT_EQ(box.pending_bytes(), 14u);
+  box.flush();
+  ASSERT_EQ(writes.size(), 1u);
+  EXPECT_EQ(writes[0],
+            concat({frame_of(0x01, 4), frame_of(0x02, 8), frame_of(0x03, 2)}));
+  EXPECT_EQ(counters.get("egress_writes"), 1u);
+  EXPECT_EQ(counters.get("egress_frames"), 3u);
+  EXPECT_EQ(counters.get("egress_batched_writes"), 1u);
+  EXPECT_EQ(box.pending_frames(), 0u);
+  EXPECT_EQ(box.pending_bytes(), 0u);
+}
+
+TEST(Outbox, SingleFrameGoesOutUnconcatenated) {
+  Counters counters;
+  std::vector<Bytes> writes;
+  Outbox box({}, [&](const Bytes& b) { writes.push_back(b); }, &counters);
+  box.enqueue(frame_of(0x55, 6));
+  box.flush();
+  ASSERT_EQ(writes.size(), 1u);
+  EXPECT_EQ(writes[0], frame_of(0x55, 6));
+  EXPECT_EQ(counters.get("egress_batched_writes"), 0u);
+  box.flush();  // idle flush is a no-op
+  EXPECT_EQ(writes.size(), 1u);
+  EXPECT_EQ(counters.get("egress_writes"), 1u);
+}
+
+TEST(Outbox, FrameBoundForcesEarlyFlush) {
+  Outbox::Config cfg;
+  cfg.max_queued_frames = 2;
+  std::vector<Bytes> writes;
+  Outbox box(cfg, [&](const Bytes& b) { writes.push_back(b); }, nullptr);
+  box.enqueue(frame_of(0x01, 1));
+  box.enqueue(frame_of(0x02, 1));
+  // The third frame bursts the bound: the first two go out, nothing drops.
+  box.enqueue(frame_of(0x03, 1));
+  ASSERT_EQ(writes.size(), 1u);
+  EXPECT_EQ(writes[0], concat({frame_of(0x01, 1), frame_of(0x02, 1)}));
+  EXPECT_EQ(box.pending_frames(), 1u);
+  box.flush();
+  ASSERT_EQ(writes.size(), 2u);
+  EXPECT_EQ(writes[1], frame_of(0x03, 1));
+}
+
+TEST(Outbox, ByteBoundForcesEarlyFlushAndOversizedFrameGoesWhole) {
+  Outbox::Config cfg;
+  cfg.max_batch_bytes = 16;
+  std::vector<Bytes> writes;
+  Outbox box(cfg, [&](const Bytes& b) { writes.push_back(b); }, nullptr);
+  box.enqueue(frame_of(0x01, 10));
+  // 10 + 12 > 16: the queued frame flushes first.
+  box.enqueue(frame_of(0x02, 12));
+  ASSERT_EQ(writes.size(), 1u);
+  EXPECT_EQ(writes[0], frame_of(0x01, 10));
+  // A frame larger than the whole byte budget still goes out, alone.
+  box.enqueue(frame_of(0x03, 100));
+  ASSERT_EQ(writes.size(), 2u);
+  EXPECT_EQ(writes[1], frame_of(0x02, 12));
+  box.flush();
+  ASSERT_EQ(writes.size(), 3u);
+  EXPECT_EQ(writes[2], frame_of(0x03, 100));
+}
+
+TEST(Outbox, ClearDropsQueuedFrames) {
+  std::vector<Bytes> writes;
+  Outbox box({}, [&](const Bytes& b) { writes.push_back(b); }, nullptr);
+  box.enqueue(frame_of(0x01, 4));
+  box.clear();
+  box.flush();
+  EXPECT_TRUE(writes.empty());
+  EXPECT_EQ(box.pending_frames(), 0u);
+  EXPECT_EQ(box.pending_bytes(), 0u);
+}
+
+TEST(Outbox, TemplatePatchHappensAtFlushTime) {
+  Counters counters;
+  std::vector<Bytes> writes;
+  Outbox box({}, [&](const Bytes& b) { writes.push_back(b); }, &counters);
+  auto tpl = make_template(QoS::kAtLeastOnce, 1);
+  box.enqueue(tpl, 5, false);
+  // Another link's flush patches the shared template in between; the
+  // queued entry must not be affected -- its patch happens at flush time.
+  (void)tpl->patched(9, true);
+  box.flush();
+  ASSERT_EQ(writes.size(), 1u);
+  auto decoded = decode(BytesView(writes[0]));
+  ASSERT_TRUE(decoded.ok());
+  const auto* p = std::get_if<Publish>(&decoded.value());
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->packet_id, 5u);
+  EXPECT_FALSE(p->dup);
+  EXPECT_EQ(counters.get("egress_template_bytes_shared"), tpl->size());
+}
+
+TEST(Outbox, MixedTemplatesAndOwnedFramesKeepQueueOrder) {
+  std::vector<Bytes> writes;
+  Outbox box({}, [&](const Bytes& b) { writes.push_back(b); }, nullptr);
+  auto tpl = make_template(QoS::kAtLeastOnce, 1);
+  box.enqueue(frame_of(0xAA, 3));
+  box.enqueue(tpl, 42, false);
+  box.enqueue(frame_of(0xBB, 2));
+  box.flush();
+  ASSERT_EQ(writes.size(), 1u);
+  const Bytes expected =
+      concat({frame_of(0xAA, 3), tpl->patched(42, false), frame_of(0xBB, 2)});
+  EXPECT_EQ(writes[0], expected);
+}
+
+TEST(Outbox, ReentrantWriteCallbackDrainsWithoutLoss) {
+  std::vector<Bytes> writes;
+  Outbox* self = nullptr;
+  bool reentered = false;
+  Outbox box({},
+             [&](const Bytes& b) {
+               writes.push_back(b);
+               if (!reentered) {
+                 // A synchronous peer response queues one more frame while
+                 // the first flush is still on the stack.
+                 reentered = true;
+                 self->enqueue(frame_of(0xEE, 5));
+               }
+             },
+             nullptr);
+  self = &box;
+  box.enqueue(frame_of(0x01, 4));
+  box.flush();
+  ASSERT_EQ(writes.size(), 2u);
+  EXPECT_EQ(writes[0], frame_of(0x01, 4));
+  EXPECT_EQ(writes[1], frame_of(0xEE, 5));
+  EXPECT_EQ(box.pending_frames(), 0u);
+}
+
+}  // namespace
+}  // namespace ifot::mqtt

@@ -54,9 +54,21 @@ TEST(SysCounters, FanoutAndDedupCountersArePublished) {
            "$SYS/broker/publish/fanout/topic_bytes/copied",
            "$SYS/broker/store/qos2/dedup/evictions",
            "$SYS/broker/store/qos2/dedup/backlog",
+           "$SYS/broker/egress/wire_templates",
+           "$SYS/broker/egress/template_bytes_shared",
+           "$SYS/broker/egress/batched_writes",
+           "$SYS/broker/egress/frames_per_write",
        }) {
     ASSERT_TRUE(stats.count(topic)) << "missing " << topic;
   }
+  // The egress path encoded shared wire templates, and the watcher's own
+  // $SYS burst (17 topics per tick towards one link) coalesced into
+  // batched transport writes.
+  EXPECT_GE(std::stoull(stats.at("$SYS/broker/egress/wire_templates")), 1u);
+  EXPECT_GT(std::stoull(stats.at("$SYS/broker/egress/batched_writes")), 0u);
+  EXPECT_GE(std::stoull(stats.at("$SYS/broker/egress/frames_per_write")), 1u);
+  EXPECT_GT(
+      std::stoull(stats.at("$SYS/broker/egress/template_bytes_shared")), 0u);
   // The flow/a fan-out encoded once and shared its 10 payload bytes.
   EXPECT_GE(std::stoull(stats.at("$SYS/broker/publish/fanout/encodes")), 1u);
   EXPECT_GE(std::stoull(stats.at("$SYS/broker/publish/fanout/bytes/shared")),

@@ -1,0 +1,173 @@
+// Wire-template regression tests for the unified egress path: the
+// packet-id offset recorded by encode_publish_template must stay correct
+// across every remaining-length varint width and around the topic-length
+// encode edges, and patching id/DUP in place must be byte-exact against a
+// fresh encode. Also pins the client retransmit path: a DUP redelivery
+// reuses the original wire buffer, flipping only the DUP bit.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mqtt/client.hpp"
+#include "mqtt/outbox.hpp"
+#include "mqtt/packet.hpp"
+#include "tests/mqtt/harness.hpp"
+
+namespace ifot::mqtt {
+namespace {
+
+using testing::SimSched;
+
+std::size_t varint_len(std::size_t body_len) {
+  std::size_t n = 1;
+  for (std::size_t v = body_len; v >= 128; v /= 128) ++n;
+  return n;
+}
+
+Publish make_publish(std::string topic, std::size_t payload_len, QoS qos,
+                     std::uint16_t packet_id) {
+  Publish p;
+  p.topic = std::move(topic);
+  p.payload = SharedPayload(Bytes(payload_len, 0x42));
+  p.qos = qos;
+  p.packet_id = packet_id;
+  return p;
+}
+
+/// The template's frame must equal a fresh encode() of the same message,
+/// and its recorded id offset must point at the id actually serialized.
+void expect_template_exact(const Publish& p) {
+  const EncodedPublish enc = encode_publish_template(p);
+  const std::size_t body_len = 2 + p.topic.size() +
+                               (p.qos != QoS::kAtMostOnce ? 2 : 0) +
+                               p.payload.size();
+  ASSERT_EQ(enc.wire, encode(Packet{p}))
+      << "topic len " << p.topic.size() << " payload " << p.payload.size();
+  if (p.qos == QoS::kAtMostOnce) {
+    EXPECT_EQ(enc.packet_id_offset, 0u);
+    return;
+  }
+  const std::size_t expected_offset =
+      1 + varint_len(body_len) + 2 + p.topic.size();
+  ASSERT_EQ(enc.packet_id_offset, expected_offset);
+  EXPECT_EQ(enc.wire[enc.packet_id_offset],
+            static_cast<std::uint8_t>(p.packet_id >> 8));
+  EXPECT_EQ(enc.wire[enc.packet_id_offset + 1],
+            static_cast<std::uint8_t>(p.packet_id & 0xFF));
+
+  // Patching a different id (and DUP) must be byte-exact against a fresh
+  // encode of that variant.
+  WireTemplate tpl(enc);
+  Publish redelivered = p;
+  redelivered.packet_id = 0x1234;
+  redelivered.dup = true;
+  EXPECT_EQ(tpl.patched(0x1234, true), encode(Packet{redelivered}));
+  Publish again = p;
+  again.packet_id = 7;
+  again.dup = false;
+  EXPECT_EQ(tpl.patched(7, false), encode(Packet{again}));
+  EXPECT_EQ(tpl.current_packet_id(), 7u);
+}
+
+TEST(WireTemplate, PacketIdOffsetAcrossVarintWidths) {
+  // Remaining-length widths 1, 2, 3 and 4 bytes: bodies up to 127, 16383,
+  // 2097151 and beyond.
+  expect_template_exact(make_publish("t", 8, QoS::kAtLeastOnce, 21));
+  expect_template_exact(make_publish("t", 500, QoS::kAtLeastOnce, 22));
+  expect_template_exact(make_publish("t", 20'000, QoS::kExactlyOnce, 23));
+  expect_template_exact(
+      make_publish("t", 2'200'000, QoS::kAtLeastOnce, 24));
+}
+
+TEST(WireTemplate, PacketIdOffsetAtVarintBoundaries) {
+  // Pin the exact flip points: body_len 127 -> 1-byte varint, 128 ->
+  // 2-byte; 16383 -> 2-byte, 16384 -> 3-byte. body = 2 + topic + 2 + 0.
+  for (const std::size_t topic_len : {123u, 124u, 16379u, 16380u}) {
+    expect_template_exact(make_publish(std::string(topic_len, 'a'), 0,
+                                       QoS::kAtLeastOnce, 31));
+  }
+}
+
+TEST(WireTemplate, TopicsStraddlingLengthEdges) {
+  // Topic lengths around the 127- and 16383-byte marks, where an
+  // off-by-one in the offset arithmetic would land the patch inside the
+  // topic (or past the id).
+  for (const std::size_t topic_len :
+       {126u, 127u, 128u, 16382u, 16383u, 16384u}) {
+    expect_template_exact(make_publish(std::string(topic_len, 'x'), 5,
+                                       QoS::kExactlyOnce, 400));
+  }
+}
+
+TEST(WireTemplate, Qos0TemplateHasNoIdField) {
+  const Publish p = make_publish("sensors/a", 16, QoS::kAtMostOnce, 0);
+  const EncodedPublish enc = encode_publish_template(p);
+  EXPECT_EQ(enc.packet_id_offset, 0u);
+  WireTemplate tpl(enc);
+  EXPECT_FALSE(tpl.has_packet_id());
+  // Patching with (0, false) is the only legal call; it is a no-op.
+  EXPECT_EQ(tpl.patched(0, false), encode(Packet{p}));
+}
+
+TEST(WireTemplate, PatchedFrameDecodesBack) {
+  const Publish p = make_publish("f/edge", 64, QoS::kAtLeastOnce, 9);
+  WireTemplate tpl(encode_publish_template(p));
+  auto decoded = decode(BytesView(tpl.patched(0xBEEF, true)));
+  ASSERT_TRUE(decoded.ok());
+  const auto* out = std::get_if<Publish>(&decoded.value());
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->packet_id, 0xBEEF);
+  EXPECT_TRUE(out->dup);
+  EXPECT_EQ(out->topic.str(), "f/edge");
+  EXPECT_EQ(out->payload.size(), 64u);
+}
+
+/// Client retransmit regression: the DUP redelivery must be the original
+/// wire buffer with only the DUP bit flipped — no re-encode, no drift.
+void expect_client_retransmit_byte_exact(QoS qos) {
+  sim::Simulator sim;
+  SimSched sched(sim);
+  ClientConfig cc;
+  cc.client_id = "dup-exact";
+  cc.retry_interval = from_millis(50);
+  std::vector<Bytes> writes;
+  Client client(sched, cc,
+                [&](const Bytes& b) { writes.push_back(b); });
+  client.on_transport_open();
+  client.on_data(
+      BytesView(encode(Packet{Connack{false, ConnectCode::kAccepted}})));
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.publish("flow/x", Bytes(48, 0x3C), qos).ok());
+  sim.run_until(sim.now() + from_millis(120));  // two retry intervals
+
+  // Collect the raw PUBLISH frames (CONNECT and pings are not PUBLISH).
+  std::vector<Bytes> publishes;
+  for (const Bytes& w : writes) {
+    if (!w.empty() && (w[0] >> 4) ==
+                          static_cast<std::uint8_t>(PacketType::kPublish)) {
+      publishes.push_back(w);
+    }
+  }
+  ASSERT_GE(publishes.size(), 2u);
+  const Bytes& first = publishes[0];
+  EXPECT_EQ(first[0] & 0x08, 0);  // first delivery never carries DUP
+  for (std::size_t i = 1; i < publishes.size(); ++i) {
+    Bytes expected = first;
+    expected[0] |= 0x08;
+    EXPECT_EQ(publishes[i], expected) << "retransmit " << i;
+  }
+  // The whole retry storm cost exactly one encode.
+  EXPECT_EQ(client.counters().get("egress_wire_templates"), 1u);
+}
+
+TEST(WireTemplate, ClientQos1RetransmitIsByteExactDup) {
+  expect_client_retransmit_byte_exact(QoS::kAtLeastOnce);
+}
+
+TEST(WireTemplate, ClientQos2RetransmitIsByteExactDup) {
+  expect_client_retransmit_byte_exact(QoS::kExactlyOnce);
+}
+
+}  // namespace
+}  // namespace ifot::mqtt

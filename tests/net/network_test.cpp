@@ -207,6 +207,98 @@ TEST_F(NetworkTest, DeterministicAcrossRuns) {
   EXPECT_NE(run_once(5), run_once(6));
 }
 
+TEST_F(NetworkTest, SendFramesDeliversEachFrameInOrder) {
+  Network net(sim_, quiet_lan(), 1);
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  std::vector<Delivery> got;
+  net.set_handler(b, [&](NodeId from, const Bytes& p) {
+    got.push_back({from, p, sim_.now()});
+  });
+  std::vector<Bytes> frames;
+  frames.push_back(to_bytes("one"));
+  frames.push_back(to_bytes("two"));
+  frames.push_back(to_bytes("three"));
+  net.send_frames(a, b, std::move(frames));
+  sim_.run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(to_string(BytesView(got[0].payload)), "one");
+  EXPECT_EQ(to_string(BytesView(got[1].payload)), "two");
+  EXPECT_EQ(to_string(BytesView(got[2].payload)), "three");
+  // The batch rides one wire frame: all datagrams land at the same
+  // instant, split back out in order.
+  EXPECT_EQ(got[0].at, got[2].at);
+  EXPECT_EQ(net.counters().get("frames"), 3u);
+  EXPECT_EQ(net.counters().get("writes"), 1u);
+  EXPECT_EQ(net.counters().get("batched_writes"), 1u);
+  EXPECT_EQ(net.counters().get("coalesced_frames"), 3u);
+}
+
+TEST_F(NetworkTest, SendFramesChargesOneOverheadForTheWholeBatch) {
+  LanConfig lan = quiet_lan();
+  lan.bandwidth_bps = 8e6;  // 1 byte / us
+  lan.propagation = from_millis(1);
+  lan.per_frame_overhead = from_millis(0.5);
+  lan.header_bytes = 0;
+  Network net(sim_, lan, 1);
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  std::vector<SimTime> arrivals;
+  net.set_handler(b, [&](NodeId, const Bytes&) {
+    arrivals.push_back(sim_.now());
+  });
+  // Two 500-byte datagrams batched = one 1000-byte frame: 0.5 ms overhead
+  // (once, not twice) + 1 ms airtime + 1 ms propagation.
+  std::vector<Bytes> frames;
+  frames.push_back(Bytes(500, 0));
+  frames.push_back(Bytes(500, 0));
+  net.send_frames(a, b, std::move(frames));
+  sim_.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], from_millis(2.5));
+  EXPECT_EQ(arrivals[1], from_millis(2.5));
+}
+
+TEST_F(NetworkTest, SendFramesKeepsFifoWithSingleSends) {
+  LanConfig lan;
+  lan.jitter_max = from_millis(5);
+  lan.loss_prob = 0;
+  Network net(sim_, lan, 11);
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  std::vector<std::uint8_t> got;
+  net.set_handler(b, [&](NodeId, const Bytes& p) { got.push_back(p[0]); });
+  net.send(a, b, Bytes{0});
+  std::vector<Bytes> frames;
+  frames.push_back(Bytes{1});
+  frames.push_back(Bytes{2});
+  net.send_frames(a, b, std::move(frames));
+  net.send(a, b, Bytes{3});
+  sim_.run();
+  ASSERT_EQ(got.size(), 4u);
+  for (std::uint8_t i = 0; i < 4; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST_F(NetworkTest, SendFramesLossDropsTheWholeBatch) {
+  LanConfig lan = quiet_lan();
+  lan.loss_prob = 1.0;
+  lan.max_attempts = 2;
+  Network net(sim_, lan, 3);
+  const NodeId a = net.add_host("a");
+  const NodeId b = net.add_host("b");
+  int delivered = 0;
+  net.set_handler(b, [&](NodeId, const Bytes&) { ++delivered; });
+  std::vector<Bytes> frames;
+  frames.push_back(Bytes{1});
+  frames.push_back(Bytes{2});
+  frames.push_back(Bytes{3});
+  net.send_frames(a, b, std::move(frames));
+  sim_.run();
+  EXPECT_EQ(delivered, 0);
+  // Every datagram in the batch is accounted as dropped.
+  EXPECT_EQ(net.counters().get("drops"), 3u);
+}
+
 TEST_F(NetworkTest, RetransmissionBackoffClampsAtMaxBackoff) {
   // 100% loss with a large attempt budget: the doubled backoff must clamp
   // at max_backoff. Unclamped doubling overflows SimDuration after ~60
