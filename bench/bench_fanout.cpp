@@ -220,6 +220,64 @@ void BM_FanOutQos1Burst(benchmark::State& state) {
 }
 BENCHMARK(BM_FanOutQos1Burst)->Arg(1)->Arg(10)->Arg(50);
 
+/// The ingress route path on a hot topic (the paper's workload: fixed
+/// sensor topic names at 5-80 Hz forever). Every subscriber holds three
+/// overlapping wildcard filters, so the uncached path pays a trie walk
+/// plus sort + dedup of 3N matches per publish; the cached path resolves
+/// the same plan from the route cache after the first publish.
+/// Args: {subscribers, route_cache_entries (0 = disabled)}.
+void BM_RouteHotTopic(benchmark::State& state) {
+  const int subs = static_cast<int>(state.range(0));
+  const auto cache_entries = static_cast<std::size_t>(state.range(1));
+  NullSched sched;
+  BrokerConfig cfg;
+  cfg.route_cache_entries = cache_entries;
+  Broker broker(sched, cfg);
+  std::uint64_t delivered = 0;
+  broker.on_link_open(kPubLink, [](const Bytes&) {}, [] {});
+  Connect c;
+  c.client_id = "pub";
+  broker.on_link_data(kPubLink, BytesView(encode(Packet{c})));
+  for (int i = 0; i < subs; ++i) {
+    const LinkId link = kFirstSubLink + static_cast<LinkId>(i);
+    broker.on_link_open(link,
+                        [&delivered](const Bytes& b) {
+                          ++delivered;
+                          benchmark::DoNotOptimize(b.data());
+                        },
+                        [] {});
+    Connect sc;
+    sc.client_id = "sub" + std::to_string(i);
+    broker.on_link_data(link, BytesView(encode(Packet{sc})));
+    Subscribe s;
+    s.packet_id = 1;
+    // Three filters all matching the hot topic: exact, '+', '#'.
+    s.topics = {{"ifot/paper_eval/sense_a", QoS::kAtMostOnce},
+                {"ifot/+/sense_a", QoS::kAtMostOnce},
+                {"ifot/#", QoS::kAtMostOnce}};
+    broker.on_link_data(link, BytesView(encode(Packet{s})));
+  }
+  const Bytes pub = encode(Packet{sample_publish(64, QoS::kAtMostOnce)});
+  for (auto _ : state) {
+    broker.on_link_data(kPubLink, BytesView(pub));
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          subs);
+  const Counters& counters = broker.counters();
+  const double hits = static_cast<double>(counters.get("route_cache_hits"));
+  const double misses =
+      static_cast<double>(counters.get("route_cache_misses"));
+  state.counters["fanout"] = subs;
+  state.counters["cache_entries"] = static_cast<double>(cache_entries);
+  state.counters["routed_msgs_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * subs,
+      benchmark::Counter::kIsRate);
+  state.counters["cache_hit_rate"] =
+      hits + misses > 0 ? hits / (hits + misses) : 0.0;
+}
+BENCHMARK(BM_RouteHotTopic)->ArgsProduct({{10, 50}, {0, 1024}});
+
 }  // namespace
 
 IFOT_BENCH_MAIN("fanout")

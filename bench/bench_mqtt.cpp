@@ -92,7 +92,7 @@ void BM_TopicTreeMatch(benchmark::State& state) {
                 i, 0);
   }
   tree.insert("ifot/app3/#", 1 << 20, 0);
-  std::vector<std::pair<int, int>> out;
+  TopicTree<int, int>::MatchList out;
   for (auto _ : state) {
     out.clear();
     tree.match("ifot/app3/node3/7", out);

@@ -47,6 +47,22 @@ std::vector<Packet> corpus_packets() {
   out.push_back(Pingreq{});
   out.push_back(Pingresp{});
   out.push_back(Disconnect{});
+  // Wildcard-heavy SUBSCRIBEs: the route-cache ingress path resolves
+  // these against every published topic, so the decoder (and the trie
+  // behind it) must survive multi-level '+', bare/trailing '#', and
+  // $-prefixed filters. Appended so earlier seed numbering stays stable.
+  out.push_back(Subscribe{
+      .packet_id = 17,
+      .topics = {{"+/+/+", QoS::kAtMostOnce},
+                 {"+/+/#", QoS::kAtLeastOnce}}});
+  out.push_back(Subscribe{
+      .packet_id = 18,
+      .topics = {{"#", QoS::kExactlyOnce}, {"+", QoS::kAtMostOnce}}});
+  out.push_back(Subscribe{
+      .packet_id = 19,
+      .topics = {{"sport/+/player1/#", QoS::kAtLeastOnce},
+                 {"$SYS/#", QoS::kAtMostOnce},
+                 {"$SYS/broker/route/cache/+", QoS::kAtMostOnce}}});
   return out;
 }
 

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff a fresh BENCH_<name>.json against the
+committed baseline and fail on throughput regressions.
+
+Every bench binary dumps a flat {"BM_name/args/counter": value} JSON
+(see bench/bench_json.hpp). This gate compares the throughput counters
+(by default every metric ending in /routed_msgs_per_sec) between the
+committed baseline and a fresh run, and fails when any of them dropped
+by more than --threshold (default 20%).
+
+Faster-than-baseline results never fail; CI machines differ, so the
+gate is a coarse backstop against order-of-magnitude regressions (an
+accidentally disabled route cache, a reintroduced per-publish sort),
+not a precision benchmark. Refresh the baseline deliberately with:
+
+    ./build/bench/bench_fanout --benchmark_min_time=0.2
+    cp BENCH_fanout.json bench/baselines/BENCH_fanout.json
+
+Usage:
+    check_bench_regression.py --baseline bench/baselines/BENCH_fanout.json \
+        --current build/bench/BENCH_fanout.json [--threshold 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read bench json {path}: {e}")
+    if not isinstance(data, dict):
+        sys.exit(f"error: {path} is not a flat metric map")
+    return {k: float(v) for k, v in data.items()
+            if isinstance(v, (int, float))}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline BENCH json")
+    ap.add_argument("--current", required=True,
+                    help="freshly produced BENCH json")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="allowed fractional drop (default 0.20 = 20%%)")
+    ap.add_argument("--metric-suffix", default="/routed_msgs_per_sec",
+                    help="which counters to compare (metric-name suffix)")
+    args = ap.parse_args()
+
+    baseline = load_metrics(args.baseline)
+    current = load_metrics(args.current)
+
+    watched = {k: v for k, v in baseline.items()
+               if k.endswith(args.metric_suffix) and v > 0}
+    if not watched:
+        sys.exit(f"error: baseline {args.baseline} has no metrics ending in "
+                 f"'{args.metric_suffix}' — gate would pass vacuously")
+
+    failures = []
+    for name, base_value in sorted(watched.items()):
+        if name not in current:
+            # A renamed or deleted benchmark must update the baseline,
+            # not silently shrink the gate's coverage.
+            failures.append(f"{name}: present in baseline but missing from "
+                            f"current run")
+            continue
+        cur_value = current[name]
+        change = (cur_value - base_value) / base_value
+        status = "OK"
+        if change < -args.threshold:
+            status = "REGRESSION"
+            failures.append(f"{name}: {base_value:.3g} -> {cur_value:.3g} "
+                            f"({change:+.1%}, allowed -{args.threshold:.0%})")
+        print(f"  [{status}] {name}: {base_value:.3g} -> {cur_value:.3g} "
+              f"({change:+.1%})")
+
+    if failures:
+        print(f"\n{len(failures)} bench regression(s) beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(watched)} throughput metrics within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -86,6 +86,8 @@ AUDITED_CLASSES = [
      "impl": "src/mqtt/broker.cpp"},
     {"class": "Outbox", "header": "src/mqtt/outbox.hpp",
      "impl": "src/mqtt/outbox.cpp"},
+    {"class": "RouteCache", "header": "src/mqtt/route_cache.hpp",
+     "impl": "src/mqtt/route_cache.cpp"},
     {"class": "NeuronModule", "header": "src/node/module.hpp",
      "impl": "src/node/module.cpp"},
     {"class": "Middleware", "header": "src/core/middleware.hpp",

@@ -13,7 +13,9 @@ constexpr const char* kLog = "mqtt.broker";
 }
 
 Broker::Broker(Scheduler& sched, BrokerConfig cfg)
-    : sched_(sched), cfg_(cfg) {
+    : sched_(sched),
+      cfg_(cfg),
+      route_cache_(cfg.route_cache_entries, &counters_) {
   if (cfg_.sys_interval > 0) arm_sys_stats();
 }
 
@@ -338,11 +340,21 @@ void Broker::route(Publish p, const std::string& origin) {
     }
   }
 
-  std::vector<std::pair<std::string, QoS>> matches;
-  tree_.match(p.topic, matches);
-  // Dedup by subscriber, keeping the highest granted QoS among matching
-  // filters (overlapping-subscription rule, §3.3.5).
-  std::sort(matches.begin(), matches.end());
+  // Resolve the fan-out plan: cache hit on the steady state, derived
+  // from the trie (and cached at the current tree version) on a miss.
+  // $-topics stay out of the cache — a $SYS stats tick publishes dozens
+  // of distinct names and would churn the LRU working set.
+  const std::string_view topic_view = p.topic.view();
+  const bool cacheable = !topic_view.empty() && topic_view.front() != '$';
+  const RouteCache::Plan* plan =
+      cacheable ? route_cache_.lookup(topic_view, tree_.version()) : nullptr;
+  if (plan == nullptr) {
+    derive_plan(topic_view, match_scratch_, plan_scratch_);
+    if (cacheable) {
+      plan = route_cache_.insert(topic_view, tree_.version(), plan_scratch_);
+    }
+    if (plan == nullptr) plan = &plan_scratch_;  // uncacheable or disabled
+  }
   const Publish original = std::move(p);
   // Encode-once fan-out at every QoS level: each effective-QoS group of
   // this message shares one wire template (retain/dup cleared per
@@ -367,37 +379,64 @@ void Broker::route(Publish p, const std::string& origin) {
     }
     return slot;
   };
+  // Execute the plan. Iterating granted-QoS groups is safe while holding
+  // `plan` into the cache: deliveries never subscribe, unsubscribe or
+  // drop links, so neither the trie nor the cache mutates under us.
+  for (std::size_t g = 0; g < plan->by_qos.size(); ++g) {
+    const QoS granted = static_cast<QoS>(g);
+    for (const std::string& client_id : plan->by_qos[g]) {
+      auto it = sessions_.find(client_id);
+      if (it == sessions_.end()) continue;
+      Session& session = *it->second;
+      const QoS effective = std::min(original.qos, granted);
+      if (effective == QoS::kAtMostOnce) {
+        if (!session.connected) {
+          counters_.add("dropped_qos0_offline");
+          continue;
+        }
+        auto lit = links_.find(session.link);
+        if (lit == links_.end()) {
+          counters_.add("dropped_qos0_offline");
+          continue;
+        }
+        counters_.add("payload_bytes_shared", original.payload.size());
+        counters_.add("topic_bytes_shared", original.topic.size());
+        counters_.add("delivered_qos0");
+        send_template(*lit->second, group_template(effective), 0, false);
+      } else {
+        Publish out;
+        out.topic = original.topic;      // shares the string
+        out.payload = original.payload;  // shares the buffer
+        out.qos = effective;             // retain/dup cleared [MQTT-3.3.1-9]
+        counters_.add("payload_bytes_shared", original.payload.size());
+        counters_.add("topic_bytes_shared", original.topic.size());
+        deliver(session, std::move(out), group_template(effective));
+      }
+    }
+  }
+}
+
+void Broker::derive_plan(std::string_view topic,
+                         TopicTree<std::string, QoS>::MatchList& matches,
+                         RouteCache::Plan& out) const {
+  for (auto& group : out.by_qos) group.clear();
+  matches.clear();
+  tree_.match(topic, matches);
+  // Dedup by subscriber, keeping the highest granted QoS among matching
+  // filters (overlapping-subscription rule, §3.3.5). Sorting by (key,
+  // QoS) makes "keep last" the max-QoS entry and each plan group sorted.
+  std::sort(matches.begin(), matches.end(),
+            [](const TopicTree<std::string, QoS>::Match& a,
+               const TopicTree<std::string, QoS>::Match& b) {
+              if (*a.first != *b.first) return *a.first < *b.first;
+              return a.second < b.second;
+            });
   for (std::size_t i = 0; i < matches.size(); ++i) {
-    if (i + 1 < matches.size() && matches[i + 1].first == matches[i].first) {
+    if (i + 1 < matches.size() && *matches[i + 1].first == *matches[i].first) {
       continue;  // keep last (sorted -> highest QoS is the later entry)
     }
-    auto it = sessions_.find(matches[i].first);
-    if (it == sessions_.end()) continue;
-    Session& session = *it->second;
-    const QoS effective = std::min(original.qos, matches[i].second);
-    if (effective == QoS::kAtMostOnce) {
-      if (!session.connected) {
-        counters_.add("dropped_qos0_offline");
-        continue;
-      }
-      auto lit = links_.find(session.link);
-      if (lit == links_.end()) {
-        counters_.add("dropped_qos0_offline");
-        continue;
-      }
-      counters_.add("payload_bytes_shared", original.payload.size());
-      counters_.add("topic_bytes_shared", original.topic.size());
-      counters_.add("delivered_qos0");
-      send_template(*lit->second, group_template(effective), 0, false);
-    } else {
-      Publish out;
-      out.topic = original.topic;      // shares the string
-      out.payload = original.payload;  // shares the buffer
-      out.qos = effective;             // retain/dup cleared [MQTT-3.3.1-9]
-      counters_.add("payload_bytes_shared", original.payload.size());
-      counters_.add("topic_bytes_shared", original.topic.size());
-      deliver(session, std::move(out), group_template(effective));
-    }
+    out.by_qos[static_cast<std::size_t>(matches[i].second)].push_back(
+        *matches[i].first);
   }
 }
 
@@ -649,6 +688,13 @@ void Broker::publish_sys_stats() {
   pub("egress/frames_per_write",
       counters_.get("egress_frames") /
           std::max<std::uint64_t>(1, counters_.get("egress_writes")));
+  // Ingress route cache health: steady-state publishes should be nearly
+  // all hits; invalidations track subscription churn.
+  pub("route/cache/hits", counters_.get("route_cache_hits"));
+  pub("route/cache/misses", counters_.get("route_cache_misses"));
+  pub("route/cache/invalidations", counters_.get("route_cache_invalidations"));
+  pub("route/cache/evictions", counters_.get("route_cache_evictions"));
+  pub("route/cache/entries", route_cache_.size());
 }
 
 void Broker::drop_link(Link& link, bool publish_will) {
@@ -783,6 +829,16 @@ void Broker::audit_invariants() const {
     IFOT_AUDIT_ASSERT(!msg.payload.empty(),
                       "empty retained payload should have cleared the slot");
   }
+
+  // Every current-version cached plan must re-derive byte-for-byte from
+  // the live trie (local scratch: this audit must not disturb the
+  // broker's route scratch).
+  route_cache_.audit_invariants(
+      tree_.version(),
+      [this](std::string_view topic, RouteCache::Plan& out) {
+        TopicTree<std::string, QoS>::MatchList matches;
+        derive_plan(topic, matches, out);
+      });
 }
 
 }  // namespace ifot::mqtt

@@ -30,6 +30,7 @@
 #include "mqtt/id_set.hpp"
 #include "mqtt/outbox.hpp"
 #include "mqtt/packet.hpp"
+#include "mqtt/route_cache.hpp"
 #include "mqtt/scheduler.hpp"
 #include "mqtt/topic.hpp"
 
@@ -62,6 +63,10 @@ struct BrokerConfig {
   /// Per-link egress bounds: frames queued within one scheduler turn
   /// coalesce into a single transport write up to these limits.
   Outbox::Config egress;
+  /// Bound on the ingress route cache (resolved topic -> fan-out plans,
+  /// LRU-evicted; see mqtt/route_cache.hpp). 0 disables caching — every
+  /// publish then re-derives its plan from the subscription trie.
+  std::size_t route_cache_entries = 1024;
 };
 
 /// The broker. One instance per broker node.
@@ -161,8 +166,19 @@ class Broker {
   void handle_unsubscribe(Session& session, const Unsubscribe& u);
 
   /// Routes a message to every matching subscriber (and the retained
-  /// store when retain is set).
+  /// store when retain is set). Steady-state hot topics resolve their
+  /// fan-out plan from the route cache; misses re-derive it from the
+  /// subscription trie and cache it at the current tree version.
   void route(Publish p, const std::string& origin);
+
+  /// Resolves `topic`'s fan-out plan from the subscription trie into
+  /// `out` (both scratch args are cleared first): matches deduped by
+  /// subscriber with the highest granted QoS, grouped by granted QoS,
+  /// sorted within each group. The single source of truth for what a
+  /// cached plan must contain (the cache audit re-derives through it).
+  void derive_plan(std::string_view topic,
+                   TopicTree<std::string, QoS>::MatchList& matches,
+                   RouteCache::Plan& out) const;
 
   /// Queues or sends one message to one subscriber session. `wire` is
   /// the fan-out group's shared template (null for singleton deliveries
@@ -210,6 +226,13 @@ class Broker {
   TopicTree<std::string, QoS> tree_;
   std::map<std::string, Publish> retained_;
   Counters counters_;
+  RouteCache route_cache_;
+  // Scratch reused across route() calls (match results; the derived plan
+  // for cache misses and uncacheable $-topics), so steady-state routing
+  // allocates nothing. route() is never re-entered while a plan is being
+  // executed — deliveries cannot drop links or publish.
+  TopicTree<std::string, QoS>::MatchList match_scratch_;
+  RouteCache::Plan plan_scratch_;
   std::vector<LinkId> dirty_links_;  // links with frames queued this turn
   std::uint64_t generation_ = 0;  // guards timers across session resets
   std::uint64_t sys_timer_ = 0;

@@ -1,0 +1,100 @@
+#include "mqtt/route_cache.hpp"
+
+#include <utility>
+
+#include "common/audit.hpp"
+
+namespace ifot::mqtt {
+
+const RouteCache::Plan* RouteCache::lookup(std::string_view topic,
+                                           std::uint64_t tree_version) {
+  if (capacity_ == 0) return nullptr;
+  auto it = index_.find(topic);
+  if (it == index_.end()) {
+    if (counters_ != nullptr) counters_->add("route_cache_misses");
+    return nullptr;
+  }
+  if (it->second->tree_version != tree_version) {
+    // The subscription set changed since this plan was resolved: drop
+    // the stale entry and report a (counted) miss so the caller
+    // re-derives and re-inserts at the current version.
+    if (counters_ != nullptr) {
+      counters_->add("route_cache_invalidations");
+      counters_->add("route_cache_misses");
+    }
+    lru_.erase(it->second);
+    index_.erase(it);
+    audit_invariants();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  if (counters_ != nullptr) counters_->add("route_cache_hits");
+  audit_invariants();
+  return &it->second->plan;
+}
+
+const RouteCache::Plan* RouteCache::insert(std::string_view topic,
+                                           std::uint64_t tree_version,
+                                           Plan plan) {
+  if (capacity_ == 0) return nullptr;
+  auto it = index_.find(topic);
+  if (it != index_.end()) {
+    // Same-version re-insert (two misses racing is impossible single-
+    // threaded, but a caller may legitimately refresh): replace in place.
+    it->second->tree_version = tree_version;
+    it->second->plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    audit_invariants();
+    return &it->second->plan;
+  }
+  if (lru_.size() >= capacity_) {
+    if (counters_ != nullptr) counters_->add("route_cache_evictions");
+    index_.erase(lru_.back().topic);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{std::string(topic), tree_version, std::move(plan)});
+  index_.emplace(lru_.front().topic, lru_.begin());
+  audit_invariants();
+  return &lru_.front().plan;
+}
+
+void RouteCache::clear() {
+  lru_.clear();
+  index_.clear();
+  audit_invariants();
+}
+
+void RouteCache::audit_invariants() const {
+  if constexpr (!audit::kEnabled) return;
+  IFOT_AUDIT_ASSERT(index_.size() == lru_.size(),
+                    "route cache index and LRU list diverged: " +
+                        std::to_string(index_.size()) + " indexed, " +
+                        std::to_string(lru_.size()) + " listed");
+  IFOT_AUDIT_ASSERT(capacity_ == 0 || lru_.size() <= capacity_,
+                    "route cache exceeded its entry bound");
+  for (const auto& [topic, it] : index_) {
+    IFOT_AUDIT_ASSERT(it->topic == topic,
+                      "route cache index key '" + topic +
+                          "' points at entry for '" + it->topic + "'");
+  }
+}
+
+void RouteCache::audit_invariants(
+    std::uint64_t tree_version,
+    const std::function<void(std::string_view, Plan&)>& recompute) const {
+  if constexpr (!audit::kEnabled) return;
+  audit_invariants();
+  Plan fresh;
+  for (const Entry& e : lru_) {
+    // Stale entries are legal residue — they are dropped on their next
+    // lookup. Plans stamped with the live version must re-derive
+    // exactly from the live trie.
+    if (e.tree_version != tree_version) continue;
+    recompute(e.topic, fresh);
+    IFOT_AUDIT_ASSERT(fresh == e.plan,
+                      "cached route plan for '" + e.topic +
+                          "' diverged from the live subscription trie");
+  }
+}
+
+}  // namespace ifot::mqtt

@@ -1,0 +1,112 @@
+// Versioned ingress route cache: topic name -> resolved fan-out plan.
+//
+// The paper's workload (three sensor modules publishing fixed topic names
+// at 5-80 Hz) routes the same handful of topics forever, so every
+// Broker::route used to re-walk the subscription trie, re-sort and
+// re-dedup the same match set per publish. RouteCache memoizes the final
+// product of that work — the subscriber client ids deduped across
+// overlapping filters with the max granted QoS applied, grouped per QoS
+// level the way the egress wire templates consume them — keyed by topic
+// name and stamped with the TopicTree version that produced it.
+//
+// Invalidation is precise because the tree version is: subscribe,
+// unsubscribe and session teardown bump it exactly when they change the
+// entry set, so a stale plan is detected on its next lookup (counted as
+// route_cache_invalidations) and recomputed. A bounded LRU keeps memory
+// flat under topic churn. Steady-state hits cost one transparent-hash
+// lookup and a list splice — no allocation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace ifot::mqtt {
+
+/// Bounded LRU from topic name to its resolved fan-out plan, validated
+/// against the subscription-tree version. One instance per Broker.
+class RouteCache {
+ public:
+  /// A fully resolved fan-out: subscriber client ids deduped across
+  /// overlapping filters (highest granted QoS wins, §3.3.5), grouped by
+  /// granted QoS level — one group per egress wire template — and
+  /// sorted within each group, so executing a plan is deterministic and
+  /// byte-identical to routing without the cache.
+  struct Plan {
+    std::array<std::vector<std::string>, 3> by_qos;
+
+    [[nodiscard]] std::size_t subscriber_count() const {
+      return by_qos[0].size() + by_qos[1].size() + by_qos[2].size();
+    }
+    friend bool operator==(const Plan&, const Plan&) = default;
+  };
+
+  /// `capacity` == 0 disables the cache entirely (lookup always misses
+  /// without counting, insert is a no-op); `counters` may be null.
+  RouteCache(std::size_t capacity, Counters* counters)
+      : capacity_(capacity), counters_(counters) {}
+
+  /// Returns the plan cached for `topic` if it was resolved at
+  /// `tree_version`; null on a miss. A version mismatch drops the stale
+  /// entry (counted as an invalidation) and reports a miss. A hit
+  /// refreshes the entry's LRU position.
+  const Plan* lookup(std::string_view topic, std::uint64_t tree_version);
+
+  /// Caches `plan` for `topic` at `tree_version`, evicting the least
+  /// recently used entry at capacity. Returns the stored plan (null when
+  /// the cache is disabled); the pointer stays valid until the entry is
+  /// invalidated or evicted.
+  const Plan* insert(std::string_view topic, std::uint64_t tree_version,
+                     Plan plan);
+
+  /// Drops every entry (counters unaffected).
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return lru_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+
+  /// Structural self-checks: index and LRU list agree, the entry bound
+  /// holds. Audit builds (-DIFOT_AUDIT=ON) abort on violation; release
+  /// builds compile this to a no-op.
+  void audit_invariants() const;
+
+  /// Deep audit: every cached plan whose version is current must be
+  /// re-derivable, byte-for-byte, from the live subscription trie.
+  /// `recompute` resolves a topic's plan from the trie (the broker
+  /// passes its own derivation). Stale entries are skipped — they are
+  /// dropped on their next lookup.
+  void audit_invariants(
+      std::uint64_t tree_version,
+      const std::function<void(std::string_view, Plan&)>& recompute) const;
+
+ private:
+  struct Entry {
+    std::string topic;
+    std::uint64_t tree_version = 0;
+    Plan plan;
+  };
+
+  struct TopicHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::size_t capacity_;
+  Counters* counters_;  // not owned; may be null
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator, TopicHash,
+                     std::equal_to<>>
+      index_;
+};
+
+}  // namespace ifot::mqtt

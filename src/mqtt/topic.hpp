@@ -5,13 +5,26 @@
 //  * '+' matches exactly one level; '#' matches any suffix and must be the
 //    final level;
 //  * filters starting with '+'/'#' do not match topics starting with '$'.
+//
+// The tree is the broker's per-publish hot path, so lookups are
+// allocation-free in the steady state: topic/filter levels split into
+// std::string_view slices over the caller's buffer (reusing a scratch
+// vector), child maps use a transparent hash so a view never needs a
+// temporary std::string key, and match() reports pointers to the stored
+// subscriber keys instead of copying them. The tree also carries a
+// version counter — bumped exactly when the set of (filter, key) entries
+// changes — that the broker's route cache validates plans against, and
+// prunes nodes left empty by erase/erase_key so subscribe/unsubscribe
+// churn cannot grow the trie without bound.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace ifot::mqtt {
@@ -32,54 +45,82 @@ bool topic_matches(std::string_view filter, std::string_view topic);
 template <typename K, typename V>
 class TopicTree {
  public:
+  /// One match result: the stored subscriber key (a pointer into the
+  /// tree, stable until that entry is erased) plus its value. Pointers
+  /// keep match() allocation-free — no key is copied out.
+  using Match = std::pair<const K*, V>;
+  using MatchList = std::vector<Match>;
+
   /// Inserts or replaces the value for (filter, key).
   void insert(std::string_view filter, const K& key, V value) {
     Node* node = &root_;
-    for (const auto& level : levels(filter)) {
-      auto& child = node->children[level];
-      if (!child) child = std::make_unique<Node>();
-      node = child.get();
+    split_levels(filter, levels_scratch_);
+    for (const std::string_view level : levels_scratch_) {
+      auto it = node->children.find(level);
+      if (it == node->children.end()) {
+        it = node->children
+                 .emplace(std::string(level), std::make_unique<Node>())
+                 .first;
+      }
+      node = it->second.get();
     }
     node->entries[key] = std::move(value);
     ++version_;
   }
 
   /// Removes the entry for (filter, key); returns true when it existed.
+  /// Nodes left without entries or children are pruned on the way out.
   bool erase(std::string_view filter, const K& key) {
+    split_levels(filter, levels_scratch_);
+    path_scratch_.clear();
     Node* node = &root_;
-    for (const auto& level : levels(filter)) {
+    for (const std::string_view level : levels_scratch_) {
       auto it = node->children.find(level);
       if (it == node->children.end()) return false;
+      path_scratch_.emplace_back(node, it);
       node = it->second.get();
     }
     const bool erased = node->entries.erase(key) > 0;
+    if (erased) {
+      prune_path();
+      ++version_;
+    }
+    return erased;
+  }
+
+  /// Removes every filter entry with the given key (session teardown),
+  /// pruning nodes left empty. Returns true when at least one entry was
+  /// removed; the version is bumped only in that case, so tearing down a
+  /// session that never subscribed cannot spuriously invalidate cached
+  /// routes.
+  bool erase_key(const K& key) {
+    const bool erased = erase_key_rec(root_, key);
     if (erased) ++version_;
     return erased;
   }
 
-  /// Removes every filter entry with the given key (session teardown).
-  void erase_key(const K& key) {
-    erase_key_rec(root_, key);
-    ++version_;
-  }
-
   /// Collects all (key, value) pairs whose filter matches `topic`.
   /// A subscriber matching via several filters appears once per filter
-  /// (the broker deduplicates by key, keeping max QoS).
-  void match(std::string_view topic,
-             std::vector<std::pair<K, V>>& out) const {
-    const auto lv = levels(topic);
+  /// (the broker deduplicates by key, keeping max QoS). Steady-state
+  /// allocation-free: once the level scratch and `out` have grown to
+  /// their working capacity, no heap allocation happens per call.
+  void match(std::string_view topic, MatchList& out) const {
+    split_levels(topic, levels_scratch_);
     const bool dollar = !topic.empty() && topic.front() == '$';
-    match_rec(root_, lv, 0, dollar, out);
+    match_rec(root_, levels_scratch_, 0, dollar, out);
   }
 
+  /// Monotonic count of entry-set mutations (insert / successful erase /
+  /// successful erase_key). Cached match results are valid exactly while
+  /// the version they were computed at is still current.
   [[nodiscard]] std::uint64_t version() const { return version_; }
 
   /// True when an entry exists for exactly (filter, key). Exact-filter
   /// lookup, no wildcard expansion (invariant audits and tests).
   [[nodiscard]] bool contains(std::string_view filter, const K& key) const {
     const Node* node = &root_;
-    for (const auto& level : levels(filter)) {
+    split_levels(filter, levels_scratch_);
+    for (const std::string_view level : levels_scratch_) {
       auto it = node->children.find(level);
       if (it == node->children.end()) return false;
       node = it->second.get();
@@ -92,26 +133,45 @@ class TopicTree {
     return entry_count_rec(root_);
   }
 
+  /// Number of trie nodes below the root. With pruning this returns to
+  /// baseline after subscribe/unsubscribe churn (regression-tested).
+  [[nodiscard]] std::size_t node_count() const {
+    return node_count_rec(root_);
+  }
+
  private:
+  /// Transparent hash so child lookups take string_views (and literals)
+  /// without constructing temporary std::string keys.
+  struct LevelHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   struct Node {
-    std::unordered_map<std::string, std::unique_ptr<Node>> children;
+    using ChildMap = std::unordered_map<std::string, std::unique_ptr<Node>,
+                                        LevelHash, std::equal_to<>>;
+    ChildMap children;
     std::unordered_map<K, V> entries;
   };
 
-  static std::vector<std::string> levels(std::string_view s) {
-    std::vector<std::string> out;
+  /// Splits into views over `s` (valid only while `s` is), reusing the
+  /// scratch vector's capacity.
+  static void split_levels(std::string_view s,
+                           std::vector<std::string_view>& out) {
+    out.clear();
     std::size_t start = 0;
     for (std::size_t i = 0; i <= s.size(); ++i) {
       if (i == s.size() || s[i] == '/') {
-        out.emplace_back(s.substr(start, i - start));
+        out.push_back(s.substr(start, i - start));
         start = i + 1;
       }
     }
-    return out;
   }
 
-  static void collect(const Node& node, std::vector<std::pair<K, V>>& out) {
-    for (const auto& [k, v] : node.entries) out.emplace_back(k, v);
+  static void collect(const Node& node, MatchList& out) {
+    for (const auto& [k, v] : node.entries) out.emplace_back(&k, v);
   }
 
   static std::size_t entry_count_rec(const Node& node) {
@@ -122,29 +182,58 @@ class TopicTree {
     return n;
   }
 
-  static void erase_key_rec(Node& node, const K& key) {
-    node.entries.erase(key);
-    for (auto& [_, child] : node.children) erase_key_rec(*child, key);
+  static std::size_t node_count_rec(const Node& node) {
+    std::size_t n = node.children.size();
+    for (const auto& [_, child] : node.children) {
+      n += node_count_rec(*child);
+    }
+    return n;
+  }
+
+  static bool erase_key_rec(Node& node, const K& key) {
+    bool erased = node.entries.erase(key) > 0;
+    for (auto it = node.children.begin(); it != node.children.end();) {
+      if (erase_key_rec(*it->second, key)) erased = true;
+      if (it->second->entries.empty() && it->second->children.empty()) {
+        it = node.children.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return erased;
+  }
+
+  /// Walks the recorded erase() path deepest-first, removing nodes left
+  /// with no entries and no children; stops at the first live node.
+  void prune_path() {
+    for (std::size_t i = path_scratch_.size(); i-- > 0;) {
+      auto& [parent, it] = path_scratch_[i];
+      const Node& child = *it->second;
+      if (!child.entries.empty() || !child.children.empty()) break;
+      parent->children.erase(it);
+    }
   }
 
   static void match_rec(const Node& node,
-                        const std::vector<std::string>& topic,
+                        const std::vector<std::string_view>& topic,
                         std::size_t depth, bool dollar_topic,
-                        std::vector<std::pair<K, V>>& out) {
+                        MatchList& out) {
     // '#' at this level matches the remainder (including zero levels),
     // but never a $-topic at the root.
-    if (auto it = node.children.find("#"); it != node.children.end()) {
+    if (auto it = node.children.find(std::string_view("#"));
+        it != node.children.end()) {
       if (!(depth == 0 && dollar_topic)) collect(*it->second, out);
     }
     if (depth == topic.size()) {
       collect(node, out);
       return;
     }
-    const std::string& level = topic[depth];
-    if (auto it = node.children.find(level); it != node.children.end()) {
+    if (auto it = node.children.find(topic[depth]);
+        it != node.children.end()) {
       match_rec(*it->second, topic, depth + 1, dollar_topic, out);
     }
-    if (auto it = node.children.find("+"); it != node.children.end()) {
+    if (auto it = node.children.find(std::string_view("+"));
+        it != node.children.end()) {
       if (!(depth == 0 && dollar_topic)) {
         match_rec(*it->second, topic, depth + 1, dollar_topic, out);
       }
@@ -153,6 +242,12 @@ class TopicTree {
 
   Node root_;
   std::uint64_t version_ = 0;
+  // Reused per-call scratch (the level views and the erase path); makes
+  // steady-state lookups allocation-free. Mutable so const lookups
+  // (match/contains) can reuse it too; the tree is not thread-safe.
+  mutable std::vector<std::string_view> levels_scratch_;
+  std::vector<std::pair<Node*, typename Node::ChildMap::iterator>>
+      path_scratch_;
 };
 
 }  // namespace ifot::mqtt

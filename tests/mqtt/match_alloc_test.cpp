@@ -1,0 +1,140 @@
+// Steady-state allocation gate for the ingress hot path (own test
+// binary: it replaces the global allocator to count heap traffic).
+//
+// TopicTree::match and the broker's cached route resolution promise
+// zero heap allocations once their scratch buffers have reached working
+// capacity. This test arms a counting operator new/delete around the
+// steady-state calls and fails on any allocation — a regression here
+// silently reintroduces per-publish malloc traffic on every routed
+// message.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "mqtt/route_cache.hpp"
+#include "mqtt/topic.hpp"
+
+// Sanitizers interpose on the allocator themselves; counting under them
+// is both unreliable and redundant (they have their own checks).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define IFOT_ALLOC_TEST_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define IFOT_ALLOC_TEST_DISABLED 1
+#endif
+#endif
+#ifndef IFOT_ALLOC_TEST_DISABLED
+#define IFOT_ALLOC_TEST_DISABLED 0
+#endif
+
+// The compiler cannot see that this TU replaces the global allocator
+// pair, so it flags free() inside the replacement as a mismatch.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+std::atomic<bool> g_armed{false};
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+#if !IFOT_ALLOC_TEST_DISABLED
+void* operator new(std::size_t size) {
+  if (g_armed.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+#endif
+
+namespace ifot::mqtt {
+namespace {
+
+class AllocGuard {
+ public:
+  AllocGuard() {
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_armed.store(true, std::memory_order_relaxed);
+  }
+  ~AllocGuard() { g_armed.store(false, std::memory_order_relaxed); }
+  AllocGuard(const AllocGuard&) = delete;
+  AllocGuard& operator=(const AllocGuard&) = delete;
+
+  [[nodiscard]] std::size_t count() const {
+    return g_allocations.load(std::memory_order_relaxed);
+  }
+};
+
+TEST(MatchAllocation, SteadyStateMatchIsAllocationFree) {
+  if (IFOT_ALLOC_TEST_DISABLED) {
+    GTEST_SKIP() << "allocation counting disabled under sanitizers";
+  }
+  TopicTree<std::string, int> tree;
+  tree.insert("ifot/app/+/sensor", "c1", 0);
+  tree.insert("ifot/#", "c2", 1);
+  tree.insert("ifot/app/3/sensor", "c3", 2);
+  tree.insert("other/deep/topic/level", "c4", 0);
+
+  const std::string topic = "ifot/app/3/sensor";
+  TopicTree<std::string, int>::MatchList out;
+  // Warm-up: grows the level scratch and the caller's match buffer to
+  // working capacity.
+  tree.match(topic, out);
+  ASSERT_EQ(out.size(), 3u);
+
+  AllocGuard guard;
+  for (int i = 0; i < 64; ++i) {
+    out.clear();
+    tree.match(topic, out);
+  }
+  EXPECT_EQ(guard.count(), 0u)
+      << "TopicTree::match allocated on the steady state";
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(MatchAllocation, SteadyStateContainsIsAllocationFree) {
+  if (IFOT_ALLOC_TEST_DISABLED) {
+    GTEST_SKIP() << "allocation counting disabled under sanitizers";
+  }
+  TopicTree<std::string, int> tree;
+  tree.insert("a/+/c/d", "c1", 0);
+  ASSERT_TRUE(tree.contains("a/+/c/d", "c1"));  // warm the level scratch
+
+  AllocGuard guard;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(tree.contains("a/+/c/d", "c1"));
+    ASSERT_FALSE(tree.contains("a/x/c/d", "c1"));
+  }
+  EXPECT_EQ(guard.count(), 0u)
+      << "TopicTree::contains allocated on the steady state";
+}
+
+TEST(MatchAllocation, RouteCacheHitIsAllocationFree) {
+  if (IFOT_ALLOC_TEST_DISABLED) {
+    GTEST_SKIP() << "allocation counting disabled under sanitizers";
+  }
+  RouteCache cache(8, nullptr);
+  RouteCache::Plan plan;
+  plan.by_qos[0] = {"s1", "s2"};
+  plan.by_qos[1] = {"s3"};
+  cache.insert("hot/topic", 7, std::move(plan));
+
+  AllocGuard guard;
+  for (int i = 0; i < 64; ++i) {
+    const RouteCache::Plan* hit = cache.lookup("hot/topic", 7);
+    ASSERT_NE(hit, nullptr);
+  }
+  EXPECT_EQ(guard.count(), 0u)
+      << "RouteCache::lookup allocated on a steady-state hit";
+}
+
+}  // namespace
+}  // namespace ifot::mqtt

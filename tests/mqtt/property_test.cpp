@@ -220,10 +220,10 @@ TEST_P(TopicTreeProperty, TreeAgreesWithReferenceMatcher) {
   }
   for (int t = 0; t < 200; ++t) {
     const std::string topic = random_topic(rng);
-    std::vector<std::pair<int, int>> got;
+    TopicTree<int, int>::MatchList got;
     tree.match(topic, got);
     std::set<int> got_keys;
-    for (const auto& [k, _] : got) got_keys.insert(k);
+    for (const auto& [k, _] : got) got_keys.insert(*k);
     std::set<int> expected;
     for (int i = 0; i < static_cast<int>(filters.size()); ++i) {
       if (topic_matches(filters[static_cast<std::size_t>(i)], topic)) {
@@ -246,11 +246,11 @@ TEST_P(TopicTreeProperty, EraseRestoresNonMatching) {
   for (int i = 0; i < 20; i += 2) tree.erase_key(i);
   for (int t = 0; t < 100; ++t) {
     const std::string topic = random_topic(rng);
-    std::vector<std::pair<int, int>> got;
+    TopicTree<int, int>::MatchList got;
     tree.match(topic, got);
     for (const auto& [k, _] : got) {
-      EXPECT_EQ(k % 2, 1) << "erased key " << k << " still matches";
-      EXPECT_TRUE(topic_matches(filters[static_cast<std::size_t>(k)], topic));
+      EXPECT_EQ(*k % 2, 1) << "erased key " << *k << " still matches";
+      EXPECT_TRUE(topic_matches(filters[static_cast<std::size_t>(*k)], topic));
     }
   }
 }

@@ -1,0 +1,446 @@
+// RouteCache unit tests plus the differential gate for the broker's
+// cached ingress path: a scripted scenario is replayed against two
+// brokers — route cache enabled and disabled — and every subscriber
+// link's raw egress byte stream must be identical. The cache is an
+// optimization; any observable divergence is a bug.
+#include "mqtt/route_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "mqtt/broker.hpp"
+#include "mqtt/client.hpp"
+#include "sim/simulator.hpp"
+#include "tests/mqtt/harness.hpp"
+
+namespace ifot::mqtt {
+namespace {
+
+// ---- RouteCache unit tests ----------------------------------------------
+
+RouteCache::Plan make_plan(std::initializer_list<const char*> qos0) {
+  RouteCache::Plan plan;
+  for (const char* id : qos0) plan.by_qos[0].emplace_back(id);
+  return plan;
+}
+
+TEST(RouteCache, MissThenHit) {
+  Counters counters;
+  RouteCache cache(4, &counters);
+  EXPECT_EQ(cache.lookup("t/a", 1), nullptr);
+  EXPECT_EQ(counters.get("route_cache_misses"), 1u);
+
+  const RouteCache::Plan* stored = cache.insert("t/a", 1, make_plan({"s1"}));
+  ASSERT_NE(stored, nullptr);
+  const RouteCache::Plan* hit = cache.lookup("t/a", 1);
+  ASSERT_EQ(hit, stored);
+  EXPECT_EQ(hit->subscriber_count(), 1u);
+  EXPECT_EQ(counters.get("route_cache_hits"), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(RouteCache, VersionMismatchInvalidates) {
+  Counters counters;
+  RouteCache cache(4, &counters);
+  cache.insert("t/a", 1, make_plan({"s1"}));
+  // Tree moved on: the stale plan must be dropped, counted, and missed.
+  EXPECT_EQ(cache.lookup("t/a", 2), nullptr);
+  EXPECT_EQ(counters.get("route_cache_invalidations"), 1u);
+  EXPECT_EQ(counters.get("route_cache_misses"), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  // Re-resolved at the new version, it serves hits again.
+  cache.insert("t/a", 2, make_plan({"s1", "s2"}));
+  const RouteCache::Plan* hit = cache.lookup("t/a", 2);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->subscriber_count(), 2u);
+}
+
+TEST(RouteCache, LruEvictsColdestEntry) {
+  Counters counters;
+  RouteCache cache(2, &counters);
+  cache.insert("a", 1, make_plan({"s"}));
+  cache.insert("b", 1, make_plan({"s"}));
+  ASSERT_NE(cache.lookup("a", 1), nullptr);  // refresh 'a'; 'b' is coldest
+  cache.insert("c", 1, make_plan({"s"}));
+  EXPECT_EQ(counters.get("route_cache_evictions"), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.lookup("a", 1), nullptr);
+  EXPECT_NE(cache.lookup("c", 1), nullptr);
+  EXPECT_EQ(cache.lookup("b", 1), nullptr);
+}
+
+TEST(RouteCache, ReinsertRefreshesInPlace) {
+  Counters counters;
+  RouteCache cache(2, &counters);
+  cache.insert("a", 1, make_plan({"s1"}));
+  const RouteCache::Plan* updated = cache.insert("a", 2, make_plan({"s2"}));
+  ASSERT_NE(updated, nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.lookup("a", 1), nullptr);  // old version gone
+  cache.insert("a", 1, make_plan({"s1"}));   // re-resolve after miss
+  const RouteCache::Plan* hit = cache.lookup("a", 1);
+  ASSERT_NE(hit, nullptr);
+  ASSERT_EQ(hit->by_qos[0].size(), 1u);
+  EXPECT_EQ(hit->by_qos[0][0], "s1");
+}
+
+TEST(RouteCache, CapacityZeroDisablesWithoutCounting) {
+  Counters counters;
+  RouteCache cache(0, &counters);
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_EQ(cache.lookup("a", 1), nullptr);
+  EXPECT_EQ(cache.insert("a", 1, make_plan({"s"})), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  // A disabled cache is invisible: no hit/miss accounting.
+  EXPECT_EQ(counters.get("route_cache_misses"), 0u);
+  EXPECT_EQ(counters.get("route_cache_hits"), 0u);
+}
+
+TEST(RouteCache, ClearDropsEverything) {
+  Counters counters;
+  RouteCache cache(4, &counters);
+  cache.insert("a", 1, make_plan({"s"}));
+  cache.insert("b", 1, make_plan({"s"}));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup("a", 1), nullptr);
+}
+
+TEST(RouteCache, PlanEqualityIsPerQosGroup) {
+  RouteCache::Plan a = make_plan({"s1"});
+  RouteCache::Plan b = make_plan({"s1"});
+  EXPECT_EQ(a, b);
+  b.by_qos[1].emplace_back("s1");  // same id, different granted QoS
+  EXPECT_NE(a, b);
+}
+
+// ---- differential gate: cached vs uncached broker -----------------------
+
+/// A client whose broker->client byte stream is captured verbatim (in
+/// addition to normal decoding), so two brokers can be compared at the
+/// wire level.
+class BytePeer {
+ public:
+  BytePeer(sim::Simulator& sim, Scheduler& sched, Broker& broker, LinkId link,
+           ClientConfig cfg, SimDuration delay)
+      : sim_(sim), broker_(broker), link_(link), delay_(delay) {
+    client_ = std::make_unique<Client>(
+        sched, std::move(cfg), [this](const Bytes& bytes) {
+          if (!up_) return;
+          sim_.schedule_after(delay_, [this, bytes] {
+            broker_.on_link_data(link_, BytesView(bytes));
+          });
+        });
+    client_->set_on_message(
+        [this](const Publish& p) { messages_.push_back(p); });
+  }
+
+  void open() {
+    up_ = true;
+    broker_.on_link_open(
+        link_,
+        [this](const Bytes& bytes) {
+          rx_bytes_.insert(rx_bytes_.end(), bytes.begin(), bytes.end());
+          sim_.schedule_after(delay_, [this, bytes] {
+            client_->on_data(BytesView(bytes));
+          });
+        },
+        [this] {
+          up_ = false;
+          client_->on_transport_closed();
+        });
+    client_->on_transport_open();
+  }
+
+  /// Abrupt transport loss (no DISCONNECT).
+  void kill_transport() {
+    if (!up_) return;
+    up_ = false;
+    client_->on_transport_closed();
+    broker_.on_link_closed(link_);
+  }
+
+  [[nodiscard]] Client& client() { return *client_; }
+  [[nodiscard]] const Bytes& rx_bytes() const { return rx_bytes_; }
+  [[nodiscard]] const std::vector<Publish>& messages() const {
+    return messages_;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  Broker& broker_;
+  LinkId link_;
+  SimDuration delay_;
+  bool up_ = false;
+  std::unique_ptr<Client> client_;
+  std::vector<Publish> messages_;
+  Bytes rx_bytes_;  // every byte the broker wrote to this link, in order
+};
+
+/// Simulator + broker + byte-capturing peers, mirroring testing::Harness.
+class DiffHarness {
+ public:
+  explicit DiffHarness(BrokerConfig cfg)
+      : sched_(sim_), broker_(sched_, cfg) {}
+
+  BytePeer& add_client(const std::string& client_id, bool clean = true) {
+    ClientConfig cc;
+    cc.client_id = client_id;
+    cc.clean_session = clean;
+    cc.keep_alive_s = 60;
+    peers_.push_back(std::make_unique<BytePeer>(
+        sim_, sched_, broker_, next_link_++, std::move(cc), kMillisecond));
+    return *peers_.back();
+  }
+
+  void connect(BytePeer& peer) {
+    peer.open();
+    settle();
+  }
+
+  void settle() { sim_.run_until(sim_.now() + 10 * kSecond); }
+
+  [[nodiscard]] Broker& broker() { return broker_; }
+  [[nodiscard]] std::size_t peer_count() const { return peers_.size(); }
+  [[nodiscard]] const BytePeer& peer(std::size_t i) const {
+    return *peers_[i];
+  }
+
+ private:
+  sim::Simulator sim_;
+  testing::SimSched sched_;
+  Broker broker_;
+  LinkId next_link_ = 1;
+  std::vector<std::unique_ptr<BytePeer>> peers_;
+};
+
+using Script = std::function<void(DiffHarness&)>;
+
+/// Runs `script` against a cache-enabled and a cache-disabled broker and
+/// asserts every peer saw a byte-identical stream from both. Returns the
+/// cached broker's counters for per-test cache-behaviour assertions.
+Counters run_differential(const Script& script,
+                          std::size_t cache_entries = 1024) {
+  BrokerConfig with_cache;
+  with_cache.route_cache_entries = cache_entries;
+  BrokerConfig without_cache;
+  without_cache.route_cache_entries = 0;
+
+  DiffHarness cached(with_cache);
+  DiffHarness uncached(without_cache);
+  script(cached);
+  script(uncached);
+
+  EXPECT_EQ(cached.peer_count(), uncached.peer_count());
+  for (std::size_t i = 0; i < cached.peer_count(); ++i) {
+    EXPECT_EQ(cached.peer(i).rx_bytes(), uncached.peer(i).rx_bytes())
+        << "egress byte stream diverged on peer " << i;
+    EXPECT_EQ(cached.peer(i).messages().size(),
+              uncached.peer(i).messages().size())
+        << "delivery count diverged on peer " << i;
+  }
+  // The disabled cache must stay invisible.
+  EXPECT_EQ(uncached.broker().counters().get("route_cache_hits"), 0u);
+  EXPECT_EQ(uncached.broker().counters().get("route_cache_misses"), 0u);
+  Counters out;
+  for (const auto& [name, value] : cached.broker().counters().sorted()) {
+    out.add(name, value);
+  }
+  return out;
+}
+
+TEST(RouteCacheDifferential, HotTopicWithOverlappingWildcards) {
+  const Counters c = run_differential([](DiffHarness& h) {
+    BytePeer& pub = h.add_client("pub");
+    BytePeer& s1 = h.add_client("s1");
+    BytePeer& s2 = h.add_client("s2");
+    for (BytePeer* p : {&pub, &s1, &s2}) h.connect(*p);
+    // s1 overlaps itself ('#' and '+' filters both match the hot topic);
+    // the plan must dedup it at the max granted QoS.
+    ASSERT_TRUE(s1.client()
+                    .subscribe({{"sport/#", QoS::kAtMostOnce},
+                                {"sport/+/score", QoS::kAtLeastOnce}})
+                    .ok());
+    ASSERT_TRUE(
+        s2.client().subscribe({{"sport/tennis/score", QoS::kExactlyOnce}}).ok());
+    h.settle();
+    for (int i = 0; i < 8; ++i) {
+      const QoS qos = static_cast<QoS>(i % 3);
+      ASSERT_TRUE(pub.client()
+                      .publish("sport/tennis/score",
+                               to_bytes("v" + std::to_string(i)), qos)
+                      .ok());
+      h.settle();
+    }
+  });
+  // The hot topic resolves once and then hits for the remaining publishes.
+  EXPECT_EQ(c.get("route_cache_misses"), 1u);
+  EXPECT_EQ(c.get("route_cache_hits"), 7u);
+}
+
+TEST(RouteCacheDifferential, SubscribeChurnInvalidatesPrecisely) {
+  const Counters c = run_differential([](DiffHarness& h) {
+    BytePeer& pub = h.add_client("pub");
+    BytePeer& s1 = h.add_client("s1");
+    BytePeer& s2 = h.add_client("s2");
+    for (BytePeer* p : {&pub, &s1, &s2}) h.connect(*p);
+    ASSERT_TRUE(s1.client().subscribe({{"f/+", QoS::kAtLeastOnce}}).ok());
+    h.settle();
+    auto publish = [&](const char* payload) {
+      ASSERT_TRUE(
+          pub.client().publish("f/x", to_bytes(payload), QoS::kAtLeastOnce).ok());
+      h.settle();
+    };
+    publish("a");  // miss: first sight
+    publish("b");  // hit
+    ASSERT_TRUE(s2.client().subscribe({{"f/#", QoS::kAtMostOnce}}).ok());
+    h.settle();
+    publish("c");  // invalidated by s2's subscribe -> re-resolve
+    publish("d");  // hit with both subscribers
+    ASSERT_TRUE(s2.client().unsubscribe({"f/#"}).ok());
+    h.settle();
+    publish("e");  // invalidated by the unsubscribe
+    publish("f");  // hit, back to s1 only
+  });
+  EXPECT_EQ(c.get("route_cache_invalidations"), 2u);
+  EXPECT_EQ(c.get("route_cache_hits"), 3u);
+}
+
+TEST(RouteCacheDifferential, SessionTeardownInvalidates) {
+  const Counters c = run_differential([](DiffHarness& h) {
+    BytePeer& pub = h.add_client("pub");
+    BytePeer& gone = h.add_client("gone", /*clean=*/true);
+    BytePeer& stays = h.add_client("stays");
+    for (BytePeer* p : {&pub, &gone, &stays}) h.connect(*p);
+    ASSERT_TRUE(gone.client().subscribe({{"t/#", QoS::kAtMostOnce}}).ok());
+    ASSERT_TRUE(stays.client().subscribe({{"t/a", QoS::kAtMostOnce}}).ok());
+    h.settle();
+    auto publish = [&](const char* payload) {
+      ASSERT_TRUE(
+          pub.client().publish("t/a", to_bytes(payload), QoS::kAtMostOnce).ok());
+      h.settle();
+    };
+    publish("a");
+    publish("b");
+    // Clean-session transport loss tears the session down, erasing its
+    // tree entries: the cached plan must stop naming it immediately.
+    gone.kill_transport();
+    h.settle();
+    publish("c");
+    publish("d");
+  });
+  EXPECT_EQ(c.get("route_cache_invalidations"), 1u);
+  EXPECT_GE(c.get("route_cache_hits"), 2u);
+}
+
+TEST(RouteCacheDifferential, NonSubscriberTeardownDoesNotInvalidate) {
+  const Counters c = run_differential([](DiffHarness& h) {
+    BytePeer& pub = h.add_client("pub");
+    BytePeer& sub = h.add_client("sub");
+    BytePeer& bystander = h.add_client("bystander", /*clean=*/true);
+    for (BytePeer* p : {&pub, &sub, &bystander}) h.connect(*p);
+    ASSERT_TRUE(sub.client().subscribe({{"t/a", QoS::kAtMostOnce}}).ok());
+    h.settle();
+    auto publish = [&](const char* payload) {
+      ASSERT_TRUE(
+          pub.client().publish("t/a", to_bytes(payload), QoS::kAtMostOnce).ok());
+      h.settle();
+    };
+    publish("a");
+    // Tearing down a session with no subscriptions must not bump the
+    // tree version, so the cached plan keeps serving hits.
+    bystander.kill_transport();
+    h.settle();
+    publish("b");
+    publish("c");
+  });
+  EXPECT_EQ(c.get("route_cache_invalidations"), 0u);
+  EXPECT_EQ(c.get("route_cache_hits"), 2u);
+}
+
+TEST(RouteCacheDifferential, DollarTopicsBypassTheCache) {
+  const Counters c = run_differential([](DiffHarness& h) {
+    BytePeer& watcher = h.add_client("watcher");
+    BytePeer& snoop = h.add_client("snoop");
+    h.connect(watcher);
+    h.connect(snoop);
+    ASSERT_TRUE(watcher.client().subscribe({{"$SYS/#", QoS::kAtMostOnce}}).ok());
+    ASSERT_TRUE(snoop.client().subscribe({{"#", QoS::kAtMostOnce}}).ok());
+    h.settle();
+    for (int i = 0; i < 4; ++i) {
+      h.broker().publish_local("$SYS/broker/test/" + std::to_string(i),
+                               SharedPayload(to_bytes("v")),
+                               QoS::kAtMostOnce);
+      h.settle();
+    }
+    // $-topics reach the $SYS watcher, never the root wildcard, and
+    // never touch the cache.
+    EXPECT_EQ(watcher.messages().size(), 4u);
+    EXPECT_TRUE(snoop.messages().empty());
+  });
+  EXPECT_EQ(c.get("route_cache_hits"), 0u);
+  EXPECT_EQ(c.get("route_cache_misses"), 0u);
+}
+
+TEST(RouteCacheDifferential, LruEvictionUnderTopicChurn) {
+  // Capacity 2 with a 4-topic round-robin: constant evictions, yet the
+  // byte streams must stay identical to the uncached broker.
+  const Counters c = run_differential(
+      [](DiffHarness& h) {
+        BytePeer& pub = h.add_client("pub");
+        BytePeer& sub = h.add_client("sub");
+        h.connect(pub);
+        h.connect(sub);
+        ASSERT_TRUE(sub.client().subscribe({{"t/+", QoS::kAtLeastOnce}}).ok());
+        h.settle();
+        for (int round = 0; round < 3; ++round) {
+          for (int t = 0; t < 4; ++t) {
+            ASSERT_TRUE(pub.client()
+                            .publish("t/" + std::to_string(t),
+                                     to_bytes("p"), QoS::kAtLeastOnce)
+                            .ok());
+            h.settle();
+          }
+        }
+      },
+      /*cache_entries=*/2);
+  EXPECT_GT(c.get("route_cache_evictions"), 0u);
+  EXPECT_EQ(c.get("route_cache_hits") + c.get("route_cache_misses"), 12u);
+}
+
+TEST(RouteCacheDifferential, RetainedDeliveryAndQos2EndToEnd) {
+  const Counters c = run_differential([](DiffHarness& h) {
+    BytePeer& pub = h.add_client("pub");
+    BytePeer& early = h.add_client("early");
+    BytePeer& late = h.add_client("late");
+    for (BytePeer* p : {&pub, &early, &late}) h.connect(*p);
+    ASSERT_TRUE(early.client().subscribe({{"r/#", QoS::kExactlyOnce}}).ok());
+    h.settle();
+    ASSERT_TRUE(pub.client()
+                    .publish("r/state", to_bytes("retained"),
+                             QoS::kExactlyOnce, /*retain=*/true)
+                    .ok());
+    h.settle();
+    // Retained replay on a fresh subscribe goes through deliver(), not
+    // route(): the cache must not be consulted or polluted by it.
+    ASSERT_TRUE(late.client().subscribe({{"r/state", QoS::kAtLeastOnce}}).ok());
+    h.settle();
+    ASSERT_TRUE(pub.client()
+                    .publish("r/state", to_bytes("live"), QoS::kExactlyOnce)
+                    .ok());
+    h.settle();
+    EXPECT_EQ(early.messages().size(), 2u);
+    EXPECT_EQ(late.messages().size(), 2u);
+  });
+  // Exactly the two live publishes consult the cache; the retained
+  // replay to 'late' must not (it bypasses route()).
+  EXPECT_EQ(c.get("route_cache_hits") + c.get("route_cache_misses"), 2u);
+}
+
+}  // namespace
+}  // namespace ifot::mqtt

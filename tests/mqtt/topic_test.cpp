@@ -85,19 +85,20 @@ TEST(TopicTree, ExactAndWildcardLookup) {
   tree.insert("ifot/#", "c3", 3);
   tree.insert("other/x", "c4", 4);
 
-  std::vector<std::pair<std::string, int>> out;
+  TopicTree<std::string, int>::MatchList out;
   tree.match("ifot/app/a", out);
   ASSERT_EQ(out.size(), 3u);
-  std::sort(out.begin(), out.end());
-  EXPECT_EQ(out[0].first, "c1");
-  EXPECT_EQ(out[1].first, "c2");
-  EXPECT_EQ(out[2].first, "c3");
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  EXPECT_EQ(*out[0].first, "c1");
+  EXPECT_EQ(*out[1].first, "c2");
+  EXPECT_EQ(*out[2].first, "c3");
 }
 
 TEST(TopicTree, HashParentMatch) {
   TopicTree<std::string, int> tree;
   tree.insert("sport/#", "c", 1);
-  std::vector<std::pair<std::string, int>> out;
+  TopicTree<std::string, int>::MatchList out;
   tree.match("sport", out);
   EXPECT_EQ(out.size(), 1u);
 }
@@ -107,10 +108,10 @@ TEST(TopicTree, DollarTopicsHiddenFromRootWildcards) {
   tree.insert("#", "all", 1);
   tree.insert("+/x", "plus", 2);
   tree.insert("$SYS/#", "sys", 3);
-  std::vector<std::pair<std::string, int>> out;
+  TopicTree<std::string, int>::MatchList out;
   tree.match("$SYS/x", out);
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0].first, "sys");
+  EXPECT_EQ(*out[0].first, "sys");
 }
 
 TEST(TopicTree, EraseRemovesOnlyThatKey) {
@@ -119,10 +120,10 @@ TEST(TopicTree, EraseRemovesOnlyThatKey) {
   tree.insert("a/b", "c2", 2);
   EXPECT_TRUE(tree.erase("a/b", "c1"));
   EXPECT_FALSE(tree.erase("a/b", "c1"));  // already gone
-  std::vector<std::pair<std::string, int>> out;
+  TopicTree<std::string, int>::MatchList out;
   tree.match("a/b", out);
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0].first, "c2");
+  EXPECT_EQ(*out[0].first, "c2");
 }
 
 TEST(TopicTree, EraseKeyRemovesAllFilters) {
@@ -131,10 +132,10 @@ TEST(TopicTree, EraseKeyRemovesAllFilters) {
   tree.insert("b/#", "c1", 2);
   tree.insert("a/x", "c2", 3);
   tree.erase_key("c1");
-  std::vector<std::pair<std::string, int>> out;
+  TopicTree<std::string, int>::MatchList out;
   tree.match("a/x", out);
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0].first, "c2");
+  EXPECT_EQ(*out[0].first, "c2");
   out.clear();
   tree.match("b/anything", out);
   EXPECT_TRUE(out.empty());
@@ -144,7 +145,7 @@ TEST(TopicTree, InsertReplacesValue) {
   TopicTree<std::string, int> tree;
   tree.insert("t", "c", 1);
   tree.insert("t", "c", 9);
-  std::vector<std::pair<std::string, int>> out;
+  TopicTree<std::string, int>::MatchList out;
   tree.match("t", out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].second, 9);
@@ -199,7 +200,7 @@ TEST(TopicTree, WildcardEntriesNeverMatchDollarTopicsAtRoot) {
   TopicTree<std::string, int> tree;
   tree.insert("#", "snoop", 1);
   tree.insert("+/broker/uptime", "snoop2", 2);
-  std::vector<std::pair<std::string, int>> out;
+  TopicTree<std::string, int>::MatchList out;
   tree.match("$SYS/broker/uptime", out);
   EXPECT_TRUE(out.empty());
 }
@@ -233,9 +234,70 @@ TEST(TopicTree, OverlappingFiltersReportedPerFilter) {
   tree.insert("a/#", "c", 0);
   tree.insert("a/+", "c", 1);
   tree.insert("a/b", "c", 2);
-  std::vector<std::pair<std::string, int>> out;
+  TopicTree<std::string, int>::MatchList out;
   tree.match("a/b", out);
   EXPECT_EQ(out.size(), 3u);  // broker dedups by key, tree reports all
+}
+
+TEST(TopicTree, VersionBumpsOnlyWhenEntrySetChanges) {
+  TopicTree<std::string, int> tree;
+  const std::uint64_t v0 = tree.version();
+  tree.insert("a/b", "c1", 1);
+  EXPECT_GT(tree.version(), v0);
+
+  // Failed erases must not invalidate cached routes.
+  std::uint64_t v = tree.version();
+  EXPECT_FALSE(tree.erase("a/b", "nobody"));
+  EXPECT_FALSE(tree.erase("no/such/filter", "c1"));
+  EXPECT_FALSE(tree.erase_key("nobody"));
+  EXPECT_EQ(tree.version(), v);
+
+  // Successful mutations each bump exactly once.
+  EXPECT_TRUE(tree.erase("a/b", "c1"));
+  EXPECT_EQ(tree.version(), v + 1);
+  tree.insert("x/+", "c2", 2);
+  EXPECT_EQ(tree.version(), v + 2);
+  EXPECT_TRUE(tree.erase_key("c2"));
+  EXPECT_EQ(tree.version(), v + 3);
+}
+
+TEST(TopicTree, ChurnPrunesEmptyNodes) {
+  TopicTree<std::string, int> tree;
+  tree.insert("stable/topic", "keep", 1);
+  const std::size_t baseline = tree.node_count();
+  EXPECT_EQ(baseline, 2u);
+
+  // Deep churn through erase(): every node added for the filter must be
+  // pruned once its last entry goes away.
+  for (int i = 0; i < 16; ++i) {
+    const std::string filter = "churn/" + std::to_string(i) + "/deep/leaf";
+    tree.insert(filter, "c", i);
+    EXPECT_GT(tree.node_count(), baseline);
+    EXPECT_TRUE(tree.erase(filter, "c"));
+    EXPECT_EQ(tree.node_count(), baseline);
+  }
+
+  // Shared prefixes survive while any entry below them lives.
+  tree.insert("churn/a/b", "c1", 1);
+  tree.insert("churn/a/c", "c2", 2);
+  EXPECT_TRUE(tree.erase("churn/a/b", "c1"));
+  EXPECT_TRUE(tree.contains("churn/a/c", "c2"));
+  EXPECT_TRUE(tree.erase("churn/a/c", "c2"));
+  EXPECT_EQ(tree.node_count(), baseline);
+
+  // Session-teardown churn through erase_key() prunes too.
+  for (int i = 0; i < 8; ++i) {
+    tree.insert("session/" + std::to_string(i) + "/+", "gone", i);
+  }
+  EXPECT_TRUE(tree.erase_key("gone"));
+  EXPECT_EQ(tree.node_count(), baseline);
+
+  // Interior entries keep their ancestors when a descendant is pruned.
+  tree.insert("p", "mid", 1);
+  tree.insert("p/q/r", "leaf", 2);
+  EXPECT_TRUE(tree.erase("p/q/r", "leaf"));
+  EXPECT_TRUE(tree.contains("p", "mid"));
+  EXPECT_EQ(tree.node_count(), baseline + 1);
 }
 
 }  // namespace
