@@ -1,0 +1,172 @@
+// Egress-path throughput with pooled buffers: Outbox frame recycling
+// (take_buffer / recycle on flush), shared wire-template patch-in-place
+// fan-out, and the broker-level QoS 1 ack cycle that exercises both
+// plus the NodePool-backed inflight map.
+//
+// The middleware's egress volume is fan-out-shaped: one PUBLISH in, N
+// identical frames out, plus a steady stream of 4-byte acks. Before
+// pooling, every frame was a fresh heap buffer and every QoS 1/2
+// message a fresh encode; now owned control frames cycle through the
+// outbox's spare list, PUBLISH frames share one pooled template per
+// fan-out group (patched, never re-encoded), and steady-state egress
+// performs zero allocations (gated by mqtt_alloc_test).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.hpp"
+#include "common/stats.hpp"
+#include "mqtt/broker.hpp"
+#include "mqtt/outbox.hpp"
+#include "mqtt/packet.hpp"
+
+namespace {
+
+using namespace ifot;
+using namespace ifot::mqtt;
+
+class NullSched final : public Scheduler {
+ public:
+  SimTime now() override { return 0; }
+  std::uint64_t call_after(SimDuration, std::function<void()>) override {
+    return ++next_;
+  }
+  void cancel(std::uint64_t) override {}
+
+ private:
+  std::uint64_t next_ = 0;
+};
+
+/// Control-packet egress: encode a batch of acks into recycled outbox
+/// buffers and flush them as one coalesced write per turn.
+void BM_EgressOwnedFrameCycle(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Counters counters;
+  std::uint64_t bytes_out = 0;
+  Outbox box(
+      Outbox::Config{}, [&](const Bytes& b) { bytes_out += b.size(); },
+      &counters);
+  std::uint16_t pid = 1;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      Bytes frame = box.take_buffer();
+      encode_into(Packet{Puback{pid++}}, frame);
+      box.enqueue(std::move(frame));
+    }
+    box.flush();
+  }
+  benchmark::DoNotOptimize(bytes_out);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          batch);
+  state.counters["routed_msgs_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * batch,
+      benchmark::Counter::kIsRate);
+  state.counters["frames_per_write"] =
+      static_cast<double>(counters.get("egress_frames")) /
+      static_cast<double>(std::max<std::uint64_t>(1,
+                                                  counters.get(
+                                                      "egress_writes")));
+}
+BENCHMARK(BM_EgressOwnedFrameCycle)->Arg(1)->Arg(16);
+
+/// Template fan-out: one pooled wire template shared by N outboxes
+/// (one per subscriber link); each flush patches the packet id and DUP
+/// bit in place — no per-link encode, no per-frame buffer.
+void BM_EgressTemplateFanOut(benchmark::State& state) {
+  const int links = static_cast<int>(state.range(0));
+  Counters counters;
+  std::uint64_t bytes_out = 0;
+  std::vector<Outbox> boxes;
+  boxes.reserve(static_cast<std::size_t>(links));
+  for (int i = 0; i < links; ++i) {
+    boxes.emplace_back(
+        Outbox::Config{}, [&](const Bytes& b) { bytes_out += b.size(); },
+        &counters);
+  }
+  WireTemplatePool pool;
+  Publish p;
+  p.topic = "ifot/paper_eval/sense_a";
+  p.qos = QoS::kAtLeastOnce;
+  p.packet_id = 1;
+  p.payload = Bytes(64, 0x42);
+  std::uint16_t pid = 1;
+  for (auto _ : state) {
+    WireTemplateRef tpl = pool.acquire();
+    tpl->assign(p);
+    for (auto& box : boxes) {
+      box.enqueue(tpl, pid, false);
+      box.flush();
+    }
+    ++pid;
+  }
+  benchmark::DoNotOptimize(bytes_out);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          links);
+  state.counters["routed_msgs_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * links,
+      benchmark::Counter::kIsRate);
+  state.counters["template_reuses"] = static_cast<double>(pool.reuses());
+  state.counters["templates_created"] = static_cast<double>(pool.created());
+}
+BENCHMARK(BM_EgressTemplateFanOut)->Arg(1)->Arg(10)->Arg(50);
+
+constexpr LinkId kPubLink = 1;
+constexpr LinkId kSubLink = 100;
+
+/// The full broker QoS 1 cycle: publish in, templated PUBLISH out, ack
+/// back through the ingress decoder. Exercises the pooled inflight map
+/// (NodePool node churn), template pool, and recycled ack buffers at
+/// once — the end-to-end steady state the allocation gate freezes.
+void BM_EgressBrokerQos1Cycle(benchmark::State& state) {
+  NullSched sched;
+  Broker broker(sched);
+  std::uint64_t bytes_out = 0;
+  broker.on_link_open(kPubLink, [](const Bytes&) {}, [] {});
+  Connect pc;
+  pc.client_id = "pub";
+  broker.on_link_data(kPubLink, BytesView(encode(Packet{pc})));
+  broker.on_link_open(
+      kSubLink, [&](const Bytes& b) { bytes_out += b.size(); }, [] {});
+  Connect sc;
+  sc.client_id = "sub";
+  broker.on_link_data(kSubLink, BytesView(encode(Packet{sc})));
+  Subscribe s;
+  s.packet_id = 1;
+  s.topics = {{"ifot/#", QoS::kAtLeastOnce}};
+  broker.on_link_data(kSubLink, BytesView(encode(Packet{s})));
+
+  Publish p;
+  p.topic = "ifot/paper_eval/sense_a";
+  p.qos = QoS::kAtLeastOnce;
+  p.packet_id = 7;
+  p.payload = Bytes(64, 0x42);
+  const Bytes pub = encode(Packet{p});
+  Bytes puback = {0x40, 0x02, 0x00, 0x00};
+  std::uint16_t next_pid = 1;
+  for (auto _ : state) {
+    broker.on_link_data(kPubLink, BytesView(pub));
+    puback[2] = static_cast<std::uint8_t>(next_pid >> 8);
+    puback[3] = static_cast<std::uint8_t>(next_pid & 0xff);
+    broker.on_link_data(kSubLink, BytesView(puback));
+    next_pid = static_cast<std::uint16_t>(next_pid == 0xffff ? 1
+                                                             : next_pid + 1);
+  }
+  benchmark::DoNotOptimize(bytes_out);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  const auto iters = static_cast<double>(state.iterations());
+  const Counters& c = broker.counters();
+  state.counters["routed_msgs_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["encodes_per_publish"] =
+      static_cast<double>(c.get("fanout_encodes")) / iters;
+  state.counters["payload_bytes_copied_per_publish"] =
+      static_cast<double>(c.get("payload_bytes_copied")) / iters;
+}
+BENCHMARK(BM_EgressBrokerQos1Cycle);
+
+}  // namespace
+
+IFOT_BENCH_MAIN("egress")

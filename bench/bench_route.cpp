@@ -1,0 +1,173 @@
+// Route-cache behavior under subscription churn: the acceptance
+// benchmark for per-entry fingerprint revalidation.
+//
+// The paper's workload publishes fixed sensor topics at 5-80 Hz forever
+// while management clients come and go. Under whole-cache version
+// invalidation, every unrelated SUBSCRIBE/UNSUBSCRIBE cold-started the
+// hot topics (a full trie re-derivation per publish). With per-entry
+// fingerprints the hot entry revalidates in place: one trie walk, no
+// plan rebuild, and the invalidation counter stays flat.
+//
+// BM_RouteChurnUnrelated is the headline: unrelated churn between every
+// publish must show invalidations_per_publish == 0 (revalidations do
+// the work instead). BM_RouteChurnOverlapping is the control: churn
+// that genuinely changes the hot topic's match set must still
+// invalidate. BM_RouteStable is the no-churn floor both compare against.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.hpp"
+#include "mqtt/broker.hpp"
+#include "mqtt/packet.hpp"
+
+namespace {
+
+using namespace ifot;
+using namespace ifot::mqtt;
+
+class NullSched final : public Scheduler {
+ public:
+  SimTime now() override { return 0; }
+  std::uint64_t call_after(SimDuration, std::function<void()>) override {
+    return ++next_;
+  }
+  void cancel(std::uint64_t) override {}
+
+ private:
+  std::uint64_t next_ = 0;
+};
+
+constexpr LinkId kPubLink = 1;
+constexpr LinkId kChurnLink = 2;
+constexpr LinkId kFirstSubLink = 100;
+
+/// Publisher + churner + `subs` steady subscribers, each holding three
+/// overlapping filters on the hot topic (exact, '+', '#').
+void connect_fleet(Broker& broker, int subs) {
+  broker.on_link_open(kPubLink, [](const Bytes&) {}, [] {});
+  Connect pc;
+  pc.client_id = "pub";
+  broker.on_link_data(kPubLink, BytesView(encode(Packet{pc})));
+  broker.on_link_open(kChurnLink, [](const Bytes&) {}, [] {});
+  Connect cc;
+  cc.client_id = "churner";
+  broker.on_link_data(kChurnLink, BytesView(encode(Packet{cc})));
+  for (int i = 0; i < subs; ++i) {
+    const LinkId link = kFirstSubLink + static_cast<LinkId>(i);
+    broker.on_link_open(
+        link, [](const Bytes& b) { benchmark::DoNotOptimize(b.data()); },
+        [] {});
+    Connect sc;
+    sc.client_id = "sub" + std::to_string(i);
+    broker.on_link_data(link, BytesView(encode(Packet{sc})));
+    Subscribe s;
+    s.packet_id = 1;
+    s.topics = {{"ifot/paper_eval/sense_a", QoS::kAtMostOnce},
+                {"ifot/+/sense_a", QoS::kAtMostOnce},
+                {"ifot/#", QoS::kAtMostOnce}};
+    broker.on_link_data(link, BytesView(encode(Packet{s})));
+  }
+}
+
+Bytes hot_publish() {
+  Publish p;
+  p.topic = "ifot/paper_eval/sense_a";
+  p.payload = Bytes(64, 0x42);
+  return encode(Packet{p});
+}
+
+void report_route_counters(benchmark::State& state, const Broker& broker,
+                           int subs, int pubs_per_iter = 1) {
+  const double pubs =
+      static_cast<double>(state.iterations()) * pubs_per_iter;
+  const Counters& c = broker.counters();
+  state.counters["fanout"] = subs;
+  state.counters["routed_msgs_per_sec"] =
+      benchmark::Counter(pubs * subs, benchmark::Counter::kIsRate);
+  state.counters["invalidations_per_publish"] =
+      static_cast<double>(c.get("route_cache_invalidations")) / pubs;
+  state.counters["revalidations_per_publish"] =
+      static_cast<double>(c.get("route_cache_revalidations")) / pubs;
+  state.counters["misses_per_publish"] =
+      static_cast<double>(c.get("route_cache_misses")) / pubs;
+}
+
+/// No churn: the steady-state hit floor.
+void BM_RouteStable(benchmark::State& state) {
+  const int subs = static_cast<int>(state.range(0));
+  NullSched sched;
+  Broker broker(sched);
+  connect_fleet(broker, subs);
+  const Bytes pub = hot_publish();
+  for (auto _ : state) {
+    broker.on_link_data(kPubLink, BytesView(pub));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          subs);
+  report_route_counters(state, broker, subs);
+}
+BENCHMARK(BM_RouteStable)->Arg(10)->Arg(50);
+
+/// The acceptance case: every publish is preceded by an unrelated
+/// SUBSCRIBE + UNSUBSCRIBE (a management client polling a cold topic).
+/// The hot entry's filter-set fingerprint is unchanged, so the cache
+/// revalidates it in place — invalidations_per_publish must stay 0.
+void BM_RouteChurnUnrelated(benchmark::State& state) {
+  const int subs = static_cast<int>(state.range(0));
+  NullSched sched;
+  Broker broker(sched);
+  connect_fleet(broker, subs);
+  const Bytes pub = hot_publish();
+  Subscribe cs;
+  cs.packet_id = 9;
+  cs.topics = {{"mgmt/cold/poll", QoS::kAtMostOnce}};
+  const Bytes churn_sub = encode(Packet{cs});
+  Unsubscribe cu;
+  cu.packet_id = 10;
+  cu.topics = {"mgmt/cold/poll"};
+  const Bytes churn_unsub = encode(Packet{cu});
+  for (auto _ : state) {
+    broker.on_link_data(kChurnLink, BytesView(churn_sub));
+    broker.on_link_data(kChurnLink, BytesView(churn_unsub));
+    broker.on_link_data(kPubLink, BytesView(pub));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          subs);
+  report_route_counters(state, broker, subs);
+}
+BENCHMARK(BM_RouteChurnUnrelated)->Arg(10)->Arg(50);
+
+/// The control: the churner's filter overlaps the hot topic, so its
+/// match set genuinely changes and the entry must still invalidate
+/// (correctness over retention — about one invalidation per publish).
+void BM_RouteChurnOverlapping(benchmark::State& state) {
+  const int subs = static_cast<int>(state.range(0));
+  NullSched sched;
+  Broker broker(sched);
+  connect_fleet(broker, subs);
+  const Bytes pub = hot_publish();
+  Subscribe cs;
+  cs.packet_id = 9;
+  cs.topics = {{"ifot/paper_eval/+", QoS::kAtMostOnce}};
+  const Bytes churn_sub = encode(Packet{cs});
+  Unsubscribe cu;
+  cu.packet_id = 10;
+  cu.topics = {"ifot/paper_eval/+"};
+  const Bytes churn_unsub = encode(Packet{cu});
+  for (auto _ : state) {
+    broker.on_link_data(kChurnLink, BytesView(churn_sub));
+    broker.on_link_data(kPubLink, BytesView(pub));
+    broker.on_link_data(kChurnLink, BytesView(churn_unsub));
+    broker.on_link_data(kPubLink, BytesView(pub));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2 * subs);
+  report_route_counters(state, broker, subs, /*pubs_per_iter=*/2);
+}
+BENCHMARK(BM_RouteChurnOverlapping)->Arg(10)->Arg(50);
+
+}  // namespace
+
+IFOT_BENCH_MAIN("route")

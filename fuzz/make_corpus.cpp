@@ -63,6 +63,18 @@ std::vector<Packet> corpus_packets() {
       .topics = {{"sport/+/player1/#", QoS::kAtLeastOnce},
                  {"$SYS/#", QoS::kAtMostOnce},
                  {"$SYS/broker/route/cache/+", QoS::kAtMostOnce}}});
+  // Retained-flavored PUBLISHes: the retained-store trie ingests these
+  // (set on non-empty payload, clear on empty, and $-topics must never
+  // replay through wildcard filters), so the fuzzer should mutate from
+  // each shape. Appended so earlier seed numbering stays stable.
+  out.push_back(Publish{.topic = "retain/room1/temp",
+                        .payload = to_bytes("21.5C"),
+                        .qos = QoS::kAtLeastOnce, .retain = true,
+                        .packet_id = 20});
+  out.push_back(Publish{.topic = "retain/room1/temp",
+                        .payload = SharedPayload{}, .retain = true});
+  out.push_back(Publish{.topic = "$SYS/broker/uptime",
+                        .payload = to_bytes("42"), .retain = true});
   return out;
 }
 

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
-"""Bench regression gate: diff a fresh BENCH_<name>.json against the
-committed baseline and fail on throughput regressions.
+"""Bench regression gate: diff fresh BENCH_<name>.json dumps against the
+committed baselines and fail on throughput regressions.
 
 Every bench binary dumps a flat {"BM_name/args/counter": value} JSON
 (see bench/bench_json.hpp). This gate compares the throughput counters
@@ -11,18 +11,28 @@ by more than --threshold (default 20%).
 Faster-than-baseline results never fail; CI machines differ, so the
 gate is a coarse backstop against order-of-magnitude regressions (an
 accidentally disabled route cache, a reintroduced per-publish sort),
-not a precision benchmark. Refresh the baseline deliberately with:
+not a precision benchmark. Refresh a baseline deliberately with:
 
     ./build/bench/bench_fanout --benchmark_min_time=0.2
     cp BENCH_fanout.json bench/baselines/BENCH_fanout.json
 
-Usage:
+Usage (single file):
     check_bench_regression.py --baseline bench/baselines/BENCH_fanout.json \
         --current build/bench/BENCH_fanout.json [--threshold 0.20]
+
+Usage (directory mode — gate EVERY committed baseline at once):
+    check_bench_regression.py --baseline-dir bench/baselines \
+        --current-dir build/bench [--threshold 0.20]
+
+Directory mode walks every BENCH_*.json in --baseline-dir and requires
+a matching fresh dump in --current-dir: a baseline whose bench was not
+run (or was renamed) fails the gate rather than silently shrinking its
+coverage.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -38,26 +48,17 @@ def load_metrics(path: str) -> dict:
             if isinstance(v, (int, float))}
 
 
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", required=True,
-                    help="committed baseline BENCH json")
-    ap.add_argument("--current", required=True,
-                    help="freshly produced BENCH json")
-    ap.add_argument("--threshold", type=float, default=0.20,
-                    help="allowed fractional drop (default 0.20 = 20%%)")
-    ap.add_argument("--metric-suffix", default="/routed_msgs_per_sec",
-                    help="which counters to compare (metric-name suffix)")
-    args = ap.parse_args()
-
-    baseline = load_metrics(args.baseline)
-    current = load_metrics(args.current)
+def compare(baseline_path: str, current_path: str, threshold: float,
+            metric_suffix: str) -> tuple:
+    """Returns (watched_count, failure_messages) for one baseline pair."""
+    baseline = load_metrics(baseline_path)
+    current = load_metrics(current_path)
 
     watched = {k: v for k, v in baseline.items()
-               if k.endswith(args.metric_suffix) and v > 0}
+               if k.endswith(metric_suffix) and v > 0}
     if not watched:
-        sys.exit(f"error: baseline {args.baseline} has no metrics ending in "
-                 f"'{args.metric_suffix}' — gate would pass vacuously")
+        sys.exit(f"error: baseline {baseline_path} has no metrics ending in "
+                 f"'{metric_suffix}' — gate would pass vacuously")
 
     failures = []
     for name, base_value in sorted(watched.items()):
@@ -70,12 +71,69 @@ def main() -> int:
         cur_value = current[name]
         change = (cur_value - base_value) / base_value
         status = "OK"
-        if change < -args.threshold:
+        if change < -threshold:
             status = "REGRESSION"
             failures.append(f"{name}: {base_value:.3g} -> {cur_value:.3g} "
-                            f"({change:+.1%}, allowed -{args.threshold:.0%})")
+                            f"({change:+.1%}, allowed -{threshold:.0%})")
         print(f"  [{status}] {name}: {base_value:.3g} -> {cur_value:.3g} "
               f"({change:+.1%})")
+    return len(watched), failures
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", help="committed baseline BENCH json")
+    ap.add_argument("--current", help="freshly produced BENCH json")
+    ap.add_argument("--baseline-dir",
+                    help="directory of committed BENCH_*.json baselines "
+                         "(gates every one of them)")
+    ap.add_argument("--current-dir",
+                    help="directory holding the fresh BENCH_*.json dumps")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="allowed fractional drop (default 0.20 = 20%%)")
+    ap.add_argument("--metric-suffix", default="/routed_msgs_per_sec",
+                    help="which counters to compare (metric-name suffix)")
+    args = ap.parse_args()
+
+    single = bool(args.baseline or args.current)
+    batch = bool(args.baseline_dir or args.current_dir)
+    if single == batch:
+        sys.exit("error: pass either --baseline/--current or "
+                 "--baseline-dir/--current-dir")
+    if single and not (args.baseline and args.current):
+        sys.exit("error: --baseline and --current go together")
+    if batch and not (args.baseline_dir and args.current_dir):
+        sys.exit("error: --baseline-dir and --current-dir go together")
+
+    if single:
+        pairs = [(args.baseline, args.current)]
+    else:
+        try:
+            names = sorted(n for n in os.listdir(args.baseline_dir)
+                           if n.startswith("BENCH_") and n.endswith(".json"))
+        except OSError as e:
+            sys.exit(f"error: cannot list {args.baseline_dir}: {e}")
+        if not names:
+            sys.exit(f"error: no BENCH_*.json baselines in "
+                     f"{args.baseline_dir} — gate would pass vacuously")
+        pairs = []
+        for name in names:
+            current = os.path.join(args.current_dir, name)
+            if not os.path.exists(current):
+                # Committed baseline with no fresh run: the bench was
+                # dropped from the build or not executed — fail loudly.
+                sys.exit(f"error: baseline {name} has no fresh dump in "
+                         f"{args.current_dir} (bench not built or not run)")
+            pairs.append((os.path.join(args.baseline_dir, name), current))
+
+    total_watched = 0
+    failures = []
+    for baseline_path, current_path in pairs:
+        print(f"{baseline_path} vs {current_path}:")
+        watched, errs = compare(baseline_path, current_path, args.threshold,
+                                args.metric_suffix)
+        total_watched += watched
+        failures.extend(errs)
 
     if failures:
         print(f"\n{len(failures)} bench regression(s) beyond "
@@ -83,8 +141,8 @@ def main() -> int:
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print(f"\nall {len(watched)} throughput metrics within "
-          f"{args.threshold:.0%} of baseline")
+    print(f"\nall {total_watched} throughput metrics across "
+          f"{len(pairs)} baseline(s) within {args.threshold:.0%} of baseline")
     return 0
 
 

@@ -88,6 +88,8 @@ AUDITED_CLASSES = [
      "impl": "src/mqtt/outbox.cpp"},
     {"class": "RouteCache", "header": "src/mqtt/route_cache.hpp",
      "impl": "src/mqtt/route_cache.cpp"},
+    {"class": "RetainedStore", "header": "src/mqtt/retained_store.hpp",
+     "impl": "src/mqtt/retained_store.cpp"},
     {"class": "NeuronModule", "header": "src/node/module.hpp",
      "impl": "src/node/module.cpp"},
     {"class": "Middleware", "header": "src/core/middleware.hpp",

@@ -1,0 +1,281 @@
+// Reusing object/node pools for the zero-allocation data plane.
+//
+// The broker's steady state routes the same topics to the same sessions
+// forever, yet three pieces of per-message state still hit the heap on
+// every QoS 1/2 delivery: the shared WireTemplate control block, the
+// inflight map node, and the session queue slot. This module closes
+// those gaps with two single-threaded recyclers:
+//
+//  * ObjectPool<T> + Ref<T>: an intrusive-refcount replacement for
+//    shared_ptr<T> whose objects return to a free list instead of being
+//    destroyed when the last Ref drops. A recycled object keeps its
+//    internal buffers (a WireTemplate keeps its wire vector capacity),
+//    so re-acquiring one allocates nothing once the pool is warm.
+//
+//  * NodePool + NodeAllocator<T>: a size-bucketed free list over
+//    ::operator new, plugged into node-based containers (std::map,
+//    std::deque) as their allocator. An inflight erase feeds the node
+//    the next emplace reuses, so ack/redeliver churn never mallocs.
+//
+// Neither is thread-safe; both live next to the single-threaded broker
+// and client engines. Pools must be declared before (destroyed after)
+// every container or Ref that uses them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/audit.hpp"
+
+namespace ifot::pool {
+
+/// Size-bucketed free list over ::operator new for container nodes.
+/// allocate() prefers a recycled block of the same (rounded) size;
+/// deallocate() parks the block for reuse instead of freeing it. Blocks
+/// are only returned to the system when the pool is destroyed.
+class NodePool {
+ public:
+  NodePool() = default;
+  ~NodePool() {
+    IFOT_AUDIT_ASSERT(outstanding_ == 0,
+                      "node pool destroyed with blocks still in use");
+    for (auto& [size, blocks] : free_) {
+      for (void* p : blocks) ::operator delete(p);
+    }
+  }
+  NodePool(const NodePool&) = delete;
+  NodePool& operator=(const NodePool&) = delete;
+
+  void* allocate(std::size_t bytes) {
+    const std::size_t bucket = bucket_of(bytes);
+    auto it = free_.find(bucket);
+    if (it != free_.end() && !it->second.empty()) {
+      void* p = it->second.back();
+      it->second.pop_back();
+      ++outstanding_;
+      ++reuses_;
+      return p;
+    }
+    ++outstanding_;
+    ++fresh_;
+    return ::operator new(bucket);
+  }
+
+  void deallocate(void* p, std::size_t bytes) noexcept {
+    IFOT_AUDIT_ASSERT(outstanding_ > 0,
+                      "node pool released more blocks than it handed out");
+    --outstanding_;
+    free_[bucket_of(bytes)].push_back(p);
+  }
+
+  /// Blocks currently handed out (not yet deallocated).
+  [[nodiscard]] std::size_t outstanding() const { return outstanding_; }
+  /// Allocations served from the free list vs. fresh ::operator new.
+  [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+  [[nodiscard]] std::uint64_t fresh_allocations() const { return fresh_; }
+  [[nodiscard]] std::size_t free_blocks() const {
+    std::size_t n = 0;
+    for (const auto& [_, blocks] : free_) n += blocks.size();
+    return n;
+  }
+
+  void audit_invariants() const {
+    if constexpr (!audit::kEnabled) return;
+    IFOT_AUDIT_ASSERT(reuses_ + fresh_ >= outstanding_,
+                      "node pool handed out more blocks than it allocated");
+  }
+
+ private:
+  /// Rounding sizes up to 16 keeps the bucket count tiny without wasting
+  /// meaningful memory on the small node types this pool serves.
+  static std::size_t bucket_of(std::size_t bytes) {
+    return (bytes + 15) & ~static_cast<std::size_t>(15);
+  }
+
+  std::unordered_map<std::size_t, std::vector<void*>> free_;
+  std::size_t outstanding_ = 0;
+  std::uint64_t reuses_ = 0;
+  std::uint64_t fresh_ = 0;
+};
+
+/// Standard-allocator adapter over a NodePool, for node-based containers.
+/// Copies (and rebinds) share the pool pointer; allocators compare equal
+/// exactly when they share a pool. The pool must outlive the container.
+template <typename T>
+class NodeAllocator {
+ public:
+  using value_type = T;
+
+  explicit NodeAllocator(NodePool* pool) : pool_(pool) {}
+  template <typename U>
+  // NOLINTNEXTLINE(google-explicit-constructor): allocator rebinding
+  NodeAllocator(const NodeAllocator<U>& other) : pool_(other.pool()) {}
+
+  T* allocate(std::size_t n) {
+    static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                  "NodePool only serves default-aligned node types");
+    return static_cast<T*>(pool_->allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    pool_->deallocate(p, n * sizeof(T));
+  }
+
+  [[nodiscard]] NodePool* pool() const { return pool_; }
+
+  template <typename U>
+  friend bool operator==(const NodeAllocator& a, const NodeAllocator<U>& b) {
+    return a.pool() == b.pool();
+  }
+
+ private:
+  NodePool* pool_;
+};
+
+template <typename T>
+class ObjectPool;
+template <typename T>
+class Ref;
+
+/// CRTP base holding the intrusive refcount and the owning pool. Derive
+/// the pooled type from RefCounted<itself>; objects handed out by
+/// ObjectPool<T>::acquire start at refcount 1.
+template <typename T>
+class RefCounted {
+ public:
+  /// Refs currently sharing this object (diagnostics/audits).
+  [[nodiscard]] std::uint32_t pool_use_count() const { return refs_; }
+
+ private:
+  friend class ObjectPool<T>;
+  friend class Ref<T>;
+
+  std::uint32_t refs_ = 0;
+  ObjectPool<T>* home_ = nullptr;
+};
+
+/// shared_ptr-like handle over a pooled object. Copying bumps the
+/// intrusive count (no control block, no atomics); dropping the last Ref
+/// returns the object to its pool's free list *without destroying it*,
+/// so its buffers keep their capacity for the next acquire.
+template <typename T>
+class Ref {
+ public:
+  Ref() = default;
+  Ref(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Ref(const Ref& other) : ptr_(other.ptr_) { retain(); }
+  Ref(Ref&& other) noexcept : ptr_(other.ptr_) { other.ptr_ = nullptr; }
+  Ref& operator=(const Ref& other) {
+    if (this != &other) {
+      release();
+      ptr_ = other.ptr_;
+      retain();
+    }
+    return *this;
+  }
+  Ref& operator=(Ref&& other) noexcept {
+    if (this != &other) {
+      release();
+      ptr_ = other.ptr_;
+      other.ptr_ = nullptr;
+    }
+    return *this;
+  }
+  ~Ref() { release(); }
+
+  T* operator->() const { return ptr_; }
+  T& operator*() const { return *ptr_; }
+  [[nodiscard]] T* get() const { return ptr_; }
+  explicit operator bool() const { return ptr_ != nullptr; }
+  friend bool operator==(const Ref& a, const Ref& b) {
+    return a.ptr_ == b.ptr_;
+  }
+  friend bool operator==(const Ref& a, std::nullptr_t) {
+    return a.ptr_ == nullptr;
+  }
+
+  void reset() { release(); ptr_ = nullptr; }
+
+  /// Refs sharing the pointee (0 for a null Ref).
+  [[nodiscard]] std::uint32_t use_count() const {
+    return ptr_ != nullptr ? base().refs_ : 0;
+  }
+
+ private:
+  friend class ObjectPool<T>;
+  explicit Ref(T* p) : ptr_(p) {}  // acquire() pre-sets refs_ to 1
+
+  RefCounted<T>& base() const { return *ptr_; }
+  void retain() {
+    if (ptr_ != nullptr) ++base().refs_;
+  }
+  void release() {
+    if (ptr_ == nullptr) return;
+    RefCounted<T>& b = base();
+    IFOT_AUDIT_ASSERT(b.refs_ > 0, "pooled object over-released");
+    if (--b.refs_ == 0) b.home_->recycle(ptr_);
+  }
+
+  T* ptr_ = nullptr;
+};
+
+/// Owns every T it ever created and recycles them through a free list.
+/// acquire() reuses a parked object when one exists (no construction, no
+/// allocation — the caller re-initializes contents via the object's own
+/// assign/reset API) and default-constructs a new one otherwise.
+template <typename T>
+class ObjectPool {
+ public:
+  ObjectPool() = default;
+  ~ObjectPool() {
+    IFOT_AUDIT_ASSERT(free_.size() == all_.size(),
+                      "object pool destroyed with objects still referenced");
+  }
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+
+  [[nodiscard]] Ref<T> acquire() {
+    T* obj = nullptr;
+    if (!free_.empty()) {
+      obj = free_.back();
+      free_.pop_back();
+      ++reuses_;
+    } else {
+      all_.push_back(std::make_unique<T>());
+      obj = all_.back().get();
+      obj->RefCounted<T>::home_ = this;
+    }
+    obj->RefCounted<T>::refs_ = 1;
+    return Ref<T>(obj);
+  }
+
+  /// Objects ever created / currently parked / currently referenced.
+  [[nodiscard]] std::size_t created() const { return all_.size(); }
+  [[nodiscard]] std::size_t free_count() const { return free_.size(); }
+  [[nodiscard]] std::size_t live() const { return all_.size() - free_.size(); }
+  [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+
+  void audit_invariants() const {
+    if constexpr (!audit::kEnabled) return;
+    IFOT_AUDIT_ASSERT(free_.size() <= all_.size(),
+                      "object pool free list larger than its object set");
+    for (T* obj : free_) {
+      IFOT_AUDIT_ASSERT(obj->RefCounted<T>::refs_ == 0,
+                        "parked pooled object still referenced");
+    }
+  }
+
+ private:
+  friend class Ref<T>;
+  void recycle(T* obj) { free_.push_back(obj); }
+
+  std::vector<std::unique_ptr<T>> all_;
+  std::vector<T*> free_;
+  std::uint64_t reuses_ = 0;
+};
+
+}  // namespace ifot::pool

@@ -10,12 +10,43 @@
 namespace ifot::mqtt {
 namespace {
 constexpr const char* kLog = "mqtt.broker";
+
+/// splitmix64 finalizer: turns the std/qos hash inputs into well-mixed
+/// 64-bit values so the commutative sum below keeps its entropy.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
 }
+
+/// Order-independent fingerprint of a raw (subscriber key, granted QoS)
+/// match multiset. Commutative (a sum of per-element mixes) so the
+/// trie's unsorted match order never matters, which keeps
+/// re-fingerprinting a topic as cheap as one tree_.match() walk — no
+/// sort, no dedup, no copies. Equal match multisets derive equal plans,
+/// so an unchanged fingerprint proves a cached plan is still exact.
+std::uint64_t route_fingerprint(
+    const TopicTree<std::string, QoS>::MatchList& matches) {
+  std::uint64_t fp = 0x9e3779b97f4a7c15ULL ^ mix64(matches.size());
+  for (const auto& [key, qos] : matches) {
+    const std::uint64_t h = std::hash<std::string_view>{}(*key);
+    fp += mix64(h ^ (static_cast<std::uint64_t>(qos) << 62));
+  }
+  return fp;
+}
+
+}  // namespace
 
 Broker::Broker(Scheduler& sched, BrokerConfig cfg)
     : sched_(sched),
       cfg_(cfg),
       route_cache_(cfg.route_cache_entries, &counters_) {
+  refingerprint_ = [this](std::string_view topic) {
+    match_scratch_.clear();
+    tree_.match(topic, match_scratch_);
+    return route_fingerprint(match_scratch_);
+  };
   if (cfg_.sys_interval > 0) arm_sys_stats();
 }
 
@@ -25,9 +56,7 @@ Broker::~Broker() {
     if (link->keepalive_timer != 0) sched_.cancel(link->keepalive_timer);
   }
   for (auto& [_, session] : sessions_) {
-    for (auto& [pid, inflight] : session->inflight) {
-      if (inflight.retry_timer != 0) sched_.cancel(inflight.retry_timer);
-    }
+    if (session->retry_timer != 0) sched_.cancel(session->retry_timer);
   }
 }
 
@@ -136,7 +165,8 @@ void Broker::handle_packet(Link& link, Packet packet) {
           auto it = session.inflight.find(p.packet_id);
           if (it != session.inflight.end() &&
               it->second.msg.qos == QoS::kAtLeastOnce) {
-            if (it->second.retry_timer != 0) sched_.cancel(it->second.retry_timer);
+            // The session retry timer self-disarms when it next fires
+            // and finds nothing due; no per-message cancel needed.
             session.inflight.erase(it);
             pump_queue(session);
           }
@@ -154,7 +184,6 @@ void Broker::handle_packet(Link& link, Packet packet) {
         } else if constexpr (std::is_same_v<T, Pubcomp>) {
           auto it = session.inflight.find(p.packet_id);
           if (it != session.inflight.end() && it->second.awaiting_pubcomp) {
-            if (it->second.retry_timer != 0) sched_.cancel(it->second.retry_timer);
             session.inflight.erase(it);
             pump_queue(session);
           }
@@ -203,9 +232,7 @@ void Broker::handle_connect(Link& link, Connect c) {
   if (c.clean_session) {
     if (it != sessions_.end()) {
       tree_.erase_key(c.client_id);
-      for (auto& [pid, inflight] : it->second->inflight) {
-        if (inflight.retry_timer != 0) sched_.cancel(inflight.retry_timer);
-      }
+      if (it->second->retry_timer != 0) sched_.cancel(it->second->retry_timer);
       sessions_.erase(it);
     }
   } else if (it != sessions_.end()) {
@@ -214,8 +241,9 @@ void Broker::handle_connect(Link& link, Connect c) {
 
   auto& session = sessions_[c.client_id];
   if (!session) {
-    session = std::make_unique<Session>();
+    session = std::make_unique<Session>(node_pool_);
     session->client_id = c.client_id;
+    session->client_id_ref = SharedString(c.client_id);
   }
   session->inbound_qos2.set_capacity(cfg_.max_inbound_qos2_per_session);
   session->clean = c.clean_session;
@@ -294,15 +322,40 @@ void Broker::handle_subscribe(Session& session, const Subscribe& s) {
   send_packet(session, Packet{ack});
 
   // Retained messages matching each newly granted filter (§3.3.1-6).
+  // Overlapping filters in one SUBSCRIBE ("sensors/#" + "sensors/+/temp")
+  // used to replay the same retained topic once per filter; collect the
+  // full (message, granted) match set first, then deliver each retained
+  // topic exactly once at the highest granted QoS among the filters that
+  // matched it (§3.3.5 overlapping-subscription rule).
+  retained_replay_scratch_.clear();
   for (std::size_t i = 0; i < s.topics.size(); ++i) {
     if (ack.return_codes[i] == kSubackFailure) continue;
-    for (const auto& [topic, msg] : retained_) {
-      if (!topic_matches(s.topics[i].filter, topic)) continue;
-      Publish out = msg;
-      out.retain = true;
-      out.qos = std::min(out.qos, static_cast<QoS>(ack.return_codes[i]));
-      deliver(session, std::move(out), nullptr);
+    retained_ptr_scratch_.clear();
+    retained_.collect(s.topics[i].filter, retained_ptr_scratch_);
+    const QoS granted = static_cast<QoS>(ack.return_codes[i]);
+    for (const Publish* msg : retained_ptr_scratch_) {
+      retained_replay_scratch_.emplace_back(msg, granted);
     }
+  }
+  std::sort(retained_replay_scratch_.begin(), retained_replay_scratch_.end(),
+            [](const std::pair<const Publish*, QoS>& a,
+               const std::pair<const Publish*, QoS>& b) {
+              if (a.first->topic.view() != b.first->topic.view()) {
+                return a.first->topic.view() < b.first->topic.view();
+              }
+              return a.second < b.second;
+            });
+  for (std::size_t i = 0; i < retained_replay_scratch_.size(); ++i) {
+    if (i + 1 < retained_replay_scratch_.size() &&
+        retained_replay_scratch_[i + 1].first ==
+            retained_replay_scratch_[i].first) {
+      continue;  // keep last (sorted -> highest granted QoS is later)
+    }
+    const auto& [msg, granted] = retained_replay_scratch_[i];
+    Publish out = *msg;
+    out.retain = true;
+    out.qos = std::min(out.qos, granted);
+    deliver(session, std::move(out), {});
   }
 }
 
@@ -314,10 +367,10 @@ void Broker::handle_unsubscribe(Session& session, const Unsubscribe& u) {
   send_packet(session, Packet{Unsuback{u.packet_id}});
 }
 
-void Broker::publish_local(const std::string& topic, SharedPayload payload,
-                           QoS qos, bool retain) {
+void Broker::publish_local(SharedString topic, SharedPayload payload, QoS qos,
+                           bool retain) {
   Publish p;
-  p.topic = topic;
+  p.topic = std::move(topic);
   p.payload = std::move(payload);
   p.qos = qos;
   p.retain = retain;
@@ -331,12 +384,11 @@ void Broker::route(Publish p, const std::string& origin) {
   (void)origin;
   if (p.retain) {
     if (p.payload.empty()) {
-      retained_.erase(p.topic);
+      retained_.clear(p.topic.view());
     } else {
-      // Payload is shared, so the retained copy costs only header state.
-      Publish stored = p;
-      stored.dup = false;
-      retained_[p.topic] = std::move(stored);
+      // Payload is shared, so the retained copy costs only header state
+      // plus trie path nodes (set() clears DUP itself).
+      retained_.set(p);
     }
   }
 
@@ -347,7 +399,8 @@ void Broker::route(Publish p, const std::string& origin) {
   const std::string_view topic_view = p.topic.view();
   const bool cacheable = !topic_view.empty() && topic_view.front() != '$';
   const RouteCache::Plan* plan =
-      cacheable ? route_cache_.lookup(topic_view, tree_.version()) : nullptr;
+      cacheable ? route_cache_.lookup(topic_view, tree_.version(), refingerprint_)
+                : nullptr;
   if (plan == nullptr) {
     derive_plan(topic_view, match_scratch_, plan_scratch_);
     if (cacheable) {
@@ -360,22 +413,15 @@ void Broker::route(Publish p, const std::string& origin) {
   // this message shares one wire template (retain/dup cleared per
   // [MQTT-3.3.1-9]). QoS 0 deliveries reuse the frame untouched; QoS 1/2
   // deliveries patch only the 2 packet-id bytes at flush time.
-  std::array<std::shared_ptr<WireTemplate>, 3> group;
-  auto group_template =
-      [&](QoS qos) -> const std::shared_ptr<WireTemplate>& {
+  std::array<WireTemplateRef, 3> group;
+  auto group_template = [&](QoS qos) -> const WireTemplateRef& {
     auto& slot = group[static_cast<std::size_t>(qos)];
     if (!slot) {
       Publish wire_msg;
       wire_msg.topic = original.topic;      // shares the string
       wire_msg.payload = original.payload;  // shares the buffer
       wire_msg.qos = qos;
-      slot = std::make_shared<WireTemplate>(encode_publish_template(wire_msg));
-      counters_.add("fanout_encodes");
-      counters_.add("egress_wire_templates");
-      // The one remaining copy: topic + payload bytes into the wire
-      // buffer.
-      counters_.add("payload_bytes_copied", original.payload.size());
-      counters_.add("topic_bytes_copied", original.topic.size());
+      slot = make_template(wire_msg);
     }
     return slot;
   };
@@ -422,6 +468,9 @@ void Broker::derive_plan(std::string_view topic,
   for (auto& group : out.by_qos) group.clear();
   matches.clear();
   tree_.match(topic, matches);
+  // Fingerprint the raw match multiset (order-independent) before the
+  // dedup below: revalidation recomputes it with one tree walk, no sort.
+  out.fingerprint = route_fingerprint(matches);
   // Dedup by subscriber, keeping the highest granted QoS among matching
   // filters (overlapping-subscription rule, §3.3.5). Sorting by (key,
   // QoS) makes "keep last" the max-QoS entry and each plan group sorted.
@@ -440,8 +489,7 @@ void Broker::derive_plan(std::string_view topic,
   }
 }
 
-void Broker::deliver(Session& session, Publish p,
-                     std::shared_ptr<WireTemplate> wire) {
+void Broker::deliver(Session& session, Publish p, WireTemplateRef wire) {
   if (p.qos == QoS::kAtMostOnce) {
     if (session.connected) {
       send_packet(session, Packet{std::move(p)});
@@ -501,12 +549,7 @@ void Broker::send_inflight_frame(Session& session, InflightOut& inflight) {
     // every retransmit of this message too.
     Publish wire_msg = inflight.msg;  // shares topic/payload buffers
     wire_msg.dup = false;
-    inflight.wire =
-        std::make_shared<WireTemplate>(encode_publish_template(wire_msg));
-    counters_.add("fanout_encodes");
-    counters_.add("egress_wire_templates");
-    counters_.add("payload_bytes_copied", inflight.msg.payload.size());
-    counters_.add("topic_bytes_copied", inflight.msg.topic.size());
+    inflight.wire = make_template(wire_msg);
   }
   IFOT_AUDIT_ASSERT(inflight.wire->has_packet_id(),
                     "QoS 1/2 inflight frame lost its packet-id field");
@@ -514,35 +557,76 @@ void Broker::send_inflight_frame(Session& session, InflightOut& inflight) {
                 inflight.msg.dup);
 }
 
+WireTemplateRef Broker::make_template(const Publish& wire_msg) {
+  WireTemplateRef tpl = template_pool_.acquire();
+  tpl->assign(wire_msg);
+  counters_.add("fanout_encodes");
+  counters_.add("egress_wire_templates");
+  // The one remaining copy: topic + payload bytes into the wire buffer.
+  counters_.add("payload_bytes_copied", wire_msg.payload.size());
+  counters_.add("topic_bytes_copied", wire_msg.topic.size());
+  return tpl;
+}
+
 void Broker::arm_retry(Session& session, std::uint16_t packet_id) {
   auto it = session.inflight.find(packet_id);
   if (it == session.inflight.end()) return;
-  InflightOut& inflight = it->second;
-  if (inflight.retry_timer != 0) sched_.cancel(inflight.retry_timer);
-  const std::string client_id = session.client_id;
-  inflight.retry_timer = sched_.call_after(
-      cfg_.retry_interval, [this, client_id, packet_id] {
-        auto sit = sessions_.find(client_id);
-        if (sit == sessions_.end()) return;
-        Session& s = *sit->second;
-        auto iit = s.inflight.find(packet_id);
-        if (iit == s.inflight.end()) return;
-        InflightOut& f = iit->second;
-        f.retry_timer = 0;
-        if (!s.connected || f.attempts > cfg_.max_retries) return;
-        counters_.add("redeliveries");
-        if (f.awaiting_pubcomp) {
-          send_packet(s, Packet{Pubrel{packet_id}});
-        } else {
-          // Retransmit = patch DUP + id into the stored template; the
-          // frame is never re-encoded.
-          f.msg.dup = true;
-          send_inflight_frame(s, f);
-        }
-        ++f.attempts;
-        arm_retry(s, packet_id);
-        flush_egress();
-      });
+  it->second.next_retry_at = sched_.now() + cfg_.retry_interval;
+  arm_session_retry(session, it->second.next_retry_at);
+}
+
+void Broker::arm_session_retry(Session& session, SimTime deadline) {
+  // One timer per session, armed at the earliest pending deadline. A
+  // timer already due at or before `deadline` covers it — the fire scan
+  // re-arms for whatever remains, so steady-state QoS 1/2 traffic never
+  // allocates a fresh timer closure per message.
+  if (session.retry_timer != 0 && session.retry_deadline <= deadline) return;
+  if (session.retry_timer != 0) sched_.cancel(session.retry_timer);
+  session.retry_deadline = deadline;
+  const SharedString cid = session.client_id_ref;
+  session.retry_timer = sched_.call_after(
+      deadline - sched_.now(), [this, cid] { on_retry_timer(cid.str()); });
+}
+
+void Broker::on_retry_timer(const std::string& client_id) {
+  auto sit = sessions_.find(client_id);
+  if (sit == sessions_.end()) return;
+  Session& s = *sit->second;
+  s.retry_timer = 0;
+  s.retry_deadline = 0;
+  const SimTime now = sched_.now();
+  SimTime next = 0;
+  // pid-order scan: redeliver what is due, retire what exhausted its
+  // retries, and find the earliest remaining deadline to re-arm at.
+  for (auto& [pid, f] : s.inflight) {
+    if (f.next_retry_at == 0) continue;
+    if (f.attempts > cfg_.max_retries) {
+      // Out of retries: keep the message for a future reconnect
+      // redelivery (§4.4) but stop the timer churn for it.
+      f.next_retry_at = 0;
+      continue;
+    }
+    if (f.next_retry_at <= now && s.connected) {
+      counters_.add("redeliveries");
+      if (f.awaiting_pubcomp) {
+        send_packet(s, Packet{Pubrel{pid}});
+      } else {
+        // Retransmit = patch DUP + id into the stored template; the
+        // frame is never re-encoded.
+        f.msg.dup = true;
+        send_inflight_frame(s, f);
+      }
+      ++f.attempts;
+      f.next_retry_at =
+          f.attempts > cfg_.max_retries ? 0 : now + cfg_.retry_interval;
+    }
+    if (f.next_retry_at != 0 && (next == 0 || f.next_retry_at < next)) {
+      next = f.next_retry_at;
+    }
+  }
+  if (s.connected && next != 0) arm_session_retry(s, next);
+  audit_invariants();
+  flush_egress();
 }
 
 std::uint16_t Broker::alloc_packet_id(Session& session) {
@@ -564,7 +648,11 @@ void Broker::send_packet(Session& session, const Packet& p) {
 }
 
 void Broker::send_packet(Link& link, const Packet& p) {
-  send_encoded(link, encode(p));
+  // Encode into a recycled frame buffer: steady-state acks/acks-of-acks
+  // reuse capacity the outbox already paid for.
+  Bytes wire = link.outbox->take_buffer();
+  encode_into(p, wire);
+  send_encoded(link, std::move(wire));
 }
 
 void Broker::send_encoded(Link& link, Bytes wire) {
@@ -573,7 +661,7 @@ void Broker::send_encoded(Link& link, Bytes wire) {
   mark_egress_dirty(link);
 }
 
-void Broker::send_template(Link& link, std::shared_ptr<WireTemplate> wire,
+void Broker::send_template(Link& link, WireTemplateRef wire,
                            std::uint16_t packet_id, bool dup) {
   counters_.add("packets_out");
   link.outbox->enqueue(std::move(wire), packet_id, dup);
@@ -693,6 +781,7 @@ void Broker::publish_sys_stats() {
   pub("route/cache/hits", counters_.get("route_cache_hits"));
   pub("route/cache/misses", counters_.get("route_cache_misses"));
   pub("route/cache/invalidations", counters_.get("route_cache_invalidations"));
+  pub("route/cache/revalidations", counters_.get("route_cache_revalidations"));
   pub("route/cache/evictions", counters_.get("route_cache_evictions"));
   pub("route/cache/entries", route_cache_.size());
 }
@@ -710,11 +799,10 @@ void Broker::drop_link(Link& link, bool publish_will) {
         will = std::move(session.will);
         session.will.reset();
       }
-      for (auto& [pid, inflight] : session.inflight) {
-        if (inflight.retry_timer != 0) {
-          sched_.cancel(inflight.retry_timer);
-          inflight.retry_timer = 0;
-        }
+      if (session.retry_timer != 0) {
+        sched_.cancel(session.retry_timer);
+        session.retry_timer = 0;
+        session.retry_deadline = 0;
       }
       if (session.clean) {
         tree_.erase_key(session.client_id);
@@ -821,14 +909,9 @@ void Broker::audit_invariants() const {
                         std::to_string(tree_.entry_count()) + ", sessions " +
                         std::to_string(subscription_total));
 
-  for (const auto& [topic, msg] : retained_) {
-    IFOT_AUDIT_ASSERT(valid_topic_name(topic),
-                      "retained store holds invalid topic '" + topic + "'");
-    IFOT_AUDIT_ASSERT(msg.topic == topic,
-                      "retained message topic diverged from its key");
-    IFOT_AUDIT_ASSERT(!msg.payload.empty(),
-                      "empty retained payload should have cleared the slot");
-  }
+  retained_.audit_invariants();
+  node_pool_.audit_invariants();
+  template_pool_.audit_invariants();
 
   // Every current-version cached plan must re-derive byte-for-byte from
   // the live trie (local scratch: this audit must not disturb the

@@ -26,10 +26,12 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/pool.hpp"
 #include "common/stats.hpp"
 #include "mqtt/id_set.hpp"
 #include "mqtt/outbox.hpp"
 #include "mqtt/packet.hpp"
+#include "mqtt/retained_store.hpp"
 #include "mqtt/route_cache.hpp"
 #include "mqtt/scheduler.hpp"
 #include "mqtt/topic.hpp"
@@ -93,8 +95,12 @@ class Broker {
   void on_link_closed(LinkId link);
 
   /// Publishes a message as if originated by the broker itself (used for
-  /// management/$SYS-style announcements).
-  void publish_local(const std::string& topic, SharedPayload payload, QoS qos,
+  /// management/$SYS-style announcements). Takes the topic as a shared
+  /// handle (implicitly convertible from std::string / const char*): a
+  /// caller publishing the same topic repeatedly (sensor streams, tests
+  /// of the hot path) can pre-share it and pay no per-publish topic
+  /// allocation.
+  void publish_local(SharedString topic, SharedPayload payload, QoS qos,
                      bool retain = false);
 
   [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
@@ -110,12 +116,16 @@ class Broker {
 
   struct InflightOut {
     Publish msg;                 // packet_id assigned
-    // Shared wire frame: the fan-out group's template, or lazily encoded
-    // on first send. Retransmits patch the id/DUP bytes, never re-encode.
-    std::shared_ptr<WireTemplate> wire;
+    // Shared wire frame: the fan-out group's pooled template, or lazily
+    // encoded on first send. Retransmits patch the id/DUP bytes, never
+    // re-encode.
+    WireTemplateRef wire;
     bool awaiting_pubcomp = false;  // QoS2: PUBREC received, PUBREL sent
     int attempts = 0;
-    std::uint64_t retry_timer = 0;
+    // When this message is next due for redelivery (0 = none scheduled).
+    // The session's single retry timer scans these; there is no
+    // per-message timer (and so no per-message closure allocation).
+    SimTime next_retry_at = 0;
   };
 
   /// A delivery parked behind the inflight window (or an offline link).
@@ -123,11 +133,28 @@ class Broker {
   /// still costs zero encodes.
   struct QueuedOut {
     Publish msg;
-    std::shared_ptr<WireTemplate> wire;
+    WireTemplateRef wire;
   };
 
   struct Session {
+    /// Inflight map and queue draw their nodes from the broker's
+    /// NodePool: ack/redeliver churn recycles nodes instead of hitting
+    /// the heap. The pool outlives every session (declared first in
+    /// Broker).
+    using InflightMap =
+        std::map<std::uint16_t, InflightOut, std::less<>,
+                 pool::NodeAllocator<std::pair<const std::uint16_t,
+                                               InflightOut>>>;
+    using QueuedDeque = std::deque<QueuedOut, pool::NodeAllocator<QueuedOut>>;
+
+    explicit Session(pool::NodePool& nodes)
+        : inflight(InflightMap::allocator_type(&nodes)),
+          queued(QueuedDeque::allocator_type(&nodes)) {}
+
     std::string client_id;
+    // Shared copy of client_id for timer captures: re-arming the retry
+    // timer shares the buffer instead of copying the string.
+    SharedString client_id_ref;
     bool clean = true;
     std::optional<Will> will;
     LinkId link = 0;           // 0 = offline
@@ -137,8 +164,12 @@ class Broker {
     std::map<std::string, QoS> subscriptions;
     // Outbound state.
     std::uint16_t next_packet_id = 1;
-    std::map<std::uint16_t, InflightOut> inflight;
-    std::deque<QueuedOut> queued;  // offline / above inflight window
+    InflightMap inflight;
+    QueuedDeque queued;  // offline / above inflight window
+    // One retry timer per session (not per message): armed at the
+    // earliest InflightOut::next_retry_at, rescanned on fire.
+    std::uint64_t retry_timer = 0;
+    SimTime retry_deadline = 0;
     // Inbound QoS2 exactly-once dedup: ids whose PUBLISH was routed but
     // whose PUBREL has not arrived yet. Bounded: lost PUBRELs must not
     // leak ids forever.
@@ -183,14 +214,25 @@ class Broker {
   /// Queues or sends one message to one subscriber session. `wire` is
   /// the fan-out group's shared template (null for singleton deliveries
   /// such as retained replays; those encode lazily on first send).
-  void deliver(Session& session, Publish p, std::shared_ptr<WireTemplate> wire);
+  void deliver(Session& session, Publish p, WireTemplateRef wire);
   /// Sends the next queued messages while the inflight window has room.
   void pump_queue(Session& session);
   void send_inflight(Session& session, InflightOut& inflight);
   /// Queues the inflight message's shared wire frame (encoding it first
   /// if this delivery never had a group template), patching id/DUP only.
   void send_inflight_frame(Session& session, InflightOut& inflight);
+  /// Acquires a pooled template and encodes `wire_msg` into it (counted
+  /// as a fan-out encode).
+  WireTemplateRef make_template(const Publish& wire_msg);
+  /// Schedules redelivery of one inflight message: stamps its deadline
+  /// and arms (or keeps) the session retry timer.
   void arm_retry(Session& session, std::uint16_t packet_id);
+  /// Arms the session's single retry timer for `deadline` unless it is
+  /// already armed at least as early (steady state: a no-op).
+  void arm_session_retry(Session& session, SimTime deadline);
+  /// Session retry timer fired: redeliver every due inflight message and
+  /// re-arm for the next deadline, if any.
+  void on_retry_timer(const std::string& client_id);
 
   void send_packet(Session& session, const Packet& p);
   void send_packet(Link& link, const Packet& p);
@@ -198,7 +240,7 @@ class Broker {
   void send_encoded(Link& link, Bytes wire);
   /// Queues a shared PUBLISH template on the link's outbox; the packet
   /// id and DUP bit are patched in at flush time.
-  void send_template(Link& link, std::shared_ptr<WireTemplate> wire,
+  void send_template(Link& link, WireTemplateRef wire,
                      std::uint16_t packet_id, bool dup);
   /// Marks a link for the end-of-turn flush.
   void mark_egress_dirty(Link& link);
@@ -221,18 +263,30 @@ class Broker {
 
   Scheduler& sched_;  // NOLINT(cppcoreguidelines-avoid-const-or-ref-data-members)
   BrokerConfig cfg_;
+  // Pools outlive (are declared before) every container and Ref drawing
+  // from them: session maps/queues recycle their nodes, fan-out and
+  // inflight wire templates recycle their buffers.
+  pool::NodePool node_pool_;
+  WireTemplatePool template_pool_;
   std::unordered_map<LinkId, std::unique_ptr<Link>> links_;
   std::unordered_map<std::string, std::unique_ptr<Session>> sessions_;
   TopicTree<std::string, QoS> tree_;
-  std::map<std::string, Publish> retained_;
+  RetainedStore retained_;
   Counters counters_;
   RouteCache route_cache_;
+  // Re-fingerprints a topic against tree_ (bound once at construction;
+  // passed to route_cache_.lookup for in-place revalidation).
+  RouteCache::RefingerprintFn refingerprint_;
   // Scratch reused across route() calls (match results; the derived plan
   // for cache misses and uncacheable $-topics), so steady-state routing
   // allocates nothing. route() is never re-entered while a plan is being
   // executed — deliveries cannot drop links or publish.
   TopicTree<std::string, QoS>::MatchList match_scratch_;
   RouteCache::Plan plan_scratch_;
+  // Scratch for SUBSCRIBE retained replay: matches collected per filter,
+  // then deduped across the packet's filters at max granted QoS.
+  std::vector<const Publish*> retained_ptr_scratch_;
+  std::vector<std::pair<const Publish*, QoS>> retained_replay_scratch_;
   std::vector<LinkId> dirty_links_;  // links with frames queued this turn
   std::uint64_t generation_ = 0;  // guards timers across session resets
   std::uint64_t sys_timer_ = 0;

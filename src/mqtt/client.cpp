@@ -422,7 +422,10 @@ void Client::arm_ping() {
 void Client::send_packet(const Packet& p) {
   if (!transport_up_) return;
   counters_.add("packets_out");
-  outbox_.enqueue(encode(p));
+  // Encode into a recycled frame buffer from the outbox spare list.
+  Bytes wire = outbox_.take_buffer();
+  encode_into(p, wire);
+  outbox_.enqueue(std::move(wire));
 }
 
 void Client::send_publish_frame(InflightPub& inflight) {
@@ -430,8 +433,8 @@ void Client::send_publish_frame(InflightPub& inflight) {
   if (!inflight.wire) {
     Publish wire_msg = inflight.msg;  // shares topic/payload buffers
     wire_msg.dup = false;
-    inflight.wire =
-        std::make_shared<WireTemplate>(encode_publish_template(wire_msg));
+    inflight.wire = template_pool_.acquire();
+    inflight.wire->assign(wire_msg);
     counters_.add("egress_wire_templates");
   }
   counters_.add("packets_out");

@@ -119,8 +119,10 @@ class Client {
   struct InflightPub {
     Publish msg;
     // Wire frame encoded once at first send; retransmits patch the DUP
-    // bit (and id) in place instead of re-encoding.
-    std::shared_ptr<WireTemplate> wire;
+    // bit (and id) in place instead of re-encoding. Pooled: acked
+    // publishes return their template (buffer capacity intact) for the
+    // next publish to reuse.
+    WireTemplateRef wire;
     bool awaiting_pubcomp = false;
     int attempts = 0;
     std::uint64_t retry_timer = 0;
@@ -145,6 +147,9 @@ class Client {
   Scheduler& sched_;  // NOLINT(cppcoreguidelines-avoid-const-or-ref-data-members)
   ClientConfig cfg_;
   SendFn send_;
+  // Pool outlives (declared before) the outbox and inflight map that
+  // hold Refs into it.
+  WireTemplatePool template_pool_;
   Outbox outbox_;  // batches same-turn frames into one send_() call
   StreamDecoder decoder_;
   bool transport_up_ = false;

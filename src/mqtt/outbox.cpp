@@ -32,8 +32,7 @@ void Outbox::enqueue(Bytes frame) {
   audit_invariants();
 }
 
-void Outbox::enqueue(std::shared_ptr<WireTemplate> tpl,
-                     std::uint16_t packet_id, bool dup) {
+void Outbox::enqueue(WireTemplateRef tpl, std::uint16_t packet_id, bool dup) {
   IFOT_AUDIT_ASSERT(tpl != nullptr, "null wire template queued");
   make_room(tpl->size());
   pending_bytes_ += tpl->size();
@@ -67,7 +66,16 @@ void Outbox::flush() {
       Entry& e = batch.front();
       write_(e.tpl ? e.tpl->patched(e.packet_id, e.dup) : e.owned);
     } else {
+      // Concatenate into a recycled batch buffer. The buffer is taken
+      // off the spare list for the duration of the write, so a reentrant
+      // flush grabs (or creates) a different one instead of clobbering
+      // bytes still being written.
       Bytes wire;
+      if (!spare_batches_.empty()) {
+        wire = std::move(spare_batches_.back());
+        spare_batches_.pop_back();
+        wire.clear();
+      }
       wire.reserve(batch_bytes);
       for (Entry& e : batch) {
         const Bytes& frame =
@@ -75,10 +83,16 @@ void Outbox::flush() {
         wire.insert(wire.end(), frame.begin(), frame.end());
       }
       write_(wire);
+      if (spare_batches_.size() < 2) spare_batches_.push_back(std::move(wire));
     }
-    // Recycle the batch's allocation for the next turn (unless the write
-    // callback re-entered and queued fresh frames, which keeps the loop
-    // going on the new entries instead).
+    // Park the flushed frames' buffers for take_buffer() reuse, then
+    // recycle the batch vector's allocation for the next turn (unless
+    // the write callback re-entered and queued fresh frames, which keeps
+    // the loop going on the new entries instead).
+    for (Entry& e : batch) {
+      if (!e.tpl && !e.owned.empty()) recycle_buffer(std::move(e.owned));
+      e.tpl.reset();
+    }
     if (entries_.empty()) {
       batch.clear();
       entries_.swap(batch);
@@ -88,9 +102,27 @@ void Outbox::flush() {
 }
 
 void Outbox::clear() {
+  for (Entry& e : entries_) {
+    if (!e.tpl && !e.owned.empty()) recycle_buffer(std::move(e.owned));
+  }
   entries_.clear();
   pending_bytes_ = 0;
   audit_invariants();
+}
+
+Bytes Outbox::take_buffer() {
+  IFOT_AUDIT_ASSERT(spare_frames_.size() <= cfg_.max_queued_frames,
+                    "outbox spare-frame list exceeded the queue bound");
+  if (spare_frames_.empty()) return Bytes{};
+  Bytes buf = std::move(spare_frames_.back());
+  spare_frames_.pop_back();
+  buf.clear();
+  return buf;
+}
+
+void Outbox::recycle_buffer(Bytes&& buf) {
+  if (spare_frames_.size() >= cfg_.max_queued_frames) return;  // bounded
+  spare_frames_.push_back(std::move(buf));
 }
 
 void Outbox::make_room(std::size_t incoming_bytes) {

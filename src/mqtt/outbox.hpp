@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/pool.hpp"
 #include "common/stats.hpp"
 #include "mqtt/packet.hpp"
 
@@ -24,10 +25,20 @@ namespace ifot::mqtt {
 /// One PUBLISH frame encoded once and shared across a whole fan-out
 /// group, across the inflight window, and across retransmits. Frozen
 /// except for the packet-id bytes and the DUP bit, which patched()
-/// rewrites per delivery.
-class WireTemplate {
+/// rewrites per delivery. Pool-recyclable: a recycled template keeps its
+/// wire buffer's capacity, so assign() on the steady state re-encodes
+/// without allocating.
+class WireTemplate : public pool::RefCounted<WireTemplate> {
  public:
+  WireTemplate() = default;
   explicit WireTemplate(EncodedPublish enc) : enc_(std::move(enc)) {}
+
+  /// Re-encodes this template from `p` in place (clears and reuses the
+  /// wire buffer's capacity).
+  void assign(const Publish& p) {
+    encode_publish_template_into(p, enc_);
+    last_id_ = 0;
+  }
 
   /// Patches the packet id and DUP bit in place and returns the frame.
   /// QoS 0 templates (no id field) take packet_id 0 / dup false only.
@@ -45,6 +56,12 @@ class WireTemplate {
   EncodedPublish enc_;
   std::uint16_t last_id_ = 0;
 };
+
+/// Pooled shared handle to a wire template (replaces shared_ptr on the
+/// egress path: no control-block allocation, and dropped templates are
+/// recycled with their buffer capacity intact).
+using WireTemplateRef = pool::Ref<WireTemplate>;
+using WireTemplatePool = pool::ObjectPool<WireTemplate>;
 
 /// Per-link egress queue. Owners queue frames (owned control-packet
 /// buffers or shared PUBLISH templates) as they handle a turn and call
@@ -66,18 +83,24 @@ class Outbox {
   Outbox(Config cfg, WriteFn write, Counters* counters)
       : cfg_(cfg), write_(std::move(write)), counters_(counters) {}
 
-  /// Queues a fully encoded frame the outbox takes ownership of.
+  /// Queues a fully encoded frame the outbox takes ownership of. Pair
+  /// with take_buffer() to recycle frame buffers across turns.
   void enqueue(Bytes frame);
   /// Queues a shared PUBLISH template. The id/DUP patch happens at flush
   /// time, so interleaved deliveries of the same template to other links
   /// cannot clobber a queued-but-unsent frame.
-  void enqueue(std::shared_ptr<WireTemplate> tpl, std::uint16_t packet_id,
-               bool dup);
+  void enqueue(WireTemplateRef tpl, std::uint16_t packet_id, bool dup);
   /// Writes all queued frames as one transport write (zero-copy when a
   /// single frame is pending). No-op when nothing is queued.
   void flush();
   /// Drops everything queued (link teardown).
   void clear();
+
+  /// Returns an empty frame buffer for the caller to encode into —
+  /// recycled from a previously flushed owned frame when one is parked
+  /// (capacity retained), fresh otherwise. Steady-state control-packet
+  /// egress (acks, PINGs) cycles a handful of these without allocating.
+  [[nodiscard]] Bytes take_buffer();
 
   [[nodiscard]] std::size_t pending_frames() const { return entries_.size(); }
   [[nodiscard]] std::size_t pending_bytes() const { return pending_bytes_; }
@@ -88,8 +111,8 @@ class Outbox {
 
  private:
   struct Entry {
-    Bytes owned;                        // used when tpl == nullptr
-    std::shared_ptr<WireTemplate> tpl;  // shared PUBLISH frame
+    Bytes owned;            // used when tpl is null
+    WireTemplateRef tpl;    // shared PUBLISH frame
     std::uint16_t packet_id = 0;
     bool dup = false;
   };
@@ -99,12 +122,18 @@ class Outbox {
   }
   /// Flushes when appending `incoming_bytes` would burst a bound.
   void make_room(std::size_t incoming_bytes);
+  /// Parks a flushed owned buffer for take_buffer() reuse (bounded).
+  void recycle_buffer(Bytes&& buf);
 
   Config cfg_;
   WriteFn write_;
   Counters* counters_;  // not owned; may be null
   std::vector<Entry> entries_;
   std::size_t pending_bytes_ = 0;
+  // Recycled frame buffers (owned-frame egress) and batch concatenation
+  // buffers (multi-frame flushes). Both bounded; both keep capacity.
+  std::vector<Bytes> spare_frames_;
+  std::vector<Bytes> spare_batches_;
 };
 
 }  // namespace ifot::mqtt

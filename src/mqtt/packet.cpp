@@ -93,13 +93,6 @@ std::uint8_t publish_flags(const Publish& p) {
   return f;
 }
 
-/// PUBLISH encode fast path: the fan-out hot path calls this once per
-/// QoS group, so it writes fixed header + body into one exact-sized
-/// buffer instead of building a body and copying it.
-Bytes encode_publish(const Publish& p) {
-  return encode_publish_template(p).wire;
-}
-
 Bytes body_of_packet_id(std::uint16_t packet_id) {
   Bytes body;
   BinaryWriter w(body);
@@ -322,23 +315,28 @@ Result<Packet> decode_body(std::uint8_t type_and_flags, BytesView body) {
     return Err(Errc::kProtocol, "invalid fixed-header flags");
   }
 
-  Result<Packet> out = Err(Errc::kProtocol, "unknown packet type");
-  switch (type) {
-    case PacketType::kConnect: out = decode_connect(r); break;
-    case PacketType::kConnack: out = decode_connack(r); break;
-    case PacketType::kPublish: out = decode_publish(flags, r); break;
-    case PacketType::kPuback: out = decode_packet_id_only<Puback>(r); break;
-    case PacketType::kPubrec: out = decode_packet_id_only<Pubrec>(r); break;
-    case PacketType::kPubrel: out = decode_packet_id_only<Pubrel>(r); break;
-    case PacketType::kPubcomp: out = decode_packet_id_only<Pubcomp>(r); break;
-    case PacketType::kSubscribe: out = decode_subscribe(r); break;
-    case PacketType::kSuback: out = decode_suback(r); break;
-    case PacketType::kUnsubscribe: out = decode_unsubscribe(r); break;
-    case PacketType::kUnsuback: out = decode_packet_id_only<Unsuback>(r); break;
-    case PacketType::kPingreq: out = Packet{Pingreq{}}; break;
-    case PacketType::kPingresp: out = Packet{Pingresp{}}; break;
-    case PacketType::kDisconnect: out = Packet{Disconnect{}}; break;
-  }
+  // The dispatch returns directly instead of overwriting a default
+  // error value: building that error's message allocated on every
+  // successfully decoded packet (the ingress hot path).
+  Result<Packet> out = [&]() -> Result<Packet> {
+    switch (type) {
+      case PacketType::kConnect: return decode_connect(r);
+      case PacketType::kConnack: return decode_connack(r);
+      case PacketType::kPublish: return decode_publish(flags, r);
+      case PacketType::kPuback: return decode_packet_id_only<Puback>(r);
+      case PacketType::kPubrec: return decode_packet_id_only<Pubrec>(r);
+      case PacketType::kPubrel: return decode_packet_id_only<Pubrel>(r);
+      case PacketType::kPubcomp: return decode_packet_id_only<Pubcomp>(r);
+      case PacketType::kSubscribe: return decode_subscribe(r);
+      case PacketType::kSuback: return decode_suback(r);
+      case PacketType::kUnsubscribe: return decode_unsubscribe(r);
+      case PacketType::kUnsuback: return decode_packet_id_only<Unsuback>(r);
+      case PacketType::kPingreq: return Packet{Pingreq{}};
+      case PacketType::kPingresp: return Packet{Pingresp{}};
+      case PacketType::kDisconnect: return Packet{Disconnect{}};
+    }
+    return Err(Errc::kProtocol, "unknown packet type");
+  }();
   if (!out) return out;
   if (!r.at_end()) {
     return Err(Errc::kProtocol, "trailing bytes in packet body");
@@ -383,12 +381,19 @@ const char* packet_type_name(PacketType t) {
 }
 
 EncodedPublish encode_publish_template(const Publish& p) {
+  EncodedPublish out;
+  encode_publish_template_into(p, out);
+  return out;
+}
+
+void encode_publish_template_into(const Publish& p, EncodedPublish& out) {
   const std::size_t body_len = 2 + p.topic.size() +
                                (p.qos != QoS::kAtMostOnce ? 2 : 0) +
                                p.payload.size();
   std::size_t rl_len = 1;
   for (std::size_t v = body_len; v >= 128; v /= 128) ++rl_len;
-  EncodedPublish out;
+  out.wire.clear();
+  out.packet_id_offset = 0;
   out.wire.reserve(1 + rl_len + body_len);
   out.wire.push_back(static_cast<std::uint8_t>(
       (static_cast<std::uint8_t>(PacketType::kPublish) << 4) |
@@ -401,11 +406,80 @@ EncodedPublish encode_publish_template(const Publish& p) {
     w.u16(p.packet_id);
   }
   w.raw(p.payload);
-  return out;
 }
 
 Bytes encode(const Packet& p) {
-  if (const auto* pub = std::get_if<Publish>(&p)) return encode_publish(*pub);
+  Bytes out;
+  encode_into(p, out);
+  return out;
+}
+
+void encode_into(const Packet& p, Bytes& out) {
+  out.clear();
+  if (const auto* pub = std::get_if<Publish>(&p)) {
+    // Reuse the caller's buffer through the template encoder (the id
+    // offset is computed and discarded; encode_into callers only want
+    // the frame bytes).
+    EncodedPublish enc;
+    enc.wire = std::move(out);
+    encode_publish_template_into(*pub, enc);
+    out = std::move(enc.wire);
+    return;
+  }
+  const auto type = packet_type(p);
+  // Fixed-size packets — the egress hot path (acks, QoS 2 handshake,
+  // keep-alive) — write straight into `out`: no body buffer, no copy.
+  switch (type) {
+    case PacketType::kPuback:
+    case PacketType::kPubrec:
+    case PacketType::kPubrel:
+    case PacketType::kPubcomp:
+    case PacketType::kUnsuback: {
+      const std::uint16_t pid = std::visit(
+          [](const auto& pkt) -> std::uint16_t {
+            using T = std::decay_t<decltype(pkt)>;
+            if constexpr (std::is_same_v<T, Puback> ||
+                          std::is_same_v<T, Pubrec> ||
+                          std::is_same_v<T, Pubrel> ||
+                          std::is_same_v<T, Pubcomp> ||
+                          std::is_same_v<T, Unsuback>) {
+              return pkt.packet_id;
+            } else {
+              return 0;  // unreachable: dispatched by type above
+            }
+          },
+          p);
+      out.reserve(4);
+      out.push_back(static_cast<std::uint8_t>(
+          (static_cast<std::uint8_t>(type) << 4) | header_flags(p)));
+      out.push_back(2);
+      out.push_back(static_cast<std::uint8_t>(pid >> 8));
+      out.push_back(static_cast<std::uint8_t>(pid & 0xFF));
+      return;
+    }
+    case PacketType::kConnack: {
+      const auto& c = std::get<Connack>(p);
+      out.reserve(4);
+      out.push_back(static_cast<std::uint8_t>(
+          (static_cast<std::uint8_t>(type) << 4) | header_flags(p)));
+      out.push_back(2);
+      out.push_back(c.session_present ? 1 : 0);
+      out.push_back(static_cast<std::uint8_t>(c.code));
+      return;
+    }
+    case PacketType::kPingreq:
+    case PacketType::kPingresp:
+    case PacketType::kDisconnect:
+      out.reserve(2);
+      out.push_back(static_cast<std::uint8_t>(
+          (static_cast<std::uint8_t>(type) << 4) | header_flags(p)));
+      out.push_back(0);
+      return;
+    default:
+      break;
+  }
+  // Variable-size cold path (CONNECT, SUBSCRIBE/SUBACK, UNSUBSCRIBE):
+  // build the body separately, then assemble.
   Bytes body = std::visit(
       [](const auto& pkt) -> Bytes {
         using T = std::decay_t<decltype(pkt)>;
@@ -425,12 +499,10 @@ Bytes encode(const Packet& p) {
         }
       },
       p);
-  Bytes out;
   out.push_back(static_cast<std::uint8_t>(
       (static_cast<std::uint8_t>(packet_type(p)) << 4) | header_flags(p)));
   write_remaining_length(out, body.size());
   out.insert(out.end(), body.begin(), body.end());
-  return out;
 }
 
 Result<Packet> decode(BytesView data) {

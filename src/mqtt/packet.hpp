@@ -167,6 +167,13 @@ const char* packet_type_name(PacketType t);
 /// Encodes one packet to its full wire form (fixed header + body).
 Bytes encode(const Packet& p);
 
+/// Encodes one packet into `out` (cleared first), reusing its capacity.
+/// Fixed-size packets (acks, PINGs, CONNACK, DISCONNECT) and PUBLISH
+/// write directly into `out` with no intermediate body buffer, so the
+/// egress hot path can recycle one buffer per frame without ever
+/// re-allocating at steady state.
+void encode_into(const Packet& p, Bytes& out);
+
 /// A PUBLISH encoded once for sharing across a fan-out group: the full
 /// wire frame plus the byte offset of the 2-byte packet-id field.
 /// Deliveries to different subscribers (and retransmits) differ only in
@@ -183,6 +190,11 @@ struct EncodedPublish {
 /// Encodes a PUBLISH into a patchable wire template. The id and DUP bit
 /// initially written come from `p` itself.
 EncodedPublish encode_publish_template(const Publish& p);
+
+/// Same encode, but into a caller-owned EncodedPublish whose wire buffer
+/// is cleared and reused. A pooled WireTemplate re-assigned through this
+/// keeps its capacity, so steady-state fan-out encodes allocate nothing.
+void encode_publish_template_into(const Publish& p, EncodedPublish& out);
 
 /// Decodes exactly one packet from `data`.
 ///

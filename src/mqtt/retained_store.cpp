@@ -1,0 +1,183 @@
+#include "mqtt/retained_store.hpp"
+
+#include <utility>
+
+#include "common/audit.hpp"
+#include "mqtt/topic.hpp"
+
+namespace ifot::mqtt {
+
+void RetainedStore::split_levels(std::string_view s,
+                                 std::vector<std::string_view>& out) {
+  out.clear();
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == '/') {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+}
+
+void RetainedStore::set(const Publish& msg) {
+  IFOT_AUDIT_ASSERT(valid_topic_name(msg.topic.view()),
+                    "retained store given an invalid topic name");
+  IFOT_AUDIT_ASSERT(!msg.payload.empty(),
+                    "empty retained payload must clear(), not set()");
+  split_levels(msg.topic.view(), levels_scratch_);
+  Node* node = &root_;
+  for (const std::string_view level : levels_scratch_) {
+    auto it = node->children.find(level);
+    if (it == node->children.end()) {
+      it = node->children.emplace(std::string(level), std::make_unique<Node>())
+               .first;
+    }
+    node = it->second.get();
+  }
+  if (!node->msg.has_value()) ++count_;
+  node->msg = msg;
+  node->msg->dup = false;
+  audit_invariants();
+}
+
+bool RetainedStore::clear(std::string_view topic) {
+  split_levels(topic, levels_scratch_);
+  path_scratch_.clear();
+  Node* node = &root_;
+  for (const std::string_view level : levels_scratch_) {
+    auto it = node->children.find(level);
+    if (it == node->children.end()) return false;
+    path_scratch_.emplace_back(node, it);
+    node = it->second.get();
+  }
+  if (!node->msg.has_value()) return false;
+  node->msg.reset();
+  --count_;
+  // Prune deepest-first: nodes left with no message and no children.
+  for (std::size_t i = path_scratch_.size(); i-- > 0;) {
+    auto& [parent, it] = path_scratch_[i];
+    const Node& child = *it->second;
+    if (child.msg.has_value() || !child.children.empty()) break;
+    parent->children.erase(it);
+  }
+  audit_invariants();
+  return true;
+}
+
+void RetainedStore::collect(std::string_view filter,
+                            std::vector<const Publish*>& out) const {
+  IFOT_AUDIT_ASSERT(valid_topic_filter(filter),
+                    "retained collect on an invalid topic filter");
+  split_levels(filter, levels_scratch_);
+  collect_rec(root_, levels_scratch_, 0, out);
+}
+
+void RetainedStore::collect_rec(const Node& node,
+                                const std::vector<std::string_view>& levels,
+                                std::size_t depth,
+                                std::vector<const Publish*>& out) {
+  if (depth == levels.size()) {
+    if (node.msg.has_value()) out.push_back(&*node.msg);
+    return;
+  }
+  const std::string_view level = levels[depth];
+  if (level == "#") {
+    // '#' matches the parent level too ("a/#" matches "a", §4.7.1.2) —
+    // collect_subtree includes this node's own message. At the root a
+    // wildcard never descends into '$' branches (§4.7.2).
+    collect_subtree(node, depth == 0, out);
+    return;
+  }
+  if (level == "+") {
+    for (const auto& [name, child] : node.children) {
+      if (depth == 0 && !name.empty() && name.front() == '$') continue;
+      collect_rec(*child, levels, depth + 1, out);
+    }
+    return;
+  }
+  auto it = node.children.find(level);
+  if (it != node.children.end()) {
+    collect_rec(*it->second, levels, depth + 1, out);
+  }
+}
+
+void RetainedStore::collect_subtree(const Node& node, bool skip_dollar,
+                                    std::vector<const Publish*>& out) {
+  if (node.msg.has_value()) out.push_back(&*node.msg);
+  for (const auto& [name, child] : node.children) {
+    if (skip_dollar && !name.empty() && name.front() == '$') continue;
+    collect_subtree(*child, false, out);
+  }
+}
+
+const Publish* RetainedStore::find(std::string_view topic) const {
+  split_levels(topic, levels_scratch_);
+  const Node* node = &root_;
+  for (const std::string_view level : levels_scratch_) {
+    auto it = node->children.find(level);
+    if (it == node->children.end()) return nullptr;
+    node = it->second.get();
+  }
+  return node->msg.has_value() ? &*node->msg : nullptr;
+}
+
+void RetainedStore::for_each(
+    const std::function<void(const Publish&)>& fn) const {
+  for_each_rec(root_, fn);
+}
+
+void RetainedStore::for_each_rec(
+    const Node& node, const std::function<void(const Publish&)>& fn) {
+  if (node.msg.has_value()) fn(*node.msg);
+  for (const auto& [_, child] : node.children) for_each_rec(*child, fn);
+}
+
+std::size_t RetainedStore::node_count() const {
+  return node_count_rec(root_);
+}
+
+std::size_t RetainedStore::node_count_rec(const Node& node) {
+  std::size_t n = node.children.size();
+  for (const auto& [_, child] : node.children) n += node_count_rec(*child);
+  return n;
+}
+
+void RetainedStore::audit_invariants() const {
+  if constexpr (!audit::kEnabled) return;
+  std::size_t found = 0;
+  std::string path;
+  audit_rec(root_, path, /*is_root=*/true, found);
+  IFOT_AUDIT_ASSERT(found == count_,
+                    "retained count diverged from the trie: counted " +
+                        std::to_string(count_) + ", found " +
+                        std::to_string(found));
+}
+
+void RetainedStore::audit_rec(const Node& node, std::string& path,
+                              bool is_root, std::size_t& found) const {
+  if (node.msg.has_value()) {
+    ++found;
+    IFOT_AUDIT_ASSERT(node.msg->topic.view() == path,
+                      "retained message topic '" + node.msg->topic.str() +
+                          "' diverged from its trie path '" + path + "'");
+    IFOT_AUDIT_ASSERT(valid_topic_name(node.msg->topic.view()),
+                      "retained store holds invalid topic '" + path + "'");
+    IFOT_AUDIT_ASSERT(!node.msg->payload.empty(),
+                      "empty retained payload should have cleared the slot");
+    IFOT_AUDIT_ASSERT(!node.msg->dup, "retained message kept a DUP flag");
+  }
+  if (!is_root) {
+    IFOT_AUDIT_ASSERT(node.msg.has_value() || !node.children.empty(),
+                      "empty retained trie node left unpruned at '" + path +
+                          "'");
+  }
+  const std::size_t base = path.size();
+  for (const auto& [name, child] : node.children) {
+    if (!is_root) path.push_back('/');
+    path.append(name);
+    audit_rec(*child, path, /*is_root=*/false, found);
+    path.resize(base);
+  }
+}
+
+}  // namespace ifot::mqtt

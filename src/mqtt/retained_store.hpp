@@ -1,0 +1,100 @@
+// Trie-backed retained-message store (§3.3.1-7).
+//
+// The broker used to keep retained messages in a flat map and scan the
+// whole store with topic_matches once per filter per SUBSCRIBE — O(all
+// retained topics) even for a subscription matching none of them, and
+// the scan replayed a topic once per matching filter (the
+// duplicate-delivery bug the broker's replay dedup now guards against).
+// This store indexes retained messages by topic level, mirroring the
+// TopicTree layout, so collect(filter) walks only the branches the
+// filter can reach: an exact level follows one child, '+' expands one
+// level, '#' collects a subtree. §4.7.2 applies on the way down —
+// wildcard steps at the root never enter '$'-prefixed branches, so a
+// "#" subscription cannot replay $SYS retained state
+// (differential-tested against topic_matches).
+//
+// Children are ordered maps with transparent lookup: walks take
+// string_view levels without temporary keys, and collect() appends in
+// level-wise lexicographic topic order, deterministically.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mqtt/packet.hpp"
+
+namespace ifot::mqtt {
+
+class RetainedStore {
+ public:
+  /// Stores a copy of `msg` as the retained message for its topic,
+  /// replacing any previous one (the copy shares topic/payload buffers;
+  /// DUP is cleared — it is per-delivery state, §3.3.1-3). Empty-payload
+  /// clears must go through clear() instead (§3.3.1-10).
+  void set(const Publish& msg);
+
+  /// Removes the retained message for `topic`, pruning emptied branches.
+  /// Returns true when one existed.
+  bool clear(std::string_view topic);
+
+  /// Appends a pointer to every retained message whose topic matches
+  /// `filter` (§4.7 semantics including the §4.7.2 $-exclusion), in
+  /// level-wise lexicographic topic order. Pointers stay valid until the
+  /// next set/clear. Steady-state allocation-free once the level scratch
+  /// and `out` reach working capacity.
+  void collect(std::string_view filter,
+               std::vector<const Publish*>& out) const;
+
+  /// Exact-topic lookup (tests/audits); null when nothing is retained.
+  [[nodiscard]] const Publish* find(std::string_view topic) const;
+
+  /// Invokes `fn` for every retained message (topic order).
+  void for_each(const std::function<void(const Publish&)>& fn) const;
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  /// Trie nodes below the root; pruning returns this to baseline after
+  /// set/clear churn (regression-tested).
+  [[nodiscard]] std::size_t node_count() const;
+
+  /// Structural self-checks: message count, key/topic agreement, no
+  /// empty leaves left unpruned. Audit builds abort on violation;
+  /// release builds compile this to a no-op.
+  void audit_invariants() const;
+
+ private:
+  struct Node {
+    // Ordered + transparent: deterministic collect order, no temporary
+    // std::string keys on lookup.
+    using ChildMap = std::map<std::string, std::unique_ptr<Node>, std::less<>>;
+    ChildMap children;
+    std::optional<Publish> msg;
+  };
+
+  static void split_levels(std::string_view s,
+                           std::vector<std::string_view>& out);
+  static void collect_rec(const Node& node,
+                          const std::vector<std::string_view>& levels,
+                          std::size_t depth,
+                          std::vector<const Publish*>& out);
+  static void collect_subtree(const Node& node, bool skip_dollar,
+                              std::vector<const Publish*>& out);
+  static void for_each_rec(const Node& node,
+                           const std::function<void(const Publish&)>& fn);
+  static std::size_t node_count_rec(const Node& node);
+  void audit_rec(const Node& node, std::string& path, bool is_root,
+                 std::size_t& found) const;
+
+  Node root_;
+  std::size_t count_ = 0;
+  // Reused per-call scratch (filter/topic level views); mutable so const
+  // lookups reuse it too. Not thread-safe, like the rest of the broker.
+  mutable std::vector<std::string_view> levels_scratch_;
+  std::vector<std::pair<Node*, Node::ChildMap::iterator>> path_scratch_;
+};
+
+}  // namespace ifot::mqtt

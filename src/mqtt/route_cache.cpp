@@ -6,61 +6,89 @@
 
 namespace ifot::mqtt {
 
-const RouteCache::Plan* RouteCache::lookup(std::string_view topic,
-                                           std::uint64_t tree_version) {
+const RouteCache::Plan* RouteCache::lookup(
+    std::string_view topic, std::uint64_t tree_version,
+    const RefingerprintFn& refingerprint) {
   if (capacity_ == 0) return nullptr;
   auto it = index_.find(topic);
   if (it == index_.end()) {
     if (counters_ != nullptr) counters_->add("route_cache_misses");
     return nullptr;
   }
-  if (it->second->tree_version != tree_version) {
-    // The subscription set changed since this plan was resolved: drop
-    // the stale entry and report a (counted) miss so the caller
-    // re-derives and re-inserts at the current version.
+  Entry& entry = *it->second;
+  if (entry.tree_version != tree_version) {
+    // The subscription set changed since this plan was resolved — but
+    // most churn is on unrelated filters. Re-fingerprint the topic
+    // against the live trie: an unchanged match set means the plan is
+    // still exact, so restamp it instead of cold-starting the topic.
+    if (refingerprint && refingerprint(entry.topic) == entry.plan.fingerprint) {
+      entry.tree_version = tree_version;
+      if (counters_ != nullptr) {
+        counters_->add("route_cache_revalidations");
+        counters_->add("route_cache_hits");
+      }
+      lru_.splice(lru_.begin(), lru_, it->second);
+      audit_invariants();
+      return &entry.plan;
+    }
     if (counters_ != nullptr) {
       counters_->add("route_cache_invalidations");
       counters_->add("route_cache_misses");
     }
-    lru_.erase(it->second);
-    index_.erase(it);
+    retire(it);
     audit_invariants();
     return nullptr;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   if (counters_ != nullptr) counters_->add("route_cache_hits");
   audit_invariants();
-  return &it->second->plan;
+  return &entry.plan;
 }
 
 const RouteCache::Plan* RouteCache::insert(std::string_view topic,
                                            std::uint64_t tree_version,
-                                           Plan plan) {
+                                           const Plan& plan) {
   if (capacity_ == 0) return nullptr;
   auto it = index_.find(topic);
   if (it != index_.end()) {
     // Same-version re-insert (two misses racing is impossible single-
     // threaded, but a caller may legitimately refresh): replace in place.
     it->second->tree_version = tree_version;
-    it->second->plan = std::move(plan);
+    it->second->plan = plan;
     lru_.splice(lru_.begin(), lru_, it->second);
     audit_invariants();
     return &it->second->plan;
   }
   if (lru_.size() >= capacity_) {
     if (counters_ != nullptr) counters_->add("route_cache_evictions");
-    index_.erase(lru_.back().topic);
-    lru_.pop_back();
+    retire(index_.find(lru_.back().topic));
   }
-  lru_.push_front(Entry{std::string(topic), tree_version, std::move(plan)});
+  if (!spare_.empty()) {
+    // Recycle a retired entry: the splice moves the node (no allocation)
+    // and copy-assignment reuses its topic/plan buffer capacity.
+    lru_.splice(lru_.begin(), spare_, spare_.begin());
+    Entry& entry = lru_.front();
+    entry.topic.assign(topic);
+    entry.tree_version = tree_version;
+    entry.plan = plan;
+  } else {
+    lru_.push_front(Entry{std::string(topic), tree_version, plan});
+  }
   index_.emplace(lru_.front().topic, lru_.begin());
   audit_invariants();
   return &lru_.front().plan;
 }
 
+void RouteCache::retire(
+    std::unordered_map<std::string, std::list<Entry>::iterator, TopicHash,
+                       std::equal_to<>>::iterator it) {
+  IFOT_AUDIT_ASSERT(it != index_.end(), "retiring an unindexed cache entry");
+  spare_.splice(spare_.begin(), lru_, it->second);
+  index_.erase(it);
+}
+
 void RouteCache::clear() {
-  lru_.clear();
-  index_.clear();
+  while (!index_.empty()) retire(index_.begin());
   audit_invariants();
 }
 
@@ -72,6 +100,8 @@ void RouteCache::audit_invariants() const {
                         std::to_string(lru_.size()) + " listed");
   IFOT_AUDIT_ASSERT(capacity_ == 0 || lru_.size() <= capacity_,
                     "route cache exceeded its entry bound");
+  IFOT_AUDIT_ASSERT(spare_.size() <= capacity_,
+                    "route cache spare list exceeded the entry bound");
   for (const auto& [topic, it] : index_) {
     IFOT_AUDIT_ASSERT(it->topic == topic,
                       "route cache index key '" + topic +
@@ -86,9 +116,11 @@ void RouteCache::audit_invariants(
   audit_invariants();
   Plan fresh;
   for (const Entry& e : lru_) {
-    // Stale entries are legal residue — they are dropped on their next
-    // lookup. Plans stamped with the live version must re-derive
-    // exactly from the live trie.
+    // Stale entries are legal residue — they are revalidated or dropped
+    // on their next lookup. Plans stamped with the live version must
+    // re-derive exactly from the live trie (fingerprint included, which
+    // also catches a fingerprint collision that revalidated a plan the
+    // trie no longer produces).
     if (e.tree_version != tree_version) continue;
     recompute(e.topic, fresh);
     IFOT_AUDIT_ASSERT(fresh == e.plan,

@@ -9,12 +9,21 @@
 // level the way the egress wire templates consume them — keyed by topic
 // name and stamped with the TopicTree version that produced it.
 //
-// Invalidation is precise because the tree version is: subscribe,
-// unsubscribe and session teardown bump it exactly when they change the
-// entry set, so a stale plan is detected on its next lookup (counted as
-// route_cache_invalidations) and recomputed. A bounded LRU keeps memory
-// flat under topic churn. Steady-state hits cost one transparent-hash
-// lookup and a list splice — no allocation.
+// Invalidation is surgical. The tree version detects that *some*
+// subscription changed, but most churn is on filters unrelated to a
+// given hot topic; dropping its plan for every unrelated change would
+// cold-start the working set under subscriber churn. Each entry
+// therefore also carries a fingerprint of the exact (subscriber, QoS)
+// match set it was derived from: on a version mismatch, lookup() asks
+// the caller to re-fingerprint the topic against the live trie (one
+// match() walk, no sort/dedup/copy) and, when the fingerprint is
+// unchanged, revalidates the entry in place (counted as
+// route_cache_revalidations) instead of dropping it. Only a genuinely
+// changed match set invalidates (route_cache_invalidations). A bounded
+// LRU keeps memory flat under topic churn; invalidated and evicted
+// entries are recycled through a spare list so steady-state churn
+// re-uses their string/vector capacity. Steady-state hits cost one
+// transparent-hash lookup and a list splice — no allocation.
 #pragma once
 
 #include <array>
@@ -41,6 +50,13 @@ class RouteCache {
   /// byte-identical to routing without the cache.
   struct Plan {
     std::array<std::vector<std::string>, 3> by_qos;
+    /// Order-independent hash of the raw (subscriber, granted QoS) match
+    /// multiset this plan was derived from (Broker::derive_plan stamps
+    /// it). Equal match sets produce equal plans, so the fingerprint is
+    /// the revalidation token: if the live trie still fingerprints a
+    /// topic the same way after a version bump, the cached plan is still
+    /// exact.
+    std::uint64_t fingerprint = 0;
 
     [[nodiscard]] std::size_t subscriber_count() const {
       return by_qos[0].size() + by_qos[1].size() + by_qos[2].size();
@@ -48,23 +64,32 @@ class RouteCache {
     friend bool operator==(const Plan&, const Plan&) = default;
   };
 
+  /// Re-fingerprints `topic` against the live subscription trie (one
+  /// match() walk). Supplied by the broker to lookup(); may be empty in
+  /// tests, in which case any version mismatch invalidates.
+  using RefingerprintFn = std::function<std::uint64_t(std::string_view)>;
+
   /// `capacity` == 0 disables the cache entirely (lookup always misses
   /// without counting, insert is a no-op); `counters` may be null.
   RouteCache(std::size_t capacity, Counters* counters)
       : capacity_(capacity), counters_(counters) {}
 
-  /// Returns the plan cached for `topic` if it was resolved at
-  /// `tree_version`; null on a miss. A version mismatch drops the stale
-  /// entry (counted as an invalidation) and reports a miss. A hit
+  /// Returns the plan cached for `topic`; null on a miss. An entry
+  /// stamped with an older tree version is re-fingerprinted via
+  /// `refingerprint`: an unchanged fingerprint revalidates it in place
+  /// (counted as route_cache_revalidations, reported as a hit), a
+  /// changed one drops it (counted as an invalidation and a miss). A hit
   /// refreshes the entry's LRU position.
-  const Plan* lookup(std::string_view topic, std::uint64_t tree_version);
+  const Plan* lookup(std::string_view topic, std::uint64_t tree_version,
+                     const RefingerprintFn& refingerprint = {});
 
-  /// Caches `plan` for `topic` at `tree_version`, evicting the least
-  /// recently used entry at capacity. Returns the stored plan (null when
-  /// the cache is disabled); the pointer stays valid until the entry is
-  /// invalidated or evicted.
+  /// Caches a copy of `plan` for `topic` at `tree_version`, evicting the
+  /// least recently used entry at capacity (recycled entries reuse their
+  /// buffers). Returns the stored plan (null when the cache is
+  /// disabled); the pointer stays valid until the entry is invalidated
+  /// or evicted.
   const Plan* insert(std::string_view topic, std::uint64_t tree_version,
-                     Plan plan);
+                     const Plan& plan);
 
   /// Drops every entry (counters unaffected).
   void clear();
@@ -101,9 +126,19 @@ class RouteCache {
     }
   };
 
+  /// Moves an entry's list node to the spare list for buffer reuse and
+  /// drops it from the index.
+  void retire(std::unordered_map<std::string, std::list<Entry>::iterator,
+                                 TopicHash, std::equal_to<>>::iterator it);
+
   std::size_t capacity_;
   Counters* counters_;  // not owned; may be null
   std::list<Entry> lru_;  // front = most recently used
+  // Retired entries (invalidated/evicted/cleared) parked for reuse:
+  // insert() splices one back instead of allocating a node, and the
+  // entry's topic string and plan vectors keep their capacity. Bounded
+  // by construction — nodes only ever move between lru_ and spare_.
+  std::list<Entry> spare_;
   std::unordered_map<std::string, std::list<Entry>::iterator, TopicHash,
                      std::equal_to<>>
       index_;

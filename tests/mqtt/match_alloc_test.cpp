@@ -9,12 +9,20 @@
 // message.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <new>
 #include <string>
 
+#include "common/audit.hpp"
+#include "common/shared_payload.hpp"
+#include "common/shared_string.hpp"
+#include "mqtt/broker.hpp"
+#include "mqtt/packet.hpp"
 #include "mqtt/route_cache.hpp"
+#include "mqtt/scheduler.hpp"
 #include "mqtt/topic.hpp"
 
 // Sanitizers interpose on the allocator themselves; counting under them
@@ -134,6 +142,105 @@ TEST(MatchAllocation, RouteCacheHitIsAllocationFree) {
   }
   EXPECT_EQ(guard.count(), 0u)
       << "RouteCache::lookup allocated on a steady-state hit";
+}
+
+/// Timers parked forever: now() never advances, so the broker's single
+/// per-session retry timer stays armed at its first deadline and every
+/// subsequent arm_retry is a no-op (no per-publish closure allocation).
+class NullSched : public Scheduler {
+ public:
+  SimTime now() override { return 0; }
+  std::uint64_t call_after(SimDuration /*delay*/,
+                           std::function<void()> /*fn*/) override {
+    return ++next_;
+  }
+  void cancel(std::uint64_t /*handle*/) override {}
+
+ private:
+  std::uint64_t next_ = 0;
+};
+
+// End-to-end gate across publish -> route -> egress: a broker with a
+// QoS 1 and a QoS 0 subscriber must not touch the heap per message once
+// warm. Covers the route-cache hit, fan-out template pooling, the
+// outbox frame/batch-buffer recycling, the session inflight map's
+// NodePool nodes (ack churn), the retry wheel's deadline stamping, and
+// retained-store overwrite of an existing topic.
+TEST(MatchAllocation, BrokerPublishRouteEgressIsAllocationFree) {
+  if (IFOT_ALLOC_TEST_DISABLED) {
+    GTEST_SKIP() << "allocation counting disabled under sanitizers";
+  }
+  if (audit::kEnabled) {
+    GTEST_SKIP() << "audit builds trade hot-path allocations for deep "
+                    "invariant checks (route-cache plan re-derivation)";
+  }
+
+  NullSched sched;
+  Broker broker(sched, BrokerConfig{});
+
+  std::size_t sink_bytes = 0;
+  const auto open = [&](LinkId id) {
+    broker.on_link_open(
+        id, [&sink_bytes](const Bytes& wire) { sink_bytes += wire.size(); },
+        [] {});
+  };
+  const auto feed = [&](LinkId id, const Packet& p) {
+    const Bytes wire = encode(p);
+    broker.on_link_data(id, wire);
+  };
+
+  open(1);
+  open(2);
+  Connect c1;
+  c1.client_id = "sub-q1";
+  c1.keep_alive_s = 0;
+  feed(1, c1);
+  Connect c2;
+  c2.client_id = "sub-q0";
+  c2.keep_alive_s = 0;
+  feed(2, c2);
+
+  Subscribe s1;
+  s1.packet_id = 1;
+  s1.topics = {{"alloc/gate/hot", QoS::kAtLeastOnce}};
+  feed(1, s1);
+  Subscribe s2;
+  s2.packet_id = 1;
+  s2.topics = {{"alloc/gate/#", QoS::kAtMostOnce}};
+  feed(2, s2);
+
+  // Pre-shared topic/payload: per-publish copies are refcount bumps.
+  const SharedString topic{std::string("alloc/gate/hot")};
+  const SharedPayload payload{Bytes{'s', 'a', 'm', 'p', 'l', 'e'}};
+
+  // PUBACK frames are patched in place and fed through the normal
+  // ingress path (fixed 4-byte wire format: type, len, id hi, id lo).
+  std::array<std::uint8_t, 4> puback{0x40, 0x02, 0x00, 0x00};
+  std::uint16_t next_pid = 1;
+  const auto publish_round = [&] {
+    broker.publish_local(topic, payload, QoS::kAtLeastOnce);
+    puback[2] = static_cast<std::uint8_t>(next_pid >> 8);
+    puback[3] = static_cast<std::uint8_t>(next_pid & 0xff);
+    broker.on_link_data(1, BytesView(puback));
+    next_pid = static_cast<std::uint16_t>(next_pid == 0xffff ? 1
+                                                             : next_pid + 1);
+    // Retained overwrite of an existing topic reuses the trie node.
+    broker.publish_local(topic, payload, QoS::kAtMostOnce, /*retain=*/true);
+  };
+
+  // Warm-up: route-cache fill, template/outbox/decoder buffer capacity,
+  // inflight map nodes, counter-name materialization, retained node.
+  for (int i = 0; i < 8; ++i) publish_round();
+  ASSERT_EQ(broker.retained_count(), 1u);
+  ASSERT_GT(broker.counters().get("route_cache_hits"), 0u);
+  const std::size_t warm_bytes = sink_bytes;
+
+  AllocGuard guard;
+  for (int i = 0; i < 64; ++i) publish_round();
+  EXPECT_EQ(guard.count(), 0u)
+      << "broker publish->route->egress allocated on the steady state";
+  EXPECT_GT(sink_bytes, warm_bytes);
+  EXPECT_EQ(broker.counters().get("route_cache_invalidations"), 0u);
 }
 
 }  // namespace

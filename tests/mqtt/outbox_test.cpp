@@ -24,13 +24,16 @@ Bytes concat(const std::vector<Bytes>& frames) {
   return out;
 }
 
-std::shared_ptr<WireTemplate> make_template(QoS qos, std::uint16_t id) {
+WireTemplateRef make_template(WireTemplatePool& pool, QoS qos,
+                              std::uint16_t id) {
   Publish p;
   p.topic = "t/x";
   p.payload = SharedPayload(Bytes(10, 0x77));
   p.qos = qos;
   p.packet_id = id;
-  return std::make_shared<WireTemplate>(encode_publish_template(p));
+  WireTemplateRef tpl = pool.acquire();
+  tpl->assign(p);
+  return tpl;
 }
 
 TEST(Outbox, CoalescesSameTurnFramesIntoOneWrite) {
@@ -117,8 +120,9 @@ TEST(Outbox, ClearDropsQueuedFrames) {
 TEST(Outbox, TemplatePatchHappensAtFlushTime) {
   Counters counters;
   std::vector<Bytes> writes;
+  WireTemplatePool pool;
   Outbox box({}, [&](const Bytes& b) { writes.push_back(b); }, &counters);
-  auto tpl = make_template(QoS::kAtLeastOnce, 1);
+  auto tpl = make_template(pool, QoS::kAtLeastOnce, 1);
   box.enqueue(tpl, 5, false);
   // Another link's flush patches the shared template in between; the
   // queued entry must not be affected -- its patch happens at flush time.
@@ -136,8 +140,9 @@ TEST(Outbox, TemplatePatchHappensAtFlushTime) {
 
 TEST(Outbox, MixedTemplatesAndOwnedFramesKeepQueueOrder) {
   std::vector<Bytes> writes;
+  WireTemplatePool pool;
   Outbox box({}, [&](const Bytes& b) { writes.push_back(b); }, nullptr);
-  auto tpl = make_template(QoS::kAtLeastOnce, 1);
+  auto tpl = make_template(pool, QoS::kAtLeastOnce, 1);
   box.enqueue(frame_of(0xAA, 3));
   box.enqueue(tpl, 42, false);
   box.enqueue(frame_of(0xBB, 2));

@@ -1,0 +1,344 @@
+// RetainedStore coverage: trie structure (set/clear/prune), §4.7
+// matching semantics differentially checked against topic_matches
+// (including §4.7.2 $-topic exclusion), and the broker-level retained
+// behaviours the store underpins — single replay per topic across
+// overlapping filters in one SUBSCRIBE at the max granted QoS, QoS clamp
+// on replay, empty-payload clears, and replay across session takeover.
+#include "mqtt/retained_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "mqtt/topic.hpp"
+#include "tests/mqtt/harness.hpp"
+
+namespace ifot::mqtt {
+namespace {
+
+Bytes to_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+Publish make_retained(const std::string& topic, const std::string& payload,
+                      QoS qos = QoS::kAtMostOnce) {
+  Publish p;
+  p.topic = topic;
+  p.payload = SharedPayload(to_bytes(payload));
+  p.qos = qos;
+  p.retain = true;
+  return p;
+}
+
+std::vector<std::string> collect_topics(const RetainedStore& store,
+                                        const std::string& filter) {
+  std::vector<const Publish*> out;
+  store.collect(filter, out);
+  std::vector<std::string> topics;
+  topics.reserve(out.size());
+  for (const Publish* p : out) topics.push_back(p->topic.str());
+  return topics;
+}
+
+// ---- trie structure ------------------------------------------------------
+
+TEST(RetainedStore, SetFindOverwriteClear) {
+  RetainedStore store;
+  store.set(make_retained("a/b", "one"));
+  EXPECT_EQ(store.size(), 1u);
+  ASSERT_NE(store.find("a/b"), nullptr);
+  EXPECT_EQ(store.find("a/b")->payload.view()[0], 'o');
+
+  store.set(make_retained("a/b", "two", QoS::kAtLeastOnce));
+  EXPECT_EQ(store.size(), 1u);  // overwrite, not a second entry
+  EXPECT_EQ(store.find("a/b")->qos, QoS::kAtLeastOnce);
+
+  EXPECT_TRUE(store.clear("a/b"));
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.find("a/b"), nullptr);
+  EXPECT_FALSE(store.clear("a/b"));  // already gone
+}
+
+TEST(RetainedStore, ClearPrunesEmptiedBranches) {
+  RetainedStore store;
+  store.set(make_retained("a/b/c/d", "deep"));
+  store.set(make_retained("a/b", "mid"));
+  const std::size_t with_both = store.node_count();
+  EXPECT_TRUE(store.clear("a/b/c/d"));
+  // The c/d tail is pruned; a/b survives because it holds a message.
+  EXPECT_LT(store.node_count(), with_both);
+  store.set(make_retained("a/b/c/d", "again"));
+  EXPECT_EQ(store.node_count(), with_both);  // structure is reproducible
+  EXPECT_TRUE(store.clear("a/b"));
+  EXPECT_TRUE(store.clear("a/b/c/d"));
+  EXPECT_EQ(store.node_count(), 0u);  // fully pruned back to the root
+}
+
+TEST(RetainedStore, ClearOfMissingSiblingLeavesStoreIntact) {
+  RetainedStore store;
+  store.set(make_retained("a/b", "kept"));
+  EXPECT_FALSE(store.clear("a/c"));
+  EXPECT_FALSE(store.clear("a"));
+  EXPECT_FALSE(store.clear("a/b/c"));
+  EXPECT_EQ(store.size(), 1u);
+  ASSERT_NE(store.find("a/b"), nullptr);
+}
+
+TEST(RetainedStore, DupFlagIsStrippedOnStore) {
+  RetainedStore store;
+  Publish p = make_retained("a", "x", QoS::kAtLeastOnce);
+  p.dup = true;  // per-delivery state must not be retained (§3.3.1-3)
+  store.set(p);
+  ASSERT_NE(store.find("a"), nullptr);
+  EXPECT_FALSE(store.find("a")->dup);
+}
+
+TEST(RetainedStore, CollectIsDeterministicTopicOrder) {
+  RetainedStore store;
+  // Inserted out of order; collect returns level-wise lexicographic.
+  store.set(make_retained("s/c", "3"));
+  store.set(make_retained("s/a", "1"));
+  store.set(make_retained("s/b/x", "2"));
+  EXPECT_EQ(collect_topics(store, "s/#"),
+            (std::vector<std::string>{"s/a", "s/b/x", "s/c"}));
+}
+
+TEST(RetainedStore, HashMatchesParentLevel) {
+  RetainedStore store;
+  store.set(make_retained("a", "parent"));
+  store.set(make_retained("a/b", "child"));
+  // '#' matches its parent level ("a/#" matches "a", §4.7.1.2).
+  EXPECT_EQ(collect_topics(store, "a/#"),
+            (std::vector<std::string>{"a", "a/b"}));
+}
+
+TEST(RetainedStore, WildcardsExcludeDollarTopics) {
+  RetainedStore store;
+  store.set(make_retained("$SYS/broker/load", "9"));
+  store.set(make_retained("normal/topic", "n"));
+  // §4.7.2: wildcard-leading filters never match $-topics...
+  EXPECT_EQ(collect_topics(store, "#"),
+            (std::vector<std::string>{"normal/topic"}));
+  EXPECT_TRUE(collect_topics(store, "+/broker/load").empty());
+  // ... but an explicit $-leading filter does.
+  EXPECT_EQ(collect_topics(store, "$SYS/#"),
+            (std::vector<std::string>{"$SYS/broker/load"}));
+  EXPECT_EQ(collect_topics(store, "$SYS/broker/load"),
+            (std::vector<std::string>{"$SYS/broker/load"}));
+}
+
+// ---- differential gate vs topic_matches ----------------------------------
+
+// The trie walk must agree with the reference matcher on every
+// (filter, topic) pair, including $-topics, empty levels, and '#'
+// parent-level matches. topic_matches is the §4.7 source of truth
+// (exhaustively tested in topic_test.cpp).
+TEST(RetainedStoreDifferential, AgreesWithTopicMatchesEverywhere) {
+  const std::vector<std::string> topics = {
+      "a",         "a/b",          "a/b/c",    "a/b/c/d", "a/c",
+      "b",         "b/b",          "x/y/z",    "a//b",    "/",
+      "/a",        "a/",           "sport",    "sport/tennis",
+      "sport/tennis/player1",      "sport/tennis/player1/ranking",
+      "$SYS/broker/load",          "$SYS/broker/clients/total",
+      "$internal", "$internal/x",  "finance",  "finance/stock/ibm",
+  };
+  const std::vector<std::string> filters = {
+      "#",       "+",         "+/+",       "+/+/+",   "a/#",     "a/+",
+      "a/b",     "a/b/#",     "a/+/c",     "+/b",     "+/b/#",   "/#",
+      "/+",      "+/",        "a//+",      "a//#",    "sport/#", "sport/+",
+      "sport/tennis/player1/#",  "+/tennis/#",         "$SYS/#",
+      "$SYS/+/load",  "$SYS/broker/load",  "$internal/#",  "+/stock/+",
+      "finance/#",    "b/+",   "x/y/z",
+  };
+  RetainedStore store;
+  for (const std::string& t : topics) store.set(make_retained(t, "v"));
+  ASSERT_EQ(store.size(), topics.size());
+
+  for (const std::string& f : filters) {
+    std::vector<std::string> via_trie = collect_topics(store, f);
+    std::sort(via_trie.begin(), via_trie.end());
+    std::vector<std::string> via_reference;
+    for (const std::string& t : topics) {
+      if (topic_matches(f, t)) via_reference.push_back(t);
+    }
+    std::sort(via_reference.begin(), via_reference.end());
+    EXPECT_EQ(via_trie, via_reference) << "filter: " << f;
+  }
+}
+
+// Same differential after heavy set/clear churn: pruning must never
+// change what remains matchable.
+TEST(RetainedStoreDifferential, SurvivesSetClearChurn) {
+  const std::vector<std::string> topics = {
+      "a", "a/b", "a/b/c", "a/c", "b/b", "$SYS/x", "x/y/z", "a//b",
+  };
+  RetainedStore store;
+  for (const std::string& t : topics) store.set(make_retained(t, "v"));
+  // Clear every other topic, re-set a few, overwrite one.
+  for (std::size_t i = 0; i < topics.size(); i += 2) {
+    ASSERT_TRUE(store.clear(topics[i]));
+  }
+  store.set(make_retained("a/b/c", "back"));
+  store.set(make_retained("a/b", "over"));
+  store.audit_invariants();
+
+  std::vector<std::string> live;
+  store.for_each([&](const Publish& p) { live.push_back(p.topic.str()); });
+  for (const char* f : {"#", "a/#", "+/b", "a/+/c", "+", "$SYS/#"}) {
+    std::vector<std::string> via_trie = collect_topics(store, f);
+    std::sort(via_trie.begin(), via_trie.end());
+    std::vector<std::string> via_reference;
+    for (const std::string& t : live) {
+      if (topic_matches(f, t)) via_reference.push_back(t);
+    }
+    std::sort(via_reference.begin(), via_reference.end());
+    EXPECT_EQ(via_trie, via_reference) << "filter: " << f;
+  }
+}
+
+// ---- broker-level retained behaviour -------------------------------------
+
+using testing::Harness;
+using testing::Peer;
+
+// Regression for the duplicate-retained-delivery bug: two overlapping
+// filters in ONE SUBSCRIBE both match the same retained topic; the
+// broker must replay it exactly once, at the highest granted QoS among
+// the matching filters (§3.3.5).
+TEST(RetainedBroker, OverlappingFiltersInOneSubscribeReplayOnce) {
+  Harness h;
+  Peer& pub = h.add_client("pub");
+  h.connect(pub);
+  ASSERT_TRUE(pub.client()
+                  .publish("sensors/room1/temp", to_bytes("21.5"),
+                           QoS::kExactlyOnce, /*retain=*/true)
+                  .ok());
+  h.settle();
+  ASSERT_EQ(h.broker().retained_count(), 1u);
+
+  Peer& sub = h.add_client("sub");
+  h.connect(sub);
+  ASSERT_TRUE(sub.client()
+                  .subscribe({{"sensors/#", QoS::kAtMostOnce},
+                              {"sensors/+/temp", QoS::kAtLeastOnce}})
+                  .ok());
+  h.settle();
+  ASSERT_EQ(sub.messages().size(), 1u);
+  const Publish& m = sub.messages()[0];
+  EXPECT_EQ(m.topic.view(), "sensors/room1/temp");
+  EXPECT_TRUE(m.retain);
+  // Max granted among the matching filters: QoS 1, not the QoS 0 grant.
+  EXPECT_EQ(m.qos, QoS::kAtLeastOnce);
+}
+
+// Replay QoS is the min of the retained message's QoS and the granted
+// QoS (§3.3.1-6 + §3.8.4).
+TEST(RetainedBroker, ReplayQosClampsToGrant) {
+  Harness h;
+  Peer& pub = h.add_client("pub");
+  h.connect(pub);
+  ASSERT_TRUE(pub.client()
+                  .publish("t/q2", to_bytes("x"), QoS::kExactlyOnce,
+                           /*retain=*/true)
+                  .ok());
+  ASSERT_TRUE(pub.client()
+                  .publish("t/q0", to_bytes("y"), QoS::kAtMostOnce,
+                           /*retain=*/true)
+                  .ok());
+  h.settle();
+
+  Peer& sub = h.add_client("sub");
+  h.connect(sub);
+  ASSERT_TRUE(sub.client().subscribe({{"t/#", QoS::kAtLeastOnce}}).ok());
+  h.settle();
+  ASSERT_EQ(sub.messages().size(), 2u);
+  for (const Publish& m : sub.messages()) {
+    if (m.topic.view() == "t/q2") {
+      EXPECT_EQ(m.qos, QoS::kAtLeastOnce);  // clamped down to the grant
+    } else {
+      EXPECT_EQ(m.qos, QoS::kAtMostOnce);  // message QoS below the grant
+    }
+  }
+}
+
+// §3.3.1-10: a retained PUBLISH with an empty payload clears the slot;
+// later subscribers see nothing.
+TEST(RetainedBroker, EmptyPayloadClearsRetainedState) {
+  Harness h;
+  Peer& pub = h.add_client("pub");
+  h.connect(pub);
+  ASSERT_TRUE(pub.client()
+                  .publish("t/a", to_bytes("v"), QoS::kAtLeastOnce,
+                           /*retain=*/true)
+                  .ok());
+  h.settle();
+  EXPECT_EQ(h.broker().retained_count(), 1u);
+  ASSERT_TRUE(pub.client()
+                  .publish("t/a", Bytes{}, QoS::kAtMostOnce, /*retain=*/true)
+                  .ok());
+  h.settle();
+  EXPECT_EQ(h.broker().retained_count(), 0u);
+
+  Peer& sub = h.add_client("sub");
+  h.connect(sub);
+  ASSERT_TRUE(sub.client().subscribe({{"t/#", QoS::kAtLeastOnce}}).ok());
+  h.settle();
+  EXPECT_TRUE(sub.messages().empty());
+}
+
+// A persistent session's takeover (same client id reconnecting on a new
+// link) replays retained state for its *new* subscriptions only, and the
+// replay still works after the broker rewired the session to the new
+// link.
+TEST(RetainedBroker, ReplayAfterSessionTakeover) {
+  Harness h;
+  Peer& pub = h.add_client("pub");
+  h.connect(pub);
+  ASSERT_TRUE(pub.client()
+                  .publish("t/a", to_bytes("v1"), QoS::kAtLeastOnce,
+                           /*retain=*/true)
+                  .ok());
+  h.settle();
+
+  Peer& first = h.add_client("dev", /*clean=*/false);
+  h.connect(first);
+  ASSERT_TRUE(first.client().subscribe({{"t/#", QoS::kAtLeastOnce}}).ok());
+  h.settle();
+  ASSERT_EQ(first.messages().size(), 1u);
+
+  // Same client id, new link: the broker must take the session over and
+  // serve the fresh SUBSCRIBE's replay on the new link.
+  Peer& second = h.add_client("dev", /*clean=*/false);
+  h.connect(second);
+  ASSERT_TRUE(second.client().subscribe({{"t/+", QoS::kAtMostOnce}}).ok());
+  h.settle();
+  ASSERT_EQ(second.messages().size(), 1u);
+  EXPECT_EQ(second.messages()[0].topic.view(), "t/a");
+  EXPECT_EQ(second.messages()[0].qos, QoS::kAtMostOnce);
+  EXPECT_TRUE(second.messages()[0].retain);
+}
+
+// Distinct SUBSCRIBE packets are independent replay triggers: the dedup
+// applies within one packet (one grant evaluation), not across packets.
+TEST(RetainedBroker, SeparateSubscribesEachReplay) {
+  Harness h;
+  Peer& pub = h.add_client("pub");
+  h.connect(pub);
+  ASSERT_TRUE(pub.client()
+                  .publish("t/a", to_bytes("v"), QoS::kAtMostOnce,
+                           /*retain=*/true)
+                  .ok());
+  h.settle();
+
+  Peer& sub = h.add_client("sub");
+  h.connect(sub);
+  ASSERT_TRUE(sub.client().subscribe({{"t/#", QoS::kAtMostOnce}}).ok());
+  h.settle();
+  ASSERT_TRUE(sub.client().subscribe({{"t/+", QoS::kAtMostOnce}}).ok());
+  h.settle();
+  EXPECT_EQ(sub.messages().size(), 2u);
+}
+
+}  // namespace
+}  // namespace ifot::mqtt

@@ -119,6 +119,64 @@ TEST(RouteCache, PlanEqualityIsPerQosGroup) {
   EXPECT_NE(a, b);
 }
 
+TEST(RouteCache, PlanEqualityCoversTheFingerprint) {
+  RouteCache::Plan a = make_plan({"s1"});
+  RouteCache::Plan b = make_plan({"s1"});
+  b.fingerprint = 0xdeadbeef;
+  // The deep audit re-derives plans through derive_plan (fingerprint
+  // included); a collision that revalidated a divergent plan must trip it.
+  EXPECT_NE(a, b);
+}
+
+TEST(RouteCache, UnchangedFingerprintRevalidatesInPlace) {
+  Counters counters;
+  RouteCache cache(4, &counters);
+  RouteCache::Plan plan = make_plan({"s1"});
+  plan.fingerprint = 42;
+  const RouteCache::Plan* stored = cache.insert("t/a", 1, plan);
+  ASSERT_NE(stored, nullptr);
+
+  // Tree moved on, but this topic's match set is unchanged: the entry is
+  // restamped to the new version instead of being dropped.
+  const RouteCache::Plan* hit =
+      cache.lookup("t/a", 2, [](std::string_view) { return std::uint64_t{42}; });
+  ASSERT_EQ(hit, stored);
+  EXPECT_EQ(counters.get("route_cache_revalidations"), 1u);
+  EXPECT_EQ(counters.get("route_cache_hits"), 1u);
+  EXPECT_EQ(counters.get("route_cache_invalidations"), 0u);
+  // Restamped: a same-version lookup is now a plain hit, no re-check.
+  ASSERT_NE(cache.lookup("t/a", 2), nullptr);
+  EXPECT_EQ(counters.get("route_cache_revalidations"), 1u);
+  EXPECT_EQ(counters.get("route_cache_hits"), 2u);
+}
+
+TEST(RouteCache, ChangedFingerprintStillInvalidates) {
+  Counters counters;
+  RouteCache cache(4, &counters);
+  RouteCache::Plan plan = make_plan({"s1"});
+  plan.fingerprint = 42;
+  cache.insert("t/a", 1, plan);
+
+  EXPECT_EQ(cache.lookup("t/a", 2,
+                         [](std::string_view) { return std::uint64_t{43}; }),
+            nullptr);
+  EXPECT_EQ(counters.get("route_cache_invalidations"), 1u);
+  EXPECT_EQ(counters.get("route_cache_revalidations"), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(RouteCache, NoRefingerprintFnFallsBackToVersionInvalidation) {
+  Counters counters;
+  RouteCache cache(4, &counters);
+  RouteCache::Plan plan = make_plan({"s1"});
+  plan.fingerprint = 42;
+  cache.insert("t/a", 1, plan);
+  // Without a refingerprint callback any version bump invalidates, as
+  // before the surgical-invalidation upgrade.
+  EXPECT_EQ(cache.lookup("t/a", 2), nullptr);
+  EXPECT_EQ(counters.get("route_cache_invalidations"), 1u);
+}
+
 // ---- differential gate: cached vs uncached broker -----------------------
 
 /// A client whose broker->client byte stream is captured verbatim (in
@@ -309,6 +367,43 @@ TEST(RouteCacheDifferential, SubscribeChurnInvalidatesPrecisely) {
   });
   EXPECT_EQ(c.get("route_cache_invalidations"), 2u);
   EXPECT_EQ(c.get("route_cache_hits"), 3u);
+}
+
+TEST(RouteCacheDifferential, UnrelatedChurnRevalidatesHotTopicInPlace) {
+  // The bug this upgrade closes: subscription churn on an unrelated
+  // subtree used to cold-start every cached topic (whole-cache version
+  // invalidation). With per-entry fingerprints the hot topic's plan is
+  // revalidated in place — zero invalidations, zero extra misses.
+  const Counters c = run_differential([](DiffHarness& h) {
+    BytePeer& pub = h.add_client("pub");
+    BytePeer& sub = h.add_client("sub");
+    BytePeer& churner = h.add_client("churner");
+    for (BytePeer* p : {&pub, &sub, &churner}) h.connect(*p);
+    ASSERT_TRUE(sub.client().subscribe({{"hot/+", QoS::kAtLeastOnce}}).ok());
+    h.settle();
+    auto publish = [&](const char* payload) {
+      ASSERT_TRUE(pub.client()
+                      .publish("hot/topic", to_bytes(payload),
+                               QoS::kAtLeastOnce)
+                      .ok());
+      h.settle();
+    };
+    publish("a");  // miss: first sight
+    for (int i = 0; i < 4; ++i) {
+      // Churn a disjoint subtree: the hot topic's match set is untouched.
+      ASSERT_TRUE(
+          churner.client().subscribe({{"cold/stuff", QoS::kAtMostOnce}}).ok());
+      h.settle();
+      publish("x");  // tree version moved -> revalidate, not invalidate
+      ASSERT_TRUE(churner.client().unsubscribe({"cold/stuff"}).ok());
+      h.settle();
+      publish("y");
+    }
+  });
+  EXPECT_EQ(c.get("route_cache_misses"), 1u);
+  EXPECT_EQ(c.get("route_cache_invalidations"), 0u);
+  EXPECT_EQ(c.get("route_cache_revalidations"), 8u);
+  EXPECT_EQ(c.get("route_cache_hits"), 8u);
 }
 
 TEST(RouteCacheDifferential, SessionTeardownInvalidates) {
