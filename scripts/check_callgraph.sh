@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Whole-program hot-path contract gate (scripts/ifot_callgraph.py).
+#
+# Configures an incremental build tree with -DIFOT_CALLGRAPH=ON (GCC's
+# -fcallgraph-info=su,da drops one .ci VCG dump per TU next to each
+# object), builds the data-plane libraries, links the per-TU dumps into
+# one program call graph and proves the three contracts on every root in
+# the analyzer's root table:
+#
+#   no-alloc       every allocation reachable from a root is a sanctioned
+#                  `// static: alloc(reason)` frontier
+#   no-throw       no root reaches a std::__throw_* origination point
+#   bounded-stack  every root's worst-case stack fits the committed
+#                  budget in scripts/stack_budget.json
+#
+# SKIPs (exit 0) when python3, cmake or GCC >= 10 is unavailable so the
+# gate degrades gracefully on minimal containers. Exits non-zero with
+# file:line diagnostics and the offending root-to-violation call chain on
+# any contract break.
+#
+# Usage: scripts/check_callgraph.sh [--update-budget] [--top N]
+#   --update-budget  re-measure and rewrite scripts/stack_budget.json
+#                    (commit the result) instead of checking against it
+#   --top N          also print the N deepest per-root stack chains
+set -u
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${IFOT_CALLGRAPH_BUILD_DIR:-build-callgraph}"
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "SKIP: python3 not found; cannot run ifot_callgraph"
+  exit 0
+fi
+if ! command -v cmake >/dev/null 2>&1; then
+  echo "SKIP: cmake not found; cannot build call-graph dumps"
+  exit 0
+fi
+
+# The .ci dump format is GCC-only (>= 10). Honor $CXX, else find one.
+GCC="${CXX:-}"
+if [ -n "$GCC" ]; then
+  if ! "$GCC" --version 2>/dev/null | head -1 | grep -qiE 'g\+\+|gcc'; then
+    echo "SKIP: \$CXX ($GCC) is not GCC; -fcallgraph-info needs GCC >= 10"
+    exit 0
+  fi
+else
+  for candidate in g++ c++; do
+    if command -v "$candidate" >/dev/null 2>&1 &&
+       "$candidate" --version 2>/dev/null | head -1 | grep -qiE 'g\+\+|gcc'; then
+      GCC="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$GCC" ]; then
+  echo "SKIP: no GCC found; -fcallgraph-info needs GCC >= 10"
+  exit 0
+fi
+major="$("$GCC" -dumpversion 2>/dev/null | cut -d. -f1)"
+case "$major" in
+  ''|*[!0-9]*) major=0 ;;
+esac
+if [ "$major" -lt 10 ]; then
+  echo "SKIP: $GCC is GCC $major; -fcallgraph-info=su,da needs GCC >= 10"
+  exit 0
+fi
+
+update_budget=0
+top_args=()
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --update-budget) update_budget=1 ;;
+    --top) top_args=(--top "${2:?--top needs a count}"); shift ;;
+    *) echo "usage: $0 [--update-budget] [--top N]"; exit 2 ;;
+  esac
+  shift
+done
+
+echo "== configure + build call-graph dumps ($GCC, $BUILD_DIR/) =="
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -S . -B "$BUILD_DIR" -DCMAKE_CXX_COMPILER="$GCC" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DIFOT_CALLGRAPH=ON \
+        >/dev/null || exit 1
+fi
+jobs="$(nproc 2>/dev/null || echo 2)"
+# Only the data-plane libraries feed the proof; tests/benches don't.
+cmake --build "$BUILD_DIR" -j "$jobs" --target ifot_mqtt ifot_net \
+      >/dev/null || exit 1
+
+echo "== ifot_callgraph: hot-path contract proofs =="
+args=(--ci-dir "$BUILD_DIR" --src src --budget scripts/stack_budget.json)
+if [ "$update_budget" -eq 1 ]; then
+  args+=(--update-budget)
+fi
+if [ "${#top_args[@]}" -gt 0 ]; then
+  args+=("${top_args[@]}")
+fi
+if ! python3 scripts/ifot_callgraph.py "${args[@]}"; then
+  exit 1
+fi
+
+echo "check_callgraph: OK"
+exit 0

@@ -2,8 +2,11 @@
 # Project-specific static contract gate. Two passes:
 #
 #   1. scripts/ifot_lint.py over src/ -- Result<>/Status consumption,
-#      nondeterminism and raw-I/O bans, #pragma once, include order, and
-#      audit coverage of public mutating broker/module/middleware APIs.
+#      nondeterminism and raw-I/O bans, allocation-token bans on declared
+#      no-alloc data-plane files, #pragma once, include order, audit
+#      coverage of public mutating broker/module/middleware APIs, and
+#      rejection of suppressions naming unknown rules. The enforced rule
+#      list is printed up front (ifot_lint.py --list-rules).
 #   2. Header self-containment: every header under src/ must compile as
 #      its own translation unit (g++ -fsyntax-only on a one-line TU that
 #      includes only that header).
@@ -25,6 +28,7 @@ fi
 fail=0
 
 echo "== ifot_lint: project contract rules =="
+echo "rules: $(python3 scripts/ifot_lint.py --list-rules | paste -sd' ' -)"
 if ! python3 scripts/ifot_lint.py --root .; then
   fail=1
 fi

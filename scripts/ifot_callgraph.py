@@ -1,0 +1,1101 @@
+#!/usr/bin/env python3
+"""Static hot-path analyzer: call-graph proofs over GCC -fcallgraph-info.
+
+Links the per-TU `.ci` dumps an IFOT_CALLGRAPH build drops next to its
+objects (cmake -DIFOT_CALLGRAPH=ON; GCC >= 10) into one whole-program
+call graph, then proves three contracts for every function reachable
+from the declared data-plane roots (table below) -- on every build, for
+every path, which the runtime `match_alloc_test` gate (one scripted
+scenario) cannot:
+
+  no-alloc       no path from a root reaches an allocation entry point
+                 (operator new, malloc, calloc, realloc, ...)
+  no-throw       no path from a root originates an exception
+                 (__cxa_throw / __cxa_allocate_exception / std::__throw_*;
+                 _Unwind_Resume only *propagates* and is not counted)
+  bounded-stack  the worst-case stack depth per root, summed from the
+                 per-function `su` stack-usage records, stays within the
+                 committed budget (scripts/stack_budget.json); a
+                 recursion cycle is unbounded unless annotated
+
+Indirect and virtual calls appear in the dumps as edges to the
+`__indirect_call` placeholder. They are handled conservatively through a
+small annotation vocabulary. An annotation on the call-site line (or the
+line above) governs that one call; an annotation on a function's
+definition line governs the calls the function makes through *inlined
+library code* -- GCC attributes those edges to /usr/include lines where
+no comment can live, so the tightest annotatable scope is the enclosing
+function (its in-repo call sites are still traversed and checked
+individually):
+
+  // static: calls(<fn>[, <fn>...])   the call targets exactly these
+                                      functions; analysis continues
+                                      through each of them
+  // static: leaf(<reason>)           the callee is outside the proof
+                                      boundary (e.g. the simulator's
+                                      timer service); analysis stops
+                                      here, charging one external frame
+  // static: alloc(<reason>)          sanctioned allocation frontier
+                                      (pool warm-up, scratch growth);
+                                      stops all three traversals and is
+                                      reported in the sanction summary
+  // static: recurse(<N>, <reason>)   on a function definition: the
+                                      recursion cycle through it is
+                                      bounded by N frames
+
+An indirect edge with no annotation is a violation -- the same "zero
+unexplained suppressions" contract as ifot_lint.py. A reason-less or
+unknown annotation is itself a violation. `alloc` cuts the no-throw
+walk too: a sanctioned allocation's bad_alloc aborts by design on the
+target class of device, it does not unwind the data plane.
+
+Diagnostics are `file:line: [rule] msg` with an indented call chain;
+exit is non-zero when any violation is found.
+
+Usage:
+  ifot_callgraph.py --ci-dir build-callgraph [--root DIR]
+      [--budget scripts/stack_budget.json | --no-budget]
+      [--update-budget] [--top N] [--fixit-noexcept] [--list-roots]
+      [--root-spec KEY=REGEX ...] [--src DIR ...]
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Contract tables.
+# --------------------------------------------------------------------------
+
+# Data-plane roots: every publish->route->egress (and retry/retransmit)
+# byte rides through these. Keys name budget entries; patterns match the
+# demangled signatures the .ci node labels carry.
+DEFAULT_ROOTS = [
+    ("Broker::route", r"ifot::mqtt::Broker::route\("),
+    ("Broker::derive_plan", r"ifot::mqtt::Broker::derive_plan\("),
+    ("Broker::deliver", r"ifot::mqtt::Broker::deliver\("),
+    ("Broker::pump_queue", r"ifot::mqtt::Broker::pump_queue\("),
+    ("Broker::send_inflight", r"ifot::mqtt::Broker::send_inflight\("),
+    ("Broker::arm_retry", r"ifot::mqtt::Broker::arm_retry\("),
+    ("Broker::on_retry_timer", r"ifot::mqtt::Broker::on_retry_timer\("),
+    # TopicTree::match() itself inlines away at -O2; its recursive worker
+    # is the surviving node and carries the whole walk.
+    ("TopicTree::match", r"ifot::mqtt::TopicTree<.*>::match(_rec)?\("),
+    ("RouteCache::lookup", r"ifot::mqtt::RouteCache::lookup\("),
+    ("RetainedStore::collect", r"ifot::mqtt::RetainedStore::collect\("),
+    ("Outbox::enqueue", r"ifot::mqtt::Outbox::enqueue\("),
+    ("Outbox::flush", r"ifot::mqtt::Outbox::flush\("),
+    ("Outbox::take_buffer", r"ifot::mqtt::Outbox::take_buffer\("),
+    ("WireTemplate::patched", r"ifot::mqtt::WireTemplate::patched\("),
+    ("Network::send_frames", r"ifot::net::Network::send_frames\("),
+]
+
+# Allocation entry points (external symbols; matched on the mangled
+# title). Deallocation is deliberately not banned: steady-state buffers
+# retain capacity, and their teardown delete paths are release-only.
+ALLOC_TITLE_RE = re.compile(
+    r"^(_Znwm|_Znam|_ZnwmSt11align_val_t|_ZnamSt11align_val_t"
+    r"|_Znwj|_Znaj|malloc|calloc|realloc|aligned_alloc|posix_memalign"
+    r"|strdup|strndup)")
+
+# Exception-origination points. std::__throw_* helpers mangle to
+# _ZSt<len>__throw_...; __cxa_allocate_exception precedes every throw.
+THROW_TITLE_RE = re.compile(
+    r"^(__cxa_throw|__cxa_rethrow|__cxa_allocate_exception"
+    r"|_ZSt\d+__throw_\w+)")
+
+# Stack charged for calls the graph cannot see through: external library
+# functions (memcpy, _Hash_bytes, ...), leaf/alloc-cut callees, and
+# unresolved indirect targets (those are violations anyway).
+DEFAULT_EXTERNAL_FRAME_BYTES = 256
+
+# libstdc++-internal recursions that survive into the graph. They are
+# depth-bounded by construction but live in /usr/include, where no
+# recurse() annotation can be placed, so their bounds are tabled here:
+# __introsort_loop recurses at most 2*log2(n) times by its depth_limit
+# parameter; _Rb_tree::_M_erase (tree teardown) recurses to the tree
+# height, <= 2*log2(n) for a red-black tree. 48 frames covers n = 2^24.
+KNOWN_STD_CYCLES = [
+    (re.compile(r"std::__introsort_loop"), 48),
+    (re.compile(r"_Rb_tree.*::_M_erase"), 48),
+]
+
+# libstdc++ internals that survive inlining as graph nodes of their own,
+# carrying an indirect call no repo-side comment can govern (both the node
+# and the call site live in a system header). Each listed pattern is a
+# CLOSED dispatch: std::variant's destroy/visit machinery indexes a
+# compiler-generated table over the variant's own alternatives, so the
+# "indirect" call can only land on one of the statically known alternative
+# destructors — which are all release-only on this codebase's Packet
+# alternatives (refcount drops and recycled-buffer frees). Their indirect
+# edges are accepted; everything the alternatives' destructors call is
+# still analyzed wherever it appears as a node of its own.
+#
+# _Sp_counted_base::_M_release (and its _M_destroy / last-use helpers)
+# virtually dispatches to _M_dispose/_M_destroy of the control block. The
+# data plane's shared_ptrs are SharedString/SharedPayload buffers created
+# by make_shared: their control blocks destroy a std::string / Bytes and
+# free the block — release-only, no allocation, nothrow by contract.
+#
+# Patterns are tried against both the pretty signature and the mangled
+# title: GCC truncates deeply templated signatures (losing the class
+# prefix), while the mangled name always carries it.
+KNOWN_STD_INDIRECT = [
+    re.compile(r"__detail::__variant|_Variant_storage"),
+    re.compile(r"_Sp_counted_base"),
+]
+
+ANNOTATION_KINDS = ("calls", "leaf", "alloc", "recurse")
+ANNOTATION_RE = re.compile(r"//\s*static:\s*([\w-]+)\(([^)]*)\)")
+# An annotation whose argument list runs past the end of the line; the
+# reason continues on the following `//` comment lines up to the ')'.
+ANNOTATION_OPEN_RE = re.compile(r"//\s*static:\s*([\w-]+)\(([^)\n]*)$")
+ANNOTATION_CONT_RE = re.compile(r"^\s*//\s?(.*)$")
+SOURCE_EXTS = (".cpp", ".hpp")
+
+RULES = ("no-alloc", "no-throw", "bounded-stack", "indirect-call",
+         "annotation")
+
+
+# --------------------------------------------------------------------------
+# .ci (VCG) parsing.
+# --------------------------------------------------------------------------
+
+NODE_RE = re.compile(
+    r'^node:\s*\{\s*title:\s*"((?:\\.|[^"\\])*)"'
+    r'\s*label:\s*"((?:\\.|[^"\\])*)"(.*)\}')
+EDGE_RE = re.compile(
+    r'^edge:\s*\{\s*sourcename:\s*"((?:\\.|[^"\\])*)"'
+    r'\s*targetname:\s*"((?:\\.|[^"\\])*)"'
+    r'(?:\s*label:\s*"((?:\\.|[^"\\])*)")?\s*\}')
+SU_RE = re.compile(r"^(\d+) bytes \((static|dynamic|bounded|dynamic,bounded)\)$")
+
+INDIRECT_NODE = "__indirect_call"
+
+
+def unescape(s):
+    return s.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_location(part):
+    """'path:line:col' -> (path, line) or (None, 0) when absent."""
+    bits = part.rsplit(":", 2)
+    if len(bits) == 3 and bits[1].isdigit() and bits[2].isdigit():
+        return bits[0], int(bits[1])
+    return None, 0
+
+
+class Node:
+    __slots__ = ("title", "sig", "file", "line", "su_bytes", "su_qual",
+                 "defined", "locs")
+
+    def __init__(self, title):
+        self.title = title
+        self.sig = ""
+        self.file = None
+        self.line = 0
+        self.su_bytes = None   # None = no stack-usage record
+        self.su_qual = None
+        self.defined = False
+        # Every (file, line) any TU recorded for this symbol. The defining
+        # TU reports the definition; TUs that merely call it report the
+        # declaration, so an out-of-line member usually has both its .cpp
+        # and .hpp locations here.
+        self.locs = []
+
+
+class Edge:
+    __slots__ = ("src", "dst", "file", "line")
+
+    def __init__(self, src, dst, file, line):
+        self.src = src
+        self.dst = dst
+        self.file = file
+        self.line = line
+
+
+class Graph:
+    """Per-TU dumps linked into one program graph: weak symbols defined
+    in several TUs merge (edge union, max stack), declarations (ellipse
+    nodes) merge into their definitions."""
+
+    def __init__(self):
+        self.nodes = {}
+        self.edges = []
+        self.adj = {}
+
+    def node(self, title):
+        n = self.nodes.get(title)
+        if n is None:
+            n = self.nodes[title] = Node(title)
+        return n
+
+    def load_ci_file(self, path):
+        with open(path, encoding="utf-8", errors="replace") as f:
+            for raw in f:
+                raw = raw.strip()
+                m = NODE_RE.match(raw)
+                if m:
+                    self._add_node(unescape(m.group(1)), unescape(m.group(2)),
+                                   "ellipse" not in m.group(3))
+                    continue
+                m = EDGE_RE.match(raw)
+                if m:
+                    file, line = (None, 0)
+                    if m.group(3):
+                        file, line = parse_location(unescape(m.group(3)))
+                    self.edges.append(Edge(unescape(m.group(1)),
+                                           unescape(m.group(2)), file, line))
+
+    def _add_node(self, title, label, defined):
+        n = self.node(title)
+        parts = label.split("\n")
+        if parts and not n.sig:
+            n.sig = parts[0]
+        for part in parts[1:]:
+            m = SU_RE.match(part)
+            if m:
+                su = int(m.group(1))
+                if n.su_bytes is None or su > n.su_bytes:
+                    n.su_bytes = su
+                    n.su_qual = m.group(2)
+            else:
+                file, line = parse_location(part)
+                if file is not None:
+                    # The definition location is the primary one (stack
+                    # traces point there); declaration locations are kept
+                    # in locs so annotations work at either site.
+                    if n.file is None or (defined and not n.defined):
+                        n.file, n.line = file, line
+                    if (file, line) not in n.locs:
+                        n.locs.append((file, line))
+        if defined:
+            n.defined = True
+
+    def finish(self):
+        """Deduplicates edges and builds the adjacency index."""
+        seen = set()
+        unique = []
+        for e in self.edges:
+            key = (e.src, e.dst, e.file, e.line)
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(e)
+            self.node(e.src)
+            self.node(e.dst)
+        self.edges = unique
+        self.adj = {}
+        for e in self.edges:
+            self.adj.setdefault(e.src, []).append(e)
+
+
+# --------------------------------------------------------------------------
+# Annotations.
+# --------------------------------------------------------------------------
+
+class Annotation:
+    __slots__ = ("file", "line", "kind", "args", "reason", "targets",
+                 "bound", "used")
+
+    def __init__(self, file, line, kind, args):
+        self.file = file
+        self.line = line
+        self.kind = kind
+        self.args = args
+        self.reason = ""
+        self.targets = []
+        self.bound = 0
+        self.used = False
+
+
+class Diagnostics:
+    def __init__(self):
+        self.items = []   # (file, line, rule, message, trace-lines)
+
+    def report(self, path, line, rule, message, trace=()):
+        self.items.append((path or "<unknown>", line, rule, message,
+                           tuple(trace)))
+
+
+def scan_annotations(src_dirs, rel_to, diags):
+    """Collects `// static: kind(args)` annotations from every source
+    file, validating the vocabulary (unknown kinds and missing reasons
+    are violations). A reason may wrap across consecutive `//` comment
+    lines; the annotation then covers every line it spans, so both the
+    call-site window (line / line-1) and the definition window see it."""
+    by_site = {}
+    ordered = []
+    for src_dir in src_dirs:
+        for base, _, names in os.walk(src_dir):
+            for name in sorted(names):
+                if not name.endswith(SOURCE_EXTS):
+                    continue
+                full = os.path.join(base, name)
+                rel = os.path.relpath(full, rel_to).replace(os.sep, "/")
+                with open(full, encoding="utf-8") as f:
+                    lines = f.readlines()
+                _scan_file(rel, lines, by_site, ordered, diags)
+    return by_site, ordered
+
+
+def _scan_file(rel, lines, by_site, ordered, diags):
+    i = 0
+    while i < len(lines):
+        lineno = i + 1
+        matches = list(ANNOTATION_RE.finditer(lines[i]))
+        if matches:
+            for m in matches:
+                ann = Annotation(rel, lineno, m.group(1), m.group(2).strip())
+                _validate_annotation(ann, diags)
+                by_site.setdefault((rel, lineno), []).append(ann)
+                ordered.append(ann)
+            i += 1
+            continue
+        m = ANNOTATION_OPEN_RE.search(lines[i])
+        if m is None:
+            i += 1
+            continue
+        # Multi-line annotation: gather comment lines until the ')'.
+        parts = [m.group(2).strip()]
+        j = i + 1
+        closed = False
+        while j < len(lines):
+            cm = ANNOTATION_CONT_RE.match(lines[j])
+            if cm is None:
+                break
+            chunk = cm.group(1)
+            close = chunk.find(")")
+            if close >= 0:
+                parts.append(chunk[:close].strip())
+                closed = True
+                j += 1
+                break
+            parts.append(chunk.strip())
+            j += 1
+        if not closed:
+            diags.report(rel, lineno, "annotation",
+                         "unterminated static annotation (the wrapped "
+                         "reason never reaches its closing ')')")
+            i += 1
+            continue
+        ann = Annotation(rel, lineno, m.group(1),
+                         " ".join(p for p in parts if p))
+        _validate_annotation(ann, diags)
+        for covered in range(lineno, j + 1):
+            by_site.setdefault((rel, covered), []).append(ann)
+        ordered.append(ann)
+        i = j
+
+
+def _validate_annotation(ann, diags):
+    if ann.kind not in ANNOTATION_KINDS:
+        diags.report(ann.file, ann.line, "annotation",
+                     "unknown static annotation kind '%s' (one of: %s)"
+                     % (ann.kind, ", ".join(ANNOTATION_KINDS)))
+        return
+    if ann.kind == "calls":
+        ann.targets = [t.strip() for t in ann.args.split(",") if t.strip()]
+        if not ann.targets:
+            diags.report(ann.file, ann.line, "annotation",
+                         "calls() needs at least one target function")
+    elif ann.kind == "recurse":
+        bits = ann.args.split(",", 1)
+        if len(bits) != 2 or not bits[0].strip().isdigit() \
+                or int(bits[0].strip()) < 1 or not bits[1].strip():
+            diags.report(ann.file, ann.line, "annotation",
+                         "recurse() takes (<positive depth>, <reason>)")
+        else:
+            ann.bound = int(bits[0].strip())
+            ann.reason = bits[1].strip()
+    else:  # leaf / alloc
+        ann.reason = ann.args
+        if not ann.reason:
+            diags.report(ann.file, ann.line, "annotation",
+                         "%s() needs a reason -- the zero-unexplained-"
+                         "suppressions contract" % ann.kind)
+
+
+# --------------------------------------------------------------------------
+# The analyzer.
+# --------------------------------------------------------------------------
+
+def short_name(sig):
+    """'void ns::C::f(int)' -> 'ns::C::f' (best-effort, for traces)."""
+    i = sig.find("(")
+    head = sig[:i] if i > 0 else sig
+    return head.split()[-1] if head.split() else sig
+
+
+class Analyzer:
+    def __init__(self, graph, by_site, root_table, repo_root,
+                 external_frame, diags, ann_prefixes=("src",)):
+        self.g = graph
+        self.by_site = by_site
+        self.root_table = root_table
+        self.repo_root = repo_root
+        self.external_frame = external_frame
+        self.diags = diags
+        self.ann_prefixes = tuple(p.rstrip("/") for p in ann_prefixes)
+        self.sanctioned_allocs = {}     # (file, line) -> annotation
+        self.roots = self._resolve_roots()
+        self._reported = set()          # dedup across roots
+        self.reachable = set()          # defined nodes reachable from roots
+        self.throw_reach = None
+        self._depth_memo = {}
+        self._scc_of = {}
+        self._scc_members = {}
+        self._scc_frames = {}
+        self._scc_cycles = {}
+
+    # -- shared helpers ----------------------------------------------------
+
+    def rel(self, path):
+        if path is None:
+            return None
+        if os.path.isabs(path):
+            try:
+                rp = os.path.relpath(path, self.repo_root)
+            except ValueError:
+                return path
+            if not rp.startswith(".."):
+                return rp.replace(os.sep, "/")
+        return path.replace(os.sep, "/")
+
+    def _resolve_roots(self):
+        roots = {}
+        for key, pattern in self.root_table:
+            rx = re.compile(pattern)
+            # Lambda closures and std::function wrappers embed their
+            # enclosing function's name in their signature; they are not
+            # the root itself.
+            matched = [n for n in self.g.nodes.values()
+                       if n.defined and rx.search(n.sig)
+                       and "_Function_handler" not in n.sig
+                       and "::<lambda" not in n.sig]
+            if not matched:
+                self.diags.report("<roots>", 0, "annotation",
+                                  "root '%s' (pattern %s) matched no "
+                                  "defined function in the call graph"
+                                  % (key, pattern))
+            roots[key] = matched
+        return roots
+
+    def _anns_at(self, edge, kinds):
+        """Annotations of the given kinds on the edge's call-site line or
+        the line above it (comment-only line)."""
+        rel = self.rel(edge.file)
+        if rel is None:
+            return []
+        found = []
+        for line in (edge.line, edge.line - 1):
+            for ann in self.by_site.get((rel, line), ()):
+                if ann.kind in kinds:
+                    found.append(ann)
+        return found
+
+    def _lib_defined(self, node):
+        """True when every known location of the node lies outside the
+        repository: libstdc++ machinery that materialized as a symbol of
+        its own, where no repo-side comment can attach."""
+        known = [f for f, _ in (node.locs or [(node.file, node.line)]) if f]
+        if not known:
+            return False
+        return all(os.path.isabs(self.rel(f)) for f in known)
+
+    def _annotatable(self, rel):
+        """True when the call-site line lives in a directory we scan for
+        annotations (a comment there can govern the edge)."""
+        return rel is not None and any(
+            rel == p or rel.startswith(p + "/") for p in self.ann_prefixes)
+
+    def _use_cut(self, ann):
+        ann.used = True
+        if ann.kind == "alloc":
+            self.sanctioned_allocs[(ann.file, ann.line)] = ann
+        return ("cut", ann)
+
+    def _resolve_calls(self, ann):
+        titles = []
+        for target in ann.targets:
+            hits = [n.title for n in self.g.nodes.values()
+                    if n.defined and (target + "(") in n.sig]
+            if not hits:
+                hits = [t for t in self.g.nodes if t == target]
+            if not hits:
+                self.diags.report(
+                    ann.file, ann.line, "annotation",
+                    "calls(%s) names a function not present in the "
+                    "linked call graph (use leaf(<reason>) for "
+                    "out-of-graph callees)" % target)
+                continue
+            titles.extend(hits)
+        ann.used = True
+        return titles
+
+    def _def_ann(self, title, kinds):
+        node = self.g.nodes.get(title)
+        if node is None or not node.defined:
+            return None
+        for kind in kinds:
+            ann = self._node_ann(node, kind)
+            if ann is not None and (ann.reason or ann.targets):
+                return ann
+        return None
+
+    def _edge_disposition(self, edge):
+        """Classifies an edge under the annotation rules:
+          ("cut", ann)              -- sanctioned, not traversed
+          ("targets", [titles])     -- traverse these callees
+          ("unresolved", hint)      -- unexplained indirect call
+        Edge-site annotations win; edges whose call site lies in inlined
+        library code (not annotatable) fall back to the source
+        function's definition-site annotations."""
+        for ann in self._anns_at(edge, ("leaf", "alloc")):
+            if ann.reason:
+                return self._use_cut(ann)
+        site_local = self._annotatable(self.rel(edge.file))
+        if edge.dst == INDIRECT_NODE:
+            for ann in self._anns_at(edge, ("calls",)):
+                if ann.targets:
+                    return ("targets", self._resolve_calls(ann))
+            if not site_local:
+                srcnode = self.g.nodes.get(edge.src)
+                if srcnode is not None and self._lib_defined(srcnode) \
+                        and any(p.search(srcnode.sig) or p.search(srcnode.title)
+                                for p in KNOWN_STD_INDIRECT):
+                    return ("targets", [])  # built-in closed dispatch
+                dann = self._def_ann(edge.src, ("leaf", "alloc"))
+                if dann is not None:
+                    return self._use_cut(dann)
+                dcalls = self._def_ann(edge.src, ("calls",))
+                if dcalls is not None:
+                    return ("targets", self._resolve_calls(dcalls))
+                return ("unresolved",
+                        "annotate the enclosing function's declaration "
+                        "(the call site is in inlined library code)")
+            return ("unresolved",
+                    "annotate with // static: calls(<fn>) or "
+                    "leaf(<reason>)")
+        if not site_local:
+            dann = self._def_ann(edge.src, ("leaf", "alloc"))
+            if dann is not None:
+                return self._use_cut(dann)
+        return ("targets", [edge.dst])
+
+    def _node_ann(self, node, kind):
+        """Annotation attached to the function itself. GCC records the
+        definition location in the defining TU and the declaration
+        location in every TU that merely calls the symbol, so an
+        out-of-line member is reachable from both its header declaration
+        and its .cpp definition — we accept an annotation at either (the
+        declaration is the preferred spot: it reads as API contract).
+        The window at each site is the recorded line or up to 3 lines
+        above it (multi-line annotations count if any of their lines
+        land in the window)."""
+        locs = node.locs or [(node.file, node.line)]
+        for file, start in locs:
+            rel = self.rel(file)
+            if rel is None:
+                continue
+            for line in range(start, max(0, start - 4), -1):
+                for ann in self.by_site.get((rel, line), ()):
+                    if ann.kind == kind:
+                        return ann
+        return None
+
+    def _trace(self, parents, title, root_key):
+        chain = []
+        cur = title
+        while cur is not None:
+            node = self.g.nodes[cur]
+            entry = short_name(node.sig) if node.sig else cur
+            parent = parents.get(cur)
+            if parent is not None:
+                _, edge = parent
+                entry += "   [%s:%d]" % (self.rel(edge.file) or "?",
+                                         edge.line)
+            chain.append(entry)
+            cur = parent[0] if parent is not None else None
+        out = ["    <root %s>" % root_key]
+        for c in reversed(chain):
+            out.append("    -> " + c)
+        return out
+
+    # -- reachability rules (no-alloc, no-throw, indirect-call) -----------
+
+    def run_reach(self):
+        for key, nodes in self.roots.items():
+            for root in nodes:
+                self._reach_from(key, root)
+
+    def _reach_from(self, root_key, root):
+        parents = {root.title: None}
+        queue = [root.title]
+        while queue:
+            title = queue.pop()
+            self.reachable.add(title)
+            for edge in self.g.adj.get(title, ()):
+                kind, payload = self._edge_disposition(edge)
+                if kind == "cut":
+                    continue
+                if kind == "unresolved":
+                    self._violation(
+                        "indirect-call", edge, root_key,
+                        "unexplained indirect/virtual call on the hot "
+                        "path; %s" % payload, parents, title)
+                    continue
+                for target in payload:
+                    self._check_terminal(edge, target, parents, root_key,
+                                         title)
+                    if target in parents:
+                        continue
+                    node = self.g.nodes.get(target)
+                    if node is not None and node.defined:
+                        parents[target] = (title, edge)
+                        queue.append(target)
+
+    def _check_terminal(self, edge, target, parents, root_key, src_title):
+        if ALLOC_TITLE_RE.match(target):
+            node = self.g.nodes.get(target)
+            name = short_name(node.sig) if node is not None and node.sig \
+                else target
+            self._violation(
+                "no-alloc", edge, root_key,
+                "hot path reaches allocation entry point %s" % name,
+                parents, src_title)
+        elif THROW_TITLE_RE.match(target):
+            node = self.g.nodes.get(target)
+            name = short_name(node.sig) if node is not None and node.sig \
+                else target
+            self._violation(
+                "no-throw", edge, root_key,
+                "hot path reaches exception origination point %s" % name,
+                parents, src_title)
+
+    def _violation(self, rule, edge, root_key, message, parents, src_title):
+        key = (rule, edge.src, edge.dst, edge.file, edge.line)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        trace = self._trace(parents, src_title, root_key)
+        trace.append("    -> !! %s  [%s:%d]"
+                     % (edge.dst.split(":")[-1],
+                        self.rel(edge.file) or "?", edge.line))
+        self.diags.report(self.rel(edge.file), edge.line, rule, message,
+                          trace)
+
+    # -- no-throw fix-it ---------------------------------------------------
+
+    def compute_throw_reach(self):
+        """Defined nodes from which an (uncut) path reaches a throw
+        origination point. Everything else on the hot path is noexcept-
+        markable."""
+        rev = {}
+        throwers = set()
+        for edge in self.g.edges:
+            kind, payload = self._edge_disposition(edge)
+            targets = payload if kind == "targets" else []
+            for t in targets:
+                if THROW_TITLE_RE.match(t):
+                    throwers.add(edge.src)
+                else:
+                    rev.setdefault(t, set()).add(edge.src)
+        queue = list(throwers)
+        reach = set(throwers)
+        while queue:
+            cur = queue.pop()
+            for pred in rev.get(cur, ()):
+                if pred not in reach:
+                    reach.add(pred)
+                    queue.append(pred)
+        self.throw_reach = reach
+        return reach
+
+    def noexcept_candidates(self):
+        if self.throw_reach is None:
+            self.compute_throw_reach()
+        out = []
+        for title in self.reachable:
+            node = self.g.nodes[title]
+            rel = self.rel(node.file)
+            if not node.defined or title in self.throw_reach:
+                continue
+            if rel is None or not rel.startswith("src/"):
+                continue
+            out.append(node)
+        out.sort(key=lambda n: (self.rel(n.file), n.line))
+        return out
+
+    # -- bounded-stack -----------------------------------------------------
+
+    def _stack_children(self, title):
+        """(child titles, flat external-frame contribution) under cuts."""
+        children = []
+        flat = 0
+        for edge in self.g.adj.get(title, ()):
+            kind, payload = self._edge_disposition(edge)
+            if kind != "targets":
+                flat = self.external_frame
+                continue
+            for t in payload:
+                node = self.g.nodes.get(t)
+                if node is not None and node.defined:
+                    children.append(t)
+                else:
+                    flat = self.external_frame
+        return children, flat
+
+    def _compute_sccs(self):
+        """Iterative Tarjan over the cut graph (defined nodes only)."""
+        index = {}
+        low = {}
+        on_stack = set()
+        stack = []
+        counter = [0]
+        sccs = []
+
+        for start in self.g.nodes:
+            if start in index or not self.g.nodes[start].defined:
+                continue
+            work = [(start, 0, None)]
+            while work:
+                v, pi, children = work.pop()
+                if pi == 0:
+                    index[v] = low[v] = counter[0]
+                    counter[0] += 1
+                    stack.append(v)
+                    on_stack.add(v)
+                    children = self._stack_children(v)[0]
+                recurse = False
+                while pi < len(children):
+                    w = children[pi]
+                    pi += 1
+                    if w not in index:
+                        work.append((v, pi, children))
+                        work.append((w, 0, None))
+                        recurse = True
+                        break
+                    if w in on_stack:
+                        low[v] = min(low[v], index[w])
+                if recurse:
+                    continue
+                if low[v] == index[v]:
+                    scc = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        scc.append(w)
+                        if w == v:
+                            break
+                    sccs.append(scc)
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[v])
+        return sccs
+
+    def run_stack(self):
+        """Computes worst-case depth per root; recursion cycles must
+        carry a recurse(N) annotation or are reported unbounded."""
+        for scc in self._compute_sccs():
+            scc_id = scc[0]
+            for t in scc:
+                self._scc_of[t] = scc_id
+            self._scc_members[scc_id] = scc
+            cyclic = len(scc) > 1 or \
+                scc_id in self._stack_children(scc_id)[0]
+            frame = sum(self.g.nodes[t].su_bytes or self.external_frame
+                        for t in scc)
+            if cyclic:
+                bound = 0
+                for t in scc:
+                    ann = self._node_ann(self.g.nodes[t], "recurse")
+                    if ann is not None and ann.bound > 0:
+                        ann.used = True
+                        bound = max(bound, ann.bound)
+                if bound == 0:
+                    for rx, table_bound in KNOWN_STD_CYCLES:
+                        if all(rx.search(self.g.nodes[t].sig)
+                               for t in scc):
+                            bound = table_bound
+                            break
+                if bound == 0:
+                    self._scc_cycles[scc_id] = set(scc)
+                else:
+                    frame *= bound
+            self._scc_frames[scc_id] = frame
+
+        depths = {}
+        for key, nodes in self.roots.items():
+            best, chain = 0, []
+            for root in nodes:
+                d, c = self._depth(root.title)
+                if d > best or not chain:
+                    best, chain = d, c
+            depths[key] = (best, chain)
+
+            for title in self._reach_titles(nodes):
+                scc_id = self._scc_of.get(title)
+                if scc_id in self._scc_cycles:
+                    cyc = self._scc_cycles.pop(scc_id)
+                    node = self.g.nodes[scc_id]
+                    names = ", ".join(sorted(
+                        short_name(self.g.nodes[t].sig) for t in cyc))
+                    self.diags.report(
+                        self.rel(node.file), node.line, "bounded-stack",
+                        "recursion cycle on the hot path (root %s) has no "
+                        "depth bound: {%s}; annotate the definition with "
+                        "// static: recurse(<N>, <reason>)" % (key, names))
+        return depths
+
+    def _reach_titles(self, root_nodes):
+        seen = set()
+        queue = [n.title for n in root_nodes]
+        while queue:
+            t = queue.pop()
+            if t in seen:
+                continue
+            seen.add(t)
+            children, _ = self._stack_children(t)
+            queue.extend(children)
+        return seen
+
+    def _depth(self, title):
+        """Worst-case stack depth in bytes from `title`, with the call
+        chain that realizes it. Memoized over the SCC condensation
+        (cross-SCC edges form a DAG; cycle members share one frame)."""
+        scc_id = self._scc_of.get(title, title)
+        if scc_id in self._depth_memo:
+            return self._depth_memo[scc_id]
+        node = self.g.nodes.get(title)
+        frame = self._scc_frames.get(
+            scc_id,
+            (node.su_bytes if node is not None and node.su_bytes is not None
+             else self.external_frame))
+        # Guard against re-entry while the SCC's children are resolved.
+        self._depth_memo[scc_id] = (frame, [scc_id])
+        best_child, best_chain, flat_max = 0, [], 0
+        for member in self._scc_members.get(scc_id, [title]):
+            children, flat = self._stack_children(member)
+            flat_max = max(flat_max, flat)
+            for child in children:
+                if self._scc_of.get(child, child) == scc_id:
+                    continue
+                d, c = self._depth(child)
+                if d > best_child:
+                    best_child, best_chain = d, c
+        if best_child >= flat_max:
+            chain = [scc_id] + best_chain
+        else:
+            chain = [scc_id, "<external frame>"]
+        self._depth_memo[scc_id] = (frame + max(best_child, flat_max),
+                                    chain)
+        return self._depth_memo[scc_id]
+
+    def chain_pretty(self, chain):
+        parts = []
+        for t in chain:
+            if t == "<external frame>":
+                parts.append("<external %dB>" % self.external_frame)
+            else:
+                node = self.g.nodes[t]
+                su = self._scc_frames.get(
+                    t, node.su_bytes if node.su_bytes is not None
+                    else self.external_frame)
+                parts.append("%s (%dB)" % (short_name(node.sig) or t, su))
+        return " -> ".join(parts)
+
+
+# --------------------------------------------------------------------------
+# Budget file.
+# --------------------------------------------------------------------------
+
+def round_budget(measured):
+    """Next 128-byte step above the measurement, plus one step of
+    headroom: byte-level jitter doesn't fail the gate, real regressions
+    do -- and bumps are explicit reviewed diffs."""
+    return ((measured + 127) // 128) * 128 + 128
+
+
+def check_budget(depths, budget_path, diags, analyzer):
+    try:
+        with open(budget_path, encoding="utf-8") as f:
+            budget = json.load(f)
+    except FileNotFoundError:
+        diags.report(budget_path, 0, "bounded-stack",
+                     "stack budget file missing; run with --update-budget")
+        return
+    roots = budget.get("roots", {})
+    for key, (measured, chain) in sorted(depths.items()):
+        entry = roots.get(key)
+        if entry is None:
+            diags.report(budget_path, 0, "bounded-stack",
+                         "root '%s' has no committed stack budget; run "
+                         "with --update-budget" % key)
+            continue
+        limit = entry.get("budget_bytes", 0)
+        if measured > limit:
+            diags.report(
+                budget_path, 0, "bounded-stack",
+                "root '%s' worst-case stack grew to %d bytes (budget %d); "
+                "shrink the path or bump the budget with --update-budget"
+                % (key, measured, limit),
+                ["    " + analyzer.chain_pretty(chain)])
+    for key in sorted(set(roots) - set(depths)):
+        diags.report(budget_path, 0, "bounded-stack",
+                     "budgeted root '%s' no longer exists; run "
+                     "--update-budget" % key)
+
+
+def write_budget(depths, budget_path, external_frame, analyzer):
+    data = {
+        "_comment": "Worst-case hot-path stack depths (bytes), computed "
+                    "by scripts/ifot_callgraph.py from GCC su records. "
+                    "Regenerate with scripts/check_callgraph.sh "
+                    "--update-budget; bumps are reviewed diffs.",
+        "external_frame_bytes": external_frame,
+        "roots": {},
+    }
+    for key, (measured, chain) in sorted(depths.items()):
+        data["roots"][key] = {
+            "budget_bytes": round_budget(measured),
+            "measured_bytes": measured,
+            "deepest": analyzer.chain_pretty(chain),
+        }
+    with open(budget_path, "w", encoding="utf-8") as f:
+        json.dump(data, f, indent=2)
+        f.write("\n")
+
+
+# --------------------------------------------------------------------------
+# Driver.
+# --------------------------------------------------------------------------
+
+def find_ci_files(ci_dir):
+    out = []
+    for base, _, names in os.walk(ci_dir):
+        for name in sorted(names):
+            if name.endswith(".ci"):
+                out.append(os.path.join(base, name))
+    return out
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--ci-dir", required=True,
+                    help="build tree holding the per-TU .ci dumps")
+    ap.add_argument("--root", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), ".."),
+        help="repository root (default: the script's parent directory)")
+    ap.add_argument("--src", action="append", default=[],
+                    help="directories scanned for annotations "
+                         "(default: <root>/src)")
+    ap.add_argument("--budget", default=None,
+                    help="stack budget JSON "
+                         "(default: <root>/scripts/stack_budget.json)")
+    ap.add_argument("--no-budget", action="store_true",
+                    help="skip the budget comparison (fixture runs)")
+    ap.add_argument("--update-budget", action="store_true",
+                    help="rewrite the budget file from this run's depths")
+    ap.add_argument("--top", type=int, default=0, metavar="N",
+                    help="print the N deepest root stacks")
+    ap.add_argument("--fixit-noexcept", action="store_true",
+                    help="list hot-path functions proven throw-free "
+                         "(candidates for noexcept)")
+    ap.add_argument("--list-roots", action="store_true",
+                    help="print the root table and exit")
+    ap.add_argument("--root-spec", action="append", default=[],
+                    metavar="KEY=REGEX",
+                    help="override the root table (fixture runs)")
+    ap.add_argument("--external-frame-bytes", type=int,
+                    default=DEFAULT_EXTERNAL_FRAME_BYTES,
+                    help="stack charged per opaque external call")
+    args = ap.parse_args(argv)
+
+    root_table = DEFAULT_ROOTS
+    if args.root_spec:
+        root_table = [tuple(spec.split("=", 1)) for spec in args.root_spec]
+    if args.list_roots:
+        for key, pattern in root_table:
+            print("%-24s %s" % (key, pattern))
+        return 0
+
+    repo_root = os.path.abspath(args.root)
+    src_dirs = [os.path.abspath(p) for p in args.src] or \
+        [os.path.join(repo_root, "src")]
+    budget_path = args.budget or os.path.join(repo_root, "scripts",
+                                              "stack_budget.json")
+
+    ci_files = find_ci_files(args.ci_dir)
+    if not ci_files:
+        print("ifot_callgraph: no .ci dumps under %s (build with "
+              "-DIFOT_CALLGRAPH=ON first)" % args.ci_dir, file=sys.stderr)
+        return 2
+
+    graph = Graph()
+    for path in ci_files:
+        graph.load_ci_file(path)
+    graph.finish()
+
+    diags = Diagnostics()
+    by_site, all_anns = scan_annotations(src_dirs, repo_root, diags)
+    ann_prefixes = [os.path.relpath(d, repo_root).replace(os.sep, "/")
+                    for d in src_dirs]
+    analyzer = Analyzer(graph, by_site, root_table, repo_root,
+                        args.external_frame_bytes, diags, ann_prefixes)
+
+    analyzer.run_reach()
+    analyzer.compute_throw_reach()
+    depths = analyzer.run_stack()
+
+    if args.update_budget:
+        write_budget(depths, budget_path, args.external_frame_bytes,
+                     analyzer)
+        print("ifot_callgraph: wrote %s (%d roots)"
+              % (budget_path, len(depths)))
+    elif not args.no_budget:
+        check_budget(depths, budget_path, diags, analyzer)
+
+    for ann in all_anns:
+        if not ann.used and ann.kind in ANNOTATION_KINDS:
+            print("note: unused annotation %s(%s) at %s:%d (inlined away "
+                  "or stale)" % (ann.kind, ann.args, ann.file, ann.line))
+
+    if args.top > 0:
+        ranked = sorted(depths.items(), key=lambda kv: -kv[1][0])
+        print("== %d deepest hot-path stacks ==" % min(args.top,
+                                                       len(ranked)))
+        for key, (measured, chain) in ranked[:args.top]:
+            print("%7d B  %s" % (measured, key))
+            print("           %s" % analyzer.chain_pretty(chain))
+
+    if args.fixit_noexcept:
+        print("== proven no-throw on the hot path (noexcept candidates) ==")
+        for node in analyzer.noexcept_candidates():
+            print("%s:%d: %s" % (analyzer.rel(node.file), node.line,
+                                 short_name(node.sig)))
+
+    for path, line, rule, message, trace in sorted(diags.items):
+        print("%s:%d: [%s] %s" % (path, line, rule, message))
+        for t in trace:
+            print(t)
+    if diags.items:
+        print("ifot_callgraph: %d violation(s)" % len(diags.items),
+              file=sys.stderr)
+        return 1
+
+    nodes_defined = sum(1 for n in graph.nodes.values() if n.defined)
+    print("ifot_callgraph: clean -- %d TUs, %d functions (%d reachable "
+          "from %d roots), %d sanctioned allocation frontier(s), all "
+          "stacks within budget"
+          % (len(ci_files), nodes_defined, len(analyzer.reachable),
+             len(analyzer.roots), len(analyzer.sanctioned_allocs)))
+    for (file, line), ann in sorted(analyzer.sanctioned_allocs.items()):
+        print("  alloc frontier: %s:%d: %s" % (file, line, ann.reason))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

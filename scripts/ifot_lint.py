@@ -78,6 +78,34 @@ RAW_IO_ALLOWED = {
     "src/common/audit.cpp",  # audit failures report before abort()
 }
 
+# no-alloc-token: per-call heap-allocation idioms banned at the line
+# level in the data-plane files whose hot paths scripts/ifot_callgraph.py
+# proves allocation-free -- defense-in-depth that fires before the call
+# graph is even built. broker.cpp is deliberately absent: its sanctioned
+# allocation frontiers (pool warm-up, cache fill, plan derivation) are
+# annotated and proven by the analyzer instead. Text inside
+# IFOT_AUDIT_ASSERT argument lists is exempt (release builds compile the
+# whole assertion out, so its message building never runs on the hot
+# path). `std::function<` is allowed in `using`/`typedef` aliases and as
+# a reference declarator (binding a reference constructs nothing); a
+# by-value std::function materializes a heap-backed erased callable.
+BANNED_ALLOC_TOKENS = [
+    (r"\bstd::to_string\s*\(", "allocates a fresh std::string per call"),
+    (r"\"\s*\+|\+\s*\"",
+     "std::string operator+ builds a heap temporary per call"),
+]
+NO_ALLOC_FILES = {
+    "src/common/pool.hpp",
+    "src/mqtt/id_set.hpp",
+    "src/mqtt/outbox.cpp",
+    "src/mqtt/outbox.hpp",
+    "src/mqtt/retained_store.cpp",
+    "src/mqtt/retained_store.hpp",
+    "src/mqtt/route_cache.cpp",
+    "src/mqtt/route_cache.hpp",
+    "src/mqtt/topic.hpp",
+}
+
 # audit-coverage: classes whose public mutating (non-const) APIs must
 # re-check invariants after every mutation.  The linter reads the public
 # section of `header` for the contract and checks definitions in `impl`.
@@ -210,6 +238,66 @@ def check_banned_tokens(path, text, raw_lines, diags):
                 diags.report(path, line_of(text, m.start()), rule,
                              "%s (%s) is banned %s" %
                              (m.group(0).strip(), what, where), raw_lines)
+
+
+# --------------------------------------------------------------------------
+# Rule: no-alloc-token.
+# --------------------------------------------------------------------------
+
+def blank_audit_asserts(text):
+    """Blanks the argument span of every IFOT_AUDIT_ASSERT(...) call
+    (newlines preserved): audit assertions compile out of release
+    builds, so allocation idioms in their messages never run hot."""
+    out = []
+    pos = 0
+    for m in re.finditer(r"\bIFOT_AUDIT_ASSERT\s*\(", text):
+        open_paren = text.find("(", m.start())
+        close = close_of_call(text, open_paren)
+        if close == -1 or open_paren < pos:
+            continue
+        out.append(text[pos:open_paren + 1])
+        out.append("".join(ch if ch == "\n" else " "
+                           for ch in text[open_paren + 1:close]))
+        pos = close
+    out.append(text[pos:])
+    return "".join(out)
+
+
+def matching_angle(text, open_angle):
+    depth = 0
+    for j in range(open_angle, len(text)):
+        if text[j] == "<":
+            depth += 1
+        elif text[j] == ">":
+            depth -= 1
+            if depth == 0:
+                return j
+    return -1
+
+
+def check_alloc_tokens(path, text, raw_lines, diags):
+    if path not in NO_ALLOC_FILES:
+        return
+    scan = blank_audit_asserts(text)
+    for pattern, what in BANNED_ALLOC_TOKENS:
+        for m in re.finditer(pattern, scan):
+            diags.report(path, line_of(scan, m.start()), "no-alloc-token",
+                         "%s (%s) is banned in the no-alloc data-plane "
+                         "files" % (m.group(0).strip(), what), raw_lines)
+    for m in re.finditer(r"\bstd::function\s*<", scan):
+        line = line_of(scan, m.start())
+        decl_line = raw_lines[line - 1] if line <= len(raw_lines) else ""
+        if re.search(r"\b(using|typedef)\b", decl_line):
+            continue  # type alias, not a construction
+        close = matching_angle(scan, scan.find("<", m.start()))
+        after = scan[close + 1:close + 16].lstrip() if close != -1 else ""
+        if after.startswith(("&", "*")):
+            continue  # reference/pointer declarator binds, never constructs
+        diags.report(path, line, "no-alloc-token",
+                     "by-value std::function (heap-backed type erasure) is "
+                     "banned in the no-alloc data-plane files; take a "
+                     "reference, a function pointer or a template parameter",
+                     raw_lines)
 
 
 # --------------------------------------------------------------------------
@@ -353,6 +441,22 @@ def check_unchecked_result(path, text, raw_lines, result_names, diags):
 
 
 # --------------------------------------------------------------------------
+# Rule: unknown-suppression.
+# --------------------------------------------------------------------------
+
+def check_suppressions(path, raw_lines, diags, valid_rules):
+    """A `// lint: allow(<rule>)` naming a rule this linter does not have
+    suppresses nothing and hides a typo forever -- itself a violation."""
+    for lineno, raw in enumerate(raw_lines, 1):
+        m = SUPPRESS_RE.search(raw)
+        if m and m.group(1) not in valid_rules:
+            diags.items.append(
+                (path, lineno, "unknown-suppression",
+                 "suppression names unknown rule '%s' (have: %s)"
+                 % (m.group(1), ", ".join(sorted(valid_rules)))))
+
+
+# --------------------------------------------------------------------------
 # Rule: audit-coverage.
 # --------------------------------------------------------------------------
 
@@ -482,12 +586,17 @@ def main(argv):
                     metavar="CLASS:HEADER:IMPL",
                     help="override the audit-coverage table (used by the "
                          "negative fixture test)")
+    ap.add_argument("--no-alloc-file", action="append", default=[],
+                    metavar="PATH",
+                    help="extend the no-alloc-token file table (used by "
+                         "the negative fixture test)")
     ap.add_argument("paths", nargs="*",
                     help="specific files to lint (default: all of src/)")
     args = ap.parse_args(argv)
 
     rules = ["unchecked-result", "no-nondeterminism", "no-raw-io",
-             "pragma-once", "include-order", "audit-coverage"]
+             "no-alloc-token", "pragma-once", "include-order",
+             "audit-coverage", "unknown-suppression"]
     if args.list_rules:
         print("\n".join(rules))
         return 0
@@ -499,13 +608,18 @@ def main(argv):
         return 2
     files = {p: strip_comments_and_strings(t) for p, t in raw_files.items()}
 
+    for extra in args.no_alloc_file:
+        NO_ALLOC_FILES.add(extra)
+
     diags = Diagnostics()
     result_names = collect_result_functions(files)
     for path, text in sorted(files.items()):
         raw_lines = raw_files[path].split("\n")
         check_banned_tokens(path, text, raw_lines, diags)
+        check_alloc_tokens(path, text, raw_lines, diags)
         check_includes(path, text, raw_lines, diags)
         check_unchecked_result(path, text, raw_lines, result_names, diags)
+        check_suppressions(path, raw_lines, diags, set(rules))
     overrides = [dict(zip(("class", "header", "impl"), spec.split(":")))
                  for spec in args.audited_class] or None
     check_audit_coverage(files, raw_files, diags, overrides)

@@ -24,6 +24,7 @@ class BinaryWriter {
  public:
   explicit BinaryWriter(Bytes& out) : out_(out) {}
 
+  // static: alloc(byte-buffer growth; encode buffers are pool-recycled)
   void u8(std::uint8_t v);
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
@@ -33,9 +34,11 @@ class BinaryWriter {
   /// Unsigned LEB128-style varint (7 bits per byte, MSB = continuation).
   void varint(std::uint64_t v);
   /// u16 length prefix + UTF-8 bytes (MQTT string encoding).
+  // static: alloc(byte-buffer growth; encode buffers are pool-recycled)
   void str16(std::string_view s);
   /// varint length prefix + UTF-8 bytes.
   void str(std::string_view s);
+  // static: alloc(byte-buffer growth; encode buffers are pool-recycled)
   void raw(BytesView bytes);
 
   [[nodiscard]] std::size_t size() const { return out_.size(); }

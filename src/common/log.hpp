@@ -38,6 +38,8 @@ class LogLine {
       : level_(level), component_(std::move(component)) {}
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
+  // static: alloc(log-line formatting and sink dispatch; diagnostics
+  // off the data plane — hot paths only log on drop and error branches)
   ~LogLine() { log_emit(level_, component_, stream_.str()); }
 
   template <typename T>
@@ -53,6 +55,8 @@ class LogLine {
 };
 
 /// True when `level` would be emitted under the current configuration.
+// static: leaf(level check takes the logging-config mutex; diagnostics
+// plumbing, not data-plane work, and it allocates nothing)
 bool log_enabled(LogLevel level);
 
 }  // namespace ifot

@@ -63,9 +63,13 @@ class NodePool {
     }
     ++outstanding_;
     ++fresh_;
+    // static: alloc(pool warm-up: fresh block for an empty size bucket;
+    // every block recycles through the free list thereafter)
     return ::operator new(bucket);
   }
 
+  // static: alloc(free-list first touch of a new size bucket inserts the
+  // bucket entry + list growth; steady-state pushes land in capacity)
   void deallocate(void* p, std::size_t bytes) noexcept {
     IFOT_AUDIT_ASSERT(outstanding_ > 0,
                       "node pool released more blocks than it handed out");
@@ -213,6 +217,8 @@ class Ref {
   void retain() {
     if (ptr_ != nullptr) ++base().refs_;
   }
+  // static: alloc(release-path free-list growth; the list's capacity
+  // tops out at the pool's high-water object count and is then retained)
   void release() {
     if (ptr_ == nullptr) return;
     RefCounted<T>& b = base();

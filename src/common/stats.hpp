@@ -17,6 +17,8 @@ namespace ifot {
 /// Keeps all samples (experiments are bounded) so percentiles are exact.
 class LatencyRecorder {
  public:
+  // static: alloc(sample-log growth; every sample is kept so percentiles
+  // are exact, and experiment runs are bounded by the scenario script)
   void record(SimDuration d);
 
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
@@ -54,6 +56,8 @@ class LatencyRecorder {
 /// name is materialized once, the first time it is ever counted.
 class Counters {
  public:
+  // static: alloc(first-ever counter name materializes its ledger entry;
+  // steady-state bumps take the transparent-hash hit path)
   void add(std::string_view name, std::uint64_t delta = 1);
   [[nodiscard]] std::uint64_t get(std::string_view name) const;
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> sorted()

@@ -379,7 +379,7 @@ void Broker::publish_local(SharedString topic, SharedPayload payload, QoS qos,
   flush_egress();
 }
 
-void Broker::route(Publish p, const std::string& origin) {
+void Broker::route(Publish p, const std::string& origin) noexcept {
   counters_.add("routed");
   (void)origin;
   if (p.retain) {
@@ -462,9 +462,11 @@ void Broker::route(Publish p, const std::string& origin) {
   }
 }
 
+// static: alloc(plan assembly on a route-cache miss — subscriber ids
+// copy into the plan groups; steady publishes take the cached path)
 void Broker::derive_plan(std::string_view topic,
                          TopicTree<std::string, QoS>::MatchList& matches,
-                         RouteCache::Plan& out) const {
+                         RouteCache::Plan& out) const noexcept {
   for (auto& group : out.by_qos) group.clear();
   matches.clear();
   tree_.match(topic, matches);
@@ -489,7 +491,11 @@ void Broker::derive_plan(std::string_view topic,
   }
 }
 
-void Broker::deliver(Session& session, Publish p, WireTemplateRef wire) {
+// static: alloc(inflight/queued growth is served by the session
+// NodePool — nodes recycle; bucket growth is bounded by the
+// max_inflight/max_queued_per_session window sizes)
+void Broker::deliver(Session& session, Publish p,
+                     WireTemplateRef wire) noexcept {
   if (p.qos == QoS::kAtMostOnce) {
     if (session.connected) {
       send_packet(session, Packet{std::move(p)});
@@ -517,7 +523,9 @@ void Broker::deliver(Session& session, Publish p, WireTemplateRef wire) {
   }
 }
 
-void Broker::pump_queue(Session& session) {
+// static: alloc(inflight-map fill from the pooled queue; node storage
+// recycles through the session NodePool)
+void Broker::pump_queue(Session& session) noexcept {
   while (session.connected && !session.queued.empty() &&
          session.inflight.size() < cfg_.max_inflight_per_session) {
     QueuedOut q = std::move(session.queued.front());
@@ -533,14 +541,16 @@ void Broker::pump_queue(Session& session) {
   }
 }
 
-void Broker::send_inflight(Session& session, InflightOut& inflight) {
+void Broker::send_inflight(Session& session,
+                           InflightOut& inflight) noexcept {
   ++inflight.attempts;
   send_inflight_frame(session, inflight);
   counters_.add("delivered_qos12");
   arm_retry(session, inflight.msg.packet_id);
 }
 
-void Broker::send_inflight_frame(Session& session, InflightOut& inflight) {
+void Broker::send_inflight_frame(Session& session,
+                                 InflightOut& inflight) noexcept {
   auto lit = links_.find(session.link);
   if (lit == links_.end()) return;
   if (!inflight.wire) {
@@ -557,7 +567,9 @@ void Broker::send_inflight_frame(Session& session, InflightOut& inflight) {
                 inflight.msg.dup);
 }
 
-WireTemplateRef Broker::make_template(const Publish& wire_msg) {
+// static: alloc(template-pool warm-up acquire; templates and their
+// wire buffers recycle through WireTemplatePool in the steady state)
+WireTemplateRef Broker::make_template(const Publish& wire_msg) noexcept {
   WireTemplateRef tpl = template_pool_.acquire();
   tpl->assign(wire_msg);
   counters_.add("fanout_encodes");
@@ -568,33 +580,42 @@ WireTemplateRef Broker::make_template(const Publish& wire_msg) {
   return tpl;
 }
 
-void Broker::arm_retry(Session& session, std::uint16_t packet_id) {
+void Broker::arm_retry(Session& session,
+                       std::uint16_t packet_id) noexcept {
   auto it = session.inflight.find(packet_id);
   if (it == session.inflight.end()) return;
-  it->second.next_retry_at = sched_.now() + cfg_.retry_interval;
+  it->second.next_retry_at =
+      sched_.now() + cfg_.retry_interval;  // static: leaf(virtual Scheduler::now — clock reads never allocate or throw)
   arm_session_retry(session, it->second.next_retry_at);
 }
 
-void Broker::arm_session_retry(Session& session, SimTime deadline) {
+// static: alloc(retry-timer closure hand-off to the scheduler; one
+// timer per session, re-armed in place, so steady-state QoS 1/2
+// traffic never takes the allocating branch)
+void Broker::arm_session_retry(Session& session,
+                               SimTime deadline) noexcept {
   // One timer per session, armed at the earliest pending deadline. A
   // timer already due at or before `deadline` covers it — the fire scan
   // re-arms for whatever remains, so steady-state QoS 1/2 traffic never
   // allocates a fresh timer closure per message.
   if (session.retry_timer != 0 && session.retry_deadline <= deadline) return;
-  if (session.retry_timer != 0) sched_.cancel(session.retry_timer);
+  if (session.retry_timer != 0) {
+    sched_.cancel(session.retry_timer);  // static: leaf(virtual Scheduler::cancel — timer bookkeeping, proven per scheduler impl)
+  }
   session.retry_deadline = deadline;
   const SharedString cid = session.client_id_ref;
-  session.retry_timer = sched_.call_after(
+  session.retry_timer = sched_.call_after(  // static: leaf(virtual Scheduler::call_after/now — the simulator half is the event-queue boundary of the proof)
       deadline - sched_.now(), [this, cid] { on_retry_timer(cid.str()); });
 }
 
-void Broker::on_retry_timer(const std::string& client_id) {
+void Broker::on_retry_timer(const std::string& client_id) noexcept {
   auto sit = sessions_.find(client_id);
   if (sit == sessions_.end()) return;
   Session& s = *sit->second;
   s.retry_timer = 0;
   s.retry_deadline = 0;
-  const SimTime now = sched_.now();
+  const SimTime now =
+      sched_.now();  // static: leaf(virtual Scheduler::now — clock reads never allocate or throw)
   SimTime next = 0;
   // pid-order scan: redeliver what is due, retire what exhausted its
   // retries, and find the earliest remaining deadline to re-arm at.
@@ -629,7 +650,7 @@ void Broker::on_retry_timer(const std::string& client_id) {
   flush_egress();
 }
 
-std::uint16_t Broker::alloc_packet_id(Session& session) {
+std::uint16_t Broker::alloc_packet_id(Session& session) noexcept {
   for (int i = 0; i < 65535; ++i) {
     const std::uint16_t pid = session.next_packet_id;
     session.next_packet_id =
@@ -641,13 +662,17 @@ std::uint16_t Broker::alloc_packet_id(Session& session) {
   return 0;  // window full; callers bound inflight first so unreachable
 }
 
-void Broker::send_packet(Session& session, const Packet& p) {
+// static: alloc(Packet variant temp construction/destruction; the
+// alternatives hold shared or recycled buffers)
+void Broker::send_packet(Session& session, const Packet& p) noexcept {
   auto it = links_.find(session.link);
   if (it == links_.end()) return;
   send_packet(*it->second, p);
 }
 
-void Broker::send_packet(Link& link, const Packet& p) {
+// static: alloc(Packet variant temp construction/destruction; the
+// alternatives hold shared or recycled buffers)
+void Broker::send_packet(Link& link, const Packet& p) noexcept {
   // Encode into a recycled frame buffer: steady-state acks/acks-of-acks
   // reuse capacity the outbox already paid for.
   Bytes wire = link.outbox->take_buffer();
@@ -655,19 +680,25 @@ void Broker::send_packet(Link& link, const Packet& p) {
   send_encoded(link, std::move(wire));
 }
 
-void Broker::send_encoded(Link& link, Bytes wire) {
+// static: alloc(dirty-link list growth via mark_egress_dirty; the
+// list keeps its capacity across flush cycles)
+void Broker::send_encoded(Link& link, Bytes wire) noexcept {
   counters_.add("packets_out");
   link.outbox->enqueue(std::move(wire));
   mark_egress_dirty(link);
 }
 
+// static: alloc(dirty-link list growth via mark_egress_dirty; the
+// list keeps its capacity across flush cycles)
 void Broker::send_template(Link& link, WireTemplateRef wire,
-                           std::uint16_t packet_id, bool dup) {
+                           std::uint16_t packet_id, bool dup) noexcept {
   counters_.add("packets_out");
   link.outbox->enqueue(std::move(wire), packet_id, dup);
   mark_egress_dirty(link);
 }
 
+// static: alloc(dirty-link list growth; capacity is retained across
+// flush cycles so the steady state appends in place)
 void Broker::mark_egress_dirty(Link& link) {
   if (!link.egress_dirty) {
     link.egress_dirty = true;
@@ -675,7 +706,7 @@ void Broker::mark_egress_dirty(Link& link) {
   }
 }
 
-void Broker::flush_egress() {
+void Broker::flush_egress() noexcept {
   // Index loop: a flush can synchronously feed a peer whose response
   // re-enters the broker and dirties more links (appended here). Dropped
   // links simply fail the lookup. A nested flush_egress drains the whole

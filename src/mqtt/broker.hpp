@@ -200,7 +200,7 @@ class Broker {
   /// store when retain is set). Steady-state hot topics resolve their
   /// fan-out plan from the route cache; misses re-derive it from the
   /// subscription trie and cache it at the current tree version.
-  void route(Publish p, const std::string& origin);
+  void route(Publish p, const std::string& origin) noexcept;
 
   /// Resolves `topic`'s fan-out plan from the subscription trie into
   /// `out` (both scratch args are cleared first): matches deduped by
@@ -209,51 +209,51 @@ class Broker {
   /// cached plan must contain (the cache audit re-derives through it).
   void derive_plan(std::string_view topic,
                    TopicTree<std::string, QoS>::MatchList& matches,
-                   RouteCache::Plan& out) const;
+                   RouteCache::Plan& out) const noexcept;
 
   /// Queues or sends one message to one subscriber session. `wire` is
   /// the fan-out group's shared template (null for singleton deliveries
   /// such as retained replays; those encode lazily on first send).
-  void deliver(Session& session, Publish p, WireTemplateRef wire);
+  void deliver(Session& session, Publish p, WireTemplateRef wire) noexcept;
   /// Sends the next queued messages while the inflight window has room.
-  void pump_queue(Session& session);
-  void send_inflight(Session& session, InflightOut& inflight);
+  void pump_queue(Session& session) noexcept;
+  void send_inflight(Session& session, InflightOut& inflight) noexcept;
   /// Queues the inflight message's shared wire frame (encoding it first
   /// if this delivery never had a group template), patching id/DUP only.
-  void send_inflight_frame(Session& session, InflightOut& inflight);
+  void send_inflight_frame(Session& session, InflightOut& inflight) noexcept;
   /// Acquires a pooled template and encodes `wire_msg` into it (counted
   /// as a fan-out encode).
-  WireTemplateRef make_template(const Publish& wire_msg);
+  WireTemplateRef make_template(const Publish& wire_msg) noexcept;
   /// Schedules redelivery of one inflight message: stamps its deadline
   /// and arms (or keeps) the session retry timer.
-  void arm_retry(Session& session, std::uint16_t packet_id);
+  void arm_retry(Session& session, std::uint16_t packet_id) noexcept;
   /// Arms the session's single retry timer for `deadline` unless it is
   /// already armed at least as early (steady state: a no-op).
-  void arm_session_retry(Session& session, SimTime deadline);
+  void arm_session_retry(Session& session, SimTime deadline) noexcept;
   /// Session retry timer fired: redeliver every due inflight message and
   /// re-arm for the next deadline, if any.
-  void on_retry_timer(const std::string& client_id);
+  void on_retry_timer(const std::string& client_id) noexcept;
 
-  void send_packet(Session& session, const Packet& p);
-  void send_packet(Link& link, const Packet& p);
+  void send_packet(Session& session, const Packet& p) noexcept;
+  void send_packet(Link& link, const Packet& p) noexcept;
   /// Queues an owned, fully encoded frame on the link's outbox.
-  void send_encoded(Link& link, Bytes wire);
+  void send_encoded(Link& link, Bytes wire) noexcept;
   /// Queues a shared PUBLISH template on the link's outbox; the packet
   /// id and DUP bit are patched in at flush time.
   void send_template(Link& link, WireTemplateRef wire,
-                     std::uint16_t packet_id, bool dup);
+                     std::uint16_t packet_id, bool dup) noexcept;
   /// Marks a link for the end-of-turn flush.
   void mark_egress_dirty(Link& link);
   /// Flushes every link that queued frames this turn; called once at the
   /// end of each externally triggered entry point and timer callback.
-  void flush_egress();
+  void flush_egress() noexcept;
   void drop_link(Link& link, bool publish_will);
   void arm_keepalive(Link& link);
   void arm_sys_stats();
   void publish_sys_stats();
 
   Session& session_of(Link& link);
-  std::uint16_t alloc_packet_id(Session& session);
+  std::uint16_t alloc_packet_id(Session& session) noexcept;
 
   /// Re-checks cross-container invariants (links <-> sessions <->
   /// subscription tree, inflight/queue/dedup bounds, retained-store

@@ -6,7 +6,8 @@
 
 namespace ifot::mqtt {
 
-const Bytes& WireTemplate::patched(std::uint16_t packet_id, bool dup) {
+const Bytes& WireTemplate::patched(std::uint16_t packet_id,
+                                   bool dup) noexcept {
   IFOT_AUDIT_ASSERT(has_packet_id() || (packet_id == 0 && !dup),
                     "patched a QoS 0 template with an id or DUP");
   IFOT_AUDIT_ASSERT(!has_packet_id() || packet_id != 0,
@@ -23,7 +24,7 @@ const Bytes& WireTemplate::patched(std::uint16_t packet_id, bool dup) {
   return enc_.wire;
 }
 
-void Outbox::enqueue(Bytes frame) {
+void Outbox::enqueue(Bytes frame) noexcept {
   make_room(frame.size());
   pending_bytes_ += frame.size();
   Entry e;
@@ -32,7 +33,8 @@ void Outbox::enqueue(Bytes frame) {
   audit_invariants();
 }
 
-void Outbox::enqueue(WireTemplateRef tpl, std::uint16_t packet_id, bool dup) {
+void Outbox::enqueue(WireTemplateRef tpl, std::uint16_t packet_id,
+                     bool dup) noexcept {
   IFOT_AUDIT_ASSERT(tpl != nullptr, "null wire template queued");
   make_room(tpl->size());
   pending_bytes_ += tpl->size();
@@ -47,7 +49,7 @@ void Outbox::enqueue(WireTemplateRef tpl, std::uint16_t packet_id, bool dup) {
   audit_invariants();
 }
 
-void Outbox::flush() {
+void Outbox::flush() noexcept {
   // The write callback may feed bytes straight into a peer that responds
   // synchronously back into this link's owner, re-entering this outbox.
   // Detach the batch first so a nested flush only sees the new frames.
@@ -110,7 +112,7 @@ void Outbox::clear() {
   audit_invariants();
 }
 
-Bytes Outbox::take_buffer() {
+Bytes Outbox::take_buffer() noexcept {
   IFOT_AUDIT_ASSERT(spare_frames_.size() <= cfg_.max_queued_frames,
                     "outbox spare-frame list exceeded the queue bound");
   if (spare_frames_.empty()) return Bytes{};
@@ -120,7 +122,9 @@ Bytes Outbox::take_buffer() {
   return buf;
 }
 
-void Outbox::recycle_buffer(Bytes&& buf) {
+// static: alloc(spare-buffer list growth while the pool warms up;
+// parked buffers are handed back out by take_buffer afterwards)
+void Outbox::recycle_buffer(Bytes&& buf) noexcept {
   if (spare_frames_.size() >= cfg_.max_queued_frames) return;  // bounded
   spare_frames_.push_back(std::move(buf));
 }

@@ -42,7 +42,7 @@ class WireTemplate : public pool::RefCounted<WireTemplate> {
 
   /// Patches the packet id and DUP bit in place and returns the frame.
   /// QoS 0 templates (no id field) take packet_id 0 / dup false only.
-  const Bytes& patched(std::uint16_t packet_id, bool dup);
+  const Bytes& patched(std::uint16_t packet_id, bool dup) noexcept;
 
   [[nodiscard]] bool has_packet_id() const {
     return enc_.packet_id_offset != 0;
@@ -85,14 +85,20 @@ class Outbox {
 
   /// Queues a fully encoded frame the outbox takes ownership of. Pair
   /// with take_buffer() to recycle frame buffers across turns.
-  void enqueue(Bytes frame);
+  // static: alloc(entry-queue growth, bounded by max_queued_bytes)
+  void enqueue(Bytes frame) noexcept;
   /// Queues a shared PUBLISH template. The id/DUP patch happens at flush
   /// time, so interleaved deliveries of the same template to other links
   /// cannot clobber a queued-but-unsent frame.
-  void enqueue(WireTemplateRef tpl, std::uint16_t packet_id, bool dup);
+  // static: alloc(entry-queue growth, bounded by max_queued_bytes)
+  void enqueue(WireTemplateRef tpl, std::uint16_t packet_id,
+               bool dup) noexcept;
   /// Writes all queued frames as one transport write (zero-copy when a
   /// single frame is pending). No-op when nothing is queued.
-  void flush();
+  // static: alloc(batch hand-off through the registered write sink; batch
+  // buffers recycle through the spare list, and the sink installed at
+  // link setup is proven under the Network::send_frames root)
+  void flush() noexcept;
   /// Drops everything queued (link teardown).
   void clear();
 
@@ -100,7 +106,7 @@ class Outbox {
   /// recycled from a previously flushed owned frame when one is parked
   /// (capacity retained), fresh otherwise. Steady-state control-packet
   /// egress (acks, PINGs) cycles a handful of these without allocating.
-  [[nodiscard]] Bytes take_buffer();
+  [[nodiscard]] Bytes take_buffer() noexcept;
 
   [[nodiscard]] std::size_t pending_frames() const { return entries_.size(); }
   [[nodiscard]] std::size_t pending_bytes() const { return pending_bytes_; }
@@ -123,7 +129,7 @@ class Outbox {
   /// Flushes when appending `incoming_bytes` would burst a bound.
   void make_room(std::size_t incoming_bytes);
   /// Parks a flushed owned buffer for take_buffer() reuse (bounded).
-  void recycle_buffer(Bytes&& buf);
+  void recycle_buffer(Bytes&& buf) noexcept;
 
   Config cfg_;
   WriteFn write_;

@@ -10,6 +10,7 @@ constexpr std::uint8_t kProtocolLevel3 = 3;  // MQTT 3.1 ("MQIsdp")
 
 // ---- fixed header ---------------------------------------------------------
 
+// static: alloc(byte-buffer growth; encode buffers are pool-recycled)
 void write_remaining_length(Bytes& out, std::size_t len) {
   assert(len <= kMaxRemainingLength);
   do {
@@ -386,7 +387,8 @@ EncodedPublish encode_publish_template(const Publish& p) {
   return out;
 }
 
-void encode_publish_template_into(const Publish& p, EncodedPublish& out) {
+void encode_publish_template_into(const Publish& p,
+                                  EncodedPublish& out) noexcept {
   const std::size_t body_len = 2 + p.topic.size() +
                                (p.qos != QoS::kAtMostOnce ? 2 : 0) +
                                p.payload.size();
@@ -414,7 +416,7 @@ Bytes encode(const Packet& p) {
   return out;
 }
 
-void encode_into(const Packet& p, Bytes& out) {
+void encode_into(const Packet& p, Bytes& out) noexcept {
   out.clear();
   if (const auto* pub = std::get_if<Publish>(&p)) {
     // Reuse the caller's buffer through the template encoder (the id

@@ -172,7 +172,10 @@ Bytes encode(const Packet& p);
 /// write directly into `out` with no intermediate body buffer, so the
 /// egress hot path can recycle one buffer per frame without ever
 /// re-allocating at steady state.
-void encode_into(const Packet& p, Bytes& out);
+// static: alloc(byte-buffer growth into a recycled caller buffer; the
+// variant dispatch is a closed switch over the Packet alternative set,
+// so std::get's bad-access throw path is structurally dead)
+void encode_into(const Packet& p, Bytes& out) noexcept;
 
 /// A PUBLISH encoded once for sharing across a fan-out group: the full
 /// wire frame plus the byte offset of the 2-byte packet-id field.
@@ -194,7 +197,11 @@ EncodedPublish encode_publish_template(const Publish& p);
 /// Same encode, but into a caller-owned EncodedPublish whose wire buffer
 /// is cleared and reused. A pooled WireTemplate re-assigned through this
 /// keeps its capacity, so steady-state fan-out encodes allocate nothing.
-void encode_publish_template_into(const Publish& p, EncodedPublish& out);
+// static: alloc(one reserve grows the wire buffer to the exact frame
+// size; template buffers recycle through WireTemplatePool, keeping
+// their capacity)
+void encode_publish_template_into(const Publish& p,
+                                  EncodedPublish& out) noexcept;
 
 /// Decodes exactly one packet from `data`.
 ///

@@ -7,8 +7,9 @@
 
 namespace ifot::mqtt {
 
-void RetainedStore::split_levels(std::string_view s,
-                                 std::vector<std::string_view>& out) {
+// static: alloc(level-scratch growth; capacity retained across calls)
+void RetainedStore::split_levels(
+    std::string_view s, std::vector<std::string_view>& out) noexcept {
   out.clear();
   std::size_t start = 0;
   for (std::size_t i = 0; i <= s.size(); ++i) {
@@ -19,7 +20,7 @@ void RetainedStore::split_levels(std::string_view s,
   }
 }
 
-void RetainedStore::set(const Publish& msg) {
+void RetainedStore::set(const Publish& msg) noexcept {
   IFOT_AUDIT_ASSERT(valid_topic_name(msg.topic.view()),
                     "retained store given an invalid topic name");
   IFOT_AUDIT_ASSERT(!msg.payload.empty(),
@@ -40,7 +41,7 @@ void RetainedStore::set(const Publish& msg) {
   audit_invariants();
 }
 
-bool RetainedStore::clear(std::string_view topic) {
+bool RetainedStore::clear(std::string_view topic) noexcept {
   split_levels(topic, levels_scratch_);
   path_scratch_.clear();
   Node* node = &root_;
@@ -64,18 +65,21 @@ bool RetainedStore::clear(std::string_view topic) {
   return true;
 }
 
-void RetainedStore::collect(std::string_view filter,
-                            std::vector<const Publish*>& out) const {
+void RetainedStore::collect(
+    std::string_view filter, std::vector<const Publish*>& out) const noexcept {
   IFOT_AUDIT_ASSERT(valid_topic_filter(filter),
                     "retained collect on an invalid topic filter");
   split_levels(filter, levels_scratch_);
   collect_rec(root_, levels_scratch_, 0, out);
 }
 
-void RetainedStore::collect_rec(const Node& node,
-                                const std::vector<std::string_view>& levels,
-                                std::size_t depth,
-                                std::vector<const Publish*>& out) {
+// static: recurse(65, one frame per filter level; validation caps
+// filters at kMaxTopicLevels = 64 levels)
+// static: alloc(result-list growth; the SUBSCRIBE handler reuses
+// scratch, so steady-state appends land in retained capacity)
+void RetainedStore::collect_rec(
+    const Node& node, const std::vector<std::string_view>& levels,
+    std::size_t depth, std::vector<const Publish*>& out) noexcept {
   if (depth == levels.size()) {
     if (node.msg.has_value()) out.push_back(&*node.msg);
     return;
@@ -101,8 +105,13 @@ void RetainedStore::collect_rec(const Node& node,
   }
 }
 
-void RetainedStore::collect_subtree(const Node& node, bool skip_dollar,
-                                    std::vector<const Publish*>& out) {
+// static: recurse(65, one frame per trie level; stored topics are
+// validated to at most kMaxTopicLevels = 64 levels)
+// static: alloc(result-list growth; the SUBSCRIBE handler reuses
+// scratch, so steady-state appends land in retained capacity)
+void RetainedStore::collect_subtree(
+    const Node& node, bool skip_dollar,
+    std::vector<const Publish*>& out) noexcept {
   if (node.msg.has_value()) out.push_back(&*node.msg);
   for (const auto& [name, child] : node.children) {
     if (skip_dollar && !name.empty() && name.front() == '$') continue;

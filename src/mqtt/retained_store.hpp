@@ -36,11 +36,15 @@ class RetainedStore {
   /// replacing any previous one (the copy shares topic/payload buffers;
   /// DUP is cleared — it is per-delivery state, §3.3.1-3). Empty-payload
   /// clears must go through clear() instead (§3.3.1-10).
-  void set(const Publish& msg);
+  // static: alloc(retained-trie mutation — node + message storage,
+  // bounded by the retained population; off the steady publish path)
+  void set(const Publish& msg) noexcept;
 
   /// Removes the retained message for `topic`, pruning emptied branches.
   /// Returns true when one existed.
-  bool clear(std::string_view topic);
+  // static: alloc(prune-path scratch growth; capacity is retained, and
+  // clearing only happens on an empty-payload retained publish)
+  bool clear(std::string_view topic) noexcept;
 
   /// Appends a pointer to every retained message whose topic matches
   /// `filter` (§4.7 semantics including the §4.7.2 $-exclusion), in
@@ -48,7 +52,7 @@ class RetainedStore {
   /// next set/clear. Steady-state allocation-free once the level scratch
   /// and `out` reach working capacity.
   void collect(std::string_view filter,
-               std::vector<const Publish*>& out) const;
+               std::vector<const Publish*>& out) const noexcept;
 
   /// Exact-topic lookup (tests/audits); null when nothing is retained.
   [[nodiscard]] const Publish* find(std::string_view topic) const;
@@ -76,13 +80,13 @@ class RetainedStore {
   };
 
   static void split_levels(std::string_view s,
-                           std::vector<std::string_view>& out);
+                           std::vector<std::string_view>& out) noexcept;
   static void collect_rec(const Node& node,
                           const std::vector<std::string_view>& levels,
                           std::size_t depth,
-                          std::vector<const Publish*>& out);
+                          std::vector<const Publish*>& out) noexcept;
   static void collect_subtree(const Node& node, bool skip_dollar,
-                              std::vector<const Publish*>& out);
+                              std::vector<const Publish*>& out) noexcept;
   static void for_each_rec(const Node& node,
                            const std::function<void(const Publish&)>& fn);
   static std::size_t node_count_rec(const Node& node);

@@ -8,7 +8,7 @@ namespace ifot::mqtt {
 
 const RouteCache::Plan* RouteCache::lookup(
     std::string_view topic, std::uint64_t tree_version,
-    const RefingerprintFn& refingerprint) {
+    const RefingerprintFn& refingerprint) noexcept {
   if (capacity_ == 0) return nullptr;
   auto it = index_.find(topic);
   if (it == index_.end()) {
@@ -47,7 +47,7 @@ const RouteCache::Plan* RouteCache::lookup(
 
 const RouteCache::Plan* RouteCache::insert(std::string_view topic,
                                            std::uint64_t tree_version,
-                                           const Plan& plan) {
+                                           const Plan& plan) noexcept {
   if (capacity_ == 0) return nullptr;
   auto it = index_.find(topic);
   if (it != index_.end()) {
@@ -81,7 +81,7 @@ const RouteCache::Plan* RouteCache::insert(std::string_view topic,
 
 void RouteCache::retire(
     std::unordered_map<std::string, std::list<Entry>::iterator, TopicHash,
-                       std::equal_to<>>::iterator it) {
+                       std::equal_to<>>::iterator it) noexcept {
   IFOT_AUDIT_ASSERT(it != index_.end(), "retiring an unindexed cache entry");
   spare_.splice(spare_.begin(), lru_, it->second);
   index_.erase(it);

@@ -48,6 +48,8 @@ class RouteCache {
   /// granted QoS level — one group per egress wire template — and
   /// sorted within each group, so executing a plan is deterministic and
   /// byte-identical to routing without the cache.
+  // static: alloc(cache-fill copy of the plan's subscriber id lists
+  // into the entry on a miss; steady-state hits never copy a plan)
   struct Plan {
     std::array<std::vector<std::string>, 3> by_qos;
     /// Order-independent hash of the raw (subscriber, granted QoS) match
@@ -80,16 +82,21 @@ class RouteCache {
   /// (counted as route_cache_revalidations, reported as a hit), a
   /// changed one drops it (counted as an invalidation and a miss). A hit
   /// refreshes the entry's LRU position.
+  // static: leaf(revalidation calls the broker-installed refingerprint
+  // functor, whose trie walk is proven under the TopicTree::match root;
+  // the lookup itself only splices the intrusive LRU — no allocation)
   const Plan* lookup(std::string_view topic, std::uint64_t tree_version,
-                     const RefingerprintFn& refingerprint = {});
+                     const RefingerprintFn& refingerprint = {}) noexcept;
 
   /// Caches a copy of `plan` for `topic` at `tree_version`, evicting the
   /// least recently used entry at capacity (recycled entries reuse their
   /// buffers). Returns the stored plan (null when the cache is
   /// disabled); the pointer stays valid until the entry is invalidated
   /// or evicted.
+  // static: alloc(cache fill on a route-cache miss — plan copy + LRU
+  // node; the steady state takes the lookup hit path)
   const Plan* insert(std::string_view topic, std::uint64_t tree_version,
-                     const Plan& plan);
+                     const Plan& plan) noexcept;
 
   /// Drops every entry (counters unaffected).
   void clear();
@@ -129,7 +136,8 @@ class RouteCache {
   /// Moves an entry's list node to the spare list for buffer reuse and
   /// drops it from the index.
   void retire(std::unordered_map<std::string, std::list<Entry>::iterator,
-                                 TopicHash, std::equal_to<>>::iterator it);
+                                 TopicHash,
+                                 std::equal_to<>>::iterator it) noexcept;
 
   std::size_t capacity_;
   Counters* counters_;  // not owned; may be null

@@ -19,8 +19,10 @@ std::vector<std::string_view> split_levels(std::string_view s) {
 
 bool valid_topic_name(std::string_view topic) {
   if (topic.empty() || topic.size() > 65535) return false;
+  std::size_t levels = 1;
   for (char c : topic) {
     if (c == '+' || c == '#' || c == '\0') return false;
+    if (c == '/' && ++levels > kMaxTopicLevels) return false;
   }
   return true;
 }
@@ -28,6 +30,7 @@ bool valid_topic_name(std::string_view topic) {
 bool valid_topic_filter(std::string_view filter) {
   if (filter.empty() || filter.size() > 65535) return false;
   const auto levels = split_levels(filter);
+  if (levels.size() > kMaxTopicLevels) return false;
   for (std::size_t i = 0; i < levels.size(); ++i) {
     const auto& level = levels[i];
     for (std::size_t j = 0; j < level.size(); ++j) {

@@ -29,10 +29,19 @@
 
 namespace ifot::mqtt {
 
-/// True when `topic` is a valid topic *name* (no wildcards, non-empty).
+/// Maximum number of '/'-separated levels a valid topic name or filter may
+/// have. MQTT 3.1.1 imposes no cap, but the matcher and the retained-store
+/// walk recurse one frame per level, and the static bounded-stack proof
+/// (scripts/ifot_callgraph.py) needs a hard bound — validation enforces it
+/// so the recurse-depth annotations on the tree walks are honest.
+inline constexpr std::size_t kMaxTopicLevels = 64;
+
+/// True when `topic` is a valid topic *name* (no wildcards, non-empty,
+/// at most kMaxTopicLevels levels).
 bool valid_topic_name(std::string_view topic);
 
-/// True when `filter` is a valid topic *filter* (wildcards allowed).
+/// True when `filter` is a valid topic *filter* (wildcards allowed, at
+/// most kMaxTopicLevels levels).
 bool valid_topic_filter(std::string_view filter);
 
 /// True when `filter` matches `topic` under §4.7 rules.
@@ -104,7 +113,7 @@ class TopicTree {
   /// (the broker deduplicates by key, keeping max QoS). Steady-state
   /// allocation-free: once the level scratch and `out` have grown to
   /// their working capacity, no heap allocation happens per call.
-  void match(std::string_view topic, MatchList& out) const {
+  void match(std::string_view topic, MatchList& out) const noexcept {
     split_levels(topic, levels_scratch_);
     const bool dollar = !topic.empty() && topic.front() == '$';
     match_rec(root_, levels_scratch_, 0, dollar, out);
@@ -158,8 +167,10 @@ class TopicTree {
 
   /// Splits into views over `s` (valid only while `s` is), reusing the
   /// scratch vector's capacity.
+  // static: alloc(level-scratch growth; the scratch vector keeps its
+  // capacity across calls so the steady state never grows)
   static void split_levels(std::string_view s,
-                           std::vector<std::string_view>& out) {
+                           std::vector<std::string_view>& out) noexcept {
     out.clear();
     std::size_t start = 0;
     for (std::size_t i = 0; i <= s.size(); ++i) {
@@ -170,7 +181,9 @@ class TopicTree {
     }
   }
 
-  static void collect(const Node& node, MatchList& out) {
+  // static: alloc(match-list growth; callers reuse one MatchList scratch
+  // so the steady state appends into retained capacity)
+  static void collect(const Node& node, MatchList& out) noexcept {
     for (const auto& [k, v] : node.entries) out.emplace_back(&k, v);
   }
 
@@ -214,10 +227,12 @@ class TopicTree {
     }
   }
 
+  // static: recurse(65, one frame per topic level, and validation caps
+  // topics at kMaxTopicLevels = 64 levels)
   static void match_rec(const Node& node,
                         const std::vector<std::string_view>& topic,
                         std::size_t depth, bool dollar_topic,
-                        MatchList& out) {
+                        MatchList& out) noexcept {
     // '#' at this level matches the remainder (including zero levels),
     // but never a $-topic at the root.
     if (auto it = node.children.find(std::string_view("#"));

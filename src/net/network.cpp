@@ -52,7 +52,8 @@ const std::string& Network::host_name(NodeId id) const {
   return hosts_[id.value()].name;
 }
 
-Network::PathOutcome Network::traverse_lan(std::size_t payload_bytes) {
+Network::PathOutcome Network::traverse_lan(
+    std::size_t payload_bytes) noexcept {
   PathOutcome out;
   const SimDuration air = airtime(payload_bytes, lan_.header_bytes,
                                   lan_.bandwidth_bps, lan_.per_frame_overhead);
@@ -80,8 +81,8 @@ Network::PathOutcome Network::traverse_lan(std::size_t payload_bytes) {
   return out;  // dropped
 }
 
-Network::PathOutcome Network::traverse_wan(Host& remote,
-                                           std::size_t payload_bytes) {
+Network::PathOutcome Network::traverse_wan(
+    Host& remote, std::size_t payload_bytes) noexcept {
   PathOutcome out;
   const WanConfig& wan = remote.wan;
   const SimDuration air = airtime(payload_bytes, wan.header_bytes,
@@ -116,7 +117,12 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
   send_frames(from, to, std::move(frames));
 }
 
-void Network::send_frames(NodeId from, NodeId to, std::vector<Bytes> frames) {
+// static: alloc(deferred-delivery hand-off — one scheduled closure
+// owning the frame batch plus per-pair FIFO first-touch; one event per
+// batched datagram, the boundary of the data-plane proof. The drop
+// path builds its log message only on an actual drop)
+void Network::send_frames(NodeId from, NodeId to,
+                          std::vector<Bytes> frames) noexcept {
   assert(from.value() < hosts_.size());
   assert(to.value() < hosts_.size());
   if (frames.empty()) return;

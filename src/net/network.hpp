@@ -95,7 +95,8 @@ class Network {
   /// datagram, in order, splitting the batch back out. This is the
   /// transport half of egress write batching: N same-turn MQTT frames
   /// cost one channel occupancy instead of N.
-  void send_frames(NodeId from, NodeId to, std::vector<Bytes> frames);
+  void send_frames(NodeId from, NodeId to,
+                   std::vector<Bytes> frames) noexcept;
 
   [[nodiscard]] const std::string& host_name(NodeId id) const;
   [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
@@ -126,8 +127,9 @@ class Network {
     SimDuration delay = 0;  // from send() call to handler invocation
     int attempts = 1;
   };
-  PathOutcome traverse_lan(std::size_t payload_bytes);
-  PathOutcome traverse_wan(Host& remote, std::size_t payload_bytes);
+  PathOutcome traverse_lan(std::size_t payload_bytes) noexcept;
+  PathOutcome traverse_wan(Host& remote,
+                           std::size_t payload_bytes) noexcept;
 
   sim::Simulator& sim_;  // NOLINT(cppcoreguidelines-avoid-const-or-ref-data-members)
   LanConfig lan_;

@@ -38,6 +38,8 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `fn` to run at absolute virtual time `at` (clamped to now).
+  // static: alloc(event hand-off: closure state + heap growth; the
+  // simulator event queue is the boundary of the data-plane proof)
   EventId schedule_at(SimTime at, std::function<void()> fn);
 
   /// Schedules `fn` to run `delay` after the current time.

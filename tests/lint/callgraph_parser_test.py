@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Unit tests for the scripts/ifot_callgraph.py .ci parser and linker,
+driven by the hand-written VCG dumps checked in under
+tests/lint/fixtures/callgraph/ci/ (paired with the annotated source
+fixture under .../ci_src/). Covers:
+
+  * multi-TU linking: a symbol defined in one TU (stack-usage record,
+    definition location) and declared in another (ellipse record) merges
+    into one defined node carrying both locations;
+  * edge dedup across records and adjacency construction;
+  * indirect-edge detection: an unannotated __indirect_call edge is a
+    violation, a calls()-annotated one resolves to its named target;
+  * recursion cycles are unbounded-stack violations unless a recurse()
+    annotation bounds them (here: annotated -> no violation, and the
+    bound multiplies the cycle frame);
+  * multi-line annotation parsing: a recurse() spanning three comment
+    lines parses once and registers under every spanned line.
+
+Usage: callgraph_parser_test.py <repo-root>
+"""
+import importlib.util
+import os
+import sys
+import unittest
+
+REPO = os.path.abspath(sys.argv.pop(1)) if len(sys.argv) > 1 else \
+    os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+
+spec = importlib.util.spec_from_file_location(
+    "ifot_callgraph", os.path.join(REPO, "scripts", "ifot_callgraph.py"))
+cg = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(cg)
+
+CI_DIR = os.path.join(REPO, "tests", "lint", "fixtures", "callgraph", "ci")
+SRC_DIR = os.path.join(REPO, "tests", "lint", "fixtures", "callgraph",
+                       "ci_src")
+WIDGET = "tests/lint/fixtures/callgraph/ci_src/widget.hpp"
+
+REC = "_ZN4cgci11bounded_recEi"
+PEER = "_ZN4cgci12bounded_peerEi"
+DISPATCH = "_ZN4cgci8dispatchEi"
+TARGET = "_ZN4cgci14fixture_targetEi"
+UNEXPLAINED = "_ZN4cgci11unexplainedEi"
+
+
+def load_graph():
+    g = cg.Graph()
+    for name in sorted(os.listdir(CI_DIR)):
+        if name.endswith(".ci"):
+            g.load_ci_file(os.path.join(CI_DIR, name))
+    g.finish()
+    return g
+
+
+def make_analyzer(root_table, diags):
+    g = load_graph()
+    by_site, _ = cg.scan_annotations([SRC_DIR], REPO, diags)
+    return cg.Analyzer(g, by_site, root_table, REPO,
+                       cg.DEFAULT_EXTERNAL_FRAME_BYTES, diags,
+                       [os.path.relpath(SRC_DIR, REPO).replace(os.sep, "/")])
+
+
+class MultiTuLinking(unittest.TestCase):
+    def test_declaration_merges_into_definition(self):
+        g = load_graph()
+        peer = g.nodes[PEER]
+        # tu_a declares bounded_peer (ellipse), tu_b defines it with a
+        # stack-usage record; the linked node must be the definition.
+        self.assertTrue(peer.defined)
+        self.assertEqual(peer.su_bytes, 40)
+        self.assertEqual(peer.sig, "int cgci::bounded_peer(int)")
+        self.assertIn((WIDGET, 13), peer.locs)
+
+    def test_cross_tu_cycle_edges_link(self):
+        g = load_graph()
+        # bounded_rec -> bounded_peer came from tu_a, the back edge from
+        # tu_b; the linked adjacency holds both halves of the cycle.
+        self.assertEqual([e.dst for e in g.adj[REC]], [PEER])
+        self.assertEqual([e.dst for e in g.adj[PEER]], [REC])
+
+    def test_duplicate_edges_dedup(self):
+        g = load_graph()
+        # tu_a records the dispatch -> __indirect_call edge twice at the
+        # same call site (real dumps do this); finish() keeps one.
+        self.assertEqual(len(g.adj[DISPATCH]), 1)
+        self.assertEqual(g.adj[DISPATCH][0].dst, cg.INDIRECT_NODE)
+
+    def test_locations_parse(self):
+        g = load_graph()
+        self.assertEqual((g.nodes[REC].file, g.nodes[REC].line),
+                         (WIDGET, 11))
+        self.assertEqual(g.nodes[TARGET].su_bytes, 16)
+
+
+class IndirectEdges(unittest.TestCase):
+    def test_unannotated_indirect_call_is_violation(self):
+        diags = cg.Diagnostics()
+        a = make_analyzer([("unexplained", r"cgci::unexplained")], diags)
+        a.run_reach()
+        rules = [item[2] for item in diags.items]
+        self.assertIn("indirect-call", rules)
+
+    def test_calls_annotation_resolves_target(self):
+        diags = cg.Diagnostics()
+        a = make_analyzer([("dispatch", r"cgci::dispatch")], diags)
+        a.run_reach()
+        self.assertEqual(diags.items, [])
+        # The calls(fixture_target) annotation substitutes the named
+        # definition for the placeholder, so it becomes reachable.
+        self.assertIn(TARGET, a.reachable)
+
+
+class RecursionBounds(unittest.TestCase):
+    def test_annotated_cycle_is_bounded(self):
+        diags = cg.Diagnostics()
+        a = make_analyzer([("bounded_rec", r"cgci::bounded_rec")], diags)
+        a.run_reach()
+        depths = a.run_stack()
+        self.assertEqual(diags.items, [])
+        # Cycle frame (48 + 40) multiplied by the recurse(8) bound; the
+        # cycle calls nothing else, so no external frame is charged.
+        measured, _ = depths["bounded_rec"]
+        self.assertEqual(measured, (48 + 40) * 8)
+
+    def test_unannotated_cycle_is_violation(self):
+        # Same graph, but scanning no annotation sources: the cycle has
+        # no recurse() bound, so run_stack must flag it.
+        diags = cg.Diagnostics()
+        g = load_graph()
+        a = cg.Analyzer(g, {}, [("bounded_rec", r"cgci::bounded_rec")],
+                        REPO, cg.DEFAULT_EXTERNAL_FRAME_BYTES, diags, [])
+        a.run_reach()
+        a.run_stack()
+        msgs = [item[3] for item in diags.items
+                if item[2] == "bounded-stack"]
+        self.assertTrue(any("recursion cycle" in m for m in msgs), msgs)
+
+
+class MultiLineAnnotations(unittest.TestCase):
+    def test_wrapped_recurse_parses_and_spans(self):
+        diags = cg.Diagnostics()
+        by_site, ordered = cg.scan_annotations([SRC_DIR], REPO, diags)
+        self.assertEqual(diags.items, [])
+        recs = [a for a in ordered if a.kind == "recurse"]
+        self.assertEqual(len(recs), 1)
+        ann = recs[0]
+        self.assertEqual(ann.bound, 8)
+        self.assertIn("multi-line gathering", ann.reason)
+        # The annotation opens on line 8 and closes on line 10; every
+        # spanned line must map back to the same object so both the
+        # call-site window and the definition window can see it.
+        for line in (8, 9, 10):
+            self.assertIn(ann, by_site.get((WIDGET, line), []))
+        self.assertNotIn((WIDGET, 11), by_site)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

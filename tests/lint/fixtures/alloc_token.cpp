@@ -1,0 +1,35 @@
+// Seeded no-alloc-token / unknown-suppression violations; the fixture
+// test passes this file with --no-alloc-file so the rule treats it as a
+// data-plane file.
+#include <functional>
+#include <string>
+
+namespace fixture {
+
+// Violation: std::to_string allocates a fresh string per call.
+std::string format_id(int id) { return std::to_string(id); }
+
+// Violation: operator+ with a string literal builds a heap temporary.
+std::string label(const std::string& name) { return "node-" + name; }
+
+// Violation: by-value std::function is heap-backed type erasure.
+void apply(std::function<void(int)> fn) { fn(1); }
+
+// NOT a violation: reference declarators bind without constructing.
+void apply_ref(const std::function<void(int)>& fn) { fn(2); }
+
+// NOT a violation: a type alias names the type, constructs nothing.
+using Callback = std::function<void()>;
+
+// NOT a violation: suppressed with a reason.
+std::string suffix(int n) {
+  return std::to_string(n);  // lint: allow(no-alloc-token): cold config path, runs once at startup
+}
+
+// Violation: the suppression names a rule that does not exist, so it
+// suppresses nothing and hides the typo forever.
+std::string prefix(int n) {
+  return std::to_string(n);  // lint: allow(no-alloc-tokens): typo in the rule name
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Seeded [no-alloc] violation for run_callgraph_fixture_test.sh: the
+// root reaches operator new (vector growth) and no line on the chain
+// carries a sanctioning static alloc annotation.
+#include <vector>
+
+namespace cgfix {
+
+int* grow(std::vector<int>& v) {
+  v.push_back(1);
+  return v.data();
+}
+
+int alloc_root(std::vector<int>& v) { return *grow(v); }
+
+}  // namespace cgfix

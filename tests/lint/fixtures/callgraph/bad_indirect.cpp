@@ -1,0 +1,10 @@
+// Seeded [indirect-call] violation for run_callgraph_fixture_test.sh:
+// a call through a function pointer with no static calls annotation
+// naming the possible targets and no leaf cut.
+namespace cgfix {
+
+using Fn = int (*)(int);
+
+int indirect_root(Fn fn, int x) { return fn(x) + 1; }
+
+}  // namespace cgfix

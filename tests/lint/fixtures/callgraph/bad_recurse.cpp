@@ -1,0 +1,16 @@
+// Seeded [bounded-stack] recursion violation for
+// run_callgraph_fixture_test.sh: a hot-path recursion cycle with no
+// static recurse depth bound on its definition.
+// (Compiled at -O1 so GCC does not collapse the recursion into a loop.)
+namespace cgfix {
+
+int recurse_helper(int n);
+
+int recurse_root(int n) {
+  if (n <= 0) return 0;
+  return n + recurse_helper(n - 1);
+}
+
+int recurse_helper(int n) { return recurse_root(n) + 1; }
+
+}  // namespace cgfix

@@ -1,0 +1,16 @@
+// Seeded [bounded-stack] budget violation for
+// run_callgraph_fixture_test.sh: the root's worst-case stack (a 4 KiB
+// scratch frame) exceeds the 128-byte budget committed for it in
+// budget.json next to this file.
+namespace cgfix {
+
+int burn_stack(int x) {
+  volatile char scratch[4096];
+  scratch[0] = static_cast<char>(x);
+  for (int i = 1; i < 4096; ++i) scratch[i] = scratch[i - 1];
+  return scratch[4095] + x;
+}
+
+int stack_root(int x) { return burn_stack(x + 1); }
+
+}  // namespace cgfix

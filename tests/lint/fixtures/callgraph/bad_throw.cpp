@@ -1,0 +1,10 @@
+// Seeded [no-throw] violation for run_callgraph_fixture_test.sh:
+// vector::at's range check reaches std::__throw_out_of_range_fmt, an
+// exception-origination point, with no alloc/leaf cut on the chain.
+#include <vector>
+
+namespace cgfix {
+
+int throw_root(const std::vector<int>& v) { return v.at(3); }
+
+}  // namespace cgfix

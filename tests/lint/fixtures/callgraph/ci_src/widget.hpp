@@ -1,0 +1,22 @@
+// Source-side fixture for tests/lint/callgraph_parser_test.py: the
+// hand-written VCG dumps under ../ci reference these exact file:line
+// locations, so keep line numbers stable when editing.
+#pragma once
+
+namespace cgci {
+
+// static: recurse(8, fixture cycle bounded by the harness, which
+// never nests past eight levels; the annotation spans three comment
+// lines to exercise multi-line gathering)
+int bounded_rec(int n);
+
+int bounded_peer(int n);
+
+// static: calls(fixture_target)
+int dispatch(int x);
+
+int fixture_target(int x);
+
+int unexplained(int x);
+
+}  // namespace cgci

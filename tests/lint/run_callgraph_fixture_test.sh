@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Negative test of scripts/ifot_callgraph.py: compile the seeded fixture
+# TUs under tests/lint/fixtures/callgraph/ with -fcallgraph-info=su,da,
+# run the analyzer over the resulting .ci dumps and require
+#
+#   (a) a non-zero exit,
+#   (b) each contract to fire on its fixture:
+#         [no-alloc]       bad_alloc.cpp    (unsanctioned operator new)
+#         [no-throw]       bad_throw.cpp    (std::__throw_* reachable)
+#         [indirect-call]  bad_indirect.cpp (unexplained fn-pointer call)
+#         [bounded-stack]  bad_recurse.cpp  (recursion without recurse())
+#   (c) checking bad_stack.cpp against the deliberately tiny committed
+#       budget.json to fail with a budget-exceeded diagnostic.
+#
+# Fixtures compile at -O1: enough inlining to be realistic, but no
+# sibling-call optimization, so the seeded recursion survives into the
+# dump. SKIPs (exit 0) without python3 or GCC >= 10.
+#
+# Usage: run_callgraph_fixture_test.sh <repo-root>
+set -u
+
+root="${1:?usage: run_callgraph_fixture_test.sh <repo-root>}"
+cd "$root" || exit 2
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "SKIP: python3 not found"
+  exit 0
+fi
+GCC="${CXX:-g++}"
+if ! command -v "$GCC" >/dev/null 2>&1 ||
+   ! "$GCC" --version 2>/dev/null | head -1 | grep -qiE 'g\+\+|gcc'; then
+  echo "SKIP: no GCC found (-fcallgraph-info needs GCC >= 10)"
+  exit 0
+fi
+major="$("$GCC" -dumpversion 2>/dev/null | cut -d. -f1)"
+case "$major" in ''|*[!0-9]*) major=0 ;; esac
+if [ "$major" -lt 10 ]; then
+  echo "SKIP: $GCC is GCC $major (-fcallgraph-info=su,da needs GCC >= 10)"
+  exit 0
+fi
+
+fixdir="tests/lint/fixtures/callgraph"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+for tu in bad_alloc bad_throw bad_indirect bad_recurse bad_stack; do
+  if ! "$GCC" -std=c++20 -O1 -fcallgraph-info=su,da \
+       -c "$fixdir/$tu.cpp" -o "$tmp/$tu.o" 2>"$tmp/compile.err"; then
+    echo "FAIL: could not compile fixture $tu.cpp:"
+    sed 's/^/    /' "$tmp/compile.err"
+    exit 1
+  fi
+  # GCC drops the dump next to the object as <object>.ci.
+  [ -f "$tmp/$tu.o.ci" ] || mv "$tmp/$tu.ci" "$tmp/$tu.o.ci" 2>/dev/null
+done
+
+fail=0
+
+echo "== reachability contracts (alloc / throw / indirect / recursion) =="
+out=$(python3 scripts/ifot_callgraph.py --ci-dir "$tmp" --root . \
+        --src "$fixdir" --no-budget \
+        --root-spec 'alloc_root=cgfix::alloc_root' \
+        --root-spec 'throw_root=cgfix::throw_root' \
+        --root-spec 'indirect_root=cgfix::indirect_root' \
+        --root-spec 'recurse_root=cgfix::recurse_root' 2>&1)
+status=$?
+echo "$out"
+if [ "$status" -eq 0 ]; then
+  echo "FAIL: analyzer exited 0 on seeded violations"
+  fail=1
+fi
+for rule in no-alloc no-throw indirect-call; do
+  case "$out" in
+    *"[$rule]"*) ;;
+    *) echo "FAIL: rule $rule did not fire on its fixture"; fail=1 ;;
+  esac
+done
+case "$out" in
+  *"recursion cycle on the hot path"*) ;;
+  *) echo "FAIL: unannotated recursion was not flagged"; fail=1 ;;
+esac
+
+echo "== bounded-stack budget contract =="
+out=$(python3 scripts/ifot_callgraph.py --ci-dir "$tmp" --root . \
+        --src "$fixdir" --budget "$fixdir/budget.json" \
+        --root-spec 'stack_root=cgfix::stack_root' 2>&1)
+status=$?
+echo "$out"
+if [ "$status" -eq 0 ]; then
+  echo "FAIL: analyzer exited 0 with the stack budget exceeded"
+  fail=1
+fi
+case "$out" in
+  *"worst-case stack grew to"*) ;;
+  *) echo "FAIL: budget overrun was not flagged"; fail=1 ;;
+esac
+
+[ "$fail" -eq 0 ] && echo "OK: every contract fired on its seeded fixture"
+exit "$fail"

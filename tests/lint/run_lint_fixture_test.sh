@@ -17,8 +17,10 @@ fi
 out=$(python3 scripts/ifot_lint.py \
         --audited-class \
         Gadget:tests/lint/fixtures/gadget.hpp:tests/lint/fixtures/gadget.cpp \
+        --no-alloc-file tests/lint/fixtures/alloc_token.cpp \
         tests/lint/fixtures/bad_header.hpp \
         tests/lint/fixtures/bad_source.cpp \
+        tests/lint/fixtures/alloc_token.cpp \
         tests/lint/fixtures/gadget.hpp \
         tests/lint/fixtures/gadget.cpp 2>&1)
 status=$?
@@ -30,8 +32,8 @@ if [ "$status" -eq 0 ]; then
 fi
 
 fail=0
-for rule in unchecked-result no-nondeterminism no-raw-io pragma-once \
-            include-order audit-coverage; do
+for rule in unchecked-result no-nondeterminism no-raw-io no-alloc-token \
+            pragma-once include-order audit-coverage unknown-suppression; do
   case "$out" in
     *"[$rule]"*) ;;
     *) echo "FAIL: rule $rule did not fire on its fixture"; fail=1 ;;
@@ -40,6 +42,12 @@ done
 case "$out" in
   *"suppression without a reason"*) ;;
   *) echo "FAIL: reason-less suppression was not rejected"; fail=1 ;;
+esac
+# The reasoned allow() in alloc_token.cpp must stay silent (line 26),
+# while every rule above fired -- the escape hatch works, unexplained
+# or misspelled suppressions do not.
+case "$out" in
+  *"alloc_token.cpp:26"*) echo "FAIL: reasoned allow() did not suppress"; fail=1 ;;
 esac
 
 [ "$fail" -eq 0 ] && echo "OK: all rules fired and the bad suppression was rejected"

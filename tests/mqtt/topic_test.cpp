@@ -31,6 +31,21 @@ TEST(TopicFilter, Validity) {
   EXPECT_FALSE(valid_topic_filter("a/#/b"));
 }
 
+// The trie recursion depth is bounded by the level count, so validation
+// caps topics and filters at kMaxTopicLevels (the static bounded-stack
+// proof in scripts/stack_budget.json depends on this bound).
+TEST(TopicLevels, DepthCapEnforced) {
+  std::string deep = "x";
+  for (std::size_t i = 1; i < kMaxTopicLevels; ++i) deep += "/x";
+  EXPECT_TRUE(valid_topic_name(deep));
+  EXPECT_TRUE(valid_topic_filter(deep));
+  deep += "/x";  // one level past the cap
+  EXPECT_FALSE(valid_topic_name(deep));
+  EXPECT_FALSE(valid_topic_filter(deep));
+  // Empty levels count toward the cap too.
+  EXPECT_FALSE(valid_topic_name(std::string(kMaxTopicLevels, '/')));
+}
+
 struct MatchCase {
   const char* filter;
   const char* topic;
