@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Memory-layout contract gate (scripts/ifot_layout.py).
+#
+# Configures an incremental build tree with -DIFOT_LAYOUT=ON (full DWARF
+# record types in every object; Clang additionally dumps its record
+# layouts during the build), builds the data-plane libraries, merges the
+# per-TU layouts into one type database and enforces the committed
+# per-type memory budget (scripts/memory_budget.json) over the hot
+# per-session and per-message types:
+#
+#   layout-budget    sizeof(T) within the committed byte budget
+#   layout-padding   padding holes above the per-type threshold need a
+#                    reasoned `// layout: pad(N, reason)` annotation
+#   layout-coverage  every budgeted type must appear in the dump
+#
+# SKIPs (exit 0) when python3, cmake, a C++ compiler or readelf is
+# unavailable so the gate degrades gracefully on minimal containers.
+# Exits non-zero with file:line diagnostics on any violation.
+#
+# Usage: scripts/check_layout.sh [--update-budget] [--top N] [--list]
+#   --update-budget  re-measure and rewrite scripts/memory_budget.json
+#                    (commit the result) instead of checking against it
+#   --top N          also print the N largest audited types
+#   --list           print full per-field layouts of every audited type
+set -u
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${IFOT_LAYOUT_BUILD_DIR:-build-layout}"
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "SKIP: python3 not found; cannot run ifot_layout"
+  exit 0
+fi
+if ! command -v cmake >/dev/null 2>&1; then
+  echo "SKIP: cmake not found; cannot build layout dumps"
+  exit 0
+fi
+
+# Honor $CXX, else let cmake pick. Identify the compiler family to know
+# whether the Clang record-layout text path is available on top of DWARF.
+CXX_BIN="${CXX:-}"
+if [ -z "$CXX_BIN" ]; then
+  for candidate in g++ clang++ c++; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      CXX_BIN="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$CXX_BIN" ]; then
+  echo "SKIP: no C++ compiler found; cannot build layout dumps"
+  exit 0
+fi
+is_clang=0
+if "$CXX_BIN" --version 2>/dev/null | head -1 | grep -qi clang; then
+  is_clang=1
+fi
+if [ "$is_clang" -eq 0 ] && ! command -v readelf >/dev/null 2>&1; then
+  echo "SKIP: readelf not found; the DWARF layout path needs binutils"
+  exit 0
+fi
+
+update_budget=0
+extra_args=()
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --update-budget) update_budget=1 ;;
+    --top) extra_args+=(--top "${2:?--top needs a count}"); shift ;;
+    --list) extra_args+=(--list) ;;
+    *) echo "usage: $0 [--update-budget] [--top N] [--list]"; exit 2 ;;
+  esac
+  shift
+done
+
+echo "== configure + build layout dumps ($CXX_BIN, $BUILD_DIR/) =="
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -S . -B "$BUILD_DIR" -DCMAKE_CXX_COMPILER="$CXX_BIN" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DIFOT_LAYOUT=ON \
+        >/dev/null || exit 1
+fi
+jobs="$(nproc 2>/dev/null || echo 2)"
+# Only the data-plane libraries carry budgeted types; tests/benches don't.
+# Clang prints its record layouts on stdout during compilation: capture
+# the build log so the text path feeds the analyzer alongside DWARF.
+build_log="$BUILD_DIR/layout_build.log"
+if ! cmake --build "$BUILD_DIR" -j "$jobs" --target ifot_mqtt ifot_net \
+     >"$build_log" 2>&1; then
+  cat "$build_log"
+  exit 1
+fi
+if [ "$is_clang" -eq 1 ] && ! command -v readelf >/dev/null 2>&1 \
+   && ! grep -q "Dumping AST Record Layout" "$build_log"; then
+  # Clang only prints layouts for TUs it actually compiles, and with no
+  # readelf the text dump is the sole source: force a full recompile.
+  if ! cmake --build "$BUILD_DIR" --clean-first -j "$jobs" \
+       --target ifot_mqtt ifot_net >"$build_log" 2>&1; then
+    cat "$build_log"
+    exit 1
+  fi
+fi
+
+echo "== ifot_layout: per-type memory budget =="
+args=(--root . --budget scripts/memory_budget.json)
+if command -v readelf >/dev/null 2>&1; then
+  args+=(--dwarf-dir "$BUILD_DIR")
+fi
+if [ "$is_clang" -eq 1 ] && grep -q "Dumping AST Record Layout" "$build_log"
+then
+  args+=(--clang-dump "$build_log")
+fi
+if [ "$update_budget" -eq 1 ]; then
+  args+=(--update-budget)
+fi
+if [ "${#extra_args[@]}" -gt 0 ]; then
+  args+=("${extra_args[@]}")
+fi
+if ! python3 scripts/ifot_layout.py "${args[@]}"; then
+  exit 1
+fi
+
+echo "check_layout: OK"
+exit 0

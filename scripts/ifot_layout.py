@@ -1,0 +1,723 @@
+#!/usr/bin/env python3
+"""Static memory-layout auditor: record layouts from compiler dumps.
+
+Reads whole-program record layouts out of an IFOT_LAYOUT build
+(cmake -DIFOT_LAYOUT=ON) and enforces the committed per-type memory
+budget (scripts/memory_budget.json) over the hot per-session and
+per-message types. Two layout sources, merged into one type database
+(size, per-field offsets, padding holes, vptr/base overhead):
+
+  DWARF      `readelf --debug-dump=info` over every object file of the
+             layout build tree (GCC or Clang; -g is all it takes)
+  Clang text `-Xclang -fdump-record-layouts-complete` dump captured
+             from the compiler's stdout during the build
+
+Three rule classes, in the `file:line: [rule] msg` diagnostic format the
+other contract gates use:
+
+  layout-budget    sizeof(T) must stay within the committed budget for
+                   every audited type; budgets only move via an explicit
+                   `check_layout.sh --update-budget` diff
+  layout-padding   padding (internal holes + tail, computed at bit
+                   granularity so bitfields count exactly) above the
+                   per-type threshold is a violation unless the
+                   declaration carries `// layout: pad(N, reason)`;
+                   a reason-less or unknown layout annotation is itself
+                   a violation
+  layout-coverage  every type named in the budget must be found in the
+                   dump -- a rename or an over-aggressive strip of the
+                   build cannot silently drop a type out of the gate
+
+The per-session types audited here are the unit cost of the ROADMAP's
+million-sensor target: one byte on Broker::Session is a megabyte per
+million sessions.
+
+Usage:
+  ifot_layout.py (--dwarf-dir DIR | --dwarf-file F ... | --clang-dump F ...)
+      [--root DIR] [--budget scripts/memory_budget.json | --no-budget]
+      [--update-budget] [--top N] [--list]
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+# --------------------------------------------------------------------------
+# Type database.
+# --------------------------------------------------------------------------
+
+
+class Member:
+    """One occupied extent of a record: field, base subobject, or vptr."""
+
+    def __init__(self, name, bit_offset, bit_size, kind="field"):
+        self.name = name
+        self.bit_offset = bit_offset
+        self.bit_size = bit_size  # None when the field's type is opaque
+        self.kind = kind  # field | base | vptr
+
+    def __repr__(self):
+        return f"Member({self.name}@{self.bit_offset}:{self.bit_size})"
+
+
+class Record:
+    """A struct/class/union layout merged from one or more TUs."""
+
+    def __init__(self, qualified, size, tu):
+        self.qualified = qualified  # e.g. ifot::mqtt::Broker::Session
+        self.size = size  # bytes
+        self.tu = tu  # first TU the layout came from
+        self.members = []  # Member list, unsorted
+        self.is_union = False
+
+    def extents(self):
+        """Sorted, overlap-merged occupied bit ranges.
+
+        Overlap tolerance absorbs unions, bitfield byte sharing, and
+        bases whose tail padding the derived class reuses. A member with
+        an unresolvable size is extended to the next member's offset so
+        it can never masquerade as a hole.
+        """
+        raw = []
+        ordered = sorted(self.members, key=lambda m: m.bit_offset)
+        for i, m in enumerate(ordered):
+            size = m.bit_size
+            if size is None:
+                nxt = (ordered[i + 1].bit_offset
+                       if i + 1 < len(ordered) else self.size * 8)
+                size = max(nxt - m.bit_offset, 0)
+            raw.append((m.bit_offset, m.bit_offset + size))
+        raw.sort()
+        merged = []
+        for start, end in raw:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return merged
+
+    def holes(self):
+        """(bit_offset, bit_len) gaps between extents, tail included."""
+        out = []
+        pos = 0
+        for start, end in self.extents():
+            if start > pos:
+                out.append((pos, start - pos))
+            pos = max(pos, end)
+        if self.size * 8 > pos:
+            out.append((pos, self.size * 8 - pos))
+        return out
+
+    def padding_bytes(self):
+        if not self.members:
+            return 0  # opaque record: nothing to judge
+        return sum(length for _, length in self.holes()) // 8
+
+    def overhead_bytes(self):
+        """vptr + base-subobject bytes (part of sizeof, not field data)."""
+        return sum((m.bit_size or 0) // 8 for m in self.members
+                   if m.kind in ("vptr", "base"))
+
+    def describe_holes(self):
+        parts = []
+        for off, length in self.holes():
+            if length % 8 == 0 and off % 8 == 0:
+                parts.append(f"{length // 8}B@{off // 8}")
+            else:
+                parts.append(f"{length}b@bit{off}")
+        return ", ".join(parts) if parts else "none"
+
+
+# --------------------------------------------------------------------------
+# DWARF source: readelf --debug-dump=info text.
+# --------------------------------------------------------------------------
+
+DIE_RE = re.compile(
+    r"^\s*<(\d+)><([0-9a-f]+)>:\s+Abbrev Number:\s+(\d+)"
+    r"(?:\s+\((DW_TAG_\w+)\))?")
+ATTR_RE = re.compile(r"^\s*<[0-9a-f]+>\s+(DW_AT_\w+)\s*:\s*(.*)$")
+REF_RE = re.compile(r"<0x([0-9a-f]+)>")
+INT_RE = re.compile(r"(-?\d+)")
+
+SCOPE_TAGS = {
+    "DW_TAG_namespace", "DW_TAG_structure_type", "DW_TAG_class_type",
+    "DW_TAG_union_type",
+}
+RECORD_TAGS = {
+    "DW_TAG_structure_type", "DW_TAG_class_type", "DW_TAG_union_type",
+}
+# Tags whose byte size is found by following DW_AT_type.
+FOLLOW_TAGS = {
+    "DW_TAG_typedef", "DW_TAG_const_type", "DW_TAG_volatile_type",
+    "DW_TAG_restrict_type", "DW_TAG_atomic_type",
+}
+
+
+def _attr_name(value):
+    """Strip readelf's indirect-string prefix from a DW_AT_name value."""
+    if "): " in value:
+        return value.rsplit("): ", 1)[1].strip()
+    return value.strip()
+
+
+def _attr_int(value):
+    """First integer in an attribute value (handles DW_OP_plus_uconst)."""
+    m = INT_RE.search(value)
+    return int(m.group(1)) if m else None
+
+
+class Die:
+    __slots__ = ("tag", "depth", "parent", "name", "byte_size", "bit_size",
+                 "type_ref", "member_loc", "data_bit_offset", "declaration",
+                 "artificial", "upper_bound", "count", "decl_line")
+
+    def __init__(self, tag, depth, parent):
+        self.tag = tag
+        self.depth = depth
+        self.parent = parent
+        self.name = None
+        self.byte_size = None
+        self.bit_size = None
+        self.type_ref = None
+        self.member_loc = None
+        self.data_bit_offset = None
+        self.declaration = False
+        self.artificial = False
+        self.upper_bound = None
+        self.count = None
+        self.decl_line = None
+
+
+def parse_dwarf_text(text, tu_name):
+    """One readelf dump -> {die_offset: Die} plus parent/child indexes."""
+    dies = {}
+    children = {}
+    stack = {}  # depth -> die offset
+    cur = None
+    for line in text.splitlines():
+        m = DIE_RE.match(line)
+        if m:
+            depth, off, abbrev, tag = (int(m.group(1)), int(m.group(2), 16),
+                                       int(m.group(3)), m.group(4))
+            if abbrev == 0:  # null DIE: closes the sibling chain
+                cur = None
+                continue
+            parent = stack.get(depth - 1)
+            die = Die(tag, depth, parent)
+            dies[off] = die
+            children.setdefault(parent, []).append(off)
+            stack[depth] = off
+            cur = die
+            continue
+        if cur is None:
+            continue
+        m = ATTR_RE.match(line)
+        if not m:
+            continue
+        attr, value = m.group(1), m.group(2)
+        if attr == "DW_AT_name":
+            cur.name = _attr_name(value)
+        elif attr == "DW_AT_byte_size":
+            cur.byte_size = _attr_int(value)
+        elif attr == "DW_AT_bit_size":
+            cur.bit_size = _attr_int(value)
+        elif attr == "DW_AT_type":
+            r = REF_RE.search(value)
+            cur.type_ref = int(r.group(1), 16) if r else None
+        elif attr == "DW_AT_data_member_location":
+            cur.member_loc = _attr_int(value)
+        elif attr == "DW_AT_data_bit_offset":
+            cur.data_bit_offset = _attr_int(value)
+        elif attr == "DW_AT_declaration":
+            cur.declaration = True
+        elif attr == "DW_AT_artificial":
+            cur.artificial = True
+        elif attr == "DW_AT_upper_bound":
+            cur.upper_bound = _attr_int(value)
+        elif attr == "DW_AT_count":
+            cur.count = _attr_int(value)
+        elif attr == "DW_AT_decl_line":
+            cur.decl_line = _attr_int(value)
+    return dies, children
+
+
+def dwarf_size_bits(dies, children, ref, memo, depth=0):
+    """Bit size of the type DIE at `ref`; None when unresolvable."""
+    if ref is None or depth > 64:
+        return None
+    if ref in memo:
+        return memo[ref]
+    memo[ref] = None  # cycle guard
+    die = dies.get(ref)
+    if die is None:
+        return None
+    size = None
+    if die.tag == "DW_TAG_array_type":
+        if die.byte_size is not None:
+            size = die.byte_size * 8
+        else:
+            elem = dwarf_size_bits(dies, children, die.type_ref, memo,
+                                   depth + 1)
+            count = None
+            for c in children.get(ref, []):
+                sub = dies[c]
+                if sub.tag == "DW_TAG_subrange_type":
+                    if sub.count is not None:
+                        count = sub.count
+                    elif sub.upper_bound is not None:
+                        count = sub.upper_bound + 1
+            if elem is not None and count is not None:
+                size = elem * count
+    elif die.byte_size is not None:
+        size = die.byte_size * 8
+    elif die.tag in FOLLOW_TAGS or die.type_ref is not None:
+        size = dwarf_size_bits(dies, children, die.type_ref, memo, depth + 1)
+    memo[ref] = size
+    return size
+
+
+def dwarf_qualified(dies, ref):
+    parts = []
+    seen = 0
+    while ref is not None and seen < 64:
+        die = dies.get(ref)
+        if die is None:
+            break
+        if die.tag in SCOPE_TAGS and die.name:
+            parts.append(die.name)
+        ref = die.parent
+        seen += 1
+    return "::".join(reversed(parts))
+
+
+def records_from_dwarf(text, tu_name, db, conflicts):
+    dies, children = parse_dwarf_text(text, tu_name)
+    memo = {}
+    for off, die in dies.items():
+        if die.tag not in RECORD_TAGS or die.declaration:
+            continue
+        if die.byte_size is None or not die.name:
+            continue
+        qualified = dwarf_qualified(dies, off)
+        rec = Record(qualified, die.byte_size, tu_name)
+        rec.is_union = die.tag == "DW_TAG_union_type"
+        for c in children.get(off, []):
+            sub = dies[c]
+            if sub.tag == "DW_TAG_inheritance":
+                base_bits = dwarf_size_bits(dies, children, sub.type_ref,
+                                            memo)
+                loc = sub.member_loc or 0
+                rec.members.append(
+                    Member("<base>", loc * 8, base_bits, kind="base"))
+            elif sub.tag == "DW_TAG_member" and not sub.declaration:
+                if sub.member_loc is None and sub.data_bit_offset is None:
+                    continue  # static data member
+                if sub.data_bit_offset is not None:
+                    bit_off = sub.data_bit_offset
+                    bits = sub.bit_size
+                else:
+                    bit_off = sub.member_loc * 8
+                    bits = (sub.bit_size if sub.bit_size is not None else
+                            dwarf_size_bits(dies, children, sub.type_ref,
+                                            memo))
+                name = sub.name or "<anon>"
+                kind = ("vptr" if sub.artificial
+                        and name.startswith("_vptr") else "field")
+                rec.members.append(Member(name, bit_off, bits, kind=kind))
+        merge_record(db, rec, conflicts)
+
+
+# --------------------------------------------------------------------------
+# Clang source: -Xclang -fdump-record-layouts-complete text.
+# --------------------------------------------------------------------------
+
+CLANG_HEADER_RE = re.compile(r"^\s*0 \| (?:struct|class|union) (.+?)\s*$")
+CLANG_LINE_RE = re.compile(r"^\s*(\d+)(?::(\d+)-(\d+))? \| (\s*)(.*?)\s*$")
+CLANG_SIZE_RE = re.compile(r"\[sizeof=(\d+),.*?align=(\d+)")
+
+# Fundamental-type widths on the LP64 targets this project builds for.
+CLANG_SCALAR_BITS = {
+    "bool": 8, "_Bool": 8, "char": 8, "signed char": 8, "unsigned char": 8,
+    "char8_t": 8, "short": 16, "unsigned short": 16, "char16_t": 16,
+    "wchar_t": 32, "char32_t": 32, "int": 32, "unsigned int": 32,
+    "long": 64, "unsigned long": 64, "long long": 64,
+    "unsigned long long": 64, "float": 32, "double": 64, "long double": 128,
+    "std::uint8_t": 8, "std::int8_t": 8, "std::uint16_t": 16,
+    "std::int16_t": 16, "std::uint32_t": 32, "std::int32_t": 32,
+    "std::uint64_t": 64, "std::int64_t": 64, "std::size_t": 64,
+    "std::uintptr_t": 64, "std::ptrdiff_t": 64, "uint8_t": 8, "int8_t": 8,
+    "uint16_t": 16, "int16_t": 16, "uint32_t": 32, "int32_t": 32,
+    "uint64_t": 64, "int64_t": 64, "size_t": 64,
+}
+
+
+def _clang_type_bits(type_text, sizes):
+    """Bit width of a clang member type, or None when opaque."""
+    t = type_text.strip()
+    for kw in ("struct ", "class ", "union ", "const ", "volatile "):
+        t = t.replace(kw, "")
+    t = t.strip()
+    am = re.match(r"^(.*?)\s*\[(\d+)\]$", t)
+    if am:
+        elem = _clang_type_bits(am.group(1), sizes)
+        return elem * int(am.group(2)) if elem is not None else None
+    if t.endswith("*") or t.endswith("&"):
+        return 64
+    if t in CLANG_SCALAR_BITS:
+        return CLANG_SCALAR_BITS[t]
+    if t in sizes:
+        return sizes[t] * 8
+    # Fall back to a suffix match (the dump qualifies, the field may not).
+    tail = "::" + t
+    hits = {v for k, v in sizes.items() if k.endswith(tail)}
+    if len(hits) == 1:
+        return hits.pop() * 8
+    return None
+
+
+def records_from_clang(text, tu_name, db, conflicts):
+    """Parse every `*** Dumping AST Record Layout` block in `text`."""
+    blocks = []
+    block = None
+    for line in text.splitlines():
+        if line.startswith("*** Dumping AST Record Layout"):
+            block = []
+            blocks.append(block)
+            continue
+        if block is not None:
+            # Any line that is not part of the layout table (build-log
+            # noise, blank separators) closes the current block.
+            if (line.strip() == ""
+                    or (CLANG_LINE_RE.match(line) is None
+                        and "sizeof=" not in line)):
+                block = None
+                continue
+            block.append(line)
+    # First pass: record sizes, so member widths can resolve by name.
+    sizes = {}
+    parsed = []
+    for block in blocks:
+        name = None
+        size = None
+        lines = []
+        for line in block:
+            if name is None:
+                h = CLANG_HEADER_RE.match(line)
+                if h:
+                    name = h.group(1).strip()
+                    continue
+            s = CLANG_SIZE_RE.search(line)
+            if s:
+                size = int(s.group(1))
+            lines.append(line)
+        if name and size is not None:
+            sizes[name] = size
+            parsed.append((name, size, lines))
+    for name, size, lines in parsed:
+        rec = Record(name, size, tu_name)
+        # Only depth-1 lines are this record's own members; deeper lines
+        # re-dump the members of nested subobjects.
+        depths = []
+        for line in lines:
+            m = CLANG_LINE_RE.match(line)
+            if not m or "sizeof=" in line:
+                continue
+            off, bit_lo, bit_hi, indent, body = (int(m.group(1)), m.group(2),
+                                                 m.group(3), m.group(4),
+                                                 m.group(5))
+            depth = len(indent) // 2
+            if not depths:
+                depths.append(depth)  # depth of the record's own fields
+            if depth != depths[0]:
+                continue
+            if body.startswith("("):  # (T vtable pointer) and friends
+                rec.members.append(Member(body, off * 8, 64, kind="vptr"))
+                continue
+            base = re.match(r"^(?:struct|class|union) (.+?)"
+                            r"\s*\((?:primary )?(?:virtual )?base\)$", body)
+            if base:
+                nv = sizes.get(base.group(1).strip())
+                rec.members.append(
+                    Member("<base>", off * 8,
+                           nv * 8 if nv is not None else None, kind="base"))
+                continue
+            if bit_lo is not None:  # bitfield: byte offset + bit range
+                bits = int(bit_hi) - int(bit_lo) + 1
+                field = body.rsplit(" ", 1)[-1]
+                rec.members.append(Member(field, off * 8 + int(bit_lo), bits))
+                continue
+            parts = body.rsplit(" ", 1)
+            if len(parts) != 2:  # unnamed subobject line
+                continue
+            type_text, field = parts
+            rec.members.append(
+                Member(field, off * 8, _clang_type_bits(type_text, sizes)))
+        merge_record(db, rec, conflicts)
+
+
+# --------------------------------------------------------------------------
+# Merge + budget rules.
+# --------------------------------------------------------------------------
+
+
+def merge_record(db, rec, conflicts):
+    if not rec.qualified:
+        return
+    prev = db.get(rec.qualified)
+    if prev is None:
+        db[rec.qualified] = rec
+        return
+    if prev.size != rec.size:
+        conflicts.append(
+            (rec.qualified,
+             f"{rec.qualified} has size {prev.size} in {prev.tu} but "
+             f"{rec.size} in {rec.tu} (ODR/layout divergence)"))
+        return
+    if len(rec.members) > len(prev.members):
+        db[rec.qualified] = rec
+
+
+def find_budget_type(db, key, spec):
+    """Records the budget entry names.
+
+    By default a key matches a record whose qualified name equals it or
+    ends in `::key`. Template instantiations carry their arguments in
+    the qualified name, so an entry may give an explicit `match` regex
+    (searched against the qualified name) instead.
+    """
+    pattern = spec.get("match")
+    if pattern:
+        rx = re.compile(pattern)
+        return [rec for name, rec in db.items() if rx.search(name)]
+    if key in db:
+        return [db[key]]
+    tail = "::" + key
+    return [rec for name, rec in db.items() if name.endswith(tail)]
+
+
+PAD_NOTE_RE = re.compile(r"//\s*layout:\s*(\w+)(?:\(([^)]*)\))?")
+
+
+def find_annotation(root, rel_file, type_key):
+    """`// layout: pad(N, reason)` near `struct <Name>` in rel_file.
+
+    Returns (decl_line, allowed_pad, note_problem). The annotation may
+    sit on the declaration line or up to two lines above it.
+    """
+    short = type_key.rsplit("::", 1)[-1]
+    path = os.path.join(root, rel_file)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError:
+        return None, None, None
+    decl_re = re.compile(r"\b(?:struct|class)\s+" + re.escape(short) + r"\b")
+    for i, line in enumerate(lines):
+        if not decl_re.search(line):
+            continue
+        decl_line = i + 1
+        window = lines[max(0, i - 2):i + 1]
+        for w in window:
+            m = PAD_NOTE_RE.search(w)
+            if not m:
+                continue
+            kind, args = m.group(1), m.group(2)
+            if kind != "pad":
+                return decl_line, None, f"unknown layout annotation '{kind}'"
+            if args is None:
+                return decl_line, None, "layout: pad() without arguments"
+            parts = [a.strip() for a in args.split(",", 1)]
+            if not parts[0].isdigit():
+                return decl_line, None, (
+                    "layout: pad() needs a byte count first")
+            if len(parts) < 2 or not parts[1]:
+                return decl_line, None, (
+                    "layout: pad() suppression without a reason")
+            return decl_line, int(parts[0]), None
+        return decl_line, None, None
+    return None, None, None
+
+
+def audit(db, budget, root, conflicts, update=False):
+    """Apply the three rule classes. Returns (violations, summary_rows)."""
+    violations = []
+    rows = []
+    budget_path = budget["__path__"]
+    pad_default = budget.get("pad_default", 8)
+    for key, spec in sorted(budget.get("types", {}).items()):
+        rel_file = spec.get("file", budget_path)
+        matches = find_budget_type(db, key, spec)
+        decl_line, note_pad, note_problem = find_annotation(
+            root, rel_file, key)
+        where = f"{rel_file}:{decl_line or 1}"
+        if not matches:
+            violations.append(
+                f"{budget_path}:1: [layout-coverage] budgeted type '{key}' "
+                f"not found in any layout dump (renamed? stripped build?)")
+            continue
+        sized = {rec.size for rec in matches}
+        if len(sized) > 1:
+            violations.append(
+                f"{where}: [layout-coverage] budget key '{key}' is "
+                f"ambiguous: matches {', '.join(r.qualified for r in matches)}"
+                f" with differing sizes")
+            continue
+        rec = max(matches, key=lambda r: len(r.members))
+        limit = spec.get("budget")
+        pad = rec.padding_bytes()
+        max_pad = spec.get("max_pad", pad_default)
+        if note_problem:
+            violations.append(f"{where}: [layout-padding] {note_problem}")
+        elif note_pad is not None:
+            max_pad = note_pad
+        if update:
+            spec["budget"] = rec.size
+            limit = rec.size
+        if limit is not None and rec.size > limit:
+            violations.append(
+                f"{where}: [layout-budget] {rec.qualified} is {rec.size} "
+                f"bytes, budget {limit} (holes: {rec.describe_holes()}; "
+                f"raise only via check_layout.sh --update-budget)")
+        if pad > max_pad and not note_problem:
+            violations.append(
+                f"{where}: [layout-padding] {rec.qualified} wastes {pad} "
+                f"bytes of padding (> {max_pad} allowed; holes: "
+                f"{rec.describe_holes()}); reorder fields or annotate "
+                f"'// layout: pad({pad}, reason)'")
+        rows.append((key, rec, limit, pad, max_pad))
+    for _, msg in conflicts:
+        violations.append(f"{budget_path}:1: [layout-coverage] {msg}")
+    return violations, rows
+
+
+# --------------------------------------------------------------------------
+# Entry point.
+# --------------------------------------------------------------------------
+
+
+def load_objects(dwarf_dir):
+    objs = []
+    for dirpath, _, files in os.walk(dwarf_dir):
+        for f in files:
+            if f.endswith(".o"):
+                objs.append(os.path.join(dirpath, f))
+    return sorted(objs)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Record-layout auditor over compiler layout dumps")
+    ap.add_argument("--dwarf-dir",
+                    help="build tree: every .o is readelf'd for DWARF")
+    ap.add_argument("--dwarf-file", action="append", default=[],
+                    help="pre-dumped readelf --debug-dump=info text")
+    ap.add_argument("--clang-dump", action="append", default=[],
+                    help="clang -fdump-record-layouts-complete text")
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--budget", default=None,
+                    help="budget JSON (default scripts/memory_budget.json)")
+    ap.add_argument("--no-budget", action="store_true",
+                    help="parse and list only; no rules")
+    ap.add_argument("--update-budget", action="store_true",
+                    help="rewrite byte budgets to the measured sizes")
+    ap.add_argument("--top", type=int, default=0,
+                    help="print the N largest audited types")
+    ap.add_argument("--list", action="store_true",
+                    help="print the full layout of every audited type")
+    args = ap.parse_args()
+
+    if not (args.dwarf_dir or args.dwarf_file or args.clang_dump):
+        ap.error("need --dwarf-dir, --dwarf-file or --clang-dump")
+
+    db = {}
+    conflicts = []
+    if args.dwarf_dir:
+        if shutil.which("readelf") is None:
+            print("SKIP: readelf not found")
+            return 0
+        objs = load_objects(args.dwarf_dir)
+        if not objs:
+            print(f"error: no object files under {args.dwarf_dir}",
+                  file=sys.stderr)
+            return 2
+        for obj in objs:
+            out = subprocess.run(["readelf", "--debug-dump=info", obj],
+                                 capture_output=True, text=True,
+                                 errors="replace", check=False)
+            records_from_dwarf(out.stdout, os.path.relpath(obj, args.root),
+                               db, conflicts)
+    for path in args.dwarf_file:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            records_from_dwarf(f.read(), path, db, conflicts)
+    for path in args.clang_dump:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            records_from_clang(f.read(), path, db, conflicts)
+
+    if not db:
+        print("error: no record layouts found (missing -g / dump flags? "
+              "configure with -DIFOT_LAYOUT=ON)", file=sys.stderr)
+        return 2
+
+    if args.no_budget:
+        for name in sorted(db):
+            rec = db[name]
+            print(f"{rec.size:6d}  pad={rec.padding_bytes():<4d} {name}")
+        return 0
+
+    budget_path = args.budget or os.path.join("scripts", "memory_budget.json")
+    full_budget_path = os.path.join(args.root, budget_path)
+    try:
+        with open(full_budget_path, encoding="utf-8") as f:
+            budget = json.load(f)
+    except OSError as e:
+        print(f"error: cannot read budget {full_budget_path}: {e}",
+              file=sys.stderr)
+        return 2
+    budget["__path__"] = budget_path
+
+    violations, rows = audit(db, budget, args.root, conflicts,
+                             update=args.update_budget)
+
+    if args.update_budget:
+        budget.pop("__path__", None)
+        with open(full_budget_path, "w", encoding="utf-8") as f:
+            json.dump(budget, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"updated {budget_path} with measured sizes")
+
+    if args.list or args.top:
+        rows.sort(key=lambda r: -r[1].size)
+        shown = rows[:args.top] if args.top else rows
+        print(f"{'bytes':>6} {'budget':>6} {'pad':>4} {'ovh':>4}  type")
+        for key, rec, limit, pad, _ in shown:
+            print(f"{rec.size:6d} {limit if limit is not None else '-':>6} "
+                  f"{pad:4d} {rec.overhead_bytes():4d}  {key}")
+            if args.list:
+                for m in sorted(rec.members, key=lambda m: m.bit_offset):
+                    size = (f"{m.bit_size // 8}B" if m.bit_size is not None
+                            and m.bit_size % 8 == 0 else
+                            f"{m.bit_size}b" if m.bit_size is not None
+                            else "?")
+                    print(f"       {m.bit_offset // 8:5d}  {size:>6}  "
+                          f"{m.name}")
+                print(f"       holes: {rec.describe_holes()}")
+
+    for v in violations:
+        print(v)
+    audited = len(rows)
+    if violations:
+        print(f"ifot_layout: {len(violations)} violation(s) across "
+              f"{audited} audited type(s)")
+        return 1
+    total = sum(rec.size for _, rec, *_ in rows)
+    print(f"ifot_layout OK: {audited} audited types, {len(db)} records in "
+          f"the dump, {total} budgeted bytes total")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

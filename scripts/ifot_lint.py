@@ -141,6 +141,9 @@ SUPPRESS_RE = re.compile(r"//\s*lint:\s*allow\(([\w-]+)\)(:?\s*(.*))?")
 # A reason is mandatory (the '(' must not be immediately closed); it may
 # wrap onto following comment lines, so no closing ')' is required here.
 EXEMPT_RE = re.compile(r"//\s*audit:\s*exempt\((?!\s*\))")
+# scripts/ifot_layout.py's padding escape hatch. The only kind is
+# `pad(N, reason)`; anything else is a typo that would suppress nothing.
+LAYOUT_NOTE_RE = re.compile(r"//\s*layout:\s*(\w+)(?:\(([^)]*)\))?")
 
 SOURCE_EXTS = (".cpp", ".hpp")
 
@@ -446,7 +449,9 @@ def check_unchecked_result(path, text, raw_lines, result_names, diags):
 
 def check_suppressions(path, raw_lines, diags, valid_rules):
     """A `// lint: allow(<rule>)` naming a rule this linter does not have
-    suppresses nothing and hides a typo forever -- itself a violation."""
+    suppresses nothing and hides a typo forever -- itself a violation.
+    Same contract for the layout auditor's `// layout: pad(N, reason)`
+    vocabulary: an unknown kind or a reason-less pad() is a violation."""
     for lineno, raw in enumerate(raw_lines, 1):
         m = SUPPRESS_RE.search(raw)
         if m and m.group(1) not in valid_rules:
@@ -454,6 +459,22 @@ def check_suppressions(path, raw_lines, diags, valid_rules):
                 (path, lineno, "unknown-suppression",
                  "suppression names unknown rule '%s' (have: %s)"
                  % (m.group(1), ", ".join(sorted(valid_rules)))))
+        m = LAYOUT_NOTE_RE.search(raw)
+        if not m:
+            continue
+        kind, args = m.group(1), m.group(2)
+        if kind != "pad":
+            diags.items.append(
+                (path, lineno, "unknown-suppression",
+                 "unknown layout annotation '%s' (only "
+                 "`// layout: pad(N, reason)` exists)" % kind))
+            continue
+        parts = [a.strip() for a in (args or "").split(",", 1)]
+        if not parts[0].isdigit() or len(parts) < 2 or not parts[1]:
+            diags.items.append(
+                (path, lineno, "unknown-suppression",
+                 "layout: pad() suppression without a byte count and "
+                 "a reason (`// layout: pad(N, why)`)"))
 
 
 # --------------------------------------------------------------------------

@@ -63,6 +63,7 @@ class NodePool {
     }
     ++outstanding_;
     ++fresh_;
+    retained_bytes_ += bucket;
     // static: alloc(pool warm-up: fresh block for an empty size bucket;
     // every block recycles through the free list thereafter)
     return ::operator new(bucket);
@@ -87,6 +88,10 @@ class NodePool {
     for (const auto& [_, blocks] : free_) n += blocks.size();
     return n;
   }
+  /// Bytes the pool holds from the system across every bucket (in use +
+  /// parked); blocks only return to the system at destruction, so this
+  /// is the pool's high-water footprint ($SYS memory observability).
+  [[nodiscard]] std::size_t retained_bytes() const { return retained_bytes_; }
 
   void audit_invariants() const {
     if constexpr (!audit::kEnabled) return;
@@ -103,6 +108,7 @@ class NodePool {
 
   std::unordered_map<std::size_t, std::vector<void*>> free_;
   std::size_t outstanding_ = 0;
+  std::size_t retained_bytes_ = 0;
   std::uint64_t reuses_ = 0;
   std::uint64_t fresh_ = 0;
 };

@@ -242,16 +242,18 @@ void Broker::handle_connect(Link& link, Connect c) {
   auto& session = sessions_[c.client_id];
   if (!session) {
     session = std::make_unique<Session>(node_pool_);
-    session->client_id = c.client_id;
-    session->client_id_ref = SharedString(c.client_id);
+    session->client_id = SharedString(c.client_id);
   }
   session->inbound_qos2.set_capacity(cfg_.max_inbound_qos2_per_session);
   session->clean = c.clean_session;
-  session->will = std::move(c.will);
+  // Wills are rare at scale, so Session stores a pointer; the optional
+  // from the decoded CONNECT moves to the heap only when present.
+  session->will =
+      c.will ? std::make_unique<Will>(std::move(*c.will)) : nullptr;
   session->link = link.id;
   session->connected = true;
   session->keep_alive_s = c.keep_alive_s;
-  link.session = c.client_id;
+  link.session = session->client_id;  // shares the buffer
 
   send_packet(link, Packet{Connack{session_present, ConnectCode::kAccepted}});
   counters_.add("connects");
@@ -314,7 +316,7 @@ void Broker::handle_subscribe(Session& session, const Subscribe& s) {
       continue;
     }
     const QoS granted = std::min(req.qos, cfg_.max_qos);
-    session.subscriptions[req.filter] = granted;
+    session.subscriptions.assign(req.filter, granted);
     tree_.insert(req.filter, session.client_id, granted);
     ack.return_codes.push_back(static_cast<std::uint8_t>(granted));
     counters_.add("subscriptions");
@@ -603,7 +605,7 @@ void Broker::arm_session_retry(Session& session,
     sched_.cancel(session.retry_timer);  // static: leaf(virtual Scheduler::cancel — timer bookkeeping, proven per scheduler impl)
   }
   session.retry_deadline = deadline;
-  const SharedString cid = session.client_id_ref;
+  const SharedString cid = session.client_id;
   session.retry_timer = sched_.call_after(  // static: leaf(virtual Scheduler::call_after/now — the simulator half is the event-queue boundary of the proof)
       deadline - sched_.now(), [this, cid] { on_retry_timer(cid.str()); });
 }
@@ -815,21 +817,32 @@ void Broker::publish_sys_stats() {
   pub("route/cache/revalidations", counters_.get("route_cache_revalidations"));
   pub("route/cache/evictions", counters_.get("route_cache_evictions"));
   pub("route/cache/entries", route_cache_.size());
+  // Per-session memory footprint (ROADMAP million-sensor diet): live
+  // counts × the statically audited type sizes (the same sizeof()s that
+  // scripts/check_layout.sh budgets), plus the node pool's high-water
+  // bytes — inflight/queue/subscription storage all draws from it.
+  std::size_t inflight_nodes = 0;
+  std::size_t queued_nodes = 0;
+  for (const auto& [_, s] : sessions_) {
+    inflight_nodes += s->inflight.size();
+    queued_nodes += s->queued.size();
+  }
+  pub("memory/sessions_bytes_est", session_count() * sizeof(Session));
+  pub("memory/inflight_nodes", inflight_nodes);
+  pub("memory/queued_nodes", queued_nodes);
+  pub("memory/pool_buckets_bytes", node_pool_.retained_bytes());
 }
 
 void Broker::drop_link(Link& link, bool publish_will) {
   if (link.keepalive_timer != 0) sched_.cancel(link.keepalive_timer);
-  std::optional<Will> will;
+  std::unique_ptr<Will> will;
   if (!link.session.empty()) {
     auto sit = sessions_.find(link.session);
     if (sit != sessions_.end()) {
       Session& session = *sit->second;
       session.connected = false;
       session.link = 0;
-      if (publish_will && session.will) {
-        will = std::move(session.will);
-        session.will.reset();
-      }
+      if (publish_will && session.will) will = std::move(session.will);
       if (session.retry_timer != 0) {
         sched_.cancel(session.retry_timer);
         session.retry_timer = 0;
@@ -866,8 +879,9 @@ void Broker::audit_invariants() const {
   for (const auto& [id, link] : links_) {
     IFOT_AUDIT_ASSERT(link->id == id, "link map key diverged from link id");
     if (!link->session.empty()) {
-      IFOT_AUDIT_ASSERT(sessions_.find(link->session) != sessions_.end(),
-                        "link bound to missing session '" + link->session + "'");
+      IFOT_AUDIT_ASSERT(
+          sessions_.find(link->session) != sessions_.end(),
+          "link bound to missing session '" + link->session.str() + "'");
     }
     IFOT_AUDIT_ASSERT(link->outbox != nullptr, "link without an outbox");
     link->outbox->audit_invariants();
@@ -886,10 +900,10 @@ void Broker::audit_invariants() const {
       auto lit = links_.find(session->link);
       IFOT_AUDIT_ASSERT(lit != links_.end(),
                         "connected session '" + cid + "' has no live link");
-      IFOT_AUDIT_ASSERT(lit == links_.end() || lit->second->session == cid,
-                        "session '" + cid + "' points at a link owned by '" +
-                            (lit == links_.end() ? "" : lit->second->session) +
-                            "'");
+      IFOT_AUDIT_ASSERT(
+          lit == links_.end() || lit->second->session == cid,
+          "session '" + cid + "' points at a link owned by '" +
+              (lit == links_.end() ? "" : lit->second->session.str()) + "'");
     }
 
     // Flow-control bounds hold after every mutation.
@@ -927,7 +941,7 @@ void Broker::audit_invariants() const {
     for (const auto& [filter, granted] : session->subscriptions) {
       (void)granted;
       IFOT_AUDIT_ASSERT(tree_.contains(filter, cid),
-                        "subscription '" + filter + "' of '" + cid +
+                        "subscription '" + filter.str() + "' of '" + cid +
                             "' missing from the topic tree");
     }
   }

@@ -20,7 +20,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -34,6 +33,7 @@
 #include "mqtt/retained_store.hpp"
 #include "mqtt/route_cache.hpp"
 #include "mqtt/scheduler.hpp"
+#include "mqtt/subscription_set.hpp"
 #include "mqtt/topic.hpp"
 
 namespace ifot::mqtt {
@@ -120,12 +120,12 @@ class Broker {
     // encoded on first send. Retransmits patch the id/DUP bytes, never
     // re-encode.
     WireTemplateRef wire;
-    bool awaiting_pubcomp = false;  // QoS2: PUBREC received, PUBREL sent
-    int attempts = 0;
     // When this message is next due for redelivery (0 = none scheduled).
     // The session's single retry timer scans these; there is no
     // per-message timer (and so no per-message closure allocation).
     SimTime next_retry_at = 0;
+    std::uint16_t attempts = 0;     // bounded by cfg.max_retries
+    bool awaiting_pubcomp = false;  // QoS2: PUBREC received, PUBREL sent
   };
 
   /// A delivery parked behind the inflight window (or an offline link).
@@ -136,6 +136,12 @@ class Broker {
     WireTemplateRef wire;
   };
 
+  /// Per-session state, kept on a byte diet: the million-sensor target
+  /// multiplies every inline byte here by the session count, so the
+  /// layout is budgeted in scripts/memory_budget.json and audited by
+  /// scripts/check_layout.sh. Strings are shared handles, the will is
+  /// heap-allocated only when present, flags pack into bitfields, and
+  /// the subscription table is a pooled flat vector.
   struct Session {
     /// Inflight map and queue draw their nodes from the broker's
     /// NodePool: ack/redeliver churn recycles nodes instead of hitting
@@ -148,32 +154,35 @@ class Broker {
     using QueuedDeque = std::deque<QueuedOut, pool::NodeAllocator<QueuedOut>>;
 
     explicit Session(pool::NodePool& nodes)
-        : inflight(InflightMap::allocator_type(&nodes)),
+        : subscriptions(nodes),
+          inflight(InflightMap::allocator_type(&nodes)),
           queued(QueuedDeque::allocator_type(&nodes)) {}
 
-    std::string client_id;
-    // Shared copy of client_id for timer captures: re-arming the retry
-    // timer shares the buffer instead of copying the string.
-    SharedString client_id_ref;
-    bool clean = true;
-    std::optional<Will> will;
-    LinkId link = 0;           // 0 = offline
-    bool connected = false;
-    std::uint16_t keep_alive_s = 0;
-    // Subscriptions: filter -> granted QoS (also mirrored in tree_).
-    std::map<std::string, QoS> subscriptions;
-    // Outbound state.
-    std::uint16_t next_packet_id = 1;
-    InflightMap inflight;
-    QueuedDeque queued;  // offline / above inflight window
+    // Shared handle: timer captures and the owning Link share this one
+    // buffer instead of copying the string.
+    SharedString client_id;
+    // Will message, present only between CONNECT and DISCONNECT/death.
+    // A pointer (8 bytes) instead of std::optional<Will> (72 inline
+    // bytes): most sessions at scale carry no will.
+    std::unique_ptr<Will> will;
+    LinkId link = 0;  // 0 = offline
     // One retry timer per session (not per message): armed at the
     // earliest InflightOut::next_retry_at, rescanned on fire.
     std::uint64_t retry_timer = 0;
     SimTime retry_deadline = 0;
+    // Subscriptions: filter -> granted QoS (also mirrored in tree_).
+    SubscriptionSet subscriptions;
+    // Outbound state.
+    InflightMap inflight;
+    QueuedDeque queued;  // offline / above inflight window
     // Inbound QoS2 exactly-once dedup: ids whose PUBLISH was routed but
     // whose PUBREL has not arrived yet. Bounded: lost PUBRELs must not
     // leak ids forever.
     BoundedIdSet inbound_qos2;
+    std::uint16_t keep_alive_s = 0;
+    std::uint16_t next_packet_id = 1;
+    bool clean : 1 = true;
+    bool connected : 1 = false;
   };
 
   struct Link {
@@ -183,11 +192,13 @@ class Broker {
     // Egress queue wrapping the transport send callback; frames queued
     // while handling one turn coalesce into a single write.
     std::unique_ptr<Outbox> outbox;
-    bool egress_dirty = false;  // queued for the next flush_egress()
-    std::string session;       // empty until CONNECT accepted
-    bool got_connect = false;
+    // Shares the session's client-id buffer (empty until CONNECT
+    // accepted); binding a link costs no string copy.
+    SharedString session;
     SimTime last_rx = 0;
     std::uint64_t keepalive_timer = 0;
+    bool egress_dirty : 1 = false;  // queued for the next flush_egress()
+    bool got_connect : 1 = false;
   };
 
   void handle_packet(Link& link, Packet packet);
@@ -268,8 +279,20 @@ class Broker {
   // inflight wire templates recycle their buffers.
   pool::NodePool node_pool_;
   WireTemplatePool template_pool_;
+  /// Transparent hash: session lookups probe with the shared client-id
+  /// handles (SharedString / string_view) without building temporary
+  /// std::string keys.
+  struct SessionHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   std::unordered_map<LinkId, std::unique_ptr<Link>> links_;
-  std::unordered_map<std::string, std::unique_ptr<Session>> sessions_;
+  std::unordered_map<std::string, std::unique_ptr<Session>, SessionHash,
+                     std::equal_to<>>
+      sessions_;
   TopicTree<std::string, QoS> tree_;
   RetainedStore retained_;
   Counters counters_;

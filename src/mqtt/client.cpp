@@ -277,8 +277,7 @@ Status Client::publish(std::string topic, SharedPayload payload, QoS qos,
   const std::uint16_t pid = alloc_packet_id();
   p.packet_id = pid;
   auto [it, inserted] = inflight_.emplace(
-      pid,
-      InflightPub{std::move(p), nullptr, false, 0, 0, std::move(done)});
+      pid, InflightPub{std::move(p), nullptr, 0, std::move(done)});
   assert(inserted);
   // In-flight packet ids must be unique across both the publish window
   // and pending control requests, or acks would resolve the wrong one.

@@ -123,10 +123,10 @@ class Client {
     // publishes return their template (buffer capacity intact) for the
     // next publish to reuse.
     WireTemplateRef wire;
-    bool awaiting_pubcomp = false;
-    int attempts = 0;
     std::uint64_t retry_timer = 0;
     PublishCallback done;
+    std::uint16_t attempts = 0;     // bounded by cfg.max_retries
+    bool awaiting_pubcomp = false;
   };
 
   void handle_packet(Packet packet);

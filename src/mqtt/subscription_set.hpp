@@ -1,0 +1,89 @@
+// Flat, pooled subscription table: filter -> granted QoS.
+//
+// Session::subscriptions used to be a std::map<std::string, QoS>: 48
+// inline bytes, a tree node plus a heap string per filter, and every
+// probe built from decoded packet fields allocated a temporary key.
+// Sessions hold a handful of filters (the control plane churns them far
+// less often than the data plane reads them), so a sorted flat vector
+// wins on every axis: 32 inline bytes, entries draw their storage from
+// the broker's NodePool, filters are SharedStrings (one shared buffer,
+// 16 bytes inline), and lookup/erase take string_views — subscribe,
+// unsubscribe and teardown never allocate a temporary key.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/pool.hpp"
+#include "common/shared_string.hpp"
+#include "mqtt/packet.hpp"
+
+namespace ifot::mqtt {
+
+class SubscriptionSet {
+ public:
+  struct Entry {
+    SharedString filter;
+    QoS qos;
+  };
+
+  explicit SubscriptionSet(pool::NodePool& nodes)
+      : entries_(Vec::allocator_type(&nodes)) {}
+
+  /// Inserts or updates `filter`'s granted QoS. Returns true when the
+  /// filter is new. The SharedString key is built only on first insert;
+  /// re-grants (client refreshing its subscription) just overwrite QoS.
+  bool assign(const std::string& filter, QoS qos) {
+    const auto it = lower_bound(filter);
+    if (it != entries_.end() && it->filter.view() == filter) {
+      it->qos = qos;
+      return false;
+    }
+    entries_.insert(it, Entry{SharedString(filter), qos});
+    return true;
+  }
+
+  /// Removes `filter`; returns true when it was present. Heterogeneous:
+  /// the probe key stays a view, no temporary allocation.
+  bool erase(std::string_view filter) {
+    const auto it = lower_bound(filter);
+    if (it == entries_.end() || it->filter.view() != filter) return false;
+    entries_.erase(it);
+    return true;
+  }
+
+  /// Granted QoS for `filter`, or nullptr when not subscribed.
+  [[nodiscard]] const QoS* find(std::string_view filter) const {
+    const auto it = lower_bound(filter);
+    if (it == entries_.end() || it->filter.view() != filter) return nullptr;
+    return &it->qos;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] auto begin() const { return entries_.begin(); }
+  [[nodiscard]] auto end() const { return entries_.end(); }
+
+ private:
+  using Vec = std::vector<Entry, pool::NodeAllocator<Entry>>;
+
+  [[nodiscard]] Vec::const_iterator lower_bound(std::string_view key) const {
+    return std::lower_bound(entries_.begin(), entries_.end(), key,
+                            [](const Entry& e, std::string_view k) {
+                              return e.filter.view() < k;
+                            });
+  }
+  [[nodiscard]] Vec::iterator lower_bound(std::string_view key) {
+    return std::lower_bound(entries_.begin(), entries_.end(), key,
+                            [](const Entry& e, std::string_view k) {
+                              return e.filter.view() < k;
+                            });
+  }
+
+  Vec entries_;  // sorted by filter contents
+};
+
+}  // namespace ifot::mqtt

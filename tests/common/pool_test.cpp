@@ -43,6 +43,47 @@ TEST(NodePool, DistinctBucketsDoNotMix) {
   pool.audit_invariants();
 }
 
+TEST(NodePool, ReusesBlocksAcrossDifferentNodeTypes) {
+  // The pool buckets by rounded byte size, not by type: a node freed by
+  // one container feeds another container's differently-typed node as
+  // long as both round to the same 16-byte bucket.
+  struct SmallNode {
+    char bytes[33];
+  };
+  struct BigNode {
+    char bytes[48];
+  };
+  static_assert(sizeof(SmallNode) != sizeof(BigNode));
+  NodePool pool;
+  NodeAllocator<SmallNode> small(&pool);
+  NodeAllocator<BigNode> big(&pool);
+  SmallNode* s = small.allocate(1);  // 33 rounds up to 48
+  small.deallocate(s, 1);
+  BigNode* b = big.allocate(1);
+  EXPECT_EQ(static_cast<void*>(b), static_cast<void*>(s));
+  EXPECT_EQ(pool.reuses(), 1u);
+  EXPECT_EQ(pool.fresh_allocations(), 1u);
+  big.deallocate(b, 1);
+  pool.audit_invariants();
+}
+
+TEST(NodePool, RetainedBytesTracksHighWaterNotChurn) {
+  NodePool pool;
+  EXPECT_EQ(pool.retained_bytes(), 0u);
+  void* a = pool.allocate(40);  // one fresh 48-byte bucket
+  EXPECT_EQ(pool.retained_bytes(), 48u);
+  pool.deallocate(a, 40);
+  // Recycling the same block moves nothing: the footprint is high-water.
+  for (int i = 0; i < 10; ++i) {
+    void* p = pool.allocate(40);
+    pool.deallocate(p, 40);
+  }
+  EXPECT_EQ(pool.retained_bytes(), 48u);
+  void* c = pool.allocate(100);  // new 112-byte bucket adds on top
+  EXPECT_EQ(pool.retained_bytes(), 48u + 112u);
+  pool.deallocate(c, 100);
+}
+
 TEST(NodeAllocator, MapEraseInsertReusesNodes) {
   NodePool pool;
   using Alloc = NodeAllocator<std::pair<const int, int>>;
@@ -140,6 +181,30 @@ TEST(ObjectPool, SelfAssignmentIsSafe) {
   a = alias;
   EXPECT_EQ(a.use_count(), 1u);
   EXPECT_EQ(pool.live(), 1u);
+}
+
+TEST(ObjectPool, MoveSelfAssignmentIsSafe) {
+  ObjectPool<Buffer> pool;
+  Ref<Buffer> a = pool.acquire();
+  Buffer* raw = a.get();
+  Ref<Buffer>& alias = a;
+  a = std::move(alias);  // must not release the only reference
+  EXPECT_EQ(a.get(), raw);
+  EXPECT_EQ(a.use_count(), 1u);
+  EXPECT_EQ(pool.live(), 1u);
+  pool.audit_invariants();
+}
+
+TEST(ObjectPool, MoveIntoEngagedRefReleasesTheOldObject) {
+  ObjectPool<Buffer> pool;
+  Ref<Buffer> a = pool.acquire();
+  Ref<Buffer> b = pool.acquire();
+  Buffer* kept = b.get();
+  a = std::move(b);  // a's original object parks, b's transfers
+  EXPECT_EQ(a.get(), kept);
+  EXPECT_EQ(pool.live(), 1u);
+  EXPECT_EQ(pool.free_count(), 1u);
+  pool.audit_invariants();
 }
 
 }  // namespace

@@ -14,3 +14,9 @@ void misbehave() {
   do_thing();
   do_thing();  // lint: allow(unchecked-result)
 }
+
+// layout: pad(14)
+struct ReasonlessPad {};
+
+// layout: shrink(2, not a recognised layout annotation kind)
+struct UnknownLayoutNote {};

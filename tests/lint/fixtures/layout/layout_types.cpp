@@ -1,0 +1,56 @@
+// Seeded layout violations for run_layout_fixture_test.sh. Each struct
+// trips exactly one rule of scripts/ifot_layout.py (see budget.json in
+// this directory); LayoutAnnotated is the positive control that must
+// stay silent. Globals keep every record alive in the DWARF output.
+#include <cstdint>
+
+namespace layoutfix {
+
+// Over the committed 16-byte budget (24 bytes) -> [layout-budget].
+struct LayoutOverrun {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+
+// char/uint64/char leaves 7 + 7 bytes of holes with no annotation
+// -> [layout-padding].
+struct LayoutHole {
+  char head = 0;
+  std::uint64_t body = 0;
+  char tail = 0;
+};
+
+// Same shape, but the padding is declared and justified -> silent.
+// layout: pad(14, mirrors the wire order; rewriting would break decode)
+struct LayoutAnnotated {
+  char head = 0;
+  std::uint64_t body = 0;
+  char tail = 0;
+};
+
+// Reason-less suppression -> [layout-padding] "without a reason".
+// layout: pad(14)
+struct LayoutBadNote {
+  char head = 0;
+  std::uint64_t body = 0;
+  char tail = 0;
+};
+
+// Misspelled/unknown annotation kind -> [layout-padding] "unknown".
+// layout: shrink(14, not a recognised knob)
+struct LayoutUnknownNote {
+  char head = 0;
+  std::uint64_t body = 0;
+  char tail = 0;
+};
+
+// LayoutGhost appears only in budget.json -> [layout-coverage].
+
+LayoutOverrun g_overrun;
+LayoutHole g_hole;
+LayoutAnnotated g_annotated;
+LayoutBadNote g_bad_note;
+LayoutUnknownNote g_unknown_note;
+
+}  // namespace layoutfix

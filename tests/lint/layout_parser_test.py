@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""Unit tests for the scripts/ifot_layout.py layout parsers, driven by
+the hand-written dumps checked in under tests/lint/fixtures/layout/.
+Covers:
+
+  * DWARF (readelf --debug-dump=info text): qualified names through
+    namespace scopes, member sizes through typedef chains, padding-hole
+    computation at bit granularity, bitfields via DW_AT_data_bit_offset,
+    artificial vptr members, base subobjects via DW_TAG_inheritance, and
+    declaration-only DIEs staying out of the database;
+  * Clang (-fdump-record-layouts-complete text): the same four records
+    from the text dump -- build-log noise around the blocks ignored,
+    nested subobject re-dump lines skipped, byte:bit bitfield offsets,
+    `(T vtable pointer)` and `(base)` rows classified as overhead;
+  * both sources agree on size, padding, and overhead for every record;
+  * merge_record flags ODR-style size conflicts and audit() surfaces
+    them as [layout-coverage];
+  * find_annotation: a reasoned `// layout: pad(N, reason)` parses into
+    an allowance, reason-less and unknown annotations come back as
+    problems;
+  * audit(): budget overruns and padding over the threshold produce the
+    [layout-budget] / [layout-padding] diagnostics.
+
+Usage: layout_parser_test.py <repo-root>
+"""
+import importlib.util
+import os
+import sys
+import unittest
+
+REPO = os.path.abspath(sys.argv.pop(1)) if len(sys.argv) > 1 else \
+    os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+
+spec = importlib.util.spec_from_file_location(
+    "ifot_layout", os.path.join(REPO, "scripts", "ifot_layout.py"))
+lay = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(lay)
+
+FIXDIR = os.path.join(REPO, "tests", "lint", "fixtures", "layout")
+FIXSRC = "tests/lint/fixtures/layout/layout_types.cpp"
+
+
+def read_fixture(name):
+    with open(os.path.join(FIXDIR, name), encoding="utf-8") as f:
+        return f.read()
+
+
+def dwarf_db():
+    db, conflicts = {}, []
+    lay.records_from_dwarf(read_fixture("dwarf_dump.txt"), "fixture.o",
+                           db, conflicts)
+    return db, conflicts
+
+
+def clang_db():
+    db, conflicts = {}, []
+    lay.records_from_clang(read_fixture("clang_dump.txt"), "fixture.cpp",
+                           db, conflicts)
+    return db, conflicts
+
+
+class DwarfParserTest(unittest.TestCase):
+    def setUp(self):
+        self.db, self.conflicts = dwarf_db()
+
+    def test_records_and_qualified_names(self):
+        self.assertEqual(
+            set(self.db),
+            {"fix::Inner", "fix::Holey", "fix::Packed", "fix::Derived"})
+        self.assertEqual(self.conflicts, [])
+
+    def test_declaration_only_die_is_skipped(self):
+        self.assertNotIn("fix::Fwd", self.db)
+
+    def test_member_size_through_typedef(self):
+        inner = self.db["fix::Inner"]
+        self.assertEqual(inner.size, 16)
+        x = next(m for m in inner.members if m.name == "x")
+        self.assertEqual((x.bit_offset, x.bit_size), (0, 64))
+        self.assertEqual(inner.padding_bytes(), 0)
+
+    def test_holes_at_bit_granularity(self):
+        holey = self.db["fix::Holey"]
+        self.assertEqual(holey.size, 32)
+        self.assertEqual(holey.padding_bytes(), 14)
+        self.assertEqual(holey.describe_holes(), "7B@1, 7B@25")
+
+    def test_bitfields_and_vptr(self):
+        packed = self.db["fix::Packed"]
+        vptrs = [m for m in packed.members if m.kind == "vptr"]
+        self.assertEqual(len(vptrs), 1)
+        self.assertEqual((vptrs[0].bit_offset, vptrs[0].bit_size), (0, 64))
+        a = next(m for m in packed.members if m.name == "a")
+        b = next(m for m in packed.members if m.name == "b")
+        self.assertEqual((a.bit_offset, a.bit_size), (64, 3))
+        self.assertEqual((b.bit_offset, b.bit_size), (67, 5))
+        self.assertEqual(packed.overhead_bytes(), 8)
+        # bits 72..128 are free: 56 bits = 7 bytes of padding.
+        self.assertEqual(packed.padding_bytes(), 7)
+
+    def test_base_subobject(self):
+        derived = self.db["fix::Derived"]
+        bases = [m for m in derived.members if m.kind == "base"]
+        self.assertEqual(len(bases), 1)
+        self.assertEqual((bases[0].bit_offset, bases[0].bit_size), (0, 128))
+        self.assertEqual(derived.overhead_bytes(), 16)
+        self.assertEqual(derived.padding_bytes(), 0)
+
+
+class ClangParserTest(unittest.TestCase):
+    def setUp(self):
+        self.db, self.conflicts = clang_db()
+
+    def test_records_survive_build_log_noise(self):
+        self.assertEqual(
+            set(self.db),
+            {"fix::Inner", "fix::Holey", "fix::Packed", "fix::Derived"})
+        self.assertEqual(self.conflicts, [])
+
+    def test_nested_redump_lines_are_skipped(self):
+        holey = self.db["fix::Holey"]
+        self.assertEqual(sorted(m.name for m in holey.members),
+                         ["tag", "tail", "value"])
+        value = next(m for m in holey.members if m.name == "value")
+        self.assertEqual((value.bit_offset, value.bit_size), (64, 128))
+        self.assertEqual(holey.padding_bytes(), 14)
+
+    def test_byte_colon_bit_offsets(self):
+        packed = self.db["fix::Packed"]
+        a = next(m for m in packed.members if m.name == "a")
+        b = next(m for m in packed.members if m.name == "b")
+        self.assertEqual((a.bit_offset, a.bit_size), (64, 3))
+        self.assertEqual((b.bit_offset, b.bit_size), (67, 5))
+        self.assertEqual(packed.overhead_bytes(), 8)
+        self.assertEqual(packed.padding_bytes(), 7)
+
+    def test_base_row(self):
+        derived = self.db["fix::Derived"]
+        bases = [m for m in derived.members if m.kind == "base"]
+        self.assertEqual(len(bases), 1)
+        self.assertEqual((bases[0].bit_offset, bases[0].bit_size), (0, 128))
+        self.assertEqual(derived.overhead_bytes(), 16)
+
+    def test_sources_agree(self):
+        dwarf, _ = dwarf_db()
+        for name, rec in self.db.items():
+            self.assertEqual(rec.size, dwarf[name].size, name)
+            self.assertEqual(rec.padding_bytes(),
+                             dwarf[name].padding_bytes(), name)
+            self.assertEqual(rec.overhead_bytes(),
+                             dwarf[name].overhead_bytes(), name)
+
+
+class MergeTest(unittest.TestCase):
+    def test_size_conflict_is_reported(self):
+        db, conflicts = {}, []
+        lay.merge_record(db, lay.Record("fix::T", 16, "a.o"), conflicts)
+        lay.merge_record(db, lay.Record("fix::T", 24, "b.o"), conflicts)
+        self.assertEqual(len(conflicts), 1)
+        budget = {"__path__": "b.json", "types": {}}
+        violations, _ = lay.audit(db, budget, REPO, conflicts)
+        self.assertTrue(any("[layout-coverage]" in v for v in violations))
+
+
+class AnnotationTest(unittest.TestCase):
+    def test_reasoned_pad_is_an_allowance(self):
+        line, pad, problem = lay.find_annotation(REPO, FIXSRC,
+                                                 "LayoutAnnotated")
+        self.assertIsNotNone(line)
+        self.assertEqual(pad, 14)
+        self.assertIsNone(problem)
+
+    def test_reasonless_pad_is_a_problem(self):
+        _, pad, problem = lay.find_annotation(REPO, FIXSRC, "LayoutBadNote")
+        self.assertIsNone(pad)
+        self.assertIn("without a reason", problem)
+
+    def test_unknown_annotation_is_a_problem(self):
+        _, pad, problem = lay.find_annotation(REPO, FIXSRC,
+                                              "LayoutUnknownNote")
+        self.assertIsNone(pad)
+        self.assertIn("unknown layout annotation", problem)
+
+    def test_unannotated_type_has_no_allowance(self):
+        line, pad, problem = lay.find_annotation(REPO, FIXSRC, "LayoutHole")
+        self.assertIsNotNone(line)
+        self.assertIsNone(pad)
+        self.assertIsNone(problem)
+
+    def test_missing_type_is_not_found(self):
+        self.assertEqual(lay.find_annotation(REPO, FIXSRC, "LayoutGhost"),
+                         (None, None, None))
+
+
+def _record(name, size, fill_bytes):
+    rec = lay.Record(name, size, "t.o")
+    rec.members.append(lay.Member("blob", 0, fill_bytes * 8))
+    return rec
+
+
+class AuditTest(unittest.TestCase):
+    def budget(self, key, **spec):
+        spec.setdefault("file", FIXSRC)
+        return {"__path__": "b.json", "pad_default": 7,
+                "types": {key: spec}}
+
+    def test_budget_overrun(self):
+        db = {"layoutfix::LayoutOverrun": _record(
+            "layoutfix::LayoutOverrun", 24, 24)}
+        violations, _ = lay.audit(
+            db, self.budget("LayoutOverrun", budget=16), REPO, [])
+        self.assertEqual(len(violations), 1)
+        self.assertIn("[layout-budget]", violations[0])
+
+    def test_padding_over_threshold(self):
+        db = {"layoutfix::LayoutHole": _record(
+            "layoutfix::LayoutHole", 24, 10)}
+        violations, _ = lay.audit(
+            db, self.budget("LayoutHole", budget=24), REPO, [])
+        self.assertEqual(len(violations), 1)
+        self.assertIn("[layout-padding]", violations[0])
+
+    def test_within_budget_is_silent(self):
+        db = {"layoutfix::LayoutOverrun": _record(
+            "layoutfix::LayoutOverrun", 24, 24)}
+        violations, rows = lay.audit(
+            db, self.budget("LayoutOverrun", budget=24), REPO, [])
+        self.assertEqual(violations, [])
+        self.assertEqual(len(rows), 1)
+
+    def test_missing_coverage(self):
+        violations, _ = lay.audit(
+            {}, self.budget("LayoutGhost", budget=8), REPO, [])
+        self.assertEqual(len(violations), 1)
+        self.assertIn("[layout-coverage]", violations[0])
+
+    def test_suffix_and_regex_matching(self):
+        rec = _record("ifot::mqtt::TopicTree<int>::Node", 112, 112)
+        db = {rec.qualified: rec}
+        self.assertEqual(
+            lay.find_budget_type(db, "TopicTree::Node",
+                                 {"match": r"TopicTree<.*>::Node$"}), [rec])
+        self.assertEqual(lay.find_budget_type(db, "Node", {}), [rec])
+        self.assertEqual(lay.find_budget_type(db, "Leaf", {}), [])
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Negative test of scripts/ifot_layout.py: compile the seeded fixture TU
+# under tests/lint/fixtures/layout/ with full debug types, audit it
+# against the deliberately wrong committed budget.json and require
+#
+#   (a) a non-zero exit,
+#   (b) each rule to fire on its struct:
+#         [layout-budget]    LayoutOverrun     (24 bytes vs 16 budget)
+#         [layout-padding]   LayoutHole        (14 unannotated hole bytes)
+#         [layout-coverage]  LayoutGhost       (budgeted, never defined)
+#   (c) the reason-less `// layout: pad(14)` on LayoutBadNote and the
+#       unknown `// layout: shrink(...)` on LayoutUnknownNote to be
+#       rejected,
+#   (d) LayoutAnnotated (same holes, reasoned pad note) to stay silent.
+#
+# SKIPs (exit 0) without python3, a C++ compiler, or readelf.
+#
+# Usage: run_layout_fixture_test.sh <repo-root>
+set -u
+
+root="${1:?usage: run_layout_fixture_test.sh <repo-root>}"
+cd "$root" || exit 2
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "SKIP: python3 not found"
+  exit 0
+fi
+CXX_BIN="${CXX:-}"
+if [ -z "$CXX_BIN" ]; then
+  for candidate in g++ clang++ c++; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      CXX_BIN="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$CXX_BIN" ]; then
+  echo "SKIP: no C++ compiler found"
+  exit 0
+fi
+if ! command -v readelf >/dev/null 2>&1; then
+  echo "SKIP: readelf not found; the DWARF layout path needs binutils"
+  exit 0
+fi
+
+fixdir="tests/lint/fixtures/layout"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+if ! "$CXX_BIN" -std=c++20 -g -fno-eliminate-unused-debug-types \
+     -c "$fixdir/layout_types.cpp" -o "$tmp/layout_types.o" \
+     2>"$tmp/compile.err"; then
+  echo "FAIL: could not compile fixture layout_types.cpp:"
+  sed 's/^/    /' "$tmp/compile.err"
+  exit 1
+fi
+
+out=$(python3 scripts/ifot_layout.py --dwarf-dir "$tmp" --root . \
+        --budget "$fixdir/budget.json" 2>&1)
+status=$?
+echo "$out"
+
+fail=0
+if [ "$status" -eq 0 ]; then
+  echo "FAIL: analyzer exited 0 on seeded violations"
+  fail=1
+fi
+for rule in layout-budget layout-padding layout-coverage; do
+  case "$out" in
+    *"[$rule]"*) ;;
+    *) echo "FAIL: rule $rule did not fire on its fixture"; fail=1 ;;
+  esac
+done
+case "$out" in
+  *"LayoutOverrun is 24 bytes, budget 16"*) ;;
+  *) echo "FAIL: budget overrun was not attributed to LayoutOverrun"; fail=1 ;;
+esac
+case "$out" in
+  *"LayoutHole wastes 14 bytes"*) ;;
+  *) echo "FAIL: unannotated padding was not measured on LayoutHole"; fail=1 ;;
+esac
+case "$out" in
+  *"LayoutGhost"*) ;;
+  *) echo "FAIL: missing coverage of LayoutGhost was not flagged"; fail=1 ;;
+esac
+case "$out" in
+  *"without a reason"*) ;;
+  *) echo "FAIL: reason-less pad() suppression was not rejected"; fail=1 ;;
+esac
+case "$out" in
+  *"unknown layout annotation 'shrink'"*) ;;
+  *) echo "FAIL: unknown annotation kind was not rejected"; fail=1 ;;
+esac
+# The reasoned pad(14, ...) on LayoutAnnotated must suppress its holes
+# while every rule above fired -- the escape hatch works, unexplained
+# or misspelled suppressions do not.
+case "$out" in
+  *"LayoutAnnotated"*) echo "FAIL: reasoned pad() did not suppress"; fail=1 ;;
+esac
+
+[ "$fail" -eq 0 ] && echo "OK: every layout rule fired on its seeded fixture"
+exit "$fail"

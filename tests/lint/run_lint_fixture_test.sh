@@ -43,6 +43,14 @@ case "$out" in
   *"suppression without a reason"*) ;;
   *) echo "FAIL: reason-less suppression was not rejected"; fail=1 ;;
 esac
+case "$out" in
+  *"layout: pad() suppression without a byte count and a reason"*) ;;
+  *) echo "FAIL: reason-less layout pad() was not rejected"; fail=1 ;;
+esac
+case "$out" in
+  *"unknown layout annotation 'shrink'"*) ;;
+  *) echo "FAIL: unknown layout annotation kind was not rejected"; fail=1 ;;
+esac
 # The reasoned allow() in alloc_token.cpp must stay silent (line 26),
 # while every rule above fired -- the escape hatch works, unexplained
 # or misspelled suppressions do not.

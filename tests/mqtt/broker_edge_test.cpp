@@ -225,5 +225,42 @@ TEST(BrokerEdge, ResubscribeReplacesQos) {
   EXPECT_EQ(sub.messages()[0].qos, QoS::kAtMostOnce);  // downgraded grant
 }
 
+TEST(BrokerEdge, TeardownDrainsPoolsWithStateParkedEverywhere) {
+  // Destroy the broker while sessions still hold pooled state in every
+  // shape the NodePool serves: subscription entries, an unacked inflight
+  // record, and messages queued for an offline persistent session. The
+  // session table must drain every node back before the pool dies (the
+  // audit build asserts outstanding == 0 in ~NodePool; declaration order
+  // in Broker is the only thing making that true).
+  {
+    Harness h;
+    Peer& sub = h.add_client("sub", /*clean=*/false);
+    Peer& other = h.add_client("other");
+    Peer& pub = h.add_client("pub");
+    h.connect(sub);
+    h.connect(other);
+    h.connect(pub);
+    ASSERT_TRUE(sub.client()
+                    .subscribe({{"drain/#", QoS::kAtLeastOnce},
+                                {"drain2/#", QoS::kExactlyOnce}})
+                    .ok());
+    ASSERT_TRUE(
+        other.client().subscribe({{"drain/#", QoS::kAtLeastOnce}}).ok());
+    h.settle();
+    sub.kill_transport();  // persistent: queue fills while offline
+    h.settle();
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(pub.client()
+                      .publish("drain/a", to_bytes("x"), QoS::kAtLeastOnce)
+                      .ok());
+    }
+    // Leave "other"'s delivery unacked in flight: run the sim only long
+    // enough for the PUBLISH to go out, not for the PUBACK to return.
+    h.settle(kMillisecond);
+    EXPECT_EQ(h.broker().session_count(), 3u);
+  }  // ~Harness -> ~Broker: sessions, links, outbox, pools in order
+  SUCCEED();
+}
+
 }  // namespace
 }  // namespace ifot::mqtt

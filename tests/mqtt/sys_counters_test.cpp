@@ -62,7 +62,7 @@ TEST(SysCounters, FanoutAndDedupCountersArePublished) {
     ASSERT_TRUE(stats.count(topic)) << "missing " << topic;
   }
   // The egress path encoded shared wire templates, and the watcher's own
-  // $SYS burst (17 topics per tick towards one link) coalesced into
+  // $SYS burst (29 topics per tick towards one link) coalesced into
   // batched transport writes.
   EXPECT_GE(std::stoull(stats.at("$SYS/broker/egress/wire_templates")), 1u);
   EXPECT_GT(std::stoull(stats.at("$SYS/broker/egress/batched_writes")), 0u);
@@ -79,6 +79,52 @@ TEST(SysCounters, FanoutAndDedupCountersArePublished) {
       6u);
   // Nothing forced a copy or touched QoS 2 dedup state in this scenario.
   EXPECT_EQ(stats.at("$SYS/broker/store/qos2/dedup/backlog"), "0");
+}
+
+TEST(SysCounters, MemoryFootprintCountersArePublished) {
+  BrokerConfig cfg;
+  cfg.sys_interval = kSecond;
+  Harness h(cfg);
+  Peer& watcher = h.add_client("watcher");
+  Peer& sub = h.add_client("sub", /*clean=*/false);
+  Peer& pub = h.add_client("pub");
+  h.connect(watcher);
+  h.connect(sub);
+  h.connect(pub);
+  ASSERT_TRUE(watcher.client().subscribe({{"$SYS/#", QoS::kAtMostOnce}}).ok());
+  ASSERT_TRUE(sub.client().subscribe({{"flow/#", QoS::kAtLeastOnce}}).ok());
+  h.settle();
+
+  // Drop the persistent subscriber and publish into its filter: the
+  // message parks on the offline session's queue, so queued_nodes must
+  // move off zero while the session itself stays counted.
+  sub.kill_transport();
+  h.settle();
+  ASSERT_TRUE(pub.client()
+                  .publish("flow/a", to_bytes("x"), QoS::kAtLeastOnce)
+                  .ok());
+  h.settle(2 * kSecond);  // at least one stats tick after the publish
+
+  const auto stats = sys_snapshot(watcher);
+  for (const char* topic : {
+           "$SYS/broker/memory/sessions_bytes_est",
+           "$SYS/broker/memory/inflight_nodes",
+           "$SYS/broker/memory/queued_nodes",
+           "$SYS/broker/memory/pool_buckets_bytes",
+       }) {
+    ASSERT_TRUE(stats.count(topic)) << "missing " << topic;
+  }
+  // watcher + pub + the persistent "sub" session: the estimate is
+  // sizeof(Session) per live session, so it divides evenly by three.
+  const auto est =
+      std::stoull(stats.at("$SYS/broker/memory/sessions_bytes_est"));
+  EXPECT_EQ(h.broker().session_count(), 3u);
+  EXPECT_GT(est, 0u);
+  EXPECT_EQ(est % 3, 0u);
+  EXPECT_GE(std::stoull(stats.at("$SYS/broker/memory/queued_nodes")), 1u);
+  // Subscriptions and the parked message both draw from the node pool.
+  EXPECT_GT(std::stoull(stats.at("$SYS/broker/memory/pool_buckets_bytes")),
+            0u);
 }
 
 TEST(SysCounters, CounterTopicsAreRetainedForLateSubscribers) {
