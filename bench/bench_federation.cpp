@@ -1,0 +1,208 @@
+// Federation throughput: routed messages/sec across a K-broker mesh.
+//
+// K brokers are meshed with one bidirectional Bridge per pair, wired
+// back to back with synchronous in-process links (no simulator — pure
+// broker + bridge cost). Topics are sharded by prefix: shard/<i>/... is
+// owned by broker i, which carries that shard's subscribers.
+//
+//  * BM_FederatedLocal — every publisher publishes at its own shard's
+//    broker (the federated steady state: shard-local ratio ~100%). The
+//    mesh is present but idle; measures that federation costs nothing
+//    when placement is right.
+//  * BM_FederatedCrossShard — one publisher wired to broker 0 publishes
+//    round-robin across all K shards, so (K-1)/K of the volume crosses
+//    a bridge: wrap at the origin, relay, unwrap + route at the owner.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.hpp"
+#include "mqtt/bridge.hpp"
+#include "mqtt/broker.hpp"
+#include "mqtt/federation_map.hpp"
+#include "mqtt/packet.hpp"
+
+namespace {
+
+using namespace ifot;
+using namespace ifot::mqtt;
+
+class NullSched final : public Scheduler {
+ public:
+  SimTime now() override { return 0; }
+  std::uint64_t call_after(SimDuration, std::function<void()>) override {
+    return ++next_;
+  }
+  void cancel(std::uint64_t) override {}
+
+ private:
+  std::uint64_t next_ = 0;
+};
+
+constexpr LinkId kPubLink = 1;
+constexpr LinkId kFirstSubLink = 100;
+constexpr LinkId kFirstBridgeLink = 5000;
+
+/// K brokers + the full bridge mesh, links wired synchronously.
+struct Mesh {
+  NullSched sched;
+  std::vector<std::unique_ptr<Broker>> brokers;
+  std::vector<std::unique_ptr<Bridge>> bridges;
+  std::uint64_t delivered = 0;
+
+  explicit Mesh(std::size_t k) {
+    FederationMap map(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      (void)map.assign("shard/" + std::to_string(i), i);
+      brokers.push_back(std::make_unique<Broker>(sched));
+    }
+    LinkId next_link = kFirstBridgeLink;
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = i + 1; j < k; ++j) {
+        BridgeConfig bc;
+        bc.name = "fed-" + std::to_string(i) + "-" + std::to_string(j);
+        bc.local_label = "b" + std::to_string(i);
+        bc.remote_label = "b" + std::to_string(j);
+        for (auto& f : map.filters_owned_by(j)) {
+          bc.out_filters.push_back({std::move(f), QoS::kExactlyOnce});
+        }
+        for (auto& f : map.filters_owned_by(i)) {
+          bc.in_filters.push_back({std::move(f), QoS::kExactlyOnce});
+        }
+        const LinkId llink = next_link++;
+        const LinkId rlink = next_link++;
+        bridges.push_back(std::make_unique<Bridge>(
+            sched, std::move(bc),
+            [bi = brokers[i].get(), llink](const Bytes& b) {
+              bi->on_link_data(llink, BytesView(b));
+            },
+            [bj = brokers[j].get(), rlink](const Bytes& b) {
+              bj->on_link_data(rlink, BytesView(b));
+            }));
+        Bridge* bp = bridges.back().get();
+        brokers[i]->on_link_open(
+            llink, [bp](const Bytes& b) { bp->local_data(BytesView(b)); },
+            [] {});
+        brokers[j]->on_link_open(
+            rlink, [bp](const Bytes& b) { bp->remote_data(BytesView(b)); },
+            [] {});
+        bp->local_transport_open();
+        bp->remote_transport_open();
+      }
+    }
+  }
+
+  /// Publisher session on broker `i`.
+  void add_publisher(std::size_t i) {
+    brokers[i]->on_link_open(kPubLink, [](const Bytes&) {}, [] {});
+    Connect c;
+    c.client_id = "pub" + std::to_string(i);
+    brokers[i]->on_link_data(kPubLink, BytesView(encode(Packet{c})));
+  }
+
+  /// `subs` QoS 0 subscribers on broker `i`, filter shard/<i>/#.
+  void add_subscribers(std::size_t i, int subs) {
+    for (int s = 0; s < subs; ++s) {
+      const LinkId link = kFirstSubLink + static_cast<LinkId>(s);
+      brokers[i]->on_link_open(
+          link,
+          [this](const Bytes& b) {
+            ++delivered;
+            benchmark::DoNotOptimize(b.data());
+          },
+          [] {});
+      Connect c;
+      c.client_id = "sub" + std::to_string(s);
+      brokers[i]->on_link_data(link, BytesView(encode(Packet{c})));
+      Subscribe sub;
+      sub.packet_id = 1;
+      sub.topics = {{"shard/" + std::to_string(i) + "/#", QoS::kAtMostOnce}};
+      brokers[i]->on_link_data(link, BytesView(encode(Packet{sub})));
+    }
+  }
+
+  void report(benchmark::State& state, double deliveries_per_iter) {
+    std::uint64_t pubs_in = 0;
+    std::uint64_t bridged_in = 0;
+    std::uint64_t bridge_out = 0;
+    for (const auto& b : brokers) {
+      pubs_in += b->counters().get("publishes_in");
+      bridged_in += b->counters().get("bridge_in");
+      bridge_out += b->counters().get("bridge_out");
+    }
+    state.counters["brokers"] = static_cast<double>(brokers.size());
+    state.counters["routed_msgs_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * deliveries_per_iter,
+        benchmark::Counter::kIsRate);
+    state.counters["shard_local_ratio"] =
+        pubs_in == 0 ? 1.0
+                     : static_cast<double>(pubs_in - bridged_in) /
+                           static_cast<double>(pubs_in);
+    state.counters["bridge_out_per_iter"] =
+        static_cast<double>(bridge_out) /
+        static_cast<double>(state.iterations());
+  }
+};
+
+Bytes shard_publish(std::size_t shard) {
+  Publish p;
+  p.topic = "shard/" + std::to_string(shard) + "/sense";
+  p.qos = QoS::kAtMostOnce;
+  p.payload = Bytes(64, 0x42);
+  return encode(Packet{p});
+}
+
+/// Shard-local placement: one publish at each of the K brokers per
+/// iteration, each fanning out to that shard's 10 subscribers. The
+/// bridge mesh is connected but carries nothing.
+void BM_FederatedLocal(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  constexpr int kSubs = 10;
+  Mesh mesh(k);
+  std::vector<Bytes> pubs;
+  for (std::size_t i = 0; i < k; ++i) {
+    mesh.add_publisher(i);
+    mesh.add_subscribers(i, kSubs);
+    pubs.push_back(shard_publish(i));
+  }
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < k; ++i) {
+      mesh.brokers[i]->on_link_data(kPubLink, BytesView(pubs[i]));
+    }
+  }
+  benchmark::DoNotOptimize(mesh.delivered);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k) * kSubs);
+  mesh.report(state, static_cast<double>(k) * kSubs);
+}
+BENCHMARK(BM_FederatedLocal)->Arg(1)->Arg(2)->Arg(4);
+
+/// Worst-case placement: every publish enters at broker 0 and (K-1)/K of
+/// them must cross a bridge to reach their shard's subscribers.
+void BM_FederatedCrossShard(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  constexpr int kSubs = 10;
+  Mesh mesh(k);
+  mesh.add_publisher(0);
+  std::vector<Bytes> pubs;
+  for (std::size_t i = 0; i < k; ++i) {
+    mesh.add_subscribers(i, kSubs);
+    pubs.push_back(shard_publish(i));
+  }
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < k; ++i) {
+      mesh.brokers[0]->on_link_data(kPubLink, BytesView(pubs[i]));
+    }
+  }
+  benchmark::DoNotOptimize(mesh.delivered);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k) * kSubs);
+  mesh.report(state, static_cast<double>(k) * kSubs);
+}
+BENCHMARK(BM_FederatedCrossShard)->Arg(2)->Arg(4);
+
+}  // namespace
+
+IFOT_BENCH_MAIN("federation")

@@ -75,6 +75,34 @@ std::vector<Packet> corpus_packets() {
                         .payload = SharedPayload{}, .retain = true});
   out.push_back(Publish{.topic = "$SYS/broker/uptime",
                         .payload = to_bytes("42"), .retain = true});
+  // Federation namespaces: "$share/<group>/<filter>" SUBSCRIBEs (valid
+  // and every malformed-group shape the broker must reject with 0x80)
+  // and "$fed/<hops>/<topic>" bridge wraps (in-grammar, hop-exhausted,
+  // and hostile hop levels), so the fuzzer mutates from both grammars.
+  // Appended so earlier seed numbering stays stable.
+  out.push_back(Subscribe{
+      .packet_id = 23,
+      .topics = {{"$share/analytics/city/north/#", QoS::kAtLeastOnce},
+                 {"$share/g/+/t", QoS::kAtMostOnce}}});
+  out.push_back(Subscribe{
+      .packet_id = 24,
+      .topics = {{"$share", QoS::kAtMostOnce},
+                 {"$share/", QoS::kAtMostOnce},
+                 {"$share/g", QoS::kAtMostOnce},
+                 {"$share//f", QoS::kAtMostOnce}}});
+  out.push_back(Subscribe{
+      .packet_id = 25,
+      .topics = {{"$share/g+x/f", QoS::kAtMostOnce},
+                 {"$share/#/f", QoS::kAtMostOnce},
+                 {"$share/g/", QoS::kExactlyOnce}}});
+  out.push_back(Publish{.topic = "$fed/1/city/north/cam",
+                        .payload = to_bytes("wrap"),
+                        .qos = QoS::kAtLeastOnce, .packet_id = 26});
+  out.push_back(Publish{.topic = "$fed/999/t",
+                        .payload = to_bytes("far")});
+  out.push_back(Publish{.topic = "$fed/0001/t",
+                        .payload = to_bytes("overlong")});
+  out.push_back(Publish{.topic = "$fed/x/t", .payload = to_bytes("bad")});
   return out;
 }
 

@@ -22,6 +22,7 @@ SCENARIOS=(
   examples/home_appliance_control
   examples/mobility_support
   examples/smart_factory
+  examples/federated_city
   tests/determinism_scenario
 )
 

@@ -118,6 +118,10 @@ AUDITED_CLASSES = [
      "impl": "src/mqtt/route_cache.cpp"},
     {"class": "RetainedStore", "header": "src/mqtt/retained_store.hpp",
      "impl": "src/mqtt/retained_store.cpp"},
+    {"class": "Bridge", "header": "src/mqtt/bridge.hpp",
+     "impl": "src/mqtt/bridge.cpp"},
+    {"class": "FederationMap", "header": "src/mqtt/federation_map.hpp",
+     "impl": "src/mqtt/federation_map.cpp"},
     {"class": "NeuronModule", "header": "src/node/module.hpp",
      "impl": "src/node/module.cpp"},
     {"class": "Middleware", "header": "src/core/middleware.hpp",

@@ -62,6 +62,42 @@ Status Middleware::start() {
     return Err(Errc::kState, "no module is flagged as broker");
   }
   for (NodeId b : broker_modules_) module(b).start_broker();
+  if (config_.federation.enabled && broker_modules_.size() > 1) {
+    // Build the shard map, hand it to every module, and mesh the brokers
+    // with one bidirectional bridge per unordered pair {i, j}: the bridge
+    // lives on broker i, forwards j's owned prefixes towards j and i's
+    // back, plus $SYS/# both ways for mesh health. Bridge filters grant
+    // QoS 2 so forwarded publishes keep their original QoS.
+    fed_map_ = std::make_unique<mqtt::FederationMap>(broker_modules_.size());
+    for (const auto& [prefix, owner] : config_.federation.prefixes) {
+      if (auto s = fed_map_->assign(prefix, owner); !s) return s;
+    }
+    for (auto& entry : modules_) {
+      entry.module->set_federation(fed_map_.get());
+    }
+    for (std::size_t i = 0; i < broker_modules_.size(); ++i) {
+      for (std::size_t j = i + 1; j < broker_modules_.size(); ++j) {
+        mqtt::BridgeConfig bc;
+        bc.name = "fed-" + std::to_string(i) + "-" + std::to_string(j);
+        bc.local_label = net_->host_name(broker_modules_[i]);
+        bc.remote_label = net_->host_name(broker_modules_[j]);
+        bc.keep_alive_s = config_.federation.bridge_keep_alive_s;
+        for (auto& f : fed_map_->filters_owned_by(j)) {
+          bc.out_filters.push_back({std::move(f), mqtt::QoS::kExactlyOnce});
+        }
+        bc.out_filters.push_back({"$SYS/#", mqtt::QoS::kAtMostOnce});
+        for (auto& f : fed_map_->filters_owned_by(i)) {
+          bc.in_filters.push_back({std::move(f), mqtt::QoS::kExactlyOnce});
+        }
+        bc.in_filters.push_back({"$SYS/#", mqtt::QoS::kAtMostOnce});
+        if (auto s = module(broker_modules_[i])
+                         .add_bridge(std::move(bc), broker_modules_[j]);
+            !s) {
+          return s;
+        }
+      }
+    }
+  }
   // Every module gets a client per broker, including the broker modules
   // themselves (loopback links, so they too can host tasks).
   for (auto& entry : modules_) {
@@ -363,6 +399,12 @@ Status Middleware::watch(NodeId module_id, const std::string& filter,
   return module(module_id).watch(filter, std::move(handler));
 }
 
+// audit: exempt(delegates to NeuronModule::watch_shard, which audits)
+Status Middleware::watch_shard(NodeId module_id, const std::string& filter,
+                               node::NeuronModule::WatchHandler handler) {
+  return module(module_id).watch_shard(filter, std::move(handler));
+}
+
 // audit: exempt(hook registration only; no fabric state is touched)
 void Middleware::set_completion_hook(node::CompletionHook hook) {
   for (auto& entry : modules_) entry.module->set_completion_hook(hook);
@@ -396,6 +438,29 @@ void Middleware::audit_invariants() const {
     IFOT_AUDIT_ASSERT(!started_ || e->module->is_broker(),
                       "module '" + e->spec.name +
                           "' is registered as broker but runs none");
+  }
+
+  // Federation: the shard map exists only for a started multi-broker
+  // fabric with federation on, covers exactly the fabric's brokers, and
+  // every broker pair is meshed (pair {i, j} hosts its bridge on i).
+  IFOT_AUDIT_ASSERT(fed_map_ == nullptr ||
+                        (started_ && config_.federation.enabled),
+                    "federation map exists on an unfederated fabric");
+  if (fed_map_ != nullptr) {
+    fed_map_->audit_invariants();
+    IFOT_AUDIT_ASSERT(fed_map_->broker_count() == broker_modules_.size(),
+                      "federation map covers " +
+                          std::to_string(fed_map_->broker_count()) +
+                          " brokers, fabric has " +
+                          std::to_string(broker_modules_.size()));
+    for (std::size_t i = 0; i < broker_modules_.size(); ++i) {
+      const ModuleEntry* e = find_entry(broker_modules_[i]);
+      IFOT_AUDIT_ASSERT(e != nullptr &&
+                            e->module->bridge_count() ==
+                                broker_modules_.size() - 1 - i,
+                        "broker " + std::to_string(i) +
+                            " hosts the wrong number of mesh bridges");
+    }
   }
 
   // A crashed module must be excluded from future placements.

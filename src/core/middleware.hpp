@@ -53,12 +53,31 @@ struct ModuleSpec {
   bool accept_tasks = true;
 };
 
+/// Topic-prefix sharding across the fabric's broker modules. When
+/// enabled with K > 1 brokers, start() builds a mqtt::FederationMap from
+/// the prefix assignments, installs it on every module (flow publishes
+/// and subscribes then route to the owning shard instead of the legacy
+/// topic hash), and meshes the brokers with one bidirectional bridge per
+/// broker pair. Each bridge forwards the peer's owned prefixes plus
+/// "$SYS/#" for mesh health, so a publish landing on the wrong shard
+/// (an explicit `broker = N` pin) still reaches its owner's subscribers.
+struct FederationConfig {
+  bool enabled = false;
+  /// prefix -> broker index (position in broker_modules()). Topics not
+  /// under any assigned prefix fall back to a stable hash inside
+  /// FederationMap::shard_of — but only assigned prefixes are bridged,
+  /// so pin every prefix that can be published cross-shard.
+  std::vector<std::pair<std::string, std::size_t>> prefixes;
+  std::uint16_t bridge_keep_alive_s = 60;
+};
+
 /// Fabric-wide configuration.
 struct MiddlewareConfig {
   net::LanConfig lan;
   node::CostModel costs;
   mqtt::QoS flow_qos = mqtt::QoS::kAtMostOnce;
   mqtt::BrokerConfig broker;
+  FederationConfig federation;
   std::uint64_t seed = 42;
   /// MQTT keep-alive of every module's client. Failure detection latency
   /// is 1.5x this, so deployments wanting fast failover lower it.
@@ -146,6 +165,12 @@ class Middleware {
   Status watch(NodeId module_id, const std::string& filter,
                node::NeuronModule::WatchHandler handler);
 
+  /// Shard-aware watch: subscribes only on the broker owning `filter`
+  /// under the federation map. Accepts "$share/<group>/<filter>" strings
+  /// for joining a shared-subscription load group.
+  Status watch_shard(NodeId module_id, const std::string& filter,
+                     node::NeuronModule::WatchHandler handler);
+
   // ---- accessors ----
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] net::Network& network() { return *net_; }
@@ -164,6 +189,10 @@ class Middleware {
     return broker_modules_;
   }
   [[nodiscard]] const MiddlewareConfig& config() const { return config_; }
+  /// The fabric's shard map (nullptr when federation is off or K == 1).
+  [[nodiscard]] const mqtt::FederationMap* federation_map() const {
+    return fed_map_.get();
+  }
 
   /// Human-readable placement summary of a deployment (diagnostics).
   [[nodiscard]] std::string describe(const Deployment& d) const;
@@ -193,6 +222,7 @@ class Middleware {
   std::unique_ptr<net::Network> net_;
   std::vector<ModuleEntry> modules_;
   std::vector<NodeId> broker_modules_;
+  std::unique_ptr<mqtt::FederationMap> fed_map_;
   bool started_ = false;
   bool flows_running_ = false;
   std::vector<Deployment> deployments_;

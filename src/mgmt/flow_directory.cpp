@@ -36,6 +36,8 @@ void FlowDirectory::on_announcement(const std::string& topic,
       e.module = v;
     } else if (k == "partitions") {
       e.partitions = parse_uint(v).value_or(1);
+    } else if (k == "shard") {
+      e.shard = static_cast<int>(parse_uint(v).value_or(0));
     }
   }
   entries_[key] = std::move(e);
@@ -63,10 +65,11 @@ std::string FlowDirectory::topic_of(const std::string& key) const {
 }
 
 std::string FlowDirectory::to_string() const {
-  Table t({"flow", "topic", "type", "module", "partitions"});
+  Table t({"flow", "topic", "type", "module", "partitions", "shard"});
   for (const auto& [_, e] : entries_) {
     t.add_row({e.key, e.topic, e.type, e.module,
-               std::to_string(e.partitions)});
+               std::to_string(e.partitions),
+               e.shard < 0 ? std::string("-") : std::to_string(e.shard)});
   }
   return "flow directory\n" + t.to_string();
 }

@@ -23,6 +23,7 @@ class FlowDirectory {
     std::string type;    ///< producing node type
     std::string module;  ///< hosting module
     std::size_t partitions = 1;
+    int shard = -1;      ///< owning broker index when federated, else -1
 
     friend bool operator==(const Entry&, const Entry&) = default;
   };

@@ -1,0 +1,144 @@
+#include "mqtt/bridge.hpp"
+
+#include <utility>
+
+#include "common/audit.hpp"
+#include "common/log.hpp"
+#include "mqtt/topic.hpp"
+
+namespace ifot::mqtt {
+namespace {
+constexpr const char* kLog = "mqtt.bridge";
+constexpr std::string_view kSysPrefix = "$SYS/";
+
+ClientConfig half_config(const BridgeConfig& cfg) {
+  ClientConfig c;
+  c.client_id = std::string(kBridgeClientPrefix) + cfg.name;
+  c.clean_session = true;  // filters re-assert on every (re)connect
+  c.keep_alive_s = cfg.keep_alive_s;
+  return c;
+}
+
+}  // namespace
+
+Bridge::Bridge(Scheduler& sched, BridgeConfig cfg, SendFn local_send,
+               SendFn remote_send)
+    : cfg_(std::move(cfg)),
+      local_(sched, half_config(cfg_), std::move(local_send)),
+      remote_(sched, half_config(cfg_), std::move(remote_send)) {
+  // Each half re-asserts its filter scope on every CONNACK: sessions are
+  // clean, so a broker restart or takeover starts from nothing.
+  local_.set_on_connack([this](const Connack&) {
+    subscribe_half(local_, cfg_.out_filters);
+  });
+  remote_.set_on_connack([this](const Connack&) {
+    subscribe_half(remote_, cfg_.in_filters);
+  });
+  local_.set_on_message([this](const Publish& p) {
+    relay(p, remote_, cfg_.local_label, "local_to_remote");
+  });
+  remote_.set_on_message([this](const Publish& p) {
+    relay(p, local_, cfg_.remote_label, "remote_to_local");
+  });
+  audit_invariants();
+}
+
+void Bridge::local_transport_open() {
+  local_.on_transport_open();
+  audit_invariants();
+}
+
+void Bridge::local_data(BytesView data) {
+  local_.on_data(data);
+  audit_invariants();
+}
+
+void Bridge::local_transport_closed() {
+  local_.on_transport_closed();
+  audit_invariants();
+}
+
+void Bridge::remote_transport_open() {
+  remote_.on_transport_open();
+  audit_invariants();
+}
+
+void Bridge::remote_data(BytesView data) {
+  remote_.on_data(data);
+  audit_invariants();
+}
+
+void Bridge::remote_transport_closed() {
+  remote_.on_transport_closed();
+  audit_invariants();
+}
+
+// audit: exempt(subscription hand-off to the owned Client; bridge state
+// is untouched and the client audits itself)
+void Bridge::subscribe_half(Client& half,
+                            const std::vector<TopicRequest>& filters) {
+  if (filters.empty()) return;
+  if (auto st = half.subscribe(filters); !st) {
+    IFOT_LOG(kWarn, kLog) << cfg_.name << ": bridge subscribe failed: "
+                          << st.error().to_string();
+    counters_.add("subscribe_failures");
+  }
+}
+
+void Bridge::relay(const Publish& p, Client& to,
+                   const std::string& from_label, const char* counter) {
+  // Brokers only send bridges wrapped publishes; anything else on this
+  // session is protocol debris.
+  const auto fed = parse_fed_topic(p.topic.view());
+  if (!fed) {
+    counters_.add("malformed_dropped");
+    return;
+  }
+  const std::string_view inner = fed.value().inner;
+  std::string topic;
+  if (inner.substr(0, kFedPeerSysPrefix.size()) == kFedPeerSysPrefix) {
+    // Already-remapped peer stats stop here: the full mesh hands every
+    // broker its peers' vitals directly, and re-relaying would chain
+    // "$SYS/federation/peer/B/federation/peer/A/..." remaps forever.
+    counters_.add("peer_sys_dropped");
+    return;
+  }
+  if (inner.substr(0, kSysPrefix.size()) == kSysPrefix) {
+    // Mesh health: land the source broker's stats in a peer subtree at
+    // the destination instead of colliding with its own $SYS namespace.
+    topic_scratch_.clear();
+    topic_scratch_.append(kFedPeerSysPrefix)
+        .append(from_label)
+        .push_back('/');
+    topic_scratch_.append(inner.substr(kSysPrefix.size()));
+    std::string remapped;
+    write_fed_topic(remapped, fed.value().hops, topic_scratch_);
+    topic = std::move(remapped);
+  } else {
+    topic = std::string(p.topic.view());  // forward the wrap verbatim
+  }
+  if (auto st = to.publish(std::move(topic), p.payload, p.qos, p.retain);
+      !st) {
+    counters_.add("relay_failures");
+    return;
+  }
+  counters_.add(counter);
+}
+
+void Bridge::audit_invariants() const {
+  if constexpr (!audit::kEnabled) return;
+  IFOT_AUDIT_ASSERT(!cfg_.name.empty(), "bridge without a name");
+  IFOT_AUDIT_ASSERT(!cfg_.local_label.empty() && !cfg_.remote_label.empty(),
+                    "bridge '" + cfg_.name + "' missing a side label");
+  IFOT_AUDIT_ASSERT(cfg_.local_label != cfg_.remote_label,
+                    "bridge '" + cfg_.name + "' labels both sides the same");
+  for (const auto& filters : {&cfg_.out_filters, &cfg_.in_filters}) {
+    for (const auto& req : *filters) {
+      IFOT_AUDIT_ASSERT(valid_topic_filter(req.filter),
+                        "bridge '" + cfg_.name + "' configured with invalid "
+                        "filter '" + req.filter + "'");
+    }
+  }
+}
+
+}  // namespace ifot::mqtt

@@ -1,0 +1,94 @@
+// Federation bridge: one bidirectional broker-to-broker link.
+//
+// A bridge is deliberately *just two MQTT clients* (ROADMAP: "a bridge
+// is just a client with filter-scoped subscriptions") — one session on
+// the local broker, one on the remote — glued back to back. Each half
+// connects with a "$bridge/<name>" client id, which the broker
+// recognizes: bridge subscriptions live in a broker-side registry
+// instead of the subscription tree, and matched publishes arrive
+// wrapped as "$fed/<hops>/<topic>" over the ordinary Outbox/
+// WireTemplate egress path. The bridge relays each wrap verbatim to the
+// other side, where the peer broker unwraps, routes locally, and — hop
+// budget permitting — re-wraps for its own bridges.
+//
+// The one topic the bridge rewrites is peer health: a forwarded
+// "$SYS/broker/..." stat would collide with the destination broker's
+// own $SYS namespace, so the relay remaps it under
+// "$SYS/federation/peer/<source-label>/..." — every broker then serves
+// its peers' vitals beside its own, and the management plane reads mesh
+// health from any shard.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/stats.hpp"
+#include "mqtt/client.hpp"
+#include "mqtt/packet.hpp"
+#include "mqtt/scheduler.hpp"
+
+namespace ifot::mqtt {
+
+/// Identity and filter scope of one bridge.
+struct BridgeConfig {
+  /// Link name; both halves connect as "$bridge/<name>".
+  std::string name;
+  /// Labels naming the brokers on each side; forwarded $SYS stats land
+  /// under "$SYS/federation/peer/<source label>/..." at the other side.
+  std::string local_label = "local";
+  std::string remote_label = "remote";
+  /// Filters forwarded local -> remote (what the remote shard wants
+  /// from this broker; typically the remote's owned prefixes + $SYS/#).
+  std::vector<TopicRequest> out_filters;
+  /// Filters forwarded remote -> local.
+  std::vector<TopicRequest> in_filters;
+  std::uint16_t keep_alive_s = 60;
+};
+
+/// One bidirectional bridge between a local and a remote broker. The
+/// owner wires each half to its broker's transport exactly like an
+/// ordinary client (bytes in via *_data, callbacks out via the send
+/// functions passed at construction).
+class Bridge {
+ public:
+  using SendFn = Client::SendFn;
+
+  Bridge(Scheduler& sched, BridgeConfig cfg, SendFn local_send,
+         SendFn remote_send);
+
+  // Transport events for the half facing the local broker.
+  void local_transport_open();
+  void local_data(BytesView data);
+  void local_transport_closed();
+  // ... and the half facing the remote broker.
+  void remote_transport_open();
+  void remote_data(BytesView data);
+  void remote_transport_closed();
+
+  [[nodiscard]] const BridgeConfig& config() const { return cfg_; }
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] Client& local() { return local_; }
+  [[nodiscard]] Client& remote() { return remote_; }
+
+  /// Invariants: non-empty name/labels, every configured filter valid.
+  void audit_invariants() const;
+
+ private:
+  /// Relays one wrapped publish to the other half, remapping inner
+  /// "$SYS/..." topics under the source broker's peer subtree. Peer
+  /// subtree topics themselves are not re-relayed (a full mesh delivers
+  /// every broker's stats directly; re-relaying would chain remaps).
+  void relay(const Publish& p, Client& to, const std::string& from_label,
+             const char* counter);
+  void subscribe_half(Client& half, const std::vector<TopicRequest>& filters);
+
+  BridgeConfig cfg_;
+  Client local_;
+  Client remote_;
+  Counters counters_;
+  std::string topic_scratch_;  // remap/wrap assembly between relays
+};
+
+}  // namespace ifot::mqtt

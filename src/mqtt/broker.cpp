@@ -231,7 +231,7 @@ void Broker::handle_connect(Link& link, Connect c) {
   }
   if (c.clean_session) {
     if (it != sessions_.end()) {
-      tree_.erase_key(c.client_id);
+      purge_session_state(*it->second);
       if (it->second->retry_timer != 0) sched_.cancel(it->second->retry_timer);
       sessions_.erase(it);
     }
@@ -243,6 +243,19 @@ void Broker::handle_connect(Link& link, Connect c) {
   if (!session) {
     session = std::make_unique<Session>(node_pool_);
     session->client_id = SharedString(c.client_id);
+  }
+  // "$bridge/..." client ids mark federation bridges: their filters live
+  // in bridge_links_ (never in the subscription tree), and their
+  // publishes arrive wrapped as "$fed/<hops>/<topic>".
+  session->is_bridge =
+      std::string_view(c.client_id).substr(0, kBridgeClientPrefix.size()) ==
+      kBridgeClientPrefix;
+  if (session->is_bridge &&
+      bridge_links_.find(session->client_id.view()) == bridge_links_.end()) {
+    BridgeLink bl;
+    bl.client_id = session->client_id;
+    bridge_links_.emplace(session->client_id.str(), std::move(bl));
+    counters_.add("bridge_links_opened");
   }
   session->inbound_qos2.set_capacity(cfg_.max_inbound_qos2_per_session);
   session->clean = c.clean_session;
@@ -280,13 +293,41 @@ void Broker::handle_publish(Session& session, Publish p) {
     return;
   }
   if (p.qos > cfg_.max_qos) p.qos = cfg_.max_qos;
+  counters_.add("publishes_in");
+  // Bridge ingress: unwrap "$fed/<hops>/<topic>" from bridge sessions so
+  // the inner topic routes locally (and carries its hop count into any
+  // further forwards). Wraps from ordinary clients are spoofs, malformed
+  // wraps and exhausted hop budgets are dropped — but the QoS ack flow
+  // below still runs so the sender's flow-control state advances.
+  const Session* bridge_origin = nullptr;
+  std::uint32_t ingress_hops = 0;
+  bool drop = false;
+  if (is_fed_topic(p.topic.view())) {
+    if (!session.is_bridge) {
+      counters_.add("fed_spoofs_dropped");
+      drop = true;
+    } else if (const auto fed = parse_fed_topic(p.topic.view()); !fed) {
+      counters_.add("bridge_malformed_dropped");
+      drop = true;
+    } else if (fed.value().hops > cfg_.bridge_hop_budget) {
+      counters_.add("bridge_loops_dropped");
+      drop = true;
+    } else {
+      counters_.add("bridge_in");
+      bridge_origin = &session;
+      ingress_hops = fed.value().hops;
+      p.topic = SharedString(std::string(fed.value().inner));
+    }
+  }
   switch (p.qos) {
     case QoS::kAtMostOnce:
-      route(std::move(p), session.client_id);
+      if (!drop) route(std::move(p), session.client_id, bridge_origin,
+                       ingress_hops);
       break;
     case QoS::kAtLeastOnce: {
       const std::uint16_t pid = p.packet_id;
-      route(std::move(p), session.client_id);
+      if (!drop) route(std::move(p), session.client_id, bridge_origin,
+                       ingress_hops);
       send_packet(session, Packet{Puback{pid}});
       break;
     }
@@ -294,7 +335,10 @@ void Broker::handle_publish(Session& session, Publish p) {
       const std::uint16_t pid = p.packet_id;
       const std::uint64_t evictions_before = session.inbound_qos2.evictions();
       if (session.inbound_qos2.insert(pid)) {
-        route(std::move(p), session.client_id);  // first sight: route now
+        if (!drop) {
+          route(std::move(p), session.client_id, bridge_origin,
+                ingress_hops);  // first sight: route now
+        }
       } else {
         counters_.add("qos2_duplicates");
       }
@@ -311,13 +355,34 @@ void Broker::handle_subscribe(Session& session, const Subscribe& s) {
   Suback ack;
   ack.packet_id = s.packet_id;
   for (const auto& req : s.topics) {
+    // Shared subscriptions get the typed grammar before the generic
+    // filter rules: "$share/g/f" is a *valid* MQTT 3.1.1 filter string,
+    // so the share judgement must come first or a malformed group name
+    // would silently become a plain (never-matching) subscription.
+    if (is_share_filter(req.filter)) {
+      const auto parsed = parse_share_filter(req.filter);
+      if (!parsed || session.is_bridge) {
+        counters_.add("share_rejected");
+        ack.return_codes.push_back(kSubackFailure);
+        continue;
+      }
+      const QoS granted = std::min(req.qos, cfg_.max_qos);
+      subscribe_share(session, req.filter, parsed.value(), granted);
+      ack.return_codes.push_back(static_cast<std::uint8_t>(granted));
+      counters_.add("subscriptions");
+      continue;
+    }
     if (!valid_topic_filter(req.filter)) {
       ack.return_codes.push_back(kSubackFailure);
       continue;
     }
     const QoS granted = std::min(req.qos, cfg_.max_qos);
-    session.subscriptions.assign(req.filter, granted);
-    tree_.insert(req.filter, session.client_id, granted);
+    if (session.is_bridge) {
+      subscribe_bridge(session, req.filter, granted);
+    } else {
+      session.subscriptions.assign(req.filter, granted);
+      tree_.insert(req.filter, session.client_id, granted);
+    }
     ack.return_codes.push_back(static_cast<std::uint8_t>(granted));
     counters_.add("subscriptions");
   }
@@ -332,6 +397,10 @@ void Broker::handle_subscribe(Session& session, const Subscribe& s) {
   retained_replay_scratch_.clear();
   for (std::size_t i = 0; i < s.topics.size(); ++i) {
     if (ack.return_codes[i] == kSubackFailure) continue;
+    // Shared subscriptions get no retained replay: the group balances a
+    // live stream, and replaying state to whichever member subscribed
+    // last would deliver the same retained message once per joiner.
+    if (is_share_filter(s.topics[i].filter)) continue;
     retained_ptr_scratch_.clear();
     retained_.collect(s.topics[i].filter, retained_ptr_scratch_);
     const QoS granted = static_cast<QoS>(ack.return_codes[i]);
@@ -357,16 +426,140 @@ void Broker::handle_subscribe(Session& session, const Subscribe& s) {
     Publish out = *msg;
     out.retain = true;
     out.qos = std::min(out.qos, granted);
+    if (session.is_bridge) {
+      // Retained sync across the mesh: a freshly subscribed bridge gets
+      // this broker's matching retained state wrapped at hops = 1, so
+      // the peer stores it under the inner topic with retain set.
+      write_fed_topic(fed_topic_scratch_, 1, out.topic.view());
+      out.topic = SharedString(fed_topic_scratch_);
+      counters_.add("bridge_out");
+    }
     deliver(session, std::move(out), {});
   }
 }
 
 void Broker::handle_unsubscribe(Session& session, const Unsubscribe& u) {
   for (const auto& filter : u.topics) {
+    if (session.is_bridge) {
+      const auto bit = bridge_links_.find(session.client_id.view());
+      if (bit != bridge_links_.end()) {
+        auto& fs = bit->second.filters;
+        fs.erase(std::remove_if(fs.begin(), fs.end(),
+                                [&](const std::pair<SharedString, QoS>& f) {
+                                  return f.first.view() == filter;
+                                }),
+                 fs.end());
+      }
+      continue;
+    }
+    if (is_share_filter(filter)) {
+      if (session.subscriptions.erase(filter)) {
+        unsubscribe_share(filter, session.client_id.view());
+      }
+      continue;
+    }
     session.subscriptions.erase(filter);
     tree_.erase(filter, session.client_id);
   }
   send_packet(session, Packet{Unsuback{u.packet_id}});
+}
+
+void Broker::subscribe_share(Session& session, const std::string& share_key,
+                             const ShareFilter& parsed, QoS granted) {
+  auto [it, created] = shares_.try_emplace(share_key);
+  Share& sh = it->second;
+  if (created) {
+    sh.group = SharedString(std::string(parsed.group));
+    sh.filter = SharedString(std::string(parsed.filter));
+    counters_.add("share_groups_opened");
+  }
+  bool member_known = false;
+  QoS max_granted = granted;
+  for (auto& m : sh.members) {
+    if (m.client_id.view() == session.client_id.view()) {
+      m.granted = granted;
+      member_known = true;
+    }
+    max_granted = std::max(max_granted, m.granted);
+  }
+  if (!member_known) {
+    sh.members.push_back(Share::Member{session.client_id, granted});
+    counters_.add("share_members_joined");
+  }
+  session.subscriptions.assign(share_key, granted);
+  // One tree entry per group — keyed by the share string, valued at the
+  // members' max granted QoS — so a cached fan-out plan names the group
+  // once and member churn only moves the group's granted level.
+  tree_.insert(sh.filter.view(), share_key, max_granted);
+}
+
+void Broker::subscribe_bridge(Session& session, const std::string& filter,
+                              QoS granted) {
+  auto it = bridge_links_.find(session.client_id.view());
+  if (it == bridge_links_.end()) {
+    // Defensive: handle_connect registers the link; a takeover race
+    // should never leave a connected bridge without one.
+    BridgeLink bl;
+    bl.client_id = session.client_id;
+    it = bridge_links_.emplace(session.client_id.str(), std::move(bl)).first;
+  }
+  for (auto& [f, q] : it->second.filters) {
+    if (f.view() == filter) {
+      q = granted;
+      return;
+    }
+  }
+  it->second.filters.emplace_back(SharedString(filter), granted);
+  counters_.add("bridge_subscriptions");
+}
+
+void Broker::unsubscribe_share(const std::string& share_key,
+                               std::string_view client_id) {
+  const auto it = shares_.find(share_key);
+  if (it == shares_.end()) return;
+  Share& sh = it->second;
+  std::size_t idx = sh.members.size();
+  for (std::size_t i = 0; i < sh.members.size(); ++i) {
+    if (sh.members[i].client_id.view() == client_id) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == sh.members.size()) return;
+  sh.members.erase(sh.members.begin() +
+                   static_cast<std::ptrdiff_t>(idx));
+  // Keep the round-robin cursor on the member it was about to serve.
+  if (idx < sh.rr) --sh.rr;
+  if (sh.rr >= sh.members.size()) sh.rr = 0;
+  counters_.add("share_members_left");
+  if (sh.members.empty()) {
+    tree_.erase(sh.filter.view(), share_key);
+    shares_.erase(it);
+    counters_.add("share_groups_closed");
+    return;
+  }
+  QoS max_granted = QoS::kAtMostOnce;
+  for (const auto& m : sh.members) {
+    max_granted = std::max(max_granted, m.granted);
+  }
+  tree_.insert(sh.filter.view(), share_key, max_granted);
+}
+
+void Broker::purge_session_state(Session& session) {
+  tree_.erase_key(session.client_id);
+  for (const auto& [filter, granted] : session.subscriptions) {
+    (void)granted;
+    if (is_share_filter(filter.view())) {
+      unsubscribe_share(filter.str(), session.client_id.view());
+    }
+  }
+  if (session.is_bridge) {
+    const auto it = bridge_links_.find(session.client_id.view());
+    if (it != bridge_links_.end()) {
+      bridge_links_.erase(it);
+      counters_.add("bridge_links_closed");
+    }
+  }
 }
 
 void Broker::publish_local(SharedString topic, SharedPayload payload, QoS qos,
@@ -381,7 +574,9 @@ void Broker::publish_local(SharedString topic, SharedPayload payload, QoS qos,
   flush_egress();
 }
 
-void Broker::route(Publish p, const std::string& origin) noexcept {
+void Broker::route(Publish p, const std::string& origin,
+                   const Session* bridge_origin,
+                   std::uint32_t ingress_hops) noexcept {
   counters_.add("routed");
   (void)origin;
   if (p.retain) {
@@ -433,10 +628,24 @@ void Broker::route(Publish p, const std::string& origin) noexcept {
   for (std::size_t g = 0; g < plan->by_qos.size(); ++g) {
     const QoS granted = static_cast<QoS>(g);
     for (const std::string& client_id : plan->by_qos[g]) {
-      auto it = sessions_.find(client_id);
-      if (it == sessions_.end()) continue;
-      Session& session = *it->second;
-      const QoS effective = std::min(original.qos, granted);
+      Session* target = nullptr;
+      QoS target_granted = granted;
+      if (std::string_view(client_id).substr(0, kSharePrefix.size()) ==
+          kSharePrefix) {
+        // A "$share/..." plan entry names a load group, not a session:
+        // resolve exactly one member per publish. The member's own
+        // granted QoS replaces the group's (group_template is indexed
+        // by effective QoS, so any member level shares correctly).
+        target = resolve_share_member(client_id, target_granted);
+        if (target == nullptr) continue;
+        counters_.add("share_deliveries");
+      } else {
+        auto it = sessions_.find(client_id);
+        if (it == sessions_.end()) continue;
+        target = it->second.get();
+      }
+      Session& session = *target;
+      const QoS effective = std::min(original.qos, target_granted);
       if (effective == QoS::kAtMostOnce) {
         if (!session.connected) {
           counters_.add("dropped_qos0_offline");
@@ -462,6 +671,117 @@ void Broker::route(Publish p, const std::string& origin) noexcept {
       }
     }
   }
+  // Federation egress: after the local fan-out, offer the message to
+  // every bridge whose filters match. Runs outside the plan (bridge
+  // filters never enter tree_ or the cache) and after it, so local
+  // subscribers are served before mesh traffic.
+  if (!bridge_links_.empty()) {
+    // static: alloc(wrapped-topic handle + one wrap template per
+    // effective QoS per forwarded publish; bridge fan-out is
+    // mesh-degree bounded, not subscriber bounded)
+    forward_to_bridges(original, bridge_origin, ingress_hops);
+  }
+}
+
+void Broker::forward_to_bridges(const Publish& p, const Session* bridge_origin,
+                                std::uint32_t ingress_hops) noexcept {
+  const std::uint32_t next_hops = ingress_hops + 1;
+  SharedString wrapped;  // built once, shared by every matching bridge
+  std::array<WireTemplateRef, 3> group;
+  for (auto& [cid, bl] : bridge_links_) {
+    if (bridge_origin != nullptr &&
+        bridge_origin->client_id.view() == cid) {
+      // Loop rule #1 (no-echo): never forward back over the link the
+      // message arrived on.
+      counters_.add("bridge_echo_suppressed");
+      continue;
+    }
+    bool matched = false;
+    QoS granted = QoS::kAtMostOnce;
+    for (const auto& [filter, q] : bl.filters) {
+      // topic_matches applies the §4.7.2 $-rule, so "$SYS/#" reaches a
+      // bridge that asked for mesh health while a bare "#" never leaks
+      // $-topics — same asymmetry ordinary subscribers get.
+      if (!topic_matches(filter.view(), p.topic.view())) continue;
+      matched = true;
+      granted = std::max(granted, q);
+    }
+    if (!matched) continue;
+    if (next_hops > cfg_.bridge_hop_budget) {
+      // Loop rule #2 (hop budget): the wrap's hop count crossed the
+      // mesh diameter bound; a routing cycle dies here.
+      counters_.add("bridge_loops_dropped");
+      continue;
+    }
+    const auto sit = sessions_.find(cid);
+    if (sit == sessions_.end()) continue;
+    Session& bridge_session = *sit->second;
+    if (wrapped.empty()) {
+      write_fed_topic(fed_topic_scratch_, next_hops, p.topic.view());
+      wrapped = SharedString(fed_topic_scratch_);
+    }
+    const QoS effective = std::min(p.qos, granted);
+    counters_.add("bridge_out");
+    ++bl.forwarded;
+    auto& slot = group[static_cast<std::size_t>(effective)];
+    if (!slot) {
+      Publish wire_msg;
+      wire_msg.topic = wrapped;     // shares the wrap string
+      wire_msg.payload = p.payload; // shares the buffer
+      wire_msg.qos = effective;
+      // Unlike the local fan-out ([MQTT-3.3.1-9] clears retain), the
+      // wrap carries the retain bit: the remote broker must store the
+      // inner topic as retained state.
+      wire_msg.retain = p.retain;
+      slot = make_template(wire_msg);
+    }
+    if (effective == QoS::kAtMostOnce) {
+      if (!bridge_session.connected) {
+        counters_.add("dropped_qos0_offline");
+        continue;
+      }
+      const auto lit = links_.find(bridge_session.link);
+      if (lit == links_.end()) {
+        counters_.add("dropped_qos0_offline");
+        continue;
+      }
+      send_template(*lit->second, slot, 0, false);
+    } else {
+      Publish out;
+      out.topic = wrapped;
+      out.payload = p.payload;
+      out.qos = effective;
+      out.retain = p.retain;
+      deliver(bridge_session, std::move(out), slot);
+    }
+  }
+}
+
+Broker::Session* Broker::resolve_share_member(std::string_view share_key,
+                                              QoS& granted) noexcept {
+  const auto it = shares_.find(share_key);
+  if (it == shares_.end() || it->second.members.empty()) return nullptr;
+  Share& sh = it->second;
+  const std::size_t n = sh.members.size();
+  // Deterministic round-robin from the cursor, skipping disconnected
+  // members; when the whole group is offline the cursor member takes the
+  // delivery anyway (a persistent worker's queue absorbs it, a clean one
+  // drops by the ordinary offline rules).
+  std::size_t chosen = sh.rr % n;
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    const std::size_t idx = (sh.rr + probe) % n;
+    const auto sit = sessions_.find(sh.members[idx].client_id.view());
+    if (sit != sessions_.end() && sit->second->connected) {
+      chosen = idx;
+      break;
+    }
+  }
+  const Share::Member& m = sh.members[chosen];
+  sh.rr = (chosen + 1) % n;
+  ++sh.deliveries;
+  granted = m.granted;
+  const auto sit = sessions_.find(m.client_id.view());
+  return sit == sessions_.end() ? nullptr : sit->second.get();
 }
 
 // static: alloc(plan assembly on a route-cache miss — subscriber ids
@@ -831,6 +1151,35 @@ void Broker::publish_sys_stats() {
   pub("memory/inflight_nodes", inflight_nodes);
   pub("memory/queued_nodes", queued_nodes);
   pub("memory/pool_buckets_bytes", node_pool_.retained_bytes());
+  // Federation health (DESIGN.md §4i): client publish ingress, bridge
+  // traffic in/out, loop-rule drops, and the share of client publishes
+  // that were shard-local — i.e. did not arrive over a bridge — as an
+  // integer percentage (payloads are decimal strings).
+  const std::uint64_t pubs_in = counters_.get("publishes_in");
+  const std::uint64_t bridged_in =
+      std::min(counters_.get("bridge_in"), pubs_in);
+  pub("publish/messages/in", pubs_in);
+  pub("federation/bridges", bridge_links_.size());
+  pub("federation/bridge_in", counters_.get("bridge_in"));
+  pub("federation/bridge_out", counters_.get("bridge_out"));
+  pub("federation/loops_dropped", counters_.get("bridge_loops_dropped"));
+  pub("federation/shard_local_ratio",
+      pubs_in == 0 ? 100 : (pubs_in - bridged_in) * 100 / pubs_in);
+  // Per-group shared-subscription health, aggregated across the group's
+  // filters: $SYS/broker/share/<group>/{members,deliveries}.
+  std::map<std::string_view, std::pair<std::uint64_t, std::uint64_t>>
+      by_group;  // cold path: one aggregation per stats tick
+  for (const auto& [key, sh] : shares_) {
+    (void)key;
+    auto& agg = by_group[sh.group.view()];
+    agg.first += sh.members.size();
+    agg.second += sh.deliveries;
+  }
+  for (const auto& [g, agg] : by_group) {
+    const std::string base = "share/" + std::string(g);
+    pub(base + "/members", agg.first);
+    pub(base + "/deliveries", agg.second);
+  }
 }
 
 void Broker::drop_link(Link& link, bool publish_will) {
@@ -849,7 +1198,7 @@ void Broker::drop_link(Link& link, bool publish_will) {
         session.retry_deadline = 0;
       }
       if (session.clean) {
-        tree_.erase_key(session.client_id);
+        purge_session_state(session);
         sessions_.erase(sit);
       }
     }
@@ -936,10 +1285,37 @@ void Broker::audit_invariants() const {
       }
     }
 
-    // Every subscription is mirrored in the tree.
-    subscription_total += session->subscriptions.size();
+    // Bridge sessions keep their filters in bridge_links_, never in the
+    // tree or the session's subscription table.
+    IFOT_AUDIT_ASSERT(
+        !session->is_bridge || session->subscriptions.size() == 0,
+        "bridge session '" + cid + "' holds tree-backed subscriptions");
+    IFOT_AUDIT_ASSERT(
+        session->is_bridge ==
+            (bridge_links_.find(std::string_view(cid)) != bridge_links_.end()),
+        "bridge flag of '" + cid + "' diverged from the bridge registry");
+
+    // Every plain subscription is mirrored in the tree; every share
+    // subscription is mirrored as a group membership.
     for (const auto& [filter, granted] : session->subscriptions) {
       (void)granted;
+      if (is_share_filter(filter.view())) {
+        const auto shit = shares_.find(filter.view());
+        IFOT_AUDIT_ASSERT(shit != shares_.end(),
+                          "share subscription '" + filter.str() + "' of '" +
+                              cid + "' has no group");
+        bool member = false;
+        if (shit != shares_.end()) {
+          for (const auto& m : shit->second.members) {
+            if (m.client_id == cid) member = true;
+          }
+        }
+        IFOT_AUDIT_ASSERT(member, "session '" + cid +
+                                      "' subscribed to '" + filter.str() +
+                                      "' but is not a group member");
+        continue;
+      }
+      ++subscription_total;
       IFOT_AUDIT_ASSERT(tree_.contains(filter, cid),
                         "subscription '" + filter.str() + "' of '" + cid +
                             "' missing from the topic tree");
@@ -948,11 +1324,50 @@ void Broker::audit_invariants() const {
 
   // ... and the tree holds nothing else (a takeover/teardown that forgets
   // erase_key would leak entries that keep routing to dead sessions).
-  IFOT_AUDIT_ASSERT(tree_.entry_count() == subscription_total,
+  // Share groups contribute exactly one tree entry each.
+  IFOT_AUDIT_ASSERT(tree_.entry_count() == subscription_total + shares_.size(),
                     "topic tree entry count diverged from session "
                     "subscriptions: tree holds " +
                         std::to_string(tree_.entry_count()) + ", sessions " +
-                        std::to_string(subscription_total));
+                        std::to_string(subscription_total) + " plain + " +
+                        std::to_string(shares_.size()) + " share groups");
+
+  // Federation registries stay consistent with the session table.
+  for (const auto& [cid, bl] : bridge_links_) {
+    IFOT_AUDIT_ASSERT(bl.client_id == cid,
+                      "bridge registry key diverged from its client id");
+    const auto sit = sessions_.find(cid);
+    IFOT_AUDIT_ASSERT(sit != sessions_.end() && sit->second->is_bridge,
+                      "bridge link '" + cid + "' has no bridge session");
+    for (const auto& [filter, granted] : bl.filters) {
+      (void)granted;
+      IFOT_AUDIT_ASSERT(valid_topic_filter(filter.view()),
+                        "bridge '" + cid + "' holds invalid filter '" +
+                            filter.str() + "'");
+    }
+  }
+  for (const auto& [key, sh] : shares_) {
+    const auto parsed = parse_share_filter(key);
+    IFOT_AUDIT_ASSERT(parsed.ok(), "share registry key fails the grammar");
+    IFOT_AUDIT_ASSERT(parsed.ok() && parsed.value().group == sh.group.view() &&
+                          parsed.value().filter == sh.filter.view(),
+                      "share group state diverged from its key");
+    IFOT_AUDIT_ASSERT(!sh.members.empty(),
+                      "empty share group '" + key + "' not torn down");
+    IFOT_AUDIT_ASSERT(sh.members.empty() || sh.rr < sh.members.size(),
+                      "share RR cursor out of range for '" + key + "'");
+    IFOT_AUDIT_ASSERT(tree_.contains(sh.filter.view(), key),
+                      "share group '" + key + "' missing from the tree");
+    for (const auto& m : sh.members) {
+      const auto sit = sessions_.find(m.client_id.view());
+      IFOT_AUDIT_ASSERT(sit != sessions_.end(),
+                        "share member of '" + key + "' has no session");
+      IFOT_AUDIT_ASSERT(
+          sit == sessions_.end() ||
+              sit->second->subscriptions.find(key) != nullptr,
+          "share member of '" + key + "' lost its subscription entry");
+    }
+  }
 
   retained_.audit_invariants();
   node_pool_.audit_invariants();

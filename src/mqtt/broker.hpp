@@ -69,6 +69,11 @@ struct BrokerConfig {
   /// LRU-evicted; see mqtt/route_cache.hpp). 0 disables caching — every
   /// publish then re-derives its plan from the subscription trie.
   std::size_t route_cache_entries = 1024;
+  /// Federation loop guard: a publish that has already crossed this many
+  /// bridge links is not forwarded again (counted in
+  /// counters()["bridge_loops_dropped"]). The hop count rides the
+  /// "$fed/<hops>/<topic>" wrap, so the budget holds across brokers.
+  std::uint32_t bridge_hop_budget = 4;
 };
 
 /// The broker. One instance per broker node.
@@ -110,6 +115,12 @@ class Broker {
   /// Packet ids currently parked in inbound QoS 2 dedup across all
   /// sessions (diagnostics; a lost-PUBREL leak shows up here).
   [[nodiscard]] std::size_t inbound_qos2_backlog() const;
+  /// Live federation-bridge sessions (client ids under "$bridge/").
+  [[nodiscard]] std::size_t bridge_count() const {
+    return bridge_links_.size();
+  }
+  /// Live shared-subscription groups, one per ($share group, filter).
+  [[nodiscard]] std::size_t share_count() const { return shares_.size(); }
 
  private:
   struct Session;
@@ -183,6 +194,10 @@ class Broker {
     std::uint16_t next_packet_id = 1;
     bool clean : 1 = true;
     bool connected : 1 = false;
+    // Federation bridge session (client id under "$bridge/"): its
+    // filters live in bridge_links_, not in the subscription tree, so
+    // bridge churn never invalidates cached fan-out plans.
+    bool is_bridge : 1 = false;
   };
 
   struct Link {
@@ -201,17 +216,83 @@ class Broker {
     bool got_connect : 1 = false;
   };
 
+  /// Federation bridge peer: filter-scoped forwarding state for one
+  /// connected "$bridge/..." session. Filters are matched linearly at
+  /// forward time (a mesh has O(K) bridges, each with a handful of
+  /// owned-prefix filters) and deliberately bypass tree_ so cached
+  /// fan-out plans stay bridge-free.
+  struct BridgeLink {
+    SharedString client_id;
+    // filter -> granted QoS, in subscribe order.
+    std::vector<std::pair<SharedString, QoS>> filters;
+    std::uint64_t forwarded = 0;  // publishes sent over this link
+  };
+
+  /// One shared-subscription group instance: every subscriber of the
+  /// same "$share/<group>/<filter>" string load-balances one stream.
+  /// The tree carries a single entry per group (key = the share string),
+  /// so a fan-out plan names the group once; member resolution happens
+  /// at delivery time via a deterministic round-robin cursor.
+  struct Share {
+    struct Member {
+      SharedString client_id;
+      QoS granted = QoS::kAtMostOnce;
+    };
+    SharedString group;   // "<group>"
+    SharedString filter;  // inner filter (the tree position)
+    std::vector<Member> members;  // join order; RR scans from `rr`
+    std::size_t rr = 0;           // next member index to serve
+    std::uint64_t deliveries = 0;
+  };
+
   void handle_packet(Link& link, Packet packet);
   void handle_connect(Link& link, Connect c);
   void handle_publish(Session& session, Publish p);
   void handle_subscribe(Session& session, const Subscribe& s);
   void handle_unsubscribe(Session& session, const Unsubscribe& u);
+  /// Registers one "$share/<group>/<filter>" subscription (parse already
+  /// validated): joins or updates the group member and keeps the tree's
+  /// single group entry at the members' max granted QoS.
+  void subscribe_share(Session& session, const std::string& share_key,
+                       const ShareFilter& parsed, QoS granted);
+  /// Registers one bridge-session filter and replays matching retained
+  /// messages over the bridge wrap (hops = 1) so a freshly linked peer
+  /// converges on this broker's retained state.
+  void subscribe_bridge(Session& session, const std::string& filter,
+                        QoS granted);
+  /// Removes `client_id` from the group keyed `share_key`, fixing the RR
+  /// cursor and the tree's group entry (erased with the last member,
+  /// re-inserted when the max granted QoS changed).
+  void unsubscribe_share(const std::string& share_key,
+                         std::string_view client_id);
+  /// Tears down everything a dying session owns outside sessions_:
+  /// plain tree entries, share memberships, bridge-link state.
+  void purge_session_state(Session& session);
 
   /// Routes a message to every matching subscriber (and the retained
   /// store when retain is set). Steady-state hot topics resolve their
   /// fan-out plan from the route cache; misses re-derive it from the
   /// subscription trie and cache it at the current tree version.
-  void route(Publish p, const std::string& origin) noexcept;
+  /// `bridge_origin`/`ingress_hops` are set when the publish arrived
+  /// wrapped over a bridge: the origin link is never forwarded back to
+  /// (no-echo) and the hop count rides into further forwards.
+  void route(Publish p, const std::string& origin,
+             const Session* bridge_origin = nullptr,
+             std::uint32_t ingress_hops = 0) noexcept;
+
+  /// Forwards `p` over every bridge link whose filters match, wrapped as
+  /// "$fed/<hops+1>/<topic>" with one shared wire template per effective
+  /// QoS. Enforces the no-echo rule and the hop budget.
+  void forward_to_bridges(const Publish& p, const Session* bridge_origin,
+                          std::uint32_t ingress_hops) noexcept;
+
+  /// Resolves a "$share/..." plan entry to one group member: advances the
+  /// group's round-robin cursor deterministically (preferring connected
+  /// members, falling back to the cursor member so offline persistent
+  /// workers still queue), writes the member's granted QoS to `granted`,
+  /// and returns its session (nullptr when the group vanished).
+  Session* resolve_share_member(std::string_view share_key,
+                                QoS& granted) noexcept;
 
   /// Resolves `topic`'s fan-out plan from the subscription trie into
   /// `out` (both scratch args are cleared first): matches deduped by
@@ -293,6 +374,12 @@ class Broker {
   std::unordered_map<std::string, std::unique_ptr<Session>, SessionHash,
                      std::equal_to<>>
       sessions_;
+  // Federation state. Ordered maps (not hashed): forward_to_bridges and
+  // the $SYS share report iterate them, and egress byte order must be
+  // deterministic regardless of insertion history. Keys are the bridge
+  // client id / the full "$share/<group>/<filter>" string.
+  std::map<std::string, BridgeLink, std::less<>> bridge_links_;
+  std::map<std::string, Share, std::less<>> shares_;
   TopicTree<std::string, QoS> tree_;
   RetainedStore retained_;
   Counters counters_;
@@ -310,6 +397,9 @@ class Broker {
   // then deduped across the packet's filters at max granted QoS.
   std::vector<const Publish*> retained_ptr_scratch_;
   std::vector<std::pair<const Publish*, QoS>> retained_replay_scratch_;
+  // Scratch for assembling "$fed/<hops>/<topic>" wraps in
+  // forward_to_bridges (capacity retained across publishes).
+  std::string fed_topic_scratch_;
   std::vector<LinkId> dirty_links_;  // links with frames queued this turn
   std::uint64_t generation_ = 0;  // guards timers across session resets
   std::uint64_t sys_timer_ = 0;

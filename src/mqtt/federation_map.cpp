@@ -1,0 +1,123 @@
+#include "mqtt/federation_map.hpp"
+
+#include <cstdint>
+
+#include "common/audit.hpp"
+#include "mqtt/topic.hpp"
+
+namespace ifot::mqtt {
+
+FederationMap::FederationMap(std::size_t broker_count)
+    : broker_count_(broker_count == 0 ? 1 : broker_count) {
+  audit_invariants();
+}
+
+Status FederationMap::assign(std::string_view prefix, std::size_t broker) {
+  if (broker >= broker_count_) {
+    return Err(Errc::kInvalidArgument, "federation: broker index out of range");
+  }
+  if (prefix.empty() || prefix.front() == '/' || prefix.back() == '/') {
+    return Err(Errc::kInvalidArgument, "federation: malformed prefix");
+  }
+  for (const char c : prefix) {
+    if (c == '+' || c == '#' || c == '\0') {
+      return Err(Errc::kInvalidArgument,
+                 "federation: prefix may not contain wildcards or NUL");
+    }
+  }
+  for (auto& [p, owner] : assignments_) {
+    if (p == prefix) {
+      owner = broker;
+      audit_invariants();
+      return {};
+    }
+  }
+  assignments_.emplace_back(std::string(prefix), broker);
+  audit_invariants();
+  return {};
+}
+
+bool FederationMap::prefix_matches(std::string_view prefix,
+                                   std::string_view topic) noexcept {
+  if (topic.size() < prefix.size()) return false;
+  if (topic.substr(0, prefix.size()) != prefix) return false;
+  // Level boundary: "city/north" owns "city/north" and "city/north/x",
+  // never "city/northwest".
+  return topic.size() == prefix.size() || topic[prefix.size()] == '/';
+}
+
+std::size_t FederationMap::shard_of(std::string_view topic) const noexcept {
+  // A shared subscription balances one stream; its workers must resolve
+  // the stream's shard, not a hash of the "$share/..." spelling.
+  if (is_share_filter(topic)) {
+    if (const auto parsed = parse_share_filter(topic)) {
+      topic = parsed.value().filter;
+    }
+  }
+  const std::pair<std::string, std::size_t>* best = nullptr;
+  for (const auto& a : assignments_) {
+    if (!prefix_matches(a.first, topic)) continue;
+    if (best == nullptr || a.first.size() > best->first.size()) best = &a;
+  }
+  if (best != nullptr) return best->second;
+  // Hash fallback: FNV-1a over the first three levels, byte-compatible
+  // with NeuronModule::broker_index_for so unpinned topics place the
+  // same with or without a federation map.
+  std::size_t levels = 0;
+  std::size_t end = topic.size();
+  for (std::size_t i = 0; i < topic.size(); ++i) {
+    if (topic[i] == '/') {
+      if (++levels == 3) {
+        end = i;
+        break;
+      }
+    }
+  }
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i < end; ++i) {
+    h ^= static_cast<std::uint8_t>(topic[i]);
+    h *= 16777619u;
+  }
+  return h % broker_count_;
+}
+
+bool FederationMap::pinned(std::string_view topic) const noexcept {
+  if (is_share_filter(topic)) {
+    if (const auto parsed = parse_share_filter(topic)) {
+      topic = parsed.value().filter;
+    }
+  }
+  for (const auto& a : assignments_) {
+    if (prefix_matches(a.first, topic)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> FederationMap::filters_owned_by(
+    std::size_t broker) const {
+  // audit: exempt(read-only rendering of the assignment table)
+  std::vector<std::string> out;
+  for (const auto& [prefix, owner] : assignments_) {
+    if (owner != broker) continue;
+    out.push_back(prefix + "/#");
+  }
+  return out;
+}
+
+void FederationMap::audit_invariants() const {
+  IFOT_AUDIT_ASSERT(broker_count_ >= 1, "federation map has no shards");
+  for (std::size_t i = 0; i < assignments_.size(); ++i) {
+    const auto& [prefix, owner] = assignments_[i];
+    IFOT_AUDIT_ASSERT(owner < broker_count_,
+                      "federation assignment owner out of range");
+    IFOT_AUDIT_ASSERT(!prefix.empty() && prefix.front() != '/' &&
+                          prefix.back() != '/',
+                      "federation assignment prefix malformed");
+    for (std::size_t j = i + 1; j < assignments_.size(); ++j) {
+      IFOT_AUDIT_ASSERT(assignments_[j].first != prefix,
+                        "duplicate federation prefix");
+    }
+  }
+}
+
+}  // namespace ifot::mqtt

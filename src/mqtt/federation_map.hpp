@@ -1,0 +1,80 @@
+// Topic-prefix shard map for the broker federation (DESIGN.md §4i).
+//
+// The paper's PO3 vision is many small nodes with no central choke
+// point; a FederationMap is the piece that makes a K-broker mesh agree
+// on *who owns what* without coordination. Operators pin topic-prefix
+// namespaces ("city/north" -> broker 2); everything unpinned falls back
+// to a hash of the topic base that is byte-compatible with the legacy
+// NeuronModule::broker_index_for assignment, so federated and
+// pre-federation fabrics place unpinned flows identically. The map is
+// immutable data shared by every module (producers and consumers resolve
+// the same shard for a topic), and it is what the bridge mesh is built
+// from: broker i's bridge to broker j subscribes to the filters owned by
+// j so a publish landing on the wrong shard still reaches its owner.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ifot::mqtt {
+
+/// Consistent prefix -> broker-shard assignment over a K-broker mesh.
+class FederationMap {
+ public:
+  /// A map over `broker_count` shards (indices 0 .. broker_count-1).
+  explicit FederationMap(std::size_t broker_count);
+
+  /// Pins every topic at or under `prefix` (level-wise: "city/north"
+  /// owns "city/north" and "city/north/...", never "city/northwest") to
+  /// `broker`. Re-assigning a prefix replaces its owner. Errors
+  /// (Errc::kInvalidArgument): empty prefix, wildcard or NUL characters,
+  /// leading/trailing '/', broker index out of range.
+  Status assign(std::string_view prefix, std::size_t broker);
+
+  /// The shard owning `topic`. The longest (deepest) assigned prefix
+  /// that level-matches wins; unpinned topics hash their first three
+  /// levels (FNV-1a, byte-compatible with the legacy module placement).
+  /// "$share/<g>/<f>" filters route by the inner filter so a worker
+  /// group lands on the same broker as the stream it balances.
+  [[nodiscard]] std::size_t shard_of(std::string_view topic) const noexcept;
+
+  /// True when an assigned prefix (not the hash fallback) decided the
+  /// shard of `topic`.
+  [[nodiscard]] bool pinned(std::string_view topic) const noexcept;
+
+  /// The prefixes assigned to `broker`, rendered as "<prefix>/#" topic
+  /// filters — exactly what a bridge *into* that broker's shard
+  /// subscribes to on a peer.
+  [[nodiscard]] std::vector<std::string> filters_owned_by(
+      std::size_t broker) const;
+
+  [[nodiscard]] std::size_t broker_count() const { return broker_count_; }
+  [[nodiscard]] std::size_t assignment_count() const {
+    return assignments_.size();
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, std::size_t>>&
+  assignments() const {
+    return assignments_;
+  }
+
+  /// Invariants: at least one shard; every assignment names a valid
+  /// in-range owner; prefixes are unique.
+  void audit_invariants() const;
+
+ private:
+  static bool prefix_matches(std::string_view prefix,
+                             std::string_view topic) noexcept;
+
+  std::size_t broker_count_;
+  // Insertion-ordered (prefix, owner) pairs; shard_of scans linearly for
+  // the longest level-match. Shard maps are operator-sized (a handful of
+  // namespaces), so a scan beats a trie until proven otherwise.
+  std::vector<std::pair<std::string, std::size_t>> assignments_;
+};
+
+}  // namespace ifot::mqtt

@@ -45,6 +45,92 @@ bool valid_topic_filter(std::string_view filter) {
   return true;
 }
 
+bool is_share_filter(std::string_view filter) {
+  return filter == "$share" ||
+         filter.substr(0, kSharePrefix.size()) == kSharePrefix;
+}
+
+Result<ShareFilter> parse_share_filter(std::string_view filter) {
+  if (!is_share_filter(filter)) {
+    return Err(Errc::kProtocol, "not a $share filter");
+  }
+  if (filter.size() <= kSharePrefix.size()) {
+    return Err(Errc::kProtocol, "bare $share: missing group and filter");
+  }
+  const std::string_view rest = filter.substr(kSharePrefix.size());
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) {
+    return Err(Errc::kProtocol, "$share missing inner filter");
+  }
+  const std::string_view group = rest.substr(0, slash);
+  if (group.empty()) {
+    return Err(Errc::kProtocol, "$share group is empty");
+  }
+  for (const char c : group) {
+    if (c == '+' || c == '#') {
+      return Err(Errc::kProtocol, "$share group contains a wildcard");
+    }
+    if (c == '\0') return Err(Errc::kProtocol, "$share group contains NUL");
+  }
+  const std::string_view inner = rest.substr(slash + 1);
+  if (!valid_topic_filter(inner)) {
+    return Err(Errc::kProtocol, "$share inner filter is invalid");
+  }
+  return ShareFilter{group, inner};
+}
+
+bool is_fed_topic(std::string_view topic) {
+  return topic == "$fed" || topic.substr(0, kFedPrefix.size()) == kFedPrefix;
+}
+
+Result<FedTopic> parse_fed_topic(std::string_view topic) {
+  if (!is_fed_topic(topic)) {
+    return Err(Errc::kProtocol, "not a $fed topic");
+  }
+  if (topic.size() <= kFedPrefix.size()) {
+    return Err(Errc::kProtocol, "bare $fed: missing hops and topic");
+  }
+  const std::string_view rest = topic.substr(kFedPrefix.size());
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) {
+    return Err(Errc::kProtocol, "$fed missing inner topic");
+  }
+  const std::string_view hops_level = rest.substr(0, slash);
+  // Three decimal digits bound the count well above any sane hop budget
+  // while keeping a hostile header from smuggling a huge literal.
+  if (hops_level.empty() || hops_level.size() > 3) {
+    return Err(Errc::kProtocol, "$fed hop count malformed");
+  }
+  std::uint32_t hops = 0;
+  for (const char c : hops_level) {
+    if (c < '0' || c > '9') {
+      return Err(Errc::kProtocol, "$fed hop count is not decimal");
+    }
+    hops = hops * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  if (hops == 0) return Err(Errc::kProtocol, "$fed hop count is zero");
+  const std::string_view inner = rest.substr(slash + 1);
+  if (!valid_topic_name(inner)) {
+    return Err(Errc::kProtocol, "$fed inner topic is invalid");
+  }
+  return FedTopic{hops, inner};
+}
+
+void write_fed_topic(std::string& out, std::uint32_t hops,
+                     std::string_view inner) {
+  out.clear();
+  out.append(kFedPrefix);
+  char digits[4];
+  int n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + hops % 10);
+    hops /= 10;
+  } while (hops != 0 && n < 4);
+  while (n-- > 0) out.push_back(digits[n]);
+  out.push_back('/');
+  out.append(inner);
+}
+
 bool topic_matches(std::string_view filter, std::string_view topic) {
   if (!valid_topic_filter(filter) || !valid_topic_name(topic)) return false;
   // Wildcard-leading filters never match $-topics (§4.7.2).

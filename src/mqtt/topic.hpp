@@ -27,6 +27,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/result.hpp"
+
 namespace ifot::mqtt {
 
 /// Maximum number of '/'-separated levels a valid topic name or filter may
@@ -46,6 +48,63 @@ bool valid_topic_filter(std::string_view filter);
 
 /// True when `filter` matches `topic` under §4.7 rules.
 bool topic_matches(std::string_view filter, std::string_view topic);
+
+// ---- federation namespaces -------------------------------------------------
+//
+// Three reserved $-prefixed namespaces carry the broker-federation
+// control plane (DESIGN.md §4i). They live beside the matching rules
+// because every one of them is a *grammar*: the broker must judge a
+// SUBSCRIBE/PUBLISH against them before the generic filter/name rules
+// apply, and malformed shapes get typed errors instead of silent
+// misrouting.
+
+/// Shared-subscription filter namespace: "$share/<group>/<filter>".
+inline constexpr std::string_view kSharePrefix = "$share/";
+/// Bridge wire-wrap namespace: "$fed/<hops>/<topic>".
+inline constexpr std::string_view kFedPrefix = "$fed/";
+/// Client-id prefix that marks a session as a federation bridge.
+inline constexpr std::string_view kBridgeClientPrefix = "$bridge/";
+/// Remote-broker $SYS subtree a bridge remaps peer stats into:
+/// "$SYS/federation/peer/<peer>/...".
+inline constexpr std::string_view kFedPeerSysPrefix = "$SYS/federation/peer/";
+
+/// A parsed "$share/<group>/<filter>" subscription. Views alias the
+/// input buffer.
+struct ShareFilter {
+  std::string_view group;   ///< load-balancing group name (no wildcards)
+  std::string_view filter;  ///< inner topic filter (§4.7 rules apply)
+};
+
+/// True when `filter` claims the shared-subscription namespace (i.e. the
+/// share grammar must judge it — "$share" alone or any "$share/..." —
+/// regardless of whether it parses).
+bool is_share_filter(std::string_view filter);
+
+/// Parses "$share/<group>/<filter>". Typed errors (all Errc::kProtocol):
+/// bare "$share" / missing group, empty group, wildcard ('+'/'#') or
+/// NUL in the group segment, missing or invalid inner filter.
+Result<ShareFilter> parse_share_filter(std::string_view filter);
+
+/// A parsed bridge-wrapped topic "$fed/<hops>/<topic>". The hop count
+/// rides the wire so loop prevention survives multi-broker relays.
+struct FedTopic {
+  std::uint32_t hops = 0;    ///< bridge links crossed so far (>= 1)
+  std::string_view inner;    ///< original topic name (view into input)
+};
+
+/// True when `topic` claims the bridge-wrap namespace.
+bool is_fed_topic(std::string_view topic);
+
+/// Parses "$fed/<hops>/<topic>". Typed errors (all Errc::kProtocol):
+/// missing/non-decimal/zero/overlong hop level, missing or invalid
+/// inner topic name.
+Result<FedTopic> parse_fed_topic(std::string_view topic);
+
+/// Renders "$fed/<hops>/<inner>" into `out` (cleared first). Callers on
+/// the forwarding hot path reuse one scratch string so the steady state
+/// stays allocation-free.
+void write_fed_topic(std::string& out, std::uint32_t hops,
+                     std::string_view inner);
 
 /// Subscription tree: maps topic filters to subscriber values of type V,
 /// supporting wildcard-aware lookup of all subscribers matching a topic

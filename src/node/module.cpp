@@ -127,6 +127,19 @@ void NeuronModule::audit_invariants() const {
     IFOT_AUDIT_ASSERT(links.insert(b.link).second,
                       "duplicate client link id on '" + name() + "'");
   }
+
+  // Bridges: only broker modules host them, each binding carries a live
+  // Bridge, and both of its links are distinct from every other link on
+  // this module.
+  IFOT_AUDIT_ASSERT(bridges_.empty() || broker_ != nullptr,
+                    "module '" + name() + "' hosts bridges without a broker");
+  for (const auto& bb : bridges_) {
+    IFOT_AUDIT_ASSERT(bb.bridge != nullptr,
+                      "null bridge binding on '" + name() + "'");
+    IFOT_AUDIT_ASSERT(links.insert(bb.local_link).second &&
+                          links.insert(bb.remote_link).second,
+                      "bridge link id collides on '" + name() + "'");
+  }
 }
 
 // ---- transport -------------------------------------------------------------
@@ -245,6 +258,21 @@ void NeuronModule::on_broker_datagram(NodeId from, MsgKind kind,
 
 void NeuronModule::on_client_datagram(MsgKind kind, std::uint32_t link,
                                       Bytes payload) {
+  // Bridge remote halves ride client-direction frames too.
+  for (auto& bb : bridges_) {
+    if (bb.remote_link != link) continue;
+    switch (kind) {
+      case MsgKind::kOpen:
+        break;  // clients never receive opens
+      case MsgKind::kData:
+        bb.bridge->remote_data(BytesView(payload));
+        break;
+      case MsgKind::kClose:
+        bb.bridge->remote_transport_closed();
+        break;
+    }
+    return;
+  }
   for (auto& b : clients_) {
     if (b.link != link) continue;
     switch (kind) {
@@ -268,6 +296,89 @@ void NeuronModule::start_broker() {
   assert(broker_ == nullptr);
   broker_ = std::make_unique<mqtt::Broker>(sched_, config_.broker);
   audit_invariants();
+}
+
+Status NeuronModule::add_bridge(mqtt::BridgeConfig bridge_config,
+                                NodeId remote_broker) {
+  if (broker_ == nullptr) {
+    return Err(Errc::kState, "module '" + name() +
+                                 "' hosts no broker to bridge from");
+  }
+  if (bridge(bridge_config.name) != nullptr) {
+    return Err(Errc::kAlreadyExists,
+               "bridge '" + bridge_config.name + "' already hosted on '" +
+                   name() + "'");
+  }
+  bridges_.push_back(BridgeBinding{});
+  BridgeBinding& bb = bridges_.back();
+  bb.remote = remote_broker;
+  bb.local_link = next_link_id_++;
+  bb.remote_link = next_link_id_++;
+  const std::uint32_t llink = bb.local_link;
+  const std::uint32_t rlink = bb.remote_link;
+  bb.bridge = std::make_unique<mqtt::Bridge>(
+      sched_, std::move(bridge_config),
+      /*local_send=*/
+      [this, llink](const Bytes& bytes) {
+        // Loopback into the hosted broker: charged like any inbound
+        // packet, and deferred through the CPU so broker and bridge
+        // never re-enter each other within one call stack.
+        const SimDuration cost =
+            config_.costs.per_packet + config_.costs.broker_route +
+            config_.costs.per_byte * static_cast<SimDuration>(bytes.size());
+        cpu_.execute(cost, [this, llink, bytes] {
+          if (broker_ != nullptr && !failed_) {
+            broker_->on_link_data(llink, BytesView(bytes));
+          }
+        });
+      },
+      /*remote_send=*/
+      [this, remote_broker, rlink](const Bytes& bytes) {
+        transport_send(remote_broker, MsgKind::kData, Dir::kToServer, rlink,
+                       bytes);
+      });
+  broker_->on_link_open(
+      llink,
+      /*send=*/
+      [this, llink](const Bytes& bytes) {
+        const SimDuration cost =
+            config_.costs.broker_per_subscriber +
+            config_.costs.per_byte * static_cast<SimDuration>(bytes.size());
+        cpu_.execute(cost, [this, llink, bytes] {
+          if (failed_) return;
+          for (auto& b : bridges_) {
+            if (b.local_link == llink) {
+              b.bridge->local_data(BytesView(bytes));
+              return;
+            }
+          }
+        });
+      },
+      /*close=*/
+      [this, llink] {
+        for (auto& b : bridges_) {
+          if (b.local_link == llink) {
+            b.bridge->local_transport_closed();
+            return;
+          }
+        }
+      });
+  bb.bridge->local_transport_open();
+  transport_send(remote_broker, MsgKind::kOpen, Dir::kToServer, rlink, {});
+  bb.bridge->remote_transport_open();
+  counters_.add("bridges_hosted");
+  audit_invariants();
+  return {};
+}
+
+// audit: exempt(read-only lookup over the bridge bindings)
+mqtt::Bridge* NeuronModule::bridge(const std::string& bridge_name) {
+  for (auto& bb : bridges_) {
+    if (bb.bridge != nullptr && bb.bridge->config().name == bridge_name) {
+      return bb.bridge.get();
+    }
+  }
+  return nullptr;
 }
 
 // audit: exempt(delegates to the vector overload, which audits)
@@ -336,6 +447,11 @@ std::size_t NeuronModule::broker_index_for(std::string_view topic,
   if (topic.rfind("$SYS", 0) == 0 || topic.rfind("ifot/status/", 0) == 0 ||
       topic.rfind("ifot/directory/", 0) == 0) {
     return 0;
+  }
+  // Federated fabrics route by the shard map (explicit prefix
+  // assignments, hash fallback inside shard_of for unassigned topics).
+  if (fed_map_ != nullptr) {
+    return fed_map_->shard_of(topic) % clients_.size();
   }
   // Hash the topic base (first three levels) so producers and consumers
   // agree regardless of shard/partition suffixes or '+' wildcards.
@@ -528,6 +644,12 @@ void NeuronModule::announce_flow(const recipe::Task& task,
   if (task.partition_count > 1) {
     payload += ";partitions=" + std::to_string(task.partition_count);
   }
+  if (fed_map_ != nullptr && clients_.size() > 1) {
+    // Federated fabrics record which broker carries the flow so tappers
+    // subscribe on the owning shard instead of probing all K brokers.
+    payload += ";shard=" + std::to_string(broker_index_for(
+                               task.output_topic, task.output_broker));
+  }
   (void)client()->publish(topic, to_bytes(payload), mqtt::QoS::kAtMostOnce,
                           /*retain=*/true);
 }
@@ -687,6 +809,30 @@ Status NeuronModule::watch(const std::string& filter, WatchHandler handler) {
   for (std::size_t bi = 0; bi < clients_.size(); ++bi) {
     subscribe_on(bi, filter, config_.flow_qos);
   }
+  audit_invariants();
+  return {};
+}
+
+Status NeuronModule::watch_shard(const std::string& filter,
+                                 WatchHandler handler) {
+  if (clients_.empty()) {
+    return Err(Errc::kState,
+               "module '" + name() + "' is not connected to a broker");
+  }
+  // Share subscriptions ride the full "$share/<group>/<filter>" string on
+  // the SUBSCRIBE, but deliveries arrive on the *inner* topic — match the
+  // watch against the inner filter.
+  std::string match_filter = filter;
+  if (mqtt::is_share_filter(filter)) {
+    auto parsed = mqtt::parse_share_filter(filter);
+    if (!parsed) return parsed.error();
+    match_filter = std::string(parsed.value().filter);
+  } else if (!mqtt::valid_topic_filter(filter)) {
+    return Err(Errc::kInvalidArgument, "invalid filter: " + filter);
+  }
+  const std::size_t index = broker_index_for(match_filter, -1);
+  watches_.emplace_back(match_filter, std::move(handler));
+  subscribe_on(index, filter, config_.flow_qos);
   audit_invariants();
   return {};
 }

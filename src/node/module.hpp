@@ -26,8 +26,10 @@
 
 #include "common/rng.hpp"
 #include "device/actuator_sim.hpp"
+#include "mqtt/bridge.hpp"
 #include "mqtt/broker.hpp"
 #include "mqtt/client.hpp"
+#include "mqtt/federation_map.hpp"
 #include "net/network.hpp"
 #include "node/cpu_model.hpp"
 #include "node/sched_adapter.hpp"
@@ -91,6 +93,14 @@ class NeuronModule final : public TaskContext {
   [[nodiscard]] bool is_broker() const { return broker_ != nullptr; }
   [[nodiscard]] mqtt::Broker* broker() { return broker_.get(); }
 
+  /// Hosts a federation bridge on this broker module: the local half
+  /// rides an in-process loopback link into the hosted Broker class, the
+  /// remote half crosses the simulated network to `remote_broker` over
+  /// the same framing as an ordinary client. Requires start_broker().
+  Status add_bridge(mqtt::BridgeConfig bridge_config, NodeId remote_broker);
+  [[nodiscard]] std::size_t bridge_count() const { return bridges_.size(); }
+  [[nodiscard]] mqtt::Bridge* bridge(const std::string& bridge_name);
+
   /// Opens this module's MQTT client(s). Multi-broker fabrics pass every
   /// broker module; flows are assigned to brokers by the recipe's
   /// `broker = N` parameter or a stable hash of the flow's topic base.
@@ -98,6 +108,14 @@ class NeuronModule final : public TaskContext {
   /// the primary broker (index 0).
   void connect(NodeId broker_module);
   void connect(const std::vector<NodeId>& broker_modules);
+  /// Installs the fabric's shard map: flow topics route to
+  /// `map->shard_of(topic)` instead of the legacy topic-base hash.
+  /// `map` must outlive the module (the middleware owns it); nullptr
+  /// reverts to hashing.
+  void set_federation(const mqtt::FederationMap* map) { fed_map_ = map; }
+  [[nodiscard]] const mqtt::FederationMap* federation() const {
+    return fed_map_;
+  }
   /// Primary broker's client (nullptr before connect()).
   [[nodiscard]] mqtt::Client* client() {
     return clients_.empty() ? nullptr : clients_.front().client.get();
@@ -152,6 +170,13 @@ class NeuronModule final : public TaskContext {
   using WatchHandler =
       std::function<void(const std::string& topic, const Bytes& payload)>;
   Status watch(const std::string& filter, WatchHandler handler);
+
+  /// Shard-aware watch: subscribes `filter` only on the broker owning it
+  /// under the federation map (every broker when un-federated would be
+  /// wrong here — exactly one shard carries the flow). Accepts
+  /// "$share/<group>/<filter>" subscriptions: the share string rides the
+  /// SUBSCRIBE while delivery matches against the inner filter.
+  Status watch_shard(const std::string& filter, WatchHandler handler);
 
   // ---- TaskContext ----
   [[nodiscard]] SimTime now() const override { return sim_.now(); }
@@ -241,6 +266,17 @@ class NeuronModule final : public TaskContext {
 
   std::unique_ptr<mqtt::Broker> broker_;
   std::unordered_map<std::uint32_t, NodeId> broker_links_;  // link -> peer
+
+  /// One hosted federation bridge: local half loops back into broker_,
+  /// remote half rides the network to a peer broker module.
+  struct BridgeBinding {
+    NodeId remote;
+    std::uint32_t local_link = 0;
+    std::uint32_t remote_link = 0;
+    std::unique_ptr<mqtt::Bridge> bridge;
+  };
+  std::vector<BridgeBinding> bridges_;
+  const mqtt::FederationMap* fed_map_ = nullptr;
 
   /// Datagrams queued towards one peer awaiting the end-of-turn flush.
   /// Same-turn frames to the same peer ride one network write; the

@@ -12,6 +12,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "mqtt/topic.hpp"
+
 namespace ifot::mqtt {
 namespace {
 
@@ -262,6 +266,106 @@ TEST(DecodeHostile, StreamDecoderAcceptsPacketsUnderTheCap) {
   ASSERT_TRUE(next.ok());
   ASSERT_TRUE(next.value().has_value());
   EXPECT_TRUE(*next.value() == Packet{Pingreq{}});
+}
+
+// ---- class 12: hostile "$share/<group>/<filter>" grammar ----------------
+// A malformed share must parse to a typed error, never fall through to a
+// plain (silently never-matching) subscription.
+
+TEST(DecodeHostile, ShareFilterMissingGroupIsRejected) {
+  for (const char* bad : {"$share", "$share/"}) {
+    EXPECT_TRUE(is_share_filter(bad)) << bad;
+    auto r = parse_share_filter(bad);
+    ASSERT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.error().code, Errc::kProtocol) << bad;
+  }
+}
+
+TEST(DecodeHostile, ShareFilterEmptyGroupIsRejected) {
+  auto r = parse_share_filter("$share//flow/t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kProtocol);
+}
+
+TEST(DecodeHostile, ShareFilterWildcardOrNulInGroupIsRejected) {
+  for (const char* bad :
+       {"$share/+/f", "$share/#/f", "$share/g+/f", "$share/g#x/f"}) {
+    auto r = parse_share_filter(bad);
+    ASSERT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.error().code, Errc::kProtocol) << bad;
+  }
+  const std::string nul_group =
+      std::string("$share/g") + '\0' + "roup/f";
+  auto r = parse_share_filter(nul_group);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kProtocol);
+}
+
+TEST(DecodeHostile, ShareFilterMissingOrInvalidInnerIsRejected) {
+  // No inner filter at all, and inners that break the §4.7 rules ('#'
+  // not last, '+' sharing a level).
+  for (const char* bad :
+       {"$share/g", "$share/g/", "$share/g/a/#/b", "$share/g/a+b"}) {
+    auto r = parse_share_filter(bad);
+    ASSERT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.error().code, Errc::kProtocol) << bad;
+  }
+}
+
+TEST(DecodeHostile, ShareFilterValidFormsParse) {
+  auto r = parse_share_filter("$share/analytics/city/north/#");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().group, "analytics");
+  EXPECT_EQ(r.value().filter, "city/north/#");
+  // The inner filter may itself be a $-topic filter (bridge health
+  // watchers) and may use wildcards freely.
+  EXPECT_TRUE(parse_share_filter("$share/g/$SYS/#").ok());
+  EXPECT_TRUE(parse_share_filter("$share/g/+/t").ok());
+  // Share of a share is just an inner filter starting with "$share":
+  // level-matching keeps it inert, but the grammar does not recurse.
+  EXPECT_TRUE(parse_share_filter("$share/g/$share/h/f").ok());
+}
+
+// ---- class 13: hostile "$fed/<hops>/<topic>" wraps ----------------------
+// The hop level is the loop-prevention state; a wrap that cannot state
+// its hop count honestly must die at the parser.
+
+TEST(DecodeHostile, FedTopicBadHopLevelIsRejected) {
+  for (const char* bad :
+       {"$fed", "$fed/", "$fed//x", "$fed/0/x", "$fed/abc/x", "$fed/1a/x",
+        "$fed/-1/x", "$fed/1000/x", "$fed/0001/x", "$fed/99999999999/x"}) {
+    EXPECT_TRUE(is_fed_topic(bad) || std::string_view(bad) == "$fed")
+        << bad;
+    auto r = parse_fed_topic(bad);
+    ASSERT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.error().code, Errc::kProtocol) << bad;
+  }
+}
+
+TEST(DecodeHostile, FedTopicMissingOrInvalidInnerIsRejected) {
+  // Absent inner, and inners illegal as topic *names* (wildcards are
+  // filter syntax; a wrapped publish carries a concrete name).
+  for (const char* bad : {"$fed/1", "$fed/1/", "$fed/1/a/+/b", "$fed/2/#"}) {
+    auto r = parse_fed_topic(bad);
+    ASSERT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.error().code, Errc::kProtocol) << bad;
+  }
+}
+
+TEST(DecodeHostile, FedTopicRoundTripsThroughItsWriter) {
+  std::string out;
+  write_fed_topic(out, 42, "city/north/cam");
+  EXPECT_EQ(out, "$fed/42/city/north/cam");
+  auto r = parse_fed_topic(out);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().hops, 42u);
+  EXPECT_EQ(r.value().inner, "city/north/cam");
+  // Max in-grammar hop count (3 digits) parses; the broker's budget
+  // check, not the parser, is what rejects it.
+  write_fed_topic(out, 999, "t");
+  r = parse_fed_topic(out);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().hops, 999u);
 }
 
 }  // namespace

@@ -1,0 +1,512 @@
+// Federation: bridge forwarding between two brokers ("$fed/<hops>/..."
+// wraps, loop prevention, retained/QoS semantics across hops), the
+// FederationMap shard function, and "$share/<group>/<filter>"
+// shared-subscription load groups.
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mqtt/bridge.hpp"
+#include "mqtt/broker.hpp"
+#include "mqtt/federation_map.hpp"
+#include "mqtt/packet.hpp"
+#include "tests/mqtt/harness.hpp"
+
+namespace ifot::mqtt {
+namespace {
+
+using ifot::mqtt::testing::Peer;
+using ifot::mqtt::testing::SimSched;
+
+constexpr LinkId kBridgeLinkA = 900;
+constexpr LinkId kBridgeLinkB = 901;
+
+/// Two brokers joined by one Bridge over delayed pipes, sharing a
+/// simulator; peers attach to either side.
+class FedHarness {
+ public:
+  explicit FedHarness(BrokerConfig cfg = {})
+      : sched_(sim_), a_(sched_, cfg), b_(sched_, cfg) {}
+
+  /// Wires the bridge and settles its CONNECT/SUBSCRIBE handshakes.
+  void mesh(BridgeConfig bc) {
+    bridge_ = std::make_unique<Bridge>(
+        sched_, std::move(bc),
+        [this](const Bytes& bytes) {
+          sim_.schedule_after(delay_, [this, bytes] {
+            a_.on_link_data(kBridgeLinkA, BytesView(bytes));
+          });
+        },
+        [this](const Bytes& bytes) {
+          sim_.schedule_after(delay_, [this, bytes] {
+            b_.on_link_data(kBridgeLinkB, BytesView(bytes));
+          });
+        });
+    a_.on_link_open(
+        kBridgeLinkA,
+        [this](const Bytes& bytes) {
+          sim_.schedule_after(delay_, [this, bytes] {
+            bridge_->local_data(BytesView(bytes));
+          });
+        },
+        [] {});
+    b_.on_link_open(
+        kBridgeLinkB,
+        [this](const Bytes& bytes) {
+          sim_.schedule_after(delay_, [this, bytes] {
+            bridge_->remote_data(BytesView(bytes));
+          });
+        },
+        [] {});
+    bridge_->local_transport_open();
+    bridge_->remote_transport_open();
+    settle();
+  }
+
+  Peer& on_a(const std::string& id) { return add(a_, id); }
+  Peer& on_b(const std::string& id) { return add(b_, id); }
+  Peer& on_a(ClientConfig cc) { return add(a_, std::move(cc)); }
+
+  void settle(SimDuration window = 10 * kSecond) {
+    sim_.run_until(sim_.now() + window);
+  }
+
+  [[nodiscard]] Broker& a() { return a_; }
+  [[nodiscard]] Broker& b() { return b_; }
+  [[nodiscard]] Bridge& bridge() { return *bridge_; }
+
+ private:
+  Peer& add(Broker& broker, const std::string& id) {
+    ClientConfig cc;
+    cc.client_id = id;
+    cc.clean_session = true;
+    return add(broker, std::move(cc));
+  }
+
+  Peer& add(Broker& broker, ClientConfig cc) {
+    peers_.push_back(std::make_unique<Peer>(sim_, sched_, broker,
+                                            next_link_++, std::move(cc),
+                                            delay_));
+    Peer& p = *peers_.back();
+    p.open();
+    settle();
+    return p;
+  }
+
+  sim::Simulator sim_;
+  SimSched sched_;
+  Broker a_;
+  Broker b_;
+  std::unique_ptr<Bridge> bridge_;
+  SimDuration delay_ = kMillisecond;
+  LinkId next_link_ = 1;
+  std::vector<std::unique_ptr<Peer>> peers_;
+};
+
+BridgeConfig east_west_bridge() {
+  BridgeConfig bc;
+  bc.name = "t";
+  bc.local_label = "a";
+  bc.remote_label = "b";
+  // b owns city/east, a owns city/west; both sides forwarded.
+  bc.out_filters = {{"city/east/#", QoS::kExactlyOnce}};
+  bc.in_filters = {{"city/west/#", QoS::kExactlyOnce}};
+  return bc;
+}
+
+// ---- bridge forwarding -----------------------------------------------------
+
+TEST(Federation, BridgeForwardsMatchedPublishesBothWays) {
+  FedHarness h;
+  Peer& sub_b = h.on_b("sub_b");
+  Peer& sub_a = h.on_a("sub_a");
+  ASSERT_TRUE(
+      sub_b.client().subscribe({{"city/east/#", QoS::kAtMostOnce}}).ok());
+  ASSERT_TRUE(
+      sub_a.client().subscribe({{"city/west/#", QoS::kAtMostOnce}}).ok());
+  h.mesh(east_west_bridge());
+
+  Peer& pub_a = h.on_a("pub_a");
+  Peer& pub_b = h.on_b("pub_b");
+  ASSERT_TRUE(pub_a.client()
+                  .publish("city/east/cam", to_bytes("hi"), QoS::kAtMostOnce)
+                  .ok());
+  ASSERT_TRUE(pub_b.client()
+                  .publish("city/west/cam", to_bytes("yo"), QoS::kAtMostOnce)
+                  .ok());
+  h.settle();
+
+  // The subscriber at the owner broker sees the *inner* topic, payload
+  // intact, exactly once.
+  ASSERT_EQ(sub_b.messages().size(), 1u);
+  EXPECT_EQ(sub_b.messages()[0].topic.view(), "city/east/cam");
+  EXPECT_EQ(to_string(BytesView(sub_b.messages()[0].payload)), "hi");
+  ASSERT_EQ(sub_a.messages().size(), 1u);
+  EXPECT_EQ(sub_a.messages()[0].topic.view(), "city/west/cam");
+  EXPECT_GE(h.a().counters().get("bridge_out"), 1u);
+  EXPECT_GE(h.b().counters().get("bridge_in"), 1u);
+}
+
+TEST(Federation, UnmatchedTopicsStayLocal) {
+  FedHarness h;
+  Peer& sub_b = h.on_b("sub_b");
+  ASSERT_TRUE(sub_b.client().subscribe({{"#", QoS::kAtMostOnce}}).ok());
+  h.mesh(east_west_bridge());
+  Peer& pub_a = h.on_a("pub_a");
+  ASSERT_TRUE(pub_a.client()
+                  .publish("city/north/cam", to_bytes("x"), QoS::kAtMostOnce)
+                  .ok());
+  h.settle();
+  EXPECT_TRUE(sub_b.messages().empty());
+  EXPECT_EQ(h.b().counters().get("bridge_in"), 0u);
+}
+
+TEST(Federation, NoEchoOverTheIngressBridge) {
+  // Both directions carry the same prefix: without the no-echo rule a
+  // forwarded publish would ping-pong between the brokers forever.
+  FedHarness h;
+  BridgeConfig bc;
+  bc.name = "echo";
+  bc.local_label = "a";
+  bc.remote_label = "b";
+  bc.out_filters = {{"x/#", QoS::kExactlyOnce}};
+  bc.in_filters = {{"x/#", QoS::kExactlyOnce}};
+  Peer& sub_a = h.on_a("sub_a");
+  Peer& sub_b = h.on_b("sub_b");
+  ASSERT_TRUE(sub_a.client().subscribe({{"x/#", QoS::kAtMostOnce}}).ok());
+  ASSERT_TRUE(sub_b.client().subscribe({{"x/#", QoS::kAtMostOnce}}).ok());
+  h.mesh(std::move(bc));
+
+  Peer& pub_a = h.on_a("pub_a");
+  ASSERT_TRUE(
+      pub_a.client().publish("x/t", to_bytes("once"), QoS::kAtMostOnce).ok());
+  h.settle();
+
+  ASSERT_EQ(sub_a.messages().size(), 1u);
+  ASSERT_EQ(sub_b.messages().size(), 1u);
+  EXPECT_GE(h.b().counters().get("bridge_echo_suppressed"), 1u);
+}
+
+TEST(Federation, HopBudgetDropsOverTraveledWraps) {
+  BrokerConfig cfg;
+  cfg.bridge_hop_budget = 2;
+  FedHarness h(cfg);
+  Peer& sub_a = h.on_a("sub_a");
+  ASSERT_TRUE(sub_a.client().subscribe({{"x/#", QoS::kAtMostOnce}}).ok());
+  h.mesh(east_west_bridge());
+
+  // A (simulated) far-away bridge delivers pre-wrapped publishes: within
+  // budget they unwrap and route; past it they are dropped.
+  ClientConfig cc;
+  cc.client_id = "$bridge/far";
+  Peer& far = h.on_a(std::move(cc));
+  ASSERT_TRUE(far.client()
+                  .publish("$fed/2/x/t", to_bytes("ok"), QoS::kAtMostOnce)
+                  .ok());
+  ASSERT_TRUE(far.client()
+                  .publish("$fed/3/x/t", to_bytes("late"), QoS::kAtMostOnce)
+                  .ok());
+  h.settle();
+
+  ASSERT_EQ(sub_a.messages().size(), 1u);
+  EXPECT_EQ(to_string(BytesView(sub_a.messages()[0].payload)), "ok");
+  EXPECT_EQ(h.a().counters().get("bridge_loops_dropped"), 1u);
+}
+
+TEST(Federation, SpoofedWrapFromOrdinaryClientIsDropped) {
+  FedHarness h;
+  Peer& sub_a = h.on_a("sub_a");
+  ASSERT_TRUE(sub_a.client().subscribe({{"x/#", QoS::kAtMostOnce}}).ok());
+  Peer& evil = h.on_a("evil");
+  // QoS 1 so the ack flow must still answer even though routing is
+  // suppressed.
+  ASSERT_TRUE(evil.client()
+                  .publish("$fed/1/x/t", to_bytes("fake"), QoS::kAtLeastOnce)
+                  .ok());
+  h.settle();
+  EXPECT_TRUE(sub_a.messages().empty());
+  // Exactly one drop: the Puback flowed, so the client never retransmits.
+  EXPECT_EQ(h.a().counters().get("fed_spoofs_dropped"), 1u);
+}
+
+TEST(Federation, RetainedCrossesTheBridge) {
+  FedHarness h;
+  Peer& pub_a = h.on_a("pub_a");
+  // Retained *before* the mesh exists: the bridge's SUBSCRIBE replays it.
+  ASSERT_TRUE(pub_a.client()
+                  .publish("city/east/old", to_bytes("pre"), QoS::kAtMostOnce,
+                           /*retain=*/true)
+                  .ok());
+  h.settle();
+  h.mesh(east_west_bridge());
+  // ... and retained *after* the mesh rides the ordinary forward, retain
+  // bit intact (unlike local fan-out, which clears it per MQTT-3.3.1-9).
+  ASSERT_TRUE(pub_a.client()
+                  .publish("city/east/new", to_bytes("post"),
+                           QoS::kAtMostOnce, /*retain=*/true)
+                  .ok());
+  h.settle();
+
+  // A *late* subscriber at the peer broker finds both in b's retained
+  // store — proof the retain bit survived the hop.
+  Peer& late_b = h.on_b("late_b");
+  ASSERT_TRUE(
+      late_b.client().subscribe({{"city/east/#", QoS::kAtMostOnce}}).ok());
+  h.settle();
+  ASSERT_EQ(late_b.messages().size(), 2u);
+  EXPECT_TRUE(late_b.messages()[0].retain);
+  EXPECT_TRUE(late_b.messages()[1].retain);
+}
+
+TEST(Federation, ForwardedQosIsCappedByTheBridgeGrant) {
+  FedHarness h;
+  BridgeConfig bc = east_west_bridge();
+  bc.out_filters = {{"city/east/#", QoS::kAtMostOnce}};  // QoS 0 grant
+  Peer& sub_b = h.on_b("sub_b");
+  ASSERT_TRUE(
+      sub_b.client().subscribe({{"city/east/#", QoS::kExactlyOnce}}).ok());
+  h.mesh(std::move(bc));
+  Peer& pub_a = h.on_a("pub_a");
+  ASSERT_TRUE(pub_a.client()
+                  .publish("city/east/cam", to_bytes("q"), QoS::kExactlyOnce)
+                  .ok());
+  h.settle();
+  ASSERT_EQ(sub_b.messages().size(), 1u);
+  EXPECT_EQ(sub_b.messages()[0].qos, QoS::kAtMostOnce);
+}
+
+// ---- $-topic asymmetry -----------------------------------------------------
+
+TEST(Federation, BridgeSeesSysButRootWildcardsNeverDo) {
+  BrokerConfig cfg;
+  cfg.sys_interval = kSecond;
+  FedHarness h(cfg);
+  // Plain subscribers with root wildcards on both brokers: the MQTT
+  // $-rule shields them from every $-topic — broker stats, "$fed/..."
+  // wraps and the remapped peer subtree alike.
+  Peer& root_a = h.on_a("root_a");
+  Peer& root_b = h.on_b("root_b");
+  ASSERT_TRUE(root_a.client().subscribe({{"#", QoS::kAtMostOnce}}).ok());
+  ASSERT_TRUE(root_b.client().subscribe({{"+/+", QoS::kAtMostOnce}}).ok());
+  // The mesh bridge *does* subscribe $SYS/# (mesh health)...
+  BridgeConfig bc = east_west_bridge();
+  bc.out_filters.push_back({"$SYS/#", QoS::kAtMostOnce});
+  h.mesh(std::move(bc));
+  // ... so a's stats surface at b under the peer subtree.
+  Peer& watcher_b = h.on_b("watcher_b");
+  ASSERT_TRUE(watcher_b.client()
+                  .subscribe({{"$SYS/federation/peer/#", QoS::kAtMostOnce}})
+                  .ok());
+  Peer& pub_a = h.on_a("pub_a");
+  ASSERT_TRUE(
+      pub_a.client().publish("x/t", to_bytes("p"), QoS::kAtMostOnce).ok());
+  h.settle(5 * kSecond);
+
+  EXPECT_FALSE(watcher_b.messages().empty());
+  for (const auto& m : watcher_b.messages()) {
+    EXPECT_EQ(m.topic.view().substr(0, 21), "$SYS/federation/peer/");
+  }
+  ASSERT_EQ(root_a.messages().size(), 1u);  // only the plain publish
+  EXPECT_EQ(root_a.messages()[0].topic.view(), "x/t");
+  for (const auto& m : root_b.messages()) {
+    EXPECT_NE(m.topic.view().substr(0, 1), "$");
+  }
+}
+
+// ---- shared subscriptions --------------------------------------------------
+
+TEST(Federation, ShareGroupDealsRoundRobinWithoutDuplicates) {
+  testing::Harness h;
+  Peer& w0 = h.add_client("w0");
+  Peer& w1 = h.add_client("w1");
+  Peer& w2 = h.add_client("w2");
+  Peer& plain = h.add_client("plain");
+  Peer& pub = h.add_client("pub");
+  for (Peer* p : {&w0, &w1, &w2, &plain, &pub}) h.connect(*p);
+  for (Peer* p : {&w0, &w1, &w2}) {
+    ASSERT_TRUE(
+        p->client().subscribe({{"$share/g/flow/t", QoS::kAtMostOnce}}).ok());
+  }
+  ASSERT_TRUE(plain.client().subscribe({{"flow/t", QoS::kAtMostOnce}}).ok());
+  h.settle();
+  EXPECT_EQ(h.broker().share_count(), 1u);
+
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(pub.client()
+                    .publish("flow/t", to_bytes(std::to_string(i)),
+                             QoS::kAtMostOnce)
+                    .ok());
+    h.settle();
+  }
+  // Deterministic deal: one member per publish, 3 each in join order;
+  // the plain subscriber independently sees every message.
+  EXPECT_EQ(w0.messages().size(), 3u);
+  EXPECT_EQ(w1.messages().size(), 3u);
+  EXPECT_EQ(w2.messages().size(), 3u);
+  EXPECT_EQ(plain.messages().size(), 9u);
+  EXPECT_EQ(to_string(BytesView(w0.messages()[0].payload)), "0");
+  EXPECT_EQ(to_string(BytesView(w1.messages()[0].payload)), "1");
+  EXPECT_EQ(to_string(BytesView(w2.messages()[0].payload)), "2");
+}
+
+TEST(Federation, ShareSkipsDisconnectedMembers) {
+  testing::Harness h;
+  Peer& w0 = h.add_client("w0");
+  Peer& w1 = h.add_client("w1");
+  Peer& pub = h.add_client("pub");
+  for (Peer* p : {&w0, &w1, &pub}) h.connect(*p);
+  for (Peer* p : {&w0, &w1}) {
+    ASSERT_TRUE(
+        p->client().subscribe({{"$share/g/flow/t", QoS::kAtMostOnce}}).ok());
+  }
+  h.settle();
+  w1.kill_transport();
+  h.settle();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(pub.client()
+                    .publish("flow/t", to_bytes("m"), QoS::kAtMostOnce)
+                    .ok());
+    h.settle();
+  }
+  // Clean-session w1 was purged on disconnect; all traffic lands on w0.
+  EXPECT_EQ(w0.messages().size(), 4u);
+  EXPECT_TRUE(w1.messages().empty());
+}
+
+TEST(Federation, ShareGroupTearsDownWithItsLastMember) {
+  testing::Harness h;
+  Peer& w0 = h.add_client("w0");
+  Peer& w1 = h.add_client("w1");
+  h.connect(w0);
+  h.connect(w1);
+  for (Peer* p : {&w0, &w1}) {
+    ASSERT_TRUE(
+        p->client().subscribe({{"$share/g/flow/t", QoS::kAtMostOnce}}).ok());
+  }
+  h.settle();
+  EXPECT_EQ(h.broker().share_count(), 1u);
+  ASSERT_TRUE(w0.client().unsubscribe({"$share/g/flow/t"}).ok());
+  h.settle();
+  EXPECT_EQ(h.broker().share_count(), 1u);  // w1 still holds it
+  ASSERT_TRUE(w1.client().unsubscribe({"$share/g/flow/t"}).ok());
+  h.settle();
+  EXPECT_EQ(h.broker().share_count(), 0u);
+}
+
+TEST(Federation, MalformedShareFiltersAreRejectedNotInstalled) {
+  testing::Harness h;
+  Peer& pub = h.add_client("pub");
+  h.connect(pub);
+  // Raw wire bytes: the Client validates filters before sending, so the
+  // wildcard-in-group shapes have to be injected below it to prove the
+  // *broker* rejects them.
+  constexpr LinkId kRawLink = 77;
+  std::vector<Bytes> replies;
+  h.broker().on_link_open(
+      kRawLink, [&replies](const Bytes& b) { replies.push_back(b); }, [] {});
+  Connect c;
+  c.client_id = "raw";
+  h.broker().on_link_data(kRawLink, BytesView(encode(Packet{c})));
+  const auto entries_before = h.broker().counters().get("subscriptions");
+  const char* bad[] = {"$share",      "$share/",      "$share/g",
+                       "$share//f",   "$share/g+x/f", "$share/#/f",
+                       "$share/g#/f", "$share/+/f"};
+  std::uint16_t pid = 1;
+  for (const char* filter : bad) {
+    Subscribe s;
+    s.packet_id = pid++;
+    s.topics = {{filter, QoS::kAtMostOnce}};
+    h.broker().on_link_data(kRawLink, BytesView(encode(Packet{s})));
+  }
+  h.settle();
+  EXPECT_EQ(h.broker().share_count(), 0u);
+  EXPECT_GE(h.broker().counters().get("share_rejected"), std::size(bad));
+  EXPECT_EQ(h.broker().counters().get("subscriptions"), entries_before);
+  // And none of them installed a plain subscription by accident: a
+  // publish produces no delivery on the raw link (CONNACK + the SUBACKs
+  // are all it ever receives).
+  const std::size_t replies_before = replies.size();
+  ASSERT_TRUE(
+      pub.client().publish("f", to_bytes("x"), QoS::kAtMostOnce).ok());
+  h.settle();
+  EXPECT_EQ(replies.size(), replies_before);
+}
+
+TEST(Federation, ShareRetainedReplayIsSuppressed) {
+  testing::Harness h;
+  Peer& pub = h.add_client("pub");
+  h.connect(pub);
+  ASSERT_TRUE(pub.client()
+                  .publish("flow/t", to_bytes("r"), QoS::kAtMostOnce,
+                           /*retain=*/true)
+                  .ok());
+  h.settle();
+  Peer& w0 = h.add_client("w0");
+  h.connect(w0);
+  ASSERT_TRUE(
+      w0.client().subscribe({{"$share/g/flow/t", QoS::kAtMostOnce}}).ok());
+  h.settle();
+  // MQTT 5 semantics (the sane choice): joining a share group does not
+  // replay retained state into one arbitrary member.
+  EXPECT_TRUE(w0.messages().empty());
+}
+
+// ---- FederationMap ---------------------------------------------------------
+
+TEST(FederationMap, LongestPrefixWinsAndHashIsTheFallback) {
+  FederationMap map(4);
+  ASSERT_TRUE(map.assign("city", 0).ok());
+  ASSERT_TRUE(map.assign("city/east", 2).ok());
+  EXPECT_EQ(map.shard_of("city/west/cam"), 0u);
+  EXPECT_EQ(map.shard_of("city/east/cam"), 2u);
+  EXPECT_EQ(map.shard_of("city"), 0u);
+  EXPECT_TRUE(map.pinned("city/east/cam"));
+  EXPECT_FALSE(map.pinned("other/topic"));
+  // Level-wise matching: "city/eastern" is NOT under prefix "city/east".
+  EXPECT_EQ(map.shard_of("city/eastern/cam"), 0u);
+  // Unpinned topics spread deterministically across all brokers; the
+  // hash keys on the first three levels, so deeper siblings agree.
+  EXPECT_LT(map.shard_of("other/topic"), 4u);
+  EXPECT_EQ(map.shard_of("other/topic/deep"),
+            map.shard_of("other/topic/deep/er"));
+}
+
+TEST(FederationMap, ShareFiltersRouteByTheirInnerFilter) {
+  FederationMap map(4);
+  ASSERT_TRUE(map.assign("city/east", 2).ok());
+  EXPECT_EQ(map.shard_of("$share/g/city/east/cam"), 2u);
+  EXPECT_EQ(map.shard_of("city/east/cam"),
+            map.shard_of("$share/other/city/east/cam"));
+}
+
+TEST(FederationMap, RejectsMalformedAssignments) {
+  FederationMap map(2);
+  EXPECT_FALSE(map.assign("", 0).ok());
+  EXPECT_FALSE(map.assign("/lead", 0).ok());
+  EXPECT_FALSE(map.assign("trail/", 0).ok());
+  EXPECT_FALSE(map.assign("has/+/wild", 0).ok());
+  EXPECT_FALSE(map.assign("has/#", 0).ok());
+  EXPECT_FALSE(map.assign("fine", 2).ok());  // broker out of range
+  ASSERT_TRUE(map.assign("fine", 1).ok());
+  ASSERT_TRUE(map.assign("fine", 0).ok());  // replace wins
+  EXPECT_EQ(map.shard_of("fine/x"), 0u);
+  EXPECT_EQ(map.assignment_count(), 1u);
+}
+
+TEST(FederationMap, OwnedFiltersCoverExactlyTheAssignedPrefixes) {
+  FederationMap map(3);
+  ASSERT_TRUE(map.assign("city/east", 2).ok());
+  ASSERT_TRUE(map.assign("city/docks", 2).ok());
+  ASSERT_TRUE(map.assign("city/west", 1).ok());
+  const auto owned = map.filters_owned_by(2);
+  ASSERT_EQ(owned.size(), 2u);
+  EXPECT_EQ(owned[0], "city/east/#");
+  EXPECT_EQ(owned[1], "city/docks/#");
+  EXPECT_TRUE(map.filters_owned_by(0).empty());
+}
+
+}  // namespace
+}  // namespace ifot::mqtt

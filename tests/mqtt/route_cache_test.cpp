@@ -537,5 +537,59 @@ TEST(RouteCacheDifferential, RetainedDeliveryAndQos2EndToEnd) {
   EXPECT_EQ(c.get("route_cache_hits") + c.get("route_cache_misses"), 2u);
 }
 
+TEST(RouteCacheDifferential, BridgeAndShareChurnStayByteIdentical) {
+  // Federation extends route() past the subscription tree: bridge links
+  // (out-of-tree filter lists) and share groups (one member per message)
+  // both feed the egress plan. Cached and uncached brokers must stay
+  // byte-identical while both populations churn mid-stream.
+  const Counters c = run_differential([](DiffHarness& h) {
+    BytePeer& pub = h.add_client("pub");
+    BytePeer& plain = h.add_client("plain");
+    BytePeer& w0 = h.add_client("w0");
+    BytePeer& w1 = h.add_client("w1");
+    BytePeer& bridge = h.add_client("$bridge/diff");
+    for (BytePeer* p : {&pub, &plain, &w0, &w1, &bridge}) h.connect(*p);
+    ASSERT_TRUE(plain.client().subscribe({{"flow/t", QoS::kAtLeastOnce}}).ok());
+    ASSERT_TRUE(
+        bridge.client().subscribe({{"flow/#", QoS::kExactlyOnce}}).ok());
+    for (BytePeer* w : {&w0, &w1}) {
+      ASSERT_TRUE(
+          w->client().subscribe({{"$share/g/flow/t", QoS::kAtLeastOnce}}).ok());
+    }
+    h.settle();
+    auto publish = [&](const char* payload) {
+      ASSERT_TRUE(pub.client()
+                      .publish("flow/t", to_bytes(payload), QoS::kAtLeastOnce)
+                      .ok());
+      h.settle();
+    };
+    publish("a");  // tree + bridge + one share member
+    publish("b");  // the share deals a *different* member: same plan, both
+    publish("c");  // brokers must rotate identically
+    // Wrapped ingress from the bridge session: unwrap, route locally,
+    // and never echo back over the ingress bridge.
+    ASSERT_TRUE(bridge.client()
+                    .publish("$fed/1/flow/t", to_bytes("x"), QoS::kAtLeastOnce)
+                    .ok());
+    h.settle();
+    // Bridge filter churn mid-stream.
+    ASSERT_TRUE(bridge.client().unsubscribe({"flow/#"}).ok());
+    h.settle();
+    publish("d");
+    // Share membership churn mid-stream.
+    ASSERT_TRUE(w1.client().unsubscribe({"$share/g/flow/t"}).ok());
+    h.settle();
+    publish("e");
+    publish("f");
+    // 6 client publishes + the unwrapped bridge ingress = 7 each.
+    EXPECT_EQ(plain.messages().size(), 7u);
+    EXPECT_EQ(w0.messages().size() + w1.messages().size(), 7u);
+  });
+  // Every live publish resolved a plan (hit or miss) on the cached side.
+  EXPECT_GE(c.get("route_cache_hits"), 1u);
+  EXPECT_GE(c.get("bridge_out"), 3u);
+  EXPECT_GE(c.get("bridge_in"), 1u);
+}
+
 }  // namespace
 }  // namespace ifot::mqtt
