@@ -43,6 +43,18 @@ int main() {
                     mw.simulator().events_executed()),
                 static_cast<unsigned long long>(
                     mw.simulator().trace_hash()));
+    const ifot::sim::SchedulerStats sim_stats = mw.simulator().stats();
+    std::printf(
+        "scheduler: scheduled=%llu fired=%llu cancelled=%llu rearmed=%llu "
+        "occupancy_hw=%llu overflow_hw=%llu nodes=%llu pool_bytes=%llu\n",
+        static_cast<unsigned long long>(sim_stats.scheduled),
+        static_cast<unsigned long long>(sim_stats.fired),
+        static_cast<unsigned long long>(sim_stats.cancelled),
+        static_cast<unsigned long long>(sim_stats.rearmed),
+        static_cast<unsigned long long>(sim_stats.occupancy_high_water),
+        static_cast<unsigned long long>(sim_stats.overflow_high_water),
+        static_cast<unsigned long long>(sim_stats.nodes_created),
+        static_cast<unsigned long long>(sim_stats.pool_retained_bytes));
     std::printf("%s\n", mgmt::placement_board(mw).c_str());
     std::printf("%s\n", directory.to_string().c_str());
     std::printf("%s\n", mgmt::fabric_status(mw).c_str());

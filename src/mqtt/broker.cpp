@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <limits>
 
 #include "common/audit.hpp"
 #include "common/log.hpp"
@@ -918,24 +919,37 @@ void Broker::arm_session_retry(Session& session,
                                SimTime deadline) noexcept {
   // One timer per session, armed at the earliest pending deadline. A
   // timer already due at or before `deadline` covers it — the fire scan
-  // re-arms for whatever remains, so steady-state QoS 1/2 traffic never
-  // allocates a fresh timer closure per message.
+  // re-arms for whatever remains. Moving the deadline re-arms the same
+  // timer node in place (Scheduler::rearm keeps the stored closure), so
+  // steady-state QoS 1/2 traffic never allocates a timer closure.
   if (session.retry_timer != 0 && session.retry_deadline <= deadline) return;
+  const SimDuration delay =
+      deadline -
+      sched_.now();  // static: leaf(virtual Scheduler::now — clock reads never allocate or throw)
+  std::uint64_t timer = 0;
   if (session.retry_timer != 0) {
-    sched_.cancel(session.retry_timer);  // static: leaf(virtual Scheduler::cancel — timer bookkeeping, proven per scheduler impl)
+    timer = sched_.rearm(session.retry_timer, delay);  // static: leaf(virtual Scheduler::rearm — O(1) relink of the existing timer node)
+  }
+  if (timer == 0) {
+    if (session.retry_timer != 0) {
+      sched_.cancel(session.retry_timer);  // static: leaf(virtual Scheduler::cancel — timer bookkeeping, proven per scheduler impl)
+    }
+    const SharedString cid = session.client_id;
+    timer = sched_.call_after(  // static: leaf(virtual Scheduler::call_after — the simulator half is the event-queue boundary of the proof)
+        delay, [this, cid] { on_retry_timer(cid.str()); });
   }
   session.retry_deadline = deadline;
-  const SharedString cid = session.client_id;
-  session.retry_timer = sched_.call_after(  // static: leaf(virtual Scheduler::call_after/now — the simulator half is the event-queue boundary of the proof)
-      deadline - sched_.now(), [this, cid] { on_retry_timer(cid.str()); });
+  session.retry_timer = timer;
 }
 
 void Broker::on_retry_timer(const std::string& client_id) noexcept {
   auto sit = sessions_.find(client_id);
   if (sit == sessions_.end()) return;
   Session& s = *sit->second;
-  s.retry_timer = 0;
-  s.retry_deadline = 0;
+  // Keep retry_timer pointing at the firing node so the re-arm below can
+  // revive it in place; the sentinel deadline stops arm_session_retry's
+  // already-armed-earlier short-circuit from seeing the dying arming.
+  s.retry_deadline = std::numeric_limits<SimTime>::max();
   const SimTime now =
       sched_.now();  // static: leaf(virtual Scheduler::now — clock reads never allocate or throw)
   SimTime next = 0;
@@ -967,7 +981,12 @@ void Broker::on_retry_timer(const std::string& client_id) noexcept {
       next = f.next_retry_at;
     }
   }
-  if (s.connected && next != 0) arm_session_retry(s, next);
+  if (s.connected && next != 0) {
+    arm_session_retry(s, next);
+  } else {
+    s.retry_timer = 0;
+    s.retry_deadline = 0;
+  }
   audit_invariants();
   flush_egress();
 }
@@ -1043,42 +1062,86 @@ void Broker::flush_egress() noexcept {
 }
 
 void Broker::arm_keepalive(Link& link) {
-  if (link.keepalive_timer != 0) sched_.cancel(link.keepalive_timer);
   Session& session = session_of(link);
-  if (session.keep_alive_s == 0) return;  // keep-alive disabled
+  if (session.keep_alive_s == 0) {  // keep-alive disabled
+    if (link.keepalive_timer != 0) {
+      sched_.cancel(link.keepalive_timer);
+      link.keepalive_timer = 0;
+    }
+    return;
+  }
   // Grace period is 1.5x the keep-alive interval (§3.1.2.10).
+  link.keepalive_wait = false;
+  schedule_keepalive(
+      link, from_seconds(static_cast<double>(session.keep_alive_s) * 1.5));
+}
+
+void Broker::schedule_keepalive(Link& link, SimDuration delay) noexcept {
+  // One timer per link for the whole connection: each fire (and each
+  // re-CONNECT) re-arms the same node in place; the closure is built
+  // once, when the link first arms.
+  std::uint64_t timer = 0;
+  if (link.keepalive_timer != 0) {
+    timer = sched_.rearm(link.keepalive_timer, delay);  // static: leaf(virtual Scheduler::rearm — O(1) relink of the existing timer node)
+  }
+  if (timer == 0) {
+    if (link.keepalive_timer != 0) {
+      sched_.cancel(link.keepalive_timer);  // static: leaf(virtual Scheduler::cancel — timer bookkeeping, proven per scheduler impl)
+    }
+    const LinkId id = link.id;
+    timer = sched_.call_after(  // static: leaf(virtual Scheduler::call_after — the simulator half is the event-queue boundary of the proof)
+        delay, [this, id] { on_keepalive_timer(id); });
+  }
+  link.keepalive_timer = timer;
+}
+
+void Broker::on_keepalive_timer(LinkId id) noexcept {
+  auto it = links_.find(id);
+  if (it == links_.end()) return;
+  Link& l = *it->second;
+  const Session& session = session_of(l);
+  if (session.keep_alive_s == 0) {  // disabled since the timer was armed
+    l.keepalive_timer = 0;
+    return;
+  }
   const SimDuration grace =
       from_seconds(static_cast<double>(session.keep_alive_s) * 1.5);
-  const LinkId id = link.id;
-  link.keepalive_timer = sched_.call_after(grace, [this, id, grace] {
-    auto it = links_.find(id);
-    if (it == links_.end()) return;
-    Link& l = *it->second;
-    l.keepalive_timer = 0;
+  if (!l.keepalive_wait) {
+    // Probe phase: a full grace window elapsed — was the link quiet?
     const SimTime deadline = l.last_rx + grace;
     if (sched_.now() >= deadline) {
+      l.keepalive_timer = 0;
       counters_.add("keepalive_timeouts");
       drop_link(l, /*publish_will=*/true);
       flush_egress();
-    } else {
-      l.keepalive_timer = sched_.call_after(
-          deadline - sched_.now(), [this, id] {
-            auto it2 = links_.find(id);
-            if (it2 == links_.end()) return;
-            it2->second->keepalive_timer = 0;
-            arm_keepalive(*it2->second);
-          });
+      return;
     }
-  });
+    // Traffic arrived: sleep until its own grace deadline, then roll a
+    // fresh full window (the historical two-step cadence, preserved so
+    // event traces are unchanged).
+    l.keepalive_wait = true;
+    schedule_keepalive(l, deadline - sched_.now());
+  } else {
+    l.keepalive_wait = false;
+    schedule_keepalive(l, grace);
+  }
 }
 
 void Broker::arm_sys_stats() {
-  sys_timer_ = sched_.call_after(cfg_.sys_interval, [this] {
-    sys_timer_ = 0;
-    publish_sys_stats();
-    arm_sys_stats();
-    flush_egress();
-  });
+  // Self-re-arming: the fire below revives its own timer node, so the
+  // closure allocates once per broker, not once per interval.
+  std::uint64_t timer = 0;
+  if (sys_timer_ != 0) {
+    timer = sched_.rearm(sys_timer_, cfg_.sys_interval);  // static: leaf(virtual Scheduler::rearm — O(1) relink of the existing timer node)
+  }
+  if (timer == 0) {
+    timer = sched_.call_after(cfg_.sys_interval, [this] {
+      publish_sys_stats();
+      arm_sys_stats();
+      flush_egress();
+    });
+  }
+  sys_timer_ = timer;
 }
 
 void Broker::publish_sys_stats() {

@@ -214,6 +214,9 @@ class Broker {
     std::uint64_t keepalive_timer = 0;
     bool egress_dirty : 1 = false;  // queued for the next flush_egress()
     bool got_connect : 1 = false;
+    // Keep-alive cadence phase: false = next fire probes last_rx against
+    // the grace deadline; true = next fire just rolls a fresh window.
+    bool keepalive_wait : 1 = false;
   };
 
   /// Federation bridge peer: filter-scoped forwarding state for one
@@ -341,6 +344,10 @@ class Broker {
   void flush_egress() noexcept;
   void drop_link(Link& link, bool publish_will);
   void arm_keepalive(Link& link);
+  /// Re-arms (or first-arms) the link's keep-alive timer for `delay`.
+  void schedule_keepalive(Link& link, SimDuration delay) noexcept;
+  /// Keep-alive timer fired: probe for silence or roll the grace window.
+  void on_keepalive_timer(LinkId id) noexcept;
   void arm_sys_stats();
   void publish_sys_stats();
 

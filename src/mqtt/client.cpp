@@ -46,37 +46,56 @@ void Client::on_transport_open() {
 }
 
 void Client::arm_connect_retry() {
-  if (connect_timer_ != 0) sched_.cancel(connect_timer_);
-  connect_timer_ = sched_.call_after(cfg_.control_retry_interval, [this] {
-    connect_timer_ = 0;
-    if (!transport_up_ || connected_) return;
-    counters_.add("connect_retries");
-    Connect c;
-    c.client_id = cfg_.client_id;
-    c.clean_session = cfg_.clean_session;
-    c.keep_alive_s = cfg_.keep_alive_s;
-    c.will = cfg_.will;
-    send_packet(Packet{c});
-    arm_connect_retry();
-    flush_egress();
-  });
+  // Self-re-arming: a fire that retries revives its own timer node via
+  // rearm, so the closure is built once per connect attempt burst.
+  std::uint64_t timer = 0;
+  if (connect_timer_ != 0) {
+    timer = sched_.rearm(connect_timer_, cfg_.control_retry_interval);
+  }
+  if (timer == 0) {
+    if (connect_timer_ != 0) sched_.cancel(connect_timer_);
+    timer = sched_.call_after(cfg_.control_retry_interval, [this] {
+      if (!transport_up_ || connected_) {
+        connect_timer_ = 0;
+        return;
+      }
+      counters_.add("connect_retries");
+      Connect c;
+      c.client_id = cfg_.client_id;
+      c.clean_session = cfg_.clean_session;
+      c.keep_alive_s = cfg_.keep_alive_s;
+      c.will = cfg_.will;
+      send_packet(Packet{c});
+      arm_connect_retry();  // rearms the node firing right now
+      flush_egress();
+    });
+  }
+  connect_timer_ = timer;
 }
 
 void Client::arm_control_retry(std::uint16_t packet_id) {
   auto it = pending_control_.find(packet_id);
   if (it == pending_control_.end()) return;
-  if (it->second.retry_timer != 0) sched_.cancel(it->second.retry_timer);
-  it->second.retry_timer =
-      sched_.call_after(cfg_.control_retry_interval, [this, packet_id] {
-        auto pit = pending_control_.find(packet_id);
-        if (pit == pending_control_.end()) return;
+  std::uint64_t timer = 0;
+  if (it->second.retry_timer != 0) {
+    timer = sched_.rearm(it->second.retry_timer, cfg_.control_retry_interval);
+  }
+  if (timer == 0) {
+    if (it->second.retry_timer != 0) sched_.cancel(it->second.retry_timer);
+    timer = sched_.call_after(cfg_.control_retry_interval, [this, packet_id] {
+      auto pit = pending_control_.find(packet_id);
+      if (pit == pending_control_.end()) return;
+      if (!connected_) {  // resubscribed on next CONNACK path
         pit->second.retry_timer = 0;
-        if (!connected_) return;  // resubscribed on next CONNACK path
-        counters_.add("control_retries");
-        send_packet(pit->second.request);
-        arm_control_retry(packet_id);
-        flush_egress();
-      });
+        return;
+      }
+      counters_.add("control_retries");
+      send_packet(pit->second.request);
+      arm_control_retry(packet_id);  // rearms the node firing right now
+      flush_egress();
+    });
+  }
+  it->second.retry_timer = timer;
 }
 
 void Client::on_transport_closed() {
@@ -369,53 +388,74 @@ std::uint16_t Client::alloc_packet_id() {
 void Client::arm_retry(std::uint16_t packet_id) {
   auto it = inflight_.find(packet_id);
   if (it == inflight_.end()) return;
-  if (it->second.retry_timer != 0) sched_.cancel(it->second.retry_timer);
-  it->second.retry_timer =
-      sched_.call_after(cfg_.retry_interval, [this, packet_id] {
-        auto iit = inflight_.find(packet_id);
-        if (iit == inflight_.end()) return;
-        InflightPub& f = iit->second;
+  std::uint64_t timer = 0;
+  if (it->second.retry_timer != 0) {
+    timer = sched_.rearm(it->second.retry_timer, cfg_.retry_interval);
+  }
+  if (timer == 0) {
+    if (it->second.retry_timer != 0) sched_.cancel(it->second.retry_timer);
+    timer = sched_.call_after(cfg_.retry_interval, [this, packet_id] {
+      auto iit = inflight_.find(packet_id);
+      if (iit == inflight_.end()) return;
+      InflightPub& f = iit->second;
+      if (!connected_) {
         f.retry_timer = 0;
-        if (!connected_) return;
-        // Attempt cap (mirrors the broker's): endless redelivery to a
-        // peer that never acks would pin the packet id and the payload
-        // buffer forever. Fail the publish instead.
-        if (f.attempts > cfg_.max_retries) {
-          counters_.add("retry_exhausted");
-          auto done = std::move(f.done);
-          inflight_.erase(iit);
-          if (done) {
-            done(Err(Errc::kTimeout, "publish retries exhausted"));
-          }
-          return;
+        return;
+      }
+      // Attempt cap (mirrors the broker's): endless redelivery to a
+      // peer that never acks would pin the packet id and the payload
+      // buffer forever. Fail the publish instead.
+      if (f.attempts > cfg_.max_retries) {
+        counters_.add("retry_exhausted");
+        auto done = std::move(f.done);
+        inflight_.erase(iit);
+        if (done) {
+          done(Err(Errc::kTimeout, "publish retries exhausted"));
         }
-        counters_.add("redeliveries");
-        if (f.awaiting_pubcomp) {
-          send_packet(Packet{Pubrel{packet_id}});
-        } else {
-          // Retransmit = patch the DUP bit into the stored wire frame;
-          // the packet is never re-encoded.
-          f.msg.dup = true;
-          send_publish_frame(f);
-        }
-        ++f.attempts;
-        arm_retry(packet_id);
-        flush_egress();
-      });
+        return;
+      }
+      counters_.add("redeliveries");
+      if (f.awaiting_pubcomp) {
+        send_packet(Packet{Pubrel{packet_id}});
+      } else {
+        // Retransmit = patch the DUP bit into the stored wire frame;
+        // the packet is never re-encoded.
+        f.msg.dup = true;
+        send_publish_frame(f);
+      }
+      ++f.attempts;
+      arm_retry(packet_id);  // rearms the node firing right now
+      flush_egress();
+    });
+  }
+  it->second.retry_timer = timer;
 }
 
 void Client::arm_ping() {
-  if (ping_timer_ != 0) sched_.cancel(ping_timer_);
-  if (cfg_.keep_alive_s == 0) return;
+  if (cfg_.keep_alive_s == 0) {
+    if (ping_timer_ != 0) {
+      sched_.cancel(ping_timer_);
+      ping_timer_ = 0;
+    }
+    return;
+  }
   const SimDuration interval =
       from_seconds(static_cast<double>(cfg_.keep_alive_s));
-  ping_timer_ = sched_.call_after(interval, [this] {
-    ping_timer_ = 0;
-    if (!connected_) return;
-    send_packet(Packet{Pingreq{}});
-    arm_ping();
-    flush_egress();
-  });
+  std::uint64_t timer = 0;
+  if (ping_timer_ != 0) timer = sched_.rearm(ping_timer_, interval);
+  if (timer == 0) {
+    if (ping_timer_ != 0) sched_.cancel(ping_timer_);
+    timer = sched_.call_after(interval, [this] {
+      if (!connected_) {
+        ping_timer_ = 0;
+        return;
+      }
+      send_packet(Packet{Pingreq{}});
+      arm_ping();  // rearms the node firing right now
+      flush_egress();
+    });
+  }
+  ping_timer_ = timer;
 }
 
 void Client::send_packet(const Packet& p) {

@@ -25,6 +25,20 @@ class Scheduler {
 
   /// Cancels a pending timer; no-op for fired/unknown handles.
   virtual void cancel(std::uint64_t handle) = 0;
+
+  /// Re-arms the timer named by `handle` to fire `delay` from now, keeping
+  /// its stored callback (no fresh closure). Returns the replacement
+  /// handle, or 0 when `handle` is stale or the backing scheduler cannot
+  /// re-arm — callers fall back to cancel + call_after. Re-arming the
+  /// timer that is currently firing (from inside its own callback)
+  /// revives it in place. Consumes one timer sequence number, exactly
+  /// like call_after, so simulation traces are unaffected by which path
+  /// a call site takes.
+  virtual std::uint64_t rearm(std::uint64_t handle, SimDuration delay) {
+    (void)handle;
+    (void)delay;
+    return 0;
+  }
 };
 
 }  // namespace ifot::mqtt

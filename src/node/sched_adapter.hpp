@@ -19,11 +19,15 @@ class SimScheduler final : public mqtt::Scheduler {
   std::uint64_t call_after(SimDuration delay,
                            std::function<void()> fn) override {
     const auto id = sim_.schedule_after(delay, std::move(fn));
-    return id.seq;
+    return id.handle;
   }
 
   void cancel(std::uint64_t handle) override {
     sim_.cancel(sim::EventId{handle});
+  }
+
+  std::uint64_t rearm(std::uint64_t handle, SimDuration delay) override {
+    return sim_.rearm_after(sim::EventId{handle}, delay).handle;
   }
 
  private:

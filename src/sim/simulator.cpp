@@ -1,29 +1,325 @@
 #include "sim/simulator.hpp"
 
+#include <bit>
 #include <cassert>
 #include <string>
-#include <utility>
 
 #include "common/audit.hpp"
 
 namespace ifot::sim {
 
-EventId Simulator::schedule_at(SimTime at, std::function<void()> fn) {
-  assert(fn);
-  if (at < now_) at = now_;
-  const EventId id{next_seq_++};
-  heap_.push(Entry{at, id.seq, std::move(fn)});
-  return id;
+Simulator::~Simulator() {
+  // Every node — live, firing, or parked — goes back to the pool, and any
+  // still-engaged callback releases its oversized-capture spill first, so
+  // the NodePool's outstanding-block audit holds at teardown.
+  for (EventNode* n : nodes_) {
+    n->cb.destroy(pool_);
+    n->~EventNode();
+    pool_.deallocate(n, sizeof(EventNode));
+  }
 }
 
-EventId Simulator::schedule_after(SimDuration delay, std::function<void()> fn) {
-  assert(delay >= 0);
-  return schedule_at(now_ + delay, std::move(fn));
+// static: alloc(node-pool warm-up: fresh event node + index-map growth;
+// every node recycles through the free list thereafter — the scheduler
+// is the boundary of the data-plane proof)
+Simulator::EventNode* Simulator::acquire_node() {
+  EventNode* n = free_nodes_;
+  if (n != nullptr) {
+    free_nodes_ = n->next;
+    n->next = nullptr;
+    return n;
+  }
+  // Warm-up only: a fresh node from the pool plus index-map growth;
+  // every node recycles through the free list thereafter (the alloc
+  // frontier is declared on the member declaration in the header).
+  void* mem = pool_.allocate(sizeof(EventNode));
+  n = new (mem) EventNode();
+  n->idx = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(n);
+  return n;
+}
+
+void Simulator::park_node(EventNode* n) {
+  ++n->gen;  // every handle minted for the previous arming goes stale
+  n->state = kStateFree;
+  n->prev = nullptr;
+  n->next = free_nodes_;
+  free_nodes_ = n;
+}
+
+Simulator::EventNode* Simulator::begin_schedule(SimTime at) {
+  if (at < now_) at = now_;
+  EventNode* n = acquire_node();
+  n->at = at;
+  n->seq = next_seq_++;
+  return n;
+}
+
+EventId Simulator::commit_schedule(EventNode* n) {
+  enqueue_node(n);
+  ++pending_;
+  if (pending_ > occupancy_high_water_) occupancy_high_water_ = pending_;
+  ++scheduled_count_;
+  return id_of(n);
+}
+
+// static: alloc(far-future overflow heap growth; entries recycle in the
+// vector's capacity at steady state)
+void Simulator::enqueue_node(EventNode* n) {
+  IFOT_AUDIT_ASSERT(n->at >= base_,
+                    "event enqueued at " + std::to_string(n->at) +
+                        " behind the wheel position " + std::to_string(base_));
+  const std::uint64_t x = u(n->at) ^ u(base_);
+  if ((x >> kWheelBits) != 0) {
+    n->state = kStateOverflow;
+    overflow_.push(OverflowEntry{n->at, n->seq, n->idx, n->gen});
+    if (overflow_.size() > overflow_high_water_) {
+      overflow_high_water_ = overflow_.size();
+    }
+    return;
+  }
+  const int level =
+      x == 0 ? 0 : (static_cast<int>(std::bit_width(x)) - 1) / kSlotBits;
+  const int slot = slot_index(n->at, level);
+  n->state = kStateWheel;
+  n->level = static_cast<std::uint8_t>(level);
+  n->slot = static_cast<std::uint8_t>(slot);
+  Slot& s = wheel_[level][slot];
+  // Tail-append keeps each equal-timestamp run of a slot list
+  // seq-ascending — that is the FIFO invariant determinism rests on
+  // (see the header comment / DESIGN.md §4j). Different-timestamp
+  // entries may legally sit out of seq order in a level >= 1 slot: an
+  // overflow drain appends in (at, seq) order, so a later-scheduled
+  // earlier-deadline entry precedes an earlier-scheduled later one, and
+  // the cascade re-bins them by timestamp before they can ever share an
+  // L0 tick.
+  IFOT_AUDIT_ASSERT(
+      ([&] {
+        for (const EventNode* p = s.tail; p != nullptr; p = p->prev) {
+          if (p->at == n->at) return p->seq < n->seq;
+        }
+        return true;
+      }()),
+      "wheel slot FIFO invariant broken: appending seq " +
+          std::to_string(n->seq) + " behind a later equal-timestamp seq");
+  n->prev = s.tail;
+  n->next = nullptr;
+  if (s.tail != nullptr) {
+    s.tail->next = n;
+  } else {
+    s.head = n;
+    occ_[level] |= std::uint64_t{1} << slot;
+  }
+  s.tail = n;
+}
+
+void Simulator::unlink_wheel(EventNode* n) {
+  Slot& s = wheel_[n->level][n->slot];
+  if (n->prev != nullptr) {
+    n->prev->next = n->next;
+  } else {
+    s.head = n->next;
+  }
+  if (n->next != nullptr) {
+    n->next->prev = n->prev;
+  } else {
+    s.tail = n->prev;
+  }
+  if (s.head == nullptr) occ_[n->level] &= ~(std::uint64_t{1} << n->slot);
+  n->prev = nullptr;
+  n->next = nullptr;
+}
+
+void Simulator::cascade(int level, int slot) {
+  Slot& s = wheel_[level][slot];
+  EventNode* n = s.head;
+  s.head = nullptr;
+  s.tail = nullptr;
+  occ_[level] &= ~(std::uint64_t{1} << slot);
+  while (n != nullptr) {
+    EventNode* next = n->next;
+    n->prev = nullptr;
+    n->next = nullptr;
+    enqueue_node(n);  // base_ advanced: re-hashes to a strictly lower level
+    IFOT_AUDIT_ASSERT(n->state != kStateWheel || n->level < level,
+                      "cascade failed to push an event to a lower level");
+    n = next;
+  }
+}
+
+void Simulator::drain_overflow() {
+  // Pull every overflow entry whose 2^48-window the wheel has reached.
+  // Entries pop in (at, seq) order, so the wheel appends stay FIFO; stale
+  // entries (node generation moved on via cancel/rearm) are skipped.
+  while (!overflow_.empty()) {
+    const OverflowEntry e = overflow_.top();
+    EventNode* n = nodes_[e.idx];
+    if (n->gen != e.gen || n->state != kStateOverflow) {
+      overflow_.pop();  // stale: the arming it described no longer exists
+      continue;
+    }
+    if ((u(e.at) >> kWheelBits) > (u(base_) >> kWheelBits)) break;
+    IFOT_AUDIT_ASSERT(e.at >= base_,
+                      "overflow entry due at " + std::to_string(e.at) +
+                          " behind the wheel position " +
+                          std::to_string(base_));
+    overflow_.pop();
+    if (n->at < base_) n->at = base_;  // defensive; audit above fires first
+    enqueue_node(n);
+  }
+}
+
+void Simulator::advance_base_to(SimTime t) {
+  IFOT_AUDIT_ASSERT(t >= base_, "wheel position may only move forward");
+  const bool crossed_window = (u(base_) >> kWheelBits) != (u(t) >> kWheelBits);
+  base_ = t;
+  if (crossed_window) drain_overflow();
+  // Eager cascade: empty the slot containing the new base at every level
+  // >= 1 (top-down so nodes re-enqueued at intermediate levels are moved
+  // again in the same sweep). This is what keeps tail-appends FIFO-safe.
+  for (int level = kLevels - 1; level >= 1; --level) {
+    const int slot = slot_index(t, level);
+    if ((occ_[level] >> slot) & 1U) cascade(level, slot);
+  }
+}
+
+Simulator::EventNode* Simulator::next_due(SimTime deadline) {
+  for (;;) {
+    bool advanced = false;
+    for (int level = 0; level < kLevels; ++level) {
+      const int cur = slot_index(base_, level);
+      IFOT_AUDIT_ASSERT(
+          (occ_[level] & ~(~std::uint64_t{0} << cur)) == 0,
+          "wheel holds events behind the current position at level " +
+              std::to_string(level));
+      const std::uint64_t occ = occ_[level] & (~std::uint64_t{0} << cur);
+      if (occ == 0) continue;
+      const int slot = std::countr_zero(occ);
+      if (level == 0) {
+        // One L0 slot holds exactly one tick's worth of events, already
+        // in seq order: detach the head.
+        const SimTime t =
+            static_cast<SimTime>((u(base_) & ~std::uint64_t{kSlots - 1}) |
+                                 static_cast<std::uint64_t>(slot));
+        if (t > deadline) return nullptr;
+        base_ = t;
+        Slot& s = wheel_[0][slot];
+        EventNode* n = s.head;
+        s.head = n->next;
+        if (s.head != nullptr) {
+          s.head->prev = nullptr;
+        } else {
+          s.tail = nullptr;
+          occ_[0] &= ~(std::uint64_t{1} << slot);
+        }
+        n->next = nullptr;
+        --pending_;
+        return n;
+      }
+      // Level >= 1: the earliest occupied slot across all levels (higher
+      // level slots ahead of base start later than any slot in the
+      // current window). Advance the wheel to its start, cascading it
+      // into finer slots, then rescan from level 0.
+      IFOT_AUDIT_ASSERT(slot > cur,
+                        "eager-cascade invariant broken: base slot occupied "
+                        "at level " +
+                            std::to_string(level));
+      const std::uint64_t span = std::uint64_t{1} << (kSlotBits * (level + 1));
+      const SimTime slot_start = static_cast<SimTime>(
+          (u(base_) & ~(span - 1)) |
+          (static_cast<std::uint64_t>(slot) << (kSlotBits * level)));
+      if (slot_start > deadline) return nullptr;
+      advance_base_to(slot_start);
+      advanced = true;
+      break;
+    }
+    if (advanced) continue;
+    // Wheel empty: anything left lives past the 2^48 horizon. Jump the
+    // wheel to the earliest valid overflow entry; the window crossing
+    // drains it (and its cohort) back into the wheel, then rescan.
+    bool jumped = false;
+    while (!overflow_.empty()) {
+      const OverflowEntry e = overflow_.top();
+      const EventNode* n = nodes_[e.idx];
+      if (n->gen != e.gen || n->state != kStateOverflow) {
+        overflow_.pop();
+        continue;
+      }
+      if (e.at > deadline) return nullptr;
+      advance_base_to(e.at);
+      jumped = true;
+      break;
+    }
+    if (!jumped) return nullptr;
+  }
+}
+
+void Simulator::fire(EventNode* n) {
+  // Virtual time only moves forward: schedule_at clamps to now, so an
+  // event due in the past means the wheel ordering broke.
+  IFOT_AUDIT_ASSERT(n->at >= now_,
+                    "event fires at " + std::to_string(n->at) +
+                        " but the clock already reached " +
+                        std::to_string(now_));
+  now_ = n->at;
+  trace_event(n->at, n->seq);
+  n->state = kStateFiring;
+  const std::uint32_t gen = n->gen;
+  n->cb.invoke();
+  // The callback may have rearmed its own node (gen moved on) — then the
+  // node is live again with its callback intact and must not be parked.
+  if (n->gen == gen && n->state == kStateFiring) {
+    n->cb.destroy(pool_);
+    park_node(n);
+  }
+}
+
+Simulator::EventNode* Simulator::resolve(EventId id) const {
+  const auto pos = static_cast<std::uint32_t>(id.handle & 0xFFFFFFFFU);
+  if (pos == 0 || pos > nodes_.size()) return nullptr;
+  EventNode* n = nodes_[pos - 1];
+  if (n->gen != static_cast<std::uint32_t>(id.handle >> 32)) return nullptr;
+  if (n->state == kStateFree) return nullptr;
+  return n;
 }
 
 void Simulator::cancel(EventId id) {
-  if (id.seq == 0 || id.seq >= next_seq_) return;
-  cancelled_.insert(id.seq);
+  EventNode* n = resolve(id);
+  if (n == nullptr) return;
+  if (n->state == kStateFiring) return;  // its own callback can't cancel it
+  if (n->state == kStateWheel) unlink_wheel(n);
+  // kStateOverflow: the heap entry goes stale via the generation bump in
+  // park_node and is skipped when it reaches the top.
+  n->cb.destroy(pool_);
+  park_node(n);
+  --pending_;
+  ++cancelled_count_;
+}
+
+EventId Simulator::rearm(EventId id, SimTime at) {
+  EventNode* n = resolve(id);
+  if (n == nullptr) return EventId{};
+  if (at < now_) at = now_;
+  switch (n->state) {
+    case kStateWheel:
+      unlink_wheel(n);
+      break;
+    case kStateOverflow:
+      break;  // stale heap entry, skipped at pop time
+    case kStateFiring:
+      // Revived from inside its own callback: it counts as pending again.
+      ++pending_;
+      if (pending_ > occupancy_high_water_) occupancy_high_water_ = pending_;
+      break;
+    default:
+      return EventId{};
+  }
+  ++n->gen;  // the old handle dies with the old arming
+  n->at = at;
+  n->seq = next_seq_++;
+  enqueue_node(n);
+  ++rearmed_count_;
+  return id_of(n);
 }
 
 void Simulator::trace_event(SimTime at, std::uint64_t seq) {
@@ -41,54 +337,45 @@ void Simulator::trace_event(SimTime at, std::uint64_t seq) {
   ++executed_;
 }
 
-bool Simulator::pop_one() {
-  while (!heap_.empty()) {
-    // priority_queue::top is const; move is safe because we pop right away.
-    Entry e = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
-    if (auto it = cancelled_.find(e.seq); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    // Virtual time only moves forward: schedule_at clamps to now, so a
-    // popped event from the past means the heap ordering broke.
-    IFOT_AUDIT_ASSERT(e.at >= now_,
-                      "event fires at " + std::to_string(e.at) +
-                          " but the clock already reached " +
-                          std::to_string(now_));
-    now_ = e.at;
-    trace_event(e.at, e.seq);
-    e.fn();
-    return true;
-  }
-  return false;
-}
-
 std::size_t Simulator::run(std::size_t max_events) {
   std::size_t n = 0;
-  while (n < max_events && pop_one()) ++n;
+  while (n < max_events) {
+    EventNode* e = next_due(std::numeric_limits<SimTime>::max());
+    if (e == nullptr) break;
+    fire(e);
+    ++n;
+  }
   return n;
 }
 
 std::size_t Simulator::run_until(SimTime deadline) {
   std::size_t n = 0;
-  while (!heap_.empty()) {
-    // Skip cancelled heads so the deadline test sees a live event.
-    while (!heap_.empty() &&
-           cancelled_.count(heap_.top().seq) != 0) {
-      cancelled_.erase(heap_.top().seq);
-      heap_.pop();
-    }
-    if (heap_.empty() || heap_.top().at > deadline) break;
+  for (;;) {
+    EventNode* e = next_due(deadline);
+    if (e == nullptr) break;
     // A nested run_until inside the handler may advance the clock past
     // our deadline, so audit the dispatched event's due time, not now_.
-    const SimTime due = heap_.top().at;
-    if (pop_one()) ++n;
-    IFOT_AUDIT_ASSERT(due <= deadline,
+    IFOT_AUDIT_ASSERT(e->at <= deadline,
                       "run_until dispatched an event past its deadline");
+    fire(e);
+    ++n;
   }
   if (now_ < deadline) now_ = deadline;
   return n;
+}
+
+SchedulerStats Simulator::stats() const {
+  SchedulerStats s;
+  s.scheduled = scheduled_count_;
+  s.cancelled = cancelled_count_;
+  s.rearmed = rearmed_count_;
+  s.fired = executed_;
+  s.pending = pending_;
+  s.occupancy_high_water = occupancy_high_water_;
+  s.overflow_high_water = overflow_high_water_;
+  s.nodes_created = nodes_.size();
+  s.pool_retained_bytes = pool_.retained_bytes();
+  return s;
 }
 
 void PeriodicTimer::start(SimDuration initial_delay) {
@@ -106,8 +393,12 @@ void PeriodicTimer::stop() {
 
 void PeriodicTimer::tick() {
   if (!running_) return;
-  // Reschedule before invoking so the callback may call stop().
-  pending_ = sim_.schedule_after(period_, [this] { tick(); });
+  // Rearm before invoking so the callback may call stop(). The node that
+  // is firing right now is revived in place — same callback, fresh seq —
+  // so steady-state ticking never allocates.
+  EventId next = sim_.rearm_after(pending_, period_);
+  if (!next.valid()) next = sim_.schedule_after(period_, [this] { tick(); });
+  pending_ = next;
   fn_();
 }
 

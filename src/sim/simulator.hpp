@@ -5,32 +5,83 @@
 // transfers and sensor timers are events on one virtual clock, so every
 // experiment is exactly reproducible.
 //
+// The event queue is a hierarchical timing wheel (kLevels levels of
+// kSlots power-of-two slots each, covering 2^48 ns of virtual time ~ 3.2
+// days; anything further rides a far-future overflow heap until its
+// 2^48-window comes around). Events are intrusive nodes drawn from a
+// pool::NodePool, callbacks live in a small-buffer slot inside the node
+// (typical captures — `this` plus a couple of words — never allocate),
+// and handles are generation-stamped so cancel/rearm are O(1) with no
+// tombstone bookkeeping:
+//
+//   schedule_after / schedule_at   O(1)
+//   cancel                         O(1)  (doubly-linked unlink)
+//   rearm                          O(1)  (relink, callback kept in place)
+//   next event                     O(levels) worst case via occupancy
+//                                  bitmaps, amortised O(1)
+//
 // Determinism rules:
 //  * events at equal timestamps fire in scheduling order (FIFO tiebreak);
 //  * all randomness flows through seeded ifot::Rng instances;
 //  * wall-clock time never enters the simulation.
+//
+// The FIFO tiebreak survives slot cascades because of the eager-cascade
+// invariant: whenever the wheel position (base_) advances, the slot
+// containing base_ at every level >= 1 is cascaded down immediately, so
+// at any moment the slot a new event hashes to either is empty or holds
+// only events scheduled earlier (lower seq). Plain tail-append therefore
+// keeps every slot list strictly seq-ascending, cascades preserve list
+// order, and the overflow heap drains in (at, seq) order — see
+// DESIGN.md §4j for the full argument.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
+#include <new>
 #include <queue>
-#include <unordered_set>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/audit.hpp"
+#include "common/pool.hpp"
 #include "common/types.hpp"
 
 namespace ifot::sim {
 
-/// Handle identifying a scheduled event; usable to cancel it.
+/// Handle identifying a scheduled event; usable to cancel or rearm it.
+/// Packs the owning node's index (low 32 bits, offset by one so a
+/// default-constructed handle is never valid) and the node's generation
+/// at scheduling time (high 32 bits): a handle goes stale the moment its
+/// event fires, is cancelled, or is rearmed.
 struct EventId {
-  std::uint64_t seq = 0;
+  std::uint64_t handle = 0;
+  [[nodiscard]] bool valid() const { return handle != 0; }
   friend bool operator==(EventId, EventId) = default;
 };
 
-/// Discrete-event simulator: a virtual clock plus an event queue.
+/// Scheduler occupancy / churn counters, surfaced in determinism trace
+/// dumps alongside the broker's $SYS ledger.
+struct SchedulerStats {
+  std::uint64_t scheduled = 0;   ///< schedule_at/schedule_after calls
+  std::uint64_t cancelled = 0;   ///< cancels that hit a live event
+  std::uint64_t rearmed = 0;     ///< rearms that revived/relinked a node
+  std::uint64_t fired = 0;       ///< events executed (== events_executed)
+  std::size_t pending = 0;       ///< live events right now
+  std::size_t occupancy_high_water = 0;  ///< max simultaneous live events
+  std::size_t overflow_high_water = 0;   ///< max far-future heap entries
+  std::size_t nodes_created = 0;         ///< distinct pooled event nodes
+  std::size_t pool_retained_bytes = 0;   ///< NodePool footprint (nodes +
+                                         ///< oversized-capture spill)
+};
+
+/// Discrete-event simulator: a virtual clock plus a timing-wheel queue.
 class Simulator {
  public:
   Simulator() = default;
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -38,16 +89,39 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `fn` to run at absolute virtual time `at` (clamped to now).
-  // static: alloc(event hand-off: closure state + heap growth; the
-  // simulator event queue is the boundary of the data-plane proof)
-  EventId schedule_at(SimTime at, std::function<void()> fn);
+  template <typename F>
+  EventId schedule_at(SimTime at, F&& fn) {
+    EventNode* n = begin_schedule(at);
+    n->cb.emplace(pool_, std::forward<F>(fn));
+    return commit_schedule(n);
+  }
 
   /// Schedules `fn` to run `delay` after the current time.
-  EventId schedule_after(SimDuration delay, std::function<void()> fn);
+  template <typename F>
+  EventId schedule_after(SimDuration delay, F&& fn) {
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
-  /// Cancels a pending event. Cancelling an already-fired or unknown event
-  /// is a no-op.
+  /// Cancels a pending event. Cancelling an already-fired, already-
+  /// cancelled, or unknown event is a no-op (the generation stamp makes
+  /// stale handles inert — no tombstones, no pending() drift).
   void cancel(EventId id);
+
+  /// Moves a pending event to fire at `at` (clamped to now), keeping its
+  /// stored callback: O(1), no closure churn. Returns the replacement
+  /// handle, or an invalid EventId when `id` is stale — callers fall
+  /// back to schedule_at with a fresh closure. Rearming the event that
+  /// is currently firing (from inside its own callback) revives it in
+  /// place; this is how self-re-arming timers avoid one allocation per
+  /// period. Consumes exactly one sequence number, same as the
+  /// cancel-then-schedule pattern it replaces, so trace hashes are
+  /// unchanged by the migration.
+  EventId rearm(EventId id, SimTime at);
+
+  /// rearm() with a delay relative to the current time.
+  EventId rearm_after(EventId id, SimDuration delay) {
+    return rearm(id, now_ + delay);
+  }
 
   /// Runs events until the queue is empty or `max_events` fired.
   /// Returns the number of events executed.
@@ -58,9 +132,7 @@ class Simulator {
   std::size_t run_until(SimTime deadline);
 
   /// Number of pending (non-cancelled) events.
-  [[nodiscard]] std::size_t pending() const {
-    return heap_.size() - cancelled_.size();
-  }
+  [[nodiscard]] std::size_t pending() const { return pending_; }
 
   /// Rolling FNV-1a hash over the ordered event trace (each fired event's
   /// timestamp and scheduling sequence number). Two runs of the same
@@ -72,33 +144,183 @@ class Simulator {
   /// Total events executed (paired with trace_hash in determinism traces).
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
+  /// Occupancy / churn counters for $SYS-style trace dumps.
+  [[nodiscard]] SchedulerStats stats() const;
+
  private:
-  struct Entry {
+  static constexpr int kSlotBits = 6;
+  static constexpr int kSlots = 1 << kSlotBits;       // 64 slots per level
+  static constexpr int kLevels = 8;
+  static constexpr int kWheelBits = kSlotBits * kLevels;  // 48-bit horizon
+
+  enum : std::uint8_t {
+    kStateFree = 0,      // parked on the free list
+    kStateWheel = 1,     // linked into a wheel slot
+    kStateOverflow = 2,  // beyond the 2^48 horizon, in the overflow heap
+    kStateFiring = 3,    // detached, callback executing right now
+  };
+
+  /// Type-erased callback storage pinned inside an EventNode. Captures up
+  /// to kInlineBytes live in the node itself; larger ones spill to a
+  /// pooled block (recycled, so steady-state stays allocation-free).
+  class Callback {
+   public:
+    static constexpr std::size_t kInlineBytes = 32;
+
+    Callback() = default;
+    Callback(const Callback&) = delete;
+    Callback& operator=(const Callback&) = delete;
+
+    template <typename F>
+    void emplace(pool::NodePool& pool, F&& fn) {
+      using Fn = std::decay_t<F>;
+      static_assert(std::is_invocable_v<Fn&>,
+                    "scheduled callback must be invocable with no args");
+      static_assert(alignof(Fn) <= alignof(std::max_align_t));
+      IFOT_AUDIT_ASSERT(ops_ == nullptr,
+                        "callback slot emplaced while still engaged");
+      if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= kAlign) {
+        ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+        ops_ = &kInlineOps<Fn>;
+      } else {
+        // static: alloc(oversized-capture spill: pooled block, recycled)
+        void* p = pool.allocate(sizeof(Fn));
+        ::new (p) Fn(std::forward<F>(fn));
+        *reinterpret_cast<void**>(static_cast<void*>(buf_)) = p;
+        ops_ = &kHeapOps<Fn>;
+      }
+    }
+
+    void invoke() { ops_->invoke(buf_); }
+    void destroy(pool::NodePool& pool) {
+      if (ops_ != nullptr) {
+        ops_->destroy(buf_, pool);
+        ops_ = nullptr;
+      }
+    }
+    [[nodiscard]] bool engaged() const { return ops_ != nullptr; }
+
+   private:
+    static constexpr std::size_t kAlign = alignof(std::max_align_t);
+
+    struct Ops {
+      void (*invoke)(unsigned char* buf);
+      void (*destroy)(unsigned char* buf, pool::NodePool& pool);
+    };
+
+    template <typename Fn>
+    static void invoke_inline(unsigned char* buf) {
+      (*std::launder(reinterpret_cast<Fn*>(buf)))();
+    }
+    template <typename Fn>
+    static void destroy_inline(unsigned char* buf, pool::NodePool&) {
+      std::launder(reinterpret_cast<Fn*>(buf))->~Fn();
+    }
+    template <typename Fn>
+    static void invoke_heap(unsigned char* buf) {
+      (*static_cast<Fn*>(
+          *reinterpret_cast<void**>(static_cast<void*>(buf))))();
+    }
+    template <typename Fn>
+    static void destroy_heap(unsigned char* buf, pool::NodePool& pool) {
+      void* p = *reinterpret_cast<void**>(static_cast<void*>(buf));
+      static_cast<Fn*>(p)->~Fn();
+      pool.deallocate(p, sizeof(Fn));
+    }
+
+    template <typename Fn>
+    inline static constexpr Ops kInlineOps{&invoke_inline<Fn>,
+                                           &destroy_inline<Fn>};
+    template <typename Fn>
+    inline static constexpr Ops kHeapOps{&invoke_heap<Fn>, &destroy_heap<Fn>};
+
+    const Ops* ops_ = nullptr;
+    alignas(kAlign) unsigned char buf_[kInlineBytes];
+  };
+
+  /// Intrusive wheel node; pooled, pinned for the simulator's lifetime.
+  struct EventNode {
+    EventNode* prev = nullptr;
+    EventNode* next = nullptr;
+    SimTime at = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t gen = 1;  // starts at 1 so a packed handle is never 0
+    std::uint32_t idx = 0;  // position in nodes_ (stable)
+    std::uint8_t state = kStateFree;
+    std::uint8_t level = 0;
+    std::uint8_t slot = 0;
+    Callback cb;
+  };
+
+  struct Slot {
+    EventNode* head = nullptr;
+    EventNode* tail = nullptr;
+  };
+
+  /// Far-future heap entry; left stale in place on cancel/rearm and
+  /// skipped at pop time when the node's generation moved on.
+  struct OverflowEntry {
     SimTime at;
     std::uint64_t seq;
-    std::function<void()> fn;
+    std::uint32_t idx;
+    std::uint32_t gen;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+  struct OverflowLater {
+    bool operator()(const OverflowEntry& a, const OverflowEntry& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
 
-  bool pop_one();  // fires the earliest event; false when queue empty
+  static std::uint64_t u(SimTime t) { return static_cast<std::uint64_t>(t); }
+  static int slot_index(SimTime t, int level) {
+    return static_cast<int>((u(t) >> (kSlotBits * level)) & (kSlots - 1));
+  }
+  static EventId id_of(const EventNode* n) {
+    return EventId{(static_cast<std::uint64_t>(n->gen) << 32) |
+                   (static_cast<std::uint64_t>(n->idx) + 1)};
+  }
+
+  EventNode* begin_schedule(SimTime at);   // clamp, acquire node, stamp seq
+  EventId commit_schedule(EventNode* n);   // enqueue + occupancy bookkeeping
+  EventNode* acquire_node();               // sanctioned warm-up alloc site
+  void park_node(EventNode* n);            // bump gen, push on free list
+  void enqueue_node(EventNode* n);         // sanctioned overflow alloc site
+  void unlink_wheel(EventNode* n);
+  void cascade(int level, int slot);
+  void drain_overflow();                   // pull current-window entries in
+  void advance_base_to(SimTime t);
+  EventNode* next_due(SimTime deadline);   // detach earliest event <= deadline
+  void fire(EventNode* n);
+  EventNode* resolve(EventId id) const;    // nullptr when stale/unknown
 
   void trace_event(SimTime at, std::uint64_t seq);
 
-  SimTime now_ = 0;
+  SimTime now_ = 0;   // observable clock (run_until may lazily exceed base_)
+  SimTime base_ = 0;  // wheel position: every event < base_ already fired
   std::uint64_t next_seq_ = 1;
   std::uint64_t trace_hash_ = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t scheduled_count_ = 0;
+  std::uint64_t cancelled_count_ = 0;
+  std::uint64_t rearmed_count_ = 0;
+  std::size_t pending_ = 0;
+  std::size_t occupancy_high_water_ = 0;
+  std::size_t overflow_high_water_ = 0;
+
+  Slot wheel_[kLevels][kSlots] = {};
+  std::uint64_t occ_[kLevels] = {};  // per-level slot occupancy bitmaps
+
+  pool::NodePool pool_;              // event nodes + oversized-capture spill
+  std::vector<EventNode*> nodes_;    // idx -> node (stable across reuse)
+  EventNode* free_nodes_ = nullptr;  // parked nodes, singly linked via next
+  std::priority_queue<OverflowEntry, std::vector<OverflowEntry>, OverflowLater>
+      overflow_;
 };
 
 /// Repeating timer built on Simulator: fires `fn` every `period`, starting
-/// at `start` (absolute). Used for fixed-rate sensor sampling.
+/// at `start` (absolute). Used for fixed-rate sensor sampling. Steady-state
+/// ticks rearm the same event node in place: no allocation per period.
 class PeriodicTimer {
  public:
   PeriodicTimer(Simulator& sim, SimDuration period, std::function<void()> fn)

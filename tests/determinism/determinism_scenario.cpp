@@ -79,5 +79,17 @@ int main() {
               static_cast<unsigned long long>(
                   mw.simulator().events_executed()),
               static_cast<unsigned long long>(mw.simulator().trace_hash()));
+  const ifot::sim::SchedulerStats sim_stats = mw.simulator().stats();
+  std::printf(
+      "scheduler: scheduled=%llu fired=%llu cancelled=%llu rearmed=%llu "
+      "occupancy_hw=%llu overflow_hw=%llu nodes=%llu pool_bytes=%llu\n",
+      static_cast<unsigned long long>(sim_stats.scheduled),
+      static_cast<unsigned long long>(sim_stats.fired),
+      static_cast<unsigned long long>(sim_stats.cancelled),
+      static_cast<unsigned long long>(sim_stats.rearmed),
+      static_cast<unsigned long long>(sim_stats.occupancy_high_water),
+      static_cast<unsigned long long>(sim_stats.overflow_high_water),
+      static_cast<unsigned long long>(sim_stats.nodes_created),
+      static_cast<unsigned long long>(sim_stats.pool_retained_bytes));
   return 0;
 }

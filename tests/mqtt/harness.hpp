@@ -18,10 +18,13 @@ class SimSched final : public Scheduler {
   SimTime now() override { return sim_.now(); }
   std::uint64_t call_after(SimDuration delay,
                            std::function<void()> fn) override {
-    return sim_.schedule_after(delay, std::move(fn)).seq;
+    return sim_.schedule_after(delay, std::move(fn)).handle;
   }
   void cancel(std::uint64_t handle) override {
     sim_.cancel(sim::EventId{handle});
+  }
+  std::uint64_t rearm(std::uint64_t handle, SimDuration delay) override {
+    return sim_.rearm_after(sim::EventId{handle}, delay).handle;
   }
 
  private:

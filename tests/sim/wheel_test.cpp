@@ -1,0 +1,324 @@
+// Timing-wheel specific edge cases: FIFO order across slot cascades and
+// overflow drains, generation-stamped cancel (the old tombstone-set bug),
+// rearm semantics, and the scheduler stats ledger.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace ifot::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tombstone regression (satellite): the old implementation tracked cancels
+// in a set keyed by sequence number; cancelling an event that had already
+// fired inserted an entry that was never popped, so pending() — computed
+// as heap size minus set size — wrapped around.
+
+TEST(WheelCancel, CancelAfterFireIsInertAndPendingStaysExact) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.pending(), 0u);
+
+  sim.cancel(id);  // stale: the event already fired
+  EXPECT_EQ(sim.pending(), 0u);  // the old tombstone bug wrapped this
+
+  // The queue still works: later events schedule and fire normally.
+  int later = 0;
+  sim.schedule_at(20, [&] { ++later; });
+  sim.schedule_at(30, [&] { ++later; });
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(later, 2);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(WheelCancel, DoubleCancelCountsOnce) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(10, [&] { fired = true; });
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.cancel(id);  // second cancel of the same handle: no-op
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.stats().cancelled, 1u);
+}
+
+TEST(WheelCancel, RecycledNodeIsNotReachableThroughOldHandle) {
+  Simulator sim;
+  const EventId old_id = sim.schedule_at(10, [] {});
+  sim.cancel(old_id);
+  // The node recycles into a new arming; the stale handle must not be
+  // able to cancel the new event.
+  bool fired = false;
+  sim.schedule_at(20, [&] { fired = true; });
+  sim.cancel(old_id);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+// ---------------------------------------------------------------------------
+// Equal-timestamp FIFO across wheel-level boundaries: an event parked at a
+// coarse level must still fire before a same-timestamp event scheduled
+// later (directly into a fine slot), after one or more cascades.
+
+TEST(WheelOrder, EqualTimestampFifoAcrossCascade) {
+  Simulator sim;
+  std::vector<int> fired;
+  // A is scheduled far out (level 2 from t=0), B at the same instant but
+  // scheduled when the wheel has advanced next to it (level 0 insert).
+  const SimTime target = 10000;
+  sim.schedule_at(target, [&] { fired.push_back(1) /* A */; });
+  sim.schedule_at(9990, [&] {
+    // Base has advanced to 9990: A has cascaded down; B lands in the
+    // same level-0 slot and must append *after* A.
+    sim.schedule_at(target, [&] { fired.push_back(2) /* B */; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(WheelOrder, EqualTimestampFifoAtEveryDistance) {
+  // Schedule pairs (far-then-near) at one timestamp per level distance;
+  // scheduling order must win every time.
+  Simulator sim;
+  std::vector<std::pair<SimTime, int>> fired;
+  const std::array<SimTime, 6> targets = {63,      64,      4095,
+                                          4097,    262144,  16777215};
+  for (const SimTime t : targets) {
+    sim.schedule_at(t, [&fired, t] { fired.emplace_back(t, 1); });
+  }
+  for (const SimTime t : targets) {
+    sim.schedule_at(t, [&fired, t] { fired.emplace_back(t, 2); });
+  }
+  sim.run();
+  ASSERT_EQ(fired.size(), 2 * targets.size());
+  std::size_t i = 0;
+  for (const SimTime t : targets) {
+    EXPECT_EQ(fired[i++], std::make_pair(t, 1));
+    EXPECT_EQ(fired[i++], std::make_pair(t, 2));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Far-future overflow heap: events past the 2^48 ns wheel horizon.
+
+TEST(WheelOverflow, FarFutureEventsFireInOrder) {
+  Simulator sim;
+  const SimTime far = SimTime{1} << 50;  // beyond the 48-bit horizon
+  std::vector<int> fired;
+  sim.schedule_at(far + 5, [&] { fired.push_back(3); });
+  sim.schedule_at(far, [&] { fired.push_back(2); });
+  sim.schedule_at(100, [&] { fired.push_back(1); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), far + 5);
+}
+
+TEST(WheelOverflow, EqualTimestampFifoAcrossOverflowDrain) {
+  Simulator sim;
+  const SimTime far = SimTime{1} << 50;
+  std::vector<int> fired;
+  // A enters the overflow heap at t=0.
+  sim.schedule_at(far, [&] { fired.push_back(2) /* A */; });
+  // This event pulls the wheel across the 2^48 window boundary (draining
+  // A into the wheel), then schedules B at A's exact timestamp.
+  sim.schedule_at(far - 5, [&] {
+    fired.push_back(1);
+    sim.schedule_at(far, [&] { fired.push_back(3) /* B */; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(WheelOverflow, CancelledOverflowEntryNeverFires) {
+  Simulator sim;
+  const SimTime far = SimTime{1} << 52;
+  bool fired = false;
+  const EventId id = sim.schedule_at(far, [&] { fired = true; });
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_FALSE(fired);
+}
+
+// ---------------------------------------------------------------------------
+// rearm: O(1) deadline moves that keep the stored callback.
+
+TEST(WheelRearm, MoveEarlierAndLater) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  EventId id = sim.schedule_at(100, [&] { fired_at = sim.now(); });
+
+  id = sim.rearm(id, 200);  // later
+  ASSERT_TRUE(id.valid());
+  EXPECT_EQ(sim.pending(), 1u);
+
+  id = sim.rearm(id, 50);  // earlier
+  ASSERT_TRUE(id.valid());
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(fired_at, 50);
+  EXPECT_EQ(sim.stats().rearmed, 2u);
+}
+
+TEST(WheelRearm, PastTimeClampsToNow) {
+  Simulator sim;
+  sim.schedule_at(40, [] {});
+  SimTime fired_at = -1;
+  EventId id = sim.schedule_at(100, [&] { fired_at = sim.now(); });
+  sim.run_until(40);
+  id = sim.rearm(id, 10);  // in the past: clamps to now() == 40
+  ASSERT_TRUE(id.valid());
+  sim.run();
+  EXPECT_EQ(fired_at, 40);
+}
+
+TEST(WheelRearm, StaleHandleReturnsInvalid) {
+  Simulator sim;
+  const EventId fired_id = sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.rearm(fired_id, 100).valid());
+
+  const EventId cancelled_id = sim.schedule_at(20, [] {});
+  sim.cancel(cancelled_id);
+  EXPECT_FALSE(sim.rearm(cancelled_id, 100).valid());
+  EXPECT_FALSE(sim.rearm(EventId{}, 100).valid());
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(WheelRearm, OldHandleDiesOnRearm) {
+  Simulator sim;
+  bool fired = false;
+  const EventId old_id = sim.schedule_at(100, [&] { fired = true; });
+  const EventId new_id = sim.rearm(old_id, 200);
+  ASSERT_TRUE(new_id.valid());
+  sim.cancel(old_id);  // stale: must not cancel the re-armed event
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(fired);
+  // And the new handle is stale after firing.
+  EXPECT_FALSE(sim.rearm(new_id, 300).valid());
+}
+
+TEST(WheelRearm, FromInsideOwnCallbackRevivesNode) {
+  Simulator sim;
+  int fires = 0;
+  EventId id{};
+  id = sim.schedule_at(10, [&] {
+    ++fires;
+    if (fires < 3) {
+      id = sim.rearm_after(id, 10);
+      ASSERT_TRUE(id.valid());
+    }
+  });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.pending(), 0u);
+  // One node serviced every firing; the callback was built exactly once.
+  EXPECT_EQ(sim.stats().nodes_created, 1u);
+}
+
+TEST(WheelRearm, RearmOverflowEventIntoWheel) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  EventId id = sim.schedule_at(SimTime{1} << 50, [&] { fired_at = sim.now(); });
+  id = sim.rearm(id, 500);
+  ASSERT_TRUE(id.valid());
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(fired_at, 500);
+}
+
+// ---------------------------------------------------------------------------
+// Nested run_until from inside a handler against wheel state.
+
+TEST(WheelNested, InnerRunAcrossCascadeBoundary) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(5000, [&] { fired.push_back(2); });
+  sim.schedule_at(10, [&] {
+    fired.push_back(1);
+    sim.run_until(6000);  // inner run consumes the level-1 event
+    fired.push_back(3);
+  });
+  sim.schedule_at(5500, [&] { fired.push_back(4); });  // also inner
+  // The inner run_until consumes events 2 and 4; the outer run fires 1.
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 4, 3}));
+  EXPECT_EQ(sim.now(), 6000);
+}
+
+// ---------------------------------------------------------------------------
+// Callback storage: large captures spill to the pool and are destroyed.
+
+TEST(WheelCallback, OversizedCapturesFireAndRecycle) {
+  Simulator sim;
+  std::array<std::uint64_t, 16> blob{};  // 128 bytes: far past the SBO
+  for (std::size_t i = 0; i < blob.size(); ++i) blob[i] = i * 3 + 1;
+  std::uint64_t sum = 0;
+  sim.schedule_at(10, [blob, &sum] {
+    for (const auto v : blob) sum += v;
+  });
+  sim.run();
+  EXPECT_EQ(sum, 376u);  // sum of i*3+1 for i in [0, 16)
+  // Steady state: re-scheduling the same shape reuses the pooled spill
+  // block and the node.
+  const std::size_t retained = sim.stats().pool_retained_bytes;
+  for (int round = 0; round < 50; ++round) {
+    sim.schedule_after(5, [blob, &sum] { sum += blob[0]; });
+    sim.run();
+  }
+  EXPECT_EQ(sim.stats().pool_retained_bytes, retained);
+  EXPECT_EQ(sim.stats().nodes_created, 1u);
+}
+
+TEST(WheelCallback, CancelDestroysCapturedState) {
+  // A shared_ptr capture must be released on cancel, not at simulator
+  // destruction.
+  Simulator sim;
+  auto token = std::make_shared<int>(42);
+  const EventId id = sim.schedule_at(10, [token] { (void)*token; });
+  EXPECT_EQ(token.use_count(), 2);
+  sim.cancel(id);
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Stats ledger.
+
+TEST(WheelStats, LedgerTracksChurnAndOccupancy) {
+  Simulator sim;
+  EventId a = sim.schedule_at(10, [] {});
+  sim.schedule_at(20, [] {});
+  sim.schedule_at(20, [] {});
+  EXPECT_EQ(sim.stats().pending, 3u);
+  EXPECT_EQ(sim.stats().occupancy_high_water, 3u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.stats().pending, 2u);
+  sim.run();
+  const SchedulerStats s = sim.stats();
+  EXPECT_EQ(s.scheduled, 3u);
+  EXPECT_EQ(s.cancelled, 1u);
+  EXPECT_EQ(s.fired, 2u);
+  EXPECT_EQ(s.fired, sim.events_executed());
+  EXPECT_EQ(s.pending, 0u);
+  EXPECT_EQ(s.occupancy_high_water, 3u);
+  EXPECT_GT(s.pool_retained_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace ifot::sim
